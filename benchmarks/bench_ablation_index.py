@@ -1,0 +1,63 @@
+"""Ablation: envelope interval index vs. sequential scan (Section X outlook).
+
+The index answers "which tuples can satisfy a temporal predicate against
+this fixed interval at any reference time?" from the interval tree instead
+of scanning; the ongoing predicate then runs only on the candidates.
+"""
+
+import pytest
+
+from repro.core.interval import fixed_interval
+from repro.core import allen
+from repro.datasets import generate_dsc, last_tenth
+from repro.datasets import synthetic as synthetic_module
+from repro.engine.indexes import IntervalIndex
+
+_ARGUMENT = last_tenth(synthetic_module.HISTORY_START, synthetic_module.HISTORY_END)
+_QUERY = fixed_interval(*_ARGUMENT)
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_dsc(6_000)
+
+
+@pytest.fixture(scope="module")
+def index(relation):
+    return IntervalIndex(relation, "VT")
+
+
+def _scan_overlapping(relation):
+    position = relation.schema.index_of("VT")
+    return [
+        item
+        for item in relation
+        if not allen.overlaps(item.values[position], _QUERY).is_always_false()
+    ]
+
+
+def test_ablation_seq_scan(benchmark, relation):
+    benchmark.group = "ablation-index"
+    rows = benchmark(lambda: _scan_overlapping(relation))
+    assert rows
+
+
+def test_ablation_index_probe(benchmark, relation, index):
+    position = relation.schema.index_of("VT")
+
+    def probe():
+        candidates = index.overlapping(*_ARGUMENT)
+        return [
+            item
+            for item in candidates
+            if not allen.overlaps(item.values[position], _QUERY).is_always_false()
+        ]
+
+    benchmark.group = "ablation-index"
+    rows = benchmark(probe)
+    assert frozenset(rows) == frozenset(_scan_overlapping(relation))
+
+
+def test_index_build(benchmark, relation):
+    index = benchmark(lambda: IntervalIndex(relation, "VT"))
+    assert index.size == len(relation)

@@ -1,0 +1,34 @@
+"""Ablation: the Section VIII predicate split and join algorithm selection.
+
+``Planner(optimize=False)`` evaluates every conjunct on the generic ongoing
+path and joins with nested loops.  Comparing against the optimized planner
+quantifies what the paper's optimization buys — and the results are
+asserted identical.
+"""
+
+import pytest
+
+from repro.datasets import ComplexJoinWorkload, SelectionWorkload, last_tenth
+from repro.datasets import mozilla as mozilla_module
+
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+
+@pytest.mark.parametrize("optimize", [True, False], ids=["optimized", "naive"])
+def test_ablation_selection_planner(benchmark, mozilla_db, optimize):
+    plan = SelectionWorkload("B", "overlaps", _ARGUMENT).plan()
+    benchmark.group = "ablation-planner-selection"
+    result = benchmark(lambda: mozilla_db.query(plan, optimize=optimize))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("optimize", [True, False], ids=["optimized", "naive"])
+def test_ablation_join_planner(benchmark, optimize):
+    from repro.datasets import generate_mozilla
+
+    database = generate_mozilla(300).as_database()
+    plan = ComplexJoinWorkload("overlaps").plan()
+    benchmark.group = "ablation-planner-join"
+    result = benchmark(lambda: database.query(plan, optimize=optimize))
+    reference = database.query(plan, optimize=not optimize)
+    assert result == reference

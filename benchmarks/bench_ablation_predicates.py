@@ -1,0 +1,59 @@
+"""Ablation: optimized (gap-based) predicates vs. definitional composition.
+
+Section VIII claims the specialized predicate implementations matter ("the
+less-than predicate minimizes the number of value comparisons").  This
+ablation measures the optimized public predicates against the literal
+Table II compositions (four ``less_than`` calls + three sweep-line
+conjunctions for ``overlaps``), which the library keeps around as
+:data:`repro.core.allen.COMPOSED_REFERENCE` for cross-validation.
+"""
+
+import random
+
+import pytest
+
+from repro.core import allen
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.timepoint import NOW, fixed
+
+
+def _interval_pool(count: int = 400):
+    rng = random.Random(99)
+    pool = []
+    for _ in range(count):
+        start = rng.randrange(0, 2_000)
+        if rng.random() < 0.2:
+            pool.append(until_now(start))
+        elif rng.random() < 0.2:
+            pool.append(OngoingInterval(NOW, fixed(start + rng.randrange(1, 500))))
+        else:
+            pool.append(fixed_interval(start, start + rng.randrange(1, 400)))
+    return pool
+
+
+_POOL = _interval_pool()
+_QUERY = fixed_interval(900, 1_200)
+
+
+@pytest.mark.parametrize("name", ["overlaps", "before"])
+def test_ablation_optimized_predicate(benchmark, name):
+    predicate = getattr(allen, name)
+    benchmark.group = f"ablation-{name}"
+
+    def sweep():
+        return sum(1 for i in _POOL if not predicate(i, _QUERY).is_always_false())
+
+    count = benchmark(sweep)
+    assert count > 0
+
+
+@pytest.mark.parametrize("name", ["overlaps", "before"])
+def test_ablation_composed_predicate(benchmark, name):
+    predicate = allen.COMPOSED_REFERENCE[name]
+    benchmark.group = f"ablation-{name}"
+
+    def sweep():
+        return sum(1 for i in _POOL if not predicate(i, _QUERY).is_always_false())
+
+    count = benchmark(sweep)
+    assert count > 0

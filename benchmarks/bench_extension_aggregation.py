@@ -1,0 +1,55 @@
+"""Extension benchmark: RT-aware aggregation (Section X future work).
+
+Measures the event-sweep COUNT against the naive one-step-per-tuple
+construction, and the full GROUP BY pipeline over the MozillaBugs bugs.
+"""
+
+import pytest
+
+from repro.core.integer import OngoingInt
+from repro.datasets import SelectionWorkload, last_tenth
+from repro.datasets import mozilla as mozilla_module
+from repro.relational.aggregate import count_tuples, group_by
+
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+
+@pytest.fixture(scope="module")
+def restricted(mozilla_db):
+    """A selection result: tuples carry non-trivial reference times."""
+    return SelectionWorkload("B", "overlaps", _ARGUMENT).run_ongoing(mozilla_db)
+
+
+def test_count_event_sweep(benchmark, restricted):
+    benchmark.group = "aggregation-count"
+    count = benchmark(lambda: count_tuples(restricted))
+    assert count.instantiate(0) >= 0
+
+
+def test_count_naive_fold(benchmark, restricted):
+    benchmark.group = "aggregation-count"
+
+    def fold():
+        total = OngoingInt.constant(0)
+        for item in restricted:
+            total = total + OngoingInt.step(item.rt)
+        return total
+
+    count = benchmark(fold)
+    assert count == count_tuples(restricted)
+
+
+def test_group_by_count(benchmark, restricted):
+    benchmark.group = "aggregation-groupby"
+    result = benchmark(
+        lambda: group_by(restricted, ["Component"], "count")
+    )
+    assert len(result) > 0
+
+
+def test_group_by_sum_duration(benchmark, restricted):
+    benchmark.group = "aggregation-groupby"
+    result = benchmark(
+        lambda: group_by(restricted, ["Component"], "sum_duration", "VT")
+    )
+    assert len(result) > 0

@@ -1,0 +1,8 @@
+"""Fig. 7 benchmark: ongoing start point distribution extraction."""
+
+from repro.bench.experiments import fig07_distribution
+
+
+def test_fig7_distribution(benchmark):
+    result = benchmark(lambda: fig07_distribution.run(scale=0.2))
+    assert result.all_passed(), result.format()

@@ -1,0 +1,45 @@
+"""Fig. 8 benchmark: one ongoing evaluation vs. one Clifford evaluation.
+
+The ongoing approach pays its overhead once; Clifford pays per
+re-evaluation.  The two benchmarks here are the two sides of that
+trade-off on the Incumbent selection workloads; pytest-benchmark's
+comparison output shows the per-evaluation ratio, i.e. the break-even
+count of Fig. 8.
+"""
+
+import pytest
+
+from repro.baselines.clifford import cliff_max_reference_time
+from repro.datasets import SelectionWorkload, last_tenth
+from repro.datasets import incumbent as incumbent_module
+from repro.engine.database import Database
+
+_ARGUMENT = last_tenth(incumbent_module.HISTORY_START, incumbent_module.HISTORY_END)
+
+
+@pytest.fixture(scope="module")
+def incumbent_db(incumbent_small):
+    database = Database("incumbent")
+    database.register("I", incumbent_small)
+    return database
+
+
+@pytest.fixture(scope="module")
+def incumbent_rt(incumbent_small):
+    return cliff_max_reference_time(incumbent_small)
+
+
+@pytest.mark.parametrize("predicate", ["overlaps", "before"])
+def test_fig8_ongoing_selection(benchmark, incumbent_db, predicate):
+    workload = SelectionWorkload("I", predicate, _ARGUMENT)
+    benchmark.group = f"fig8-{predicate}"
+    result = benchmark(lambda: workload.run_ongoing(incumbent_db))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("predicate", ["overlaps", "before"])
+def test_fig8_clifford_selection(benchmark, incumbent_db, incumbent_rt, predicate):
+    workload = SelectionWorkload("I", predicate, _ARGUMENT)
+    benchmark.group = f"fig8-{predicate}"
+    result = benchmark(lambda: workload.run_clifford(incumbent_db, incumbent_rt))
+    assert len(result) > 0

@@ -1,0 +1,35 @@
+"""Fig. 9 benchmark: temporal join runtime vs. location of ongoing intervals.
+
+Benchmarks the pure temporal self join on D_ex/D_sh with the ongoing
+intervals placed in the earliest vs. the latest history segment.  The
+paper's shape: early expanding segments are the expensive ones, late
+shrinking segments are.
+"""
+
+import pytest
+
+from repro.datasets import (
+    TemporalJoinWorkload,
+    generate_dex,
+    generate_dsh,
+    synthetic_database,
+)
+
+_WORKLOAD = TemporalJoinWorkload("R", "overlaps")
+_ROWS = 600
+
+
+@pytest.mark.parametrize("segment", [0, 4])
+def test_fig9_dex_segment(benchmark, segment):
+    database = synthetic_database(generate_dex(_ROWS, segment=segment))
+    benchmark.group = "fig9-dex"
+    result = benchmark(lambda: _WORKLOAD.run_ongoing(database))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("segment", [0, 4])
+def test_fig9_dsh_segment(benchmark, segment):
+    database = synthetic_database(generate_dsh(_ROWS, segment=segment))
+    benchmark.group = "fig9-dsh"
+    result = benchmark(lambda: _WORKLOAD.run_ongoing(database))
+    assert len(result) > 0

@@ -1,0 +1,30 @@
+"""Fig. 10 benchmark: selection runtime at growing D_sc sizes (linearity)."""
+
+import pytest
+
+from repro.datasets import (
+    SelectionWorkload,
+    generate_dsc,
+    last_tenth,
+    synthetic_database,
+)
+from repro.datasets import synthetic as synthetic_module
+
+_ARGUMENT = last_tenth(synthetic_module.HISTORY_START, synthetic_module.HISTORY_END)
+_WORKLOAD = SelectionWorkload("R", "overlaps", _ARGUMENT)
+
+
+@pytest.mark.parametrize("rows", [2_000, 4_000, 8_000])
+def test_fig10_ongoing_selection_scaling(benchmark, rows):
+    database = synthetic_database(generate_dsc(rows))
+    benchmark.group = "fig10-ongoing"
+    result = benchmark(lambda: _WORKLOAD.run_ongoing(database))
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("rows", [2_000, 4_000, 8_000])
+def test_fig10_clifford_selection_scaling(benchmark, rows):
+    database = synthetic_database(generate_dsc(rows))
+    benchmark.group = "fig10-clifford"
+    result = benchmark(lambda: _WORKLOAD.run_clifford(database, 10))
+    assert len(result) > 0

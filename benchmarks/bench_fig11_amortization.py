@@ -1,0 +1,65 @@
+"""Fig. 11 benchmark: view refresh vs. instantiation vs. Clifford re-run.
+
+The three measured operations are exactly the terms of the amortization
+inequality ``ongoing + n*instantiate <= n*clifford``: compare the
+``instantiate`` benchmark against the ``clifford`` one to see the margin,
+and the ``refresh`` one for the one-time cost it amortizes.
+"""
+
+import pytest
+
+from repro.datasets import ComplexJoinWorkload, SelectionWorkload, last_tenth
+from repro.datasets import mozilla as mozilla_module
+from repro.engine.views import MaterializedOngoingView
+
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+
+@pytest.fixture(scope="module")
+def selection_view(mozilla_db):
+    workload = SelectionWorkload("B", "overlaps", _ARGUMENT)
+    view = MaterializedOngoingView("fig11-selection", workload.plan(), mozilla_db)
+    view.refresh()
+    return view
+
+
+def test_fig11_selection_refresh(benchmark, selection_view):
+    benchmark.group = "fig11-selection"
+    benchmark(selection_view.refresh)
+
+
+def test_fig11_selection_instantiate(benchmark, selection_view, mozilla_rt):
+    benchmark.group = "fig11-selection"
+    rows = benchmark(lambda: selection_view.instantiate(mozilla_rt))
+    assert rows
+
+
+def test_fig11_selection_clifford(benchmark, mozilla_db, mozilla_rt):
+    workload = SelectionWorkload("B", "overlaps", _ARGUMENT)
+    benchmark.group = "fig11-selection"
+    rows = benchmark(lambda: workload.run_clifford(mozilla_db, mozilla_rt))
+    assert rows
+
+
+@pytest.fixture(scope="module")
+def join_view(mozilla_db):
+    workload = ComplexJoinWorkload("overlaps")
+    view = MaterializedOngoingView("fig11-join", workload.plan(), mozilla_db)
+    view.refresh()
+    return view
+
+
+def test_fig11_join_refresh(benchmark, join_view):
+    benchmark.group = "fig11-join"
+    benchmark(join_view.refresh)
+
+
+def test_fig11_join_instantiate(benchmark, join_view, mozilla_rt):
+    benchmark.group = "fig11-join"
+    benchmark(lambda: join_view.instantiate(mozilla_rt))
+
+
+def test_fig11_join_clifford(benchmark, mozilla_db, mozilla_rt):
+    workload = ComplexJoinWorkload("overlaps")
+    benchmark.group = "fig11-join"
+    benchmark(lambda: workload.run_clifford(mozilla_db, mozilla_rt))

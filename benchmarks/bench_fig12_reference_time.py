@@ -1,0 +1,39 @@
+"""Fig. 12 benchmark: serving instantiations at early vs. late reference times."""
+
+import pytest
+
+from repro.datasets import SelectionWorkload, last_tenth
+from repro.datasets import mozilla as mozilla_module
+from repro.engine.views import MaterializedOngoingView
+
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+
+@pytest.fixture(scope="module")
+def view(mozilla_db):
+    workload = SelectionWorkload("B", "overlaps", _ARGUMENT)
+    materialized = MaterializedOngoingView("fig12", workload.plan(), mozilla_db)
+    materialized.refresh()
+    return materialized
+
+
+def test_fig12_instantiate_at_min(benchmark, view):
+    benchmark.group = "fig12-instantiate"
+    benchmark(lambda: view.instantiate(mozilla_module.HISTORY_START))
+
+
+def test_fig12_instantiate_at_max(benchmark, view, mozilla_rt):
+    benchmark.group = "fig12-instantiate"
+    rows = benchmark(lambda: view.instantiate(mozilla_rt))
+    assert len(rows) >= len(view.instantiate(mozilla_module.HISTORY_START))
+
+
+def test_fig12_result_sizes_grow_with_rt(benchmark, view, mozilla_rt):
+    def sizes():
+        early = len(view.instantiate(mozilla_module.HISTORY_START))
+        late = len(view.instantiate(mozilla_rt))
+        return early, late
+
+    early, late = benchmark(sizes)
+    assert early <= late
+    assert late == len(view.result)

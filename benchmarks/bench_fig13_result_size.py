@@ -1,0 +1,36 @@
+"""Fig. 13 benchmark: ongoing result computation + optimality of its size."""
+
+import pytest
+
+from repro.baselines.clifford import cliff_max_reference_time
+from repro.datasets import (
+    ComplexJoinWorkload,
+    SelectionWorkload,
+    generate_mozilla,
+    last_tenth,
+)
+from repro.datasets import mozilla as mozilla_module
+
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+
+@pytest.mark.parametrize("predicate", ["overlaps", "before"])
+def test_fig13_selection_result(benchmark, mozilla_db, mozilla_rt, predicate):
+    workload = SelectionWorkload("B", predicate, _ARGUMENT)
+    benchmark.group = "fig13-selection"
+    ongoing = benchmark(lambda: workload.run_ongoing(mozilla_db))
+    largest_instantiated = len(workload.run_clifford(mozilla_db, mozilla_rt))
+    assert len(ongoing) >= largest_instantiated
+
+
+@pytest.mark.parametrize("predicate", ["overlaps", "before"])
+def test_fig13_complex_join_result(benchmark, predicate):
+    dataset = generate_mozilla(600)
+    database = dataset.as_database()
+    rt = cliff_max_reference_time(
+        dataset.bug_info, dataset.bug_assignment, dataset.bug_severity
+    )
+    workload = ComplexJoinWorkload(predicate)
+    benchmark.group = "fig13-join"
+    ongoing = benchmark(lambda: workload.run_ongoing(database))
+    assert len(ongoing) >= len(workload.run_clifford(database, rt))

@@ -1,0 +1,8 @@
+"""Table I benchmark: mechanical closure checking of the four time domains."""
+
+from repro.bench.experiments import table01_domains
+
+
+def test_table1_domain_closure_sweep(benchmark):
+    result = benchmark(table01_domains.run)
+    assert result.all_passed(), result.format()

@@ -1,0 +1,14 @@
+"""Table III benchmark: data set generation throughput and characteristics."""
+
+from repro.bench.experiments import table03_datasets
+from repro.datasets import generate_mozilla
+
+
+def test_table3_characteristics(benchmark):
+    result = benchmark(lambda: table03_datasets.run(scale=0.2))
+    assert result.all_passed(), result.format()
+
+
+def test_mozilla_generation_rate(benchmark):
+    dataset = benchmark(lambda: generate_mozilla(2_000))
+    assert len(dataset.bug_info) == 2_000

@@ -1,0 +1,8 @@
+"""Table IV benchmark: RT-cardinality sweep over predicate/shape combos."""
+
+from repro.bench.experiments import table04_cardinality
+
+
+def test_table4_rt_cardinality(benchmark):
+    result = benchmark(lambda: table04_cardinality.run(scale=0.3))
+    assert result.all_passed(), result.format()

@@ -1,0 +1,14 @@
+"""Table V benchmark: byte-accurate storage measurement of MozillaBugs."""
+
+from repro.engine.storage import relation_storage
+from repro.bench.experiments import table05_storage
+
+
+def test_table5_storage_shapes(benchmark):
+    result = benchmark(lambda: table05_storage.run(scale=0.2))
+    assert result.all_passed(), result.format()
+
+
+def test_storage_measurement_rate(benchmark, mozilla_small):
+    report = benchmark(lambda: relation_storage(mozilla_small.bug_info))
+    assert 28.0 <= report.avg_rt_bytes <= 40.0

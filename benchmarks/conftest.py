@@ -1,0 +1,59 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+The benchmarks intentionally run at a small scale (hundreds to a few
+thousand tuples) so the whole suite finishes in minutes; the experiment
+drivers behind ``python -m repro.bench`` are the place for larger runs.
+Session scope keeps data generation out of the measured regions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.clifford import cliff_max_reference_time
+from repro.datasets import (
+    generate_dex,
+    generate_dsc,
+    generate_dsh,
+    generate_incumbent,
+    generate_mozilla,
+)
+
+
+@pytest.fixture(scope="session")
+def mozilla_small():
+    return generate_mozilla(2_000)
+
+
+@pytest.fixture(scope="session")
+def mozilla_db(mozilla_small):
+    return mozilla_small.as_database()
+
+
+@pytest.fixture(scope="session")
+def mozilla_rt(mozilla_small):
+    return cliff_max_reference_time(
+        mozilla_small.bug_info,
+        mozilla_small.bug_assignment,
+        mozilla_small.bug_severity,
+    )
+
+
+@pytest.fixture(scope="session")
+def incumbent_small():
+    return generate_incumbent(4_000)
+
+
+@pytest.fixture(scope="session")
+def dex_small():
+    return generate_dex(1_200)
+
+
+@pytest.fixture(scope="session")
+def dsh_small():
+    return generate_dsh(1_200)
+
+
+@pytest.fixture(scope="session")
+def dsc_small():
+    return generate_dsc(4_000)

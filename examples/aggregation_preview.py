@@ -1,0 +1,93 @@
+"""Ongoing aggregation — the paper's future work (Section X), working today.
+
+The paper closes by asking for a duration function returning *ongoing
+integers* and an aggregation operator for ongoing relations.  This library
+implements both: an ongoing integer is a piecewise-linear function of the
+reference time, and aggregates (COUNT, SUM of durations, MIN/MAX) evaluate
+to ongoing integers that — like every ongoing result — remain valid as time
+passes by.
+
+Run with::
+
+    python examples/aggregation_preview.py
+"""
+
+from repro import allen, duration, fixed_interval, fmt_point, mmdd, until_now
+from repro.relational import (
+    OngoingRelation,
+    Schema,
+    count_tuples,
+    group_by,
+    sum_durations,
+)
+
+
+def build_bugs() -> OngoingRelation:
+    schema = Schema.of("BID", "C", ("VT", "interval"))
+    return OngoingRelation.from_rows(
+        schema,
+        [
+            (500, "Spam filter", until_now(mmdd(1, 25))),
+            (501, "Spam filter", fixed_interval(mmdd(3, 30), mmdd(8, 21))),
+            (502, "Spam filter", until_now(mmdd(6, 15))),
+            (503, "Dashboard", until_now(mmdd(7, 1))),
+            (504, "Dashboard", fixed_interval(mmdd(2, 1), mmdd(4, 1))),
+        ],
+    )
+
+
+def main() -> None:
+    bugs = build_bugs()
+
+    print("=== duration() returns an ongoing integer ===")
+    bug_age = duration(until_now(mmdd(1, 25)))
+    print(f"duration([01/25, now)) = {bug_age.format()}")
+    for rt in (mmdd(1, 20), mmdd(2, 25), mmdd(8, 15)):
+        print(f"  at rt={fmt_point(rt)}: {bug_age.instantiate(rt)} days")
+    print()
+
+    print("=== COUNT(*) as a function of the reference time ===")
+    # Base tuples exist at every reference time, so their count is constant:
+    print(f"count over the base table = {count_tuples(bugs).format()}")
+    # A query result's RT is restricted by its predicate, so counting the
+    # result gives a genuinely time-dependent answer: how many bugs overlap
+    # the August patch window, as a function of the reference time?
+    from repro.relational import col, lit, select
+
+    window = fixed_interval(mmdd(8, 15), mmdd(8, 24))
+    affected = select(bugs, col("VT").overlaps(lit(window)))
+    affected_count = count_tuples(affected)
+    print(f"count of bugs overlapping the patch window = "
+          f"{affected_count.format()}")
+    print()
+
+    print("=== an ongoing threshold alert ===")
+    # 'When do more than 2 bugs hit the patch window?' — an ongoing boolean
+    # that composes with every other predicate in the library.
+    alert = affected_count.greater_than(2)
+    print(f"count > 2  =  {alert}")
+    print()
+
+    print("=== GROUP BY component with ongoing aggregates ===")
+    per_component = group_by(bugs, ["C"], "count")
+    for row in per_component:
+        component, count = row.values
+        print(f"  {component:12} -> {count.format()}")
+    print()
+
+    print("=== total open-bug days per component (SUM of durations) ===")
+    per_component_load = group_by(bugs, ["C"], "sum_duration", "VT", output_name="load")
+    for row in per_component_load:
+        component, load = row.values
+        values = ", ".join(
+            f"{fmt_point(rt)}: {load.instantiate(rt)}"
+            for rt in (mmdd(3, 1), mmdd(6, 1), mmdd(9, 1))
+        )
+        print(f"  {component:12} -> {values}")
+    print()
+    print("All of these were computed once and stay correct at every\n"
+          "reference time - no re-aggregation when the clock advances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""A tour of the prior approaches (Section III) and where each one breaks.
+
+Four ways to handle the ongoing time point *now*, demonstrated on the
+paper's own counter-examples:
+
+1. **Clifford et al.** — instantiate when accessed: correct at the chosen
+   reference time, invalidated as time passes by.
+2. **Snodgrass' Forever** — replace *now* with the largest time point:
+   plainly incorrect results.
+3. **Anselma et al.** — ``T ∪ {now}``: keeps *now* in easy intersections,
+   forced to instantiate otherwise.
+4. **Torp et al.** — ``Tf``: uninstantiated ∩/− (enough for modifications)
+   but not closed under min/max and no predicates.
+
+Run with::
+
+    python examples/baselines_tour.py
+"""
+
+from repro import fixed_interval, fmt_point, mmdd, until_now
+from repro.baselines import (
+    AnselmaInterval,
+    NotRepresentableError,
+    TfInterval,
+    TfTimePoint,
+    bind_relation,
+    forever_relation,
+    selection,
+)
+from repro.relational import OngoingRelation, Schema
+
+
+def clifford_gets_outdated() -> None:
+    print("=== 1. Clifford: results get invalidated as time passes ===")
+    bugs = OngoingRelation.from_rows(
+        Schema.of("BID", ("VT", "interval")),
+        [(500, until_now(mmdd(1, 25))), (501, fixed_interval(mmdd(3, 30), mmdd(8, 21)))],
+    )
+    patch_window = (mmdd(8, 15), mmdd(8, 24))
+    for rt in (mmdd(5, 14), mmdd(8, 20)):
+        rows = selection(bind_relation(bugs, rt), 1, "before", patch_window)
+        answer = sorted(row[0] for row in rows)
+        print(f"  'bugs resolved before the patch' at rt={fmt_point(rt)}: {answer}")
+    print("  -> the two answers differ; each is valid only at its own rt.\n")
+
+
+def forever_is_wrong() -> None:
+    print("=== 2. Forever: replacing now with the max time point is incorrect ===")
+    bugs = OngoingRelation.from_rows(
+        Schema.of("BID", ("VT", "interval")), [(500, until_now(mmdd(1, 25)))]
+    )
+    rt = mmdd(5, 14)
+    correct = selection(bind_relation(bugs, rt), 1, "before", (mmdd(8, 15), mmdd(8, 24)))
+    wrong = selection(
+        bind_relation(forever_relation(bugs), rt), 1, "before",
+        (mmdd(8, 15), mmdd(8, 24)),
+    )
+    print(f"  at rt={fmt_point(rt)}: correct answer contains bug 500: "
+          f"{any(row[0] == 500 for row in correct)}")
+    print(f"  Forever's answer contains bug 500: "
+          f"{any(row[0] == 500 for row in wrong)}   <- wrong!\n")
+
+
+def anselma_must_instantiate() -> None:
+    print("=== 3. Anselma: T ∪ {now} keeps easy cases, instantiates the rest ===")
+    kept = AnselmaInterval.make(mmdd(10, 14), None).intersect(
+        AnselmaInterval.make(mmdd(10, 17), None)
+    )
+    print(f"  [10/14, now) ∩ [10/17, now) -> "
+          f"[{fmt_point(kept.interval.start.value)}, now)  "
+          f"instantiated: {kept.instantiated}")
+    forced = AnselmaInterval.make(mmdd(10, 17), mmdd(10, 22)).intersect(
+        AnselmaInterval.make(mmdd(10, 17), None), rt=mmdd(10, 20)
+    )
+    start, end = forced.interval.start.value, forced.interval.end.value
+    print(f"  [10/17, 10/22) ∩ [10/17, now) -> "
+          f"[{fmt_point(start)}, {fmt_point(end)})  "
+          f"instantiated: {forced.instantiated} (only valid at rt=10/20)\n")
+
+
+def torp_is_not_closed() -> None:
+    print("=== 4. Torp: Tf handles ∩/- but is not closed under min/max ===")
+    open_bug = TfInterval(TfTimePoint.fixed(mmdd(1, 25)), TfTimePoint.now())
+    window = TfInterval(TfTimePoint.fixed(mmdd(8, 15)), TfTimePoint.fixed(mmdd(8, 24)))
+    print(f"  [01/25, now) ∩ [08/15, 08/24) = {open_bug.intersect(window).format()}"
+          f"  (stays in Tf)")
+    try:
+        TfTimePoint.min_now(mmdd(8, 20)).maximum(TfTimePoint.fixed(mmdd(8, 10)))
+    except NotRepresentableError as error:
+        print(f"  max(min(08/20, now), 08/10) -> {error}")
+    print("  -> the result is the general ongoing point 08/10+08/20, which\n"
+          "     only the paper's domain Omega can represent.\n")
+
+
+if __name__ == "__main__":
+    clifford_gets_outdated()
+    forever_is_wrong()
+    anselma_must_instantiate()
+    torp_is_not_closed()
+    print("The ongoing approach avoids all four problems: results carry an\n"
+          "RT attribute and remain valid at every reference time.")

@@ -1,0 +1,87 @@
+"""OSQL — querying ongoing databases in SQL, results that never go stale.
+
+The paper's prototype extends PostgreSQL, so its users keep writing SQL.
+This example shows the equivalent textual surface of this library: ongoing
+literals, temporal predicates as infix keywords, the INTERSECTION function,
+joins, set operations, and RT-aware aggregation.
+
+Run with::
+
+    python examples/osql_tour.py
+
+(For an interactive shell over the same database: ``python -m repro.sqlish``.)
+"""
+
+from repro import fixed_interval, fmt_point, mmdd, until_now
+from repro.engine import Database
+from repro.relational import Schema
+
+
+def build_database() -> Database:
+    db = Database("email-service")
+    bugs = db.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(mmdd(1, 25)))
+    bugs.insert(501, "Spam filter", fixed_interval(mmdd(3, 30), mmdd(8, 21)))
+    bugs.insert(502, "Dashboard", until_now(mmdd(7, 1)))
+    patches = db.create_table("P", Schema.of("PID", "C", ("VT", "interval")))
+    patches.insert(201, "Spam filter", fixed_interval(mmdd(8, 15), mmdd(8, 24)))
+    patches.insert(202, "Spam filter", fixed_interval(mmdd(8, 24), mmdd(8, 27)))
+    leads = db.create_table("L", Schema.of("Name", "C", ("VT", "interval")))
+    leads.insert("Ann", "Spam filter", fixed_interval(mmdd(1, 20), mmdd(8, 18)))
+    leads.insert("Bob", "Spam filter", until_now(mmdd(8, 18)))
+    return db
+
+
+QUERIES = [
+    (
+        "Ongoing literals and temporal predicates",
+        "SELECT BID, VT FROM B WHERE VT OVERLAPS PERIOD '[08/15, 08/24)'",
+    ),
+    (
+        "The paper's running example (query V of Section II)",
+        """
+        SELECT B.BID, B.VT AS BVT, P.PID, L.Name,
+               INTERSECTION(B.VT, L.VT) AS Resp
+        FROM B, P, L
+        WHERE B.C = 'Spam filter'
+          AND B.C = P.C AND B.VT BEFORE P.VT
+          AND B.C = L.C AND B.VT OVERLAPS L.VT
+        """,
+    ),
+    (
+        "Set operations",
+        "SELECT BID FROM B EXCEPT SELECT BID FROM B WHERE C = 'Dashboard'",
+    ),
+    (
+        "RT-aware aggregation: per-component bug counts that vary with rt",
+        """
+        SELECT C, COUNT(*) AS n
+        FROM B
+        WHERE VT OVERLAPS PERIOD '[08/15, 08/24)'
+        GROUP BY C
+        """,
+    ),
+]
+
+
+def main() -> None:
+    db = build_database()
+    for title, sql in QUERIES:
+        print(f"=== {title} ===")
+        print(sql.strip())
+        print()
+        result = db.sql(sql)
+        print(result.format())
+        print()
+
+    print("=== and the results remain valid as time passes ===")
+    result = db.sql(
+        "SELECT BID FROM B WHERE VT OVERLAPS PERIOD '[08/15, 08/24)'"
+    )
+    for rt in (mmdd(8, 1), mmdd(8, 20), mmdd(12, 31)):
+        rows = sorted(row[0] for row in result.instantiate(rt))
+        print(f"  instantiated at {fmt_point(rt)}: bugs {rows}")
+
+
+if __name__ == "__main__":
+    main()

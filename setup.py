@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The offline evaluation environment ships setuptools 65 without ``wheel``,
+which breaks PEP 660 editable installs.  This thin ``setup.py`` keeps
+``pip install -e .`` working there; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""Anselma et al. [5] — the ``T ∪ {now}`` baseline.
+
+Anselma, Stantic, Terenziani, and Sattar cope with the four common *now*
+representations over the domain ``Tnow = T ∪ {now}``.  Their intersection
+and difference *may* keep *now* uninstantiated — namely when the result end
+point is again *now*::
+
+    [10/14, now) ∩ [10/17, now)  =  [10/17, now)        (kept ongoing)
+
+but must instantiate for anything more complex::
+
+    [10/17, 10/22) ∩ [10/17, now)  =  [10/17, 10/20)    at rt = 10/20
+
+because ``min(10/22, now)`` has no representation in ``Tnow`` (it needs
+the limited point ``+10/22`` of Ω, or Torp's ``min(a, now)``).  Once
+instantiated, the result is only valid at the chosen reference time — it
+gets invalidated by time passing by, which is what the comparison
+experiments quantify.  Predicates on ongoing attributes are not worked out
+in their approach (Section III) and fall back to instantiation as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed
+from repro.errors import InstantiationError
+
+__all__ = ["AnselmaPoint", "AnselmaInterval", "AnselmaResult"]
+
+
+@dataclass(frozen=True)
+class AnselmaPoint:
+    """An element of ``Tnow``: a fixed point or the symbol *now*."""
+
+    value: Optional[TimePoint]  # None encodes now
+
+    @classmethod
+    def now(cls) -> "AnselmaPoint":
+        return cls(None)
+
+    @classmethod
+    def at(cls, point: TimePoint) -> "AnselmaPoint":
+        return cls(point)
+
+    @property
+    def is_now(self) -> bool:
+        return self.value is None
+
+    def instantiate(self, rt: TimePoint) -> TimePoint:
+        return rt if self.value is None else self.value
+
+    def to_omega(self) -> OngoingTimePoint:
+        """Embed into Ω (``now`` becomes ``-inf+inf``)."""
+        if self.value is None:
+            return NOW
+        return fixed(self.value)
+
+    def format(self) -> str:
+        return "now" if self.value is None else str(self.value)
+
+
+@dataclass(frozen=True)
+class AnselmaResult:
+    """The outcome of an Anselma operation.
+
+    ``instantiated`` records whether the operation had to bind *now* to a
+    concrete reference time — the event after which the result no longer
+    remains valid as time passes by.  The re-evaluation experiments count
+    these events.
+    """
+
+    interval: "AnselmaInterval"
+    instantiated: bool
+    reference_time: Optional[TimePoint] = None
+
+
+@dataclass(frozen=True)
+class AnselmaInterval:
+    """A half-open interval over ``Tnow``."""
+
+    start: AnselmaPoint
+    end: AnselmaPoint
+
+    @classmethod
+    def make(
+        cls, start: Optional[TimePoint], end: Optional[TimePoint]
+    ) -> "AnselmaInterval":
+        """``None`` encodes *now* on either side."""
+        return cls(AnselmaPoint(start), AnselmaPoint(end))
+
+    def instantiate(self, rt: TimePoint) -> Tuple[TimePoint, TimePoint]:
+        return (self.start.instantiate(rt), self.end.instantiate(rt))
+
+    def intersect(
+        self, other: "AnselmaInterval", rt: Optional[TimePoint] = None
+    ) -> AnselmaResult:
+        """``self ∩ other`` — ongoing when representable, else instantiated.
+
+        The representable cases keep *now*: both end points *now* (the
+        paper's ``[10/14, now) ∩ [10/17, now)`` example), or both fixed.
+        A mix of a fixed and a *now* end point requires ``min(e, now)``,
+        which leaves ``Tnow``: the operation must instantiate at *rt*
+        (raising :class:`~repro.errors.InstantiationError` when no
+        reference time was supplied).
+        """
+        start = _max_point(self.start, other.start, rt)
+        end, needed_rt = _min_point(self.end, other.end, rt)
+        if needed_rt:
+            # The start may also involve now; bind everything at rt.
+            return AnselmaResult(
+                AnselmaInterval(
+                    AnselmaPoint(self.start.instantiate(rt)).__class__(
+                        max(self.start.instantiate(rt), other.start.instantiate(rt))
+                    ),
+                    end,
+                ),
+                instantiated=True,
+                reference_time=rt,
+            )
+        return AnselmaResult(AnselmaInterval(start, end), instantiated=False)
+
+
+def _max_point(
+    left: AnselmaPoint, right: AnselmaPoint, rt: Optional[TimePoint]
+) -> AnselmaPoint:
+    """max of two start points; ``max(a, now)`` is kept as *now* only when
+    exact, which for start points of the supported interval shapes means
+    both operands are *now* or both fixed."""
+    if left.is_now and right.is_now:
+        return AnselmaPoint.now()
+    if not left.is_now and not right.is_now:
+        return AnselmaPoint(max(left.value, right.value))
+    # Mixed: max(a, now) is not in Tnow; Anselma instantiates.
+    if rt is None:
+        raise InstantiationError(
+            "Anselma intersection of mixed start points requires a "
+            "reference time to instantiate now"
+        )
+    return AnselmaPoint(max(left.instantiate(rt), right.instantiate(rt)))
+
+
+def _min_point(
+    left: AnselmaPoint, right: AnselmaPoint, rt: Optional[TimePoint]
+) -> Tuple[AnselmaPoint, bool]:
+    """min of two end points; returns (point, had_to_instantiate)."""
+    if left.is_now and right.is_now:
+        return AnselmaPoint.now(), False
+    if not left.is_now and not right.is_now:
+        return AnselmaPoint(min(left.value, right.value)), False
+    if rt is None:
+        raise InstantiationError(
+            "Anselma intersection of a fixed and an ongoing end point "
+            "requires a reference time to instantiate now"
+        )
+    return AnselmaPoint(min(left.instantiate(rt), right.instantiate(rt))), True

@@ -1,0 +1,144 @@
+"""Fixed-type interval operations — the ``opF`` side of every equivalence.
+
+These are the classical operations on fixed half-open intervals
+``(start, end)`` that every instantiating approach (Clifford, Torp for
+predicates, Forever) evaluates, and that Definition 4 compares the ongoing
+operations against:  for each ongoing operation ``op`` the library
+guarantees ``‖op(x, y)‖rt == opF(‖x‖rt, ‖y‖rt)`` at every reference time.
+
+The empty-interval conventions mirror Table II exactly (an instantiated
+ongoing interval can be empty):
+
+* all predicates except ``during``/``equals`` require both operands
+  non-empty;
+* an empty interval is ``during`` any non-empty interval;
+* two empty intervals are ``equals``.
+
+The module also provides the fixed min/max/comparison wrappers used by the
+property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+__all__ = [
+    "FixedInterval",
+    "is_empty",
+    "before_f",
+    "after_f",
+    "meets_f",
+    "met_by_f",
+    "overlaps_f",
+    "starts_f",
+    "started_by_f",
+    "finishes_f",
+    "finished_by_f",
+    "during_f",
+    "contains_f",
+    "equals_f",
+    "intersect_f",
+    "contains_point_f",
+    "FIXED_PREDICATES",
+]
+
+FixedInterval = Tuple[int, int]
+
+
+def is_empty(i: FixedInterval) -> bool:
+    """A fixed half-open interval ``[s, e)`` is empty iff ``s >= e``."""
+    return i[0] >= i[1]
+
+
+def before_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i before j``: i ends at or before j starts; both non-empty."""
+    return i[1] <= j[0] and i[0] < i[1] and j[0] < j[1]
+
+
+def after_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i after j  ==  j before i``."""
+    return before_f(j, i)
+
+
+def meets_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i meets j``: i ends exactly where j starts; both non-empty."""
+    return i[1] == j[0] and i[0] < i[1] and j[0] < j[1]
+
+
+def met_by_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i met_by j  ==  j meets i``."""
+    return meets_f(j, i)
+
+
+def overlaps_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """Symmetric overlap: the intervals share a time point (both non-empty)."""
+    return i[0] < j[1] and j[0] < i[1] and i[0] < i[1] and j[0] < j[1]
+
+
+def starts_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i starts j``: same start; both non-empty."""
+    return i[0] == j[0] and i[0] < i[1] and j[0] < j[1]
+
+
+def started_by_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i started_by j  ==  j starts i``."""
+    return starts_f(j, i)
+
+
+def finishes_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i finishes j``: same end; both non-empty."""
+    return i[1] == j[1] and i[0] < i[1] and j[0] < j[1]
+
+
+def finished_by_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i finished_by j  ==  j finishes i``."""
+    return finishes_f(j, i)
+
+
+def during_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i during j`` with the Table II convention: empty ⊆ non-empty."""
+    if i[0] >= i[1]:
+        return j[0] < j[1]
+    return j[0] <= i[0] and i[1] <= j[1] and j[0] < j[1]
+
+
+def contains_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i contains j  ==  j during i``."""
+    return during_f(j, i)
+
+
+def equals_f(i: FixedInterval, j: FixedInterval) -> bool:
+    """``i equals j`` with the Table II convention: empty == empty."""
+    i_empty = i[0] >= i[1]
+    j_empty = j[0] >= j[1]
+    if i_empty or j_empty:
+        return i_empty and j_empty
+    return i == j
+
+
+def intersect_f(i: FixedInterval, j: FixedInterval) -> FixedInterval:
+    """``i ∩ j = [max(s, s̃), min(e, ẽ))`` (possibly empty)."""
+    return (max(i[0], j[0]), min(i[1], j[1]))
+
+
+def contains_point_f(i: FixedInterval, p: int) -> bool:
+    """``p ∈ [s, e)``."""
+    return i[0] <= p < i[1]
+
+
+#: Name -> fixed predicate, keyed like the ongoing Allen registry so
+#: workloads can run both variants from one specification.
+FIXED_PREDICATES: Dict[str, Callable[[FixedInterval, FixedInterval], bool]] = {
+    "before": before_f,
+    "after": after_f,
+    "meets": meets_f,
+    "met_by": met_by_f,
+    "overlaps": overlaps_f,
+    "starts": starts_f,
+    "started_by": started_by_f,
+    "finishes": finishes_f,
+    "finished_by": finished_by_f,
+    "during": during_f,
+    "contains": contains_f,
+    "interval_equals": equals_f,
+}

@@ -1,0 +1,68 @@
+"""Snodgrass' *Forever* baseline [22] — and why it is wrong.
+
+TQuel replaces the ongoing end point *now* with **Forever**, the largest
+time point of the domain.  Queries then run on purely fixed data with the
+classical machinery — but the results are incorrect: a bug that is open
+``[01/25, now)`` is *not* open until the end of time, it is open until the
+reference time.  The paper's counter-example (Section III): at reference
+time 05/14, the query "which bugs might be resolved before patch 201 goes
+live?" must contain bug 500 (its instantiated valid time ``[01/25, 05/14)``
+is before the patch interval ``[08/15, 08/24)``) — with Forever as the end
+point the bug is missing.
+
+:func:`forever_relation` performs the substitution; the example and test
+suite demonstrate the incorrectness against the ongoing approach.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.interval import OngoingInterval
+from repro.core.timeline import PLUS_INF, TimePoint
+from repro.core.timepoint import OngoingTimePoint, fixed
+from repro.relational.relation import OngoingRelation
+from repro.relational.tuples import OngoingTuple
+
+__all__ = ["FOREVER", "forever_point", "forever_value", "forever_relation"]
+
+#: The largest time point of the domain, as a fixed value.
+FOREVER: TimePoint = PLUS_INF
+
+
+def forever_point(point: OngoingTimePoint) -> OngoingTimePoint:
+    """Replace an ongoing point by the fixed point *Forever*.
+
+    Fixed points pass through; every genuinely ongoing point (now, growing,
+    limited, general) collapses to Forever — this is precisely the
+    information loss that makes the approach incorrect.
+    """
+    if point.is_fixed:
+        return point
+    return fixed(FOREVER)
+
+
+def forever_value(value: object) -> object:
+    """Apply the Forever substitution to one attribute value."""
+    if isinstance(value, OngoingTimePoint):
+        return forever_point(value)
+    if isinstance(value, OngoingInterval):
+        return OngoingInterval(forever_point(value.start), forever_point(value.end))
+    return value
+
+
+def forever_relation(relation: OngoingRelation) -> OngoingRelation:
+    """A copy of *relation* with every ongoing point replaced by Forever.
+
+    The result contains only fixed values (wrapped in the ongoing types for
+    schema compatibility), so classical evaluation applies — and produces
+    the incorrect results the paper's counter-example exhibits.
+    """
+    tuples: List[OngoingTuple] = []
+    for item in relation:
+        tuples.append(
+            OngoingTuple(
+                tuple(forever_value(value) for value in item.values), item.rt
+            )
+        )
+    return OngoingRelation(relation.schema, tuples)

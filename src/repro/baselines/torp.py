@@ -1,0 +1,175 @@
+"""Torp et al. [4] — the ``Tf`` time domain baseline.
+
+Torp, Jensen, and Snodgrass handle now-relative data with the domain::
+
+    Tf = T ∪ { min(a, now) | a ∈ T } ∪ { max(a, now) | a ∈ T }
+
+``Tf`` supports intersection and difference without instantiating *now*
+(enough for correct temporal *modifications*), but it is **not closed under
+min/max** (Table I): e.g. ``max(min(a, now), b)`` with ``b < a`` denotes
+"not earlier than b, not later than a" — an ongoing point that only Ω can
+represent.  And **predicates** over uninstantiated attributes are not
+supported at all; queries fall back to Clifford's instantiation, so Torp's
+query results still get invalidated by time passing by.
+
+Every ``Tf`` point embeds into Ω (:meth:`TfTimePoint.to_omega`), which is
+how the paper positions Ω as the strict generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
+from repro.core.timepoint import OngoingTimePoint
+from repro.errors import TimeDomainError
+
+__all__ = ["NotRepresentableError", "TfTimePoint", "TfInterval"]
+
+
+class NotRepresentableError(TimeDomainError):
+    """The exact result exists in Ω but not in ``Tf`` (non-closure)."""
+
+
+@dataclass(frozen=True)
+class TfTimePoint:
+    """An element of ``Tf``: fixed ``a``, ``min(a, now)``, or ``max(a, now)``.
+
+    ``now`` itself is ``min(+inf, now)`` (equivalently ``max(-inf, now)``).
+    """
+
+    kind: str  # "fixed" | "min_now" | "max_now"
+    anchor: TimePoint
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fixed(cls, a: TimePoint) -> "TfTimePoint":
+        return cls("fixed", a)
+
+    @classmethod
+    def min_now(cls, a: TimePoint) -> "TfTimePoint":
+        """``min(a, now)`` — at rt: the earlier of a and rt."""
+        return cls("min_now", a)
+
+    @classmethod
+    def max_now(cls, a: TimePoint) -> "TfTimePoint":
+        """``max(a, now)`` — at rt: the later of a and rt."""
+        return cls("max_now", a)
+
+    @classmethod
+    def now(cls) -> "TfTimePoint":
+        return cls("min_now", PLUS_INF)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+
+    def instantiate(self, rt: TimePoint) -> TimePoint:
+        """The fixed value at reference time *rt*."""
+        if self.kind == "fixed":
+            return self.anchor
+        if self.kind == "min_now":
+            return min(self.anchor, rt)
+        return max(self.anchor, rt)
+
+    def to_omega(self) -> OngoingTimePoint:
+        """The Ω point with the same instantiation at every rt.
+
+        * fixed ``a``       -> ``a+a``
+        * ``min(a, now)``   -> ``-inf+a`` (the limited point ``+a``)
+        * ``max(a, now)``   -> ``a+inf`` (the growing point ``a+``)
+        """
+        if self.kind == "fixed":
+            return OngoingTimePoint(self.anchor, self.anchor)
+        if self.kind == "min_now":
+            return OngoingTimePoint(MINUS_INF, self.anchor)
+        return OngoingTimePoint(self.anchor, PLUS_INF)
+
+    @classmethod
+    def from_omega(cls, point: OngoingTimePoint) -> "TfTimePoint":
+        """The ``Tf`` element equal to *point*, if one exists.
+
+        Raises :class:`NotRepresentableError` for general ongoing points
+        ``a+b`` with finite ``a < b`` — the witnesses of ``Tf``'s
+        non-closure.
+        """
+        if point.is_fixed:
+            return cls.fixed(point.a)
+        if point.a == MINUS_INF:
+            return cls.min_now(point.b)
+        if point.b == PLUS_INF:
+            return cls.max_now(point.a)
+        raise NotRepresentableError(
+            f"ongoing point {point.format()} is not representable in Tf"
+        )
+
+    # ------------------------------------------------------------------
+    # min/max — closed only partially (the point of Table I)
+    # ------------------------------------------------------------------
+
+    def minimum(self, other: "TfTimePoint") -> "TfTimePoint":
+        """``min`` in ``Tf``; raises when the result leaves the domain."""
+        result = _omega_min(self.to_omega(), other.to_omega())
+        return TfTimePoint.from_omega(result)
+
+    def maximum(self, other: "TfTimePoint") -> "TfTimePoint":
+        """``max`` in ``Tf``; raises when the result leaves the domain."""
+        result = _omega_max(self.to_omega(), other.to_omega())
+        return TfTimePoint.from_omega(result)
+
+    def format(self) -> str:
+        if self.kind == "fixed":
+            return str(self.anchor)
+        if self.kind == "min_now":
+            return f"min({self.anchor}, now)" if self.anchor < PLUS_INF else "now"
+        return f"max({self.anchor}, now)"
+
+
+def _omega_min(x: OngoingTimePoint, y: OngoingTimePoint) -> OngoingTimePoint:
+    return OngoingTimePoint(min(x.a, y.a), min(x.b, y.b))
+
+
+def _omega_max(x: OngoingTimePoint, y: OngoingTimePoint) -> OngoingTimePoint:
+    return OngoingTimePoint(max(x.a, y.a), max(x.b, y.b))
+
+
+@dataclass(frozen=True)
+class TfInterval:
+    """A half-open interval over ``Tf`` — supports ∩ and − uninstantiated.
+
+    These two functions are what Torp et al. need to express temporal
+    modifications that remain valid as time passes by.  Anything beyond
+    them (predicates!) requires instantiation.
+    """
+
+    start: TfTimePoint
+    end: TfTimePoint
+
+    def instantiate(self, rt: TimePoint) -> Tuple[TimePoint, TimePoint]:
+        return (self.start.instantiate(rt), self.end.instantiate(rt))
+
+    def intersect(self, other: "TfInterval") -> "TfInterval":
+        """``[max(s, s̃), min(e, ẽ))`` — stays in ``Tf`` or raises."""
+        return TfInterval(
+            self.start.maximum(other.start), self.end.minimum(other.end)
+        )
+
+    def difference(self, other: "TfInterval") -> List["TfInterval"]:
+        """``self − other`` as up to two ``Tf`` intervals (or raises).
+
+        The left remainder is ``[s, min(e, s̃))``, the right remainder
+        ``[max(s, ẽ), e)`` — both expressed with min/max so *now* never
+        instantiates (the construction from Torp's modification semantics).
+        """
+        remainders = [
+            TfInterval(self.start, self.end.minimum(other.start)),
+            TfInterval(self.start.maximum(other.end), self.end),
+        ]
+        return remainders
+
+    def format(self) -> str:
+        return f"[{self.start.format()}, {self.end.format()})"

@@ -1,0 +1,33 @@
+"""The benchmark harness: one driver per table/figure of the evaluation.
+
+Run from the command line::
+
+    python -m repro.bench all
+    python -m repro.bench fig8 --scale 2
+
+or programmatically::
+
+    from repro.bench import REGISTRY
+    result = REGISTRY["fig8"](scale=1.0)
+    print(result.format())
+"""
+
+from repro.bench.experiments import REGISTRY
+from repro.bench.harness import (
+    ExperimentResult,
+    Measurement,
+    amortization_instantiations,
+    breakeven_reevaluations,
+    default_scale,
+    measure,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentResult",
+    "Measurement",
+    "amortization_instantiations",
+    "breakeven_reevaluations",
+    "default_scale",
+    "measure",
+]

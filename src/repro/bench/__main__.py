@@ -1,0 +1,62 @@
+"""CLI entry point: ``python -m repro.bench <experiment> [--scale S]``.
+
+Experiments regenerate the tables and figures of the paper's evaluation::
+
+    python -m repro.bench table1          # one experiment
+    python -m repro.bench fig8 fig9       # several
+    python -m repro.bench all             # everything
+    python -m repro.bench all --scale 2   # at 2x data
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import REGISTRY
+from repro.bench.harness import default_scale
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(sorted(REGISTRY))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="data scale factor (default: REPRO_SCALE env var or 1.0)",
+    )
+    args = parser.parse_args(argv)
+    scale = args.scale if args.scale is not None else default_scale()
+
+    names = list(REGISTRY) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in REGISTRY]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; known: {sorted(REGISTRY)}")
+
+    failures = 0
+    for name in names:
+        started = time.perf_counter()
+        result = REGISTRY[name](scale=scale)
+        elapsed = time.perf_counter() - started
+        print(result.format())
+        print(f"  ({elapsed:.1f}s at scale {scale})")
+        print()
+        if not result.all_passed():
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Fig. 13 — ongoing vs. instantiated result sizes across reference times.
+
+An ongoing result combines the results at *all* reference times, so it must
+contain at least the tuples of the largest instantiated result; it is
+**optimal** when it is no larger than that.  Paper shapes (MozillaBugs):
+
+* ``overlaps`` + expanding intervals (panels a, c): once an expanding
+  interval overlaps, it overlaps at every later reference time — tuples are
+  only ever *added* as rt grows, so the ongoing result size **equals** the
+  largest instantiated result (optimal);
+* ``before`` (panels b, d): expanding intervals stop being *before* a fixed
+  interval at some reference time.  For the **selection** there is a single
+  selection interval, so all tuples stop at the same rt and the ongoing
+  result is still optimal; for the **join** different partners stop at
+  different rts, so the ongoing result is slightly larger than every
+  instantiated result (close to optimal).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.clifford import cliff_max_reference_time
+from repro.bench.harness import ExperimentResult
+from repro.datasets import (
+    ComplexJoinWorkload,
+    SelectionWorkload,
+    generate_mozilla,
+    last_tenth,
+)
+from repro.datasets import mozilla as mozilla_module
+
+__all__ = ["run"]
+
+_SAMPLES = 8
+
+
+def _reference_times(latest: int) -> List[int]:
+    span = mozilla_module.HISTORY_END - mozilla_module.HISTORY_START
+    times = [
+        mozilla_module.HISTORY_START + span * index // (_SAMPLES - 1)
+        for index in range(_SAMPLES - 1)
+    ]
+    times.append(latest)
+    return times
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Fig. 13", title="Result size vs. reference time (MozillaBugs)"
+    )
+    selection_data = generate_mozilla(max(800, int(8_000 * scale)))
+    join_data = generate_mozilla(max(400, int(2_000 * scale)))
+    argument = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+
+    panels = [
+        ("a: selection Qσ_ovlp(B)", SelectionWorkload("B", "overlaps", argument),
+         selection_data, True),
+        ("b: selection Qσ_bef(B)", SelectionWorkload("B", "before", argument),
+         selection_data, True),
+        ("c: join QC⋈_ovlp", ComplexJoinWorkload("overlaps"), join_data, True),
+        ("d: join QC⋈_bef", ComplexJoinWorkload("before"), join_data, False),
+    ]
+
+    for label, workload, dataset, expect_optimal in panels:
+        database = dataset.as_database()
+        latest = cliff_max_reference_time(
+            dataset.bug_info, dataset.bug_assignment, dataset.bug_severity
+        )
+        ongoing = workload.run_ongoing(database)
+        ongoing_size = len(ongoing)
+        instantiated_sizes = []
+        # The sample grid includes the selection interval's start point:
+        # with `before` every expanding tuple satisfies the predicate right
+        # up to that reference time, so the instantiated result peaks there.
+        sample_times = _reference_times(latest) + [argument[0]]
+        for rt in sorted(set(sample_times)):
+            instantiated_sizes.append(len(workload.run_clifford(database, rt)))
+        largest = max(instantiated_sizes)
+        result.add_row(
+            f"{label}: ongoing {ongoing_size}, instantiated "
+            + " ".join(str(size) for size in instantiated_sizes)
+        )
+        result.data[f"ongoing[{label}]"] = ongoing_size
+        result.data[f"instantiated[{label}]"] = instantiated_sizes
+        result.add_check(
+            f"{label}: ongoing ⊇ largest instantiated result",
+            ongoing_size >= largest,
+        )
+        if expect_optimal:
+            result.add_check(
+                f"{label}: ongoing result size optimal (== largest instantiated)",
+                ongoing_size == largest,
+            )
+        else:
+            slack = ongoing_size / largest if largest else 1.0
+            result.add_check(
+                f"{label}: ongoing close to optimal (≤ 25% above largest, "
+                f"measured {slack:.2f}x)",
+                slack <= 1.25,
+            )
+    return result

@@ -1,0 +1,113 @@
+"""Table I — properties of the time domains T, T_now, Tf, and Ω.
+
+The table classifies each domain by whether it contains fixed time points,
+ongoing time points, and whether it is **closed** under the min and max
+functions.  Instead of restating the paper's claims, this driver *checks*
+them mechanically: for each domain it enumerates a grid of element pairs,
+computes the exact pointwise min/max (which always exists in Ω, by
+Theorem 1), and tests whether the result is representable in the domain.
+
+Witnesses of non-closure found this way include the paper's own examples:
+``min(a, now)`` for ``T_now`` and ``max(min(a, now), b)`` with ``b < a``
+for ``Tf``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.baselines.torp import NotRepresentableError, TfTimePoint
+from repro.bench.harness import ExperimentResult
+from repro.core.operations import ongoing_max, ongoing_min
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed
+
+__all__ = ["run"]
+
+_GRID = [0, 1, 2, 3, 5, 8]
+
+
+def _omega_representable(point: OngoingTimePoint) -> bool:
+    return True  # Ω is the ambient domain; Theorem 1 keeps results inside.
+
+
+def _t_domain() -> Tuple[List[OngoingTimePoint], Callable[[OngoingTimePoint], bool]]:
+    elements = [fixed(value) for value in _GRID]
+    return elements, lambda point: point.is_fixed
+
+
+def _tnow_domain() -> Tuple[List[OngoingTimePoint], Callable[[OngoingTimePoint], bool]]:
+    elements = [fixed(value) for value in _GRID] + [NOW]
+    return elements, lambda point: point.is_fixed or point.is_now
+
+
+def _tf_domain() -> Tuple[List[OngoingTimePoint], Callable[[OngoingTimePoint], bool]]:
+    elements: List[OngoingTimePoint] = [fixed(value) for value in _GRID]
+    for value in _GRID:
+        elements.append(OngoingTimePoint(MINUS_INF, value))  # min(value, now)
+        elements.append(OngoingTimePoint(value, PLUS_INF))   # max(value, now)
+    elements.append(NOW)
+
+    def representable(point: OngoingTimePoint) -> bool:
+        try:
+            TfTimePoint.from_omega(point)
+            return True
+        except NotRepresentableError:
+            return False
+
+    return elements, representable
+
+
+def _omega_domain() -> Tuple[List[OngoingTimePoint], Callable[[OngoingTimePoint], bool]]:
+    elements = [
+        OngoingTimePoint(a, b)
+        for a, b in itertools.product([MINUS_INF, *_GRID, PLUS_INF], repeat=2)
+        if a <= b
+    ]
+    return elements, _omega_representable
+
+
+def _closure_witness(
+    elements: List[OngoingTimePoint],
+    representable: Callable[[OngoingTimePoint], bool],
+) -> Optional[str]:
+    """A min/max non-closure witness, or ``None`` when closed on the grid."""
+    for left, right in itertools.product(elements, repeat=2):
+        for name, function in (("min", ongoing_min), ("max", ongoing_max)):
+            result = function(left, right)
+            if not representable(result):
+                return (
+                    f"{name}({left.format()}, {right.format()}) = "
+                    f"{result.format()}"
+                )
+    return None
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Table I", title="Properties of time domains"
+    )
+    domains = [
+        ("T", _t_domain(), True, False, True),
+        ("Tnow", _tnow_domain(), True, True, False),
+        ("Tf", _tf_domain(), True, True, False),
+        ("Omega", _omega_domain(), True, True, True),
+    ]
+    header = f"{'Domain':8} {'Fixed':6} {'Ongoing':8} {'Closed':7} witness"
+    result.add_row(header)
+    for name, (elements, representable), fixed_claim, ongoing_claim, closed_claim in domains:
+        has_fixed = any(point.is_fixed for point in elements)
+        has_ongoing = any(not point.is_fixed for point in elements)
+        witness = _closure_witness(elements, representable)
+        closed = witness is None
+        result.add_row(
+            f"{name:8} {str(has_fixed):6} {str(has_ongoing):8} "
+            f"{str(closed):7} {witness or '-'}"
+        )
+        result.add_check(f"{name}: fixed={fixed_claim}", has_fixed == fixed_claim)
+        result.add_check(
+            f"{name}: ongoing={ongoing_claim}", has_ongoing == ongoing_claim
+        )
+        result.add_check(f"{name}: closed={closed_claim}", closed == closed_claim)
+    return result

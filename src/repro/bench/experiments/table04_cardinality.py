@@ -1,0 +1,132 @@
+"""Table IV — maximum cardinality of RT per predicate and interval shape.
+
+The RT attribute is a list of fixed intervals; its cardinality drives the
+per-tuple storage (Table V) and the cost of the sweep-line connectives.
+Table IV states that the result of every common predicate on ongoing time
+intervals can be represented with **one** interval — except ``overlaps``
+over a mixed expanding + shrinking pair, which can need **two**.
+
+The driver verifies this by sweeping predicate inputs: exhaustively over a
+small component grid and randomly over a larger one, separately for
+(expanding, expanding), (shrinking, shrinking), and mixed pairs, recording
+the maximum ``|St|`` observed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, List
+
+from repro.bench.harness import ExperimentResult
+from repro.core import allen
+from repro.core.interval import OngoingInterval
+from repro.core.timepoint import NOW, fixed, growing, limited
+
+__all__ = ["run"]
+
+_PREDICATES = [
+    "before",
+    "starts",
+    "during",
+    "meets",
+    "finishes",
+    "interval_equals",
+    "overlaps",
+]
+
+#: Paper's Table IV: maximum |RT| per (predicate, shape combination).
+_EXPECTED = {name: {"ex": 1, "sh": 1, "mixed": 1} for name in _PREDICATES}
+_EXPECTED["overlaps"]["mixed"] = 2
+
+
+def _expanding(grid: List[int]) -> List[OngoingInterval]:
+    """Expanding intervals: fixed start, ongoing end (incl. ``[a, now)``)."""
+    shapes = []
+    for a in grid:
+        shapes.append(OngoingInterval(fixed(a), NOW))
+        for c in grid:
+            if a < c:
+                for d in grid:
+                    if c < d:
+                        shapes.append(
+                            OngoingInterval(fixed(a), _point(c, d))
+                        )
+    return shapes
+
+
+def _shrinking(grid: List[int]) -> List[OngoingInterval]:
+    """Shrinking intervals: ongoing start, fixed end (incl. ``[now, b)``)."""
+    shapes = []
+    for b in grid:
+        shapes.append(OngoingInterval(NOW, fixed(b)))
+        for a in grid:
+            for mid in grid:
+                if a < mid <= b:
+                    shapes.append(OngoingInterval(_point(a, mid), fixed(b)))
+    return shapes
+
+
+def _point(a: int, b: int):
+    from repro.core.timepoint import OngoingTimePoint
+
+    return OngoingTimePoint(a, b)
+
+
+def _max_cardinality(
+    predicate: Callable, lefts: List[OngoingInterval], rights: List[OngoingInterval]
+) -> int:
+    worst = 0
+    for i in lefts:
+        for j in rights:
+            cardinality = predicate(i, j).true_set.cardinality
+            if cardinality > worst:
+                worst = cardinality
+    return worst
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="Table IV", title="Predicates: maximum cardinality of RT"
+    )
+    grid = [0, 2, 4, 7]
+    expanding = _expanding(grid)
+    shrinking = _shrinking(grid)
+
+    # A randomized widening pass on a larger component range.
+    rng = random.Random(42)
+    for _ in range(int(150 * max(scale, 0.2))):
+        a = rng.randrange(0, 50)
+        expanding.append(OngoingInterval(fixed(a), _point(*(sorted((a + rng.randrange(0, 40), a + rng.randrange(1, 50))))))
+        )
+        b = rng.randrange(5, 60)
+        start_hi = rng.randrange(1, b + 1)
+        start_lo = rng.randrange(0, start_hi)
+        shrinking.append(OngoingInterval(_point(start_lo, start_hi), fixed(b)))
+
+    combos = {
+        "ex": (expanding, expanding),
+        "sh": (shrinking, shrinking),
+        "mixed": (expanding, shrinking),
+    }
+    result.add_row(f"{'predicate':>16} {'expanding':>10} {'shrinking':>10} {'exp+shr':>8}")
+    for name in _PREDICATES:
+        predicate = getattr(allen, name)
+        measured = {}
+        for combo, (lefts, rights) in combos.items():
+            worst = max(
+                _max_cardinality(predicate, lefts, rights),
+                _max_cardinality(predicate, rights, lefts),
+            )
+            measured[combo] = worst
+        display = "equals" if name == "interval_equals" else name
+        result.add_row(
+            f"{display:>16} {measured['ex']:>10} {measured['sh']:>10} "
+            f"{measured['mixed']:>8}"
+        )
+        for combo in ("ex", "sh", "mixed"):
+            result.add_check(
+                f"{display} ({combo}): |RT| ≤ {_EXPECTED[name][combo]}",
+                measured[combo] <= _EXPECTED[name][combo],
+            )
+    return result

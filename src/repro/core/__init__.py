@@ -1,0 +1,100 @@
+"""Core ongoing data types and operations — the paper's primary contribution.
+
+This subpackage is self-contained (no dependency on the relational layer or
+the engine) and implements Sections IV–VI of the paper:
+
+* :mod:`repro.core.timeline` — the fixed time domain ``T``;
+* :mod:`repro.core.timepoint` — the ongoing time domain ``Ω`` of points
+  ``a+b`` (Definitions 1–2);
+* :mod:`repro.core.intervalset` — normalized sets of fixed intervals with
+  sweep-line connectives (Algorithm 1);
+* :mod:`repro.core.boolean` — ongoing booleans ``b[St, Sf]`` (Definition 3);
+* :mod:`repro.core.interval` — ongoing time intervals ``[a+b, c+d)``;
+* :mod:`repro.core.operations` — the six core operations and derived
+  comparisons (Definition 4, Theorem 1, Fig. 6);
+* :mod:`repro.core.allen` — interval predicates and ``∩`` (Table II);
+* :mod:`repro.core.integer` / :mod:`repro.core.duration` — ongoing integers
+  and the duration function (the paper's Section X future work).
+"""
+
+from repro.core.timeline import (
+    DAYS,
+    MICROSECONDS,
+    MINUS_INF,
+    PLUS_INF,
+    Chronology,
+    TimePoint,
+    fmt_interval,
+    fmt_point,
+    from_mmdd,
+    mmdd,
+)
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing, limited
+from repro.core.intervalset import EMPTY_SET, UNIVERSAL_SET, IntervalSet
+from repro.core.boolean import O_FALSE, O_TRUE, OngoingBoolean, from_bool
+from repro.core.interval import (
+    OngoingInterval,
+    fixed_interval,
+    interval,
+    until_now,
+)
+from repro.core.operations import (
+    conjunction,
+    disjunction,
+    equal,
+    greater_equal,
+    greater_than,
+    less_equal,
+    less_than,
+    negation,
+    not_equal,
+    ongoing_max,
+    ongoing_min,
+)
+from repro.core import allen
+from repro.core.integer import OngoingInt
+from repro.core.duration import duration, point_value
+
+__all__ = [
+    "OngoingInt",
+    "duration",
+    "point_value",
+    "DAYS",
+    "MICROSECONDS",
+    "MINUS_INF",
+    "PLUS_INF",
+    "Chronology",
+    "TimePoint",
+    "fmt_interval",
+    "fmt_point",
+    "from_mmdd",
+    "mmdd",
+    "NOW",
+    "OngoingTimePoint",
+    "fixed",
+    "growing",
+    "limited",
+    "EMPTY_SET",
+    "UNIVERSAL_SET",
+    "IntervalSet",
+    "O_FALSE",
+    "O_TRUE",
+    "OngoingBoolean",
+    "from_bool",
+    "OngoingInterval",
+    "fixed_interval",
+    "interval",
+    "until_now",
+    "conjunction",
+    "disjunction",
+    "equal",
+    "greater_equal",
+    "greater_than",
+    "less_equal",
+    "less_than",
+    "negation",
+    "not_equal",
+    "ongoing_max",
+    "ongoing_min",
+    "allen",
+]

@@ -1,0 +1,138 @@
+"""Ongoing booleans ``b[St, Sf]`` (Definition 3 of the paper).
+
+An ongoing boolean is a truth value that depends on the reference time: it is
+true at the reference times in ``St`` and false at those in ``Sf``, where
+``St`` and ``Sf`` partition all reference times.  Following the paper's
+implementation section, we store only ``St`` (as a normalized
+:class:`~repro.core.intervalset.IntervalSet`); ``Sf`` is its complement.
+
+Storing ``St`` in the same representation as a tuple's reference time is the
+key implementation trick of the paper: restricting a tuple's RT by a
+predicate is then a single sweep-line conjunction
+(``new_RT = RT ∧ St(predicate)``), with no conversions.
+
+Ongoing booleans generalize fixed booleans: :data:`O_TRUE` is true at every
+reference time and :data:`O_FALSE` at none, so predicates over fixed
+attributes compose seamlessly with predicates over ongoing attributes in one
+logical expression.
+"""
+
+from __future__ import annotations
+
+from repro.core.intervalset import EMPTY_SET, UNIVERSAL_SET, IntervalSet
+from repro.core.timeline import TimePoint
+
+__all__ = ["OngoingBoolean", "O_TRUE", "O_FALSE", "from_bool"]
+
+
+class OngoingBoolean:
+    """An immutable ongoing boolean, represented by its true-set ``St``."""
+
+    __slots__ = ("_true_set",)
+
+    def __init__(self, true_set: IntervalSet):
+        self._true_set = true_set
+
+    # ------------------------------------------------------------------
+    # The two sides of the partition
+    # ------------------------------------------------------------------
+
+    @property
+    def true_set(self) -> IntervalSet:
+        """``St`` — the reference times at which the boolean is true."""
+        return self._true_set
+
+    @property
+    def false_set(self) -> IntervalSet:
+        """``Sf`` — the reference times at which the boolean is false."""
+        return self._true_set.complement()
+
+    # ------------------------------------------------------------------
+    # The bind operator (Definition 3)
+    # ------------------------------------------------------------------
+
+    def instantiate(self, rt: TimePoint) -> bool:
+        """``‖b[St, Sf]‖rt`` — the fixed truth value at reference time rt."""
+        return rt in self._true_set
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+
+    def is_always_true(self) -> bool:
+        """``True`` iff this is the embedding of fixed ``true``."""
+        return self._true_set.is_universal()
+
+    def is_always_false(self) -> bool:
+        """``True`` iff this is the embedding of fixed ``false``."""
+        return self._true_set.is_empty()
+
+    def is_contingent(self) -> bool:
+        """``True`` iff the truth value changes at least once over time."""
+        return not (self.is_always_true() or self.is_always_false())
+
+    # ------------------------------------------------------------------
+    # The logical connectives (Definition 4 / Theorem 1)
+    # ------------------------------------------------------------------
+    #
+    # Conjunction:  b[St, Sf] ∧ b[S't, S'f] == b[St ∩ S't, Sf ∪ S'f]
+    # Disjunction:  b[St, Sf] ∨ b[S't, S'f] == b[St ∪ S't, Sf ∩ S'f]
+    # Negation:     ¬ b[St, Sf]             == b[Sf, St]
+    #
+    # Because only St is stored, each connective is a single IntervalSet
+    # operation (the sweep-line of Algorithm 1 and its duals).
+
+    def conjunction(self, other: "OngoingBoolean") -> "OngoingBoolean":
+        """Logical AND — true where both operands are true."""
+        return OngoingBoolean(self._true_set.intersection(other._true_set))
+
+    def disjunction(self, other: "OngoingBoolean") -> "OngoingBoolean":
+        """Logical OR — true where at least one operand is true."""
+        return OngoingBoolean(self._true_set.union(other._true_set))
+
+    def negation(self) -> "OngoingBoolean":
+        """Logical NOT — swaps the true- and false-sets."""
+        return OngoingBoolean(self._true_set.complement())
+
+    def __and__(self, other: "OngoingBoolean") -> "OngoingBoolean":
+        return self.conjunction(other)
+
+    def __or__(self, other: "OngoingBoolean") -> "OngoingBoolean":
+        return self.disjunction(other)
+
+    def __invert__(self) -> "OngoingBoolean":
+        return self.negation()
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OngoingBoolean):
+            return NotImplemented
+        return self._true_set == other._true_set
+
+    def __hash__(self) -> int:
+        return hash(self._true_set)
+
+    def __repr__(self) -> str:
+        return f"OngoingBoolean({self._true_set!r})"
+
+    def format(self) -> str:
+        """Paper-style rendering ``b[St, Sf]``."""
+        return f"b[{self._true_set.format()}, {self.false_set.format()}]"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+#: The embedding of fixed ``true``: true at every reference time.
+O_TRUE = OngoingBoolean(UNIVERSAL_SET)
+
+#: The embedding of fixed ``false``: false at every reference time.
+O_FALSE = OngoingBoolean(EMPTY_SET)
+
+
+def from_bool(value: bool) -> OngoingBoolean:
+    """Embed a fixed boolean into the ongoing booleans."""
+    return O_TRUE if value else O_FALSE

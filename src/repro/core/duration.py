@@ -1,0 +1,49 @@
+"""The duration function on ongoing intervals (Section X future work).
+
+``duration([ts, te))`` at reference time rt is the length of the
+instantiated interval, clamped at zero for the reference times where the
+interval is empty::
+
+    ‖duration(i)‖rt  ==  max(0, ‖te‖rt - ‖ts‖rt)
+
+The result is an :class:`~repro.core.integer.OngoingInt` — for an expanding
+interval ``[a, now)`` it is the ramp ``0`` until ``a`` and ``rt - a``
+afterwards, exactly the paper's motivating case for ongoing integers.
+"""
+
+from __future__ import annotations
+
+from repro.core.integer import OngoingInt
+from repro.core.interval import OngoingInterval
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.timepoint import OngoingTimePoint
+
+__all__ = ["point_value", "duration"]
+
+
+def point_value(point: OngoingTimePoint) -> OngoingInt:
+    """The instantiation function ``rt -> ‖a+b‖rt`` as an ongoing integer.
+
+    Piecewise: the constant ``a`` before ``a``, the identity ``rt`` between
+    ``a`` and ``b``, the constant ``b`` afterwards (Definition 2 verbatim).
+    """
+    a, b = point.components()
+    segments = []
+    if a > MINUS_INF:
+        segments.append((MINUS_INF, a, a, 0))
+    middle_start = a if a > MINUS_INF else MINUS_INF
+    middle_end = b if b < PLUS_INF else PLUS_INF
+    if middle_start < middle_end:
+        segments.append((middle_start, middle_end, 0, 1))
+    if b < PLUS_INF:
+        segments.append((b, PLUS_INF, b, 0))
+    if not segments:
+        # a == b with both at the same limit cannot happen (a <= b and both
+        # finite-or-limit); a fixed point a == b yields the constant a.
+        segments.append((MINUS_INF, PLUS_INF, a, 0))
+    return OngoingInt(segments)
+
+
+def duration(interval: OngoingInterval) -> OngoingInt:
+    """``max(0, ‖te‖rt - ‖ts‖rt)`` as an ongoing integer."""
+    return (point_value(interval.end) - point_value(interval.start)).clamp_at_zero()

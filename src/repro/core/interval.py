@@ -1,0 +1,195 @@
+"""Ongoing time intervals ``[a+b, c+d)`` (Section V-B, Fig. 4 of the paper).
+
+An ongoing time interval is a closed-open interval whose start and end points
+are ongoing time points of Ω.  It generalizes
+
+* **fixed** intervals (both endpoints fixed),
+* **expanding** intervals — the instantiated duration grows with the
+  reference time (fixed start, ongoing end), e.g. ``[10/17, now)``, and
+* **shrinking** intervals — the duration shrinks as the reference time
+  advances (ongoing start, fixed end), e.g. ``[now, 10/19)``.
+
+An ongoing interval can be **partially empty**: it instantiates to an empty
+interval at some reference times and to a non-empty one at others
+(``[10/17, now)`` is empty at every ``rt <= 10/17``).  Predicates must
+therefore check non-emptiness *per reference time* (Example 2), which is
+what :mod:`repro.core.allen` does.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.errors import IntervalError
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import TimePoint
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed
+
+__all__ = ["OngoingInterval", "interval", "fixed_interval", "until_now"]
+
+PointLike = Union[OngoingTimePoint, TimePoint]
+
+
+def _as_point(value: PointLike, what: str) -> OngoingTimePoint:
+    """Coerce an int (fixed time point) or ongoing point into Ω."""
+    if isinstance(value, OngoingTimePoint):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return fixed(value)
+    raise IntervalError(f"{what} must be a time point or ongoing time point, got {value!r}")
+
+
+class OngoingInterval:
+    """An immutable ongoing time interval ``[start, end)`` over Ω × Ω."""
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self, start: PointLike, end: PointLike):
+        self._start = _as_point(start, "interval start")
+        self._end = _as_point(end, "interval end")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+
+    @property
+    def start(self) -> OngoingTimePoint:
+        """The (possibly ongoing) inclusive start point."""
+        return self._start
+
+    @property
+    def end(self) -> OngoingTimePoint:
+        """The (possibly ongoing) exclusive end point."""
+        return self._end
+
+    # ------------------------------------------------------------------
+    # The bind operator
+    # ------------------------------------------------------------------
+
+    def instantiate(self, rt: TimePoint) -> Tuple[TimePoint, TimePoint]:
+        """``‖[ts, te)‖rt = [‖ts‖rt, ‖te‖rt)`` as a fixed pair.
+
+        The result may be an *empty* fixed interval (start >= end); callers
+        that need non-empty semantics must check
+        :meth:`is_empty_at` / :meth:`non_empty_set`.
+        """
+        return (self._start.instantiate(rt), self._end.instantiate(rt))
+
+    def is_empty_at(self, rt: TimePoint) -> bool:
+        """``True`` iff the interval instantiates to an empty interval at rt."""
+        start, end = self.instantiate(rt)
+        return start >= end
+
+    # ------------------------------------------------------------------
+    # Classification (Fig. 4)
+    # ------------------------------------------------------------------
+
+    @property
+    def is_fixed(self) -> bool:
+        """Both endpoints fixed — the interval never changes."""
+        return self._start.is_fixed and self._end.is_fixed
+
+    @property
+    def is_expanding(self) -> bool:
+        """Fixed start, ongoing end — the duration grows as time passes."""
+        return self._start.is_fixed and not self._end.is_fixed
+
+    @property
+    def is_shrinking(self) -> bool:
+        """Ongoing start, fixed end — the duration shrinks as time passes."""
+        return not self._start.is_fixed and self._end.is_fixed
+
+    @property
+    def kind(self) -> str:
+        """``"fixed"``, ``"expanding"``, ``"shrinking"``, or ``"general"``."""
+        if self.is_fixed:
+            return "fixed"
+        if self.is_expanding:
+            return "expanding"
+        if self.is_shrinking:
+            return "shrinking"
+        return "general"
+
+    # ------------------------------------------------------------------
+    # Emptiness analysis (Fig. 4, bottom row)
+    # ------------------------------------------------------------------
+
+    def non_empty_set(self) -> IntervalSet:
+        """The reference times at which the interval is non-empty.
+
+        This is the true-set of the ongoing boolean ``ts < te`` — exactly
+        the explicit non-emptiness check that every predicate of Table II
+        carries.  Implemented here (rather than importing the operations
+        module) to keep the core value types dependency-free; the logic is
+        the decision tree of Fig. 6 applied to ``start < end``.
+        """
+        # Local import would be circular; inline the Fig. 6 decision tree.
+        a, b = self._start.components()
+        c, d = self._end.components()
+        if b < d:
+            if b < c:
+                return IntervalSet.universal()
+            if a < c:
+                return IntervalSet.below(c).union(IntervalSet.at_least(b + 1))
+            return IntervalSet.at_least(b + 1)
+        if a < c:
+            return IntervalSet.below(c)
+        return IntervalSet.empty()
+
+    def is_never_empty(self) -> bool:
+        """Non-empty at every reference time."""
+        return self.non_empty_set().is_universal()
+
+    def is_always_empty(self) -> bool:
+        """Empty at every reference time."""
+        return self.non_empty_set().is_empty()
+
+    def is_partially_empty(self) -> bool:
+        """Empty at some reference times and non-empty at others (Fig. 4)."""
+        non_empty = self.non_empty_set()
+        return not non_empty.is_empty() and not non_empty.is_universal()
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def components(self) -> Tuple[TimePoint, TimePoint, TimePoint, TimePoint]:
+        """The quadruple ``(a, b, c, d)`` of ``[a+b, c+d)``."""
+        return (*self._start.components(), *self._end.components())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OngoingInterval):
+            return NotImplemented
+        return self._start == other._start and self._end == other._end
+
+    def __hash__(self) -> int:
+        return hash((self._start, self._end))
+
+    def __repr__(self) -> str:
+        return f"OngoingInterval({self._start!r}, {self._end!r})"
+
+    def format(self) -> str:
+        """Paper-style rendering, e.g. ``[01/25, now)`` or ``[01/25, +08/18)``."""
+        return f"[{self._start.format()}, {self._end.format()})"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def interval(start: PointLike, end: PointLike) -> OngoingInterval:
+    """Convenience constructor for :class:`OngoingInterval`.
+
+    Accepts plain ints for fixed endpoints:
+    ``interval(mmdd(1, 25), NOW)`` is the paper's ``[01/25, now)``.
+    """
+    return OngoingInterval(start, end)
+
+
+def fixed_interval(start: TimePoint, end: TimePoint) -> OngoingInterval:
+    """A fully fixed ongoing interval ``[start, end)``."""
+    return OngoingInterval(fixed(start), fixed(end))
+
+
+def until_now(start: TimePoint) -> OngoingInterval:
+    """The expanding interval ``[start, now)`` — the paper's workhorse shape."""
+    return OngoingInterval(fixed(start), NOW)

@@ -1,0 +1,345 @@
+"""Sets of fixed time intervals — the representation behind ``RT`` and ``St``.
+
+The paper represents both a tuple's reference time ``RT`` and the true-set
+``St`` of an ongoing boolean as a list of fixed time intervals that are
+
+* **maximal** — adjacent or overlapping intervals are merged,
+* **non-overlapping**, and
+* **sorted in ascending order** (Section VIII, "Ongoing Booleans").
+
+These three properties let the logical connectives run as a single sweep
+over both inputs (Algorithm 1 of the paper): no sorting is needed, every
+input interval is inspected at most once, and the result is produced already
+normalized.
+
+:class:`IntervalSet` is an immutable value type.  All intervals are half-open
+``[start, end)`` over the discrete domain ``T``; the paper's notation
+``(-inf, b)`` corresponds to ``[MINUS_INF, b)`` because ``-inf`` is the
+smallest element of ``T``.  Reference times range over
+``MINUS_INF <= rt < PLUS_INF``; the upper limit itself is not a reference
+time (no half-open interval can contain it), which mirrors the paper's use
+of ``inf`` strictly as an exclusive end point.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, Tuple
+
+from repro.errors import IntervalError
+from repro.core.timeline import (
+    MINUS_INF,
+    PLUS_INF,
+    TimePoint,
+    check_time_point,
+    fmt_interval,
+)
+
+__all__ = ["IntervalSet", "EMPTY_SET", "UNIVERSAL_SET"]
+
+Pair = Tuple[TimePoint, TimePoint]
+
+
+class IntervalSet:
+    """An immutable, normalized set of fixed half-open time intervals.
+
+    Instances behave like sets of reference times: ``rt in s`` tests
+    membership, ``&``, ``|``, ``-`` and ``~`` are intersection, union,
+    difference, and complement.  The class maintains the representation
+    invariant (maximal, non-overlapping, ascending) under every operation.
+    """
+
+    __slots__ = ("_intervals", "_starts")
+
+    def __init__(self, intervals: Iterable[Pair] = ()):
+        """Build a set from any iterable of ``(start, end)`` pairs.
+
+        The pairs may overlap, touch, or arrive unsorted — they are
+        normalized here.  Empty pairs (``start >= end``) are rejected rather
+        than silently dropped: an empty interval inside an RT list is a sign
+        of a bug upstream.
+        """
+        pairs = []
+        for start, end in intervals:
+            check_time_point(start, what="interval start")
+            check_time_point(end, what="interval end")
+            if start >= end:
+                raise IntervalError(
+                    f"fixed interval [{start}, {end}) is empty or inverted"
+                )
+            pairs.append((start, end))
+        pairs.sort()
+        merged: list[Pair] = []
+        for start, end in pairs:
+            if merged and start <= merged[-1][1]:
+                last_start, last_end = merged[-1]
+                if end > last_end:
+                    merged[-1] = (last_start, end)
+            else:
+                merged.append((start, end))
+        self._intervals: Tuple[Pair, ...] = tuple(merged)
+        # Parallel list of start points for binary-search membership tests.
+        self._starts: Tuple[TimePoint, ...] = tuple(p[0] for p in merged)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_normalized(cls, pairs: list[Pair]) -> "IntervalSet":
+        """Fast path for results that are normalized by construction."""
+        instance = cls.__new__(cls)
+        instance._intervals = tuple(pairs)
+        instance._starts = tuple(p[0] for p in pairs)
+        return instance
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set of reference times ``{}``."""
+        return _EMPTY
+
+    @classmethod
+    def universal(cls) -> "IntervalSet":
+        """All reference times ``{(-inf, inf)}`` — the trivial RT."""
+        return _UNIVERSAL
+
+    @classmethod
+    def point(cls, rt: TimePoint) -> "IntervalSet":
+        """The singleton set ``{[rt, rt + 1)}``."""
+        check_time_point(rt, what="reference time")
+        if rt >= PLUS_INF:
+            raise IntervalError("PLUS_INF is not a valid reference time")
+        return cls._from_normalized([(rt, rt + 1)])
+
+    @classmethod
+    def at_least(cls, rt: TimePoint) -> "IntervalSet":
+        """All reference times ``>= rt``, i.e. ``{[rt, inf)}``."""
+        if rt >= PLUS_INF:
+            return _EMPTY
+        return cls._from_normalized([(rt, PLUS_INF)])
+
+    @classmethod
+    def below(cls, rt: TimePoint) -> "IntervalSet":
+        """All reference times ``< rt``, i.e. ``{(-inf, rt)}``."""
+        if rt <= MINUS_INF:
+            return _EMPTY
+        return cls._from_normalized([(MINUS_INF, rt)])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Pair, ...]:
+        """The normalized ``(start, end)`` pairs, ascending."""
+        return self._intervals
+
+    @property
+    def cardinality(self) -> int:
+        """Number of fixed intervals needed to represent the set.
+
+        This is the quantity Table IV of the paper reports per predicate
+        (and the driver of the RT storage size in Table V).
+        """
+        return len(self._intervals)
+
+    def is_empty(self) -> bool:
+        """``True`` iff no reference time belongs to the set."""
+        return not self._intervals
+
+    def is_universal(self) -> bool:
+        """``True`` iff every reference time belongs to the set."""
+        return self._intervals == ((MINUS_INF, PLUS_INF),)
+
+    def __contains__(self, rt: TimePoint) -> bool:
+        """Membership test via binary search (O(log n))."""
+        index = bisect_right(self._starts, rt) - 1
+        if index < 0:
+            return False
+        start, end = self._intervals[index]
+        return start <= rt < end
+
+    def earliest(self) -> TimePoint:
+        """Smallest reference time in the set (requires non-empty)."""
+        if not self._intervals:
+            raise IntervalError("empty interval set has no earliest point")
+        return self._intervals[0][0]
+
+    def latest_end(self) -> TimePoint:
+        """Exclusive upper end of the set (requires non-empty)."""
+        if not self._intervals:
+            raise IntervalError("empty interval set has no latest end")
+        return self._intervals[-1][1]
+
+    def total_ticks(self) -> TimePoint:
+        """Total number of reference times covered (may be infinite-sized).
+
+        Sets touching a domain limit report ``PLUS_INF`` to signal an
+        unbounded cover.
+        """
+        if not self._intervals:
+            return 0
+        if self._intervals[0][0] <= MINUS_INF or self._intervals[-1][1] >= PLUS_INF:
+            return PLUS_INF
+        return sum(end - start for start, end in self._intervals)
+
+    # ------------------------------------------------------------------
+    # The sweep-line connectives (Algorithm 1 and its duals)
+    # ------------------------------------------------------------------
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection — Algorithm 1 of the paper (conjunction).
+
+        Both inputs are normalized, so a single simultaneous sweep suffices:
+        each input interval is visited at most once and the output is
+        produced sorted and non-overlapping with no extra passes.
+        """
+        left = self._intervals
+        right = other._intervals
+        # Fast paths: empty/universal operands dominate in practice (base
+        # tuples carry the trivial RT) and need no sweep.
+        if not left or not right:
+            return _EMPTY
+        if left == _UNIVERSAL_PAIRS:
+            return other
+        if right == _UNIVERSAL_PAIRS:
+            return self
+        result: list[Pair] = []
+        i, j = 0, 0
+        while i < len(left) and j < len(right):
+            left_start, left_end = left[i]
+            right_start, right_end = right[j]
+            if left_end <= right_start:
+                i += 1
+            elif right_end <= left_start:
+                j += 1
+            else:
+                start = left_start if left_start > right_start else right_start
+                end = left_end if left_end < right_end else right_end
+                result.append((start, end))
+                if left_end < right_end:
+                    i += 1
+                else:
+                    j += 1
+        return IntervalSet._from_normalized(result)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union by a merging sweep over both normalized inputs."""
+        left = self._intervals
+        right = other._intervals
+        if not left:
+            return other
+        if not right:
+            return self
+        if left == _UNIVERSAL_PAIRS or right == _UNIVERSAL_PAIRS:
+            return _UNIVERSAL
+        result: list[Pair] = []
+        i, j = 0, 0
+        while i < len(left) or j < len(right):
+            if j >= len(right) or (i < len(left) and left[i][0] <= right[j][0]):
+                start, end = left[i]
+                i += 1
+            else:
+                start, end = right[j]
+                j += 1
+            if result and start <= result[-1][1]:
+                last_start, last_end = result[-1]
+                if end > last_end:
+                    result[-1] = (last_start, end)
+            else:
+                result.append((start, end))
+        return IntervalSet._from_normalized(result)
+
+    def complement(self) -> "IntervalSet":
+        """Set complement with respect to all reference times.
+
+        This realizes the paper's negation ``¬ b[St, Sf] == b[Sf, St]``:
+        the complement of ``St`` is exactly ``Sf``.
+        """
+        result: list[Pair] = []
+        cursor = MINUS_INF
+        for start, end in self._intervals:
+            if cursor < start:
+                result.append((cursor, start))
+            cursor = end
+        if cursor < PLUS_INF:
+            result.append((cursor, PLUS_INF))
+        return IntervalSet._from_normalized(result)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self - other``."""
+        return self.intersection(other.complement())
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """``True`` iff the two sets share at least one reference time.
+
+        Cheaper than materializing the intersection when only emptiness
+        matters (used by the difference operator of the algebra).
+        """
+        left = self._intervals
+        right = other._intervals
+        i, j = 0, 0
+        while i < len(left) and j < len(right):
+            if left[i][1] <= right[j][0]:
+                i += 1
+            elif right[j][1] <= left[i][0]:
+                j += 1
+            else:
+                return True
+        return False
+
+    # Operator sugar -----------------------------------------------------
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    def __invert__(self) -> "IntervalSet":
+        return self.complement()
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({list(self._intervals)!r})"
+
+    def format(self) -> str:
+        """Render the set the way the paper does, e.g. ``{[01/26, 08/16)}``."""
+        if not self._intervals:
+            return "{}"
+        body = ", ".join(fmt_interval(start, end) for start, end in self._intervals)
+        return "{" + body + "}"
+
+
+_EMPTY = IntervalSet._from_normalized([])
+_UNIVERSAL = IntervalSet._from_normalized([(MINUS_INF, PLUS_INF)])
+_UNIVERSAL_PAIRS = ((MINUS_INF, PLUS_INF),)
+
+#: The empty set of reference times.
+EMPTY_SET = _EMPTY
+
+#: All reference times ``{(-inf, inf)}`` — the trivial reference time.
+UNIVERSAL_SET = _UNIVERSAL

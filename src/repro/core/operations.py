@@ -1,0 +1,134 @@
+"""The six core operations and derived comparisons (Section VI of the paper).
+
+The core operations are ``<``, ``min``, ``max`` on ongoing time points and
+``∧``, ``∨``, ``¬`` on ongoing booleans (Definition 4).  Each is defined by
+the requirement that *at every reference time* its result instantiates to the
+result of the corresponding fixed-type operation on the instantiated inputs —
+which is exactly the property the test suite checks with hypothesis.
+
+The implementations use the proven equivalences of Theorem 1:
+
+* ``a+b < c+d`` is one of five ongoing booleans, selected by the decision
+  tree of Fig. 6 with at most three fixed-value comparisons;
+* ``min(a+b, c+d) == minF(a, c)+minF(b, d)`` and dually for ``max`` —
+  which also shows that Ω is closed under min/max (Table I);
+* the connectives are single sweep-line passes over the true-sets
+  (implemented in :class:`~repro.core.intervalset.IntervalSet`).
+
+The derived comparisons (``<=``, ``=``, ``!=``, ``>``, ``>=``) are expressed
+through the core operations exactly as in Table II.
+"""
+
+from __future__ import annotations
+
+from repro.core.boolean import O_FALSE, O_TRUE, OngoingBoolean
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.timepoint import OngoingTimePoint
+
+__all__ = [
+    "less_than",
+    "less_equal",
+    "equal",
+    "not_equal",
+    "greater_than",
+    "greater_equal",
+    "ongoing_min",
+    "ongoing_max",
+    "conjunction",
+    "disjunction",
+    "negation",
+]
+
+
+def less_than(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 < t2`` on ongoing time points — the decision tree of Fig. 6.
+
+    For ``a+b < c+d`` (with the domain invariants ``a <= b`` and ``c <= d``)
+    the five cases of Theorem 1 are:
+
+    1. ``a <= b < c <= d``  — true at every reference time;
+    2. ``a < c <= d <= b``  — true exactly on ``(-inf, c)``;
+    3. ``c <= a <= b < d``  — true exactly on ``[b + 1, inf)``;
+    4. ``a < c <= b < d``   — true on ``(-inf, c)`` and ``[b + 1, inf)``;
+    5. otherwise            — false at every reference time.
+
+    The decision tree orders the comparisons ``b < d``, ``b < c``, ``a < c``
+    so that at most three are needed.
+    """
+    a, b = t1.components()
+    c, d = t2.components()
+    if b < d:
+        if b < c:
+            return O_TRUE
+        if a < c:
+            # Case 4: true on (-inf, c) and on [b + 1, inf).  The pieces are
+            # disjoint and ordered (c <= b < b + 1), so the set is built
+            # normalized without a union sweep.
+            if b + 1 < PLUS_INF:
+                pieces = [(MINUS_INF, c), (b + 1, PLUS_INF)]
+            else:
+                pieces = [(MINUS_INF, c)]
+            return OngoingBoolean(IntervalSet._from_normalized(pieces))
+        return OngoingBoolean(IntervalSet.at_least(b + 1))
+    if a < c:
+        return OngoingBoolean(IntervalSet.below(c))
+    return O_FALSE
+
+
+def less_equal(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 <= t2  ==  not (t2 < t1)`` (Table II)."""
+    return less_than(t2, t1).negation()
+
+
+def equal(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 = t2  ==  t1 <= t2 and t2 <= t1`` (Table II)."""
+    return less_equal(t1, t2).conjunction(less_equal(t2, t1))
+
+
+def not_equal(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 != t2  ==  t1 < t2 or t2 < t1`` (Table II)."""
+    return less_than(t1, t2).disjunction(less_than(t2, t1))
+
+
+def greater_than(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 > t2  ==  t2 < t1``."""
+    return less_than(t2, t1)
+
+
+def greater_equal(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingBoolean:
+    """``t1 >= t2  ==  not (t1 < t2)``."""
+    return less_than(t1, t2).negation()
+
+
+def ongoing_min(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingTimePoint:
+    """``min(a+b, c+d) == minF(a, c)+minF(b, d)`` (Theorem 1).
+
+    The componentwise result is again an element of Ω, which is the closure
+    property distinguishing Ω from the earlier domains in Table I.
+    """
+    a, b = t1.components()
+    c, d = t2.components()
+    return OngoingTimePoint(a if a < c else c, b if b < d else d)
+
+
+def ongoing_max(t1: OngoingTimePoint, t2: OngoingTimePoint) -> OngoingTimePoint:
+    """``max(a+b, c+d) == maxF(a, c)+maxF(b, d)`` (Theorem 1)."""
+    a, b = t1.components()
+    c, d = t2.components()
+    return OngoingTimePoint(a if a > c else c, b if b > d else d)
+
+
+def conjunction(b1: OngoingBoolean, b2: OngoingBoolean) -> OngoingBoolean:
+    """``b1 and b2`` — functional spelling of ``b1 & b2``."""
+    return b1.conjunction(b2)
+
+
+def disjunction(b1: OngoingBoolean, b2: OngoingBoolean) -> OngoingBoolean:
+    """``b1 or b2`` — functional spelling of ``b1 | b2``."""
+    return b1.disjunction(b2)
+
+
+def negation(b1: OngoingBoolean) -> OngoingBoolean:
+    """``not b1`` — functional spelling of ``~b1``."""
+    return b1.negation()

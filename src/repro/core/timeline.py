@@ -1,0 +1,199 @@
+"""The fixed time domain ``T`` (Section IV of the paper).
+
+The paper assumes a linearly ordered, discrete time domain ``T`` with ``-inf``
+as the lower limit and ``+inf`` as the upper limit.  We represent time points
+as Python integers ("ticks"); two sentinel values stand for the two limits.
+The meaning of one tick (a day, a microsecond, ...) is supplied by a
+:class:`Chronology`, mirroring the two granularities the PostgreSQL prototype
+supports (dates with day granularity, timestamps with microsecond
+granularity).
+
+Using plain integers keeps the core operations (min, max, comparisons,
+successor) branch-free and fast, which matters because the benchmark harness
+evaluates them hundreds of millions of times.
+
+The paper renders example time points in the ``mm/dd`` format relative to
+2019 (e.g. ``08/15`` is August 15, 2019).  :func:`mmdd` and :func:`fmt_point`
+provide the same rendering so that the examples and golden tests read exactly
+like the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.errors import TimeDomainError
+
+__all__ = [
+    "MINUS_INF",
+    "PLUS_INF",
+    "TimePoint",
+    "is_time_point",
+    "is_finite",
+    "check_time_point",
+    "succ",
+    "pred",
+    "clamp",
+    "Chronology",
+    "DAYS",
+    "MICROSECONDS",
+    "mmdd",
+    "from_mmdd",
+    "fmt_point",
+    "fmt_interval",
+]
+
+# Sentinels for the limits of T.  They are ordinary integers so that the
+# builtin comparison operators order them correctly against every finite
+# time point; finite points must stay strictly inside the open range
+# (MINUS_INF, PLUS_INF).
+MINUS_INF: int = -(2**60)
+PLUS_INF: int = 2**60
+
+# Type alias: a time point of T is an int within [MINUS_INF, PLUS_INF].
+TimePoint = int
+
+
+def is_time_point(value: object) -> bool:
+    """Return ``True`` iff *value* is an element of the time domain ``T``."""
+    return (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and MINUS_INF <= value <= PLUS_INF
+    )
+
+
+def is_finite(point: TimePoint) -> bool:
+    """Return ``True`` iff *point* is a finite element of ``T``."""
+    return MINUS_INF < point < PLUS_INF
+
+
+def check_time_point(value: object, *, what: str = "time point") -> TimePoint:
+    """Validate that *value* lies in ``T`` and return it.
+
+    Raises :class:`~repro.errors.TimeDomainError` otherwise.  Booleans are
+    rejected even though they are ``int`` subclasses, because a boolean in a
+    time position is almost certainly a bug in the caller.
+    """
+    if not is_time_point(value):
+        raise TimeDomainError(
+            f"{what} must be an int in [-2**60, 2**60], got {value!r}"
+        )
+    return value  # type: ignore[return-value]
+
+
+def succ(point: TimePoint) -> TimePoint:
+    """Successor of a time point, saturating at the domain limits.
+
+    The paper's equivalences use ``b + 1`` (e.g. the ongoing boolean
+    ``b[{[b + 1, inf)}, ...]`` in Theorem 1).  At the limits the successor
+    stays put: the domain has no element beyond ``+inf``.
+    """
+    if point >= PLUS_INF:
+        return PLUS_INF
+    if point <= MINUS_INF:
+        return MINUS_INF + 1
+    return point + 1
+
+
+def pred(point: TimePoint) -> TimePoint:
+    """Predecessor of a time point, saturating at the domain limits."""
+    if point <= MINUS_INF:
+        return MINUS_INF
+    if point >= PLUS_INF:
+        return PLUS_INF - 1
+    return point - 1
+
+
+def clamp(point: TimePoint) -> TimePoint:
+    """Clamp an out-of-range integer into ``T``."""
+    if point < MINUS_INF:
+        return MINUS_INF
+    if point > PLUS_INF:
+        return PLUS_INF
+    return point
+
+
+@dataclass(frozen=True)
+class Chronology:
+    """Assigns calendar meaning to integer ticks.
+
+    A chronology maps ticks to :class:`datetime.datetime` values and back.
+    ``DAYS`` mirrors the PostgreSQL ``date`` type (one tick per day),
+    ``MICROSECONDS`` mirrors ``timestamp`` (one tick per microsecond).  The
+    epoch (tick 0) is 2019-01-01, matching the paper's convention that
+    ``mm/dd`` denotes dates in 2019.
+    """
+
+    name: str
+    ticks_per_second: float
+
+    def to_datetime(self, tick: TimePoint) -> _dt.datetime:
+        """Convert a finite tick to a timezone-naive datetime."""
+        if not is_finite(tick):
+            raise TimeDomainError(f"cannot convert limit {tick} to a datetime")
+        epoch = _dt.datetime(2019, 1, 1)
+        return epoch + _dt.timedelta(seconds=tick / self.ticks_per_second)
+
+    def from_datetime(self, moment: _dt.datetime) -> TimePoint:
+        """Convert a datetime to the nearest tick."""
+        epoch = _dt.datetime(2019, 1, 1)
+        delta = (moment - epoch).total_seconds()
+        return clamp(round(delta * self.ticks_per_second))
+
+
+#: Day granularity (PostgreSQL ``date``): tick 0 = 2019-01-01.
+DAYS = Chronology(name="days", ticks_per_second=1.0 / 86_400.0)
+
+#: Microsecond granularity (PostgreSQL ``timestamp``).
+MICROSECONDS = Chronology(name="microseconds", ticks_per_second=1_000_000.0)
+
+
+def mmdd(month: int, day: int, *, year: int = 2019) -> TimePoint:
+    """Time point for the paper's ``mm/dd`` notation (relative to 2019).
+
+    ``mmdd(8, 15)`` is the tick for August 15, 2019 — written ``08/15`` in
+    the paper.
+    """
+    moment = _dt.date(year, month, day)
+    return (moment - _dt.date(2019, 1, 1)).days
+
+
+def from_mmdd(text: str) -> TimePoint:
+    """Parse the paper's ``mm/dd`` rendering into a time point.
+
+    Accepts an optional year prefix (``2019-08/15``) for points outside 2019.
+    """
+    try:
+        year = 2019
+        body = text
+        if "-" in text:
+            year_text, body = text.split("-", 1)
+            year = int(year_text)
+        month_text, day_text = body.split("/")
+        return mmdd(int(month_text), int(day_text), year=year)
+    except (ValueError, TypeError) as exc:
+        raise TimeDomainError(f"cannot parse time point {text!r}") from exc
+
+
+def fmt_point(point: TimePoint) -> str:
+    """Render a time point the way the paper does.
+
+    Finite points become ``mm/dd`` (with a year prefix when outside 2019);
+    the limits become the conventional infinity symbols.
+    """
+    if point <= MINUS_INF:
+        return "-inf"
+    if point >= PLUS_INF:
+        return "inf"
+    moment = _dt.date(2019, 1, 1) + _dt.timedelta(days=point)
+    if moment.year == 2019:
+        return f"{moment.month:02d}/{moment.day:02d}"
+    return f"{moment.year}-{moment.month:02d}/{moment.day:02d}"
+
+
+def fmt_interval(start: TimePoint, end: TimePoint) -> str:
+    """Render a fixed half-open interval ``[start, end)`` paper-style."""
+    left = "(" if start <= MINUS_INF else "["
+    return f"{left}{fmt_point(start)}, {fmt_point(end)})"

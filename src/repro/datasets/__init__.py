@@ -1,0 +1,64 @@
+"""Data sets and workloads of the paper's evaluation (Section IX-A).
+
+* :mod:`repro.datasets.mozilla` — synthetic MozillaBugs (B, A, S);
+* :mod:`repro.datasets.incumbent` — synthetic Incumbent;
+* :mod:`repro.datasets.synthetic` — D_ex, D_sh, D_sc with segment placement;
+* :mod:`repro.datasets.workloads` — Qσ, Q⋈, and QC⋈ in ongoing and
+  Clifford variants.
+"""
+
+from repro.datasets.mozilla import (
+    BUG_ASSIGNMENT_SCHEMA,
+    BUG_INFO_SCHEMA,
+    BUG_SEVERITY_SCHEMA,
+    DEFAULT_BUGS,
+    MozillaBugs,
+    generate_mozilla,
+)
+from repro.datasets.incumbent import (
+    DEFAULT_INCUMBENT_ROWS,
+    INCUMBENT_SCHEMA,
+    generate_incumbent,
+    incumbent_database,
+)
+from repro.datasets.synthetic import (
+    SEGMENTS,
+    SYNTHETIC_SCHEMA,
+    generate_dex,
+    generate_dsc,
+    generate_dsh,
+    strip_ongoing,
+    synthetic_database,
+)
+from repro.datasets.workloads import (
+    ComplexJoinWorkload,
+    SelectionWorkload,
+    SelfJoinWorkload,
+    TemporalJoinWorkload,
+    last_tenth,
+)
+
+__all__ = [
+    "BUG_ASSIGNMENT_SCHEMA",
+    "BUG_INFO_SCHEMA",
+    "BUG_SEVERITY_SCHEMA",
+    "DEFAULT_BUGS",
+    "MozillaBugs",
+    "generate_mozilla",
+    "DEFAULT_INCUMBENT_ROWS",
+    "INCUMBENT_SCHEMA",
+    "generate_incumbent",
+    "incumbent_database",
+    "SEGMENTS",
+    "SYNTHETIC_SCHEMA",
+    "generate_dex",
+    "generate_dsc",
+    "generate_dsh",
+    "strip_ongoing",
+    "synthetic_database",
+    "ComplexJoinWorkload",
+    "SelectionWorkload",
+    "SelfJoinWorkload",
+    "TemporalJoinWorkload",
+    "last_tenth",
+]

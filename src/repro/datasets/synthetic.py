@@ -1,0 +1,187 @@
+"""The synthetic data sets D_ex, D_sh, D_sc (Table III, Fig. 9, Fig. 10).
+
+* ``D_ex`` — **expanding** ongoing intervals ``[a, now)``; 15 % ongoing;
+  10-year history.  The *location* of the ongoing start points is
+  controlled by a segment parameter: the history splits into five 2-year
+  segments (segment 0 = the earliest), and all ongoing start points fall
+  into the chosen segment — exactly the Fig. 9 experiment.  The earlier an
+  expanding interval starts, the more partners it overlaps.
+* ``D_sh`` — **shrinking** ongoing intervals ``[now, b)``; the segment
+  places the fixed *end* points ``b``.  Durations are longer when the end
+  points sit in later segments — Fig. 9b's opposite trend.
+* ``D_sc`` — the scalability data set (Fig. 10): 20 % ongoing ``[a, now)``,
+  uniform locations, scaled by a row-count parameter.
+
+Schema: ``(ID, G, VT)`` — ``G`` is the non-temporal group attribute the
+self-join workloads equi-join on (``θN``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.timeline import TimePoint
+from repro.core.timepoint import NOW, fixed
+from repro.engine.database import Database
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+__all__ = [
+    "SYNTHETIC_SCHEMA",
+    "HISTORY_DAYS",
+    "SEGMENTS",
+    "generate_dex",
+    "generate_dsh",
+    "generate_dsc",
+    "strip_ongoing",
+    "synthetic_database",
+]
+
+SYNTHETIC_SCHEMA = Schema.of("ID", "G", ("VT", "interval"))
+
+#: 10-year history ending at tick 0, divided into five 2-year segments.
+HISTORY_DAYS = 10 * 365
+HISTORY_END: TimePoint = 0
+HISTORY_START: TimePoint = HISTORY_END - HISTORY_DAYS
+SEGMENTS = 5
+_SEGMENT_DAYS = HISTORY_DAYS // SEGMENTS
+
+
+def _segment_range(segment: int) -> Tuple[TimePoint, TimePoint]:
+    """The tick range of one of the five 2-year segments (0 = earliest)."""
+    if not 0 <= segment < SEGMENTS:
+        raise ValueError(f"segment must be in 0..{SEGMENTS - 1}, got {segment}")
+    start = HISTORY_START + segment * _SEGMENT_DAYS
+    return (start, start + _SEGMENT_DAYS)
+
+
+def _fixed_row(rng: random.Random, identifier: int, n_groups: int) -> Tuple[object, ...]:
+    start = HISTORY_START + rng.randrange(HISTORY_DAYS - 1)
+    duration = max(1, int(rng.expovariate(1.0 / 60.0)))
+    end = min(start + duration, HISTORY_END)
+    if end <= start:
+        end = start + 1
+    return (identifier, rng.randrange(n_groups), fixed_interval(start, end))
+
+
+def generate_dex(
+    n_rows: int = 10_000,
+    *,
+    seed: int = 7,
+    ongoing_fraction: float = 0.15,
+    segment: Optional[int] = None,
+    group_size: int = 5,
+) -> OngoingRelation:
+    """``D_ex``: expanding intervals ``[a, now)``.
+
+    With ``segment=k`` every ongoing start point lies inside segment ``k``;
+    with ``segment=None`` start points are uniform over the history.
+    """
+    rng = random.Random(seed)
+    n_groups = max(1, n_rows // group_size)
+    n_ongoing = round(n_rows * ongoing_fraction)
+    rows: List[Tuple[object, ...]] = []
+    for identifier in range(n_rows):
+        if identifier < n_ongoing:
+            if segment is None:
+                start = HISTORY_START + rng.randrange(HISTORY_DAYS - 1)
+            else:
+                low, high = _segment_range(segment)
+                start = rng.randrange(low, high)
+            rows.append((identifier, rng.randrange(n_groups), until_now(start)))
+        else:
+            rows.append(_fixed_row(rng, identifier, n_groups))
+    return OngoingRelation.from_rows(SYNTHETIC_SCHEMA, rows)
+
+
+def generate_dsh(
+    n_rows: int = 10_000,
+    *,
+    seed: int = 11,
+    ongoing_fraction: float = 0.15,
+    segment: Optional[int] = None,
+    group_size: int = 5,
+) -> OngoingRelation:
+    """``D_sh``: shrinking intervals ``[now, b)``.
+
+    With ``segment=k`` every ongoing *end* point lies inside segment ``k``;
+    ends in later segments mean longer instantiated durations (the interval
+    is ``[rt, b)`` for ``rt < b``), which is Fig. 9b's rising runtime.
+    """
+    rng = random.Random(seed)
+    n_groups = max(1, n_rows // group_size)
+    n_ongoing = round(n_rows * ongoing_fraction)
+    rows: List[Tuple[object, ...]] = []
+    for identifier in range(n_rows):
+        if identifier < n_ongoing:
+            if segment is None:
+                end = HISTORY_START + rng.randrange(1, HISTORY_DAYS)
+            else:
+                low, high = _segment_range(segment)
+                end = rng.randrange(max(low, HISTORY_START + 1), high)
+            shrinking = OngoingInterval(NOW, fixed(end))
+            rows.append((identifier, rng.randrange(n_groups), shrinking))
+        else:
+            rows.append(_fixed_row(rng, identifier, n_groups))
+    return OngoingRelation.from_rows(SYNTHETIC_SCHEMA, rows)
+
+
+def generate_dsc(
+    n_rows: int = 10_000,
+    *,
+    seed: int = 13,
+    ongoing_fraction: float = 0.20,
+    group_size: int = 5,
+) -> OngoingRelation:
+    """``D_sc``: the scalability data set — 20 % ongoing ``[a, now)``."""
+    return generate_dex(
+        n_rows,
+        seed=seed,
+        ongoing_fraction=ongoing_fraction,
+        segment=None,
+        group_size=group_size,
+    )
+
+
+def strip_ongoing(
+    relation: OngoingRelation,
+    *,
+    clip_start: TimePoint = HISTORY_START,
+    clip_end: TimePoint = HISTORY_END,
+) -> OngoingRelation:
+    """Replace every ongoing interval with a comparable *fixed* interval.
+
+    This produces the "without ongoing intervals" baseline relation of
+    Fig. 9: identical data volume and join workload, but purely fixed
+    intervals, isolating the cost of ongoing-interval processing.  The
+    fixed substitute is the interval's envelope clipped to the history —
+    ``[a, now)`` becomes ``[a, history end)`` and ``[now, b)`` becomes
+    ``[history start, b)`` — so each tuple keeps roughly the same set of
+    join partners it has under the ongoing semantics across all reference
+    times.
+    """
+    position = relation.schema.index_of("VT")
+    rows: List[OngoingTuple] = []
+    for item in relation:
+        value = item.values[position]
+        if isinstance(value, OngoingInterval) and not value.is_fixed:
+            start = max(value.start.a, clip_start)
+            end = min(value.end.b, clip_end)
+            if end <= start:
+                end = start + 1
+            values = list(item.values)
+            values[position] = fixed_interval(start, end)
+            rows.append(OngoingTuple(tuple(values), item.rt))
+        else:
+            rows.append(item)
+    return OngoingRelation(relation.schema, rows)
+
+
+def synthetic_database(relation: OngoingRelation, name: str = "R") -> Database:
+    """A database with *relation* under table name *name* (default ``R``)."""
+    database = Database("synthetic")
+    database.register(name, relation)
+    return database

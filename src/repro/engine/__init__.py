@@ -1,0 +1,94 @@
+"""The engine substrate — stand-in for the paper's PostgreSQL prototype.
+
+* :mod:`repro.engine.database` — catalog, tables, query entry point;
+* :mod:`repro.engine.plan` — logical plans (fluent builder);
+* :mod:`repro.engine.planner` — Section VIII optimizations: predicate split
+  and join algorithm selection;
+* :mod:`repro.engine.executor` — physical operators (scans, the two filter
+  halves, hash / merge-interval / nested-loop joins);
+* :mod:`repro.engine.views` — materialized ongoing views (Section IX-C);
+* :mod:`repro.engine.storage` — the byte-accurate tuple layout of Table V;
+* :mod:`repro.engine.indexes` — envelope interval index (Section X future
+  work);
+* :mod:`repro.engine.modifications` — Torp-style current insert / delete /
+  update semantics.
+"""
+
+from repro.engine.database import Database, Table
+from repro.engine.plan import (
+    Difference,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Union,
+    scan,
+)
+from repro.engine.planner import Planner, plan_query
+from repro.engine.executor import (
+    DifferenceOp,
+    FixedFilter,
+    HashJoin,
+    MergeIntervalJoin,
+    NestedLoopJoin,
+    OngoingFilter,
+    PhysicalOperator,
+    ProjectOp,
+    SeqScan,
+    UnionOp,
+    materialize,
+)
+from repro.engine.views import MaterializedOngoingView
+from repro.engine.storage import (
+    StorageReport,
+    pack_rt,
+    pack_tuple,
+    pack_value,
+    relation_storage,
+    sizeof_tuple,
+)
+from repro.engine.indexes import IntervalIndex
+from repro.engine.modifications import current_delete, current_insert, current_update
+from repro.engine.bitemporal import BitemporalTable
+from repro.engine.rewrite import push_down_selections, split_selections
+
+__all__ = [
+    "Database",
+    "Table",
+    "Difference",
+    "Join",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Select",
+    "Union",
+    "scan",
+    "Planner",
+    "plan_query",
+    "DifferenceOp",
+    "FixedFilter",
+    "HashJoin",
+    "MergeIntervalJoin",
+    "NestedLoopJoin",
+    "OngoingFilter",
+    "PhysicalOperator",
+    "ProjectOp",
+    "SeqScan",
+    "UnionOp",
+    "materialize",
+    "MaterializedOngoingView",
+    "StorageReport",
+    "pack_rt",
+    "pack_tuple",
+    "pack_value",
+    "relation_storage",
+    "sizeof_tuple",
+    "IntervalIndex",
+    "current_delete",
+    "current_insert",
+    "current_update",
+    "BitemporalTable",
+    "push_down_selections",
+    "split_selections",
+]

@@ -1,0 +1,157 @@
+"""The database catalog: named ongoing tables.
+
+A :class:`Table` is a mutable container of ongoing tuples over a fixed
+schema.  Inserts assign the trivial reference time ``{(-inf, inf)}`` — the
+reference time of base tuples is set by the system, never by users
+(Section VII-A).  ``Table.as_relation()`` snapshots the current contents as
+an immutable :class:`~repro.relational.relation.OngoingRelation` for query
+processing.
+
+:class:`Database` is the catalog plus the query entry point: ``query(plan)``
+plans and executes a logical plan, ``explain(plan)`` shows the chosen
+physical operators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.intervalset import UNIVERSAL_SET
+from repro.engine.executor import materialize
+from repro.engine.plan import PlanNode
+from repro.errors import QueryError, SchemaError
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+__all__ = ["Table", "Database"]
+
+
+class Table:
+    """A named, mutable base table of an ongoing database."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._rows: List[OngoingTuple] = []
+        self._snapshot: Optional[OngoingRelation] = None
+
+    def insert(self, *values: object) -> None:
+        """Insert one tuple with the trivial reference time."""
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(values)}"
+            )
+        self._rows.append(OngoingTuple(tuple(values), UNIVERSAL_SET))
+        self._snapshot = None
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
+        """Bulk insert; every row gets the trivial reference time."""
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise SchemaError(
+                    f"table {self.name!r} expects {len(self.schema)} values, "
+                    f"got {len(row)}"
+                )
+            self._rows.append(OngoingTuple(tuple(row), UNIVERSAL_SET))
+        self._snapshot = None
+
+    def insert_tuples(self, tuples: Iterable[OngoingTuple]) -> None:
+        """Insert pre-built ongoing tuples (used by temporal modifications)."""
+        self._rows.extend(tuples)
+        self._snapshot = None
+
+    def delete_where(self, keep) -> int:
+        """Physically remove tuples failing *keep* (a tuple -> bool callable).
+
+        Returns the number of removed tuples.  Used by the Torp-style
+        modification layer; ordinary queries never delete.
+        """
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if keep(row)]
+        self._snapshot = None
+        return before - len(self._rows)
+
+    def replace_all(self, tuples: Iterable[OngoingTuple]) -> None:
+        """Swap the table contents (bulk-load path of the dataset builders)."""
+        self._rows = list(tuples)
+        self._snapshot = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def as_relation(self) -> OngoingRelation:
+        """An immutable snapshot of the current contents (cached)."""
+        if self._snapshot is None:
+            self._snapshot = OngoingRelation(self.schema, self._rows)
+        return self._snapshot
+
+
+class Database:
+    """A catalog of ongoing tables plus the query interface."""
+
+    def __init__(self, name: str = "ongoing"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create an empty table; the name must be unused."""
+        if name in self._tables:
+            raise QueryError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def register(self, name: str, relation: OngoingRelation) -> Table:
+        """Create a table pre-loaded with *relation*'s tuples."""
+        table = self.create_table(name, relation.schema)
+        table.insert_tuples(relation.tuples)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise QueryError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError(
+                f"no table named {name!r}; catalog has {sorted(self._tables)}"
+            ) from None
+
+    def relation(self, name: str) -> OngoingRelation:
+        """Snapshot of the named table (what scans read)."""
+        return self.table(name).as_relation()
+
+    def tables(self) -> Dict[str, Table]:
+        return dict(self._tables)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, plan: PlanNode, *, optimize: bool = True) -> OngoingRelation:
+        """Plan, execute, and materialize a logical plan."""
+        from repro.engine.planner import Planner
+
+        physical = Planner(optimize=optimize).plan(plan, self)
+        return materialize(physical)
+
+    def explain(self, plan: PlanNode, *, optimize: bool = True) -> str:
+        """The physical plan chosen for *plan* (one operator per line)."""
+        from repro.engine.planner import Planner
+
+        return Planner(optimize=optimize).plan(plan, self).explain()
+
+    def sql(self, statement: str) -> OngoingRelation:
+        """Execute an OSQL statement (see :mod:`repro.sqlish`)."""
+        from repro.sqlish import run
+
+        return run(statement, self)

@@ -1,0 +1,185 @@
+"""Logical query plans for the ongoing-relation engine.
+
+Logical plans are small immutable trees built from the node classes below.
+They describe *what* to compute; the planner (:mod:`repro.engine.planner`)
+decides *how* — in particular it applies the optimization of Section VIII:
+splitting conjunctive predicates into a fixed-attribute part (evaluated as a
+cheap boolean filter in the WHERE clause) and an ongoing part (used to
+restrict the result tuples' reference times), and choosing join algorithms.
+
+Plans can also be built fluently::
+
+    plan = (scan("B")
+            .where(col("C") == lit("Spam filter"))
+            .join(scan("P"), on=..., left_name="B", right_name="P")
+            .select_columns("B.BID", "P.PID"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.relational.predicates import Predicate
+from repro.errors import QueryError
+
+__all__ = [
+    "PlanNode",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "Union",
+    "Difference",
+    "scan",
+]
+
+
+class PlanNode:
+    """Base class for logical plan nodes (immutable, composable)."""
+
+    def where(self, predicate: Predicate) -> "Select":
+        """Fluent selection on top of this node."""
+        return Select(self, predicate)
+
+    def join(
+        self,
+        other: "PlanNode",
+        on: Predicate,
+        *,
+        left_name: Optional[str] = None,
+        right_name: Optional[str] = None,
+    ) -> "Join":
+        """Fluent theta-join with *other*."""
+        return Join(self, other, on, left_name=left_name, right_name=right_name)
+
+    def select_columns(self, *items: object) -> "Project":
+        """Fluent projection (names or ``(name, expression)`` pairs)."""
+        return Project(self, tuple(items))
+
+    def union(self, other: "PlanNode") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "PlanNode") -> "Difference":
+        return Difference(self, other)
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """The child nodes (for plan walkers)."""
+        raise NotImplementedError
+
+
+class Scan(PlanNode):
+    """Read a base table from the database catalog."""
+
+    __slots__ = ("table",)
+
+    def __init__(self, table: str):
+        if not table:
+            raise QueryError("scan requires a table name")
+        self.table = table
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"Scan({self.table})"
+
+
+class Select(PlanNode):
+    """``σθ(child)``."""
+
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PlanNode, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Select({self.child!r}, {self.predicate!r})"
+
+
+class Project(PlanNode):
+    """``πB(child)`` — *items* as accepted by relational ``project``."""
+
+    __slots__ = ("child", "items")
+
+    def __init__(self, child: PlanNode, items: Sequence[object]):
+        if not items:
+            raise QueryError("projection requires at least one column")
+        self.child = child
+        self.items = tuple(items)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"Project({self.child!r}, {list(self.items)!r})"
+
+
+class Join(PlanNode):
+    """``left ⋈θ right`` with optional qualification prefixes."""
+
+    __slots__ = ("left", "right", "predicate", "left_name", "right_name")
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        predicate: Predicate,
+        *,
+        left_name: Optional[str] = None,
+        right_name: Optional[str] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.left_name = left_name
+        self.right_name = right_name
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return (
+            f"Join({self.left!r}, {self.right!r}, {self.predicate!r}, "
+            f"left_name={self.left_name!r}, right_name={self.right_name!r})"
+        )
+
+
+class Union(PlanNode):
+    """``left ∪ right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"Union({self.left!r}, {self.right!r})"
+
+
+class Difference(PlanNode):
+    """``left − right``."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: PlanNode, right: PlanNode):
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"Difference({self.left!r}, {self.right!r})"
+
+
+def scan(table: str) -> Scan:
+    """Entry point of the fluent plan builder."""
+    return Scan(table)

@@ -1,0 +1,306 @@
+"""The query planner — Section VIII's optimization, made explicit.
+
+The planner translates logical plans into physical operator trees and
+applies the paper's two optimizations:
+
+1. **Predicate split.**  A conjunctive predicate is split into the
+   conjuncts over fixed attributes only (whose truth does not depend on the
+   reference time — evaluated as cheap boolean filters "in the WHERE
+   clause") and the conjuncts referencing ongoing attributes (which restrict
+   the result tuple's reference time).
+
+2. **Join algorithm selection.**  Fixed equality conjuncts become hash-join
+   keys; a temporal ``overlaps`` conjunct enables the envelope plane-sweep
+   merge join; anything else falls back to a nested loop.  All residual
+   conjuncts — fixed and ongoing — run on the join's candidate pairs.
+
+``Planner(optimize=False)`` disables the split (everything runs through the
+general ongoing path); the test suite uses it to verify that the
+optimization never changes results, and an ablation benchmark measures what
+it buys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.engine import plan as logical
+from repro.engine.executor import (
+    DifferenceOp,
+    FixedFilter,
+    HashJoin,
+    MergeIntervalJoin,
+    NestedLoopJoin,
+    OngoingFilter,
+    PhysicalOperator,
+    ProjectOp,
+    SeqScan,
+    UnionOp,
+)
+from repro.errors import QueryError, SchemaError
+from repro.relational.algebra import infer_kind  # shared column-kind logic
+from repro.relational.predicates import (
+    AllenPredicate,
+    Column,
+    Comparison,
+    Expression,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.schema import Attribute, AttributeKind, Schema
+
+__all__ = ["Planner", "plan_query"]
+
+
+class Planner:
+    """Translates logical plans into physical operator trees.
+
+    Parameters
+    ----------
+    optimize:
+        When ``True`` (default) the Section VIII predicate split and join
+        algorithm selection are applied.  When ``False`` every predicate is
+        evaluated on the generic ongoing path and all joins are nested
+        loops — the unoptimized reference strategy.
+    """
+
+    def __init__(self, *, optimize: bool = True):
+        self.optimize = optimize
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def plan(self, node: logical.PlanNode, database) -> PhysicalOperator:
+        """Build the physical operator tree for *node* against *database*."""
+        if isinstance(node, logical.Scan):
+            return SeqScan(database.relation(node.table), label=node.table)
+        if isinstance(node, logical.Select):
+            return self._plan_select(node, database)
+        if isinstance(node, logical.Project):
+            return self._plan_project(node, database)
+        if isinstance(node, logical.Join):
+            return self._plan_join(node, database)
+        if isinstance(node, logical.Union):
+            return UnionOp(self.plan(node.left, database), self.plan(node.right, database))
+        if isinstance(node, logical.Difference):
+            return DifferenceOp(
+                self.plan(node.left, database), self.plan(node.right, database)
+            )
+        raise QueryError(f"unknown plan node {node!r}")
+
+    # ------------------------------------------------------------------
+    # Selection: the predicate split
+    # ------------------------------------------------------------------
+
+    def _split_conjuncts(
+        self, predicate: Predicate, schema: Schema
+    ) -> Tuple[List[Predicate], List[Predicate]]:
+        """Partition top-level conjuncts into (fixed-only, ongoing)."""
+        fixed_parts: List[Predicate] = []
+        ongoing_parts: List[Predicate] = []
+        for conjunct in predicate.conjuncts():
+            if isinstance(conjunct, TruePredicate):
+                continue
+            if self.optimize and conjunct.is_fixed_only(schema):
+                fixed_parts.append(conjunct)
+            else:
+                ongoing_parts.append(conjunct)
+        return fixed_parts, ongoing_parts
+
+    def _plan_select(
+        self, node: logical.Select, database
+    ) -> PhysicalOperator:
+        child = self.plan(node.child, database)
+        fixed_parts, ongoing_parts = self._split_conjuncts(node.predicate, child.schema)
+        result: PhysicalOperator = child
+        if fixed_parts:
+            result = FixedFilter(result, fixed_parts)
+        if ongoing_parts:
+            result = OngoingFilter(result, ongoing_parts)
+        return result
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+
+    def _plan_project(
+        self, node: logical.Project, database
+    ) -> PhysicalOperator:
+        child = self.plan(node.child, database)
+        schema = child.schema
+        attributes: List[Attribute] = []
+        expressions: List[Expression] = []
+        for item in node.items:
+            if isinstance(item, str):
+                attributes.append(schema.attribute(item))
+                expressions.append(Column(item))
+            else:
+                if len(item) == 3:
+                    name, expression, kind = item  # type: ignore[misc]
+                else:
+                    name, expression = item  # type: ignore[misc]
+                    kind = infer_kind(expression, schema)
+                attributes.append(Attribute(name, kind))
+                expressions.append(expression)
+        return ProjectOp(child, expressions, Schema(attributes))
+
+    # ------------------------------------------------------------------
+    # Join: algorithm selection
+    # ------------------------------------------------------------------
+
+    def _plan_join(self, node: logical.Join, database) -> PhysicalOperator:
+        left = self.plan(node.left, database)
+        right = self.plan(node.right, database)
+        left_schema = left.schema
+        right_schema = right.schema
+        clash = set(left_schema.names) & set(right_schema.names)
+        if node.left_name:
+            left_schema = left_schema.qualify(node.left_name)
+            left = _Requalified(left, left_schema)
+        if node.right_name:
+            right_schema = right_schema.qualify(node.right_name)
+            right = _Requalified(right, right_schema)
+        if not node.left_name and not node.right_name and clash:
+            raise SchemaError(
+                f"join would duplicate attributes {sorted(clash)}; "
+                f"pass left_name/right_name"
+            )
+        out_schema = left_schema.concat(right_schema)
+        left_names = set(left_schema.names)
+        right_names = set(right_schema.names)
+
+        equi_keys: List[Tuple[int, int]] = []
+        sweep_positions: Optional[Tuple[int, int]] = None
+        fixed_residual: List[Predicate] = []
+        ongoing_residual: List[Predicate] = []
+
+        for conjunct in node.predicate.conjuncts():
+            if isinstance(conjunct, TruePredicate):
+                continue
+            if self.optimize:
+                key = _as_equi_key(conjunct, left_schema, right_schema, left_names, right_names)
+                if key is not None:
+                    equi_keys.append(key)
+                    continue
+                if sweep_positions is None:
+                    sweep = _as_overlap_pair(
+                        conjunct, left_schema, right_schema, left_names, right_names
+                    )
+                    if sweep is not None:
+                        sweep_positions = sweep
+                        ongoing_residual.append(conjunct)
+                        continue
+            if self.optimize and conjunct.is_fixed_only(out_schema):
+                fixed_residual.append(conjunct)
+            else:
+                ongoing_residual.append(conjunct)
+
+        if equi_keys:
+            left_positions = [pair[0] for pair in equi_keys]
+            right_positions = [pair[1] for pair in equi_keys]
+            return HashJoin(
+                left,
+                right,
+                left_positions,
+                right_positions,
+                out_schema,
+                fixed_residual,
+                ongoing_residual,
+            )
+        if sweep_positions is not None:
+            return MergeIntervalJoin(
+                left,
+                right,
+                sweep_positions[0],
+                sweep_positions[1],
+                out_schema,
+                fixed_residual,
+                ongoing_residual,
+            )
+        return NestedLoopJoin(left, right, out_schema, fixed_residual, ongoing_residual)
+
+
+class _Requalified(PhysicalOperator):
+    """Transparent schema-renaming wrapper (tuples pass through unchanged)."""
+
+    def __init__(self, child: PhysicalOperator, schema: Schema):
+        self.child = child
+        self.schema = schema
+
+    def __iter__(self):
+        return iter(self.child)
+
+    def _describe(self) -> str:
+        return f"Qualify ({', '.join(self.schema.names[:4])}...)"
+
+    def _children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+
+def _column_side(
+    expression: Expression, left_names: Set[str], right_names: Set[str]
+) -> Optional[str]:
+    """Which input a single-column expression reads: 'left', 'right', None."""
+    if not isinstance(expression, Column):
+        return None
+    if expression.name in left_names:
+        return "left"
+    if expression.name in right_names:
+        return "right"
+    return None
+
+
+def _as_equi_key(
+    conjunct: Predicate,
+    left_schema: Schema,
+    right_schema: Schema,
+    left_names: Set[str],
+    right_names: Set[str],
+) -> Optional[Tuple[int, int]]:
+    """Recognize ``left.col = right.col`` on fixed attributes (hash keys)."""
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    left_side = _column_side(conjunct.left, left_names, right_names)
+    right_side = _column_side(conjunct.right, left_names, right_names)
+    if left_side == "left" and right_side == "right":
+        left_col, right_col = conjunct.left, conjunct.right
+    elif left_side == "right" and right_side == "left":
+        left_col, right_col = conjunct.right, conjunct.left
+    else:
+        return None
+    assert isinstance(left_col, Column) and isinstance(right_col, Column)
+    if left_schema.attribute(left_col.name).kind.is_ongoing:
+        return None
+    if right_schema.attribute(right_col.name).kind.is_ongoing:
+        return None
+    return (left_schema.index_of(left_col.name), right_schema.index_of(right_col.name))
+
+
+def _as_overlap_pair(
+    conjunct: Predicate,
+    left_schema: Schema,
+    right_schema: Schema,
+    left_names: Set[str],
+    right_names: Set[str],
+) -> Optional[Tuple[int, int]]:
+    """Recognize ``left.iv overlaps right.iv`` (merge-join eligibility)."""
+    if not isinstance(conjunct, AllenPredicate) or conjunct.name != "overlaps":
+        return None
+    left_side = _column_side(conjunct.left, left_names, right_names)
+    right_side = _column_side(conjunct.right, left_names, right_names)
+    if left_side == "left" and right_side == "right":
+        left_col, right_col = conjunct.left, conjunct.right
+    elif left_side == "right" and right_side == "left":
+        left_col, right_col = conjunct.right, conjunct.left
+    else:
+        return None
+    assert isinstance(left_col, Column) and isinstance(right_col, Column)
+    return (left_schema.index_of(left_col.name), right_schema.index_of(right_col.name))
+
+
+def plan_query(
+    node: logical.PlanNode, database, *, optimize: bool = True
+) -> PhysicalOperator:
+    """One-shot helper: plan *node* with a fresh :class:`Planner`."""
+    return Planner(optimize=optimize).plan(node, database)

@@ -1,0 +1,244 @@
+"""Logical plan rewriting — the algebraic rules of Section VIII.
+
+The paper notes that for ongoing relations "the same rules hold as for the
+relational algebra operators on fixed relations", e.g.
+``σ_{θ1 ∧ θ2}(R) ≡ σ_{θ1}(σ_{θ2}(R))``, and that after rewriting the usual
+optimization techniques (selection push-down, join ordering, ...) apply.
+
+This module implements the two classic rewrites as plan-to-plan
+transformations:
+
+* **selection cascade/split** — a conjunctive selection splits into its
+  conjuncts (so each can move independently);
+* **selection push-down** — a selection conjunct sinks below a join into
+  the input whose attributes it references, below unions into both
+  branches, and through projections when the projected columns cover it.
+
+Correctness follows from Theorem 2 plus the fixed-algebra equivalences and
+is verified by the test suite (rewritten plans must produce identical
+ongoing relations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.engine.plan import (
+    Difference,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.predicates import And, Column, Predicate, TruePredicate
+
+__all__ = ["push_down_selections", "split_selections"]
+
+
+def split_selections(plan: PlanNode) -> PlanNode:
+    """Cascade conjunctive selections: ``σ_{θ1∧θ2} -> σ_{θ1}(σ_{θ2})``."""
+    plan = _rewrite_children(plan, split_selections)
+    if isinstance(plan, Select):
+        conjuncts = [
+            part
+            for part in plan.predicate.conjuncts()
+            if not isinstance(part, TruePredicate)
+        ]
+        if len(conjuncts) > 1:
+            rebuilt: PlanNode = plan.child
+            for conjunct in conjuncts:
+                rebuilt = Select(rebuilt, conjunct)
+            return rebuilt
+    return plan
+
+
+def push_down_selections(plan: PlanNode) -> PlanNode:
+    """Sink selection conjuncts as close to the scans as possible.
+
+    Conjuncts referencing only one join input move into that input;
+    conjuncts over a union apply to both branches; conjuncts over a
+    projection sink through when the projection only renames/keeps the
+    referenced columns.  Whatever cannot sink stays where it is.
+    """
+    plan = split_selections(plan)
+    return _push(plan)
+
+
+def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
+    if isinstance(plan, Scan):
+        return plan
+    if isinstance(plan, Select):
+        return Select(rewrite(plan.child), plan.predicate)
+    if isinstance(plan, Project):
+        return Project(rewrite(plan.child), plan.items)
+    if isinstance(plan, Join):
+        return Join(
+            rewrite(plan.left),
+            rewrite(plan.right),
+            plan.predicate,
+            left_name=plan.left_name,
+            right_name=plan.right_name,
+        )
+    if isinstance(plan, Union):
+        return Union(rewrite(plan.left), rewrite(plan.right))
+    if isinstance(plan, Difference):
+        return Difference(rewrite(plan.left), rewrite(plan.right))
+    return plan
+
+
+def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
+    """The output column names of a plan, when statically known.
+
+    Returns ``None`` for scans (their schema lives in the catalog, which a
+    pure rewrite does not consult) — callers treat unknown as "may expose
+    anything", blocking the unsafe direction only where needed.
+    """
+    if isinstance(plan, Select):
+        return _exposed_columns(plan.child)
+    if isinstance(plan, Project):
+        names: Set[str] = set()
+        for item in plan.items:
+            if isinstance(item, str):
+                names.add(item)
+            else:
+                names.add(item[0])
+        return names
+    if isinstance(plan, Join):
+        left = _exposed_columns(plan.left)
+        right = _exposed_columns(plan.right)
+        if left is None or right is None:
+            return None
+        qualified_left = {
+            f"{plan.left_name}.{name}" if plan.left_name else name
+            for name in left
+        }
+        qualified_right = {
+            f"{plan.right_name}.{name}" if plan.right_name else name
+            for name in right
+        }
+        return qualified_left | qualified_right
+    if isinstance(plan, (Union, Difference)):
+        return _exposed_columns(plan.left)
+    return None
+
+
+def _qualify_side(plan: PlanNode, prefix: Optional[str]) -> Set[str]:
+    """Best-effort set of column names a join side exposes *after*
+    qualification; empty set when unknown."""
+    names = _exposed_columns(plan)
+    if names is None:
+        return set()
+    if prefix:
+        return {f"{prefix}.{name}" for name in names}
+    return names
+
+
+def _strip_qualifier(name: str, prefix: Optional[str]) -> str:
+    if prefix and name.startswith(prefix + "."):
+        return name[len(prefix) + 1 :]
+    return name
+
+
+def _rewrite_columns(predicate: Predicate, prefix: str) -> Predicate:
+    """Structurally copy *predicate* with the qualifier stripped."""
+    from repro.relational.predicates import (
+        AllenPredicate,
+        Comparison,
+        Expression,
+        IntervalIntersection,
+        Literal,
+        Not,
+        Or,
+    )
+
+    def rewrite_expression(expression: Expression) -> Expression:
+        if isinstance(expression, Column):
+            return Column(_strip_qualifier(expression.name, prefix))
+        if isinstance(expression, IntervalIntersection):
+            return IntervalIntersection(
+                rewrite_expression(expression.left),
+                rewrite_expression(expression.right),
+            )
+        return expression
+
+    if isinstance(predicate, Comparison):
+        return Comparison(
+            predicate.op,
+            rewrite_expression(predicate.left),
+            rewrite_expression(predicate.right),
+        )
+    if isinstance(predicate, AllenPredicate):
+        return AllenPredicate(
+            predicate.name,
+            rewrite_expression(predicate.left),
+            rewrite_expression(predicate.right),
+        )
+    if isinstance(predicate, And):
+        return And(tuple(_rewrite_columns(p, prefix) for p in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(_rewrite_columns(p, prefix) for p in predicate.parts))
+    if isinstance(predicate, Not):
+        return Not(_rewrite_columns(predicate.part, prefix))
+    return predicate
+
+
+def _push(plan: PlanNode) -> PlanNode:
+    plan = _rewrite_children(plan, _push)
+    if not isinstance(plan, Select):
+        return plan
+    child = plan.child
+    predicate = plan.predicate
+
+    if isinstance(child, Union):
+        return Union(
+            _push(Select(child.left, predicate)),
+            _push(Select(child.right, predicate)),
+        )
+    if isinstance(child, Difference):
+        # σθ(L − R) ≡ σθ(L) − R  (tuples come from L; difference only
+        # removes reference times).
+        return Difference(_push(Select(child.left, predicate)), child.right)
+    if isinstance(child, Join):
+        references = predicate.references()
+        left_columns = _qualify_side(child.left, child.left_name)
+        right_columns = _qualify_side(child.right, child.right_name)
+        if left_columns and references <= left_columns:
+            sunk = (
+                _rewrite_columns(predicate, child.left_name)
+                if child.left_name
+                else predicate
+            )
+            return Join(
+                _push(Select(child.left, sunk)),
+                child.right,
+                child.predicate,
+                left_name=child.left_name,
+                right_name=child.right_name,
+            )
+        if right_columns and references <= right_columns:
+            sunk = (
+                _rewrite_columns(predicate, child.right_name)
+                if child.right_name
+                else predicate
+            )
+            return Join(
+                child.left,
+                _push(Select(child.right, sunk)),
+                child.predicate,
+                left_name=child.left_name,
+                right_name=child.right_name,
+            )
+        # Cannot sink below either side: merge into the join predicate so
+        # the planner can still use it for algorithm selection.
+        return Join(
+            child.left,
+            child.right,
+            And((child.predicate, predicate))
+            if not isinstance(child.predicate, TruePredicate)
+            else predicate,
+            left_name=child.left_name,
+            right_name=child.right_name,
+        )
+    return plan

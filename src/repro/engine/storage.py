@@ -1,0 +1,305 @@
+"""Byte-accurate storage layout for ongoing tuples (Section VIII, Table V).
+
+The paper's PostgreSQL implementation stores
+
+* ongoing dates as **two** fixed dates (8 B instead of 4 B),
+* ongoing dateranges as four dates plus a range header (+8 B over a fixed
+  daterange), and
+* the reference time ``RT`` as a built-in variable-length **array** of fixed
+  intervals — 21 B of array/varlena header plus 8 B per interval, i.e. the
+  29 B per tuple that Table V reports for the typical one-interval RT.
+
+This module implements that layout with :mod:`struct`: values are actually
+packed to bytes, and all size accounting is ``len(packed_bytes)``, not
+estimates.  Two layouts are supported:
+
+* ``"ongoing"`` — the extended layout above (ongoing attributes + RT);
+* ``"fixed"`` — the classical layout used by the instantiating baselines
+  (ongoing points collapse to 4 B dates, intervals to fixed dateranges,
+  no RT attribute).
+
+The ratio of the two is Table V's "ongoing/fixed tuple size" row.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.integer import OngoingInt
+from repro.core.interval import OngoingInterval
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
+from repro.core.timepoint import OngoingTimePoint
+from repro.errors import StorageError
+from repro.relational.relation import OngoingRelation
+from repro.relational.tuples import OngoingTuple
+
+__all__ = [
+    "TUPLE_HEADER_BYTES",
+    "RT_HEADER_BYTES",
+    "RT_INTERVAL_BYTES",
+    "pack_value",
+    "pack_rt",
+    "pack_tuple",
+    "unpack_rt",
+    "unpack_tuple",
+    "sizeof_tuple",
+    "StorageReport",
+    "relation_storage",
+]
+
+#: PostgreSQL heap tuple header (23 B) plus alignment padding.
+TUPLE_HEADER_BYTES = 24
+
+#: Array/varlena header of the RT attribute (varlena 4 + ndim 4 + flags 4 +
+#: element type 4 + dimension 4 + lower bound 1) — 21 B, so a one-interval
+#: RT occupies the 29 B Table V reports.
+RT_HEADER_BYTES = 21
+
+#: One fixed half-open interval inside RT: two 4 B dates.
+RT_INTERVAL_BYTES = 8
+
+# PostgreSQL encodes the infinities of date/timestamp with the extreme
+# representable values; we do the same when packing our ±inf sentinels.
+_DATE_MINUS_INF = -(2**31)
+_DATE_PLUS_INF = 2**31 - 1
+
+
+def _pack_date(point: TimePoint) -> bytes:
+    """One fixed date: 4 bytes, sentinels mapped to the int32 extremes."""
+    if point <= MINUS_INF:
+        value = _DATE_MINUS_INF
+    elif point >= PLUS_INF:
+        value = _DATE_PLUS_INF
+    elif -(2**31) <= point < 2**31:
+        value = point
+    else:
+        raise StorageError(f"time point {point} does not fit a 4-byte date")
+    return struct.pack("<i", value)
+
+
+def pack_value(value: object, *, layout: str = "ongoing") -> bytes:
+    """Serialize one attribute value under the given layout.
+
+    Fixed values (ints, strings, booleans, fixed dates) serialize
+    identically in both layouts; ongoing points and intervals are halved in
+    the ``"fixed"`` layout (which is only meaningful for size accounting of
+    the instantiating baselines — the ongoing information is lost).
+    """
+    if isinstance(value, bool):
+        return struct.pack("<?", value)
+    if isinstance(value, int):
+        return _pack_date(value) if -(2**31) <= value < 2**31 else struct.pack("<q", value)
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return struct.pack("<I", len(encoded)) + encoded
+    if isinstance(value, OngoingTimePoint):
+        if layout == "fixed":
+            return _pack_date(value.a)
+        return _pack_date(value.a) + _pack_date(value.b)
+    if isinstance(value, OngoingInterval):
+        flags = struct.pack("<B", 0x02)  # lower-inclusive, upper-exclusive
+        varlena = struct.pack("<I", 0)
+        if layout == "fixed":
+            return varlena + flags + _pack_date(value.start.a) + _pack_date(value.end.b)
+        return (
+            varlena
+            + flags
+            + _pack_date(value.start.a)
+            + _pack_date(value.start.b)
+            + _pack_date(value.end.a)
+            + _pack_date(value.end.b)
+        )
+    if isinstance(value, OngoingInt):
+        if layout == "fixed":
+            # The instantiating layouts store a plain integer.
+            return struct.pack("<i", 0)
+        # Varlena header + one 20-byte record per affine segment.
+        parts = [struct.pack("<IB", 0, len(value.segments))]
+        for start, end, intercept, slope in value.segments:
+            if not -(2**31) <= slope < 2**31:
+                raise StorageError(f"slope {slope} does not fit 4 bytes")
+            if not -(2**63) <= intercept < 2**63:
+                raise StorageError(f"intercept {intercept} does not fit 8 bytes")
+            parts.append(_pack_date(start))
+            parts.append(_pack_date(end))
+            parts.append(struct.pack("<qi", intercept, slope))
+        return b"".join(parts)
+    if value is None:
+        return b""
+    raise StorageError(f"cannot serialize value {value!r}")
+
+
+def pack_rt(rt: IntervalSet) -> bytes:
+    """Serialize a reference time as the paper's array-of-intervals."""
+    header = bytes(RT_HEADER_BYTES)
+    body = b"".join(
+        _pack_date(start) + _pack_date(end) for start, end in rt.intervals
+    )
+    return header + body
+
+
+def pack_tuple(
+    item: OngoingTuple, *, layout: str = "ongoing", include_header: bool = True
+) -> bytes:
+    """Serialize a whole tuple (values + RT in the ongoing layout)."""
+    if layout not in ("ongoing", "fixed"):
+        raise StorageError(f"unknown layout {layout!r}")
+    parts: List[bytes] = []
+    if include_header:
+        parts.append(bytes(TUPLE_HEADER_BYTES))
+    for value in item.values:
+        parts.append(pack_value(value, layout=layout))
+    if layout == "ongoing":
+        parts.append(pack_rt(item.rt))
+    return b"".join(parts)
+
+
+def sizeof_tuple(item: OngoingTuple, *, layout: str = "ongoing") -> int:
+    """Byte size of a tuple under the given layout."""
+    return len(pack_tuple(item, layout=layout))
+
+
+# ----------------------------------------------------------------------
+# Deserialization — the read path of the storage layout.
+#
+# Unpacking needs the schema (the layout is not self-describing, like a
+# PostgreSQL heap page isn't): the attribute kinds select the decoders.
+# Only the ongoing layout round-trips losslessly; the fixed layout is a
+# lossy projection for the instantiating baselines.
+# ----------------------------------------------------------------------
+
+
+def _unpack_date(buffer: bytes, offset: int) -> tuple[TimePoint, int]:
+    (value,) = struct.unpack_from("<i", buffer, offset)
+    if value == _DATE_MINUS_INF:
+        return MINUS_INF, offset + 4
+    if value == _DATE_PLUS_INF:
+        return PLUS_INF, offset + 4
+    return value, offset + 4
+
+
+def unpack_rt(buffer: bytes, offset: int = 0) -> tuple[IntervalSet, int]:
+    """Read a reference time written by :func:`pack_rt`.
+
+    The array header does not carry an element count (neither does the
+    paper's layout — PostgreSQL stores it in the varlena length); we read
+    intervals to the end of the buffer, so RT must be the trailing
+    attribute, which it is in :func:`pack_tuple`.
+    """
+    offset += RT_HEADER_BYTES
+    pairs = []
+    while offset + RT_INTERVAL_BYTES <= len(buffer):
+        start, offset = _unpack_date(buffer, offset)
+        end, offset = _unpack_date(buffer, offset)
+        pairs.append((start, end))
+    return IntervalSet(pairs), offset
+
+
+def unpack_tuple(buffer: bytes, schema, *, text_attributes=frozenset()) -> OngoingTuple:
+    """Read one tuple written by :func:`pack_tuple` (ongoing layout).
+
+    *schema* is a :class:`~repro.relational.schema.Schema`.  Fixed
+    attributes decode as 4-byte ints unless their name appears in
+    *text_attributes* (the layout itself is not self-describing — in
+    PostgreSQL the type information lives in the catalog, and this
+    parameter plays that role).
+    """
+    from repro.relational.schema import AttributeKind
+
+    offset = TUPLE_HEADER_BYTES
+    values = []
+    for attribute in schema:
+        if attribute.kind is AttributeKind.ONGOING_POINT:
+            a, offset = _unpack_date(buffer, offset)
+            b, offset = _unpack_date(buffer, offset)
+            values.append(OngoingTimePoint(a, b))
+        elif attribute.kind is AttributeKind.ONGOING_INTERVAL:
+            offset += 5  # varlena + range flags
+            a, offset = _unpack_date(buffer, offset)
+            b, offset = _unpack_date(buffer, offset)
+            c, offset = _unpack_date(buffer, offset)
+            d, offset = _unpack_date(buffer, offset)
+            values.append(
+                OngoingInterval(OngoingTimePoint(a, b), OngoingTimePoint(c, d))
+            )
+        elif attribute.kind is AttributeKind.ONGOING_INTEGER:
+            offset += 4  # varlena
+            (count,) = struct.unpack_from("<B", buffer, offset)
+            offset += 1
+            segments = []
+            for _ in range(count):
+                start, offset = _unpack_date(buffer, offset)
+                end, offset = _unpack_date(buffer, offset)
+                intercept, slope = struct.unpack_from("<qi", buffer, offset)
+                offset += 12
+                segments.append((start, end, intercept, slope))
+            values.append(OngoingInt(segments))
+        elif attribute.name in text_attributes:
+            (length,) = struct.unpack_from("<I", buffer, offset)
+            values.append(
+                buffer[offset + 4 : offset + 4 + length].decode("utf-8")
+            )
+            offset += 4 + length
+        else:
+            value, offset = _unpack_date(buffer, offset)
+            values.append(value)
+    rt, _ = unpack_rt(buffer, offset)
+    return OngoingTuple(tuple(values), rt)
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """Aggregate storage statistics of a relation (the Table V columns)."""
+
+    tuple_count: int
+    avg_tuple_bytes: float       # ongoing layout, including RT
+    avg_rt_bytes: float          # RT attribute share, absolute
+    rt_share: float              # RT attribute share, relative
+    avg_fixed_tuple_bytes: float  # classical layout (baselines)
+    ongoing_vs_fixed: float      # Table V's "ongoing/fixed tuple size"
+    avg_rt_cardinality: float    # intervals per RT (Table IV's metric)
+    max_rt_cardinality: int
+
+    def format(self) -> str:
+        return (
+            f"tuples={self.tuple_count}  avg={self.avg_tuple_bytes:.0f}B  "
+            f"RT={self.avg_rt_bytes:.0f}B ({self.rt_share:.0%})  "
+            f"ongoing/fixed={self.ongoing_vs_fixed:.0%}  "
+            f"|RT| avg={self.avg_rt_cardinality:.2f} max={self.max_rt_cardinality}"
+        )
+
+
+def relation_storage(relation: OngoingRelation) -> StorageReport:
+    """Measure a relation under both layouts (one pass, real serialization)."""
+    count = len(relation)
+    if count == 0:
+        return StorageReport(0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0)
+    total_ongoing = 0
+    total_fixed = 0
+    total_rt = 0
+    total_cardinality = 0
+    max_cardinality = 0
+    for item in relation:
+        total_ongoing += sizeof_tuple(item, layout="ongoing")
+        total_fixed += sizeof_tuple(item, layout="fixed")
+        total_rt += len(pack_rt(item.rt))
+        cardinality = item.rt.cardinality
+        total_cardinality += cardinality
+        if cardinality > max_cardinality:
+            max_cardinality = cardinality
+    avg_ongoing = total_ongoing / count
+    avg_fixed = total_fixed / count
+    avg_rt = total_rt / count
+    return StorageReport(
+        tuple_count=count,
+        avg_tuple_bytes=avg_ongoing,
+        avg_rt_bytes=avg_rt,
+        rt_share=avg_rt / avg_ongoing,
+        avg_fixed_tuple_bytes=avg_fixed,
+        ongoing_vs_fixed=avg_ongoing / avg_fixed,
+        avg_rt_cardinality=total_cardinality / count,
+        max_rt_cardinality=max_cardinality,
+    )

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TimeDomainError(ReproError):
+    """A value violates the constraints of the time domain.
+
+    Raised, for instance, when an ongoing time point ``a+b`` is constructed
+    with ``a > b`` (Definition 1 requires ``a <= b``) or when a time point
+    lies outside the representable range of the discrete domain ``T``.
+    """
+
+
+class IntervalError(ReproError):
+    """A fixed or ongoing time interval is malformed.
+
+    Fixed intervals used inside reference-time sets must be non-empty and
+    half-open ``[start, end)`` with ``start < end``.
+    """
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible.
+
+    Raised for duplicate attribute names, references to unknown attributes,
+    or set operations (union, difference) over relations whose schemas do
+    not match.
+    """
+
+
+class PredicateError(ReproError):
+    """A predicate expression is ill-typed or cannot be evaluated.
+
+    Raised, for instance, when an Allen predicate is applied to a non-interval
+    attribute or when a fixed comparison is applied to an ongoing value
+    without going through the ongoing operations.
+    """
+
+
+class QueryError(ReproError):
+    """A logical query plan is invalid (unknown table, bad arity, ...)."""
+
+
+class StorageError(ReproError):
+    """A value cannot be serialized to the storage layout."""
+
+
+class InstantiationError(ReproError):
+    """An ongoing value cannot be instantiated at the given reference time."""

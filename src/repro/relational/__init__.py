@@ -1,0 +1,89 @@
+"""Ongoing relations and their relational algebra (Section VII of the paper).
+
+* :mod:`repro.relational.schema` — schemas with fixed/ongoing attributes;
+* :mod:`repro.relational.tuples` — tuples carrying the RT attribute;
+* :mod:`repro.relational.relation` — ongoing relations and the bind operator;
+* :mod:`repro.relational.predicates` — predicate/expression trees evaluated
+  to ongoing booleans (the ``col(...)`` builder API);
+* :mod:`repro.relational.algebra` — π, σ, ×, ⋈, ∪, −, ∩ per Theorem 2;
+* :mod:`repro.relational.aggregate` — RT-aware aggregation (Section X
+  future work, implemented here).
+"""
+
+from repro.relational.schema import Attribute, AttributeKind, Schema
+from repro.relational.tuples import FixedTuple, OngoingTuple, bind_value
+from repro.relational.relation import OngoingRelation
+from repro.relational.predicates import (
+    AllenPredicate,
+    And,
+    Column,
+    Comparison,
+    Expression,
+    IntervalIntersection,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TRUE_PREDICATE,
+    TruePredicate,
+    col,
+    lit,
+)
+from repro.relational.algebra import (
+    coalesce,
+    difference,
+    intersection,
+    join,
+    product,
+    project,
+    rename,
+    select,
+    union,
+    value_equality,
+)
+from repro.relational.aggregate import (
+    count_tuples,
+    group_by,
+    max_over,
+    min_over,
+    sum_durations,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "FixedTuple",
+    "OngoingTuple",
+    "bind_value",
+    "OngoingRelation",
+    "AllenPredicate",
+    "And",
+    "Column",
+    "Comparison",
+    "Expression",
+    "IntervalIntersection",
+    "Literal",
+    "Not",
+    "Or",
+    "Predicate",
+    "TRUE_PREDICATE",
+    "TruePredicate",
+    "col",
+    "lit",
+    "coalesce",
+    "difference",
+    "intersection",
+    "join",
+    "product",
+    "project",
+    "rename",
+    "select",
+    "union",
+    "value_equality",
+    "count_tuples",
+    "group_by",
+    "max_over",
+    "min_over",
+    "sum_durations",
+]

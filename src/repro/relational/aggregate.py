@@ -1,0 +1,208 @@
+"""RT-aware aggregation over ongoing relations (Section X future work).
+
+The paper's outlook asks for "an aggregation operator for ongoing relations
+and ... the additional ongoing data types that are required to support
+aggregation".  The required data type is the ongoing integer
+(:mod:`repro.core.integer`); this module builds the operator on top of it:
+
+* :func:`count_tuples` — how many tuples exist, as a function of rt;
+* :func:`sum_durations` — total (clamped) interval duration at each rt;
+* :func:`min_over` / :func:`max_over` — extrema of a fixed numeric
+  attribute over the tuples present at each rt;
+* :func:`group_by` — the relational operator: one output tuple per group,
+  carrying an ongoing-integer aggregate column and the union of the
+  members' reference times.
+
+Semantics note: aggregates use **bag** semantics over the ongoing tuples —
+``‖COUNT(R)‖rt`` counts the tuples whose RT contains rt.  (Under pure set
+semantics two distinct ongoing tuples may instantiate identically at some
+rt; how grouping should treat that collision is exactly the open question
+the paper defers, and the bag choice is documented behaviour here.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.duration import duration as _duration
+from repro.core.integer import OngoingInt
+from repro.core.interval import OngoingInterval
+from repro.core.intervalset import EMPTY_SET, IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.errors import PredicateError, SchemaError
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Attribute, AttributeKind, Schema
+from repro.relational.tuples import OngoingTuple
+
+__all__ = [
+    "count_tuples",
+    "sum_durations",
+    "min_over",
+    "max_over",
+    "group_by",
+]
+
+
+def count_tuples(relation: OngoingRelation) -> OngoingInt:
+    """``COUNT(*)`` as a function of the reference time.
+
+    One event sweep over all RT boundaries — linear in the number of
+    intervals, independent of how often the count changes.
+    """
+    return OngoingInt.sum_of_steps(item.rt for item in relation)
+
+
+def sum_durations(relation: OngoingRelation, interval_attr: str) -> OngoingInt:
+    """``SUM(duration(attr))`` over the tuples present at each rt.
+
+    Each tuple contributes ``max(0, ‖te‖rt - ‖ts‖rt)`` at the reference
+    times in its RT and nothing elsewhere.
+    """
+    position = relation.schema.index_of(interval_attr)
+    if relation.schema.attribute(interval_attr).kind is not AttributeKind.ONGOING_INTERVAL:
+        raise PredicateError(
+            f"{interval_attr!r} is not an ongoing interval attribute"
+        )
+    total = OngoingInt.constant(0)
+    for item in relation:
+        value = item.values[position]
+        contribution = _duration(value)
+        if not item.rt.is_universal():
+            contribution = contribution.mask(item.rt)
+        total = total + contribution
+    return total
+
+
+def _extremum(
+    relation: OngoingRelation,
+    attr: str,
+    *,
+    empty_value: int,
+    better: Callable[[int, int], int],
+) -> OngoingInt:
+    """Piecewise-constant extremum of a fixed attribute over present tuples."""
+    position = relation.schema.index_of(attr)
+    if relation.schema.attribute(attr).kind.is_ongoing:
+        raise PredicateError(f"{attr!r} must be a fixed numeric attribute")
+    boundaries = {MINUS_INF, PLUS_INF}
+    members: List[Tuple[IntervalSet, int]] = []
+    for item in relation:
+        value = item.values[position]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise PredicateError(f"{attr!r} holds non-integer value {value!r}")
+        members.append((item.rt, value))
+        for start, end in item.rt:
+            boundaries.add(start)
+            boundaries.add(end)
+    ordered = sorted(boundaries)
+    segments = []
+    for start, end in zip(ordered, ordered[1:]):
+        current = None
+        for rt_set, value in members:
+            if start in rt_set:
+                current = value if current is None else better(current, value)
+        segments.append((start, end, empty_value if current is None else current, 0))
+    if not segments:
+        segments.append((MINUS_INF, PLUS_INF, empty_value, 0))
+    return OngoingInt(segments)
+
+
+def min_over(
+    relation: OngoingRelation, attr: str, *, empty_value: int = 0
+) -> OngoingInt:
+    """``MIN(attr)`` over the tuples present at each rt (*empty_value*
+    where no tuple exists)."""
+    return _extremum(relation, attr, empty_value=empty_value, better=min)
+
+
+def max_over(
+    relation: OngoingRelation, attr: str, *, empty_value: int = 0
+) -> OngoingInt:
+    """``MAX(attr)`` over the tuples present at each rt."""
+    return _extremum(relation, attr, empty_value=empty_value, better=max)
+
+
+_AGGREGATES: Dict[str, Callable[[OngoingRelation, str | None], OngoingInt]] = {}
+
+
+def _count_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
+    return count_tuples(relation)
+
+
+def _sum_duration_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
+    if attr is None:
+        raise PredicateError("sum_duration requires an interval attribute")
+    return sum_durations(relation, attr)
+
+
+def _min_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
+    if attr is None:
+        raise PredicateError("min requires an attribute")
+    return min_over(relation, attr)
+
+
+def _max_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
+    if attr is None:
+        raise PredicateError("max requires an attribute")
+    return max_over(relation, attr)
+
+
+_AGGREGATES["count"] = _count_aggregate
+_AGGREGATES["sum_duration"] = _sum_duration_aggregate
+_AGGREGATES["min"] = _min_aggregate
+_AGGREGATES["max"] = _max_aggregate
+
+
+def group_by(
+    relation: OngoingRelation,
+    group_columns: Sequence[str],
+    aggregate: str,
+    attr: str | None = None,
+    *,
+    output_name: str | None = None,
+) -> OngoingRelation:
+    """The aggregation operator γ on ongoing relations.
+
+    Groups by fixed attributes, computes the named *aggregate* (``count``,
+    ``sum_duration``, ``min``, ``max``) per group as an ongoing integer,
+    and sets each output tuple's RT to the union of its members' reference
+    times — the group exists exactly where at least one member exists.
+    """
+    if aggregate not in _AGGREGATES:
+        raise PredicateError(
+            f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
+        )
+    schema = relation.schema
+    positions = [schema.index_of(name) for name in group_columns]
+    for name in group_columns:
+        if schema.attribute(name).kind.is_ongoing:
+            raise SchemaError(
+                f"cannot group by ongoing attribute {name!r}; grouping keys "
+                f"must be fixed"
+            )
+    groups: Dict[Tuple[object, ...], List[OngoingTuple]] = {}
+    order: List[Tuple[object, ...]] = []
+    for item in relation:
+        key = tuple(item.values[p] for p in positions)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(item)
+
+    out_attributes = [schema.attribute(name) for name in group_columns]
+    out_attributes.append(
+        Attribute(output_name or aggregate, AttributeKind.ONGOING_INTEGER)
+    )
+    out_schema = Schema(out_attributes)
+
+    out_tuples = []
+    compute = _AGGREGATES[aggregate]
+    for key in order:
+        members = groups[key]
+        member_relation = OngoingRelation(schema, members)
+        value = compute(member_relation, attr)
+        support = EMPTY_SET
+        for member in members:
+            support = support.union(member.rt)
+        out_tuples.append(OngoingTuple(key + (value,), support))
+    return OngoingRelation(out_schema, out_tuples)

@@ -1,0 +1,586 @@
+"""Predicate and expression trees over ongoing relations.
+
+Queries restrict tuples with predicates such as::
+
+    (col("B.C") == col("P.C")) & col("B.VT").before(col("P.VT"))
+
+A predicate applied to a tuple evaluates to an **ongoing boolean**
+(Definition 3): predicates over fixed attributes yield the embeddings
+``O_TRUE`` / ``O_FALSE``, predicates over ongoing attributes yield
+contingent truth sets, and the logical connectives combine both seamlessly —
+this is exactly why the paper generalizes booleans to ongoing booleans.
+
+The planner's predicate split (Section VIII) is supported by
+:meth:`Predicate.conjuncts` (flattening conjunctions) and
+:meth:`Predicate.is_fixed_only` (does a conjunct reference ongoing
+attributes?).  Fixed-only conjuncts can be evaluated on the cheap
+boolean path (:meth:`Predicate.evaluate_fixed`) inside the WHERE clause,
+while ongoing conjuncts restrict the result tuple's reference time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple, Union
+
+from repro.core import allen as _allen
+from repro.core.boolean import O_FALSE, O_TRUE, OngoingBoolean, from_bool
+from repro.core.interval import OngoingInterval
+from repro.core.operations import (
+    equal,
+    greater_equal,
+    greater_than,
+    less_equal,
+    less_than,
+    not_equal,
+    ongoing_max,
+    ongoing_min,
+)
+from repro.core.timepoint import OngoingTimePoint, fixed
+from repro.errors import PredicateError
+from repro.relational.schema import Schema
+
+__all__ = [
+    "Expression",
+    "Column",
+    "Literal",
+    "IntervalIntersection",
+    "Predicate",
+    "Comparison",
+    "AllenPredicate",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "col",
+    "lit",
+    "TRUE_PREDICATE",
+]
+
+Row = Tuple[object, ...]
+
+
+def _coerce_operand(value: object) -> "Expression":
+    """Wrap plain values into :class:`Literal`; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+def _as_interval(value: object, what: str) -> OngoingInterval:
+    """Runtime check that an evaluated operand is an ongoing interval."""
+    if isinstance(value, OngoingInterval):
+        return value
+    if isinstance(value, tuple) and len(value) == 2:
+        return OngoingInterval(value[0], value[1])
+    raise PredicateError(f"{what} must evaluate to an interval, got {value!r}")
+
+
+# ======================================================================
+# Expressions — evaluate to attribute values
+# ======================================================================
+
+
+class Expression:
+    """A value-producing node (column reference, literal, or function)."""
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        """The value of this expression on *row* (typed by *schema*)."""
+        raise NotImplementedError
+
+    def references(self) -> Set[str]:
+        """Names of the attributes this expression reads."""
+        raise NotImplementedError
+
+    # --- comparison builders (produce predicates) ---------------------
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison("<", self, _coerce_operand(other))
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison("<=", self, _coerce_operand(other))
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(">", self, _coerce_operand(other))
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(">=", self, _coerce_operand(other))
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("=", self, _coerce_operand(other))
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison("!=", self, _coerce_operand(other))
+
+    # Keep expressions unhashable: they compare into predicates, so
+    # accidentally using them as dict keys would be silently wrong.
+    __hash__ = None  # type: ignore[assignment]
+
+    # --- Allen predicate builders --------------------------------------
+
+    def before(self, other: object) -> "AllenPredicate":
+        """``self before other`` (Table II)."""
+        return AllenPredicate("before", self, _coerce_operand(other))
+
+    def after(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("after", self, _coerce_operand(other))
+
+    def meets(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("meets", self, _coerce_operand(other))
+
+    def met_by(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("met_by", self, _coerce_operand(other))
+
+    def overlaps(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("overlaps", self, _coerce_operand(other))
+
+    def starts(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("starts", self, _coerce_operand(other))
+
+    def started_by(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("started_by", self, _coerce_operand(other))
+
+    def finishes(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("finishes", self, _coerce_operand(other))
+
+    def finished_by(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("finished_by", self, _coerce_operand(other))
+
+    def during(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("during", self, _coerce_operand(other))
+
+    def contains(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("contains", self, _coerce_operand(other))
+
+    def interval_equals(self, other: object) -> "AllenPredicate":
+        return AllenPredicate("interval_equals", self, _coerce_operand(other))
+
+    # --- function builders ---------------------------------------------
+
+    def intersect(self, other: object) -> "IntervalIntersection":
+        """``self ∩ other`` on intervals — an expression, not a predicate."""
+        return IntervalIntersection(self, _coerce_operand(other))
+
+
+class Column(Expression):
+    """A reference to an attribute by name (possibly qualified, ``"B.VT"``)."""
+
+    __slots__ = ("name", "_cached_schema", "_cached_position")
+
+    def __init__(self, name: str):
+        self.name = name
+        # Per-schema position memo: predicates are evaluated once per tuple
+        # over the same (immutable) schema, so the name lookup is hoisted
+        # out of the per-tuple path.
+        self._cached_schema: Schema | None = None
+        self._cached_position = -1
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        if schema is not self._cached_schema:
+            self._cached_position = schema.index_of(self.name)
+            self._cached_schema = schema
+        return row[self._cached_position]
+
+    def references(self) -> Set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value (fixed or ongoing)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        return self.value
+
+    def references(self) -> Set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class IntervalIntersection(Expression):
+    """``left ∩ right`` on ongoing intervals (Table II's ∩ function).
+
+    The result is again an ongoing interval — intersection never
+    instantiates, because Ω is closed under min and max.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, schema: Schema) -> object:
+        left = _as_interval(self.left.evaluate(row, schema), "intersection operand")
+        right = _as_interval(self.right.evaluate(row, schema), "intersection operand")
+        return _allen.intersect(left, right)
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+# ======================================================================
+# Predicates — evaluate to ongoing booleans
+# ======================================================================
+
+
+class Predicate:
+    """A truth-valued node; application yields an ongoing boolean."""
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        """``θ(r)`` — the ongoing boolean for this predicate on *row*."""
+        raise NotImplementedError
+
+    def references(self) -> Set[str]:
+        """Names of the attributes this predicate reads."""
+        raise NotImplementedError
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        """``True`` iff the result cannot depend on the reference time.
+
+        A conjunct is fixed-only when every referenced attribute is fixed
+        and no ongoing literal appears — the planner evaluates such
+        conjuncts on the cheap boolean path (Section VIII).
+        """
+        raise NotImplementedError
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        """Fast boolean evaluation for fixed-only predicates.
+
+        Raises :class:`~repro.errors.PredicateError` when the predicate is
+        not fixed-only on this schema.
+        """
+        result = self.evaluate(row, schema)
+        if result.is_always_true():
+            return True
+        if result.is_always_false():
+            return False
+        raise PredicateError(
+            f"predicate {self!r} is not fixed-only; its truth value depends "
+            f"on the reference time"
+        )
+
+    def conjuncts(self) -> List["Predicate"]:
+        """The flattened list of top-level conjuncts (self if not an AND)."""
+        return [self]
+
+    # --- connectives ----------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+_ONGOING_COMPARISONS = {
+    "<": less_than,
+    "<=": less_equal,
+    "=": equal,
+    "!=": not_equal,
+    ">": greater_than,
+    ">=": greater_equal,
+}
+
+_FIXED_COMPARISONS = {
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    "=": lambda x, y: x == y,
+    "!=": lambda x, y: x != y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+}
+
+
+class Comparison(Predicate):
+    """A comparison on time points or fixed values.
+
+    Dispatch is dynamic: if either operand evaluates to an ongoing time
+    point the ongoing operations of Section VI are used (plain ints are
+    embedded as fixed points of Ω); otherwise the standard fixed comparison
+    runs and its boolean is embedded via ``from_bool``.
+    """
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in _ONGOING_COMPARISONS:
+            raise PredicateError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        left_ongoing = isinstance(left, OngoingTimePoint)
+        right_ongoing = isinstance(right, OngoingTimePoint)
+        if left_ongoing or right_ongoing:
+            if not left_ongoing:
+                left = _as_fixed_point(left, self.op)
+            if not right_ongoing:
+                right = _as_fixed_point(right, self.op)
+            return _ONGOING_COMPARISONS[self.op](left, right)
+        try:
+            outcome = _FIXED_COMPARISONS[self.op](left, right)
+        except TypeError as exc:
+            raise PredicateError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+        return from_bool(bool(outcome))
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        return _operands_fixed_only((self.left, self.right), schema)
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        # Fast path for the planner's WHERE-clause conjuncts: plain Python
+        # comparison, no ongoing boolean is allocated.
+        left = self.left.evaluate(row, schema)
+        right = self.right.evaluate(row, schema)
+        if isinstance(left, OngoingTimePoint) or isinstance(right, OngoingTimePoint):
+            return super().evaluate_fixed(row, schema)
+        try:
+            return bool(_FIXED_COMPARISONS[self.op](left, right))
+        except TypeError as exc:
+            raise PredicateError(
+                f"cannot compare {left!r} {self.op} {right!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+def _as_fixed_point(value: object, op: str) -> OngoingTimePoint:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return fixed(value)
+    raise PredicateError(
+        f"comparison {op} mixes an ongoing time point with {value!r}"
+    )
+
+
+_ALLEN_REGISTRY = {
+    "before": _allen.before,
+    "after": _allen.after,
+    "meets": _allen.meets,
+    "met_by": _allen.met_by,
+    "overlaps": _allen.overlaps,
+    "starts": _allen.starts,
+    "started_by": _allen.started_by,
+    "finishes": _allen.finishes,
+    "finished_by": _allen.finished_by,
+    "during": _allen.during,
+    "contains": _allen.contains,
+    "interval_equals": _allen.interval_equals,
+}
+
+
+class AllenPredicate(Predicate):
+    """An interval predicate of Table II (plus the inverse relations)."""
+
+    __slots__ = ("name", "left", "right")
+
+    def __init__(self, name: str, left: Expression, right: Expression):
+        if name not in _ALLEN_REGISTRY:
+            raise PredicateError(
+                f"unknown interval predicate {name!r}; "
+                f"known: {sorted(_ALLEN_REGISTRY)}"
+            )
+        self.name = name
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        left = _as_interval(self.left.evaluate(row, schema), f"{self.name} operand")
+        right = _as_interval(self.right.evaluate(row, schema), f"{self.name} operand")
+        return _ALLEN_REGISTRY[self.name](left, right)
+
+    def references(self) -> Set[str]:
+        return self.left.references() | self.right.references()
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        # Interval predicates on fixed intervals are still evaluated through
+        # the ongoing machinery, but their results are constant: a fixed
+        # interval instantiates identically at every rt.
+        return _operands_fixed_only((self.left, self.right), schema)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.name} {self.right!r})"
+
+
+def _operands_fixed_only(operands: Iterable[Expression], schema: Schema) -> bool:
+    """Shared fixed-only test: fixed attributes and fixed literals only."""
+    for operand in operands:
+        for name in operand.references():
+            if schema.attribute(name).kind.is_ongoing:
+                return False
+        if isinstance(operand, Literal) and _is_ongoing_value(operand.value):
+            return False
+        if isinstance(operand, IntervalIntersection):
+            if not _operands_fixed_only((operand.left, operand.right), schema):
+                return False
+    return True
+
+
+def _is_ongoing_value(value: object) -> bool:
+    if isinstance(value, OngoingTimePoint):
+        return not value.is_fixed
+    if isinstance(value, OngoingInterval):
+        return not value.is_fixed
+    return False
+
+
+class And(Predicate):
+    """Conjunction of predicates — ``b[St ∩ S't, Sf ∪ S'f]`` per Theorem 1."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Predicate]):
+        flattened: List[Predicate] = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise PredicateError("empty conjunction")
+        self.parts = tuple(flattened)
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        result = self.parts[0].evaluate(row, schema)
+        for part in self.parts[1:]:
+            if result.is_always_false():
+                return O_FALSE
+            result = result.conjunction(part.evaluate(row, schema))
+        return result
+
+    def references(self) -> Set[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.references()
+        return names
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        return all(part.is_fixed_only(schema) for part in self.parts)
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        return all(part.evaluate_fixed(row, schema) for part in self.parts)
+
+    def conjuncts(self) -> List[Predicate]:
+        return list(self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(part) for part in self.parts) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates — ``b[St ∪ S't, Sf ∩ S'f]``."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Predicate]):
+        flattened: List[Predicate] = []
+        for part in parts:
+            if isinstance(part, Or):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise PredicateError("empty disjunction")
+        self.parts = tuple(flattened)
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        result = self.parts[0].evaluate(row, schema)
+        for part in self.parts[1:]:
+            if result.is_always_true():
+                return O_TRUE
+            result = result.disjunction(part.evaluate(row, schema))
+        return result
+
+    def references(self) -> Set[str]:
+        names: Set[str] = set()
+        for part in self.parts:
+            names |= part.references()
+        return names
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        return all(part.is_fixed_only(schema) for part in self.parts)
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        return any(part.evaluate_fixed(row, schema) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(part) for part in self.parts) + ")"
+
+
+class Not(Predicate):
+    """Negation — ``b[Sf, St]``."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        return self.part.evaluate(row, schema).negation()
+
+    def references(self) -> Set[str]:
+        return self.part.references()
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        return self.part.is_fixed_only(schema)
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        return not self.part.evaluate_fixed(row, schema)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.part!r})"
+
+
+class TruePredicate(Predicate):
+    """The always-true predicate (used for predicate-less joins/selections)."""
+
+    def evaluate(self, row: Row, schema: Schema) -> OngoingBoolean:
+        return O_TRUE
+
+    def references(self) -> Set[str]:
+        return set()
+
+    def is_fixed_only(self, schema: Schema) -> bool:
+        return True
+
+    def evaluate_fixed(self, row: Row, schema: Schema) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+#: Shared instance of the always-true predicate.
+TRUE_PREDICATE = TruePredicate()
+
+
+def col(name: str) -> Column:
+    """Shorthand for :class:`Column` — the entry point of the builder API."""
+    return Column(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand for :class:`Literal`."""
+    return Literal(value)

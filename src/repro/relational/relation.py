@@ -1,0 +1,146 @@
+"""Ongoing relations and the bind operator on relations (Section VII-A).
+
+An ongoing relation is a finite set of tuples over a schema of fixed and
+ongoing attributes, where every tuple additionally carries a reference time
+``RT``.  Base relations assign the trivial reference time ``{(-inf, inf)}``;
+query operators restrict it (Theorem 2) and drop tuples whose reference time
+becomes empty.
+
+The bind operator instantiates a relation at a reference time::
+
+    ‖R‖rt = { x | ∃ r ∈ R: x.A = ‖r.A‖rt  and  rt ∈ r.RT }
+
+and is the yardstick for every correctness test in this repository: for any
+operator ``Op`` of the algebra, ``‖Op(R)‖rt == OpF(‖R‖rt)`` at all rt.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
+from repro.core.timeline import TimePoint
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.tuples import FixedTuple, OngoingTuple
+
+__all__ = ["OngoingRelation"]
+
+
+class OngoingRelation:
+    """An immutable ongoing relation: a schema plus a set of ongoing tuples.
+
+    Duplicate tuples (same values *and* same reference time) are removed at
+    construction; iteration order is the insertion order of the first
+    occurrence, which keeps example output stable and diffable.
+    """
+
+    __slots__ = ("_schema", "_tuples")
+
+    def __init__(self, schema: Schema, tuples: Iterable[OngoingTuple] = ()):
+        self._schema = schema
+        deduplicated = dict.fromkeys(tuples)
+        for item in deduplicated:
+            if len(item.values) != len(schema):
+                raise SchemaError(
+                    f"tuple {item.values!r} has {len(item.values)} values, "
+                    f"schema expects {len(schema)}"
+                )
+        self._tuples: Tuple[OngoingTuple, ...] = tuple(deduplicated)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence[object]],
+        rt: IntervalSet = UNIVERSAL_SET,
+    ) -> "OngoingRelation":
+        """Build a base relation: every row gets the reference time *rt*.
+
+        The default *rt* is the trivial reference time ``{(-inf, inf)}`` the
+        database system assigns to base tuples (Section VII-A).
+        """
+        return cls(schema, (OngoingTuple(tuple(row), rt) for row in rows))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def tuples(self) -> Tuple[OngoingTuple, ...]:
+        return self._tuples
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        return iter(self._tuples)
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one attribute, in tuple order (handy in tests)."""
+        index = self._schema.index_of(name)
+        return [item.values[index] for item in self._tuples]
+
+    def rt_cardinalities(self) -> List[int]:
+        """Number of fixed intervals in each tuple's RT (Table IV metric)."""
+        return [item.rt.cardinality for item in self._tuples]
+
+    # ------------------------------------------------------------------
+    # The bind operator
+    # ------------------------------------------------------------------
+
+    def instantiate(self, rt: TimePoint) -> FrozenSet[FixedTuple]:
+        """``‖R‖rt`` — the fixed relation at reference time *rt*.
+
+        Tuples whose reference time does not contain *rt* are omitted;
+        the remaining tuples are instantiated componentwise.  The result is
+        a set (fixed relations have set semantics).
+        """
+        result = []
+        for item in self._tuples:
+            bound = item.instantiate(rt)
+            if bound is not None:
+                result.append(bound)
+        return frozenset(result)
+
+    # ------------------------------------------------------------------
+    # Value semantics and display
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality: same schema, same set of (values, RT) tuples."""
+        if not isinstance(other, OngoingRelation):
+            return NotImplemented
+        return self._schema == other._schema and frozenset(self._tuples) == frozenset(
+            other._tuples
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, frozenset(self._tuples)))
+
+    def __repr__(self) -> str:
+        return (
+            f"OngoingRelation(schema={self._schema!r}, "
+            f"tuples={len(self._tuples)})"
+        )
+
+    def format(self, *, max_rows: int = 20) -> str:
+        """A paper-style table rendering (used by the examples)."""
+        header = " | ".join(self._schema.names) + " | RT"
+        lines = [header, "-" * len(header)]
+        for item in self._tuples[:max_rows]:
+            lines.append(item.format())
+        if len(self._tuples) > max_rows:
+            lines.append(f"... ({len(self._tuples) - max_rows} more)")
+        return "\n".join(lines)

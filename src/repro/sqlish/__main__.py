@@ -1,0 +1,111 @@
+"""Interactive OSQL shell: ``python -m repro.sqlish``.
+
+Starts a read-eval-print loop over the paper's running-example database
+(relations B, P, L of Fig. 1).  Statements end with ``;``.  Meta commands:
+
+* ``\\d``            — list tables and schemas;
+* ``\\rt <mm/dd>``   — also print the result instantiated at that date;
+* ``\\explain ...``  — show the physical plan instead of running;
+* ``\\q``            — quit.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.timeline import from_mmdd, mmdd
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.relational.schema import Schema
+from repro.sqlish import compile_statement, run
+
+__all__ = ["main"]
+
+
+def demo_database() -> Database:
+    """The Fig. 1 relations, preloaded."""
+    database = Database("email-service")
+    bugs = database.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(mmdd(1, 25)))
+    bugs.insert(501, "Spam filter", fixed_interval(mmdd(3, 30), mmdd(8, 21)))
+    patches = database.create_table("P", Schema.of("PID", "C", ("VT", "interval")))
+    patches.insert(201, "Spam filter", fixed_interval(mmdd(8, 15), mmdd(8, 24)))
+    patches.insert(202, "Spam filter", fixed_interval(mmdd(8, 24), mmdd(8, 27)))
+    leads = database.create_table("L", Schema.of("Name", "C", ("VT", "interval")))
+    leads.insert("Ann", "Spam filter", fixed_interval(mmdd(1, 20), mmdd(8, 18)))
+    leads.insert("Bob", "Spam filter", until_now(mmdd(8, 18)))
+    return database
+
+
+def _describe(database: Database) -> str:
+    lines = []
+    for name, table in sorted(database.tables().items()):
+        columns = ", ".join(
+            f"{a.name}:{a.kind.value}" for a in table.schema
+        )
+        lines.append(f"  {name}({columns})  [{len(table)} tuples]")
+    return "\n".join(lines)
+
+
+def execute_line(line: str, database: Database, rt_probe) -> str:
+    """Execute one shell line; returns the text to print (used by tests)."""
+    text = line.strip().rstrip(";").strip()
+    if not text:
+        return ""
+    if text == r"\d":
+        return _describe(database)
+    if text.startswith(r"\explain"):
+        plan = compile_statement(text[len(r"\explain") :].strip(), database)
+        return database.explain(plan)
+    result = run(text, database)
+    output = [result.format()]
+    if rt_probe is not None:
+        rows = sorted(result.instantiate(rt_probe), key=str)
+        output.append(f"-- instantiated at rt={rt_probe}:")
+        for row in rows:
+            output.append(f"   {row}")
+    return "\n".join(output)
+
+
+def main(argv=None) -> int:
+    database = demo_database()
+    rt_probe = None
+    print("OSQL shell over the paper's running example (tables B, P, L).")
+    print(r"Meta: \d (tables)  \rt mm/dd (probe)  \explain <stmt>  \q (quit)")
+    buffer = ""
+    while True:
+        try:
+            prompt = "osql> " if not buffer else "  ... "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        stripped = line.strip()
+        if stripped == r"\q":
+            return 0
+        if stripped.startswith(r"\rt"):
+            try:
+                rt_probe = from_mmdd(stripped[3:].strip())
+                print(f"-- probing instantiations at {stripped[3:].strip()}")
+            except ReproError as error:
+                print(f"error: {error}")
+            continue
+        if stripped.startswith("\\") and not buffer:
+            try:
+                print(execute_line(stripped, database, rt_probe))
+            except ReproError as error:
+                print(f"error: {error}")
+            continue
+        buffer += " " + line
+        if ";" in line:
+            try:
+                print(execute_line(buffer, database, rt_probe))
+            except ReproError as error:
+                print(f"error: {error}")
+            buffer = ""
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

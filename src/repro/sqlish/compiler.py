@@ -1,0 +1,384 @@
+"""Compile OSQL statements onto the engine.
+
+The compiler lowers the AST to the engine's logical plans (scans, joins
+with predicate placement, selections, projections, set operations) and —
+for aggregate queries — to the RT-aware aggregation operator.
+
+Predicate placement mirrors what a SQL optimizer does before the paper's
+Section VIII machinery takes over: the WHERE clause is split into top-level
+conjuncts and each conjunct is attached to the *earliest* join step whose
+combined schema covers its column references, so equality conjuncts become
+hash-join keys and temporal conjuncts become RT-restricting residuals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.interval import OngoingInterval
+from repro.core.timeline import MINUS_INF, PLUS_INF, from_mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint
+from repro.engine.database import Database
+from repro.engine.plan import Difference as PlanDifference
+from repro.engine.plan import Join as PlanJoin
+from repro.engine.plan import PlanNode, Project, Scan, Select
+from repro.engine.plan import Union as PlanUnion
+from repro.errors import QueryError
+from repro.relational.aggregate import group_by as _group_by
+from repro.relational.predicates import (
+    AllenPredicate,
+    And,
+    Column,
+    Comparison as PredComparison,
+    Expression,
+    IntervalIntersection,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.relational.relation import OngoingRelation
+from repro.sqlish import nodes
+from repro.sqlish.parser import parse
+
+__all__ = ["compile_statement", "run"]
+
+
+# ----------------------------------------------------------------------
+# Literals
+# ----------------------------------------------------------------------
+
+
+def _parse_endpoint(text: str) -> OngoingTimePoint:
+    """One endpoint in point-literal syntax (see the lexer docstring)."""
+    body = text.strip().lower()
+    if body == "now":
+        return NOW
+    if body in ("inf", "+inf", "infinity"):
+        return OngoingTimePoint(PLUS_INF, PLUS_INF)
+    if body in ("-inf", "-infinity"):
+        return OngoingTimePoint(MINUS_INF, MINUS_INF)
+
+    def one_point(piece: str) -> int:
+        piece = piece.strip()
+        if piece in ("inf", "infinity"):
+            return PLUS_INF
+        if piece in ("-inf", "-infinity"):
+            return MINUS_INF
+        try:
+            return int(piece)
+        except ValueError:
+            return from_mmdd(piece)
+
+    if body.endswith("+"):
+        return OngoingTimePoint(one_point(body[:-1]), PLUS_INF)
+    if body.startswith("+"):
+        return OngoingTimePoint(MINUS_INF, one_point(body[1:]))
+    if "+" in body:
+        a_text, b_text = body.split("+", 1)
+        return OngoingTimePoint(one_point(a_text), one_point(b_text))
+    value = one_point(body)
+    return OngoingTimePoint(value, value)
+
+
+def _compile_literal(node: nodes.ValueExpr) -> object:
+    if isinstance(node, nodes.NumberLiteral):
+        return node.value
+    if isinstance(node, nodes.StringLiteral):
+        return node.value
+    if isinstance(node, nodes.PointLiteral):
+        return _parse_endpoint(node.body)
+    if isinstance(node, nodes.PeriodLiteral):
+        return OngoingInterval(
+            _parse_endpoint(node.start), _parse_endpoint(node.end)
+        )
+    raise QueryError(f"not a literal: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Name resolution
+# ----------------------------------------------------------------------
+
+
+class _Scope:
+    """Maps OSQL column names to the plan's (qualified) attribute names."""
+
+    def __init__(self, database: Database, tables: Sequence[nodes.TableRef]):
+        self.tables = list(tables)
+        self.qualified = len(tables) > 1
+        self._by_short: Dict[str, List[str]] = {}
+        self._all: set[str] = set()
+        for table in tables:
+            schema = database.relation(table.table).schema
+            for attribute in schema:
+                if self.qualified:
+                    full = f"{table.exposed_name}.{attribute.name}"
+                else:
+                    full = attribute.name
+                self._all.add(full)
+                self._by_short.setdefault(attribute.name, []).append(full)
+
+    def resolve(self, name: str) -> str:
+        """Resolve an OSQL column reference to a plan attribute name."""
+        if name in self._all:
+            return name
+        candidates = self._by_short.get(name.split(".")[-1] if "." in name else name)
+        if "." in name:
+            raise QueryError(f"unknown column {name!r}")
+        if not candidates:
+            raise QueryError(f"unknown column {name!r}")
+        if len(candidates) > 1:
+            raise QueryError(
+                f"ambiguous column {name!r}; qualify it with a table alias "
+                f"(candidates: {sorted(candidates)})"
+            )
+        return candidates[0]
+
+
+def _compile_value(node: nodes.ValueExpr, scope: _Scope) -> Expression:
+    if isinstance(node, nodes.ColumnRef):
+        return Column(scope.resolve(node.name))
+    if isinstance(node, nodes.IntersectionCall):
+        return IntervalIntersection(
+            _compile_value(node.left, scope), _compile_value(node.right, scope)
+        )
+    return Literal(_compile_literal(node))
+
+
+def _compile_boolean(node: nodes.BooleanExpr, scope: _Scope) -> Predicate:
+    if isinstance(node, nodes.Comparison):
+        return PredComparison(
+            node.op, _compile_value(node.left, scope), _compile_value(node.right, scope)
+        )
+    if isinstance(node, nodes.TemporalPredicate):
+        return AllenPredicate(
+            node.name,
+            _compile_value(node.left, scope),
+            _compile_value(node.right, scope),
+        )
+    if isinstance(node, nodes.AndExpr):
+        return And(tuple(_compile_boolean(part, scope) for part in node.parts))
+    if isinstance(node, nodes.OrExpr):
+        return Or(tuple(_compile_boolean(part, scope) for part in node.parts))
+    if isinstance(node, nodes.NotExpr):
+        return Not(_compile_boolean(node.part, scope))
+    raise QueryError(f"unsupported boolean expression: {node!r}")
+
+
+# ----------------------------------------------------------------------
+# FROM clause: join chain with predicate placement
+# ----------------------------------------------------------------------
+
+
+def _conjunct_references(node: nodes.BooleanExpr) -> set[str]:
+    if isinstance(node, (nodes.Comparison, nodes.TemporalPredicate)):
+        names = set()
+        for side in (node.left, node.right):
+            names |= _value_references(side)
+        return names
+    if isinstance(node, (nodes.AndExpr, nodes.OrExpr)):
+        names = set()
+        for part in node.parts:
+            names |= _conjunct_references(part)
+        return names
+    if isinstance(node, nodes.NotExpr):
+        return _conjunct_references(node.part)
+    return set()
+
+
+def _value_references(node: nodes.ValueExpr) -> set[str]:
+    if isinstance(node, nodes.ColumnRef):
+        return {node.name}
+    if isinstance(node, nodes.IntersectionCall):
+        return _value_references(node.left) | _value_references(node.right)
+    return set()
+
+
+def _split_conjuncts(node: Optional[nodes.BooleanExpr]) -> List[nodes.BooleanExpr]:
+    if node is None:
+        return []
+    if isinstance(node, nodes.AndExpr):
+        result: List[nodes.BooleanExpr] = []
+        for part in node.parts:
+            result.extend(_split_conjuncts(part))
+        return result
+    return [node]
+
+
+def _build_from_where(
+    statement: nodes.SelectStatement, database: Database, scope: _Scope
+) -> PlanNode:
+    """The FROM/WHERE part of a select as a plan with placed conjuncts."""
+    tables = statement.tables
+    conjuncts = _split_conjuncts(statement.where)
+    pending = [(c, {scope.resolve(n) for n in _conjunct_references(c)}) for c in conjuncts]
+    placed = [False] * len(pending)
+
+    available: set[str] = set()
+
+    def table_columns(ref: nodes.TableRef) -> set[str]:
+        schema = database.relation(ref.table).schema
+        if scope.qualified:
+            return {f"{ref.exposed_name}.{a.name}" for a in schema}
+        return {a.name for a in schema}
+
+    def take_applicable() -> List[Predicate]:
+        taken: List[Predicate] = []
+        for position, (conjunct, references) in enumerate(pending):
+            if placed[position]:
+                continue
+            if references <= available:
+                taken.append(_compile_boolean(conjunct, scope))
+                placed[position] = True
+        return taken
+
+    plan: PlanNode = Scan(tables[0].table)
+    available |= table_columns(tables[0])
+    first = True
+    if len(tables) == 1:
+        predicates = take_applicable()
+        if predicates:
+            plan = Select(plan, And(tuple(predicates)) if len(predicates) > 1 else predicates[0])
+    else:
+        for ref in tables[1:]:
+            available |= table_columns(ref)
+            predicates = take_applicable()
+            on: Predicate
+            if predicates:
+                on = And(tuple(predicates)) if len(predicates) > 1 else predicates[0]
+            else:
+                from repro.relational.predicates import TRUE_PREDICATE
+
+                on = TRUE_PREDICATE
+            plan = PlanJoin(
+                plan,
+                Scan(ref.table),
+                on,
+                left_name=tables[0].exposed_name if first else None,
+                right_name=ref.exposed_name,
+            )
+            first = False
+    remaining = [
+        _compile_boolean(conjunct, scope)
+        for position, (conjunct, _) in enumerate(pending)
+        if not placed[position]
+    ]
+    if remaining:
+        plan = Select(
+            plan, And(tuple(remaining)) if len(remaining) > 1 else remaining[0]
+        )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# SELECT list and aggregation
+# ----------------------------------------------------------------------
+
+
+def _has_aggregates(statement: nodes.SelectStatement) -> bool:
+    return any(
+        isinstance(item, nodes.SelectItem)
+        and isinstance(item.expression, nodes.AggregateCall)
+        for item in statement.items
+    )
+
+
+def _compile_select(
+    statement: nodes.SelectStatement, database: Database
+) -> PlanNode:
+    scope = _Scope(database, statement.tables)
+    plan = _build_from_where(statement, database, scope)
+    if any(isinstance(item, nodes.StarItem) for item in statement.items):
+        if len(statement.items) != 1:
+            raise QueryError("SELECT * cannot be mixed with other items")
+        return plan
+    items = []
+    for item in statement.items:
+        assert isinstance(item, nodes.SelectItem)
+        if isinstance(item.expression, nodes.AggregateCall):
+            raise QueryError(
+                "aggregate queries cannot be compiled to a pure plan; "
+                "use run()"
+            )
+        expression = _compile_value(item.expression, scope)
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expression, nodes.ColumnRef):
+            # Output columns keep the name the user wrote (unqualified
+            # references stay unqualified), like SQL projection does.
+            name = item.expression.name
+        else:
+            raise QueryError(
+                f"computed column {item.expression!r} needs an AS alias"
+            )
+        items.append((name, expression))
+    return Project(plan, tuple(items))
+
+
+def compile_statement(source: str, database: Database) -> PlanNode:
+    """Compile an OSQL statement to an engine logical plan.
+
+    Aggregate queries (COUNT/SUM_DURATION/MIN/MAX) cannot be expressed as a
+    pure plan — use :func:`run` for those.
+    """
+    return _compile_any(parse(source), database)
+
+
+def _compile_any(statement: nodes.Statement, database: Database) -> PlanNode:
+    if isinstance(statement, nodes.SetOperation):
+        left = _compile_any(statement.left, database)
+        right = _compile_any(statement.right, database)
+        if statement.operator == "union":
+            return PlanUnion(left, right)
+        return PlanDifference(left, right)
+    if _has_aggregates(statement):
+        raise QueryError(
+            "aggregate queries cannot be compiled to a pure plan; use run()"
+        )
+    return _compile_select(statement, database)
+
+
+def _run_aggregate(
+    statement: nodes.SelectStatement, database: Database
+) -> OngoingRelation:
+    scope = _Scope(database, statement.tables)
+    plan = _build_from_where(statement, database, scope)
+    base = database.query(plan)
+    aggregates = [
+        item
+        for item in statement.items
+        if isinstance(item, nodes.SelectItem)
+        and isinstance(item.expression, nodes.AggregateCall)
+    ]
+    plain = [
+        item
+        for item in statement.items
+        if isinstance(item, nodes.SelectItem)
+        and not isinstance(item.expression, nodes.AggregateCall)
+    ]
+    if len(aggregates) != 1:
+        raise QueryError("exactly one aggregate per SELECT is supported")
+    group_columns = [scope.resolve(name) for name in statement.group_by]
+    for item in plain:
+        if not isinstance(item.expression, nodes.ColumnRef):
+            raise QueryError("non-aggregate SELECT items must be plain columns")
+        resolved = scope.resolve(item.expression.name)
+        if resolved not in group_columns:
+            raise QueryError(
+                f"column {item.expression.name!r} must appear in GROUP BY"
+            )
+    call = aggregates[0].expression
+    assert isinstance(call, nodes.AggregateCall)
+    argument = scope.resolve(call.argument) if call.argument else None
+    output_name = aggregates[0].alias or call.function
+    return _group_by(
+        base, group_columns, call.function, argument, output_name=output_name
+    )
+
+
+def run(source: str, database: Database) -> OngoingRelation:
+    """Parse, compile, and execute an OSQL statement."""
+    statement = parse(source)
+    if isinstance(statement, nodes.SelectStatement) and _has_aggregates(statement):
+        return _run_aggregate(statement, database)
+    return database.query(_compile_any(statement, database))

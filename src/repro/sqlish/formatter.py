@@ -1,0 +1,126 @@
+"""Render OSQL ASTs back to text.
+
+``format_statement(parse(sql))`` produces a canonical rendering that parses
+back to the identical AST — the round-trip property the test suite checks.
+Useful for logging, for the shell's history, and for golden-testing query
+rewrites at the language level.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.sqlish import nodes
+
+__all__ = ["format_statement", "format_value", "format_boolean"]
+
+_TEMPORAL_RENDER = {
+    "overlaps": "OVERLAPS",
+    "before": "BEFORE",
+    "after": "AFTER",
+    "meets": "MEETS",
+    "met_by": "MET_BY",
+    "starts": "STARTS",
+    "started_by": "STARTED_BY",
+    "finishes": "FINISHES",
+    "finished_by": "FINISHED_BY",
+    "during": "DURING",
+    "contains": "CONTAINS",
+    "interval_equals": "EQUALS",
+}
+
+_AGGREGATE_RENDER = {
+    "count": "COUNT",
+    "sum_duration": "SUM_DURATION",
+    "min": "MIN",
+    "max": "MAX",
+}
+
+
+def format_value(node: nodes.ValueExpr) -> str:
+    """Render one value expression (column, literal, function call)."""
+    if isinstance(node, nodes.ColumnRef):
+        return node.name
+    if isinstance(node, nodes.NumberLiteral):
+        return str(node.value)
+    if isinstance(node, nodes.StringLiteral):
+        return f"'{node.value}'"
+    if isinstance(node, nodes.PointLiteral):
+        if node.body == "now":
+            return "NOW"
+        return f"DATE '{node.body}'"
+    if isinstance(node, nodes.PeriodLiteral):
+        return f"PERIOD '[{node.start}, {node.end})'"
+    if isinstance(node, nodes.IntersectionCall):
+        return (
+            f"INTERSECTION({format_value(node.left)}, "
+            f"{format_value(node.right)})"
+        )
+    raise QueryError(f"cannot format value {node!r}")
+
+
+def format_boolean(node: nodes.BooleanExpr) -> str:
+    """Render a boolean expression with minimal correct parenthesization."""
+    if isinstance(node, nodes.Comparison):
+        return f"{format_value(node.left)} {node.op} {format_value(node.right)}"
+    if isinstance(node, nodes.TemporalPredicate):
+        keyword = _TEMPORAL_RENDER[node.name]
+        return f"{format_value(node.left)} {keyword} {format_value(node.right)}"
+    if isinstance(node, nodes.AndExpr):
+        return " AND ".join(_format_and_part(part) for part in node.parts)
+    if isinstance(node, nodes.OrExpr):
+        return " OR ".join(_format_or_part(part) for part in node.parts)
+    if isinstance(node, nodes.NotExpr):
+        return f"NOT {_format_and_part(node.part)}"
+    raise QueryError(f"cannot format boolean {node!r}")
+
+
+def _format_and_part(node: nodes.BooleanExpr) -> str:
+    """Parenthesize OR under AND/NOT (AND binds tighter)."""
+    text = format_boolean(node)
+    if isinstance(node, nodes.OrExpr):
+        return f"({text})"
+    return text
+
+
+def _format_or_part(node: nodes.BooleanExpr) -> str:
+    return format_boolean(node)
+
+
+def _format_item(item) -> str:
+    if isinstance(item, nodes.StarItem):
+        return "*"
+    if isinstance(item.expression, nodes.AggregateCall):
+        call = item.expression
+        argument = "*" if call.argument is None else call.argument
+        text = f"{_AGGREGATE_RENDER[call.function]}({argument})"
+    else:
+        text = format_value(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _format_table(table: nodes.TableRef) -> str:
+    if table.alias:
+        return f"{table.table} AS {table.alias}"
+    return table.table
+
+
+def format_statement(statement: nodes.Statement) -> str:
+    """Canonical text of a statement (parses back to the same AST)."""
+    if isinstance(statement, nodes.SetOperation):
+        operator = "UNION" if statement.operator == "union" else "EXCEPT"
+        return (
+            f"{format_statement(statement.left)} {operator} "
+            f"{format_statement(statement.right)}"
+        )
+    parts = [
+        "SELECT "
+        + ", ".join(_format_item(item) for item in statement.items),
+        "FROM " + ", ".join(_format_table(table) for table in statement.tables),
+    ]
+    if statement.where is not None:
+        parts.append("WHERE " + format_boolean(statement.where))
+    if statement.group_by:
+        parts.append("GROUP BY " + ", ".join(statement.group_by))
+    return " ".join(parts)

@@ -1,0 +1,146 @@
+"""Tokenizer for the OSQL dialect (the SQL-ish front end).
+
+The paper's prototype lives inside PostgreSQL, so its users write SQL with
+ongoing literals.  This front end provides the equivalent surface for the
+Python engine — a small SQL dialect with first-class ongoing values::
+
+    SELECT B.BID, INTERSECTION(B.VT, L.VT) AS Resp
+    FROM B, L
+    WHERE B.C = L.C AND B.VT OVERLAPS L.VT
+      AND B.VT BEFORE PERIOD '[08/15, 08/24)'
+
+Ongoing literals:
+
+* ``NOW``                       — the current time point;
+* ``DATE '08/15'``              — a fixed time point (paper notation);
+* ``DATE '08/15+'``             — a growing point;
+* ``DATE '+08/15'``             — a limited point;
+* ``DATE '08/15+08/20'``        — a general ongoing point ``a+b``;
+* ``PERIOD '[08/15, now)'``     — an ongoing interval (any endpoint form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import QueryError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "UNION",
+    "EXCEPT",
+    "GROUP",
+    "BY",
+    "NOW",
+    "DATE",
+    "PERIOD",
+    # temporal predicates (Table II + inverses)
+    "OVERLAPS",
+    "BEFORE",
+    "AFTER",
+    "MEETS",
+    "MET_BY",
+    "STARTS",
+    "STARTED_BY",
+    "FINISHES",
+    "FINISHED_BY",
+    "DURING",
+    "CONTAINS",
+    "EQUALS",
+    # aggregate functions
+    "COUNT",
+    "SUM_DURATION",
+    "MIN",
+    "MAX",
+    "INTERSECTION",
+}
+
+_PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    ";": "SEMICOLON",
+}
+
+_OPERATORS = ["<=", ">=", "!=", "<>", "=", "<", ">"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind, its text, and its source position."""
+
+    kind: str  # KEYWORD | NAME | NUMBER | STRING | OP | punctuation kinds | EOF
+    text: str
+    position: int
+
+    def matches(self, kind: str, text: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return text is None or self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split *source* into tokens, raising QueryError with positions."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        matched_operator = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                text = "!=" if operator == "<>" else operator
+                tokens.append(Token("OP", text, index))
+                index += len(operator)
+                matched_operator = True
+                break
+        if matched_operator:
+            continue
+        if char == "'":
+            end = source.find("'", index + 1)
+            if end < 0:
+                raise QueryError(f"unterminated string literal at {index}")
+            tokens.append(Token("STRING", source[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and source[index + 1].isdigit()
+        ):
+            end = index + 1
+            while end < length and source[end].isdigit():
+                end += 1
+            tokens.append(Token("NUMBER", source[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] in "._"):
+                end += 1
+            word = source[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS and "." not in word:
+                tokens.append(Token("KEYWORD", upper, index))
+            else:
+                tokens.append(Token("NAME", word, index))
+            index = end
+            continue
+        raise QueryError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token("EOF", "", length))
+    return tokens

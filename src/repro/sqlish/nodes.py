@@ -1,0 +1,180 @@
+"""Abstract syntax tree of the OSQL dialect.
+
+Nodes are plain immutable dataclasses; the compiler
+(:mod:`repro.sqlish.compiler`) lowers them onto the engine's logical plans
+and the relational layer's predicate trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ColumnRef",
+    "NumberLiteral",
+    "StringLiteral",
+    "PointLiteral",
+    "PeriodLiteral",
+    "IntersectionCall",
+    "ValueExpr",
+    "Comparison",
+    "TemporalPredicate",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "BooleanExpr",
+    "SelectItem",
+    "StarItem",
+    "AggregateCall",
+    "TableRef",
+    "SelectStatement",
+    "SetOperation",
+    "Statement",
+]
+
+
+# ----------------------------------------------------------------------
+# Value expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly alias-qualified) column reference, e.g. ``B.VT``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: int
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    value: str
+
+
+@dataclass(frozen=True)
+class PointLiteral:
+    """``NOW`` or ``DATE '...'`` — holds the raw body for the compiler."""
+
+    body: str  # "now", "08/15", "08/15+", "+08/15", "08/15+08/20"
+
+
+@dataclass(frozen=True)
+class PeriodLiteral:
+    """``PERIOD '[start, end)'`` — endpoints in PointLiteral syntax."""
+
+    start: str
+    end: str
+
+
+@dataclass(frozen=True)
+class IntersectionCall:
+    """``INTERSECTION(a, b)`` — the ∩ function on intervals."""
+
+    left: "ValueExpr"
+    right: "ValueExpr"
+
+
+ValueExpr = Union[
+    ColumnRef,
+    NumberLiteral,
+    StringLiteral,
+    PointLiteral,
+    PeriodLiteral,
+    IntersectionCall,
+]
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str  # =, !=, <, <=, >, >=
+    left: ValueExpr
+    right: ValueExpr
+
+
+@dataclass(frozen=True)
+class TemporalPredicate:
+    name: str  # overlaps, before, ... (lowercase registry name)
+    left: ValueExpr
+    right: ValueExpr
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    parts: Tuple["BooleanExpr", ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    parts: Tuple["BooleanExpr", ...]
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    part: "BooleanExpr"
+
+
+BooleanExpr = Union[Comparison, TemporalPredicate, AndExpr, OrExpr, NotExpr]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StarItem:
+    """``SELECT *``."""
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``COUNT(*)``, ``SUM_DURATION(col)``, ``MIN(col)``, ``MAX(col)``."""
+
+    function: str  # count | sum_duration | min | max
+    argument: Optional[str]  # column name, None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Union[ValueExpr, AggregateCall]
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str]
+
+    @property
+    def exposed_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: Tuple[Union[SelectItem, StarItem], ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[BooleanExpr]
+    group_by: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    """``left UNION right`` or ``left EXCEPT right``."""
+
+    operator: str  # union | except
+    left: "Statement"
+    right: "Statement"
+
+
+Statement = Union[SelectStatement, SetOperation]

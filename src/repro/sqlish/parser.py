@@ -1,0 +1,289 @@
+"""Recursive-descent parser for the OSQL dialect.
+
+Grammar (informally)::
+
+    statement   := select (("UNION" | "EXCEPT") select)* [";"]
+    select      := "SELECT" items "FROM" tables ["WHERE" disjunction]
+                   ["GROUP" "BY" names]
+    items       := "*" | item ("," item)*
+    item        := (aggregate | value) ["AS" NAME]
+    aggregate   := ("COUNT" "(" "*" ")")
+                 | (("SUM_DURATION"|"MIN"|"MAX") "(" NAME ")")
+    tables      := table ("," table)*
+    table       := NAME [["AS"] NAME]
+    disjunction := conjunction ("OR" conjunction)*
+    conjunction := negation ("AND" negation)*
+    negation    := ["NOT"] condition
+    condition   := "(" disjunction ")" | value (comparison | temporal) value
+    value       := NAME | NUMBER | STRING | "NOW" | "DATE" STRING
+                 | "PERIOD" STRING | "INTERSECTION" "(" value "," value ")"
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import QueryError
+from repro.sqlish.lexer import Token, tokenize
+from repro.sqlish.nodes import (
+    AggregateCall,
+    AndExpr,
+    BooleanExpr,
+    ColumnRef,
+    Comparison,
+    IntersectionCall,
+    NotExpr,
+    NumberLiteral,
+    OrExpr,
+    PeriodLiteral,
+    PointLiteral,
+    SelectItem,
+    SelectStatement,
+    SetOperation,
+    StarItem,
+    Statement,
+    StringLiteral,
+    TableRef,
+    TemporalPredicate,
+    ValueExpr,
+)
+
+__all__ = ["parse"]
+
+_TEMPORAL_KEYWORDS = {
+    "OVERLAPS": "overlaps",
+    "BEFORE": "before",
+    "AFTER": "after",
+    "MEETS": "meets",
+    "MET_BY": "met_by",
+    "STARTS": "starts",
+    "STARTED_BY": "started_by",
+    "FINISHES": "finishes",
+    "FINISHED_BY": "finished_by",
+    "DURING": "during",
+    "CONTAINS": "contains",
+    "EQUALS": "interval_equals",
+}
+
+_AGGREGATE_KEYWORDS = {
+    "COUNT": "count",
+    "SUM_DURATION": "sum_duration",
+    "MIN": "min",
+    "MAX": "max",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # --- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        if self._current.matches(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        if not self._current.matches(kind, text):
+            wanted = text or kind
+            raise QueryError(
+                f"expected {wanted} at position {self._current.position}, "
+                f"got {self._current.text or self._current.kind!r}"
+            )
+        return self._advance()
+
+    # --- statements -----------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        statement: Statement = self._parse_select()
+        while True:
+            if self._accept("KEYWORD", "UNION"):
+                statement = SetOperation("union", statement, self._parse_select())
+            elif self._accept("KEYWORD", "EXCEPT"):
+                statement = SetOperation("except", statement, self._parse_select())
+            else:
+                break
+        self._accept("SEMICOLON")
+        self._expect("EOF")
+        return statement
+
+    def _parse_select(self) -> SelectStatement:
+        self._expect("KEYWORD", "SELECT")
+        items = self._parse_items()
+        self._expect("KEYWORD", "FROM")
+        tables = self._parse_tables()
+        where: Optional[BooleanExpr] = None
+        if self._accept("KEYWORD", "WHERE"):
+            where = self._parse_disjunction()
+        group_by: Tuple[str, ...] = ()
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            names = [self._expect("NAME").text]
+            while self._accept("COMMA"):
+                names.append(self._expect("NAME").text)
+            group_by = tuple(names)
+        return SelectStatement(tuple(items), tuple(tables), where, group_by)
+
+    def _parse_items(self) -> List[Union[SelectItem, StarItem]]:
+        if self._accept("STAR"):
+            return [StarItem()]
+        items = [self._parse_item()]
+        while self._accept("COMMA"):
+            items.append(self._parse_item())
+        return items
+
+    def _parse_item(self) -> SelectItem:
+        aggregate = self._parse_aggregate()
+        expression: Union[ValueExpr, AggregateCall]
+        if aggregate is not None:
+            expression = aggregate
+        else:
+            expression = self._parse_value()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("NAME").text
+        return SelectItem(expression, alias)
+
+    def _parse_aggregate(self) -> Optional[AggregateCall]:
+        token = self._current
+        if token.kind != "KEYWORD" or token.text not in _AGGREGATE_KEYWORDS:
+            return None
+        # MIN/MAX are only aggregates when followed by '(' — keeps the
+        # names available as plain identifiers elsewhere.
+        if not self._tokens[self._index + 1].matches("LPAREN"):
+            return None
+        self._advance()
+        self._expect("LPAREN")
+        function = _AGGREGATE_KEYWORDS[token.text]
+        if function == "count":
+            self._expect("STAR")
+            argument = None
+        else:
+            argument = self._expect("NAME").text
+        self._expect("RPAREN")
+        return AggregateCall(function, argument)
+
+    def _parse_tables(self) -> List[TableRef]:
+        tables = [self._parse_table()]
+        while self._accept("COMMA"):
+            tables.append(self._parse_table())
+        return tables
+
+    def _parse_table(self) -> TableRef:
+        name = self._expect("NAME").text
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect("NAME").text
+        elif self._current.kind == "NAME":
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    # --- boolean expressions ---------------------------------------------
+
+    def _parse_disjunction(self) -> BooleanExpr:
+        parts = [self._parse_conjunction()]
+        while self._accept("KEYWORD", "OR"):
+            parts.append(self._parse_conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return OrExpr(tuple(parts))
+
+    def _parse_conjunction(self) -> BooleanExpr:
+        parts = [self._parse_negation()]
+        while self._accept("KEYWORD", "AND"):
+            parts.append(self._parse_negation())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(tuple(parts))
+
+    def _parse_negation(self) -> BooleanExpr:
+        if self._accept("KEYWORD", "NOT"):
+            return NotExpr(self._parse_negation())
+        return self._parse_condition()
+
+    def _parse_condition(self) -> BooleanExpr:
+        if self._accept("LPAREN"):
+            inner = self._parse_disjunction()
+            self._expect("RPAREN")
+            return inner
+        left = self._parse_value()
+        token = self._current
+        if token.kind == "OP":
+            self._advance()
+            return Comparison(token.text, left, self._parse_value())
+        if token.kind == "KEYWORD" and token.text in _TEMPORAL_KEYWORDS:
+            self._advance()
+            return TemporalPredicate(
+                _TEMPORAL_KEYWORDS[token.text], left, self._parse_value()
+            )
+        raise QueryError(
+            f"expected a comparison or temporal predicate at position "
+            f"{token.position}, got {token.text!r}"
+        )
+
+    # --- value expressions -----------------------------------------------
+
+    def _parse_value(self) -> ValueExpr:
+        token = self._current
+        if token.kind == "NAME":
+            self._advance()
+            return ColumnRef(token.text)
+        if token.kind == "NUMBER":
+            self._advance()
+            return NumberLiteral(int(token.text))
+        if token.kind == "STRING":
+            self._advance()
+            return StringLiteral(token.text)
+        if token.matches("KEYWORD", "NOW"):
+            self._advance()
+            return PointLiteral("now")
+        if token.matches("KEYWORD", "DATE"):
+            self._advance()
+            body = self._expect("STRING").text
+            return PointLiteral(body)
+        if token.matches("KEYWORD", "PERIOD"):
+            self._advance()
+            body = self._expect("STRING").text
+            return _parse_period_body(body, token.position)
+        if token.matches("KEYWORD", "INTERSECTION"):
+            self._advance()
+            self._expect("LPAREN")
+            left = self._parse_value()
+            self._expect("COMMA")
+            right = self._parse_value()
+            self._expect("RPAREN")
+            return IntersectionCall(left, right)
+        raise QueryError(
+            f"expected a value at position {token.position}, got {token.text!r}"
+        )
+
+
+def _parse_period_body(body: str, position: int) -> PeriodLiteral:
+    """Parse ``[start, end)`` with endpoints in point-literal syntax."""
+    text = body.strip()
+    if not (text.startswith("[") and text.endswith(")")):
+        raise QueryError(
+            f"PERIOD literal at {position} must look like '[start, end)', "
+            f"got {body!r}"
+        )
+    inner = text[1:-1]
+    if "," not in inner:
+        raise QueryError(f"PERIOD literal at {position} needs two endpoints")
+    start_text, end_text = inner.split(",", 1)
+    return PeriodLiteral(start_text.strip(), end_text.strip())
+
+
+def parse(source: str) -> Statement:
+    """Parse one OSQL statement into its AST."""
+    return _Parser(tokenize(source)).parse_statement()

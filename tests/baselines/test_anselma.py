@@ -1,0 +1,73 @@
+"""Unit tests for the Anselma et al. (T ∪ {now}) baseline."""
+
+import pytest
+
+from repro.baselines.anselma import AnselmaInterval, AnselmaPoint
+from repro.core.timeline import mmdd
+from repro.errors import InstantiationError
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+class TestPoints:
+    def test_now_instantiates_to_rt(self):
+        assert AnselmaPoint.now().instantiate(42) == 42
+
+    def test_fixed_instantiates_to_itself(self):
+        assert AnselmaPoint.at(5).instantiate(42) == 5
+
+    def test_omega_embedding(self):
+        from repro.core.timepoint import NOW, fixed
+
+        assert AnselmaPoint.now().to_omega() == NOW
+        assert AnselmaPoint.at(5).to_omega() == fixed(5)
+
+    def test_format(self):
+        assert AnselmaPoint.now().format() == "now"
+        assert AnselmaPoint.at(5).format() == "5"
+
+
+class TestIntersection:
+    def test_paper_example_keeps_now(self):
+        """[10/14, now) ∩ [10/17, now) = [10/17, now) — no instantiation."""
+        result = AnselmaInterval.make(d(10, 14), None).intersect(
+            AnselmaInterval.make(d(10, 17), None)
+        )
+        assert not result.instantiated
+        assert result.interval.start.value == d(10, 17)
+        assert result.interval.end.is_now
+
+    def test_both_fixed_keeps_fixed(self):
+        result = AnselmaInterval.make(1, 5).intersect(AnselmaInterval.make(3, 9))
+        assert not result.instantiated
+        assert result.interval.instantiate(100) == (3, 5)
+
+    def test_paper_example_forces_instantiation(self):
+        """[10/17, 10/22) ∩ [10/17, now) = [10/17, 10/20) at rt = 10/20."""
+        result = AnselmaInterval.make(d(10, 17), d(10, 22)).intersect(
+            AnselmaInterval.make(d(10, 17), None), rt=d(10, 20)
+        )
+        assert result.instantiated
+        assert result.reference_time == d(10, 20)
+        assert result.interval.instantiate(d(10, 20)) == (d(10, 17), d(10, 20))
+
+    def test_forced_instantiation_without_rt_raises(self):
+        with pytest.raises(InstantiationError):
+            AnselmaInterval.make(d(10, 17), d(10, 22)).intersect(
+                AnselmaInterval.make(d(10, 17), None)
+            )
+
+    def test_instantiated_result_is_only_valid_at_its_rt(self):
+        """The defect the ongoing approach removes: the bound result is
+        wrong at other reference times."""
+        left = AnselmaInterval.make(d(10, 17), d(10, 22))
+        right = AnselmaInterval.make(d(10, 17), None)
+        bound = left.intersect(right, rt=d(10, 20)).interval
+        other_rt = d(10, 25)
+        exact = (
+            max(left.instantiate(other_rt)[0], right.instantiate(other_rt)[0]),
+            min(left.instantiate(other_rt)[1], right.instantiate(other_rt)[1]),
+        )
+        assert bound.instantiate(other_rt) != exact

@@ -1,0 +1,117 @@
+"""Unit tests for the Clifford instantiate-when-accessed baseline."""
+
+import pytest
+
+from repro.baselines import clifford
+from repro.core.interval import fixed_interval, until_now
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import mmdd
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+_SCHEMA = Schema.of("BID", ("VT", "interval"))
+
+
+def _bugs() -> OngoingRelation:
+    return OngoingRelation.from_rows(
+        _SCHEMA,
+        [(500, until_now(d(1, 25))), (501, fixed_interval(d(3, 30), d(8, 21)))],
+    )
+
+
+class TestBindRelation:
+    def test_instantiates_ongoing_attributes(self):
+        rows = clifford.bind_relation(_bugs(), d(5, 14))
+        assert (500, (d(1, 25), d(5, 14))) in rows
+
+    def test_respects_reference_time_attribute(self):
+        relation = OngoingRelation(
+            _SCHEMA,
+            [OngoingTuple((1, fixed_interval(0, 5)), IntervalSet([(0, 10)]))],
+        )
+        assert clifford.bind_relation(relation, 5) != []
+        assert clifford.bind_relation(relation, 50) == []
+
+    def test_returns_list_not_set(self):
+        rows = clifford.bind_relation(_bugs(), d(5, 14))
+        assert isinstance(rows, list)
+
+
+class TestFixedExecutor:
+    def test_selection(self):
+        rows = clifford.bind_relation(_bugs(), d(5, 14))
+        hits = clifford.selection(rows, 1, "before", (d(8, 15), d(8, 24)))
+        assert [row[0] for row in hits] == [500]
+
+    def test_hash_join_matches_nested_loop(self):
+        left = [(1, "a"), (2, "b"), (1, "c")]
+        right = [(1, "x"), (3, "y")]
+        joined = clifford.hash_join(left, right, [0], [0])
+        expected = [l + r for l in left for r in right if l[0] == r[0]]
+        assert sorted(joined) == sorted(expected)
+
+    def test_hash_join_residual(self):
+        left = [(1, 5), (1, 9)]
+        right = [(1, 6)]
+        joined = clifford.hash_join(
+            left, right, [0], [0], residual=lambda l, r: l[1] < r[1]
+        )
+        assert joined == [(1, 5, 1, 6)]
+
+    def test_sweep_join_matches_nested_loop(self):
+        import random
+
+        rng = random.Random(3)
+        rows = [
+            (i, (s := rng.randrange(0, 100), s + rng.randrange(1, 20)))
+            for i in range(60)
+        ]
+        swept = clifford.sweep_join(rows, rows, 1, 1, "overlaps")
+        from repro.baselines.fixed_algebra import overlaps_f
+
+        expected = [
+            l + r for l in rows for r in rows if overlaps_f(l[1], r[1])
+        ]
+        assert sorted(swept) == sorted(expected)
+
+
+class TestCliffMax:
+    def test_exceeds_every_finite_end_point(self):
+        rt = clifford.cliff_max_reference_time(_bugs())
+        assert rt == d(8, 21) + 1
+
+    def test_considers_multiple_relations(self):
+        other = OngoingRelation.from_rows(
+            _SCHEMA, [(900, fixed_interval(d(9, 1), d(9, 30)))]
+        )
+        rt = clifford.cliff_max_reference_time(_bugs(), other)
+        assert rt == d(9, 30) + 1
+
+    def test_rejects_purely_infinite_data(self):
+        from repro.core.timepoint import NOW
+        from repro.core.interval import OngoingInterval
+
+        relation = OngoingRelation.from_rows(
+            _SCHEMA, [(1, OngoingInterval(NOW, NOW))]
+        )
+        with pytest.raises(ValueError):
+            clifford.cliff_max_reference_time(relation)
+
+
+class TestInvalidation:
+    def test_results_differ_across_reference_times(self):
+        """The motivating defect: Clifford's answers go stale."""
+        bugs = _bugs()
+        early = clifford.selection(
+            clifford.bind_relation(bugs, d(5, 14)), 1, "before", (d(8, 15), d(8, 24))
+        )
+        late = clifford.selection(
+            clifford.bind_relation(bugs, d(8, 20)), 1, "before", (d(8, 15), d(8, 24))
+        )
+        assert {row[0] for row in early} != {row[0] for row in late}

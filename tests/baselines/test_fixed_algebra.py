@@ -1,0 +1,86 @@
+"""Unit tests for the fixed-interval predicate library."""
+
+import pytest
+
+from repro.baselines import fixed_algebra as fa
+
+
+class TestBasicRelations:
+    def test_before(self):
+        assert fa.before_f((1, 3), (3, 5))
+        assert fa.before_f((1, 3), (4, 5))
+        assert not fa.before_f((1, 4), (3, 5))
+
+    def test_meets(self):
+        assert fa.meets_f((1, 3), (3, 5))
+        assert not fa.meets_f((1, 3), (4, 5))
+
+    def test_overlaps_is_symmetric_sharing(self):
+        assert fa.overlaps_f((1, 4), (3, 6))
+        assert fa.overlaps_f((3, 6), (1, 4))
+        assert fa.overlaps_f((1, 10), (3, 4))  # containment counts
+        assert not fa.overlaps_f((1, 3), (3, 6))  # touching does not
+
+    def test_starts_finishes(self):
+        assert fa.starts_f((1, 3), (1, 8))
+        assert not fa.starts_f((1, 3), (2, 8))
+        assert fa.finishes_f((5, 8), (1, 8))
+        assert not fa.finishes_f((5, 7), (1, 8))
+
+    def test_during_and_contains(self):
+        assert fa.during_f((3, 5), (1, 8))
+        assert fa.during_f((1, 8), (1, 8))  # non-strict per Table II
+        assert fa.contains_f((1, 8), (3, 5))
+
+    def test_equals(self):
+        assert fa.equals_f((1, 3), (1, 3))
+        assert not fa.equals_f((1, 3), (1, 4))
+
+    def test_inverses(self):
+        assert fa.after_f((4, 6), (1, 3)) == fa.before_f((1, 3), (4, 6))
+        assert fa.met_by_f((3, 6), (1, 3)) == fa.meets_f((1, 3), (3, 6))
+        assert fa.started_by_f((1, 8), (1, 3)) == fa.starts_f((1, 3), (1, 8))
+        assert fa.finished_by_f((1, 8), (5, 8)) == fa.finishes_f((5, 8), (1, 8))
+
+
+class TestEmptyIntervalConventions:
+    EMPTY = (5, 5)
+    OTHER_EMPTY = (9, 2)
+    FULL = (1, 8)
+
+    def test_empty_never_before_meets_overlaps(self):
+        assert not fa.before_f(self.EMPTY, self.FULL)
+        assert not fa.meets_f(self.EMPTY, self.FULL)
+        assert not fa.overlaps_f(self.EMPTY, self.FULL)
+        assert not fa.starts_f(self.EMPTY, self.FULL)
+        assert not fa.finishes_f(self.EMPTY, self.FULL)
+
+    def test_empty_during_non_empty(self):
+        assert fa.during_f(self.EMPTY, self.FULL)
+        assert not fa.during_f(self.EMPTY, self.OTHER_EMPTY)
+
+    def test_empty_equals_empty(self):
+        assert fa.equals_f(self.EMPTY, self.OTHER_EMPTY)
+        assert not fa.equals_f(self.EMPTY, self.FULL)
+
+
+class TestFunctions:
+    def test_intersect(self):
+        assert fa.intersect_f((1, 6), (4, 9)) == (4, 6)
+        start, end = fa.intersect_f((1, 3), (5, 9))
+        assert start >= end  # empty
+
+    def test_contains_point(self):
+        assert fa.contains_point_f((1, 5), 1)
+        assert not fa.contains_point_f((1, 5), 5)
+
+    def test_is_empty(self):
+        assert fa.is_empty((3, 3))
+        assert not fa.is_empty((3, 4))
+
+    def test_registry_is_complete(self):
+        assert set(fa.FIXED_PREDICATES) == {
+            "before", "after", "meets", "met_by", "overlaps", "starts",
+            "started_by", "finishes", "finished_by", "during", "contains",
+            "interval_equals",
+        }

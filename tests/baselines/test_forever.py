@@ -1,0 +1,69 @@
+"""Unit tests for the Forever baseline and the paper's counter-example."""
+
+from repro.baselines import clifford
+from repro.baselines.forever import (
+    FOREVER,
+    forever_point,
+    forever_relation,
+    forever_value,
+)
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.timeline import PLUS_INF, mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Schema
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+class TestSubstitution:
+    def test_fixed_points_survive(self):
+        assert forever_point(fixed(5)) == fixed(5)
+
+    def test_every_ongoing_kind_collapses(self):
+        for point in (NOW, growing(3), OngoingTimePoint(2, 9)):
+            assert forever_point(point) == fixed(FOREVER)
+
+    def test_forever_is_the_domain_maximum(self):
+        assert FOREVER == PLUS_INF
+
+    def test_values_and_intervals(self):
+        assert forever_value("text") == "text"
+        interval = forever_value(until_now(d(1, 25)))
+        assert interval.end == fixed(FOREVER)
+
+    def test_relation_substitution_preserves_fixed_rows(self):
+        schema = Schema.of("BID", ("VT", "interval"))
+        relation = OngoingRelation.from_rows(
+            schema,
+            [(1, until_now(d(1, 25))), (2, fixed_interval(d(1, 1), d(2, 1)))],
+        )
+        substituted = forever_relation(relation)
+        by_id = {row.values[0]: row.values[1] for row in substituted}
+        assert by_id[1].end == fixed(FOREVER)
+        assert by_id[2] == fixed_interval(d(1, 1), d(2, 1))
+
+
+class TestPaperCounterExample:
+    """Section III: 'Which bugs might be resolved before patch 201 goes
+    live?' answered at reference time 05/14 — Forever loses bug 500."""
+
+    def test_forever_loses_bug_500(self):
+        schema = Schema.of("BID", ("VT", "interval"))
+        bugs = OngoingRelation.from_rows(schema, [(500, until_now(d(1, 25)))])
+        patch_window = (d(8, 15), d(8, 24))
+        rt = d(5, 14)
+
+        correct = clifford.selection(
+            clifford.bind_relation(bugs, rt), 1, "before", patch_window
+        )
+        wrong = clifford.selection(
+            clifford.bind_relation(forever_relation(bugs), rt),
+            1,
+            "before",
+            patch_window,
+        )
+        assert any(row[0] == 500 for row in correct)
+        assert not any(row[0] == 500 for row in wrong)

@@ -1,0 +1,114 @@
+"""Unit tests for the Torp et al. Tf-domain baseline."""
+
+import pytest
+
+from repro.baselines.torp import NotRepresentableError, TfInterval, TfTimePoint
+from repro.core.timeline import MINUS_INF, PLUS_INF, mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing, limited
+
+from tests.conftest import critical_points
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+class TestInstantiation:
+    def test_fixed(self):
+        assert TfTimePoint.fixed(5).instantiate(100) == 5
+
+    def test_min_now(self):
+        point = TfTimePoint.min_now(5)
+        assert point.instantiate(3) == 3
+        assert point.instantiate(9) == 5
+
+    def test_max_now(self):
+        point = TfTimePoint.max_now(5)
+        assert point.instantiate(3) == 5
+        assert point.instantiate(9) == 9
+
+    def test_now(self):
+        assert TfTimePoint.now().instantiate(42) == 42
+
+
+class TestOmegaEmbedding:
+    def test_to_omega_preserves_semantics(self):
+        for point in (
+            TfTimePoint.fixed(5),
+            TfTimePoint.min_now(5),
+            TfTimePoint.max_now(5),
+            TfTimePoint.now(),
+        ):
+            omega = point.to_omega()
+            for rt in critical_points(omega):
+                assert omega.instantiate(rt) == point.instantiate(rt)
+
+    def test_from_omega_roundtrip(self):
+        for point in (fixed(3), limited(7), growing(2), NOW):
+            assert TfTimePoint.from_omega(point).to_omega() == point
+
+    def test_from_omega_rejects_general_points(self):
+        with pytest.raises(NotRepresentableError):
+            TfTimePoint.from_omega(OngoingTimePoint(3, 8))
+
+
+class TestMinMaxClosure:
+    def test_min_of_fixed_and_now_stays_in_tf(self):
+        result = TfTimePoint.fixed(5).minimum(TfTimePoint.now())
+        assert result == TfTimePoint.min_now(5)
+
+    def test_max_of_growing_points_stays_in_tf(self):
+        result = TfTimePoint.max_now(3).maximum(TfTimePoint.max_now(7))
+        assert result == TfTimePoint.max_now(7)
+
+    def test_non_closure_witness(self):
+        """max(min(a, now), b) with b < a leaves Tf (Table I)."""
+        with pytest.raises(NotRepresentableError):
+            TfTimePoint.min_now(8).maximum(TfTimePoint.fixed(3))
+
+    def test_min_non_closure_witness(self):
+        """min(max(a, now), b) with a < b leaves Tf."""
+        with pytest.raises(NotRepresentableError):
+            TfTimePoint.max_now(3).minimum(TfTimePoint.fixed(8))
+
+
+class TestIntervals:
+    def test_intersection_keeps_now(self):
+        left = TfInterval(TfTimePoint.fixed(d(1, 25)), TfTimePoint.now())
+        right = TfInterval(TfTimePoint.fixed(d(3, 1)), TfTimePoint.now())
+        result = left.intersect(right)
+        assert result.start == TfTimePoint.fixed(d(3, 1))
+        assert result.end == TfTimePoint.now()
+
+    def test_intersection_with_fixed_end_uses_min_now(self):
+        left = TfInterval(TfTimePoint.fixed(d(1, 25)), TfTimePoint.now())
+        right = TfInterval(TfTimePoint.fixed(d(1, 25)), TfTimePoint.fixed(d(8, 1)))
+        result = left.intersect(right)
+        assert result.end == TfTimePoint.min_now(d(8, 1))
+
+    def test_intersection_matches_pointwise_semantics(self):
+        left = TfInterval(TfTimePoint.fixed(10), TfTimePoint.now())
+        right = TfInterval(TfTimePoint.fixed(5), TfTimePoint.fixed(30))
+        result = left.intersect(right)
+        for rt in range(0, 50, 3):
+            ls, le = left.instantiate(rt)
+            rs, re = right.instantiate(rt)
+            assert result.instantiate(rt) == (max(ls, rs), min(le, re))
+
+    def test_difference_remainders(self):
+        """[a, now) - [b, c) keeps Torp's modification semantics valid."""
+        source = TfInterval(TfTimePoint.fixed(0), TfTimePoint.now())
+        removed = TfInterval(TfTimePoint.fixed(10), TfTimePoint.fixed(20))
+        left_part, right_part = source.difference(removed)
+        for rt in range(0, 40, 3):
+            remaining = set()
+            for part in (left_part, right_part):
+                start, end = part.instantiate(rt)
+                remaining.update(range(start, max(start, end)))
+            source_points = set(range(*source.instantiate(rt)))
+            removed_points = set(range(10, 20))
+            assert remaining == source_points - removed_points, rt
+
+    def test_format(self):
+        interval = TfInterval(TfTimePoint.fixed(3), TfTimePoint.now())
+        assert interval.format() == "[3, now)"

@@ -1,0 +1,111 @@
+"""Shared hypothesis strategies and helpers for the test suite.
+
+The central testing idea mirrors the paper's Definition 4: an operation on
+ongoing values is correct iff, at **every** reference time, its result
+instantiates to the fixed operation applied to the instantiated inputs.
+Truth values of our operations can only change at the *component values* of
+their operands (and their successors), so :func:`critical_points` returns a
+complete set of reference times to check — the assertions are exhaustive,
+not sampled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import hypothesis
+from hypothesis import strategies as st
+
+from repro.core.interval import OngoingInterval
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.timepoint import OngoingTimePoint
+
+hypothesis.settings.register_profile(
+    "repro", max_examples=60, deadline=None, derandomize=True
+)
+hypothesis.settings.load_profile("repro")
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+#: Finite component values; small so critical-point sweeps stay cheap.
+finite_points = st.integers(min_value=-30, max_value=30)
+
+#: Component values including the domain limits.
+component_points = st.one_of(
+    finite_points, st.just(MINUS_INF), st.just(PLUS_INF)
+)
+
+
+@st.composite
+def ongoing_points(draw) -> OngoingTimePoint:
+    """Arbitrary elements ``a+b`` of Ω (including fixed/now/growing/limited)."""
+    a = draw(component_points)
+    b = draw(component_points)
+    if a > b:
+        a, b = b, a
+    return OngoingTimePoint(a, b)
+
+
+@st.composite
+def ongoing_intervals(draw) -> OngoingInterval:
+    """Arbitrary ongoing intervals (possibly always/partially empty)."""
+    return OngoingInterval(draw(ongoing_points()), draw(ongoing_points()))
+
+
+@st.composite
+def interval_sets(draw) -> IntervalSet:
+    """Arbitrary normalized interval sets over the finite grid."""
+    raw = draw(
+        st.lists(
+            st.tuples(finite_points, finite_points).map(
+                lambda pair: (min(pair), max(pair) + 1)
+            ),
+            max_size=5,
+        )
+    )
+    extras = []
+    if draw(st.booleans()):
+        extras.append((MINUS_INF, draw(finite_points)))
+    if draw(st.booleans()):
+        extras.append((draw(finite_points), PLUS_INF))
+    return IntervalSet(raw + extras)
+
+
+# ----------------------------------------------------------------------
+# Reference time sweeps
+# ----------------------------------------------------------------------
+
+
+def critical_points(*values: object) -> List[int]:
+    """A complete set of reference times for the given operands.
+
+    Includes every finite component value, its predecessor and successor,
+    the far past/future, and ``MINUS_INF``.  Between consecutive critical
+    points all our piecewise-constant constructions keep their value, so
+    checking these points checks all reference times.
+    """
+    components: set[int] = set()
+    for value in values:
+        if isinstance(value, OngoingTimePoint):
+            components.update(value.components())
+        elif isinstance(value, OngoingInterval):
+            components.update(value.components())
+        elif isinstance(value, IntervalSet):
+            for start, end in value:
+                components.add(start)
+                components.add(end)
+        elif isinstance(value, int):
+            components.add(value)
+    finite = sorted(c for c in components if MINUS_INF < c < PLUS_INF)
+    points = {MINUS_INF, -100, 100}
+    for component in finite:
+        points.update((component - 1, component, component + 1))
+    return sorted(points)
+
+
+def instantiate_set(rts: Iterable[int], value) -> List[object]:
+    """Instantiate *value* at each rt (for table-style comparisons)."""
+    return [value.instantiate(rt) for rt in rts]

@@ -1,0 +1,83 @@
+"""Unit tests for ongoing booleans (Definition 3) and their connectives."""
+
+from repro.core.boolean import O_FALSE, O_TRUE, OngoingBoolean, from_bool
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import mmdd
+
+
+class TestDefinitionThree:
+    def test_true_on_true_set_false_elsewhere(self):
+        boolean = OngoingBoolean(IntervalSet.at_least(mmdd(10, 18)))
+        assert boolean.instantiate(mmdd(10, 18)) is True
+        assert boolean.instantiate(mmdd(12, 1)) is True
+        assert boolean.instantiate(mmdd(10, 17)) is False
+
+    def test_true_and_false_sets_partition(self):
+        boolean = OngoingBoolean(IntervalSet([(1, 4), (9, 12)]))
+        union = boolean.true_set | boolean.false_set
+        assert union.is_universal()
+        assert (boolean.true_set & boolean.false_set).is_empty()
+
+
+class TestEmbeddingOfFixedBooleans:
+    def test_from_bool(self):
+        assert from_bool(True) is O_TRUE
+        assert from_bool(False) is O_FALSE
+
+    def test_constants_instantiate_constantly(self):
+        for rt in (mmdd(1, 1), mmdd(6, 15), -1000):
+            assert O_TRUE.instantiate(rt) is True
+            assert O_FALSE.instantiate(rt) is False
+
+    def test_classification(self):
+        assert O_TRUE.is_always_true() and not O_TRUE.is_contingent()
+        assert O_FALSE.is_always_false() and not O_FALSE.is_contingent()
+        contingent = OngoingBoolean(IntervalSet.point(5))
+        assert contingent.is_contingent()
+        assert not contingent.is_always_true()
+        assert not contingent.is_always_false()
+
+
+class TestConnectives:
+    """The Theorem 1 equivalences for ∧, ∨, ¬."""
+
+    def test_conjunction_intersects_true_sets(self):
+        left = OngoingBoolean(IntervalSet([(1, 6)]))
+        right = OngoingBoolean(IntervalSet([(4, 9)]))
+        assert (left & right).true_set == IntervalSet([(4, 6)])
+
+    def test_disjunction_unions_true_sets(self):
+        left = OngoingBoolean(IntervalSet([(1, 3)]))
+        right = OngoingBoolean(IntervalSet([(2, 9)]))
+        assert (left | right).true_set == IntervalSet([(1, 9)])
+
+    def test_negation_swaps_sides(self):
+        boolean = OngoingBoolean(IntervalSet([(1, 3)]))
+        assert (~boolean).true_set == boolean.false_set
+        assert (~~boolean) == boolean
+
+    def test_connectives_with_constants(self):
+        contingent = OngoingBoolean(IntervalSet.point(5))
+        assert (contingent & O_TRUE) == contingent
+        assert (contingent & O_FALSE) == O_FALSE
+        assert (contingent | O_FALSE) == contingent
+        assert (contingent | O_TRUE) == O_TRUE
+
+    def test_de_morgan(self):
+        left = OngoingBoolean(IntervalSet([(1, 6)]))
+        right = OngoingBoolean(IntervalSet([(4, 9), (20, 25)]))
+        assert ~(left & right) == (~left | ~right)
+        assert ~(left | right) == (~left & ~right)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = OngoingBoolean(IntervalSet([(1, 3)]))
+        b = OngoingBoolean(IntervalSet([(1, 3)]))
+        assert a == b
+        assert len({a, b}) == 1
+        assert a != "true"
+
+    def test_format_shows_both_sides(self):
+        boolean = OngoingBoolean(IntervalSet.at_least(mmdd(10, 18)))
+        assert boolean.format() == "b[{[10/18, inf)}, {(-inf, 10/18)}]"

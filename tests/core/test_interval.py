@@ -1,0 +1,131 @@
+"""Unit tests for ongoing time intervals (Section V-B, Fig. 4)."""
+
+import pytest
+
+from repro.core.interval import (
+    OngoingInterval,
+    fixed_interval,
+    interval,
+    until_now,
+)
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing, limited
+from repro.errors import IntervalError
+
+
+class TestConstruction:
+    def test_ints_coerce_to_fixed_points(self):
+        i = interval(mmdd(10, 17), mmdd(10, 19))
+        assert i.start == fixed(mmdd(10, 17))
+        assert i.end == fixed(mmdd(10, 19))
+
+    def test_rejects_non_points(self):
+        with pytest.raises(IntervalError):
+            OngoingInterval("soon", 5)
+
+    def test_until_now(self):
+        i = until_now(mmdd(10, 17))
+        assert i.start == fixed(mmdd(10, 17))
+        assert i.end == NOW
+        assert i.format() == "[10/17, now)"
+
+
+class TestInstantiation:
+    def test_endpointwise(self):
+        i = until_now(mmdd(10, 17))
+        assert i.instantiate(mmdd(10, 20)) == (mmdd(10, 17), mmdd(10, 20))
+
+    def test_may_be_empty(self):
+        i = until_now(mmdd(10, 17))
+        start, end = i.instantiate(mmdd(10, 10))
+        assert start >= end
+        assert i.is_empty_at(mmdd(10, 10))
+        assert not i.is_empty_at(mmdd(10, 20))
+
+
+class TestClassification:
+    """The taxonomy of Fig. 4."""
+
+    def test_fixed(self):
+        i = fixed_interval(mmdd(10, 17), mmdd(10, 19))
+        assert i.is_fixed and i.kind == "fixed"
+
+    def test_expanding_with_now_end(self):
+        assert until_now(mmdd(10, 17)).kind == "expanding"
+
+    def test_expanding_with_bounded_growth(self):
+        i = OngoingInterval(
+            fixed(mmdd(10, 17)), OngoingTimePoint(mmdd(10, 19), mmdd(10, 21))
+        )
+        assert i.is_expanding
+
+    def test_shrinking(self):
+        i = OngoingInterval(NOW, fixed(mmdd(10, 19)))
+        assert i.is_shrinking and i.kind == "shrinking"
+
+    def test_shrinking_with_growing_start(self):
+        i = OngoingInterval(limited(mmdd(10, 17)), fixed(mmdd(10, 19)))
+        assert i.is_shrinking
+
+    def test_general(self):
+        i = OngoingInterval(
+            OngoingTimePoint(mmdd(10, 16), mmdd(10, 17)),
+            OngoingTimePoint(mmdd(10, 19), mmdd(10, 20)),
+        )
+        assert i.kind == "general"
+
+
+class TestEmptinessAnalysis:
+    """The non-empty / partially empty cases of Fig. 4."""
+
+    def test_never_empty_fixed(self):
+        i = fixed_interval(mmdd(10, 17), mmdd(10, 19))
+        assert i.is_never_empty()
+        assert i.non_empty_set().is_universal()
+
+    def test_always_empty_fixed(self):
+        i = fixed_interval(mmdd(10, 19), mmdd(10, 17))
+        assert i.is_always_empty()
+
+    def test_partially_empty_until_now(self):
+        # [10/17, now) is empty up to rt = 10/17 and non-empty afterwards.
+        i = until_now(mmdd(10, 17))
+        assert i.is_partially_empty()
+        assert i.non_empty_set() == IntervalSet.at_least(mmdd(10, 18))
+
+    def test_partially_empty_shrinking(self):
+        # [10/16+, 10/19): growing start against a fixed end.
+        i = OngoingInterval(growing(mmdd(10, 16)), fixed(mmdd(10, 19)))
+        assert i.is_partially_empty()
+        # Non-empty while the start still instantiates below 10/19.
+        assert i.non_empty_set() == IntervalSet.below(mmdd(10, 19))
+
+    def test_never_empty_expanding(self):
+        # a = b < c < d: [10/17, 10/19+10/21) is never empty.
+        i = OngoingInterval(
+            fixed(mmdd(10, 17)), OngoingTimePoint(mmdd(10, 19), mmdd(10, 21))
+        )
+        assert i.is_never_empty()
+
+    def test_non_empty_set_matches_pointwise_truth(self):
+        cases = [
+            until_now(mmdd(10, 17)),
+            OngoingInterval(NOW, fixed(mmdd(10, 19))),
+            OngoingInterval(growing(mmdd(10, 16)), fixed(mmdd(10, 19))),
+            fixed_interval(mmdd(10, 17), mmdd(10, 19)),
+        ]
+        for i in cases:
+            non_empty = i.non_empty_set()
+            for rt in range(mmdd(10, 10), mmdd(10, 25)):
+                assert (rt in non_empty) == (not i.is_empty_at(rt)), (i, rt)
+
+
+class TestValueSemantics:
+    def test_equality_hash_format(self):
+        a = until_now(mmdd(10, 17))
+        b = until_now(mmdd(10, 17))
+        assert a == b and len({a, b}) == 1
+        assert a != fixed_interval(mmdd(10, 17), mmdd(10, 19))
+        assert str(a) == "[10/17, now)"
+        assert "OngoingInterval" in repr(a)

@@ -1,0 +1,153 @@
+"""Unit tests for the six core operations (Definition 4, Theorem 1, Fig. 6)."""
+
+from repro.core.intervalset import IntervalSet
+from repro.core.operations import (
+    equal,
+    greater_equal,
+    greater_than,
+    less_equal,
+    less_than,
+    not_equal,
+    ongoing_max,
+    ongoing_min,
+)
+from repro.core.timeline import MINUS_INF, PLUS_INF, mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing, limited
+
+
+class TestLessThanFiveCases:
+    """The five cases of Theorem 1's equivalence for a+b < c+d."""
+
+    def test_case1_always_true(self):
+        # a <= b < c <= d
+        result = less_than(OngoingTimePoint(1, 2), OngoingTimePoint(5, 9))
+        assert result.is_always_true()
+
+    def test_case2_true_before_c(self):
+        # a < c <= d <= b
+        result = less_than(OngoingTimePoint(1, 9), OngoingTimePoint(4, 6))
+        assert result.true_set == IntervalSet.below(4)
+
+    def test_case3_true_from_b_plus_one(self):
+        # c <= a <= b < d
+        result = less_than(OngoingTimePoint(4, 6), OngoingTimePoint(2, 9))
+        assert result.true_set == IntervalSet.at_least(7)
+
+    def test_case4_two_pieces(self):
+        # a < c <= b < d
+        result = less_than(OngoingTimePoint(1, 6), OngoingTimePoint(4, 9))
+        assert result.true_set == IntervalSet([(MINUS_INF, 4), (7, PLUS_INF)])
+
+    def test_case5_always_false(self):
+        # otherwise, e.g. c <= d <= a <= b
+        result = less_than(OngoingTimePoint(5, 9), OngoingTimePoint(1, 3))
+        assert result.is_always_false()
+
+    def test_fixed_points_behave_classically(self):
+        assert less_than(fixed(3), fixed(5)).is_always_true()
+        assert less_than(fixed(5), fixed(3)).is_always_false()
+        assert less_than(fixed(3), fixed(3)).is_always_false()
+
+    def test_now_vs_fixed(self):
+        # now < 10/17 holds strictly before 10/17.
+        result = less_than(NOW, fixed(mmdd(10, 17)))
+        assert result.true_set == IntervalSet.below(mmdd(10, 17))
+
+    def test_proof_table_ordering_a_c_d_b(self):
+        """The ordering a < c = d < b proven in the paper's Theorem 1."""
+        a, c, b = 2, 5, 9
+        result = less_than(OngoingTimePoint(a, b), OngoingTimePoint(c, c))
+        for rt in range(a - 2, b + 3):
+            expected = OngoingTimePoint(a, b).instantiate(rt) < c
+            assert result.instantiate(rt) == expected, rt
+
+    def test_definition_holds_pointwise_on_edge_inputs(self):
+        pairs = [
+            (NOW, NOW),
+            (NOW, growing(3)),
+            (limited(3), NOW),
+            (growing(3), limited(5)),
+            (OngoingTimePoint(MINUS_INF, MINUS_INF), NOW),
+            (NOW, OngoingTimePoint(PLUS_INF, PLUS_INF)),
+        ]
+        for t1, t2 in pairs:
+            result = less_than(t1, t2)
+            for rt in (MINUS_INF, -10, 0, 3, 4, 5, 6, 10):
+                expected = t1.instantiate(rt) < t2.instantiate(rt)
+                assert result.instantiate(rt) == expected, (t1, t2, rt)
+
+
+class TestDerivedComparisons:
+    """Table II: <=, =, !=, >, >= expressed through the core operations."""
+
+    def test_less_equal_example(self):
+        # now <= 10/17 = b[{(-inf, 10/18)}, {[10/18, inf)}]
+        result = less_equal(NOW, fixed(mmdd(10, 17)))
+        assert result.true_set == IntervalSet.below(mmdd(10, 18))
+
+    def test_equal_example(self):
+        # 10/17 = now holds exactly on [10/17, 10/18).
+        result = equal(fixed(mmdd(10, 17)), NOW)
+        assert result.true_set == IntervalSet.point(mmdd(10, 17))
+
+    def test_not_equal_example(self):
+        result = not_equal(fixed(mmdd(10, 17)), NOW)
+        assert result.true_set == IntervalSet.point(mmdd(10, 17)).complement()
+
+    def test_greater_than_is_swapped_less_than(self):
+        t1, t2 = OngoingTimePoint(1, 6), OngoingTimePoint(4, 9)
+        assert greater_than(t1, t2) == less_than(t2, t1)
+
+    def test_greater_equal_is_negated_less_than(self):
+        t1, t2 = OngoingTimePoint(1, 6), OngoingTimePoint(4, 9)
+        assert greater_equal(t1, t2) == less_than(t1, t2).negation()
+
+
+class TestMinMax:
+    """Theorem 1: componentwise min/max; Ω is closed."""
+
+    def test_example1_of_the_paper(self):
+        # min(10/17, now) = +10/17 (Fig. 5)
+        result = ongoing_min(fixed(mmdd(10, 17)), NOW)
+        assert result == limited(mmdd(10, 17))
+
+    def test_min_is_componentwise(self):
+        assert ongoing_min(OngoingTimePoint(1, 9), OngoingTimePoint(4, 6)) == (
+            OngoingTimePoint(1, 6)
+        )
+
+    def test_max_is_componentwise(self):
+        assert ongoing_max(OngoingTimePoint(1, 9), OngoingTimePoint(4, 6)) == (
+            OngoingTimePoint(4, 9)
+        )
+
+    def test_max_of_limited_and_fixed_leaves_tf(self):
+        # max(min(a, now), b) with b < a: the Tf non-closure witness is a
+        # general Ω point.
+        result = ongoing_max(limited(8), fixed(3))
+        assert result == OngoingTimePoint(3, 8)
+        assert result.kind == "general"
+
+    def test_min_max_results_stay_in_omega(self):
+        # a <= b must hold for every result (closure, Table I).
+        points = [fixed(3), NOW, growing(5), limited(2), OngoingTimePoint(1, 7)]
+        for t1 in points:
+            for t2 in points:
+                low = ongoing_min(t1, t2)
+                high = ongoing_max(t1, t2)
+                assert low.a <= low.b
+                assert high.a <= high.b
+
+    def test_min_max_pointwise_definition(self):
+        points = [fixed(3), NOW, growing(5), limited(2), OngoingTimePoint(1, 7)]
+        for t1 in points:
+            for t2 in points:
+                low = ongoing_min(t1, t2)
+                high = ongoing_max(t1, t2)
+                for rt in (MINUS_INF, -10, 0, 2, 3, 5, 7, 8, 100):
+                    assert low.instantiate(rt) == min(
+                        t1.instantiate(rt), t2.instantiate(rt)
+                    )
+                    assert high.instantiate(rt) == max(
+                        t1.instantiate(rt), t2.instantiate(rt)
+                    )

@@ -1,0 +1,117 @@
+"""Unit tests for the fixed time domain T (timeline module)."""
+
+import datetime
+
+import pytest
+
+from repro.core import timeline
+from repro.errors import TimeDomainError
+
+
+class TestSentinels:
+    def test_limits_are_ordered_around_finite_points(self):
+        assert timeline.MINUS_INF < -(10**9) < 0 < 10**9 < timeline.PLUS_INF
+
+    def test_is_time_point_accepts_limits_and_finite_values(self):
+        assert timeline.is_time_point(timeline.MINUS_INF)
+        assert timeline.is_time_point(timeline.PLUS_INF)
+        assert timeline.is_time_point(0)
+
+    def test_is_time_point_rejects_booleans_and_floats(self):
+        assert not timeline.is_time_point(True)
+        assert not timeline.is_time_point(1.5)
+        assert not timeline.is_time_point("08/15")
+
+    def test_is_time_point_rejects_out_of_range(self):
+        assert not timeline.is_time_point(2**61)
+
+    def test_is_finite(self):
+        assert timeline.is_finite(0)
+        assert not timeline.is_finite(timeline.MINUS_INF)
+        assert not timeline.is_finite(timeline.PLUS_INF)
+
+    def test_check_time_point_raises_with_context(self):
+        with pytest.raises(TimeDomainError, match="deadline"):
+            timeline.check_time_point("tomorrow", what="deadline")
+
+
+class TestSuccessorPredecessor:
+    def test_succ_of_finite_point(self):
+        assert timeline.succ(5) == 6
+
+    def test_succ_saturates_at_plus_inf(self):
+        assert timeline.succ(timeline.PLUS_INF) == timeline.PLUS_INF
+
+    def test_succ_of_minus_inf_moves_up(self):
+        assert timeline.succ(timeline.MINUS_INF) == timeline.MINUS_INF + 1
+
+    def test_pred_of_finite_point(self):
+        assert timeline.pred(5) == 4
+
+    def test_pred_saturates_at_minus_inf(self):
+        assert timeline.pred(timeline.MINUS_INF) == timeline.MINUS_INF
+
+    def test_pred_of_plus_inf_moves_down(self):
+        assert timeline.pred(timeline.PLUS_INF) == timeline.PLUS_INF - 1
+
+    def test_clamp(self):
+        assert timeline.clamp(2**62) == timeline.PLUS_INF
+        assert timeline.clamp(-(2**62)) == timeline.MINUS_INF
+        assert timeline.clamp(17) == 17
+
+
+class TestPaperNotation:
+    def test_mmdd_epoch(self):
+        assert timeline.mmdd(1, 1) == 0
+
+    def test_mmdd_matches_calendar(self):
+        assert timeline.mmdd(8, 15) == (
+            datetime.date(2019, 8, 15) - datetime.date(2019, 1, 1)
+        ).days
+
+    def test_mmdd_other_year(self):
+        assert timeline.mmdd(1, 1, year=2020) == 365
+
+    def test_fmt_point_roundtrip(self):
+        point = timeline.mmdd(10, 17)
+        assert timeline.fmt_point(point) == "10/17"
+        assert timeline.from_mmdd("10/17") == point
+
+    def test_fmt_point_with_year_prefix(self):
+        point = timeline.mmdd(3, 1, year=2021)
+        assert timeline.fmt_point(point) == "2021-03/01"
+        assert timeline.from_mmdd("2021-03/01") == point
+
+    def test_fmt_point_limits(self):
+        assert timeline.fmt_point(timeline.MINUS_INF) == "-inf"
+        assert timeline.fmt_point(timeline.PLUS_INF) == "inf"
+
+    def test_from_mmdd_rejects_garbage(self):
+        with pytest.raises(TimeDomainError):
+            timeline.from_mmdd("not-a-date")
+
+    def test_fmt_interval(self):
+        assert timeline.fmt_interval(timeline.mmdd(1, 26), timeline.mmdd(8, 16)) == (
+            "[01/26, 08/16)"
+        )
+        assert timeline.fmt_interval(timeline.MINUS_INF, timeline.PLUS_INF) == (
+            "(-inf, inf)"
+        )
+
+
+class TestChronology:
+    def test_days_roundtrip(self):
+        moment = datetime.datetime(2019, 8, 15)
+        tick = timeline.DAYS.from_datetime(moment)
+        assert tick == timeline.mmdd(8, 15)
+        assert timeline.DAYS.to_datetime(tick) == moment
+
+    def test_microseconds_roundtrip(self):
+        moment = datetime.datetime(2019, 1, 1, 0, 0, 1)
+        tick = timeline.MICROSECONDS.from_datetime(moment)
+        assert tick == 1_000_000
+        assert timeline.MICROSECONDS.to_datetime(tick) == moment
+
+    def test_to_datetime_rejects_limits(self):
+        with pytest.raises(TimeDomainError):
+            timeline.DAYS.to_datetime(timeline.PLUS_INF)

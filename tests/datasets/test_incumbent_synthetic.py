@@ -1,0 +1,104 @@
+"""Unit tests for the Incumbent and D_ex/D_sh/D_sc generators."""
+
+from repro.core.interval import OngoingInterval
+from repro.datasets import (
+    generate_dex,
+    generate_dsc,
+    generate_dsh,
+    generate_incumbent,
+    strip_ongoing,
+    synthetic_database,
+)
+from repro.datasets import incumbent as incumbent_module
+from repro.datasets import synthetic as synthetic_module
+
+
+class TestIncumbent:
+    def test_cardinality_and_share(self):
+        relation = generate_incumbent(2_000)
+        assert len(relation) == 2_000
+        ongoing = sum(1 for t in relation if not t.values[2].is_fixed)
+        assert abs(ongoing / 2_000 - 0.19) < 0.01
+
+    def test_ongoing_starts_in_the_last_year(self):
+        relation = generate_incumbent(2_000)
+        for item in relation:
+            interval = item.values[2]
+            if not interval.is_fixed:
+                assert interval.start.a >= incumbent_module.HISTORY_END - 365
+
+    def test_deterministic(self):
+        assert generate_incumbent(300, seed=5) == generate_incumbent(300, seed=5)
+
+
+class TestDexDsh:
+    def test_dex_is_expanding(self):
+        relation = generate_dex(500)
+        kinds = {t.values[2].kind for t in relation if not t.values[2].is_fixed}
+        assert kinds == {"expanding"}
+
+    def test_dsh_is_shrinking(self):
+        relation = generate_dsh(500)
+        kinds = {t.values[2].kind for t in relation if not t.values[2].is_fixed}
+        assert kinds == {"shrinking"}
+
+    def test_segment_placement_dex(self):
+        for segment in range(synthetic_module.SEGMENTS):
+            relation = generate_dex(300, segment=segment)
+            low = synthetic_module.HISTORY_START + segment * 2 * 365
+            for item in relation:
+                interval = item.values[2]
+                if not interval.is_fixed:
+                    assert low <= interval.start.a < low + 2 * 365
+
+    def test_segment_placement_dsh(self):
+        for segment in (0, 4):
+            relation = generate_dsh(300, segment=segment)
+            low = synthetic_module.HISTORY_START + segment * 2 * 365
+            for item in relation:
+                interval = item.values[2]
+                if not interval.is_fixed:
+                    assert low <= interval.end.b < low + 2 * 365
+
+    def test_invalid_segment_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="segment"):
+            generate_dex(100, segment=7)
+
+    def test_dsc_share(self):
+        relation = generate_dsc(1_000)
+        ongoing = sum(1 for t in relation if not t.values[2].is_fixed)
+        assert abs(ongoing / 1_000 - 0.20) < 0.01
+
+
+class TestStripOngoing:
+    def test_result_is_purely_fixed(self):
+        stripped = strip_ongoing(generate_dex(300))
+        assert all(t.values[2].is_fixed for t in stripped)
+
+    def test_envelope_clipping(self):
+        stripped = strip_ongoing(generate_dex(300, segment=0))
+        for item in stripped:
+            interval = item.values[2]
+            assert interval.end.b <= synthetic_module.HISTORY_END
+
+    def test_shrinking_clips_at_history_start(self):
+        stripped = strip_ongoing(generate_dsh(300, segment=4))
+        for item in stripped:
+            interval = item.values[2]
+            assert interval.start.a >= synthetic_module.HISTORY_START
+
+    def test_fixed_tuples_untouched(self):
+        relation = generate_dex(300)
+        stripped = strip_ongoing(relation)
+        original_fixed = [t for t in relation if t.values[2].is_fixed]
+        stripped_by_id = {t.values[0]: t for t in stripped}
+        for item in original_fixed:
+            assert stripped_by_id[item.values[0]] == item
+
+
+class TestDatabaseHelper:
+    def test_synthetic_database(self):
+        database = synthetic_database(generate_dex(50), name="X")
+        assert len(database.relation("X")) == 50

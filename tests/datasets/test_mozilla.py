@@ -1,0 +1,104 @@
+"""Unit tests for the synthetic MozillaBugs generator (Table III, Fig. 7)."""
+
+from repro.core.interval import OngoingInterval
+from repro.datasets import generate_mozilla
+from repro.datasets import mozilla as mozilla_module
+
+
+class TestCharacteristics:
+    def test_cardinalities_scale_with_bug_count(self):
+        dataset = generate_mozilla(1_000)
+        assert len(dataset.bug_info) == 1_000
+        # ~1.48 assignments and ~1.10 severities per bug.
+        assert 1.3 <= len(dataset.bug_assignment) / 1_000 <= 1.65
+        assert 1.0 <= len(dataset.bug_severity) / 1_000 <= 1.25
+
+    def test_ongoing_share(self):
+        dataset = generate_mozilla(1_000)
+        assert abs(dataset.ongoing_fraction() - 0.15) < 0.01
+
+    def test_ongoing_intervals_are_expanding(self):
+        dataset = generate_mozilla(500)
+        for item in dataset.bug_info:
+            interval = item.values[5]
+            if not interval.is_fixed:
+                assert interval.is_expanding
+                assert interval.end.is_now
+
+    def test_start_point_skew(self):
+        """Fig. 7: ~half of the ongoing starts lie in the last two years."""
+        dataset = generate_mozilla(4_000)
+        starts = [
+            item.values[5].start.a
+            for item in dataset.bug_info
+            if not item.values[5].is_fixed
+        ]
+        recent = sum(
+            1 for s in starts if s >= mozilla_module.HISTORY_END - 2 * 365
+        )
+        assert 0.4 <= recent / len(starts) <= 0.6
+
+    def test_valid_times_lie_in_history(self):
+        dataset = generate_mozilla(500)
+        for item in dataset.bug_info:
+            interval = item.values[5]
+            assert interval.start.a >= mozilla_module.HISTORY_START
+            if interval.is_fixed:
+                assert interval.end.b <= mozilla_module.HISTORY_END
+
+    def test_foreign_keys_resolve(self):
+        dataset = generate_mozilla(300)
+        bug_ids = {item.values[0] for item in dataset.bug_info}
+        assert all(t.values[0] in bug_ids for t in dataset.bug_assignment)
+        assert all(t.values[0] in bug_ids for t in dataset.bug_severity)
+
+    def test_sub_intervals_stay_within_bug_valid_time(self):
+        dataset = generate_mozilla(300)
+        bug_vt = {t.values[0]: t.values[5] for t in dataset.bug_info}
+        for item in dataset.bug_assignment:
+            parent = bug_vt[item.values[0]]
+            child = item.values[2]
+            assert child.start.a >= parent.start.a
+            assert child.end.b <= parent.end.b
+
+
+class TestScaling:
+    def test_deterministic_given_seed(self):
+        assert generate_mozilla(200, seed=1).bug_info == generate_mozilla(
+            200, seed=1
+        ).bug_info
+
+    def test_different_seeds_differ(self):
+        assert generate_mozilla(200, seed=1).bug_info != generate_mozilla(
+            200, seed=2
+        ).bug_info
+
+    def test_slice_recent_raises_ongoing_share(self):
+        """Grow-backward scaling (Section IX-A): ongoing tuples cluster at
+        the end of the history, so a recent slice keeps most of them and
+        the ongoing share rises as the data shrinks."""
+        full = generate_mozilla(2_000)
+        ongoing_full = sum(
+            1 for t in full.bug_info if not t.values[5].is_fixed
+        )
+        half = full.slice_recent(1_000)
+        ongoing_half = sum(
+            1 for t in half.bug_info if not t.values[5].is_fixed
+        )
+        assert len(half.bug_info) == 1_000
+        assert ongoing_half >= 0.75 * ongoing_full
+        assert half.ongoing_fraction() > full.ongoing_fraction()
+
+    def test_slice_keeps_matching_children(self):
+        full = generate_mozilla(500)
+        sliced = full.slice_recent(200)
+        kept = {t.values[0] for t in sliced.bug_info}
+        assert {t.values[0] for t in sliced.bug_assignment} <= kept
+        assert {t.values[0] for t in sliced.bug_severity} <= kept
+
+
+class TestDatabaseExport:
+    def test_as_database_registers_three_tables(self):
+        database = generate_mozilla(100).as_database()
+        assert set(database.tables()) == {"A", "B", "S"}
+        assert len(database.relation("B")) == 100

@@ -1,0 +1,109 @@
+"""Unit tests for the envelope interval index (Section X future work)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.timeline import mmdd
+from repro.core.timepoint import NOW, fixed
+from repro.engine.indexes import IntervalIndex
+from repro.errors import QueryError
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import Schema
+
+_SCHEMA = Schema.of("ID", ("VT", "interval"))
+
+
+def _relation(intervals) -> OngoingRelation:
+    return OngoingRelation.from_rows(
+        _SCHEMA, [(i, interval) for i, interval in enumerate(intervals)]
+    )
+
+
+def _brute_force(relation, start, end):
+    position = relation.schema.index_of("VT")
+    hits = []
+    for item in relation:
+        value = item.values[position]
+        if value.start.a < end and value.end.b > start:
+            hits.append(item)
+    return hits
+
+
+class TestBasics:
+    def test_build_and_size(self):
+        index = IntervalIndex(_relation([fixed_interval(0, 5)]), "VT")
+        assert index.size == 1
+
+    def test_rejects_fixed_attribute(self):
+        with pytest.raises(QueryError, match="fixed"):
+            IntervalIndex(_relation([fixed_interval(0, 5)]), "ID")
+
+    def test_rejects_non_interval_values(self):
+        schema = Schema.of(("VT", "interval"))
+        relation = OngoingRelation.from_rows(schema, [(42,)])
+        with pytest.raises(QueryError, match="expected an"):
+            IntervalIndex(relation, "VT")
+
+    def test_empty_relation(self):
+        index = IntervalIndex(_relation([]), "VT")
+        assert index.overlapping(0, 100) == []
+
+    def test_empty_query_range(self):
+        index = IntervalIndex(_relation([fixed_interval(0, 5)]), "VT")
+        assert index.overlapping(5, 5) == []
+
+    def test_stabbing(self):
+        index = IntervalIndex(
+            _relation([fixed_interval(0, 5), fixed_interval(10, 20)]), "VT"
+        )
+        assert [t.values[0] for t in index.stabbing(12)] == [1]
+
+    def test_expanding_interval_reaches_the_future(self):
+        index = IntervalIndex(_relation([until_now(mmdd(1, 25))]), "VT")
+        assert len(index.stabbing(mmdd(12, 31))) == 1
+
+    def test_shrinking_interval_reaches_the_past(self):
+        index = IntervalIndex(
+            _relation([OngoingInterval(NOW, fixed(mmdd(3, 1)))]), "VT"
+        )
+        assert len(index.stabbing(mmdd(1, 1))) == 1
+        assert len(index.stabbing(mmdd(4, 1))) == 0
+
+
+class TestAgainstBruteForce:
+    def test_randomized_queries(self):
+        rng = random.Random(7)
+        intervals = []
+        for _ in range(300):
+            start = rng.randrange(0, 1000)
+            if rng.random() < 0.15:
+                intervals.append(until_now(start))
+            else:
+                intervals.append(fixed_interval(start, start + rng.randrange(1, 60)))
+        relation = _relation(intervals)
+        index = IntervalIndex(relation, "VT")
+        for _ in range(50):
+            qs = rng.randrange(-50, 1100)
+            qe = qs + rng.randrange(1, 120)
+            got = {t.values[0] for t in index.overlapping(qs, qe)}
+            want = {t.values[0] for t in _brute_force(relation, qs, qe)}
+            assert got == want, (qs, qe)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60), st.integers(1, 20)), max_size=40
+        ),
+        st.integers(-10, 80),
+        st.integers(1, 30),
+    )
+    def test_hypothesis_queries(self, raw, qs, width):
+        intervals = [fixed_interval(s, s + w) for s, w in raw]
+        relation = _relation(intervals)
+        index = IntervalIndex(relation, "VT")
+        got = {t.values[0] for t in index.overlapping(qs, qs + width)}
+        want = {t.values[0] for t in _brute_force(relation, qs, qs + width)}
+        assert got == want

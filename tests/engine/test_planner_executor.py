@@ -1,0 +1,190 @@
+"""Unit tests for the planner (Section VIII) and the physical operators.
+
+The key invariants:
+
+* the predicate split never changes results (optimize=True == optimize=False);
+* the three join algorithms produce identical relations;
+* the split actually happens (fixed conjuncts -> FixedFilter / hash keys,
+  ongoing conjuncts -> OngoingFilter / residuals).
+"""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.timeline import mmdd
+from repro.engine.database import Database
+from repro.engine.executor import (
+    HashJoin,
+    MergeIntervalJoin,
+    NestedLoopJoin,
+    SeqScan,
+    materialize,
+)
+from repro.engine.plan import Difference, Join, Project, Scan, Select, Union, scan
+from repro.engine.planner import Planner
+from repro.errors import QueryError, SchemaError
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+def _database() -> Database:
+    db = Database("planner-tests")
+    bugs = db.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(d(1, 25)))
+    bugs.insert(501, "Spam filter", fixed_interval(d(3, 30), d(8, 21)))
+    bugs.insert(502, "Dashboard", until_now(d(7, 1)))
+    patches = db.create_table("P", Schema.of("PID", "C", ("VT", "interval")))
+    patches.insert(201, "Spam filter", fixed_interval(d(8, 15), d(8, 24)))
+    patches.insert(202, "Dashboard", fixed_interval(d(8, 24), d(8, 27)))
+    return db
+
+
+class TestPredicateSplit:
+    def test_fixed_conjunct_becomes_fixed_filter(self):
+        db = _database()
+        plan = scan("B").where(
+            (col("C") == lit("Spam filter"))
+            & col("VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1))))
+        )
+        text = db.explain(plan)
+        assert "FixedFilter (1 conjuncts)" in text
+        assert "OngoingFilter (1 conjuncts)" in text
+
+    def test_unoptimized_puts_everything_on_ongoing_path(self):
+        db = _database()
+        plan = scan("B").where(col("C") == lit("Spam filter"))
+        text = db.explain(plan, optimize=False)
+        assert "FixedFilter" not in text
+        assert "OngoingFilter" in text
+
+    def test_split_does_not_change_results(self):
+        db = _database()
+        plan = scan("B").where(
+            (col("C") == lit("Spam filter"))
+            & col("VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1))))
+        )
+        assert db.query(plan) == db.query(plan, optimize=False)
+
+
+class TestJoinSelection:
+    def test_equi_conjunct_selects_hash_join(self):
+        db = _database()
+        plan = scan("B").join(
+            scan("P"),
+            on=(col("B.C") == col("P.C")) & col("B.VT").before(col("P.VT")),
+            left_name="B",
+            right_name="P",
+        )
+        physical = Planner().plan(plan, db)
+        assert isinstance(physical, HashJoin)
+
+    def test_overlaps_conjunct_selects_merge_join(self):
+        db = _database()
+        plan = scan("B").join(
+            scan("P"),
+            on=col("B.VT").overlaps(col("P.VT")),
+            left_name="B",
+            right_name="P",
+        )
+        physical = Planner().plan(plan, db)
+        assert isinstance(physical, MergeIntervalJoin)
+
+    def test_fallback_is_nested_loop(self):
+        db = _database()
+        plan = scan("B").join(
+            scan("P"),
+            on=col("B.VT").before(col("P.VT")),
+            left_name="B",
+            right_name="P",
+        )
+        physical = Planner().plan(plan, db)
+        assert isinstance(physical, NestedLoopJoin)
+
+    def test_unoptimized_join_is_nested_loop(self):
+        db = _database()
+        plan = scan("B").join(
+            scan("P"),
+            on=col("B.C") == col("P.C"),
+            left_name="B",
+            right_name="P",
+        )
+        physical = Planner(optimize=False).plan(plan, db)
+        assert isinstance(physical, NestedLoopJoin)
+
+    def test_all_join_algorithms_agree(self):
+        db = _database()
+        predicate = (col("B.C") == col("P.C")) & col("B.VT").overlaps(col("P.VT"))
+        plan = scan("B").join(
+            scan("P"), on=predicate, left_name="B", right_name="P"
+        )
+        optimized = db.query(plan)
+        naive = db.query(plan, optimize=False)
+        assert optimized == naive
+        # Force the merge join by dropping the equi conjunct from planning:
+        merge_plan = scan("B").join(
+            scan("P"),
+            on=col("B.VT").overlaps(col("P.VT")) & (col("B.C") == col("P.C")),
+            left_name="B",
+            right_name="P",
+        )
+        assert db.query(merge_plan) == optimized
+
+    def test_join_clash_requires_qualification(self):
+        db = _database()
+        plan = Join(Scan("B"), Scan("P"), col("BID") == col("PID"))
+        with pytest.raises(SchemaError, match="left_name/right_name"):
+            db.query(plan)
+
+
+class TestOtherOperators:
+    def test_projection_plan(self):
+        db = _database()
+        result = db.query(scan("B").select_columns("BID"))
+        assert sorted(result.column("BID")) == [500, 501, 502]
+
+    def test_union_plan(self):
+        db = _database()
+        result = db.query(Union(Scan("B"), Scan("B")))
+        assert len(result) == 3
+
+    def test_difference_plan(self):
+        db = _database()
+        filtered = Select(Scan("B"), col("C") == lit("Dashboard"))
+        result = db.query(Difference(Scan("B"), filtered))
+        assert sorted(result.column("BID")) == [500, 501]
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(QueryError):
+            Project(Scan("B"), ())
+
+    def test_unknown_plan_node_rejected(self):
+        class Strange:
+            pass
+
+        with pytest.raises(QueryError):
+            Planner().plan(Strange(), _database())
+
+    def test_scan_requires_table_name(self):
+        with pytest.raises(QueryError):
+            Scan("")
+
+    def test_materialize_roundtrip(self):
+        db = _database()
+        relation = db.relation("B")
+        assert materialize(SeqScan(relation)) == relation
+
+    def test_explain_is_indented_tree(self):
+        db = _database()
+        plan = scan("B").join(
+            scan("P"),
+            on=col("B.C") == col("P.C"),
+            left_name="B",
+            right_name="P",
+        )
+        lines = db.explain(plan).splitlines()
+        assert lines[0].startswith("HashJoin")
+        assert any(line.startswith("  ") for line in lines)

@@ -1,0 +1,127 @@
+"""Unit tests for the plan rewriter (Section VIII's optimization rules)."""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.timeline import mmdd
+from repro.engine.database import Database
+from repro.engine.plan import Difference, Join, Scan, Select, Union, scan
+from repro.engine.rewrite import push_down_selections, split_selections
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("rewrite-tests")
+    bugs = database.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(d(1, 25)))
+    bugs.insert(501, "Spam filter", fixed_interval(d(3, 30), d(8, 21)))
+    bugs.insert(502, "Dashboard", until_now(d(7, 1)))
+    patches = database.create_table("P", Schema.of("PID", "C", ("VT", "interval")))
+    patches.insert(201, "Spam filter", fixed_interval(d(8, 15), d(8, 24)))
+    patches.insert(202, "Dashboard", fixed_interval(d(8, 24), d(8, 27)))
+    return database
+
+
+class TestSplit:
+    def test_conjunction_cascades(self):
+        plan = Select(
+            Scan("B"),
+            (col("C") == lit("x")) & (col("BID") == lit(1)),
+        )
+        rebuilt = split_selections(plan)
+        assert isinstance(rebuilt, Select)
+        assert isinstance(rebuilt.child, Select)
+        assert isinstance(rebuilt.child.child, Scan)
+
+    def test_single_conjunct_untouched(self):
+        plan = Select(Scan("B"), col("C") == lit("x"))
+        rebuilt = split_selections(plan)
+        assert isinstance(rebuilt, Select)
+        assert isinstance(rebuilt.child, Scan)
+
+    def test_split_preserves_results(self, db):
+        plan = Select(
+            Scan("B"),
+            (col("C") == lit("Spam filter"))
+            & col("VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1)))),
+        )
+        assert db.query(split_selections(plan)) == db.query(plan)
+
+
+class TestPushDown:
+    def _joined(self):
+        return Join(
+            Scan("B"),
+            Scan("P"),
+            col("B.C") == col("P.C"),
+            left_name="B",
+            right_name="P",
+        )
+
+    def test_projection_exposes_columns_to_sink_into_join(self, db):
+        # A selection over a join with a left-only predicate sinks into
+        # the left input once exposure is known via an inner projection.
+        inner = Join(
+            Select(Scan("B"), col("C") == col("C")),  # keeps schema opaque
+            Scan("P"),
+            col("B.C") == col("P.C"),
+            left_name="B",
+            right_name="P",
+        )
+        plan = Select(inner, col("B.BID") == lit(500))
+        rewritten = push_down_selections(plan)
+        # scans are opaque to the pure rewriter, so the conjunct merges
+        # into the join predicate instead of being lost
+        assert isinstance(rewritten, Join)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_union_pushes_into_both_branches(self, db):
+        plan = Select(
+            Union(Scan("B"), Scan("B")), col("C") == lit("Dashboard")
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Union)
+        assert isinstance(rewritten.left, Select)
+        assert isinstance(rewritten.right, Select)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_difference_pushes_into_left_only(self, db):
+        plan = Select(
+            Difference(Scan("B"), Scan("B")), col("C") == lit("Dashboard")
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Difference)
+        assert isinstance(rewritten.left, Select)
+        assert isinstance(rewritten.right, Scan)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_join_predicate_absorbs_unsinkable_conjunct(self, db):
+        plan = Select(self._joined(), col("B.VT").overlaps(col("P.VT")))
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Join)  # the Select disappeared
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_results_identical_on_compound_plans(self, db):
+        plan = Select(
+            Select(
+                Union(self._joined(), self._joined()),
+                col("B.C") == lit("Spam filter"),
+            ),
+            col("B.VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1)))),
+        )
+        rewritten = push_down_selections(plan)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_projection_pass_through(self, db):
+        plan = Select(
+            scan("B").select_columns("BID", "C"),
+            col("C") == lit("Dashboard"),
+        )
+        rewritten = push_down_selections(plan)
+        assert db.query(rewritten) == db.query(plan)

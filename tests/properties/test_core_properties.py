@@ -1,0 +1,188 @@
+"""Property tests for the core operations — Definition 4 as an executable law.
+
+Every ongoing operation must satisfy, at **every** reference time::
+
+    ‖op(x, y)‖rt  ==  opF(‖x‖rt, ‖y‖rt)
+
+Truth values can only change at component values of the operands, so the
+assertions sweep the complete set of critical reference times rather than a
+random sample — within each drawn example the check is exhaustive.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.boolean import OngoingBoolean
+from repro.core.operations import (
+    equal,
+    greater_equal,
+    greater_than,
+    less_equal,
+    less_than,
+    not_equal,
+    ongoing_max,
+    ongoing_min,
+)
+
+from tests.conftest import critical_points, interval_sets, ongoing_points
+
+
+class TestComparisonLaws:
+    @given(ongoing_points(), ongoing_points())
+    def test_less_than_matches_fixed(self, t1, t2):
+        result = less_than(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == (
+                t1.instantiate(rt) < t2.instantiate(rt)
+            ), rt
+
+    @given(ongoing_points(), ongoing_points())
+    def test_less_equal_matches_fixed(self, t1, t2):
+        result = less_equal(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == (
+                t1.instantiate(rt) <= t2.instantiate(rt)
+            )
+
+    @given(ongoing_points(), ongoing_points())
+    def test_equal_matches_fixed(self, t1, t2):
+        result = equal(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == (
+                t1.instantiate(rt) == t2.instantiate(rt)
+            )
+
+    @given(ongoing_points(), ongoing_points())
+    def test_not_equal_matches_fixed(self, t1, t2):
+        result = not_equal(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == (
+                t1.instantiate(rt) != t2.instantiate(rt)
+            )
+
+    @given(ongoing_points(), ongoing_points())
+    def test_greater_comparisons_match_fixed(self, t1, t2):
+        gt = greater_than(t1, t2)
+        ge = greater_equal(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert gt.instantiate(rt) == (t1.instantiate(rt) > t2.instantiate(rt))
+            assert ge.instantiate(rt) == (t1.instantiate(rt) >= t2.instantiate(rt))
+
+    @given(ongoing_points(), ongoing_points())
+    def test_trichotomy(self, t1, t2):
+        """Exactly one of <, =, > holds at every reference time."""
+        lt = less_than(t1, t2)
+        eq = equal(t1, t2)
+        gt = greater_than(t1, t2)
+        for rt in critical_points(t1, t2):
+            truths = [lt.instantiate(rt), eq.instantiate(rt), gt.instantiate(rt)]
+            assert sum(truths) == 1
+
+
+class TestMinMaxLaws:
+    @given(ongoing_points(), ongoing_points())
+    def test_min_matches_fixed(self, t1, t2):
+        result = ongoing_min(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == min(
+                t1.instantiate(rt), t2.instantiate(rt)
+            )
+
+    @given(ongoing_points(), ongoing_points())
+    def test_max_matches_fixed(self, t1, t2):
+        result = ongoing_max(t1, t2)
+        for rt in critical_points(t1, t2):
+            assert result.instantiate(rt) == max(
+                t1.instantiate(rt), t2.instantiate(rt)
+            )
+
+    @given(ongoing_points(), ongoing_points())
+    def test_closure(self, t1, t2):
+        """Theorem 1: Ω is closed — results satisfy the a <= b invariant."""
+        assert ongoing_min(t1, t2).a <= ongoing_min(t1, t2).b
+        assert ongoing_max(t1, t2).a <= ongoing_max(t1, t2).b
+
+    @given(ongoing_points(), ongoing_points(), ongoing_points())
+    def test_min_max_distribute(self, x, y, z):
+        """min and max distribute over each other (used in the Thm 1 proof)."""
+        left = ongoing_min(ongoing_max(x, z), ongoing_max(y, z))
+        right = ongoing_max(ongoing_min(x, y), z)
+        assert left == right
+
+
+class TestConnectiveLaws:
+    @given(interval_sets(), interval_sets())
+    def test_conjunction_matches_fixed(self, s1, s2):
+        b1, b2 = OngoingBoolean(s1), OngoingBoolean(s2)
+        result = b1 & b2
+        for rt in critical_points(s1, s2):
+            assert result.instantiate(rt) == (
+                b1.instantiate(rt) and b2.instantiate(rt)
+            )
+
+    @given(interval_sets(), interval_sets())
+    def test_disjunction_matches_fixed(self, s1, s2):
+        b1, b2 = OngoingBoolean(s1), OngoingBoolean(s2)
+        result = b1 | b2
+        for rt in critical_points(s1, s2):
+            assert result.instantiate(rt) == (
+                b1.instantiate(rt) or b2.instantiate(rt)
+            )
+
+    @given(interval_sets())
+    def test_negation_matches_fixed(self, s1):
+        b1 = OngoingBoolean(s1)
+        result = ~b1
+        for rt in critical_points(s1):
+            assert result.instantiate(rt) == (not b1.instantiate(rt))
+
+    @given(interval_sets(), interval_sets())
+    def test_de_morgan(self, s1, s2):
+        b1, b2 = OngoingBoolean(s1), OngoingBoolean(s2)
+        assert ~(b1 & b2) == (~b1 | ~b2)
+        assert ~(b1 | b2) == (~b1 & ~b2)
+
+    @given(interval_sets(), interval_sets())
+    def test_cardinality_bounds(self, s1, s2):
+        """Section IX-D: |b1 ∧ b2| and |b1 ∨ b2| are at most |b1| + |b2|."""
+        b1, b2 = OngoingBoolean(s1), OngoingBoolean(s2)
+        bound = s1.cardinality + s2.cardinality
+        assert (b1 & b2).true_set.cardinality <= bound
+        assert (b1 | b2).true_set.cardinality <= bound
+
+    @given(interval_sets())
+    def test_negation_cardinality_bound(self, s1):
+        """Section IX-D: |b1| - 1 <= |¬b1| <= |b1| + 1."""
+        negated = OngoingBoolean(s1).negation().true_set.cardinality
+        assert s1.cardinality - 1 <= negated <= s1.cardinality + 1
+
+
+class TestIntervalSetInvariants:
+    @given(interval_sets(), interval_sets())
+    def test_operations_preserve_normalization(self, s1, s2):
+        """Results stay maximal, non-overlapping, ascending (Section VIII)."""
+        for result in (s1 & s2, s1 | s2, s1 - s2, ~s1):
+            pairs = result.intervals
+            for start, end in pairs:
+                assert start < end
+            for (_, previous_end), (next_start, _) in zip(pairs, pairs[1:]):
+                # strictly separated: adjacency would violate maximality
+                assert previous_end < next_start
+
+    @given(interval_sets(), interval_sets())
+    def test_membership_agrees_with_operations(self, s1, s2):
+        intersection = s1 & s2
+        union = s1 | s2
+        difference = s1 - s2
+        for rt in critical_points(s1, s2):
+            assert (rt in intersection) == ((rt in s1) and (rt in s2))
+            assert (rt in union) == ((rt in s1) or (rt in s2))
+            assert (rt in difference) == ((rt in s1) and (rt not in s2))
+
+    @given(interval_sets())
+    def test_complement_is_involution(self, s1):
+        assert ~~s1 == s1
+
+    @given(interval_sets(), interval_sets())
+    def test_overlaps_iff_nonempty_intersection(self, s1, s2):
+        assert s1.overlaps(s2) == (not (s1 & s2).is_empty())

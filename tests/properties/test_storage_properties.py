@@ -1,0 +1,74 @@
+"""Property tests: the storage layout round-trips losslessly.
+
+Whatever the library can store it must read back bit-identically —
+pack/unpack is the write/read path of the engine's "disk" format.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.duration import duration
+from repro.core.intervalset import IntervalSet
+from repro.engine.storage import (
+    RT_HEADER_BYTES,
+    RT_INTERVAL_BYTES,
+    pack_rt,
+    pack_tuple,
+    unpack_rt,
+    unpack_tuple,
+)
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+from tests.conftest import (
+    interval_sets,
+    ongoing_intervals,
+    ongoing_points,
+)
+
+_SCHEMA = Schema.of(
+    "BID", ("Descr", "fixed"), ("T", "point"), ("VT", "interval")
+)
+
+
+@given(interval_sets())
+def test_rt_roundtrip(rt_set):
+    buffer = pack_rt(rt_set)
+    assert len(buffer) == RT_HEADER_BYTES + RT_INTERVAL_BYTES * rt_set.cardinality
+    decoded, consumed = unpack_rt(buffer)
+    assert decoded == rt_set
+    assert consumed == len(buffer)
+
+
+@given(
+    st.integers(min_value=-(2**30), max_value=2**30),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+        max_size=40,
+    ),
+    ongoing_points(),
+    ongoing_intervals(),
+    interval_sets(),
+)
+def test_tuple_roundtrip(bid, description, point, interval, rt_set):
+    original = OngoingTuple((bid, description, point, interval), rt_set)
+    buffer = pack_tuple(original)
+    decoded = unpack_tuple(buffer, _SCHEMA, text_attributes={"Descr"})
+    assert decoded == original
+
+
+@given(ongoing_intervals(), interval_sets())
+def test_ongoing_integer_roundtrip(interval, rt_set):
+    schema = Schema.of("K", ("N", "integer"))
+    original = OngoingTuple((7, duration(interval)), rt_set)
+    buffer = pack_tuple(original)
+    decoded = unpack_tuple(buffer, schema)
+    assert decoded == original
+
+
+@given(ongoing_intervals())
+def test_fixed_layout_is_strictly_smaller(interval):
+    item = OngoingTuple((1, interval))
+    ongoing_size = len(pack_tuple(item, layout="ongoing"))
+    fixed_size = len(pack_tuple(item, layout="fixed"))
+    assert fixed_size < ongoing_size

@@ -1,0 +1,145 @@
+"""Unit tests for RT-aware aggregation (Section X future work)."""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import mmdd
+from repro.errors import PredicateError, SchemaError
+from repro.relational.aggregate import (
+    count_tuples,
+    group_by,
+    max_over,
+    min_over,
+    sum_durations,
+)
+from repro.relational.relation import OngoingRelation
+from repro.relational.schema import AttributeKind, Schema
+from repro.relational.tuples import OngoingTuple
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+_SCHEMA = Schema.of("C", "Sev", ("VT", "interval"))
+
+
+def _bugs() -> OngoingRelation:
+    return OngoingRelation(
+        _SCHEMA,
+        [
+            OngoingTuple(("spam", 3, until_now(d(1, 10))), IntervalSet([(0, 200)])),
+            OngoingTuple(("spam", 5, until_now(d(2, 10))), IntervalSet([(50, 300)])),
+            OngoingTuple(
+                ("dash", 1, fixed_interval(d(1, 1), d(3, 1))),
+                IntervalSet([(0, 100)]),
+            ),
+        ],
+    )
+
+
+class TestCount:
+    def test_count_follows_reference_times(self):
+        count = count_tuples(_bugs())
+        assert count.instantiate(-10) == 0
+        assert count.instantiate(10) == 2
+        assert count.instantiate(60) == 3
+        assert count.instantiate(150) == 2
+        assert count.instantiate(250) == 1
+        assert count.instantiate(500) == 0
+
+    def test_count_matches_bag_semantics_everywhere(self):
+        bugs = _bugs()
+        count = count_tuples(bugs)
+        for rt in range(-20, 350, 7):
+            present = sum(1 for item in bugs if rt in item.rt)
+            assert count.instantiate(rt) == present
+
+
+class TestSumDurations:
+    def test_sum_combines_ramps_inside_rts(self):
+        bugs = _bugs()
+        total = sum_durations(bugs, "VT")
+        for rt in range(-20, 350, 7):
+            expected = 0
+            for item in bugs:
+                if rt in item.rt:
+                    start, end = item.values[2].instantiate(rt)
+                    expected += max(0, end - start)
+            assert total.instantiate(rt) == expected, rt
+
+    def test_requires_interval_attribute(self):
+        with pytest.raises(PredicateError, match="interval"):
+            sum_durations(_bugs(), "Sev")
+
+
+class TestExtrema:
+    def test_min_and_max_over_present_tuples(self):
+        bugs = _bugs()
+        low = min_over(bugs, "Sev", empty_value=-1)
+        high = max_over(bugs, "Sev", empty_value=-1)
+        assert low.instantiate(10) == 1 and high.instantiate(10) == 3
+        assert low.instantiate(60) == 1 and high.instantiate(60) == 5
+        assert low.instantiate(150) == 3 and high.instantiate(150) == 5
+        assert low.instantiate(500) == -1
+
+    def test_requires_fixed_numeric_attribute(self):
+        with pytest.raises(PredicateError):
+            min_over(_bugs(), "VT")
+        with pytest.raises(PredicateError):
+            min_over(_bugs(), "C")
+
+
+class TestGroupBy:
+    def test_group_count(self):
+        result = group_by(_bugs(), ["C"], "count")
+        assert result.schema.names == ("C", "count")
+        assert result.schema.attribute("count").kind is AttributeKind.ONGOING_INTEGER
+        by_component = {row.values[0]: row for row in result}
+        spam_count = by_component["spam"].values[1]
+        assert spam_count.instantiate(10) == 1
+        assert spam_count.instantiate(60) == 2
+        assert by_component["dash"].values[1].instantiate(10) == 1
+
+    def test_group_rt_is_member_union(self):
+        result = group_by(_bugs(), ["C"], "count")
+        by_component = {row.values[0]: row for row in result}
+        assert by_component["spam"].rt == IntervalSet([(0, 300)])
+        assert by_component["dash"].rt == IntervalSet([(0, 100)])
+
+    def test_group_sum_duration(self):
+        result = group_by(_bugs(), ["C"], "sum_duration", "VT")
+        by_component = {row.values[0]: row for row in result}
+        rt = 80
+        expected = 0
+        for item in _bugs():
+            if item.values[0] == "spam" and rt in item.rt:
+                start, end = item.values[2].instantiate(rt)
+                expected += max(0, end - start)
+        assert by_component["spam"].values[1].instantiate(rt) == expected
+
+    def test_group_min_max(self):
+        result = group_by(_bugs(), ["C"], "max", "Sev", output_name="worst")
+        by_component = {row.values[0]: row for row in result}
+        assert by_component["spam"].values[1].instantiate(60) == 5
+
+    def test_instantiation_through_the_relation(self):
+        """Group tuples instantiate like any other ongoing tuple."""
+        result = group_by(_bugs(), ["C"], "count")
+        rows = result.instantiate(60)
+        assert ("spam", 2) in rows
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(PredicateError, match="unknown aggregate"):
+            group_by(_bugs(), ["C"], "median", "Sev")
+
+    def test_grouping_by_ongoing_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="fixed"):
+            group_by(_bugs(), ["VT"], "count")
+
+    def test_aggregates_requiring_attributes_reject_none(self):
+        with pytest.raises(PredicateError):
+            group_by(_bugs(), ["C"], "sum_duration")
+        with pytest.raises(PredicateError):
+            group_by(_bugs(), ["C"], "min")

@@ -1,0 +1,176 @@
+"""Unit tests for the predicate/expression tree and its evaluation."""
+
+import pytest
+
+from repro.core.boolean import O_FALSE, O_TRUE
+from repro.core.interval import fixed_interval, until_now
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import mmdd
+from repro.core.timepoint import NOW, fixed
+from repro.errors import PredicateError
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TRUE_PREDICATE,
+    col,
+    lit,
+)
+from repro.relational.schema import Schema
+
+_SCHEMA = Schema.of("BID", "C", ("VT", "interval"), ("T", "point"))
+_ROW = (500, "Spam filter", until_now(mmdd(1, 25)), NOW)
+
+
+class TestExpressions:
+    def test_column_reads_by_name(self):
+        assert col("BID").evaluate(_ROW, _SCHEMA) == 500
+
+    def test_column_caches_per_schema(self):
+        column = col("C")
+        assert column.evaluate(_ROW, _SCHEMA) == "Spam filter"
+        other = Schema.of("C", "BID")
+        assert column.evaluate(("x", 1), other) == "x"
+
+    def test_literal(self):
+        assert lit(7).evaluate(_ROW, _SCHEMA) == 7
+
+    def test_references(self):
+        predicate = (col("BID") == lit(1)) & col("VT").overlaps(col("T2"))
+        assert predicate.references() == {"BID", "VT", "T2"}
+
+    def test_intersect_expression(self):
+        expression = col("VT").intersect(lit(fixed_interval(mmdd(1, 1), mmdd(2, 1))))
+        value = expression.evaluate(_ROW, _SCHEMA)
+        assert value.start == fixed(mmdd(1, 25))
+
+    def test_intersect_rejects_non_interval(self):
+        expression = col("BID").intersect(col("VT"))
+        with pytest.raises(PredicateError, match="interval"):
+            expression.evaluate(_ROW, _SCHEMA)
+
+
+class TestComparisons:
+    def test_fixed_comparison_yields_constant_boolean(self):
+        assert (col("BID") == lit(500)).evaluate(_ROW, _SCHEMA) is O_TRUE
+        assert (col("BID") == lit(1)).evaluate(_ROW, _SCHEMA) is O_FALSE
+
+    def test_string_comparison(self):
+        assert (col("C") == lit("Spam filter")).evaluate(_ROW, _SCHEMA) is O_TRUE
+
+    def test_ongoing_point_comparison(self):
+        result = (col("T") < lit(fixed(mmdd(8, 15)))).evaluate(_ROW, _SCHEMA)
+        assert result.true_set == IntervalSet.below(mmdd(8, 15))
+
+    def test_int_coerces_to_fixed_point_against_ongoing(self):
+        result = (col("T") < lit(mmdd(8, 15))).evaluate(_ROW, _SCHEMA)
+        assert result.true_set == IntervalSet.below(mmdd(8, 15))
+
+    def test_mixing_ongoing_with_string_raises(self):
+        with pytest.raises(PredicateError, match="mixes"):
+            (col("T") < lit("tomorrow")).evaluate(_ROW, _SCHEMA)
+
+    def test_incomparable_fixed_values_raise(self):
+        with pytest.raises(PredicateError, match="cannot compare"):
+            (col("C") < lit(5)).evaluate(_ROW, _SCHEMA)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison("<>", col("A"), col("B"))
+
+    def test_all_six_operators(self):
+        row = (3, "x", until_now(0), fixed(5))
+        for op, expected in [("<", True), ("<=", True), ("=", False),
+                             ("!=", True), (">", False), (">=", False)]:
+            predicate = Comparison(op, col("BID"), lit(4))
+            assert predicate.evaluate(row, _SCHEMA).is_always_true() == expected
+
+
+class TestAllenPredicateNode:
+    def test_known_predicates_evaluate(self):
+        # [01/25, now) overlaps [08/15, 08/24) once now passes 08/15.
+        window = lit(fixed_interval(mmdd(8, 15), mmdd(8, 24)))
+        result = col("VT").overlaps(window).evaluate(_ROW, _SCHEMA)
+        assert result.true_set == IntervalSet.at_least(mmdd(8, 16))
+
+    def test_operand_type_checked(self):
+        with pytest.raises(PredicateError, match="operand"):
+            col("BID").overlaps(col("VT")).evaluate(_ROW, _SCHEMA)
+
+    def test_unknown_name_rejected(self):
+        from repro.relational.predicates import AllenPredicate
+
+        with pytest.raises(PredicateError, match="unknown interval predicate"):
+            AllenPredicate("touches", col("VT"), col("VT"))
+
+    def test_pair_tuple_coerces_to_interval(self):
+        result = col("VT").overlaps(lit((mmdd(8, 15), mmdd(8, 24))))
+        assert result.evaluate(_ROW, _SCHEMA).true_set == IntervalSet.at_least(
+            mmdd(8, 16)
+        )
+
+
+class TestConnectives:
+    def test_and_flattens(self):
+        predicate = (col("A") == lit(1)) & (col("B") == lit(2)) & (col("C") == lit(3))
+        assert len(predicate.conjuncts()) == 3
+
+    def test_or_flattens(self):
+        predicate = Or([Or([TRUE_PREDICATE, TRUE_PREDICATE]), TRUE_PREDICATE])
+        assert len(predicate.parts) == 3
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(PredicateError):
+            And([])
+        with pytest.raises(PredicateError):
+            Or([])
+
+    def test_and_short_circuits_on_false(self):
+        class Exploding:
+            def evaluate(self, row, schema):
+                raise AssertionError("must not be evaluated")
+
+            def conjuncts(self):
+                return [self]
+
+        predicate = And([col("BID") == lit(-1), Exploding()])
+        assert predicate.evaluate(_ROW, _SCHEMA) is O_FALSE
+
+    def test_not(self):
+        assert Not(TRUE_PREDICATE).evaluate(_ROW, _SCHEMA) == O_FALSE
+
+    def test_mixing_fixed_and_ongoing_conjuncts(self):
+        window = lit(fixed_interval(mmdd(8, 15), mmdd(8, 24)))
+        predicate = (col("C") == lit("Spam filter")) & col("VT").before(window)
+        result = predicate.evaluate(_ROW, _SCHEMA)
+        # fixed part true -> result equals the ongoing part's truth set
+        assert result == col("VT").before(window).evaluate(_ROW, _SCHEMA)
+
+
+class TestPlannerSupport:
+    def test_is_fixed_only_on_fixed_columns(self):
+        assert (col("BID") == lit(1)).is_fixed_only(_SCHEMA)
+        assert not (col("VT").overlaps(col("VT"))).is_fixed_only(_SCHEMA)
+
+    def test_ongoing_literal_is_not_fixed_only(self):
+        predicate = col("BID") == lit(NOW)
+        assert not predicate.is_fixed_only(_SCHEMA)
+
+    def test_fixed_interval_literal_predicate_is_fixed_only(self):
+        window = lit(fixed_interval(1, 5))
+        other = lit(fixed_interval(2, 6))
+        from repro.relational.predicates import AllenPredicate
+
+        predicate = AllenPredicate("overlaps", window, other)
+        assert predicate.is_fixed_only(_SCHEMA)
+
+    def test_evaluate_fixed_fast_path(self):
+        assert (col("BID") == lit(500)).evaluate_fixed(_ROW, _SCHEMA) is True
+        predicate = (col("BID") == lit(500)) & (col("C") == lit("nope"))
+        assert predicate.evaluate_fixed(_ROW, _SCHEMA) is False
+
+    def test_evaluate_fixed_raises_on_contingent_result(self):
+        predicate = col("T") < lit(fixed(mmdd(8, 15)))
+        with pytest.raises(PredicateError, match="reference time"):
+            predicate.evaluate_fixed(_ROW, _SCHEMA)

@@ -1,0 +1,103 @@
+"""Unit tests for schemas of ongoing relations (Definition 5)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Attribute, AttributeKind, Schema
+
+
+class TestConstruction:
+    def test_of_with_mixed_specs(self):
+        schema = Schema.of("BID", ("VT", "interval"), ("T", "point"), ("X", "fixed"))
+        assert schema.names == ("BID", "VT", "T", "X")
+        assert schema.attribute("BID").kind is AttributeKind.FIXED
+        assert schema.attribute("VT").kind is AttributeKind.ONGOING_INTERVAL
+        assert schema.attribute("T").kind is AttributeKind.ONGOING_POINT
+
+    def test_of_accepts_attribute_instances(self):
+        attribute = Attribute("VT", AttributeKind.ONGOING_INTERVAL)
+        assert Schema.of(attribute).attribute("VT") == attribute
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema.of("A", "A")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="unknown attribute kind"):
+            Schema.of(("VT", "wibble"))
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(42)
+
+
+class TestLookup:
+    def test_index_of(self):
+        schema = Schema.of("A", "B", "C")
+        assert schema.index_of("B") == 1
+
+    def test_index_of_unknown_lists_known_names(self):
+        schema = Schema.of("A", "B")
+        with pytest.raises(SchemaError, match=r"unknown attribute 'Z'.*'A', 'B'"):
+            schema.index_of("Z")
+
+    def test_contains_and_iter(self):
+        schema = Schema.of("A", ("VT", "interval"))
+        assert "A" in schema and "VT" in schema and "Z" not in schema
+        assert [a.name for a in schema] == ["A", "VT"]
+
+    def test_ongoing_names(self):
+        schema = Schema.of("A", ("VT", "interval"), ("T", "point"))
+        assert schema.ongoing_names() == ("VT", "T")
+
+
+class TestDerivedSchemas:
+    def test_project_reorders(self):
+        schema = Schema.of("A", "B", "C")
+        assert schema.project(["C", "A"]).names == ("C", "A")
+
+    def test_rename(self):
+        schema = Schema.of("A", ("VT", "interval"))
+        renamed = schema.rename({"A": "X"})
+        assert renamed.names == ("X", "VT")
+        assert renamed.attribute("VT").kind is AttributeKind.ONGOING_INTERVAL
+
+    def test_qualify(self):
+        schema = Schema.of("A", "B").qualify("R")
+        assert schema.names == ("R.A", "R.B")
+
+    def test_concat_rejects_clashes(self):
+        with pytest.raises(SchemaError):
+            Schema.of("A").concat(Schema.of("A"))
+
+    def test_concat_after_qualify(self):
+        left = Schema.of("A").qualify("R")
+        right = Schema.of("A").qualify("S")
+        assert left.concat(right).names == ("R.A", "S.A")
+
+
+class TestCompatibility:
+    def test_compatible_ignores_names(self):
+        left = Schema.of("A", ("VT", "interval"))
+        right = Schema.of("X", ("W", "interval"))
+        assert left.compatible_with(right)
+
+    def test_incompatible_kinds(self):
+        left = Schema.of("A", ("VT", "interval"))
+        right = Schema.of("A", "VT")
+        assert not left.compatible_with(right)
+
+    def test_incompatible_arity(self):
+        assert not Schema.of("A").compatible_with(Schema.of("A", "B"))
+
+    def test_require_compatible_raises(self):
+        with pytest.raises(SchemaError, match="union"):
+            Schema.of("A").require_compatible(Schema.of("A", "B"), "union")
+
+    def test_equality_and_hash(self):
+        assert Schema.of("A", "B") == Schema.of("A", "B")
+        assert len({Schema.of("A"), Schema.of("A")}) == 1

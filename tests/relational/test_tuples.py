@@ -1,0 +1,58 @@
+"""Unit tests for ongoing tuples and the bind operator on values."""
+
+from repro.core.interval import until_now
+from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
+from repro.core.timeline import mmdd
+from repro.core.timepoint import NOW, fixed
+from repro.relational.tuples import OngoingTuple, bind_value
+
+
+class TestBindValue:
+    def test_fixed_values_pass_through(self):
+        assert bind_value(42, 10) == 42
+        assert bind_value("spam", 10) == "spam"
+        assert bind_value(None, 10) is None
+
+    def test_ongoing_point_instantiates(self):
+        assert bind_value(NOW, mmdd(8, 15)) == mmdd(8, 15)
+        assert bind_value(fixed(3), 10) == 3
+
+    def test_ongoing_interval_instantiates_componentwise(self):
+        value = bind_value(until_now(mmdd(1, 25)), mmdd(8, 15))
+        assert value == (mmdd(1, 25), mmdd(8, 15))
+
+
+class TestOngoingTuple:
+    def test_defaults_to_trivial_rt(self):
+        item = OngoingTuple((1, "a"))
+        assert item.rt is UNIVERSAL_SET
+
+    def test_restrict_intersects_rt(self):
+        item = OngoingTuple((1,), IntervalSet([(0, 10)]))
+        restricted = item.restrict(IntervalSet([(5, 20)]))
+        assert restricted.rt == IntervalSet([(5, 10)])
+        assert restricted.values == item.values
+
+    def test_with_rt_replaces(self):
+        item = OngoingTuple((1,))
+        assert item.with_rt(IntervalSet([(0, 1)])).rt == IntervalSet([(0, 1)])
+
+    def test_instantiate_inside_rt(self):
+        item = OngoingTuple((500, until_now(mmdd(1, 25))), IntervalSet([(0, 300)]))
+        assert item.instantiate(mmdd(8, 15)) == (500, (mmdd(1, 25), mmdd(8, 15)))
+
+    def test_instantiate_outside_rt_returns_none(self):
+        item = OngoingTuple((500,), IntervalSet([(0, 10)]))
+        assert item.instantiate(50) is None
+
+    def test_equality_includes_rt(self):
+        a = OngoingTuple((1,), IntervalSet([(0, 10)]))
+        b = OngoingTuple((1,), IntervalSet([(0, 10)]))
+        c = OngoingTuple((1,), IntervalSet([(0, 11)]))
+        assert a == b and a != c
+        assert len({a, b, c}) == 2
+
+    def test_format_renders_ongoing_values(self):
+        item = OngoingTuple((500, until_now(mmdd(1, 25))))
+        assert "[01/25, now)" in item.format()
+        assert "RT={(-inf, inf)}" in item.format()

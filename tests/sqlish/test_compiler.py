@@ -1,0 +1,215 @@
+"""Integration tests for the OSQL compiler against the engine."""
+
+import pytest
+
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF, mmdd
+from repro.core.timepoint import NOW, OngoingTimePoint, fixed, growing, limited
+from repro.engine.database import Database
+from repro.errors import QueryError
+from repro.relational.schema import Schema
+from repro.sqlish import compile_statement, run
+from repro.sqlish.compiler import _parse_endpoint
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+@pytest.fixture()
+def db() -> Database:
+    database = Database("email-service")
+    bugs = database.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(d(1, 25)))
+    bugs.insert(501, "Spam filter", fixed_interval(d(3, 30), d(8, 21)))
+    bugs.insert(502, "Dashboard", until_now(d(7, 1)))
+    patches = database.create_table("P", Schema.of("PID", "C", ("VT", "interval")))
+    patches.insert(201, "Spam filter", fixed_interval(d(8, 15), d(8, 24)))
+    patches.insert(202, "Spam filter", fixed_interval(d(8, 24), d(8, 27)))
+    leads = database.create_table("L", Schema.of("Name", "C", ("VT", "interval")))
+    leads.insert("Ann", "Spam filter", fixed_interval(d(1, 20), d(8, 18)))
+    leads.insert("Bob", "Spam filter", until_now(d(8, 18)))
+    return database
+
+
+class TestEndpointLiterals:
+    def test_now(self):
+        assert _parse_endpoint("now") == NOW
+
+    def test_fixed_date(self):
+        assert _parse_endpoint("08/15") == fixed(d(8, 15))
+
+    def test_growing(self):
+        assert _parse_endpoint("08/15+") == growing(d(8, 15))
+
+    def test_limited(self):
+        assert _parse_endpoint("+08/15") == limited(d(8, 15))
+
+    def test_general(self):
+        assert _parse_endpoint("08/15+08/20") == OngoingTimePoint(d(8, 15), d(8, 20))
+
+    def test_plain_integers(self):
+        assert _parse_endpoint("42") == fixed(42)
+
+    def test_infinities(self):
+        assert _parse_endpoint("inf") == fixed(PLUS_INF)
+        assert _parse_endpoint("-inf") == fixed(MINUS_INF)
+
+
+class TestSimpleSelects:
+    def test_star(self, db):
+        assert len(run("SELECT * FROM B", db)) == 3
+
+    def test_fixed_where(self, db):
+        result = run("SELECT BID FROM B WHERE C = 'Dashboard'", db)
+        assert result.column("BID") == [502]
+
+    def test_temporal_where_restricts_rt(self, db):
+        result = run(
+            "SELECT * FROM B WHERE VT OVERLAPS PERIOD '[08/15, 08/24)'", db
+        )
+        by_bid = {row.values[0]: row.rt for row in result}
+        assert by_bid[500] == IntervalSet.at_least(d(8, 16))
+        assert by_bid[501].is_universal()
+
+    def test_projection_renames(self, db):
+        result = run("SELECT BID AS bug, C AS component FROM B", db)
+        assert result.schema.names == ("bug", "component")
+
+    def test_computed_column_needs_alias(self, db):
+        with pytest.raises(QueryError, match="AS alias"):
+            run("SELECT INTERSECTION(VT, VT) FROM B", db)
+
+    def test_unknown_column(self, db):
+        with pytest.raises(QueryError, match="unknown column"):
+            run("SELECT nope FROM B", db)
+
+    def test_unknown_table(self, db):
+        with pytest.raises(QueryError, match="no table named"):
+            run("SELECT * FROM nope", db)
+
+
+class TestJoins:
+    RUNNING_EXAMPLE = """
+        SELECT B.BID, B.VT AS BVT, P.PID, L.Name,
+               INTERSECTION(B.VT, L.VT) AS Resp
+        FROM B, P, L
+        WHERE B.C = 'Spam filter'
+          AND B.C = P.C AND B.VT BEFORE P.VT
+          AND B.C = L.C AND B.VT OVERLAPS L.VT
+    """
+
+    def test_running_example_reproduces_fig2(self, db):
+        result = run(self.RUNNING_EXAMPLE, db)
+        rows = {
+            (row.values[0], row.values[2], row.values[3], row.rt.format())
+            for row in result
+        }
+        assert rows == {
+            (500, 201, "Ann", "{[01/26, 08/16)}"),
+            (500, 202, "Ann", "{[01/26, 08/25)}"),
+            (500, 202, "Bob", "{[08/19, 08/25)}"),
+            (501, 202, "Ann", "{(-inf, inf)}"),
+            (501, 202, "Bob", "{[08/19, inf)}"),
+        }
+
+    def test_join_predicates_are_placed_for_hash_join(self, db):
+        plan = compile_statement(self.RUNNING_EXAMPLE, db)
+        assert "HashJoin" in db.explain(plan)
+
+    def test_ambiguous_column_is_rejected(self, db):
+        with pytest.raises(QueryError, match="ambiguous"):
+            run("SELECT VT FROM B, P WHERE B.C = P.C", db)
+
+    def test_unqualified_unique_column_resolves(self, db):
+        result = run("SELECT Name FROM B, L WHERE B.C = L.C", db)
+        assert set(result.column("Name")) == {"Ann", "Bob"}
+
+    def test_self_join_with_aliases(self, db):
+        result = run(
+            "SELECT x.BID, y.BID AS other FROM B x, B y "
+            "WHERE x.C = y.C AND x.BID != y.BID",
+            db,
+        )
+        assert len(result) == 2  # 500<->501 both ways
+
+    def test_compiled_matches_manual_instantiation(self, db):
+        result = run(self.RUNNING_EXAMPLE, db)
+        for rt in (d(8, 1), d(8, 20), d(9, 15)):
+            manual = {
+                row for row in result.instantiate(rt)
+            }
+            assert manual == result.instantiate(rt)
+
+
+class TestSetOperations:
+    def test_union_deduplicates(self, db):
+        result = run("SELECT BID FROM B UNION SELECT BID FROM B", db)
+        assert len(result) == 3
+
+    def test_except(self, db):
+        result = run(
+            "SELECT BID FROM B EXCEPT SELECT BID FROM B WHERE C = 'Dashboard'",
+            db,
+        )
+        assert sorted(result.column("BID")) == [500, 501]
+
+
+class TestAggregates:
+    def test_group_count(self, db):
+        result = run("SELECT C, COUNT(*) AS n FROM B GROUP BY C", db)
+        by_component = {row.values[0]: row.values[1] for row in result}
+        assert by_component["Spam filter"].instantiate(0) == 2
+        assert by_component["Dashboard"].instantiate(0) == 1
+
+    def test_count_over_restricted_rt_varies(self, db):
+        result = run(
+            "SELECT C, COUNT(*) AS n FROM B "
+            "WHERE VT OVERLAPS PERIOD '[08/15, 08/24)' GROUP BY C",
+            db,
+        )
+        by_component = {row.values[0]: row.values[1] for row in result}
+        spam = by_component["Spam filter"]
+        assert spam.instantiate(d(8, 1)) == 1   # only the fixed bug
+        assert spam.instantiate(d(8, 20)) == 2  # now the ongoing one too
+
+    def test_sum_duration(self, db):
+        result = run(
+            "SELECT C, SUM_DURATION(VT) AS load FROM B GROUP BY C", db
+        )
+        by_component = {row.values[0]: row.values[1] for row in result}
+        rt = d(8, 1)
+        assert by_component["Dashboard"].instantiate(rt) == rt - d(7, 1)
+
+    def test_plain_column_must_be_grouped(self, db):
+        with pytest.raises(QueryError, match="GROUP BY"):
+            run("SELECT BID, COUNT(*) AS n FROM B GROUP BY C", db)
+
+    def test_aggregates_cannot_compile_to_plan(self, db):
+        with pytest.raises(QueryError, match="use run"):
+            compile_statement("SELECT C, COUNT(*) AS n FROM B GROUP BY C", db)
+
+    def test_only_one_aggregate_supported(self, db):
+        with pytest.raises(QueryError, match="exactly one aggregate"):
+            run(
+                "SELECT COUNT(*) AS a, MAX(BID) AS b FROM B GROUP BY C",
+                db,
+            )
+
+
+class TestSemanticEquivalence:
+    """OSQL results instantiate identically to Clifford evaluation."""
+
+    def test_invariant_on_textual_query(self, db):
+        result = run(
+            "SELECT * FROM B WHERE VT BEFORE PERIOD '[08/24, 08/27)'", db
+        )
+        relation = db.relation("B")
+        for rt in range(d(1, 1), d(12, 1), 11):
+            expected = frozenset(
+                row
+                for row in relation.instantiate(rt)
+                if row[2][1] <= d(8, 24) and row[2][0] < row[2][1]
+            )
+            assert result.instantiate(rt) == expected, rt

@@ -1,0 +1,76 @@
+"""Unit tests for the OSQL tokenizer."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.sqlish.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_are_case_insensitive(self):
+        assert texts("select SELECT Select") == ["SELECT", "SELECT", "SELECT"]
+        assert kinds("select")[:-1] == ["KEYWORD"]
+
+    def test_names_and_qualified_names(self):
+        tokens = tokenize("B.VT bid_2")
+        assert tokens[0].kind == "NAME" and tokens[0].text == "B.VT"
+        assert tokens[1].kind == "NAME" and tokens[1].text == "bid_2"
+
+    def test_qualified_name_is_not_a_keyword(self):
+        # "max.col" must stay a NAME even though MAX is a keyword.
+        token = tokenize("max.col")[0]
+        assert token.kind == "NAME"
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7")
+        assert [t.text for t in tokens[:-1]] == ["42", "-7"]
+        assert all(t.kind == "NUMBER" for t in tokens[:-1])
+
+    def test_strings(self):
+        token = tokenize("'Spam filter'")[0]
+        assert token.kind == "STRING" and token.text == "Spam filter"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QueryError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert texts("= != <> < <= > >=") == [
+            "=", "!=", "!=", "<", "<=", ">", ">=",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , * ;")[:-1] == [
+            "LPAREN", "RPAREN", "COMMA", "STAR", "SEMICOLON",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_positions_point_into_source(self):
+        source = "SELECT  BID"
+        tokens = tokenize(source)
+        assert source[tokens[1].position :].startswith("BID")
+
+
+class TestTemporalKeywords:
+    def test_all_predicates_lex_as_keywords(self):
+        source = "OVERLAPS BEFORE AFTER MEETS DURING CONTAINS STARTS FINISHES EQUALS"
+        assert all(t.kind == "KEYWORD" for t in tokenize(source)[:-1])
+
+    def test_literal_keywords(self):
+        assert [t.kind for t in tokenize("NOW DATE PERIOD")[:-1]] == [
+            "KEYWORD"
+        ] * 3

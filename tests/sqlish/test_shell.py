@@ -1,0 +1,47 @@
+"""Unit tests for the OSQL shell helpers."""
+
+import pytest
+
+from repro.core.timeline import mmdd
+from repro.errors import QueryError
+from repro.sqlish.__main__ import demo_database, execute_line
+
+
+@pytest.fixture()
+def db():
+    return demo_database()
+
+
+class TestExecuteLine:
+    def test_describe_lists_tables(self, db):
+        text = execute_line(r"\d", db, None)
+        assert "B(BID:fixed" in text
+        assert "[2 tuples]" in text
+
+    def test_select_renders_result(self, db):
+        text = execute_line("SELECT BID FROM B;", db, None)
+        assert "(500)" in text and "(501)" in text
+
+    def test_rt_probe_appends_instantiation(self, db):
+        text = execute_line("SELECT BID FROM B", db, mmdd(8, 20))
+        assert "instantiated at rt=" in text
+
+    def test_explain_shows_physical_plan(self, db):
+        text = execute_line(r"\explain SELECT BID FROM B WHERE C = 'x'", db, None)
+        assert "SeqScan" in text
+        assert "FixedFilter" in text
+
+    def test_empty_line_is_noop(self, db):
+        assert execute_line("   ;  ", db, None) == ""
+
+    def test_errors_propagate(self, db):
+        with pytest.raises(QueryError):
+            execute_line("SELECT nope FROM B", db, None)
+
+
+class TestDemoDatabase:
+    def test_matches_fig1(self, db):
+        assert sorted(db.tables()) == ["B", "L", "P"]
+        assert len(db.relation("B")) == 2
+        assert len(db.relation("P")) == 2
+        assert len(db.relation("L")) == 2

@@ -1,0 +1,94 @@
+"""API hygiene: the public surface is importable, exported, and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+_PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.relational",
+    "repro.engine",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.bench",
+    "repro.sqlish",
+]
+
+_MODULES = [
+    "repro.core.timeline",
+    "repro.core.timepoint",
+    "repro.core.intervalset",
+    "repro.core.boolean",
+    "repro.core.interval",
+    "repro.core.operations",
+    "repro.core.allen",
+    "repro.core.integer",
+    "repro.core.duration",
+    "repro.relational.schema",
+    "repro.relational.tuples",
+    "repro.relational.relation",
+    "repro.relational.predicates",
+    "repro.relational.algebra",
+    "repro.relational.aggregate",
+    "repro.engine.database",
+    "repro.engine.plan",
+    "repro.engine.planner",
+    "repro.engine.executor",
+    "repro.engine.views",
+    "repro.engine.storage",
+    "repro.engine.indexes",
+    "repro.engine.modifications",
+    "repro.engine.bitemporal",
+    "repro.engine.rewrite",
+    "repro.baselines.fixed_algebra",
+    "repro.baselines.clifford",
+    "repro.baselines.torp",
+    "repro.baselines.forever",
+    "repro.baselines.anselma",
+    "repro.datasets.mozilla",
+    "repro.datasets.incumbent",
+    "repro.datasets.synthetic",
+    "repro.datasets.workloads",
+    "repro.sqlish.lexer",
+    "repro.sqlish.parser",
+    "repro.sqlish.compiler",
+    "repro.sqlish.formatter",
+    "repro.bench.harness",
+]
+
+
+@pytest.mark.parametrize("name", _PACKAGES)
+def test_package_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+    for export in getattr(module, "__all__", []):
+        assert hasattr(module, export), f"{name}.{export} in __all__ but missing"
+
+
+@pytest.mark.parametrize("name", _MODULES)
+def test_module_docstrings_and_exports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+    for export in getattr(module, "__all__", []):
+        target = getattr(module, export, None)
+        assert target is not None, f"{name}.{export}"
+        if inspect.isclass(target) or inspect.isfunction(target):
+            assert target.__doc__, f"{name}.{export} lacks a docstring"
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_public_classes_have_documented_public_methods():
+    from repro import IntervalSet, OngoingBoolean, OngoingInterval, OngoingTimePoint
+
+    for cls in (IntervalSet, OngoingBoolean, OngoingInterval, OngoingTimePoint):
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"
