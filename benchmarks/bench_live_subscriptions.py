@@ -1,0 +1,100 @@
+"""Live-engine benchmark: refresh throughput vs. subscriber count.
+
+The amortization claim of Figs. 11–12, restated for the push-based layer:
+serving ``n`` subscribers of one ongoing query costs **one** evaluation
+plus ``n`` cheap instantiations per modification burst, whereas a
+Clifford-style service must re-run the query once per subscriber.  The
+groups below measure both sides at increasing subscriber counts, plus the
+constant-time modification intake path (event fan-in without refresh).
+
+Each parametrized case builds its own small database so modifications
+never leak into the session-scoped fixtures shared with other benchmarks.
+"""
+
+import pytest
+
+from repro.datasets import SelectionWorkload, generate_mozilla, last_tenth
+from repro.datasets import mozilla as mozilla_module
+from repro.engine.modifications import current_insert
+from repro.live import LiveSession
+
+_SUBSCRIBERS = (1, 10, 50)
+_ARGUMENT = last_tenth(mozilla_module.HISTORY_START, mozilla_module.HISTORY_END)
+_DATASET_BUGS = 1_000
+
+
+def _fresh_session(n_subscribers):
+    db = generate_mozilla(_DATASET_BUGS).as_database()
+    workload = SelectionWorkload("B", "overlaps", _ARGUMENT)
+    session = LiveSession(db)
+    subscriptions = [
+        session.subscribe(
+            workload.plan(),
+            reference_time=mozilla_module.HISTORY_END - 10 * client,
+        )
+        for client in range(n_subscribers)
+    ]
+    return db, workload, session, subscriptions
+
+
+@pytest.mark.parametrize("n", _SUBSCRIBERS)
+def test_live_refresh_and_serve(benchmark, n):
+    """One modification burst → one coalesced refresh + n instantiations."""
+    db, _, session, subscriptions = _fresh_session(n)
+    bugs = db.table("B")
+    counter = iter(range(10_000_000, 100_000_000))
+    row = ("Demo", "Bench", "Linux", "live refresh bench")
+
+    def modify_flush_serve():
+        current_insert(
+            bugs, (next(counter),) + row, at=mozilla_module.HISTORY_END - 3
+        )
+        session.flush()
+        return [
+            sub.instantiate(sub.reference_time) for sub in subscriptions
+        ]
+
+    benchmark.group = f"live-{n}-subscribers"
+    benchmark.name = "live_engine"
+    served = benchmark(modify_flush_serve)
+    assert len(served) == n
+
+
+@pytest.mark.parametrize("n", _SUBSCRIBERS)
+def test_clifford_rerun_baseline(benchmark, n):
+    """The same burst served Clifford-style: one re-run per subscriber."""
+    db, workload, _, subscriptions = _fresh_session(n)
+    bugs = db.table("B")
+    counter = iter(range(10_000_000, 100_000_000))
+    row = ("Demo", "Bench", "Linux", "clifford rerun bench")
+
+    def modify_and_rerun_per_subscriber():
+        current_insert(
+            bugs, (next(counter),) + row, at=mozilla_module.HISTORY_END - 3
+        )
+        return [
+            workload.run_clifford(db, sub.reference_time)
+            for sub in subscriptions
+        ]
+
+    benchmark.group = f"live-{n}-subscribers"
+    benchmark.name = "clifford_rerun"
+    served = benchmark(modify_and_rerun_per_subscriber)
+    assert len(served) == n
+
+
+def test_modification_intake(benchmark):
+    """Event fan-in cost alone: dirty-marking without any refresh."""
+    db, _, session, _ = _fresh_session(10)
+    bugs = db.table("B")
+    counter = iter(range(10_000_000, 100_000_000))
+    row = ("Demo", "Bench", "Linux", "intake bench")
+
+    def one_event():
+        current_insert(
+            bugs, (next(counter),) + row, at=mozilla_module.HISTORY_END - 3
+        )
+        return session.pending
+
+    benchmark.group = "live-intake"
+    assert benchmark(one_event) == 1

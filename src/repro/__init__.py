@@ -34,6 +34,9 @@ The subpackages:
 * :mod:`repro.engine` — an in-memory engine standing in for the paper's
   PostgreSQL prototype (planner with the Section VIII predicate split,
   join algorithms, materialized views, storage model);
+* :mod:`repro.live` — the push-based subscription engine: clients register
+  ongoing queries once and are notified on explicit modifications only —
+  never because time passed;
 * :mod:`repro.baselines` — Clifford, Torp, Forever, and Anselma comparators;
 * :mod:`repro.datasets` — synthetic MozillaBugs / Incumbent / D_ex / D_sh /
   D_sc generators and the paper's workload queries;
@@ -93,8 +96,17 @@ from repro.errors import (
     StorageError,
     TimeDomainError,
 )
+from repro.live import (
+    ChangeEvent,
+    DependencyIndex,
+    EventBus,
+    LiveSession,
+    RefreshNotification,
+    Subscription,
+    SubscriptionManager,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -148,4 +160,12 @@ __all__ = [
     "SchemaError",
     "StorageError",
     "TimeDomainError",
+    # live subscription engine
+    "ChangeEvent",
+    "DependencyIndex",
+    "EventBus",
+    "LiveSession",
+    "RefreshNotification",
+    "Subscription",
+    "SubscriptionManager",
 ]

@@ -114,7 +114,8 @@ class BitemporalTable:
             )
             replacement.append(OngoingTuple(tuple(new_values), item.rt))
             affected += 1
-        self.table.replace_all(replacement)
+        if affected:
+            self.table.replace_all(replacement)
         return affected
 
     def update(
@@ -124,9 +125,14 @@ class BitemporalTable:
         *,
         at: TimePoint,
     ) -> int:
-        """Logical update: delete the old versions, insert the new one."""
-        affected = self.delete(matches, at=at)
-        self.insert(new_values, at=at)
+        """Logical update: delete the old versions, insert the new one.
+
+        One logical modification: the delete + insert pair coalesces into
+        a single change event (:meth:`~repro.engine.database.Table.batch`).
+        """
+        with self.table.batch():
+            affected = self.delete(matches, at=at)
+            self.insert(new_values, at=at)
         return affected
 
     # ------------------------------------------------------------------

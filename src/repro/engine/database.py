@@ -10,11 +10,22 @@ processing.
 :class:`Database` is the catalog plus the query entry point: ``query(plan)``
 plans and executes a logical plan, ``explain(plan)`` shows the chosen
 physical operators.
+
+**Modification hooks.**  Ongoing query results only become stale on
+*explicit* modifications — never because time passes (Section IX-C).  To
+let derived layers (materialized views, the live subscription engine in
+:mod:`repro.live`) exploit this, every table carries a monotonically
+increasing ``version`` that is bumped exactly once per modification, and
+the database fans ``(table, version)`` change events out to registered
+listeners.  Compound modifications (e.g. a current update = delete +
+insert) wrap themselves in :meth:`Table.batch` so observers see a single
+coalesced event.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.intervalset import UNIVERSAL_SET
 from repro.engine.executor import materialize
@@ -24,7 +35,12 @@ from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Schema
 from repro.relational.tuples import OngoingTuple
 
-__all__ = ["Table", "Database"]
+__all__ = ["Table", "Database", "ChangeListener"]
+
+#: A modification-hook callback: called as ``listener(table_name, version)``
+#: after a table's contents changed.  Advancing the reference time never
+#: triggers a call — only explicit modifications do.
+ChangeListener = Callable[[str, int], None]
 
 
 class Table:
@@ -35,6 +51,70 @@ class Table:
         self.schema = schema
         self._rows: List[OngoingTuple] = []
         self._snapshot: Optional[OngoingRelation] = None
+        self._version = 0
+        self._listeners: List[ChangeListener] = []
+        self._batch_depth = 0
+        self._batch_dirty = False
+
+    # ------------------------------------------------------------------
+    # Modification hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic modification counter (0 for a freshly created table).
+
+        Bumped exactly once per modification path — a bulk insert, a
+        current delete, or a whole :meth:`batch` block each count as one
+        modification.  No-op writes (e.g. a current delete that matches
+        nothing) do not bump the version.
+        """
+        return self._version
+
+    def add_change_listener(self, listener: ChangeListener) -> ChangeListener:
+        """Register *listener*; it is called as ``listener(name, version)``."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_change_listener(self, listener: ChangeListener) -> None:
+        """Deregister a listener previously added (no error if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def batch(self) -> Iterator["Table"]:
+        """Coalesce all modifications in the block into one change event.
+
+        Nested batches coalesce into the outermost one.  If the block does
+        not modify the table, no version bump and no event happen at all.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_dirty:
+                self._batch_dirty = False
+                self._bump()
+
+    def _changed(self) -> None:
+        """Record one modification: invalidate the snapshot, bump or defer."""
+        self._snapshot = None
+        if self._batch_depth > 0:
+            self._batch_dirty = True
+        else:
+            self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        for listener in tuple(self._listeners):
+            listener(self.name, self._version)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
 
     def insert(self, *values: object) -> None:
         """Insert one tuple with the trivial reference time."""
@@ -44,10 +124,11 @@ class Table:
                 f"got {len(values)}"
             )
         self._rows.append(OngoingTuple(tuple(values), UNIVERSAL_SET))
-        self._snapshot = None
+        self._changed()
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
         """Bulk insert; every row gets the trivial reference time."""
+        added = False
         for row in rows:
             if len(row) != len(self.schema):
                 raise SchemaError(
@@ -55,12 +136,16 @@ class Table:
                     f"got {len(row)}"
                 )
             self._rows.append(OngoingTuple(tuple(row), UNIVERSAL_SET))
-        self._snapshot = None
+            added = True
+        if added:
+            self._changed()
 
     def insert_tuples(self, tuples: Iterable[OngoingTuple]) -> None:
         """Insert pre-built ongoing tuples (used by temporal modifications)."""
+        before = len(self._rows)
         self._rows.extend(tuples)
-        self._snapshot = None
+        if len(self._rows) != before:
+            self._changed()
 
     def delete_where(self, keep) -> int:
         """Physically remove tuples failing *keep* (a tuple -> bool callable).
@@ -70,13 +155,15 @@ class Table:
         """
         before = len(self._rows)
         self._rows = [row for row in self._rows if keep(row)]
-        self._snapshot = None
-        return before - len(self._rows)
+        removed = before - len(self._rows)
+        if removed:
+            self._changed()
+        return removed
 
     def replace_all(self, tuples: Iterable[OngoingTuple]) -> None:
         """Swap the table contents (bulk-load path of the dataset builders)."""
         self._rows = list(tuples)
-        self._snapshot = None
+        self._changed()
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -94,6 +181,40 @@ class Database:
     def __init__(self, name: str = "ongoing"):
         self.name = name
         self._tables: Dict[str, Table] = {}
+        self._listeners: List[ChangeListener] = []
+
+    # ------------------------------------------------------------------
+    # Modification hooks
+    # ------------------------------------------------------------------
+
+    def add_change_listener(self, listener: ChangeListener) -> ChangeListener:
+        """Register a catalog-wide modification hook.
+
+        *listener* is called as ``listener(table_name, version)`` after any
+        table of this database is modified.  Returns *listener* so the call
+        can be used inline (``handle = db.add_change_listener(cb)``).
+        """
+        self._listeners.append(listener)
+        return listener
+
+    def remove_change_listener(self, listener: ChangeListener) -> None:
+        """Deregister a catalog-wide listener (no error if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def table_version(self, name: str) -> int:
+        """The modification counter of the named table."""
+        return self.table(name).version
+
+    def table_versions(self) -> Dict[str, int]:
+        """Snapshot of every table's modification counter."""
+        return {name: table.version for name, table in self._tables.items()}
+
+    def _table_changed(self, name: str, version: int) -> None:
+        for listener in tuple(self._listeners):
+            listener(name, version)
 
     # ------------------------------------------------------------------
     # Catalog
@@ -104,6 +225,7 @@ class Database:
         if name in self._tables:
             raise QueryError(f"table {name!r} already exists")
         table = Table(name, schema)
+        table.add_change_listener(self._table_changed)
         self._tables[name] = table
         return table
 
@@ -116,7 +238,12 @@ class Database:
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise QueryError(f"no table named {name!r}")
-        del self._tables[name]
+        table = self._tables.pop(name)
+        table.remove_change_listener(self._table_changed)
+        # Dropping is a modification of the catalog: results derived from
+        # the table can no longer be refreshed, so observers must hear
+        # about it once.
+        self._table_changed(name, table.version + 1)
 
     def table(self, name: str) -> Table:
         try:
@@ -155,3 +282,19 @@ class Database:
         from repro.sqlish import run
 
         return run(statement, self)
+
+    def subscribe(self, statement: str, **kwargs):
+        """Register a live OSQL subscription (see :mod:`repro.live`).
+
+        Convenience wrapper that lazily creates one
+        :class:`~repro.live.LiveSession` per database; keyword arguments
+        are forwarded to
+        :meth:`~repro.live.SubscriptionManager.subscribe_sql`.
+        """
+        from repro.live import LiveSession
+
+        session = getattr(self, "_live_session", None)
+        if session is None or session.closed:
+            session = LiveSession(self)
+            self._live_session = session
+        return session.subscribe_sql(statement, **kwargs)

@@ -19,6 +19,14 @@ ongoing minimum/maximum directly:
 
 These operations modify base tables in place; they are the only write path
 beside plain inserts.
+
+Each operation registers as **at most one** modification with the table's
+change-event machinery (:meth:`~repro.engine.database.Table.batch`): a
+current update bumps the table version once, not twice, and operations
+that touch zero tuples — deleting an interval that already ended, updating
+a key that matches nothing — are true no-ops that bump nothing, so
+derived results (materialized views, live subscriptions) are not
+invalidated spuriously.
 """
 
 from __future__ import annotations
@@ -101,7 +109,8 @@ def current_delete(
         new_values[position] = OngoingInterval(valid_time.start, new_end)
         replacement.append(OngoingTuple(tuple(new_values), item.rt))
         modified += 1
-    table.replace_all(replacement)
+    if modified:
+        table.replace_all(replacement)
     return modified
 
 
@@ -116,8 +125,15 @@ def current_update(
     """Current update: terminate matching tuples at *at*, insert the new row.
 
     Returns the number of terminated tuples.  The new tuple is valid
-    ``[at, now)``.
+    ``[at, now)``.  Like SQL's ``UPDATE``, an update that matches zero
+    tuples is a no-op: nothing is inserted and the table version does not
+    change.  A matching update is one logical modification — delete and
+    insert are coalesced into a single change event.
     """
-    terminated = current_delete(table, matches, vt_attribute=vt_attribute, at=at)
-    current_insert(table, new_values, vt_attribute=vt_attribute, at=at)
+    with table.batch():
+        terminated = current_delete(
+            table, matches, vt_attribute=vt_attribute, at=at
+        )
+        if terminated:
+            current_insert(table, new_values, vt_attribute=vt_attribute, at=at)
     return terminated

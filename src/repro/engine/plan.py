@@ -17,6 +17,7 @@ Plans can also be built fluently::
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Sequence, Tuple
 
 from repro.relational.predicates import Predicate
@@ -66,6 +67,49 @@ class PlanNode:
         """The child nodes (for plan walkers)."""
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> str:
+        """A deterministic structural encoding of this plan.
+
+        Two plans produce the same canonical string iff they are built
+        from the same node types with the same predicates, projections,
+        literals, and table names in the same shape.  Predicate and
+        expression ``repr``\\ s are structural and value-based (see
+        :mod:`repro.relational.predicates`), which makes the encoding
+        stable across processes — no ``id()`` or hash-seed dependence.
+        """
+        raise NotImplementedError
+
+    def fingerprint(self) -> str:
+        """A deterministic, hashable digest of the plan structure.
+
+        The fingerprint is the SHA-256 hex digest of :meth:`canonical`.
+        Structurally equal plans — even when built independently by
+        different clients — share a fingerprint, which is what the live
+        subscription engine keys its shared-result cache on
+        (:mod:`repro.live`).  The digest is cached per node; plans are
+        immutable, so it never goes stale.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            digest = hashlib.sha256(self.canonical().encode("utf-8"))
+            cached = self.__dict__["_fingerprint"] = digest.hexdigest()
+        return cached
+
+    def referenced_tables(self) -> frozenset:
+        """The names of all base tables this plan reads (via its scans)."""
+        names = set()
+        stack: list[PlanNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Scan):
+                names.add(node.table)
+            stack.extend(node.children())
+        return frozenset(names)
+
 
 class Scan(PlanNode):
     """Read a base table from the database catalog."""
@@ -79,6 +123,9 @@ class Scan(PlanNode):
 
     def children(self) -> Tuple[PlanNode, ...]:
         return ()
+
+    def canonical(self) -> str:
+        return f"Scan({self.table!r})"
 
     def __repr__(self) -> str:
         return f"Scan({self.table})"
@@ -95,6 +142,9 @@ class Select(PlanNode):
 
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.child,)
+
+    def canonical(self) -> str:
+        return f"Select({self.child.canonical()}, {self.predicate!r})"
 
     def __repr__(self) -> str:
         return f"Select({self.child!r}, {self.predicate!r})"
@@ -113,6 +163,9 @@ class Project(PlanNode):
 
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.child,)
+
+    def canonical(self) -> str:
+        return f"Project({self.child.canonical()}, {list(self.items)!r})"
 
     def __repr__(self) -> str:
         return f"Project({self.child!r}, {list(self.items)!r})"
@@ -141,6 +194,13 @@ class Join(PlanNode):
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.left, self.right)
 
+    def canonical(self) -> str:
+        return (
+            f"Join({self.left.canonical()}, {self.right.canonical()}, "
+            f"{self.predicate!r}, left_name={self.left_name!r}, "
+            f"right_name={self.right_name!r})"
+        )
+
     def __repr__(self) -> str:
         return (
             f"Join({self.left!r}, {self.right!r}, {self.predicate!r}, "
@@ -160,6 +220,9 @@ class Union(PlanNode):
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.left, self.right)
 
+    def canonical(self) -> str:
+        return f"Union({self.left.canonical()}, {self.right.canonical()})"
+
     def __repr__(self) -> str:
         return f"Union({self.left!r}, {self.right!r})"
 
@@ -175,6 +238,11 @@ class Difference(PlanNode):
 
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.left, self.right)
+
+    def canonical(self) -> str:
+        return (
+            f"Difference({self.left.canonical()}, {self.right.canonical()})"
+        )
 
     def __repr__(self) -> str:
         return f"Difference({self.left!r}, {self.right!r})"

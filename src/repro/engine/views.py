@@ -8,12 +8,20 @@ materialized ongoing result amortizes after a small ``n`` (Figs. 11–12),
 whereas Clifford's approach must re-run the query at every reference time.
 
 The view only needs refreshing after *explicit* database modifications —
-never because time passed.  :meth:`MaterializedOngoingView.is_stale` tracks
-exactly that.
+never because time passed.  Staleness is event-driven: the view registers
+with the database's modification hooks
+(:meth:`~repro.engine.database.Database.add_change_listener`) and flips a
+dirty flag when a change event arrives, so :meth:`is_stale` is O(1) and
+catches *every* modification path — including in-place current deletes
+that the old cardinality-polling proxy could not see.
+
+For many clients sharing plans, prefer the push-based subscription engine
+in :mod:`repro.live`; this class remains the single-consumer primitive.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import FrozenSet, Optional
 
 from repro.core.timeline import TimePoint
@@ -42,31 +50,50 @@ class MaterializedOngoingView:
         self.plan = plan
         self.database = database
         self._result: Optional[OngoingRelation] = None
-        self._table_versions: dict[str, int] = {}
+        self._dirty = True
+        # The registered listener holds only a weak reference to the view:
+        # views kept the old polling design's "no cleanup needed" contract,
+        # so an abandoned view must not be pinned alive by the database.
+        # Once the view is collected, the next change event deregisters
+        # the listener; close() does so eagerly.
+        self_ref = weakref.ref(self)
+
+        def _on_change(table: str, version: int) -> None:
+            view = self_ref()
+            if view is None:
+                database.remove_change_listener(_on_change)
+            else:
+                view._dirty = True
+
+        self._listener = database.add_change_listener(_on_change)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    #
+    # Any base-table change marks the view dirty.  (The live engine's
+    # DependencyIndex does fine-grained per-table invalidation; the
+    # standalone view keeps the conservative whole-database contract it
+    # always had.)
 
     def refresh(self) -> OngoingRelation:
         """(Re-)evaluate the query and store the ongoing result."""
         self._result = self.database.query(self.plan)
-        self._table_versions = {
-            name: len(table) for name, table in self.database.tables().items()
-        }
+        self._dirty = False
         return self._result
 
     def is_stale(self) -> bool:
         """``True`` iff base data changed since the last refresh.
 
-        Time passing by never makes an ongoing view stale — only inserts
-        and deletes do.  (Cardinality is a sufficient staleness proxy for
-        the append-only workloads of the benchmark harness.)
+        Time passing by never makes an ongoing view stale — only explicit
+        modifications (inserts, current deletes/updates) do, and each one
+        arrives as a change event from the database's modification hooks.
         """
-        if self._result is None:
-            return True
-        current = {name: len(table) for name, table in self.database.tables().items()}
-        return current != self._table_versions
+        return self._result is None or self._dirty
+
+    def close(self) -> None:
+        """Detach from the database's modification hooks (idempotent)."""
+        self.database.remove_change_listener(self._listener)
 
     @property
     def result(self) -> OngoingRelation:

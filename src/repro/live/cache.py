@@ -1,0 +1,91 @@
+"""The shared-result cache: one materialization per distinct plan.
+
+Two clients subscribing to structurally equal plans must not pay for two
+materializations — the ongoing result is identical, so they share one
+:class:`SharedResult` keyed by the plan's deterministic fingerprint
+(:meth:`~repro.engine.plan.PlanNode.fingerprint`).  This is the server-side
+half of the paper's amortization argument (Figs. 11–12): the engine
+evaluates once, and *every* subscriber instantiates cheaply at its own
+reference time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.engine.database import Database
+from repro.engine.plan import PlanNode
+from repro.relational.relation import OngoingRelation
+
+__all__ = ["SharedResult", "ResultCache"]
+
+
+class SharedResult:
+    """One materialized ongoing result shared by all equal-plan subscribers."""
+
+    def __init__(self, plan: PlanNode, fingerprint: str):
+        self.plan = plan
+        self.fingerprint = fingerprint
+        self.result: Optional[OngoingRelation] = None
+        #: Times the plan was (re-)evaluated against the database.
+        self.evaluations = 0
+        #: Subscriptions currently attached to this result.
+        self.subscribers: List[object] = []
+
+    def evaluate(self, database: Database) -> OngoingRelation:
+        """(Re-)run the plan and store the fresh ongoing result."""
+        self.result = database.query(self.plan)
+        self.evaluations += 1
+        return self.result
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self.subscribers)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedResult({self.fingerprint[:12]}…, "
+            f"subscribers={self.subscriber_count}, "
+            f"evaluations={self.evaluations})"
+        )
+
+
+class ResultCache:
+    """Fingerprint-keyed cache of :class:`SharedResult` entries."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, SharedResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_create(self, plan: PlanNode) -> Tuple[SharedResult, bool]:
+        """The shared entry for *plan*'s fingerprint.
+
+        Returns ``(entry, created)`` — ``created`` is ``True`` when this
+        call materialized a new cache entry (the caller then registers its
+        dependencies and runs the first evaluation).
+        """
+        fingerprint = plan.fingerprint()
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self.hits += 1
+            return entry, False
+        self.misses += 1
+        entry = SharedResult(plan, fingerprint)
+        self._entries[fingerprint] = entry
+        return entry, True
+
+    def get(self, fingerprint: str) -> Optional[SharedResult]:
+        return self._entries.get(fingerprint)
+
+    def remove(self, fingerprint: str) -> None:
+        self._entries.pop(fingerprint, None)
+
+    def fingerprints(self) -> Set[str]:
+        return set(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries

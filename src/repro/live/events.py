@@ -1,0 +1,104 @@
+"""Change events and the notification bus of the live engine.
+
+The paper's invariant — ongoing results never go stale because time passes,
+only because of explicit modifications — means the *only* signal the live
+engine needs is the stream of base-table modifications.  This module gives
+that stream a shape:
+
+* :class:`ChangeEvent` — an immutable ``(table, version)`` record emitted
+  by the :class:`~repro.engine.database.Database` modification hooks;
+* :class:`RefreshNotification` — what subscribers receive after their
+  shared result was re-evaluated;
+* :class:`EventBus` — a tiny topic-based publish/subscribe fan-out with
+  error isolation (a failing listener never starves its peers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["ChangeEvent", "RefreshNotification", "EventBus"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One explicit modification of a base table.
+
+    ``version`` is the table's monotonic modification counter *after* the
+    change; coalesced modifications (a :meth:`~repro.engine.database.Table.batch`
+    block, a current update) produce exactly one event.
+    """
+
+    table: str
+    version: int
+
+
+@dataclass(frozen=True)
+class RefreshNotification:
+    """Delivered to a subscription after its result was re-evaluated.
+
+    ``rows`` is the result instantiated at the subscription's chosen
+    reference time, or ``None`` when the subscription did not pick one —
+    subscribers can always instantiate later, at any reference time, via
+    ``subscription.instantiate(rt)``; the ongoing result stays valid as
+    time passes.
+    """
+
+    subscription: Any
+    result: Any
+    rows: Optional[FrozenSet] = None
+    #: Tables whose modifications were coalesced into this refresh.
+    changed_tables: Tuple[str, ...] = ()
+
+
+class EventBus:
+    """Topic-based synchronous fan-out with listener error isolation.
+
+    Listener exceptions are swallowed per delivery and recorded on
+    :attr:`errors` (a bounded list of ``(topic, listener, exception)``
+    triples) so one misbehaving subscriber cannot prevent the remaining
+    subscribers from hearing about a refresh.
+    """
+
+    #: How many delivery errors to keep for inspection.
+    MAX_ERRORS = 100
+
+    def __init__(self) -> None:
+        self._listeners: Dict[str, List[Callable[[Any], None]]] = {}
+        self.errors: List[Tuple[str, Callable, Exception]] = []
+        self.delivered = 0
+
+    def subscribe(self, topic: str, listener: Callable[[Any], None]) -> Callable[[], None]:
+        """Register *listener* for *topic*; returns an unsubscribe thunk."""
+        self._listeners.setdefault(topic, []).append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.get(topic, []).remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, topic: str, payload: Any) -> int:
+        """Deliver *payload* to every listener of *topic*.
+
+        Returns the number of successful deliveries.
+        """
+        ok = 0
+        for listener in tuple(self._listeners.get(topic, ())):
+            try:
+                listener(payload)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                if len(self.errors) < self.MAX_ERRORS:
+                    self.errors.append((topic, listener, exc))
+            else:
+                ok += 1
+        self.delivered += ok
+        return ok
+
+    def listener_count(self, topic: Optional[str] = None) -> int:
+        if topic is not None:
+            return len(self._listeners.get(topic, ()))
+        return sum(len(group) for group in self._listeners.values())

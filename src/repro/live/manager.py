@@ -1,0 +1,312 @@
+"""The subscription manager: modification-driven refresh orchestration.
+
+:class:`SubscriptionManager` (aliased :class:`LiveSession`) is the facade
+of the live engine.  It owns
+
+* the :class:`~repro.live.cache.ResultCache` of shared materializations,
+* the :class:`~repro.live.dependencies.DependencyIndex` mapping base
+  tables to the fingerprints they invalidate,
+* the :class:`~repro.live.events.EventBus` notifications travel on, and
+* the dirty set that batches modifications between flushes.
+
+The control flow enforces the paper's property by construction: the only
+path that re-evaluates a plan starts at a base-table change event.  There
+is no timer, no polling loop, and no clock — advancing the reference time
+is pure instantiation work on already-materialized ongoing results.
+
+Batching: change events mark fingerprints dirty; :meth:`flush` re-runs
+each dirty plan **once**, however many modifications accumulated, then
+notifies every attached subscription.  ``auto_flush=True`` flushes after
+every event (lowest latency); ``flush_every=N`` flushes once ``N`` events
+accumulated (bounded staleness at 1/N the evaluation cost).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set
+
+from repro.core.timeline import TimePoint
+from repro.engine.database import Database
+from repro.engine.plan import PlanNode
+from repro.errors import QueryError
+
+from repro.live.cache import ResultCache, SharedResult
+from repro.live.dependencies import DependencyIndex, referenced_tables
+from repro.live.events import ChangeEvent, EventBus, RefreshNotification
+from repro.live.subscription import Subscription
+
+__all__ = ["SubscriptionManager", "LiveSession"]
+
+
+class SubscriptionManager:
+    """Registers ongoing queries and refreshes them on modifications only.
+
+    Usage::
+
+        session = SubscriptionManager(database)          # or LiveSession
+        sub = session.subscribe_sql(
+            "SELECT * FROM B WHERE VT OVERLAPS PERIOD '[08/01, 09/01)'",
+            on_refresh=lambda event: push_to_client(event.rows),
+            reference_time=today,
+        )
+        sub.instantiate(today + 30)   # cheap, no re-evaluation, still correct
+        current_delete(db.table("B"), match, at=today)   # marks sub dirty
+        session.flush()               # one re-evaluation, one notification
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        auto_flush: bool = False,
+        flush_every: Optional[int] = None,
+    ):
+        if flush_every is not None and flush_every < 1:
+            raise QueryError("flush_every must be a positive event count")
+        self.database = database
+        self.auto_flush = auto_flush
+        self.flush_every = flush_every
+        self.bus = EventBus()
+        self._cache = ResultCache()
+        self._dependencies = DependencyIndex()
+        self._subscriptions: Dict[int, Subscription] = {}
+        #: fingerprint → tables modified since that result's last refresh.
+        self._dirty: Dict[str, Set[str]] = {}
+        #: fingerprint → number of change events since last refresh.
+        self._dirty_events: Dict[str, int] = {}
+        self._events_since_flush = 0
+        self._stats = {
+            "events": 0,
+            "flushes": 0,
+            "evaluations": 0,
+            "notifications": 0,
+            "refresh_errors": 0,
+        }
+        self._unsubscribe_bus: Dict[int, Callable[[], None]] = {}
+        self._listener = database.add_change_listener(self._on_table_changed)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        plan: PlanNode,
+        *,
+        on_refresh: Optional[Callable[[RefreshNotification], None]] = None,
+        reference_time: Optional[TimePoint] = None,
+        name: Optional[str] = None,
+    ) -> Subscription:
+        """Register an ongoing query plan as a live subscription.
+
+        Structurally equal plans — same fingerprint — share one
+        materialization: the first subscriber pays the evaluation, later
+        ones attach for free (a cache hit).  *on_refresh* is invoked after
+        every modification-driven re-evaluation; *reference_time* (the
+        caller-chosen instantiation point, mutable on the returned handle)
+        selects the fixed rows delivered with each notification.
+        """
+        self._require_open()
+        shared, created = self._cache.get_or_create(plan)
+        if created:
+            self._dependencies.add(
+                shared.fingerprint, referenced_tables(plan)
+            )
+            try:
+                shared.evaluate(self.database)
+            except Exception:
+                # Roll the registration back: a dead entry must not be
+                # cache-hit by a later subscribe of the same plan.
+                self._cache.remove(shared.fingerprint)
+                self._dependencies.remove(shared.fingerprint)
+                raise
+            self._stats["evaluations"] += 1
+        subscription = Subscription(
+            self,
+            shared,
+            on_refresh=on_refresh,
+            reference_time=reference_time,
+            name=name,
+        )
+        shared.subscribers.append(subscription)
+        self._subscriptions[subscription.id] = subscription
+        if on_refresh is not None:
+            self._unsubscribe_bus[subscription.id] = self.bus.subscribe(
+                f"refresh:{subscription.id}", on_refresh
+            )
+        return subscription
+
+    def subscribe_sql(self, statement: str, **kwargs) -> Subscription:
+        """Compile an OSQL statement and register it (see :meth:`subscribe`).
+
+        Aggregate queries cannot be subscribed yet — they do not compile
+        to a pure plan (:func:`repro.sqlish.compile_statement`).
+        """
+        from repro.sqlish import compile_statement
+
+        return self.subscribe(
+            compile_statement(statement, self.database), **kwargs
+        )
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach *subscription*; the last subscriber of a plan drops its
+        materialization, dependency links, and dirty state."""
+        if self._subscriptions.pop(subscription.id, None) is None:
+            return
+        unsubscribe_bus = self._unsubscribe_bus.pop(subscription.id, None)
+        if unsubscribe_bus is not None:
+            unsubscribe_bus()
+        shared = subscription._shared
+        subscription._detach()
+        if shared is None:
+            return
+        try:
+            shared.subscribers.remove(subscription)
+        except ValueError:
+            pass
+        if not shared.subscribers:
+            self._cache.remove(shared.fingerprint)
+            self._dependencies.remove(shared.fingerprint)
+            self._dirty.pop(shared.fingerprint, None)
+            self._dirty_events.pop(shared.fingerprint, None)
+
+    def close(self) -> None:
+        """Close every subscription and detach from the database hooks."""
+        if self._closed:
+            return
+        for subscription in list(self._subscriptions.values()):
+            self.unsubscribe(subscription)
+        self.database.remove_change_listener(self._listener)
+        self._closed = True
+
+    def __enter__(self) -> "SubscriptionManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """``True`` once :meth:`close` ran."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise QueryError("this live session is closed")
+
+    # ------------------------------------------------------------------
+    # Modification intake
+    # ------------------------------------------------------------------
+
+    def _on_table_changed(self, table: str, version: int) -> None:
+        """Database modification hook: mark dependents dirty, maybe flush."""
+        event = ChangeEvent(table, version)
+        self._stats["events"] += 1
+        self.bus.publish("change", event)
+        affected = self._dependencies.affected(table)
+        if not affected:
+            return
+        self._events_since_flush += 1
+        for fingerprint in affected:
+            self._dirty.setdefault(fingerprint, set()).add(table)
+            self._dirty_events[fingerprint] = (
+                self._dirty_events.get(fingerprint, 0) + 1
+            )
+            shared = self._cache.get(fingerprint)
+            if shared is not None:
+                for subscription in shared.subscribers:
+                    subscription.stats.pending_events += 1
+        if self.auto_flush:
+            self.flush()
+        elif (
+            self.flush_every is not None
+            and self._events_since_flush >= self.flush_every
+        ):
+            self.flush()
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of shared results currently marked dirty."""
+        return len(self._dirty)
+
+    def flush(self) -> int:
+        """Re-evaluate every dirty shared result exactly once and notify.
+
+        Coalesces however many modifications accumulated since the last
+        flush into a single evaluation per affected plan.  Returns the
+        number of re-evaluations performed.
+
+        Error isolation: a plan whose re-evaluation raises (e.g. its base
+        table was dropped) does not abort the flush — the remaining dirty
+        plans still refresh, the failing plan keeps serving its last
+        materialization, and the error is published on the bus's
+        ``"error"`` topic as ``(fingerprint, exception)`` and recorded in
+        :meth:`stats` under ``"refresh_errors"``.
+        """
+        self._require_open()
+        if not self._dirty:
+            self._events_since_flush = 0
+            return 0
+        dirty = self._dirty
+        dirty_events = self._dirty_events
+        self._dirty = {}
+        self._dirty_events = {}
+        self._events_since_flush = 0
+        refreshed = 0
+        for fingerprint, changed_tables in dirty.items():
+            shared = self._cache.get(fingerprint)
+            if shared is None:  # all subscribers left while dirty
+                continue
+            try:
+                shared.evaluate(self.database)
+            except Exception as exc:  # noqa: BLE001 — isolate per plan
+                self._stats["refresh_errors"] += 1
+                self.bus.publish("error", (fingerprint, exc))
+                continue
+            self._stats["evaluations"] += 1
+            refreshed += 1
+            coalesced = dirty_events.get(fingerprint, 0)
+            for subscription in list(shared.subscribers):
+                delivered = subscription._notify(
+                    frozenset(changed_tables), coalesced
+                )
+                self._stats["notifications"] += delivered
+        self._stats["flushes"] += 1
+        return refreshed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    def shared_results(self) -> List[SharedResult]:
+        return [
+            entry
+            for fingerprint in sorted(self._cache.fingerprints())
+            for entry in (self._cache.get(fingerprint),)
+            if entry is not None
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of the session's counters (all modification-driven)."""
+        return {
+            **self._stats,
+            "subscriptions": len(self._subscriptions),
+            "shared_results": len(self._cache),
+            "cache_hits": self._cache.hits,
+            "cache_misses": self._cache.misses,
+            "pending": self.pending,
+            "table_fanout": self._dependencies.table_fanout(),
+        }
+
+
+#: The user-facing name of the facade: one live session over one database.
+LiveSession = SubscriptionManager

@@ -1,0 +1,170 @@
+"""Client-side handles of the live engine: subscriptions and their stats.
+
+A :class:`Subscription` is one client's registration of an ongoing query.
+It does **not** own a materialization — it points at the
+:class:`~repro.live.cache.SharedResult` for its plan fingerprint, so any
+number of clients with structurally equal plans share one evaluation.
+
+The handle exposes exactly the two cheap operations the paper promises
+stay valid as time passes: reading the ongoing result and instantiating
+it at an arbitrary reference time.  Neither touches the database or
+triggers re-evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional, TYPE_CHECKING
+
+from repro.core.timeline import TimePoint
+from repro.engine.plan import PlanNode
+from repro.errors import QueryError
+from repro.relational.relation import OngoingRelation
+from repro.relational.tuples import FixedTuple
+
+from repro.live.cache import SharedResult
+from repro.live.events import RefreshNotification
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard, typing only
+    from repro.live.manager import SubscriptionManager
+
+__all__ = ["Subscription", "SubscriptionStats"]
+
+
+@dataclass
+class SubscriptionStats:
+    """Per-subscription bookkeeping, all modification-driven.
+
+    ``refreshes`` counts re-evaluations of the shared result observed by
+    this subscription; ``notifications`` counts ``on_refresh`` deliveries;
+    ``coalesced_events`` counts base-table change events that were folded
+    into those refreshes; ``instantiations`` counts the cheap serving
+    operation.  There is deliberately no clock anywhere in here.
+    """
+
+    refreshes: int = 0
+    notifications: int = 0
+    coalesced_events: int = 0
+    pending_events: int = 0
+    instantiations: int = 0
+
+
+class Subscription:
+    """A client's live registration of an ongoing query plan."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        manager: "SubscriptionManager",
+        shared: SharedResult,
+        *,
+        on_refresh: Optional[Callable[[RefreshNotification], None]] = None,
+        reference_time: Optional[TimePoint] = None,
+        name: Optional[str] = None,
+    ):
+        Subscription._counter += 1
+        self.id = Subscription._counter
+        self.name = name or f"subscription-{self.id}"
+        self.manager = manager
+        self.on_refresh = on_refresh
+        #: The reference time instantiated rows are delivered at; ``None``
+        #: delivers the ongoing result only.  Caller-chosen and mutable —
+        #: changing it never requires a re-evaluation.
+        self.reference_time = reference_time
+        self.stats = SubscriptionStats()
+        self._shared: Optional[SharedResult] = shared
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """``False`` once :meth:`close` ran."""
+        return self._shared is not None
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._require_shared().plan
+
+    @property
+    def fingerprint(self) -> str:
+        """The plan fingerprint — the shared-result cache key."""
+        return self._require_shared().fingerprint
+
+    @property
+    def result(self) -> OngoingRelation:
+        """The shared materialized ongoing result (never re-evaluates)."""
+        shared = self._require_shared()
+        if shared.result is None:
+            raise QueryError(
+                f"subscription {self.name!r} has no materialized result yet"
+            )
+        return shared.result
+
+    def _require_shared(self) -> SharedResult:
+        if self._shared is None:
+            raise QueryError(f"subscription {self.name!r} is closed")
+        return self._shared
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def instantiate(self, rt: TimePoint) -> FrozenSet[FixedTuple]:
+        """The fixed result at reference time *rt*, served from the cache.
+
+        This is the cheap operation: a scan of the stored ongoing result,
+        keeping tuples whose reference time contains *rt* and binding
+        their ongoing attributes.  Advancing *rt* never triggers a
+        re-evaluation (the core paper property).
+        """
+        self.stats.instantiations += 1
+        return self.result.instantiate(rt)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Deregister from the manager; the last subscriber drops the cache
+        entry and its dependency-index links.  Idempotent."""
+        if self._shared is not None:
+            self.manager.unsubscribe(self)
+
+    # Called by the manager --------------------------------------------
+
+    def _detach(self) -> None:
+        self._shared = None
+
+    def _notify(self, changed_tables: FrozenSet[str], coalesced: int) -> int:
+        """Record one refresh; deliver notifications via the event bus.
+
+        Returns the number of callbacks actually delivered (0 when nobody
+        listens), so the session's counters stay truthful.
+        """
+        self.stats.refreshes += 1
+        self.stats.coalesced_events += coalesced
+        self.stats.pending_events = 0
+        bus = self.manager.bus
+        topic = f"refresh:{self.id}"
+        if bus.listener_count(topic) == 0 and bus.listener_count("refresh") == 0:
+            return 0
+        rows = None
+        if self.reference_time is not None:
+            rows = self.result.instantiate(self.reference_time)
+        notification = RefreshNotification(
+            subscription=self,
+            result=self.result,
+            rows=rows,
+            changed_tables=tuple(sorted(changed_tables)),
+        )
+        delivered = bus.publish(topic, notification)
+        delivered += bus.publish("refresh", notification)
+        self.stats.notifications += delivered
+        return delivered
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "closed"
+        return f"Subscription({self.name!r}, {state}, stats={self.stats})"

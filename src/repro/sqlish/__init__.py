@@ -21,4 +21,23 @@ from repro.sqlish.compiler import compile_statement, run
 from repro.sqlish.lexer import tokenize
 from repro.sqlish.parser import parse
 
-__all__ = ["compile_statement", "run", "parse", "tokenize"]
+__all__ = ["compile_statement", "run", "parse", "tokenize", "subscribe"]
+
+
+def subscribe(source: str, manager, **kwargs):
+    """Register an OSQL statement as a live subscription.
+
+    Compiles *source* against the manager's database and hands the plan to
+    :meth:`repro.live.SubscriptionManager.subscribe`; keyword arguments
+    (``on_refresh``, ``reference_time``, ``name``) pass through.  Returns
+    the :class:`repro.live.Subscription` handle::
+
+        session = LiveSession(database)
+        sub = subscribe("SELECT * FROM B WHERE ...", session,
+                        on_refresh=push_to_client)
+
+    Aggregate queries do not compile to a pure plan and cannot be
+    subscribed (:class:`~repro.errors.QueryError`).
+    """
+    plan = compile_statement(source, manager.database)
+    return manager.subscribe(plan, **kwargs)

@@ -127,3 +127,30 @@ class TestClock:
         table = _table()
         with pytest.raises(SchemaError):
             table.insert((500,), at=d(1, 1))
+
+
+class TestChangeEventContract:
+    """Bitemporal writes obey the exactly-once modification-event contract."""
+
+    def test_noop_delete_does_not_bump_the_version(self):
+        table = _table()
+        table.insert((500, until_now(d(1, 25))), at=d(1, 26))
+        version = table.table.version
+        affected = table.delete(lambda row: False, at=d(2, 1))
+        assert affected == 0
+        assert table.table.version == version
+
+    def test_update_coalesces_to_one_change_event(self):
+        table = _table()
+        table.insert((500, until_now(d(1, 25))), at=d(1, 26))
+        events = []
+        table.table.add_change_listener(
+            lambda name, version: events.append(version)
+        )
+        affected = table.update(
+            lambda row: row.values[0] == 500,
+            (500, until_now(d(1, 25))),
+            at=d(3, 1),
+        )
+        assert affected == 1
+        assert events == [table.table.version]

@@ -76,6 +76,20 @@ class TestCurrentDelete:
         modified = current_delete(table, lambda row: True, at=d(9, 10))
         assert modified == 0
 
+    def test_delete_after_closed_interval_is_a_noop(self):
+        """Deleting ``[s, e)`` at ``t >= e`` changes nothing — not even the
+        table version, so derived results are not invalidated spuriously."""
+        table = _table()
+        table.insert(500, "X", OngoingInterval(fixed(d(1, 1)), fixed(d(2, 1))))
+        version = table.version
+        modified = current_delete(table, lambda row: True, at=d(2, 1))  # t == e
+        assert modified == 0
+        modified = current_delete(table, lambda row: True, at=d(9, 10))  # t > e
+        assert modified == 0
+        assert table.version == version
+        (row,) = table.as_relation().tuples
+        assert row.values[2] == OngoingInterval(fixed(d(1, 1)), fixed(d(2, 1)))
+
     def test_non_matching_tuples_untouched(self):
         table = _table()
         current_insert(table, (500, "X"), at=d(1, 25))
@@ -118,3 +132,67 @@ class TestCurrentUpdate:
                 if row[2][0] <= rt - 1 < row[2][1]
             ]
             assert len(current) == 1, rt
+
+    def test_update_matching_nothing_is_a_noop(self):
+        """Like SQL UPDATE: zero matched tuples → nothing inserted, no
+        version bump, no change event."""
+        table = _table()
+        current_insert(table, (500, "v1"), at=d(1, 25))
+        version = table.version
+        terminated = current_update(
+            table, lambda row: row.values[0] == 999, (999, "ghost"), at=d(6, 1)
+        )
+        assert terminated == 0
+        assert len(table) == 1
+        assert table.version == version
+
+
+class TestVersionBumps:
+    """Every modification path bumps the table version exactly once."""
+
+    def test_insert_bumps_once(self):
+        table = _table()
+        assert table.version == 0
+        table.insert(500, "X", OngoingInterval(fixed(d(1, 1)), fixed(d(2, 1))))
+        assert table.version == 1
+
+    def test_insert_many_bumps_once(self):
+        table = _table()
+        vt = OngoingInterval(fixed(d(1, 1)), fixed(d(2, 1)))
+        table.insert_many([(500, "X", vt), (501, "Y", vt), (502, "Z", vt)])
+        assert table.version == 1
+        table.insert_many([])
+        assert table.version == 1
+
+    def test_current_insert_bumps_once(self):
+        table = _table()
+        current_insert(table, (500, "X"), at=d(1, 25))
+        assert table.version == 1
+
+    def test_current_delete_bumps_once(self):
+        table = _table()
+        current_insert(table, (500, "X"), at=d(1, 25))
+        current_delete(table, lambda row: True, at=d(9, 10))
+        assert table.version == 2
+
+    def test_current_update_bumps_once_not_twice(self):
+        """The delete + insert pair of a current update is one logical
+        modification — observers must see a single change event."""
+        table = _table()
+        current_insert(table, (500, "v1"), at=d(1, 25))
+        events = []
+        table.add_change_listener(lambda name, version: events.append(version))
+        terminated = current_update(
+            table, lambda row: row.values[0] == 500, (500, "v2"), at=d(6, 1)
+        )
+        assert terminated == 1
+        assert table.version == 2
+        assert events == [2]
+
+    def test_delete_where_bumps_only_when_rows_removed(self):
+        table = _table()
+        current_insert(table, (500, "X"), at=d(1, 25))
+        table.delete_where(lambda row: True)  # keeps everything
+        assert table.version == 1
+        table.delete_where(lambda row: False)  # removes everything
+        assert table.version == 2

@@ -73,3 +73,55 @@ class TestStaleness:
         view.refresh()
         assert not view.is_stale()
         assert 502 in [row[0] for row in view.instantiate(d(8, 25))]
+
+    def test_current_delete_stales(self):
+        """In-place modifications keep the cardinality constant; the
+        event-driven staleness flag still catches them (the old length
+        polling could not)."""
+        from repro.engine.modifications import current_delete
+
+        db, view = _setup()
+        view.refresh()
+        modified = current_delete(
+            db.table("B"), lambda row: row.values[0] == 500, at=d(9, 10)
+        )
+        assert modified == 1
+        assert view.is_stale()
+
+    def test_noop_modification_does_not_stale(self):
+        from repro.engine.modifications import current_delete
+
+        db, view = _setup()
+        view.refresh()
+        # Bug 501's interval is fixed and already over at the deletion time.
+        modified = current_delete(
+            db.table("B"), lambda row: row.values[0] == 501, at=d(12, 1)
+        )
+        assert modified == 0
+        assert not view.is_stale()
+
+    def test_closed_view_stops_listening(self):
+        db, view = _setup()
+        view.refresh()
+        view.close()
+        db.table("B").insert(502, until_now(d(8, 20)))
+        assert not view.is_stale()
+        view.close()  # idempotent
+
+    def test_abandoned_view_is_not_pinned_by_the_database(self):
+        """The change listener only holds a weak reference: dropping the
+        last reference to a view frees it, and the next change event
+        deregisters the dead listener — no close() required (the old
+        polling design needed no cleanup either)."""
+        import gc
+        import weakref
+
+        db, view = _setup()
+        view.refresh()
+        listeners_with_view = len(db._listeners)
+        view_ref = weakref.ref(view)
+        del view
+        gc.collect()
+        assert view_ref() is None  # the database did not keep it alive
+        db.table("B").insert(502, until_now(d(8, 20)))  # triggers cleanup
+        assert len(db._listeners) == listeners_with_view - 1

@@ -1,0 +1,58 @@
+"""DependencyIndex: table → subscription invalidation in O(affected)."""
+
+from repro.engine.plan import Scan, scan
+from repro.live import DependencyIndex, referenced_tables
+from repro.relational.predicates import col
+
+
+class TestReferencedTables:
+    def test_single_scan(self):
+        assert referenced_tables(Scan("B")) == frozenset({"B"})
+
+    def test_join_and_set_operations(self):
+        plan = (
+            Scan("B")
+            .join(Scan("P"), on=col("B.C") == col("P.C"))
+            .difference(scan("L").select_columns("X"))
+        )
+        assert referenced_tables(plan) == frozenset({"B", "P", "L"})
+
+    def test_self_join_reports_table_once(self):
+        plan = Scan("B").join(Scan("B"), on=col("L.K") == col("R.K"))
+        assert referenced_tables(plan) == frozenset({"B"})
+
+
+class TestDependencyIndex:
+    def test_affected_resolves_only_dependents(self):
+        index = DependencyIndex()
+        index.add("q1", {"B", "P"})
+        index.add("q2", {"B"})
+        index.add("q3", {"L"})
+        assert index.affected("B") == frozenset({"q1", "q2"})
+        assert index.affected("P") == frozenset({"q1"})
+        assert index.affected("L") == frozenset({"q3"})
+        assert index.affected("unknown") == frozenset()
+
+    def test_remove_unlinks_everywhere(self):
+        index = DependencyIndex()
+        index.add("q1", {"B", "P"})
+        index.remove("q1")
+        assert "q1" not in index
+        assert index.affected("B") == frozenset()
+        assert index.affected("P") == frozenset()
+        assert len(index) == 0
+        index.remove("q1")  # idempotent
+
+    def test_re_add_replaces_dependency_set(self):
+        index = DependencyIndex()
+        index.add("q1", {"B"})
+        index.add("q1", {"P"})
+        assert index.affected("B") == frozenset()
+        assert index.affected("P") == frozenset({"q1"})
+        assert index.tables_of("q1") == frozenset({"P"})
+
+    def test_table_fanout(self):
+        index = DependencyIndex()
+        index.add("q1", {"B", "P"})
+        index.add("q2", {"B"})
+        assert index.table_fanout() == {"B": 2, "P": 1}

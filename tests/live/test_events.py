@@ -1,0 +1,117 @@
+"""Change events and the event bus (fan-out, error isolation)."""
+
+import pytest
+
+from repro.core.interval import until_now
+from repro.core.timeline import mmdd
+from repro.engine.database import Database
+from repro.engine.modifications import current_delete, current_insert
+from repro.live import ChangeEvent, EventBus
+from repro.relational.schema import Schema
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+class TestEventBus:
+    def test_publish_reaches_all_listeners_in_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", lambda payload: seen.append(("a", payload)))
+        bus.subscribe("t", lambda payload: seen.append(("b", payload)))
+        assert bus.publish("t", 1) == 2
+        assert seen == [("a", 1), ("b", 1)]
+
+    def test_unsubscribe_thunk(self):
+        bus = EventBus()
+        seen = []
+        cancel = bus.subscribe("t", seen.append)
+        cancel()
+        cancel()  # idempotent
+        assert bus.publish("t", 1) == 0
+        assert seen == []
+
+    def test_failing_listener_does_not_starve_peers(self):
+        bus = EventBus()
+        seen = []
+
+        def explode(payload):
+            raise RuntimeError("boom")
+
+        bus.subscribe("t", explode)
+        bus.subscribe("t", seen.append)
+        assert bus.publish("t", "payload") == 1
+        assert seen == ["payload"]
+        ((topic, listener, error),) = bus.errors
+        assert topic == "t" and listener is explode
+        assert isinstance(error, RuntimeError)
+
+    def test_topics_are_independent(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", seen.append)
+        bus.publish("b", 1)
+        assert seen == []
+        assert bus.listener_count("a") == 1
+        assert bus.listener_count() == 1
+
+
+class TestDatabaseChangeEvents:
+    def _database(self):
+        db = Database("events")
+        db.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+        return db
+
+    def test_events_carry_table_and_monotonic_version(self):
+        db = self._database()
+        events = []
+        db.add_change_listener(lambda table, version: events.append(ChangeEvent(table, version)))
+        table = db.table("B")
+        table.insert(500, "X", until_now(d(1, 25)))
+        current_insert(db.table("B"), (501, "Y"), at=d(2, 1))
+        current_delete(db.table("B"), lambda row: row.values[0] == 500, at=d(3, 1))
+        assert events == [
+            ChangeEvent("B", 1),
+            ChangeEvent("B", 2),
+            ChangeEvent("B", 3),
+        ]
+        assert db.table_version("B") == 3
+        assert db.table_versions() == {"B": 3}
+
+    def test_removed_listener_hears_nothing(self):
+        db = self._database()
+        events = []
+        listener = db.add_change_listener(lambda table, version: events.append(table))
+        db.remove_change_listener(listener)
+        db.table("B").insert(500, "X", until_now(d(1, 25)))
+        assert events == []
+
+    def test_batch_coalesces_to_one_event(self):
+        db = self._database()
+        events = []
+        db.add_change_listener(lambda table, version: events.append((table, version)))
+        table = db.table("B")
+        with table.batch():
+            table.insert(500, "X", until_now(d(1, 25)))
+            table.insert(501, "Y", until_now(d(1, 26)))
+            with table.batch():  # nested batches coalesce into the outermost
+                table.insert(502, "Z", until_now(d(1, 27)))
+        assert events == [("B", 1)]
+        assert len(table) == 3
+
+    def test_empty_batch_emits_nothing(self):
+        db = self._database()
+        events = []
+        db.add_change_listener(lambda table, version: events.append(table))
+        with db.table("B").batch():
+            pass
+        assert events == []
+        assert db.table_version("B") == 0
+
+    def test_drop_table_notifies_once(self):
+        db = self._database()
+        events = []
+        db.add_change_listener(lambda table, version: events.append((table, version)))
+        db.drop_table("B")
+        assert events == [("B", 1)]

@@ -1,0 +1,313 @@
+"""Subscription lifecycle, batched refresh, and notification delivery."""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.timeline import mmdd
+from repro.engine.database import Database
+from repro.engine.modifications import current_delete, current_update
+from repro.engine.plan import scan
+from repro.errors import QueryError
+from repro.live import LiveSession, SubscriptionManager
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+from repro.sqlish import subscribe as sql_subscribe
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+def _database():
+    db = Database("live")
+    bugs = db.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(d(1, 25)))
+    bugs.insert(501, "Crash", fixed_interval(d(3, 30), d(8, 21)))
+    people = db.create_table("P", Schema.of("PID", ("VT", "interval")))
+    people.insert(1, until_now(d(2, 2)))
+    return db
+
+
+def _bug_plan():
+    return scan("B").where(
+        col("VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1))))
+    )
+
+
+class TestLifecycle:
+    def test_subscribe_materializes_immediately(self):
+        session = LiveSession(_database())
+        sub = session.subscribe(_bug_plan())
+        assert sub.active
+        assert len(sub.result.tuples) > 0
+        assert session.stats()["evaluations"] == 1
+
+    def test_close_releases_shared_state(self):
+        session = LiveSession(_database())
+        first = session.subscribe(_bug_plan())
+        second = session.subscribe(_bug_plan())
+        first.close()
+        # one subscriber remains: the cache entry stays
+        assert session.stats()["shared_results"] == 1
+        second.close()
+        assert session.stats()["shared_results"] == 0
+        assert session.stats()["subscriptions"] == 0
+        assert not first.active
+        with pytest.raises(QueryError, match="closed"):
+            first.result
+        first.close()  # idempotent
+
+    def test_closed_subscription_is_not_refreshed(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_bug_plan())
+        sub.close()
+        db.table("B").insert(502, "New", until_now(d(8, 20)))
+        assert session.flush() == 0
+
+    def test_session_close_detaches_from_database(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_bug_plan())
+        session.close()
+        assert not sub.active
+        db.table("B").insert(502, "New", until_now(d(8, 20)))  # no listener left
+        with pytest.raises(QueryError, match="closed"):
+            session.subscribe(_bug_plan())
+        with pytest.raises(QueryError, match="closed"):
+            session.flush()
+
+    def test_session_as_context_manager(self):
+        db = _database()
+        with SubscriptionManager(db) as session:
+            session.subscribe(_bug_plan())
+        assert session.stats()["subscriptions"] == 0
+
+
+class TestBatchedRefresh:
+    def test_many_modifications_one_evaluation(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_bug_plan())
+        for bid in (502, 503, 504):
+            db.table("B").insert(bid, "More", until_now(d(8, 2)))
+        assert sub.stats.pending_events == 3
+        assert session.pending == 1
+        assert session.flush() == 1
+        assert session.stats()["evaluations"] == 2  # initial + one coalesced
+        assert sub.stats.refreshes == 1
+        assert sub.stats.coalesced_events == 3
+        assert sub.stats.pending_events == 0
+
+    def test_flush_without_pending_is_a_noop(self):
+        session = LiveSession(_database())
+        session.subscribe(_bug_plan())
+        assert session.flush() == 0
+        assert session.stats()["evaluations"] == 1
+
+    def test_unrelated_table_does_not_dirty(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_bug_plan())
+        db.table("P").insert(2, until_now(d(3, 3)))
+        assert session.pending == 0
+        assert sub.stats.pending_events == 0
+
+    def test_auto_flush_refreshes_per_event(self):
+        db = _database()
+        session = LiveSession(db, auto_flush=True)
+        sub = session.subscribe(_bug_plan())
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        db.table("B").insert(503, "More", until_now(d(8, 3)))
+        assert sub.stats.refreshes == 2
+        assert session.stats()["evaluations"] == 3
+
+    def test_flush_every_bounds_staleness(self):
+        db = _database()
+        session = LiveSession(db, flush_every=2)
+        sub = session.subscribe(_bug_plan())
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        assert sub.stats.refreshes == 0  # below the batch threshold
+        db.table("B").insert(503, "More", until_now(d(8, 3)))
+        assert sub.stats.refreshes == 1  # threshold reached → one refresh
+        assert sub.stats.coalesced_events == 2
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(QueryError, match="positive"):
+            LiveSession(_database(), flush_every=0)
+
+    def test_refreshed_result_reflects_the_modification(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_bug_plan())
+        current_delete(db.table("B"), lambda r: r.values[0] == 500, at=d(8, 10))
+        session.flush()
+        # Torp semantics: the deleted bug's VT end is frozen at the
+        # deletion time for rts at/after it, and grows with rt before it.
+        by_bid = {row[0]: row for row in sub.instantiate(d(8, 20))}
+        assert by_bid[500][2] == (d(1, 25), d(8, 10))
+        for rt in (d(8, 5), d(8, 20)):
+            assert sub.instantiate(rt) == db.query(_bug_plan()).instantiate(rt)
+
+
+class TestNotifications:
+    def test_on_refresh_receives_rows_at_reference_time(self):
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        sub = session.subscribe(
+            _bug_plan(), on_refresh=received.append, reference_time=d(8, 10)
+        )
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        session.flush()
+        (event,) = received
+        assert event.subscription is sub
+        assert event.changed_tables == ("B",)
+        assert event.rows == sub.result.instantiate(d(8, 10))
+        assert event.result is sub.result
+        assert sub.stats.notifications == 1
+
+    def test_reference_time_is_caller_chosen_and_mutable(self):
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        sub = session.subscribe(_bug_plan(), on_refresh=received.append)
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        session.flush()
+        assert received[-1].rows is None  # no reference time chosen
+        sub.reference_time = d(8, 15)
+        db.table("B").insert(503, "More", until_now(d(8, 3)))
+        session.flush()
+        assert received[-1].rows == sub.result.instantiate(d(8, 15))
+
+    def test_failing_callback_does_not_break_the_flush(self):
+        db = _database()
+        session = LiveSession(db)
+        received = []
+
+        def explode(event):
+            raise RuntimeError("client went away")
+
+        bad = session.subscribe(_bug_plan(), on_refresh=explode)
+        good = session.subscribe(_bug_plan(), on_refresh=received.append)
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        assert session.flush() == 1
+        assert len(received) == 1
+        assert bad.stats.refreshes == good.stats.refreshes == 1
+        assert session.bus.errors  # the failure is recorded, not raised
+
+    def test_session_wide_refresh_topic(self):
+        db = _database()
+        session = LiveSession(db)
+        session.subscribe(_bug_plan())
+        heard = []
+        session.bus.subscribe("refresh", heard.append)
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        session.flush()
+        assert len(heard) == 1
+
+
+class TestFailureIsolation:
+    def test_failed_initial_evaluation_rolls_back_registration(self):
+        """A plan whose first evaluation raises must not leave a dead
+        cache entry that later subscribes of the same plan cache-hit."""
+        session = LiveSession(_database())
+        missing = scan("MISSING")
+        with pytest.raises(QueryError, match="MISSING"):
+            session.subscribe(missing)
+        assert session.stats()["shared_results"] == 0
+        # A second attempt raises again instead of hitting a dead entry.
+        with pytest.raises(QueryError, match="MISSING"):
+            session.subscribe(scan("MISSING"))
+
+    def test_dropped_table_does_not_abort_the_flush(self):
+        """Per-plan error isolation: the failing plan keeps its last
+        materialization, other dirty plans still refresh."""
+        db = _database()
+        session = LiveSession(db)
+        doomed = session.subscribe(scan("P"))
+        survivor = session.subscribe(_bug_plan())
+        errors = []
+        session.bus.subscribe("error", errors.append)
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        db.drop_table("P")
+        assert session.pending == 2
+        assert session.flush() == 1  # only the surviving plan re-evaluated
+        assert survivor.stats.refreshes == 1
+        assert doomed.stats.refreshes == 0
+        assert len(doomed.result.tuples) == 1  # last materialization serves on
+        ((fingerprint, error),) = errors
+        assert fingerprint == doomed.fingerprint
+        assert isinstance(error, QueryError)
+        assert session.stats()["refresh_errors"] == 1
+
+    def test_drop_table_under_auto_flush_does_not_raise(self):
+        db = _database()
+        session = LiveSession(db, auto_flush=True)
+        sub = session.subscribe(scan("P"))
+        db.drop_table("P")  # must not raise out of the modification
+        assert session.stats()["refresh_errors"] == 1
+        assert sub.stats.refreshes == 0
+
+    def test_notification_counter_counts_real_deliveries_only(self):
+        db = _database()
+        session = LiveSession(db)
+        session.subscribe(_bug_plan())  # no callback registered
+        db.table("B").insert(502, "More", until_now(d(8, 2)))
+        session.flush()
+        assert session.stats()["notifications"] == 0
+
+
+class TestSqlSubscriptions:
+    _SQL = "SELECT * FROM B WHERE VT OVERLAPS PERIOD '[08/01, 09/01)'"
+
+    def test_subscribe_sql_matches_plan_subscription(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe_sql(self._SQL)
+        assert sub.instantiate(d(8, 10)) == db.sql(self._SQL).instantiate(d(8, 10))
+
+    def test_sqlish_subscribe_entry_point_shares_the_cache(self):
+        db = _database()
+        session = LiveSession(db)
+        first = sql_subscribe(self._SQL, session)
+        second = session.subscribe_sql(self._SQL)
+        assert first.fingerprint == second.fingerprint
+        assert session.stats()["shared_results"] == 1
+
+    def test_database_subscribe_convenience(self):
+        db = _database()
+        sub = db.subscribe(self._SQL)
+        assert sub.active
+        assert sub.manager.database is db
+
+    def test_database_subscribe_recovers_from_a_closed_session(self):
+        db = _database()
+        first = db.subscribe(self._SQL)
+        first.manager.close()
+        second = db.subscribe(self._SQL)  # a fresh session is created
+        assert second.active
+        assert second.manager is not first.manager
+
+    def test_aggregate_subscription_rejected(self):
+        session = LiveSession(_database())
+        with pytest.raises(QueryError, match="aggregate"):
+            session.subscribe_sql(
+                "SELECT C, COUNT(*) AS N FROM B GROUP BY C"
+            )
+
+
+class TestUpdateSemantics:
+    def test_current_update_is_one_coalesced_refresh(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(scan("B"))
+        current_update(
+            db.table("B"),
+            lambda row: row.values[0] == 500,
+            (500, "Renamed"),
+            at=d(6, 1),
+        )
+        assert sub.stats.pending_events == 1  # delete+insert = one event
+        assert session.flush() == 1
+        assert sub.stats.refreshes == 1

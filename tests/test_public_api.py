@@ -14,6 +14,7 @@ _PACKAGES = [
     "repro.datasets",
     "repro.bench",
     "repro.sqlish",
+    "repro.live",
 ]
 
 _MODULES = [
@@ -56,6 +57,11 @@ _MODULES = [
     "repro.sqlish.compiler",
     "repro.sqlish.formatter",
     "repro.bench.harness",
+    "repro.live.events",
+    "repro.live.dependencies",
+    "repro.live.cache",
+    "repro.live.subscription",
+    "repro.live.manager",
 ]
 
 
@@ -81,7 +87,7 @@ def test_module_docstrings_and_exports(name):
 def test_version_is_exposed():
     import repro
 
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_public_classes_have_documented_public_methods():
