@@ -106,7 +106,7 @@ from repro.live import (
     SubscriptionManager,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

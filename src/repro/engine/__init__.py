@@ -11,10 +11,19 @@
 * :mod:`repro.engine.indexes` — envelope interval index (Section X future
   work);
 * :mod:`repro.engine.modifications` — Torp-style current insert / delete /
-  update semantics.
+  update semantics;
+* :mod:`repro.engine.delta` — typed row deltas and the incremental
+  delta-propagation evaluator (counting-based view maintenance).
 """
 
 from repro.engine.database import Database, Table
+from repro.engine.delta import (
+    Delta,
+    DeltaEvaluator,
+    EMPTY_DELTA,
+    FULL_DELTA,
+    NonIncrementalDelta,
+)
 from repro.engine.plan import (
     Difference,
     Join,
@@ -46,6 +55,7 @@ from repro.engine.storage import (
     pack_tuple,
     pack_value,
     relation_storage,
+    sizeof_delta,
     sizeof_tuple,
 )
 from repro.engine.indexes import IntervalIndex
@@ -56,6 +66,11 @@ from repro.engine.rewrite import push_down_selections, split_selections
 __all__ = [
     "Database",
     "Table",
+    "Delta",
+    "DeltaEvaluator",
+    "EMPTY_DELTA",
+    "FULL_DELTA",
+    "NonIncrementalDelta",
     "Difference",
     "Join",
     "PlanNode",
@@ -83,6 +98,7 @@ __all__ = [
     "pack_tuple",
     "pack_value",
     "relation_storage",
+    "sizeof_delta",
     "sizeof_tuple",
     "IntervalIndex",
     "current_delete",

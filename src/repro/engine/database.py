@@ -20,6 +20,15 @@ the database fans ``(table, version)`` change events out to registered
 listeners.  Compound modifications (e.g. a current update = delete +
 insert) wrap themselves in :meth:`Table.batch` so observers see a single
 coalesced event.
+
+**Typed deltas.**  Change events additionally carry the *rows* that
+changed as a :class:`~repro.engine.delta.Delta` — inserted and deleted
+ongoing tuples, a current update being a delete+insert pair coalesced by
+:meth:`Table.batch`.  Delta listeners (:meth:`Table.add_delta_listener`,
+:meth:`Database.add_delta_listener`) receive ``(name, version, delta)``;
+write paths that cannot name the changed rows (bulk ``replace_all``
+without an explicit delta, ``drop_table``) report the full-flagged delta,
+which downstream consumers answer with a full re-evaluation.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.core.intervalset import UNIVERSAL_SET
+from repro.engine.delta import Delta, DeltaBuilder, FULL_DELTA
 from repro.engine.executor import materialize
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError, SchemaError
@@ -35,12 +45,17 @@ from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Schema
 from repro.relational.tuples import OngoingTuple
 
-__all__ = ["Table", "Database", "ChangeListener"]
+__all__ = ["Table", "Database", "ChangeListener", "DeltaListener"]
 
 #: A modification-hook callback: called as ``listener(table_name, version)``
 #: after a table's contents changed.  Advancing the reference time never
 #: triggers a call — only explicit modifications do.
 ChangeListener = Callable[[str, int], None]
+
+#: A typed modification hook: ``listener(table_name, version, delta)`` with
+#: the coalesced row-level :class:`~repro.engine.delta.Delta` of the
+#: modification (full-flagged when the rows are unknown).
+DeltaListener = Callable[[str, int, Delta], None]
 
 
 class Table:
@@ -53,8 +68,10 @@ class Table:
         self._snapshot: Optional[OngoingRelation] = None
         self._version = 0
         self._listeners: List[ChangeListener] = []
+        self._delta_listeners: List[DeltaListener] = []
         self._batch_depth = 0
         self._batch_dirty = False
+        self._pending_delta: Optional[DeltaBuilder] = None
 
     # ------------------------------------------------------------------
     # Modification hooks
@@ -83,12 +100,26 @@ class Table:
         except ValueError:
             pass
 
+    def add_delta_listener(self, listener: DeltaListener) -> DeltaListener:
+        """Register a typed hook: ``listener(name, version, delta)``."""
+        self._delta_listeners.append(listener)
+        return listener
+
+    def remove_delta_listener(self, listener: DeltaListener) -> None:
+        """Deregister a delta listener (no error if absent)."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
+
     @contextmanager
     def batch(self) -> Iterator["Table"]:
         """Coalesce all modifications in the block into one change event.
 
-        Nested batches coalesce into the outermost one.  If the block does
-        not modify the table, no version bump and no event happen at all.
+        Nested batches coalesce into the outermost one — including their
+        row deltas, so a current update (delete + insert) arrives at delta
+        listeners as one delete+insert pair.  If the block does not modify
+        the table, no version bump and no event happen at all.
         """
         self._batch_depth += 1
         try:
@@ -99,9 +130,12 @@ class Table:
                 self._batch_dirty = False
                 self._bump()
 
-    def _changed(self) -> None:
+    def _changed(self, delta: Delta = FULL_DELTA) -> None:
         """Record one modification: invalidate the snapshot, bump or defer."""
         self._snapshot = None
+        if self._pending_delta is None:
+            self._pending_delta = DeltaBuilder()
+        self._pending_delta.add(delta)
         if self._batch_depth > 0:
             self._batch_dirty = True
         else:
@@ -109,8 +143,16 @@ class Table:
 
     def _bump(self) -> None:
         self._version += 1
+        delta = (
+            self._pending_delta.build()
+            if self._pending_delta is not None
+            else FULL_DELTA
+        )
+        self._pending_delta = None
         for listener in tuple(self._listeners):
             listener(self.name, self._version)
+        for listener in tuple(self._delta_listeners):
+            listener(self.name, self._version, delta)
 
     # ------------------------------------------------------------------
     # Writes
@@ -123,29 +165,35 @@ class Table:
                 f"table {self.name!r} expects {len(self.schema)} values, "
                 f"got {len(values)}"
             )
-        self._rows.append(OngoingTuple(tuple(values), UNIVERSAL_SET))
-        self._changed()
+        row = OngoingTuple(tuple(values), UNIVERSAL_SET)
+        self._rows.append(row)
+        self._changed(Delta.insert((row,)))
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
-        """Bulk insert; every row gets the trivial reference time."""
-        added = False
+        """Bulk insert; every row gets the trivial reference time.
+
+        All-or-nothing: every row is validated before any is stored, so a
+        malformed row mid-batch cannot leave phantom rows in the table
+        without a version bump or delta event.
+        """
+        added: List[OngoingTuple] = []
         for row in rows:
             if len(row) != len(self.schema):
                 raise SchemaError(
                     f"table {self.name!r} expects {len(self.schema)} values, "
                     f"got {len(row)}"
                 )
-            self._rows.append(OngoingTuple(tuple(row), UNIVERSAL_SET))
-            added = True
+            added.append(OngoingTuple(tuple(row), UNIVERSAL_SET))
         if added:
-            self._changed()
+            self._rows.extend(added)
+            self._changed(Delta.insert(added))
 
     def insert_tuples(self, tuples: Iterable[OngoingTuple]) -> None:
         """Insert pre-built ongoing tuples (used by temporal modifications)."""
-        before = len(self._rows)
-        self._rows.extend(tuples)
-        if len(self._rows) != before:
-            self._changed()
+        added = tuple(tuples)
+        if added:
+            self._rows.extend(added)
+            self._changed(Delta.insert(added))
 
     def delete_where(self, keep) -> int:
         """Physically remove tuples failing *keep* (a tuple -> bool callable).
@@ -153,20 +201,39 @@ class Table:
         Returns the number of removed tuples.  Used by the Torp-style
         modification layer; ordinary queries never delete.
         """
-        before = len(self._rows)
-        self._rows = [row for row in self._rows if keep(row)]
-        removed = before - len(self._rows)
+        kept: List[OngoingTuple] = []
+        removed: List[OngoingTuple] = []
+        for row in self._rows:
+            (kept if keep(row) else removed).append(row)
         if removed:
-            self._changed()
-        return removed
+            self._rows = kept
+            self._changed(Delta.delete(removed))
+        return len(removed)
 
-    def replace_all(self, tuples: Iterable[OngoingTuple]) -> None:
-        """Swap the table contents (bulk-load path of the dataset builders)."""
+    def replace_all(
+        self, tuples: Iterable[OngoingTuple], *, delta: Optional[Delta] = None
+    ) -> None:
+        """Swap the table contents (bulk-load path of the dataset builders).
+
+        Callers that know the precise row changes (the Torp-style current
+        delete, for instance) pass them as *delta* so derived results can
+        refresh incrementally; without one the swap reports the
+        full-flagged delta and observers re-evaluate from scratch.
+        """
         self._rows = list(tuples)
-        self._changed()
+        self._changed(delta if delta is not None else FULL_DELTA)
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    def rows(self) -> Sequence[OngoingTuple]:
+        """The raw row multiset (duplicates preserved, insertion order).
+
+        The delta engine counts occurrences here — the deduplicated
+        :meth:`as_relation` view cannot tell one remaining duplicate from
+        zero.
+        """
+        return tuple(self._rows)
 
     def as_relation(self) -> OngoingRelation:
         """An immutable snapshot of the current contents (cached)."""
@@ -182,6 +249,7 @@ class Database:
         self.name = name
         self._tables: Dict[str, Table] = {}
         self._listeners: List[ChangeListener] = []
+        self._delta_listeners: List[DeltaListener] = []
 
     # ------------------------------------------------------------------
     # Modification hooks
@@ -204,6 +272,25 @@ class Database:
         except ValueError:
             pass
 
+    def add_delta_listener(self, listener: DeltaListener) -> DeltaListener:
+        """Register a catalog-wide typed modification hook.
+
+        *listener* is called as ``listener(table_name, version, delta)``
+        after any table of this database is modified; *delta* names the
+        changed rows (or is full-flagged when they are unknown).  The
+        live engine and materialized views subscribe here so refreshes
+        cost work proportional to the modification.
+        """
+        self._delta_listeners.append(listener)
+        return listener
+
+    def remove_delta_listener(self, listener: DeltaListener) -> None:
+        """Deregister a catalog-wide delta listener (no error if absent)."""
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def table_version(self, name: str) -> int:
         """The modification counter of the named table."""
         return self.table(name).version
@@ -216,6 +303,10 @@ class Database:
         for listener in tuple(self._listeners):
             listener(name, version)
 
+    def _table_delta(self, name: str, version: int, delta: Delta) -> None:
+        for listener in tuple(self._delta_listeners):
+            listener(name, version, delta)
+
     # ------------------------------------------------------------------
     # Catalog
     # ------------------------------------------------------------------
@@ -226,6 +317,7 @@ class Database:
             raise QueryError(f"table {name!r} already exists")
         table = Table(name, schema)
         table.add_change_listener(self._table_changed)
+        table.add_delta_listener(self._table_delta)
         self._tables[name] = table
         return table
 
@@ -240,10 +332,14 @@ class Database:
             raise QueryError(f"no table named {name!r}")
         table = self._tables.pop(name)
         table.remove_change_listener(self._table_changed)
+        table.remove_delta_listener(self._table_delta)
         # Dropping is a modification of the catalog: results derived from
         # the table can no longer be refreshed, so observers must hear
-        # about it once.
+        # about it once.  There is no row-level delta for a vanished
+        # table — the full flag forces dependents onto the re-evaluation
+        # path (where they will surface the missing-table error).
         self._table_changed(name, table.version + 1)
+        self._table_delta(name, table.version + 1, FULL_DELTA)
 
     def table(self, name: str) -> Table:
         try:

@@ -18,6 +18,18 @@ The operators realize the implementation strategy of Section VIII:
 
 All three joins produce identical relations; the planner picks by cost and
 the test suite checks the equivalence.
+
+**Incremental protocol.**  Next to the pull iterator, every operator
+implements the delta-propagation protocol of :mod:`repro.engine.delta`:
+``evaluate(state, inputs)`` runs the full computation while populating the
+operator's :class:`~repro.engine.delta.OperatorState`, and
+``apply_delta(state, deltas)`` maps the children's set-level deltas to
+this operator's output delta, updating the state in place.  Filters and
+projections map deltas tuple-by-tuple; joins probe only the delta side
+against their cached build state (``Δ(L⋈R) = ΔL⋈R_old ∪ L_new⋈ΔR``);
+union and difference adjust derivation counts.  An operator without an
+incremental rule raises :class:`~repro.engine.delta.NonIncrementalDelta`,
+which callers answer with an automatic full re-evaluation.
 """
 
 from __future__ import annotations
@@ -26,6 +38,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.interval import OngoingInterval
 from repro.core.intervalset import IntervalSet
+from repro.engine.delta import (
+    Delta,
+    EMPTY_DELTA,
+    NonIncrementalDelta,
+    OperatorState,
+    commit_changes,
+)
 from repro.relational.predicates import Expression, Predicate
 from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Schema
@@ -33,6 +52,7 @@ from repro.relational.tuples import OngoingTuple
 
 __all__ = [
     "PhysicalOperator",
+    "MappedDeltaOperator",
     "SeqScan",
     "FixedFilter",
     "OngoingFilter",
@@ -67,13 +87,88 @@ class PhysicalOperator:
     def _children(self) -> Tuple["PhysicalOperator", ...]:
         return ()
 
+    # ------------------------------------------------------------------
+    # Incremental protocol (see repro.engine.delta)
+    # ------------------------------------------------------------------
+
+    def delta_state(self) -> OperatorState:
+        """A fresh, empty incremental state for this operator."""
+        return OperatorState()
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        """Full evaluation: populate *state* from the children's outputs.
+
+        *inputs* holds one iterable per child (for scans: the base
+        table's raw rows).  After this call ``state.counts`` maps every
+        output tuple to its derivation count.
+        """
+        raise NonIncrementalDelta(
+            f"{type(self).__name__} has no incremental evaluation rule"
+        )
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        """Propagate the children's *deltas*; return this node's delta.
+
+        The default is conservative: an operator without a delta rule
+        forces the automatic full-re-evaluation fallback.
+        """
+        raise NonIncrementalDelta(
+            f"{type(self).__name__} has no incremental delta rule"
+        )
+
 
 def materialize(operator: PhysicalOperator) -> OngoingRelation:
     """Drain a physical operator into an ongoing relation."""
     return OngoingRelation(operator.schema, operator)
 
 
-class SeqScan(PhysicalOperator):
+class MappedDeltaOperator(PhysicalOperator):
+    """Incremental protocol for per-tuple map operators.
+
+    Scans, filters, projections, requalification, and union are all the
+    same delta shape: each input tuple maps — independently, through the
+    pure function :meth:`_map_tuple` — to at most one output tuple, and
+    derivation counts absorb collisions (distinct inputs mapping to one
+    output) and multiplicities (duplicate scan rows, a tuple present on
+    both union sides).  One counting rule serves them all; subclasses
+    override only the map.
+    """
+
+    def _map_tuple(self, item: OngoingTuple) -> Optional[OngoingTuple]:
+        """The per-tuple map; ``None`` drops the tuple.  Default: identity."""
+        return item
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        counts = state.counts
+        for side in inputs:
+            for item in side:
+                mapped = self._map_tuple(item)
+                if mapped is not None:
+                    counts[mapped] = counts.get(mapped, 0) + 1
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        changes: Dict[OngoingTuple, int] = {}
+        for delta in deltas:
+            for item in delta.inserted:
+                mapped = self._map_tuple(item)
+                if mapped is not None:
+                    changes[mapped] = changes.get(mapped, 0) + 1
+            for item in delta.deleted:
+                mapped = self._map_tuple(item)
+                if mapped is not None:
+                    changes[mapped] = changes.get(mapped, 0) - 1
+        return commit_changes(state, changes)
+
+
+class SeqScan(MappedDeltaOperator):
     """Sequential scan over a materialized ongoing relation."""
 
     def __init__(self, relation: OngoingRelation, *, label: str = ""):
@@ -88,8 +183,25 @@ class SeqScan(PhysicalOperator):
         suffix = f" {self.label}" if self.label else ""
         return f"SeqScan{suffix} ({len(self.relation)} tuples)"
 
+    # Incremental protocol ---------------------------------------------
+    #
+    # The scan's single "input" is the base table's raw row multiset:
+    # the identity map counts duplicate rows, and the emitted delta is
+    # set-level, so a delete of one duplicate does not spuriously
+    # retract the tuple.
 
-class FixedFilter(PhysicalOperator):
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        (delta,) = deltas
+        if delta.full:
+            raise NonIncrementalDelta(
+                f"scan of {self.label or '?'} received a full delta"
+            )
+        return super().apply_delta(state, deltas)
+
+
+class FixedFilter(MappedDeltaOperator):
     """Boolean filter for conjuncts over fixed attributes only.
 
     This is the WHERE-clause half of the Section VIII predicate split: the
@@ -102,12 +214,14 @@ class FixedFilter(PhysicalOperator):
         self.conjuncts = tuple(conjuncts)
         self.schema = child.schema
 
-    def __iter__(self) -> Iterator[OngoingTuple]:
+    def _passes(self, item: OngoingTuple) -> bool:
+        values = item.values
         schema = self.schema
-        conjuncts = self.conjuncts
+        return all(c.evaluate_fixed(values, schema) for c in self.conjuncts)
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
         for item in self.child:
-            values = item.values
-            if all(c.evaluate_fixed(values, schema) for c in conjuncts):
+            if self._passes(item):
                 yield item
 
     def _describe(self) -> str:
@@ -116,8 +230,14 @@ class FixedFilter(PhysicalOperator):
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.child,)
 
+    # Incremental protocol: the filter is a pure per-tuple map, so the
+    # delta rule filters the delta itself — inserted and deleted alike.
 
-class OngoingFilter(PhysicalOperator):
+    def _map_tuple(self, item: OngoingTuple) -> Optional[OngoingTuple]:
+        return item if self._passes(item) else None
+
+
+class OngoingFilter(MappedDeltaOperator):
     """Reference-time-restricting filter for ongoing conjuncts.
 
     Each surviving tuple's RT is replaced by ``RT ∧ θ(r)`` (Theorem 2);
@@ -129,23 +249,25 @@ class OngoingFilter(PhysicalOperator):
         self.conjuncts = tuple(conjuncts)
         self.schema = child.schema
 
-    def __iter__(self) -> Iterator[OngoingTuple]:
+    def _restrict(self, item: OngoingTuple) -> Optional[OngoingTuple]:
+        """``RT ∧ θ(r)`` for one tuple; ``None`` when the RT empties out."""
         schema = self.schema
-        conjuncts = self.conjuncts
+        rt = item.rt
+        values = item.values
+        for conjunct in self.conjuncts:
+            truth = conjunct.evaluate(values, schema)
+            if truth.is_always_true():
+                continue
+            rt = rt.intersection(truth.true_set)
+            if rt.is_empty():
+                return None
+        return item if rt is item.rt else item.with_rt(rt)
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
         for item in self.child:
-            rt = item.rt
-            values = item.values
-            alive = True
-            for conjunct in conjuncts:
-                truth = conjunct.evaluate(values, schema)
-                if truth.is_always_true():
-                    continue
-                rt = rt.intersection(truth.true_set)
-                if rt.is_empty():
-                    alive = False
-                    break
-            if alive:
-                yield item if rt is item.rt else item.with_rt(rt)
+            restricted = self._restrict(item)
+            if restricted is not None:
+                yield restricted
 
     def _describe(self) -> str:
         return f"OngoingFilter ({len(self.conjuncts)} conjuncts)"
@@ -153,8 +275,16 @@ class OngoingFilter(PhysicalOperator):
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.child,)
 
+    # Incremental protocol: the RT restriction is a pure function of the
+    # tuple, so a deleted input maps to exactly the output it produced
+    # when it was inserted.  Distinct inputs can collapse onto one output
+    # (same values, same restricted RT) — the derivation counts absorb
+    # that.
 
-class ProjectOp(PhysicalOperator):
+    _map_tuple = _restrict
+
+
+class ProjectOp(MappedDeltaOperator):
     """Projection / computed columns; reference times pass through."""
 
     def __init__(
@@ -167,20 +297,27 @@ class ProjectOp(PhysicalOperator):
         self.expressions = tuple(expressions)
         self.schema = out_schema
 
-    def __iter__(self) -> Iterator[OngoingTuple]:
+    def _map(self, item: OngoingTuple) -> OngoingTuple:
         in_schema = self.child.schema
-        expressions = self.expressions
+        return OngoingTuple(
+            tuple(e.evaluate(item.values, in_schema) for e in self.expressions),
+            item.rt,
+        )
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
         for item in self.child:
-            yield OngoingTuple(
-                tuple(e.evaluate(item.values, in_schema) for e in expressions),
-                item.rt,
-            )
+            yield self._map(item)
 
     def _describe(self) -> str:
         return f"Project ({len(self.expressions)} columns)"
 
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.child,)
+
+    # Incremental protocol: projection can collapse distinct inputs onto
+    # one output row — derivation counts keep the output set exact.
+
+    _map_tuple = _map
 
 
 def _joined_tuple(
@@ -238,6 +375,105 @@ class _JoinBase(PhysicalOperator):
                 return None
         return OngoingTuple(values, rt)
 
+    # ------------------------------------------------------------------
+    # Incremental protocol, shared by all three join algorithms.
+    #
+    # The state caches both input sides (hash-indexed for HashJoin, plain
+    # ordered sets otherwise).  A flush probes only the delta:
+    #
+    #     Δ(L ⋈ R) = ΔL ⋈ R_old  ∪  L_new ⋈ ΔR
+    #
+    # — the left delta runs against the cached right side *before* the
+    # right delta is folded in, the right delta against the already
+    # updated left side, so insert/insert cross pairs appear exactly
+    # once and delete/delete pairs not at all.
+    # ------------------------------------------------------------------
+
+    def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
+        state.extra[side][item] = None
+
+    def _remove_side(
+        self, state: OperatorState, side: str, item: OngoingTuple
+    ) -> None:
+        try:
+            del state.extra[side][item]
+        except KeyError:
+            raise NonIncrementalDelta(
+                f"delete of a tuple unknown to the join's {side} side"
+            ) from None
+
+    def _matches(
+        self, state: OperatorState, side: str, probe: OngoingTuple
+    ) -> Iterable[OngoingTuple]:
+        """Cached tuples of *side* that can pair with *probe* (superset)."""
+        return tuple(state.extra[side])
+
+    def _full_pairs(
+        self,
+        state: OperatorState,
+        left_items: Sequence[OngoingTuple],
+        right_items: Sequence[OngoingTuple],
+    ) -> Iterator[Tuple[OngoingTuple, OngoingTuple]]:
+        """Candidate pairs of the full evaluation (state already built)."""
+        for left_item in left_items:
+            for right_item in right_items:
+                yield left_item, right_item
+
+    def delta_state(self) -> OperatorState:
+        state = OperatorState()
+        state.extra["left"] = {}
+        state.extra["right"] = {}
+        return state
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        left_items, right_items = (tuple(side) for side in inputs)
+        for item in left_items:
+            self._add_side(state, "left", item)
+        for item in right_items:
+            self._add_side(state, "right", item)
+        counts = state.counts
+        for left_item, right_item in self._full_pairs(
+            state, left_items, right_items
+        ):
+            produced = self._emit(left_item, right_item)
+            if produced is not None:
+                counts[produced] = counts.get(produced, 0) + 1
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        left_delta, right_delta = deltas
+        changes: Dict[OngoingTuple, int] = {}
+        # ΔL ⋈ R_old — probe the cached right side with the left delta.
+        for item in left_delta.deleted:
+            for match in self._matches(state, "right", item):
+                produced = self._emit(item, match)
+                if produced is not None:
+                    changes[produced] = changes.get(produced, 0) - 1
+            self._remove_side(state, "left", item)
+        for item in left_delta.inserted:
+            for match in self._matches(state, "right", item):
+                produced = self._emit(item, match)
+                if produced is not None:
+                    changes[produced] = changes.get(produced, 0) + 1
+            self._add_side(state, "left", item)
+        # L_new ⋈ ΔR — probe the updated left side with the right delta.
+        for item in right_delta.deleted:
+            for match in self._matches(state, "left", item):
+                produced = self._emit(match, item)
+                if produced is not None:
+                    changes[produced] = changes.get(produced, 0) - 1
+            self._remove_side(state, "right", item)
+        for item in right_delta.inserted:
+            for match in self._matches(state, "left", item):
+                produced = self._emit(match, item)
+                if produced is not None:
+                    changes[produced] = changes.get(produced, 0) + 1
+            self._add_side(state, "right", item)
+        return commit_changes(state, changes)
+
 
 class HashJoin(_JoinBase):
     """Equi-join on fixed attributes, with residual temporal conjuncts.
@@ -263,16 +499,18 @@ class HashJoin(_JoinBase):
         self.left_key_positions = tuple(left_key_positions)
         self.right_key_positions = tuple(right_key_positions)
 
+    def _left_key(self, item: OngoingTuple) -> Tuple[object, ...]:
+        return tuple(item.values[p] for p in self.left_key_positions)
+
+    def _right_key(self, item: OngoingTuple) -> Tuple[object, ...]:
+        return tuple(item.values[p] for p in self.right_key_positions)
+
     def __iter__(self) -> Iterator[OngoingTuple]:
         table: Dict[Tuple[object, ...], List[OngoingTuple]] = {}
-        right_positions = self.right_key_positions
         for item in self.right:
-            key = tuple(item.values[p] for p in right_positions)
-            table.setdefault(key, []).append(item)
-        left_positions = self.left_key_positions
+            table.setdefault(self._right_key(item), []).append(item)
         for item in self.left:
-            key = tuple(item.values[p] for p in left_positions)
-            bucket = table.get(key)
+            bucket = table.get(self._left_key(item))
             if not bucket:
                 continue
             for match in bucket:
@@ -286,6 +524,55 @@ class HashJoin(_JoinBase):
             f"{list(self.right_key_positions)}, "
             f"{len(self.fixed_residual)}+{len(self.ongoing_residual)} residual)"
         )
+
+    # Incremental protocol: both sides are cached as ``key → ordered set``
+    # hash indexes, so a delta probes exactly its matching bucket.
+
+    def _side_key(self, side: str, item: OngoingTuple) -> Tuple[object, ...]:
+        return self._left_key(item) if side == "left" else self._right_key(item)
+
+    def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
+        index = state.extra[side]
+        index.setdefault(self._side_key(side, item), {})[item] = None
+
+    def _remove_side(
+        self, state: OperatorState, side: str, item: OngoingTuple
+    ) -> None:
+        index = state.extra[side]
+        key = self._side_key(side, item)
+        bucket = index.get(key)
+        if bucket is None or item not in bucket:
+            raise NonIncrementalDelta(
+                f"delete of a tuple unknown to the join's {side} side"
+            )
+        del bucket[item]
+        if not bucket:
+            del index[key]
+
+    def _matches(
+        self, state: OperatorState, side: str, probe: OngoingTuple
+    ) -> Iterable[OngoingTuple]:
+        # Probing the right side uses the *left* key of the probe tuple
+        # and vice versa: the probe always comes from the opposite input.
+        key = (
+            self._left_key(probe) if side == "right" else self._right_key(probe)
+        )
+        bucket = state.extra[side].get(key)
+        return tuple(bucket) if bucket else ()
+
+    def _full_pairs(
+        self,
+        state: OperatorState,
+        left_items: Sequence[OngoingTuple],
+        right_items: Sequence[OngoingTuple],
+    ) -> Iterator[Tuple[OngoingTuple, OngoingTuple]]:
+        right_index = state.extra["right"]
+        for left_item in left_items:
+            bucket = right_index.get(self._left_key(left_item))
+            if not bucket:
+                continue
+            for right_item in bucket:
+                yield left_item, right_item
 
 
 class NestedLoopJoin(_JoinBase):
@@ -349,15 +636,20 @@ class MergeIntervalJoin(_JoinBase):
         self.left_interval_position = left_interval_position
         self.right_interval_position = right_interval_position
 
-    def __iter__(self) -> Iterator[OngoingTuple]:
+    def _sweep(
+        self,
+        left_items: Iterable[OngoingTuple],
+        right_items: Iterable[OngoingTuple],
+    ) -> Iterator[Tuple[OngoingTuple, OngoingTuple]]:
+        """The forward-scan plane sweep: pairs with overlapping envelopes."""
         left_pos = self.left_interval_position
         right_pos = self.right_interval_position
         left_sorted = sorted(
-            ((_envelope(item.values[left_pos]), item) for item in self.left),
+            ((_envelope(item.values[left_pos]), item) for item in left_items),
             key=lambda pair: pair[0][0],
         )
         right_sorted = sorted(
-            ((_envelope(item.values[right_pos]), item) for item in self.right),
+            ((_envelope(item.values[right_pos]), item) for item in right_items),
             key=lambda pair: pair[0][0],
         )
         i, j = 0, 0
@@ -370,20 +662,64 @@ class MergeIntervalJoin(_JoinBase):
                 end = left_env[1]
                 k = j
                 while k < n_right and right_sorted[k][0][0] < end:
-                    produced = self._emit(left_item, right_sorted[k][1])
-                    if produced is not None:
-                        yield produced
+                    yield left_item, right_sorted[k][1]
                     k += 1
                 i += 1
             else:
                 end = right_env[1]
                 k = i
                 while k < n_left and left_sorted[k][0][0] < end:
-                    produced = self._emit(left_sorted[k][1], right_item)
-                    if produced is not None:
-                        yield produced
+                    yield left_sorted[k][1], right_item
                     k += 1
                 j += 1
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        for left_item, right_item in self._sweep(self.left, self.right):
+            produced = self._emit(left_item, right_item)
+            if produced is not None:
+                yield produced
+
+    # Incremental protocol: full evaluation keeps the plane sweep; a
+    # delta probes the cached opposite side through the *same* envelope
+    # condition the sweep applies, so the maintained derivation counts
+    # are identical to a from-scratch sweep.  Envelopes are computed
+    # once, at _add_side time, and cached as the side-dict values.
+
+    def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
+        position = (
+            self.left_interval_position
+            if side == "left"
+            else self.right_interval_position
+        )
+        state.extra[side][item] = _envelope(item.values[position])
+
+    def _matches(
+        self, state: OperatorState, side: str, probe: OngoingTuple
+    ) -> Iterable[OngoingTuple]:
+        if side == "right":
+            probe_env = _envelope(probe.values[self.left_interval_position])
+        else:
+            probe_env = _envelope(probe.values[self.right_interval_position])
+        matches = []
+        for item, env in state.extra[side].items():
+            if side == "right":
+                left_env, right_env = probe_env, env
+            else:
+                left_env, right_env = env, probe_env
+            # Exactly the sweep's pairing condition (see _sweep).
+            if (left_env[0] <= right_env[0] < left_env[1]) or (
+                right_env[0] < left_env[0] < right_env[1]
+            ):
+                matches.append(item)
+        return matches
+
+    def _full_pairs(
+        self,
+        state: OperatorState,
+        left_items: Sequence[OngoingTuple],
+        right_items: Sequence[OngoingTuple],
+    ) -> Iterator[Tuple[OngoingTuple, OngoingTuple]]:
+        return self._sweep(left_items, right_items)
 
     def _describe(self) -> str:
         return (
@@ -393,7 +729,7 @@ class MergeIntervalJoin(_JoinBase):
         )
 
 
-class UnionOp(PhysicalOperator):
+class UnionOp(MappedDeltaOperator):
     """Set union with streaming duplicate elimination."""
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
@@ -412,6 +748,12 @@ class UnionOp(PhysicalOperator):
 
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
+
+    # Incremental protocol: classic multiplicity maintenance — a tuple's
+    # count is the number of input sides containing it (1 or 2), and only
+    # the 0 ↔ positive transitions surface as output changes.  That is
+    # exactly the mapped-operator rule with the identity map over both
+    # input sides, inherited as-is.
 
 
 class DifferenceOp(PhysicalOperator):
@@ -436,3 +778,135 @@ class DifferenceOp(PhysicalOperator):
 
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
+
+    # ------------------------------------------------------------------
+    # Incremental protocol.
+    #
+    # Difference is nonmonotonic: inserting into the right side can
+    # *shrink* reference times of unrelated-looking left tuples.  The
+    # state therefore caches both input sides plus the per-left-tuple
+    # output (``out_of``).  Left deltas are handled tuple-locally.  A
+    # right delta only affects left tuples whose *fixed* attributes
+    # equal the changed row's (``value_equality`` conjoins a plain
+    # ``==`` per fixed attribute, so any fixed mismatch is always
+    # false) — the left side is indexed by its fixed-attribute
+    # projection and only the matching bucket recomputes.
+    # ------------------------------------------------------------------
+
+    def _difference_tuple(
+        self, item: OngoingTuple, right_items: Iterable[OngoingTuple]
+    ) -> Optional[OngoingTuple]:
+        """Theorem 2, one left tuple: drop the rts matched in the right."""
+        from repro.relational.algebra import match_set
+
+        matched = match_set(self.schema, item.values, right_items)
+        remaining = item.rt.difference(matched)
+        if remaining.is_empty():
+            return None
+        return item.with_rt(remaining)
+
+    def _fixed_key(self, item: OngoingTuple) -> Tuple[object, ...]:
+        """The tuple's fixed-attribute projection (the affectedness key)."""
+        return tuple(
+            item.values[position] for position in self._fixed_positions()
+        )
+
+    def _fixed_positions(self) -> Tuple[int, ...]:
+        cached = getattr(self, "_fixed_positions_cache", None)
+        if cached is None:
+            cached = self._fixed_positions_cache = tuple(
+                position
+                for position, attribute in enumerate(self.schema)
+                if not attribute.kind.is_ongoing
+            )
+        return cached
+
+    def delta_state(self) -> OperatorState:
+        state = OperatorState()
+        state.extra["right"] = {}
+        state.extra["out_of"] = {}
+        state.extra["left_by_fixed"] = {}
+        return state
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        left_items, right_items = inputs
+        right: Dict[OngoingTuple, None] = dict.fromkeys(right_items)
+        out_of: Dict[OngoingTuple, Optional[OngoingTuple]] = {}
+        by_fixed: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = {}
+        state.extra["right"] = right
+        state.extra["out_of"] = out_of
+        state.extra["left_by_fixed"] = by_fixed
+        counts = state.counts
+        for item in left_items:
+            out = self._difference_tuple(item, right)
+            out_of[item] = out
+            by_fixed.setdefault(self._fixed_key(item), {})[item] = None
+            if out is not None:
+                counts[out] = counts.get(out, 0) + 1
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        left_delta, right_delta = deltas
+        right: Dict[OngoingTuple, None] = state.extra["right"]
+        out_of: Dict[OngoingTuple, Optional[OngoingTuple]] = state.extra["out_of"]
+        by_fixed: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
+            "left_by_fixed"
+        ]
+        changes: Dict[OngoingTuple, int] = {}
+        # Left deletions: retract exactly the output the tuple produced.
+        for item in left_delta.deleted:
+            if item not in out_of:
+                raise NonIncrementalDelta(
+                    "delete of a tuple unknown to the difference's left side"
+                )
+            out = out_of.pop(item)
+            bucket = by_fixed.get(self._fixed_key(item))
+            if bucket is not None:
+                bucket.pop(item, None)
+                if not bucket:
+                    del by_fixed[self._fixed_key(item)]
+            if out is not None:
+                changes[out] = changes.get(out, 0) - 1
+        # Right changes: fold into the cached side, then recompute the
+        # match set of the possibly-affected left tuples — only those
+        # whose fixed attributes equal a changed right row's.
+        if not right_delta.is_empty():
+            for item in right_delta.deleted:
+                if item not in right:
+                    raise NonIncrementalDelta(
+                        "delete of a tuple unknown to the difference's "
+                        "right side"
+                    )
+                del right[item]
+            for item in right_delta.inserted:
+                right[item] = None
+            affected: Dict[OngoingTuple, None] = {}
+            for row in right_delta.inserted + right_delta.deleted:
+                bucket = by_fixed.get(self._fixed_key(row))
+                if bucket:
+                    affected.update(bucket)
+            for item in affected:
+                old_out = out_of[item]
+                new_out = self._difference_tuple(item, right)
+                if new_out == old_out:
+                    continue
+                if old_out is not None:
+                    changes[old_out] = changes.get(old_out, 0) - 1
+                if new_out is not None:
+                    changes[new_out] = changes.get(new_out, 0) + 1
+                out_of[item] = new_out
+        # Left insertions run against the already-updated right side.
+        for item in left_delta.inserted:
+            if item in out_of:
+                raise NonIncrementalDelta(
+                    "insert of a tuple already on the difference's left side"
+                )
+            out = self._difference_tuple(item, right)
+            out_of[item] = out
+            by_fixed.setdefault(self._fixed_key(item), {})[item] = None
+            if out is not None:
+                changes[out] = changes.get(out, 0) + 1
+        return commit_changes(state, changes)

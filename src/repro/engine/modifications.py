@@ -38,6 +38,7 @@ from repro.core.operations import ongoing_min
 from repro.core.timeline import TimePoint
 from repro.core.timepoint import NOW, OngoingTimePoint, fixed
 from repro.engine.database import Table
+from repro.engine.delta import Delta
 from repro.errors import QueryError
 from repro.relational.schema import AttributeKind
 from repro.relational.tuples import OngoingTuple
@@ -94,9 +95,13 @@ def current_delete(
     """
     position = _interval_position(table, vt_attribute)
     deletion_point = fixed(at)
-    modified = 0
     replacement: List[OngoingTuple] = []
-    for item in table.as_relation():
+    terminated: List[OngoingTuple] = []
+    successors: List[OngoingTuple] = []
+    # Iterate the raw row multiset, not the deduplicated relation view:
+    # the emitted delta must account for every stored occurrence, or the
+    # delta engine's occurrence counts drift from the table contents.
+    for item in table.rows():
         if not matches(item):
             replacement.append(item)
             continue
@@ -107,11 +112,18 @@ def current_delete(
             continue
         new_values = list(item.values)
         new_values[position] = OngoingInterval(valid_time.start, new_end)
-        replacement.append(OngoingTuple(tuple(new_values), item.rt))
-        modified += 1
-    if modified:
-        table.replace_all(replacement)
-    return modified
+        successor = OngoingTuple(tuple(new_values), item.rt)
+        replacement.append(successor)
+        terminated.append(item)
+        successors.append(successor)
+    if terminated:
+        # The change event names exactly the rewritten rows, so derived
+        # results (live subscriptions, materialized views) can refresh by
+        # delta instead of re-evaluating over the whole table.
+        table.replace_all(
+            replacement, delta=Delta.update(terminated, successors)
+        )
+    return len(terminated)
 
 
 def current_update(

@@ -36,6 +36,7 @@ from repro.engine.executor import (
     ProjectOp,
     SeqScan,
     UnionOp,
+    MappedDeltaOperator,
 )
 from repro.errors import QueryError, SchemaError
 from repro.relational.algebra import infer_kind  # shared column-kind logic
@@ -221,8 +222,12 @@ class Planner:
         return NestedLoopJoin(left, right, out_schema, fixed_residual, ongoing_residual)
 
 
-class _Requalified(PhysicalOperator):
-    """Transparent schema-renaming wrapper (tuples pass through unchanged)."""
+class _Requalified(MappedDeltaOperator):
+    """Transparent schema-renaming wrapper (tuples pass through unchanged).
+
+    The incremental protocol is the inherited identity map: counts and
+    deltas pass straight through.
+    """
 
     def __init__(self, child: PhysicalOperator, schema: Schema):
         self.child = child

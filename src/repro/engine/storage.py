@@ -46,6 +46,7 @@ __all__ = [
     "unpack_rt",
     "unpack_tuple",
     "sizeof_tuple",
+    "sizeof_delta",
     "StorageReport",
     "relation_storage",
 ]
@@ -160,6 +161,25 @@ def pack_tuple(
 def sizeof_tuple(item: OngoingTuple, *, layout: str = "ongoing") -> int:
     """Byte size of a tuple under the given layout."""
     return len(pack_tuple(item, layout=layout))
+
+
+def sizeof_delta(delta) -> int:
+    """Byte size of a :class:`~repro.engine.delta.Delta` on the wire.
+
+    The serialized change of a modification event: every inserted and
+    deleted ongoing tuple in the ongoing layout (the delete ships the
+    full tuple — the consumer identifies it by value).  This is what a
+    replication or change-data-capture channel for ongoing databases
+    would transfer per modification, and it is what the incremental
+    benchmark reports next to the size of the full materialization the
+    delta path avoids re-shipping.  Full-flagged deltas have no row
+    representation (the consumer re-reads the source) and measure 0.
+    """
+    if delta.full:
+        return 0
+    return sum(
+        sizeof_tuple(item) for item in (*delta.inserted, *delta.deleted)
+    )
 
 
 # ----------------------------------------------------------------------

@@ -9,11 +9,19 @@ whereas Clifford's approach must re-run the query at every reference time.
 
 The view only needs refreshing after *explicit* database modifications —
 never because time passed.  Staleness is event-driven: the view registers
-with the database's modification hooks
-(:meth:`~repro.engine.database.Database.add_change_listener`) and flips a
-dirty flag when a change event arrives, so :meth:`is_stale` is O(1) and
-catches *every* modification path — including in-place current deletes
-that the old cardinality-polling proxy could not see.
+with the database's typed modification hooks
+(:meth:`~repro.engine.database.Database.add_delta_listener`) and records
+the row deltas that arrive, so :meth:`is_stale` is O(1) and catches
+*every* modification path — including in-place current deletes that the
+old cardinality-polling proxy could not see.
+
+Refreshes ride the delta-propagation engine (:mod:`repro.engine.delta`):
+:meth:`refresh` pushes the accumulated row deltas through the view's
+cached operator state, costing work proportional to the modifications
+since the last refresh.  When that is impossible — cold state, a bulk
+load that reported no typed rows, a non-incrementalizable operator — the
+view falls back to a full re-evaluation automatically (logged on the
+``repro.engine.delta`` logger).
 
 For many clients sharing plans, prefer the push-based subscription engine
 in :mod:`repro.live`; this class remains the single-consumer primitive.
@@ -21,17 +29,26 @@ in :mod:`repro.live`; this class remains the single-consumer primitive.
 
 from __future__ import annotations
 
+import logging
 import weakref
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.core.timeline import TimePoint
 from repro.engine.database import Database
+from repro.engine.delta import (
+    Delta,
+    DeltaBuilder,
+    DeltaEvaluator,
+    NonIncrementalDelta,
+)
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError
 from repro.relational.relation import OngoingRelation
 from repro.relational.tuples import FixedTuple
 
 __all__ = ["MaterializedOngoingView"]
+
+logger = logging.getLogger("repro.engine.delta")
 
 
 class MaterializedOngoingView:
@@ -49,8 +66,18 @@ class MaterializedOngoingView:
         self.name = name
         self.plan = plan
         self.database = database
+        self._evaluator = DeltaEvaluator(plan, database)
+        self._delta_unsupported = False
         self._result: Optional[OngoingRelation] = None
         self._dirty = True
+        #: Row deltas accumulated since the last refresh, per base table
+        #: the plan reads (changes to other tables are irrelevant).
+        self._relevant = plan.referenced_tables()
+        self._pending: Dict[str, DeltaBuilder] = {}
+        #: Refresh counters: how often the view refreshed by delta
+        #: propagation vs. by full re-evaluation.
+        self.delta_refreshes = 0
+        self.full_refreshes = 0
         # The registered listener holds only a weak reference to the view:
         # views kept the old polling design's "no cleanup needed" contract,
         # so an abandoned view must not be pinned alive by the database.
@@ -58,28 +85,77 @@ class MaterializedOngoingView:
         # the listener; close() does so eagerly.
         self_ref = weakref.ref(self)
 
-        def _on_change(table: str, version: int) -> None:
+        def _on_change(table: str, version: int, delta: Delta) -> None:
             view = self_ref()
             if view is None:
-                database.remove_change_listener(_on_change)
+                database.remove_delta_listener(_on_change)
             else:
-                view._dirty = True
+                view._note_change(table, delta)
 
-        self._listener = database.add_change_listener(_on_change)
+        self._listener = database.add_delta_listener(_on_change)
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
-    #
-    # Any base-table change marks the view dirty.  (The live engine's
-    # DependencyIndex does fine-grained per-table invalidation; the
-    # standalone view keeps the conservative whole-database contract it
-    # always had.)
+
+    def _note_change(self, table: str, delta: Delta) -> None:
+        """Record one change event: flip the dirty flag, keep the rows.
+
+        Row references are only worth holding when a later refresh can
+        consume them: not for irrelevant tables, not once the plan
+        proved non-incrementalizable, and not while the operator state
+        is still cold (the first refresh is a full evaluation anyway).
+        """
+        self._dirty = True
+        if (
+            self._delta_unsupported
+            or not self._evaluator.warm
+            or table not in self._relevant
+        ):
+            return
+        builder = self._pending.get(table)
+        if builder is None:
+            builder = self._pending[table] = DeltaBuilder()
+        builder.add(delta)
 
     def refresh(self) -> OngoingRelation:
-        """(Re-)evaluate the query and store the ongoing result."""
+        """Bring the stored ongoing result up to date.
+
+        Incremental by default: the accumulated row deltas run through
+        the view's cached operator state
+        (:meth:`~repro.engine.delta.DeltaEvaluator.refresh`).  Falls
+        back to a full re-evaluation — automatically, with the reason
+        logged — when the state is cold or the deltas cannot be
+        propagated; a plan with no delta rules at all latches onto plain
+        evaluation permanently.
+        """
+        pending = {
+            table: builder.build() for table, builder in self._pending.items()
+        }
+        self._pending = {}
+        if not self._delta_unsupported:
+            try:
+                result, delta = self._evaluator.refresh(pending)
+            except NonIncrementalDelta as exc:
+                logger.info(
+                    "view %r is not incrementalizable (%s); "
+                    "serving via full evaluation",
+                    self.name,
+                    exc,
+                )
+                self._delta_unsupported = True
+                self._pending.clear()  # row deltas will never be consumed
+            else:
+                self._result = result
+                self._dirty = False
+                if delta is None:
+                    self.full_refreshes += 1
+                else:
+                    self.delta_refreshes += 1
+                return self._result
         self._result = self.database.query(self.plan)
         self._dirty = False
+        self.full_refreshes += 1
         return self._result
 
     def is_stale(self) -> bool:
@@ -93,7 +169,7 @@ class MaterializedOngoingView:
 
     def close(self) -> None:
         """Detach from the database's modification hooks (idempotent)."""
-        self.database.remove_change_listener(self._listener)
+        self.database.remove_delta_listener(self._listener)
 
     @property
     def result(self) -> OngoingRelation:

@@ -18,8 +18,10 @@ needs, and this package is that service:
   handle (cheap :meth:`~Subscription.instantiate` at any reference time,
   per-subscription statistics);
 * :mod:`repro.live.manager` — the :class:`SubscriptionManager` /
-  :class:`LiveSession` facade: modification intake from the database
-  hooks, batched coalescing flushes, notification fan-out.
+  :class:`LiveSession` facade: typed-delta intake from the database
+  hooks, batched coalescing flushes that *propagate* row deltas through
+  cached operator state (:mod:`repro.engine.delta`) instead of
+  re-evaluating, notification fan-out with empty-delta suppression.
 
 Design invariant: **no clock**.  Nothing in this package reads or
 advances time; the only trigger for work is a base-table modification
@@ -38,7 +40,7 @@ Quickstart::
     )
     sub.instantiate(rt)        # any rt, never re-evaluates
     ...                        # current_delete / insert on base tables
-    session.flush()            # one coalesced re-evaluation + notification
+    session.flush()            # one coalesced delta propagation + notification
 """
 
 from repro.live.cache import ResultCache, SharedResult

@@ -7,17 +7,29 @@ materializations — the ongoing result is identical, so they share one
 half of the paper's amortization argument (Figs. 11–12): the engine
 evaluates once, and *every* subscriber instantiates cheaply at its own
 reference time.
+
+Since the delta-propagation engine (:mod:`repro.engine.delta`), a shared
+result also owns the per-operator incremental state for its plan: a flush
+routes the accumulated base-table deltas through
+:meth:`SharedResult.apply_delta`, and only falls back to
+:meth:`SharedResult.evaluate` — a full re-evaluation — when the plan is
+not incrementalizable or the state is cold.  The fallback is automatic
+and logged on the ``repro.engine.delta`` logger.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+import logging
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.engine.database import Database
+from repro.engine.delta import Delta, DeltaEvaluator, NonIncrementalDelta
 from repro.engine.plan import PlanNode
 from repro.relational.relation import OngoingRelation
 
 __all__ = ["SharedResult", "ResultCache"]
+
+logger = logging.getLogger("repro.engine.delta")
 
 
 class SharedResult:
@@ -27,16 +39,114 @@ class SharedResult:
         self.plan = plan
         self.fingerprint = fingerprint
         self.result: Optional[OngoingRelation] = None
-        #: Times the plan was (re-)evaluated against the database.
+        #: Times the plan was (re-)evaluated against the database — full
+        #: evaluations and incremental delta applications both count.
         self.evaluations = 0
+        #: How many of those were incremental delta applications.
+        self.delta_refreshes = 0
+        #: How many delta attempts fell back to a full re-evaluation.
+        self.delta_fallbacks = 0
         #: Subscriptions currently attached to this result.
         self.subscribers: List[object] = []
+        #: The incremental evaluator; ``None`` once the plan proved
+        #: non-incrementalizable (it is then never retried).
+        self._delta: Optional[DeltaEvaluator] = None
+        self._delta_unsupported = False
 
-    def evaluate(self, database: Database) -> OngoingRelation:
-        """(Re-)run the plan and store the fresh ongoing result."""
+    def _plain(self, database: Database) -> OngoingRelation:
         self.result = database.query(self.plan)
         self.evaluations += 1
         return self.result
+
+    def _ensure_evaluator(self, database: Database) -> Optional[DeltaEvaluator]:
+        if self._delta is None and not self._delta_unsupported:
+            self._delta = DeltaEvaluator(self.plan, database)
+        return self._delta
+
+    def _latch_unsupported(self, exc: NonIncrementalDelta) -> None:
+        """The plan has no delta rules — never retry, serve plainly."""
+        logger.info(
+            "plan %s is not incrementalizable (%s); "
+            "serving via full evaluation",
+            self.fingerprint[:12],
+            exc,
+        )
+        self._delta = None
+        self._delta_unsupported = True
+
+    def evaluate(
+        self, database: Database, *, incremental: bool = True
+    ) -> OngoingRelation:
+        """(Re-)run the plan fully and store the fresh ongoing result.
+
+        The full run also (re)builds the plan's per-operator delta state,
+        so the *next* refresh can ride the incremental path.  Pass
+        ``incremental=False`` (a session-level choice) to skip the state
+        building entirely — the baseline then pays exactly one plain
+        evaluation, nothing more.
+        """
+        if not incremental:
+            # The delta state (if any) is now behind this evaluation —
+            # drop it, or a later incremental refresh (the manager's
+            # flag is mutable) would apply deltas to a stale snapshot.
+            self._delta = None
+            return self._plain(database)
+        evaluator = self._ensure_evaluator(database)
+        if evaluator is None:
+            return self._plain(database)
+        try:
+            self.result = evaluator.refresh_full()
+        except NonIncrementalDelta as exc:
+            self._latch_unsupported(exc)
+            return self._plain(database)
+        self.evaluations += 1
+        return self.result
+
+    def refresh(
+        self,
+        database: Database,
+        table_deltas: Optional[Mapping[str, Delta]],
+        *,
+        incremental: bool = True,
+    ) -> Optional[Delta]:
+        """One flush-driven refresh; returns the result delta, or ``None``.
+
+        ``None`` means the refresh was a full re-evaluation — because
+        incremental maintenance is disabled, no row deltas were
+        captured, or :meth:`DeltaEvaluator.refresh` fell back (cold
+        state, full-flagged deltas, non-incrementalizable operator).
+        The fallback is automatic and logged; callers only need the
+        return value to know which path ran.
+        """
+        if not incremental:
+            self.evaluate(database, incremental=False)
+            return None
+        if table_deltas is None:
+            logger.info(
+                "no row deltas captured for plan %s; falling back to "
+                "full re-evaluation",
+                self.fingerprint[:12],
+            )
+            self.delta_fallbacks += 1
+            self.evaluate(database)
+            return None
+        evaluator = self._ensure_evaluator(database)
+        if evaluator is None:
+            self._plain(database)
+            return None
+        try:
+            result, delta = evaluator.refresh(table_deltas)
+        except NonIncrementalDelta as exc:
+            self._latch_unsupported(exc)
+            self._plain(database)
+            return None
+        self.result = result
+        self.evaluations += 1
+        if delta is None:
+            self.delta_fallbacks += 1
+        else:
+            self.delta_refreshes += 1
+        return delta
 
     @property
     def subscriber_count(self) -> int:
@@ -46,7 +156,8 @@ class SharedResult:
         return (
             f"SharedResult({self.fingerprint[:12]}…, "
             f"subscribers={self.subscriber_count}, "
-            f"evaluations={self.evaluations})"
+            f"evaluations={self.evaluations}, "
+            f"delta={self.delta_refreshes})"
         )
 
 

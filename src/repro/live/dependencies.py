@@ -57,6 +57,16 @@ class DependencyIndex:
         """The keys whose plans read *table*."""
         return frozenset(self._by_table.get(table, frozenset()))
 
+    def tables(self) -> FrozenSet[str]:
+        """The tables currently registered by at least one key.
+
+        A table whose last dependent key was removed must *not* appear
+        here — stale table entries would keep dead table names alive in
+        :meth:`table_fanout` and make :meth:`affected` lookups pay for
+        subscriptions that no longer exist.
+        """
+        return frozenset(self._by_table)
+
     def tables_of(self, key: object) -> FrozenSet[str]:
         """The dependency set registered for *key* (empty if unknown)."""
         return self._by_key.get(key, frozenset())

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
+from repro.engine.delta import Delta
+
 __all__ = ["ChangeEvent", "RefreshNotification", "EventBus"]
 
 
@@ -27,11 +29,16 @@ class ChangeEvent:
 
     ``version`` is the table's monotonic modification counter *after* the
     change; coalesced modifications (a :meth:`~repro.engine.database.Table.batch`
-    block, a current update) produce exactly one event.
+    block, a current update) produce exactly one event.  ``delta`` names
+    the changed rows when the write path could type them (``None`` for
+    events observed through the untyped change-listener channel); the
+    delta is carried for consumers and does not participate in event
+    identity.
     """
 
     table: str
     version: int
+    delta: Optional[Delta] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -43,6 +50,11 @@ class RefreshNotification:
     subscribers can always instantiate later, at any reference time, via
     ``subscription.instantiate(rt)``; the ongoing result stays valid as
     time passes.
+
+    ``delta`` is the *result-level* change this refresh applied — the
+    ongoing tuples that entered and left the result — when the refresh
+    ran on the incremental path; ``None`` means the result was fully
+    re-evaluated and the precise change was not computed.
     """
 
     subscription: Any
@@ -50,6 +62,7 @@ class RefreshNotification:
     rows: Optional[FrozenSet] = None
     #: Tables whose modifications were coalesced into this refresh.
     changed_tables: Tuple[str, ...] = ()
+    delta: Optional[Delta] = field(default=None, compare=False)
 
 
 class EventBus:

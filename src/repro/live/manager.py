@@ -14,11 +14,22 @@ path that re-evaluates a plan starts at a base-table change event.  There
 is no timer, no polling loop, and no clock — advancing the reference time
 is pure instantiation work on already-materialized ongoing results.
 
-Batching: change events mark fingerprints dirty; :meth:`flush` re-runs
+Batching: change events mark fingerprints dirty; :meth:`flush` refreshes
 each dirty plan **once**, however many modifications accumulated, then
 notifies every attached subscription.  ``auto_flush=True`` flushes after
 every event (lowest latency); ``flush_every=N`` flushes once ``N`` events
 accumulated (bounded staleness at 1/N the evaluation cost).
+
+Incremental refresh: change events carry typed row deltas
+(:class:`~repro.engine.delta.Delta`), the manager accumulates them per
+dirty fingerprint, and :meth:`flush` *propagates* them through the plan's
+cached operator state (:meth:`~repro.live.cache.SharedResult.apply_delta`)
+instead of re-evaluating — work proportional to the modification, not the
+database.  Plans that cannot be maintained incrementally (full-flagged
+deltas, cold state, operators without delta rules) fall back to full
+re-evaluation automatically; the fallback is logged and counted.  A
+subscription whose result did not change in a flush is not notified
+unless it opted into ``notify_on_no_change``.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.timeline import TimePoint
 from repro.engine.database import Database
+from repro.engine.delta import Delta, DeltaBuilder
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError
 
@@ -60,12 +72,17 @@ class SubscriptionManager:
         *,
         auto_flush: bool = False,
         flush_every: Optional[int] = None,
+        incremental: bool = True,
     ):
         if flush_every is not None and flush_every < 1:
             raise QueryError("flush_every must be a positive event count")
         self.database = database
         self.auto_flush = auto_flush
         self.flush_every = flush_every
+        #: When ``True`` (default) flushes propagate row deltas through
+        #: cached operator state; ``False`` forces full re-evaluation on
+        #: every refresh (the PR-1 behavior, kept for benchmarking).
+        self.incremental = incremental
         self.bus = EventBus()
         self._cache = ResultCache()
         self._dependencies = DependencyIndex()
@@ -74,17 +91,24 @@ class SubscriptionManager:
         self._dirty: Dict[str, Set[str]] = {}
         #: fingerprint → number of change events since last refresh.
         self._dirty_events: Dict[str, int] = {}
+        #: fingerprint → table → accumulated row deltas since last refresh.
+        self._pending_deltas: Dict[str, Dict[str, DeltaBuilder]] = {}
         self._events_since_flush = 0
         self._stats = {
             "events": 0,
             "flushes": 0,
             "evaluations": 0,
+            "delta_refreshes": 0,
+            "full_refreshes": 0,
+            "suppressed_notifications": 0,
             "notifications": 0,
             "refresh_errors": 0,
         }
         self._unsubscribe_bus: Dict[int, Callable[[], None]] = {}
-        self._listener = database.add_change_listener(self._on_table_changed)
+        self._listener = database.add_delta_listener(self._on_table_delta)
         self._closed = False
+        self._flushing = False
+        self._reentrant_flush_requested = False
 
     # ------------------------------------------------------------------
     # Registration
@@ -97,15 +121,19 @@ class SubscriptionManager:
         on_refresh: Optional[Callable[[RefreshNotification], None]] = None,
         reference_time: Optional[TimePoint] = None,
         name: Optional[str] = None,
+        notify_on_no_change: bool = False,
     ) -> Subscription:
         """Register an ongoing query plan as a live subscription.
 
         Structurally equal plans — same fingerprint — share one
         materialization: the first subscriber pays the evaluation, later
         ones attach for free (a cache hit).  *on_refresh* is invoked after
-        every modification-driven re-evaluation; *reference_time* (the
-        caller-chosen instantiation point, mutable on the returned handle)
-        selects the fixed rows delivered with each notification.
+        every modification-driven refresh **that changed this result**;
+        a flush whose propagated delta turns out empty (an irrelevant row
+        was modified) stays silent unless *notify_on_no_change* is set.
+        *reference_time* (the caller-chosen instantiation point, mutable
+        on the returned handle) selects the fixed rows delivered with
+        each notification.
         """
         self._require_open()
         shared, created = self._cache.get_or_create(plan)
@@ -114,7 +142,7 @@ class SubscriptionManager:
                 shared.fingerprint, referenced_tables(plan)
             )
             try:
-                shared.evaluate(self.database)
+                shared.evaluate(self.database, incremental=self.incremental)
             except Exception:
                 # Roll the registration back: a dead entry must not be
                 # cache-hit by a later subscribe of the same plan.
@@ -128,6 +156,7 @@ class SubscriptionManager:
             on_refresh=on_refresh,
             reference_time=reference_time,
             name=name,
+            notify_on_no_change=notify_on_no_change,
         )
         shared.subscribers.append(subscription)
         self._subscriptions[subscription.id] = subscription
@@ -166,10 +195,15 @@ class SubscriptionManager:
         except ValueError:
             pass
         if not shared.subscribers:
+            # The last subscriber leaving must fully unregister the plan:
+            # cache entry, dependency links (so the table → fingerprint
+            # index drops tables no live plan reads anymore), and any
+            # accumulated dirty/delta state.
             self._cache.remove(shared.fingerprint)
             self._dependencies.remove(shared.fingerprint)
             self._dirty.pop(shared.fingerprint, None)
             self._dirty_events.pop(shared.fingerprint, None)
+            self._pending_deltas.pop(shared.fingerprint, None)
 
     def close(self) -> None:
         """Close every subscription and detach from the database hooks."""
@@ -177,7 +211,7 @@ class SubscriptionManager:
             return
         for subscription in list(self._subscriptions.values()):
             self.unsubscribe(subscription)
-        self.database.remove_change_listener(self._listener)
+        self.database.remove_delta_listener(self._listener)
         self._closed = True
 
     def __enter__(self) -> "SubscriptionManager":
@@ -199,9 +233,10 @@ class SubscriptionManager:
     # Modification intake
     # ------------------------------------------------------------------
 
-    def _on_table_changed(self, table: str, version: int) -> None:
-        """Database modification hook: mark dependents dirty, maybe flush."""
-        event = ChangeEvent(table, version)
+    def _on_table_delta(self, table: str, version: int, delta: Delta) -> None:
+        """Database modification hook: mark dependents dirty, accumulate
+        the row delta per dirty plan, maybe flush."""
+        event = ChangeEvent(table, version, delta)
         self._stats["events"] += 1
         self.bus.publish("change", event)
         affected = self._dependencies.affected(table)
@@ -213,6 +248,11 @@ class SubscriptionManager:
             self._dirty_events[fingerprint] = (
                 self._dirty_events.get(fingerprint, 0) + 1
             )
+            pending = self._pending_deltas.setdefault(fingerprint, {})
+            builder = pending.get(table)
+            if builder is None:
+                builder = pending[table] = DeltaBuilder()
+            builder.add(delta)
             shared = self._cache.get(fingerprint)
             if shared is not None:
                 for subscription in shared.subscribers:
@@ -235,13 +275,23 @@ class SubscriptionManager:
         return len(self._dirty)
 
     def flush(self) -> int:
-        """Re-evaluate every dirty shared result exactly once and notify.
+        """Refresh every dirty shared result exactly once and notify.
 
         Coalesces however many modifications accumulated since the last
-        flush into a single evaluation per affected plan.  Returns the
-        number of re-evaluations performed.
+        flush into a single refresh per affected plan.  Each refresh
+        first tries the incremental path — propagating the accumulated
+        row deltas through the plan's cached operator state — and falls
+        back to a full re-evaluation automatically (logged on the
+        ``repro.engine.delta`` logger) when the plan or the delta is not
+        incrementalizable.  Returns the number of refreshes performed.
 
-        Error isolation: a plan whose re-evaluation raises (e.g. its base
+        Subscriptions whose result did not change are not notified
+        (unless they set ``notify_on_no_change``); on the incremental
+        path that is decided by the propagated delta being empty, on the
+        fallback path by comparing the re-evaluated relation with the
+        previous one.
+
+        Error isolation: a plan whose refresh raises (e.g. its base
         table was dropped) does not abort the flush — the remaining dirty
         plans still refresh, the failing plan keeps serving its last
         materialization, and the error is published on the bus's
@@ -249,31 +299,99 @@ class SubscriptionManager:
         :meth:`stats` under ``"refresh_errors"``.
         """
         self._require_open()
-        if not self._dirty:
-            self._events_since_flush = 0
+        if self._flushing:
+            # Re-entrant flush (an on_refresh callback modified tables and
+            # hit auto_flush/flush_every, or called flush() directly): the
+            # outer flush still holds older pending deltas for plans it
+            # has not refreshed yet — applying newer deltas first would
+            # corrupt their operator state.  The request is recorded and
+            # the outer flush drains the new events in order before
+            # returning.
+            self._reentrant_flush_requested = True
             return 0
+        self._flushing = True
+        try:
+            refreshed = 0
+            while self._dirty:
+                self._reentrant_flush_requested = False
+                refreshed += self._flush_round()
+                if not (
+                    self._should_reflush() or self._reentrant_flush_requested
+                ):
+                    break
+            if not self._dirty:
+                self._events_since_flush = 0
+            # else: callbacks left undrained events behind — keep their
+            # count so the flush_every staleness bound still holds.
+            return refreshed
+        finally:
+            self._flushing = False
+
+    def _should_reflush(self) -> bool:
+        """Drain events produced by refresh callbacks mid-flush when the
+        session's flush policy would have flushed them immediately."""
+        if self.auto_flush:
+            return True
+        return (
+            self.flush_every is not None
+            and self._events_since_flush >= self.flush_every
+        )
+
+    def _flush_round(self) -> int:
         dirty = self._dirty
         dirty_events = self._dirty_events
+        pending_deltas = self._pending_deltas
         self._dirty = {}
         self._dirty_events = {}
+        self._pending_deltas = {}
         self._events_since_flush = 0
         refreshed = 0
         for fingerprint, changed_tables in dirty.items():
             shared = self._cache.get(fingerprint)
             if shared is None:  # all subscribers left while dirty
                 continue
+            pending = pending_deltas.get(fingerprint)
+            table_deltas = (
+                None
+                if pending is None
+                else {
+                    table: builder.build()
+                    for table, builder in pending.items()
+                }
+            )
+            previous = shared.result
             try:
-                shared.evaluate(self.database)
+                result_delta = shared.refresh(
+                    self.database, table_deltas, incremental=self.incremental
+                )
             except Exception as exc:  # noqa: BLE001 — isolate per plan
                 self._stats["refresh_errors"] += 1
                 self.bus.publish("error", (fingerprint, exc))
                 continue
+            if result_delta is None:
+                # The full re-evaluation read the tables *as of now*, so
+                # deltas that callbacks accumulated for this plan earlier
+                # in the round are already inside the rebuilt state —
+                # keeping them queued would double-apply their rows on
+                # the next flush.
+                self._pending_deltas.pop(fingerprint, None)
+                self._dirty.pop(fingerprint, None)
+                self._dirty_events.pop(fingerprint, None)
+                changed = previous is None or shared.result != previous
+                self._stats["full_refreshes"] += 1
+            else:
+                changed = not result_delta.is_empty()
+                self._stats["delta_refreshes"] += 1
             self._stats["evaluations"] += 1
             refreshed += 1
             coalesced = dirty_events.get(fingerprint, 0)
             for subscription in list(shared.subscribers):
+                if not changed and not subscription.notify_on_no_change:
+                    subscription._mark_unchanged(coalesced)
+                    self._stats["suppressed_notifications"] += 1
+                    continue
                 delivered = subscription._notify(
-                    frozenset(changed_tables), coalesced
+                    frozenset(changed_tables), coalesced, delta=result_delta
                 )
                 self._stats["notifications"] += delivered
         self._stats["flushes"] += 1

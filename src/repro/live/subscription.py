@@ -47,6 +47,9 @@ class SubscriptionStats:
     coalesced_events: int = 0
     pending_events: int = 0
     instantiations: int = 0
+    #: Refresh rounds whose propagated delta was empty for this
+    #: subscription's result — suppressed unless ``notify_on_no_change``.
+    suppressed: int = 0
 
 
 class Subscription:
@@ -62,6 +65,7 @@ class Subscription:
         on_refresh: Optional[Callable[[RefreshNotification], None]] = None,
         reference_time: Optional[TimePoint] = None,
         name: Optional[str] = None,
+        notify_on_no_change: bool = False,
     ):
         Subscription._counter += 1
         self.id = Subscription._counter
@@ -72,6 +76,11 @@ class Subscription:
         #: delivers the ongoing result only.  Caller-chosen and mutable —
         #: changing it never requires a re-evaluation.
         self.reference_time = reference_time
+        #: Subscription-level change filter: by default a flush whose
+        #: propagated delta leaves this result unchanged (an irrelevant
+        #: row was touched) delivers *no* refresh notification.  Set to
+        #: ``True`` to hear about every flush of a dirty dependency.
+        self.notify_on_no_change = notify_on_no_change
         self.stats = SubscriptionStats()
         self._shared: Optional[SharedResult] = shared
 
@@ -138,11 +147,23 @@ class Subscription:
     def _detach(self) -> None:
         self._shared = None
 
-    def _notify(self, changed_tables: FrozenSet[str], coalesced: int) -> int:
+    def _mark_unchanged(self, coalesced: int) -> None:
+        """Record a flush that left this result unchanged (no delivery)."""
+        self.stats.suppressed += 1
+        self.stats.coalesced_events += coalesced
+        self.stats.pending_events = 0
+
+    def _notify(
+        self,
+        changed_tables: FrozenSet[str],
+        coalesced: int,
+        delta=None,
+    ) -> int:
         """Record one refresh; deliver notifications via the event bus.
 
         Returns the number of callbacks actually delivered (0 when nobody
-        listens), so the session's counters stay truthful.
+        listens), so the session's counters stay truthful.  *delta* is
+        the result-level change when the refresh ran incrementally.
         """
         self.stats.refreshes += 1
         self.stats.coalesced_events += coalesced
@@ -159,6 +180,7 @@ class Subscription:
             result=self.result,
             rows=rows,
             changed_tables=tuple(sorted(changed_tables)),
+            delta=delta,
         )
         delivered = bus.publish(topic, notification)
         delivered += bus.publish("refresh", notification)

@@ -24,7 +24,7 @@ is ``O_TRUE``/``O_FALSE``, so the RT either stays unchanged or becomes empty
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.core import allen as _allen
 from repro.core.boolean import OngoingBoolean, from_bool
@@ -56,6 +56,7 @@ __all__ = [
     "rename",
     "coalesce",
     "value_equality",
+    "match_set",
 ]
 
 ProjectionItem = Union[str, Tuple[str, Expression], Tuple[str, Expression, AttributeKind]]
@@ -275,10 +276,16 @@ def value_equality(
     return result
 
 
-def _match_set(
-    schema: Schema, row: Tuple[object, ...], candidates: OngoingRelation
+def match_set(
+    schema: Schema, row: Tuple[object, ...], candidates: Iterable[OngoingTuple]
 ) -> IntervalSet:
-    """Reference times at which *row* has an equal tuple in *candidates*."""
+    """Reference times at which *row* has an equal tuple in *candidates*.
+
+    This is the quantifier kernel of the Theorem 2 difference (and of
+    intersection); the incremental difference operator of
+    :mod:`repro.engine.executor` reuses it to recompute match sets for
+    exactly the tuples a right-side delta can affect.
+    """
     matched = EMPTY_SET
     for s in candidates:
         equality = value_equality(schema, row, s.values)
@@ -304,7 +311,7 @@ def difference(left: OngoingRelation, right: OngoingRelation) -> OngoingRelation
     schema = left.schema
     out: List[OngoingTuple] = []
     for r in left:
-        matched = _match_set(schema, r.values, right)
+        matched = match_set(schema, r.values, right)
         remaining = r.rt.difference(matched)
         if not remaining.is_empty():
             out.append(r.with_rt(remaining))
@@ -320,7 +327,7 @@ def intersection(left: OngoingRelation, right: OngoingRelation) -> OngoingRelati
     schema = left.schema
     out: List[OngoingTuple] = []
     for r in left:
-        matched = _match_set(schema, r.values, right)
+        matched = match_set(schema, r.values, right)
         kept = r.rt.intersection(matched)
         if not kept.is_empty():
             out.append(r.with_rt(kept))

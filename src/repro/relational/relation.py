@@ -66,6 +66,22 @@ class OngoingRelation:
         """
         return cls(schema, (OngoingTuple(tuple(row), rt) for row in rows))
 
+    @classmethod
+    def from_deduplicated(
+        cls, schema: Schema, tuples: Tuple[OngoingTuple, ...]
+    ) -> "OngoingRelation":
+        """Wrap already-unique, schema-conforming tuples without re-checking.
+
+        The fast path of the delta engine (:mod:`repro.engine.delta`):
+        operator states key their outputs by tuple value, so uniqueness
+        and arity are guaranteed, and an incremental refresh must not pay
+        an O(n) deduplication for an O(|delta|) change.
+        """
+        relation = cls.__new__(cls)
+        relation._schema = schema
+        relation._tuples = tuples
+        return relation
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

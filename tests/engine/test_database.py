@@ -60,6 +60,22 @@ class TestTable:
         with pytest.raises(SchemaError):
             db.table("bugs").insert_many([(1, 2)])
 
+    def test_insert_many_is_all_or_nothing(self):
+        """A malformed row mid-batch must not leave earlier rows stored
+        without a version bump, snapshot invalidation, or delta event."""
+        db = _database()
+        table = db.table("bugs")
+        before_len = len(table)
+        before_version = table.version
+        snapshot = table.as_relation()
+        with pytest.raises(SchemaError):
+            table.insert_many(
+                [(502, "Search", until_now(mmdd(5, 1))), (503, "oops")]
+            )
+        assert len(table) == before_len
+        assert table.version == before_version
+        assert table.as_relation() is snapshot  # cache untouched, and true
+
     def test_snapshot_is_cached_and_invalidated(self):
         db = _database()
         table = db.table("bugs")

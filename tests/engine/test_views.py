@@ -118,10 +118,10 @@ class TestStaleness:
 
         db, view = _setup()
         view.refresh()
-        listeners_with_view = len(db._listeners)
+        listeners_with_view = len(db._delta_listeners)
         view_ref = weakref.ref(view)
         del view
         gc.collect()
         assert view_ref() is None  # the database did not keep it alive
         db.table("B").insert(502, until_now(d(8, 20)))  # triggers cleanup
-        assert len(db._listeners) == listeners_with_view - 1
+        assert len(db._delta_listeners) == listeners_with_view - 1

@@ -1,0 +1,371 @@
+"""Live-engine delta routing: incremental flushes and change filters.
+
+PR 1 re-evaluated every dirty plan from scratch on flush; the delta
+engine propagates the modification's rows instead.  These tests pin the
+manager-level contracts: the incremental path actually carries flushes,
+subscriptions whose result did not change stay silent (the
+subscription-level change filter), notifications carry the result-level
+delta, and every non-incrementalizable situation falls back to a full
+re-evaluation without changing observable results.
+"""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.core.timeline import mmdd
+from repro.engine.database import Database
+from repro.engine.modifications import current_delete, current_update
+from repro.engine.plan import scan
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+
+def d(month, day):
+    return mmdd(month, day)
+
+
+def _database():
+    db = Database("delta-live")
+    bugs = db.create_table("B", Schema.of("BID", "C", ("VT", "interval")))
+    bugs.insert(500, "Spam filter", until_now(d(1, 25)))
+    bugs.insert(501, "Crash", fixed_interval(d(3, 30), d(8, 21)))
+    bugs.insert(502, "Other", until_now(d(2, 10)))
+    return db
+
+
+def _spam_plan():
+    return scan("B").where(col("C") == lit("Spam filter"))
+
+
+class TestIncrementalFlush:
+    def test_flush_rides_the_delta_path(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        session.flush()
+        stats = session.stats()
+        assert stats["delta_refreshes"] == 1
+        assert stats["full_refreshes"] == 0
+        assert stats["evaluations"] == 2  # initial + the delta refresh
+        assert 503 in [row[0] for row in sub.instantiate(d(6, 1))]
+
+    def test_delta_result_equals_full_reevaluation(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        current_update(
+            db.table("B"),
+            lambda r: r.values[0] == 500,
+            (500, "Spam filter"),
+            at=d(7, 1),
+        )
+        session.flush()
+        expected = db.query(_spam_plan())
+        assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
+
+    def test_incremental_false_forces_full_refreshes(self):
+        db = _database()
+        session = LiveSession(db, incremental=False)
+        sub = session.subscribe(_spam_plan())
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        session.flush()
+        stats = session.stats()
+        assert stats["delta_refreshes"] == 0
+        assert stats["full_refreshes"] == 1
+        assert 503 in [row[0] for row in sub.instantiate(d(6, 1))]
+
+    def test_toggling_incremental_does_not_serve_stale_state(self):
+        """Flipping session.incremental off and back on must not leave
+        warm operator state behind a full-path refresh — later deltas
+        would apply to a stale snapshot and drop rows silently."""
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        session.incremental = False
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        session.flush()
+        session.incremental = True
+        db.table("B").insert(504, "Spam filter", until_now(d(5, 2)))
+        session.flush()
+        expected = db.query(_spam_plan())
+        assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
+        assert {row[0] for row in sub.instantiate(d(6, 1))} >= {503, 504}
+
+    def test_untyped_bulk_load_falls_back_to_full(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        db.table("B").replace_all(
+            [OngoingTuple((600, "Spam filter", until_now(d(4, 1))))]
+        )
+        session.flush()
+        stats = session.stats()
+        assert stats["full_refreshes"] == 1
+        assert stats["delta_refreshes"] == 0
+        assert [row[0] for row in sub.instantiate(d(5, 1))] == [600]
+
+    def test_delta_path_resumes_after_a_fallback(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        db.table("B").replace_all(
+            [OngoingTuple((600, "Spam filter", until_now(d(4, 1))))]
+        )
+        session.flush()  # fallback rebuilds the operator state...
+        db.table("B").insert(601, "Spam filter", until_now(d(5, 1)))
+        session.flush()  # ...so this one is incremental again
+        assert session.stats()["delta_refreshes"] == 1
+        assert {row[0] for row in sub.instantiate(d(6, 1))} == {600, 601}
+
+
+class TestChangeFilter:
+    def test_irrelevant_row_update_stays_silent(self):
+        """The subscription-level filter: modifying a row the plan filters
+        out produces an empty propagated delta — and no notification."""
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        sub = session.subscribe(_spam_plan(), on_refresh=received.append)
+        current_update(
+            db.table("B"),
+            lambda r: r.values[0] == 502,  # "Other" — not a Spam filter row
+            (502, "Other"),
+            at=d(6, 1),
+        )
+        session.flush()
+        assert received == []
+        assert sub.stats.notifications == 0
+        assert sub.stats.suppressed == 1
+        assert sub.stats.pending_events == 0  # the flush still drained it
+        assert session.stats()["suppressed_notifications"] == 1
+
+    def test_notify_on_no_change_opts_back_in(self):
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        session.subscribe(
+            _spam_plan(),
+            on_refresh=received.append,
+            notify_on_no_change=True,
+        )
+        current_update(
+            db.table("B"),
+            lambda r: r.values[0] == 502,
+            (502, "Other"),
+            at=d(6, 1),
+        )
+        session.flush()
+        assert len(received) == 1
+        assert received[0].delta is not None and received[0].delta.is_empty()
+
+    def test_relevant_change_notifies_with_the_result_delta(self):
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        session.subscribe(_spam_plan(), on_refresh=received.append)
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        session.flush()
+        (event,) = received
+        assert event.delta is not None
+        assert [t.values[0] for t in event.delta.inserted] == [503]
+        assert event.delta.deleted == ()
+
+    def test_unchanged_full_fallback_is_also_silent(self):
+        """Suppression works on the fallback path too: an untyped bulk
+        load that happens to leave the result identical stays silent."""
+        db = _database()
+        session = LiveSession(db)
+        received = []
+        session.subscribe(_spam_plan(), on_refresh=received.append)
+        # Re-load B with identical contents — untyped, forces full path.
+        db.table("B").replace_all(db.table("B").rows())
+        session.flush()
+        assert session.stats()["full_refreshes"] == 1
+        assert received == []
+        assert session.stats()["suppressed_notifications"] == 1
+
+    def test_mixed_subscribers_one_refresh(self):
+        """One shared result, one suppressed subscriber, one opted-in."""
+        db = _database()
+        session = LiveSession(db)
+        silent_events, eager_events = [], []
+        silent = session.subscribe(_spam_plan(), on_refresh=silent_events.append)
+        eager = session.subscribe(
+            _spam_plan(),
+            on_refresh=eager_events.append,
+            notify_on_no_change=True,
+        )
+        current_update(
+            db.table("B"),
+            lambda r: r.values[0] == 502,
+            (502, "Other"),
+            at=d(6, 1),
+        )
+        session.flush()
+        assert silent_events == []
+        assert len(eager_events) == 1
+        assert silent.stats.suppressed == 1
+        assert eager.stats.refreshes == 1
+
+
+class TestPendingDeltaHousekeeping:
+    def test_unsubscribe_drops_pending_deltas(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        assert session._pending_deltas  # accumulated while dirty
+        sub.close()
+        assert session._pending_deltas == {}
+        assert session.flush() == 0
+
+    def test_coalesced_deltas_apply_once(self):
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_spam_plan())
+        for bid in (503, 504, 505):
+            db.table("B").insert(bid, "Spam filter", until_now(d(5, 1)))
+        current_delete(db.table("B"), lambda r: r.values[0] == 504, at=d(6, 1))
+        assert session.flush() == 1
+        assert session.stats()["delta_refreshes"] == 1
+        expected = db.query(_spam_plan())
+        assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
+
+    def test_delta_path_error_is_isolated_per_plan(self):
+        """An exception raised *inside* delta propagation (not a clean
+        NonIncrementalDelta) must not abort the flush: the failing plan
+        recovers via full re-evaluation or lands on the error bus, and
+        every other dirty plan still refreshes."""
+        db = _database()
+        session = LiveSession(db)
+        # BID > 100 raises once a row with BID=None arrives — on the
+        # delta path and on the full path alike.
+        doomed = session.subscribe(scan("B").where(col("BID") > lit(100)))
+        survivor = session.subscribe(_spam_plan())
+        errors = []
+        session.bus.subscribe("error", errors.append)
+        db.table("B").insert(None, "Spam filter", until_now(d(5, 1)))
+        assert session.flush() == 1  # the survivor refreshed
+        assert survivor.stats.refreshes == 1
+        assert doomed.stats.refreshes == 0
+        assert len(errors) == 1 and errors[0][0] == doomed.fingerprint
+        assert session.stats()["refresh_errors"] == 1
+        # the doomed plan keeps serving its last good materialization
+        assert doomed.result is not None
+
+    def test_reentrant_flush_from_callback_stays_exact(self):
+        """A refresh callback that writes and flushes mid-flush must not
+        corrupt operator state: nested flushes are deferred and drained
+        in order, and the final result matches a fresh evaluation."""
+        db = _database()
+        session = LiveSession(db, auto_flush=True)
+        fired = []
+
+        def write_once_more(event):
+            if not fired:
+                fired.append(True)
+                db.table("B").insert(504, "Spam filter", until_now(d(6, 1)))
+                session.flush()  # re-entrant: deferred, not corrupting
+
+        sub = session.subscribe(_spam_plan(), on_refresh=write_once_more)
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        expected = db.query(_spam_plan())
+        assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
+        assert {row[0] for row in sub.instantiate(d(7, 1))} >= {503, 504}
+        assert session.stats()["full_refreshes"] == 0
+
+    def test_callback_flush_in_manual_session_is_drained(self):
+        """An explicit flush() from a refresh callback — in a session
+        with no auto_flush/flush_every — must still be honored: the
+        outer flush drains it before returning."""
+        db = _database()
+        session = LiveSession(db)
+        other_plan = scan("B").where(col("C") == lit("Crash"))
+        other_seen = []
+        session.subscribe(other_plan, on_refresh=other_seen.append)
+        fired = []
+
+        def cascade(event):
+            if not fired:
+                fired.append(True)
+                db.table("B").insert(
+                    510, "Crash", until_now(d(6, 1))
+                )
+                session.flush()  # re-entrant, must not be lost
+
+        session.subscribe(_spam_plan(), on_refresh=cascade)
+        db.table("B").insert(509, "Spam filter", until_now(d(5, 1)))
+        session.flush()
+        assert session.pending == 0  # the cascade was drained
+        assert len(other_seen) == 1
+        assert 510 in [t.values[0] for t in other_seen[0].result.tuples]
+
+    def test_full_fallback_consumes_midround_deltas(self):
+        """A full re-evaluation reads tables as of *now* — row deltas a
+        callback accumulated for that plan earlier in the same round are
+        already inside the rebuilt state and must not be applied again
+        on the next flush (they would double-count and make a later
+        delete a no-op)."""
+        db = _database()
+        db.create_table("P", Schema.of("PID", ("VT", "interval"))).insert(
+            10, until_now(d(2, 2))
+        )
+        session = LiveSession(db)
+        fired = []
+
+        def insert_into_p(event):
+            if not fired:
+                fired.append(True)
+                db.table("P").insert(99, until_now(d(6, 1)))
+
+        session.subscribe(_spam_plan(), on_refresh=insert_into_p)
+        p_sub = session.subscribe(scan("P"))
+        # order matters: the spam plan refreshes first (its callback
+        # writes P mid-round), then P takes the full path (untyped swap).
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        db.table("P").replace_all(
+            db.table("P").rows() + (OngoingTuple((11, until_now(d(3, 1)))),)
+        )
+        session.flush()
+        assert {t.values[0] for t in p_sub.result.tuples} == {10, 11, 99}
+        # deleting the callback-inserted row must actually retract it
+        db.table("P").delete_where(lambda row: row.values[0] != 99)
+        session.flush()
+        assert {t.values[0] for t in p_sub.result.tuples} == {10, 11}
+        assert frozenset(p_sub.result.tuples) == frozenset(
+            db.query(scan("P")).tuples
+        )
+
+    def test_dropped_and_recreated_table_serves_fresh_rows_only(self):
+        """After a drop + re-create, deltas must not resurrect pre-drop
+        state (the stale-warm-state regression)."""
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(scan("B"))
+        db.drop_table("B")
+        session.flush()  # errors, isolated; state invalidated
+        recreated = db.create_table(
+            "B", Schema.of("BID", "C", ("VT", "interval"))
+        )
+        recreated.insert(900, "Fresh", until_now(d(5, 1)))
+        session.flush()
+        assert [t.values[0] for t in sub.result.tuples] == [900]
+
+    def test_dropped_table_still_isolated(self):
+        """The delta intake keeps PR 1's per-plan error isolation."""
+        db = _database()
+        db.create_table("P", Schema.of("PID", ("VT", "interval"))).insert(
+            1, until_now(d(2, 2))
+        )
+        session = LiveSession(db)
+        doomed = session.subscribe(scan("P"))
+        survivor = session.subscribe(_spam_plan())
+        db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
+        db.drop_table("P")
+        assert session.flush() == 1
+        assert survivor.stats.refreshes == 1
+        assert doomed.stats.refreshes == 0
+        assert session.stats()["refresh_errors"] == 1
