@@ -10,6 +10,9 @@ burst of modifications coalesces into a single refresh per affected plan.
 Run with::
 
     python examples/live_dashboard.py
+
+For the concurrent variant — writer threads, sharded background flushing,
+threaded delivery with backpressure — see ``live_dashboard_serve.py``.
 """
 
 import time

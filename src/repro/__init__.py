@@ -37,6 +37,9 @@ The subpackages:
 * :mod:`repro.live` — the push-based subscription engine: clients register
   ongoing queries once and are notified on explicit modifications only —
   never because time passed;
+* :mod:`repro.serve` — the concurrent serving layer: threaded notification
+  fan-out with per-subscriber backpressure, sharded parallel flushes, and
+  a background serve loop, all opt-in on :class:`LiveSession`;
 * :mod:`repro.baselines` — Clifford, Torp, Forever, and Anselma comparators;
 * :mod:`repro.datasets` — synthetic MozillaBugs / Incumbent / D_ex / D_sh /
   D_sc generators and the paper's workload queries;
@@ -100,13 +103,20 @@ from repro.live import (
     ChangeEvent,
     DependencyIndex,
     EventBus,
+    FlushHandle,
     LiveSession,
     RefreshNotification,
     Subscription,
     SubscriptionManager,
 )
+from repro.serve import (
+    AsyncEventBus,
+    DeliveryPool,
+    FlushScheduler,
+    ShardedDependencyIndex,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -164,8 +174,14 @@ __all__ = [
     "ChangeEvent",
     "DependencyIndex",
     "EventBus",
+    "FlushHandle",
     "LiveSession",
     "RefreshNotification",
     "Subscription",
     "SubscriptionManager",
+    # concurrent serving layer
+    "AsyncEventBus",
+    "DeliveryPool",
+    "FlushScheduler",
+    "ShardedDependencyIndex",
 ]

@@ -29,10 +29,22 @@ ongoing tuples, a current update being a delete+insert pair coalesced by
 write paths that cannot name the changed rows (bulk ``replace_all``
 without an explicit delta, ``drop_table``) report the full-flagged delta,
 which downstream consumers answer with a full re-evaluation.
+
+**Thread safety.**  Every database owns one re-entrant write lock
+(:attr:`Database.lock`), shared by all its tables.  Each write path —
+including a whole :meth:`Table.batch` block — runs under it, and the
+modification hooks fire *while it is held*, so listeners observe
+modifications in a single serialized order and a snapshot taken under the
+lock can never tear.  Readers of materialized ongoing results never need
+the lock: results are immutable relations, and serving a new reference
+time is pure instantiation (the paper's core property).  The concurrent
+serving layer (:mod:`repro.serve`) additionally holds this lock during
+full re-evaluations so the tables it reads cannot drift mid-plan.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -61,9 +73,20 @@ DeltaListener = Callable[[str, int, Delta], None]
 class Table:
     """A named, mutable base table of an ongoing database."""
 
-    def __init__(self, name: str, schema: Schema):
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        lock: Optional[threading.RLock] = None,
+    ):
         self.name = name
         self.schema = schema
+        #: The write lock — shared with the owning database's
+        #: :attr:`Database.lock` so multi-table invariants hold; a
+        #: standalone table gets its own.  Re-entrant: nested batches and
+        #: modification hooks that write again stay on one thread's claim.
+        self.lock = lock if lock is not None else threading.RLock()
         self._rows: List[OngoingTuple] = []
         self._snapshot: Optional[OngoingRelation] = None
         self._version = 0
@@ -120,15 +143,23 @@ class Table:
         row deltas, so a current update (delete + insert) arrives at delta
         listeners as one delete+insert pair.  If the block does not modify
         the table, no version bump and no event happen at all.
+
+        The write lock is held for the whole block: concurrent writers on
+        other threads wait, so a compound modification (current update =
+        delete + insert) is atomic for every observer.
         """
+        self.lock.acquire()
         self._batch_depth += 1
         try:
             yield self
         finally:
             self._batch_depth -= 1
-            if self._batch_depth == 0 and self._batch_dirty:
-                self._batch_dirty = False
-                self._bump()
+            try:
+                if self._batch_depth == 0 and self._batch_dirty:
+                    self._batch_dirty = False
+                    self._bump()
+            finally:
+                self.lock.release()
 
     def _changed(self, delta: Delta = FULL_DELTA) -> None:
         """Record one modification: invalidate the snapshot, bump or defer."""
@@ -166,8 +197,9 @@ class Table:
                 f"got {len(values)}"
             )
         row = OngoingTuple(tuple(values), UNIVERSAL_SET)
-        self._rows.append(row)
-        self._changed(Delta.insert((row,)))
+        with self.lock:
+            self._rows.append(row)
+            self._changed(Delta.insert((row,)))
 
     def insert_many(self, rows: Iterable[Sequence[object]]) -> None:
         """Bulk insert; every row gets the trivial reference time.
@@ -185,15 +217,17 @@ class Table:
                 )
             added.append(OngoingTuple(tuple(row), UNIVERSAL_SET))
         if added:
-            self._rows.extend(added)
-            self._changed(Delta.insert(added))
+            with self.lock:
+                self._rows.extend(added)
+                self._changed(Delta.insert(added))
 
     def insert_tuples(self, tuples: Iterable[OngoingTuple]) -> None:
         """Insert pre-built ongoing tuples (used by temporal modifications)."""
         added = tuple(tuples)
         if added:
-            self._rows.extend(added)
-            self._changed(Delta.insert(added))
+            with self.lock:
+                self._rows.extend(added)
+                self._changed(Delta.insert(added))
 
     def delete_where(self, keep) -> int:
         """Physically remove tuples failing *keep* (a tuple -> bool callable).
@@ -201,14 +235,15 @@ class Table:
         Returns the number of removed tuples.  Used by the Torp-style
         modification layer; ordinary queries never delete.
         """
-        kept: List[OngoingTuple] = []
-        removed: List[OngoingTuple] = []
-        for row in self._rows:
-            (kept if keep(row) else removed).append(row)
-        if removed:
-            self._rows = kept
-            self._changed(Delta.delete(removed))
-        return len(removed)
+        with self.lock:
+            kept: List[OngoingTuple] = []
+            removed: List[OngoingTuple] = []
+            for row in self._rows:
+                (kept if keep(row) else removed).append(row)
+            if removed:
+                self._rows = kept
+                self._changed(Delta.delete(removed))
+            return len(removed)
 
     def replace_all(
         self, tuples: Iterable[OngoingTuple], *, delta: Optional[Delta] = None
@@ -220,8 +255,9 @@ class Table:
         refresh incrementally; without one the swap reports the
         full-flagged delta and observers re-evaluate from scratch.
         """
-        self._rows = list(tuples)
-        self._changed(delta if delta is not None else FULL_DELTA)
+        with self.lock:
+            self._rows = list(tuples)
+            self._changed(delta if delta is not None else FULL_DELTA)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -233,13 +269,15 @@ class Table:
         :meth:`as_relation` view cannot tell one remaining duplicate from
         zero.
         """
-        return tuple(self._rows)
+        with self.lock:
+            return tuple(self._rows)
 
     def as_relation(self) -> OngoingRelation:
         """An immutable snapshot of the current contents (cached)."""
-        if self._snapshot is None:
-            self._snapshot = OngoingRelation(self.schema, self._rows)
-        return self._snapshot
+        with self.lock:
+            if self._snapshot is None:
+                self._snapshot = OngoingRelation(self.schema, self._rows)
+            return self._snapshot
 
 
 class Database:
@@ -247,6 +285,12 @@ class Database:
 
     def __init__(self, name: str = "ongoing"):
         self.name = name
+        #: The database-wide write lock.  Every table of this catalog
+        #: shares it, so a multi-table write sequence under ``with
+        #: db.lock:`` is atomic for all observers, and full plan
+        #: re-evaluations (:mod:`repro.engine.maintenance`) hold it to
+        #: read all base tables at one consistent instant.
+        self.lock = threading.RLock()
         self._tables: Dict[str, Table] = {}
         self._listeners: List[ChangeListener] = []
         self._delta_listeners: List[DeltaListener] = []
@@ -313,13 +357,14 @@ class Database:
 
     def create_table(self, name: str, schema: Schema) -> Table:
         """Create an empty table; the name must be unused."""
-        if name in self._tables:
-            raise QueryError(f"table {name!r} already exists")
-        table = Table(name, schema)
-        table.add_change_listener(self._table_changed)
-        table.add_delta_listener(self._table_delta)
-        self._tables[name] = table
-        return table
+        with self.lock:
+            if name in self._tables:
+                raise QueryError(f"table {name!r} already exists")
+            table = Table(name, schema, lock=self.lock)
+            table.add_change_listener(self._table_changed)
+            table.add_delta_listener(self._table_delta)
+            self._tables[name] = table
+            return table
 
     def register(self, name: str, relation: OngoingRelation) -> Table:
         """Create a table pre-loaded with *relation*'s tuples."""
@@ -328,18 +373,20 @@ class Database:
         return table
 
     def drop_table(self, name: str) -> None:
-        if name not in self._tables:
-            raise QueryError(f"no table named {name!r}")
-        table = self._tables.pop(name)
-        table.remove_change_listener(self._table_changed)
-        table.remove_delta_listener(self._table_delta)
-        # Dropping is a modification of the catalog: results derived from
-        # the table can no longer be refreshed, so observers must hear
-        # about it once.  There is no row-level delta for a vanished
-        # table — the full flag forces dependents onto the re-evaluation
-        # path (where they will surface the missing-table error).
-        self._table_changed(name, table.version + 1)
-        self._table_delta(name, table.version + 1, FULL_DELTA)
+        with self.lock:
+            if name not in self._tables:
+                raise QueryError(f"no table named {name!r}")
+            table = self._tables.pop(name)
+            table.remove_change_listener(self._table_changed)
+            table.remove_delta_listener(self._table_delta)
+            # Dropping is a modification of the catalog: results derived
+            # from the table can no longer be refreshed, so observers must
+            # hear about it once.  There is no row-level delta for a
+            # vanished table — the full flag forces dependents onto the
+            # re-evaluation path (where they will surface the
+            # missing-table error).
+            self._table_changed(name, table.version + 1)
+            self._table_delta(name, table.version + 1, FULL_DELTA)
 
     def table(self, name: str) -> Table:
         try:
@@ -379,18 +426,37 @@ class Database:
 
         return run(statement, self)
 
-    def subscribe(self, statement: str, **kwargs):
-        """Register a live OSQL subscription (see :mod:`repro.live`).
+    def live_session(self, **session_kwargs):
+        """The database's lazily created live session (see :mod:`repro.live`).
 
-        Convenience wrapper that lazily creates one
-        :class:`~repro.live.LiveSession` per database; keyword arguments
-        are forwarded to
-        :meth:`~repro.live.SubscriptionManager.subscribe_sql`.
+        The first call creates the session; *session_kwargs* configure it
+        then — e.g. ``delivery_workers=4, flush_shards=4`` to turn on the
+        concurrent serving layer (:mod:`repro.serve`) — and are rejected
+        afterwards (one database, one long-lived session).  A closed
+        session is replaced on the next call.
         """
         from repro.live import LiveSession
 
-        session = getattr(self, "_live_session", None)
-        if session is None or session.closed:
-            session = LiveSession(self)
-            self._live_session = session
-        return session.subscribe_sql(statement, **kwargs)
+        # Under the write lock: two threads racing the first call must
+        # not each register a session (the loser would linger as a
+        # never-closable duplicate delta listener).
+        with self.lock:
+            session = getattr(self, "_live_session", None)
+            if session is None or session.closed:
+                session = LiveSession(self, **session_kwargs)
+                self._live_session = session
+            elif session_kwargs:
+                raise QueryError(
+                    "this database's live session already exists; close() "
+                    "it before configuring a new one"
+                )
+            return session
+
+    def subscribe(self, statement: str, **kwargs):
+        """Register a live OSQL subscription (see :mod:`repro.live`).
+
+        Convenience wrapper over :meth:`live_session`; keyword arguments
+        are forwarded to
+        :meth:`~repro.live.SubscriptionManager.subscribe_sql`.
+        """
+        return self.live_session().subscribe_sql(statement, **kwargs)

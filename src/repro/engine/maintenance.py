@@ -1,0 +1,276 @@
+"""One plan's incremental-refresh state machine, shared by every consumer.
+
+Both incremental consumers of the delta engine — the single-consumer
+:class:`~repro.engine.views.MaterializedOngoingView` and the shared
+:class:`~repro.live.cache.SharedResult` behind the live subscription
+manager — used to carry their own copy of the same three-part protocol:
+
+1. **pending deltas** — per-table :class:`~repro.engine.delta.DeltaBuilder`
+   accumulators fed by the database's typed modification hooks;
+2. **the unsupported latch** — a plan that raises
+   :class:`~repro.engine.delta.NonIncrementalDelta` from a *full* build has
+   no delta rules at all and must never be retried incrementally;
+3. **refresh with automatic fallback** — propagate the pending deltas
+   through the cached operator state, or fall back to a logged full
+   re-evaluation when the state is cold, the deltas are full-flagged, or
+   the propagation fails.
+
+:class:`IncrementalMaintainer` is that protocol, written once.  It is also
+the **single synchronization point** of the concurrent serving layer
+(:mod:`repro.serve`): every mutation of maintenance state happens under
+:attr:`IncrementalMaintainer.lock`, and the full-refresh path additionally
+holds the database's write lock so a re-evaluation and the discard of the
+deltas it subsumes are atomic with respect to concurrent writers — no
+torn reads, no double-applied rows.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.engine.delta import (
+    Delta,
+    DeltaBuilder,
+    DeltaEvaluator,
+    NonIncrementalDelta,
+)
+from repro.relational.relation import OngoingRelation
+
+__all__ = ["IncrementalMaintainer"]
+
+logger = logging.getLogger("repro.engine.delta")
+
+
+class IncrementalMaintainer:
+    """Incremental maintenance of one logical plan, with fallback and latch.
+
+    The maintainer owns the plan's :class:`DeltaEvaluator`, the pending
+    per-table row deltas, the materialized result, and the refresh
+    counters.  All consumers drive it through three entry points:
+
+    * :meth:`note_change` — accumulate one table delta (called from the
+      database's modification hooks, under the database write lock);
+    * :meth:`evaluate` — full (re-)evaluation, (re)building delta state;
+    * :meth:`refresh` — one maintenance step: propagate the pending
+      deltas, or fall back to a full re-evaluation automatically.
+
+    Thread safety: :attr:`lock` guards the pending map and the latch.  A
+    full re-evaluation runs under the owning database's write lock, which
+    also serializes it against :meth:`note_change` (modification hooks
+    fire with that lock held) — so deltas subsumed by the re-read tables
+    are discarded atomically and can never be applied twice.  Callers
+    must serialize :meth:`refresh`/:meth:`evaluate` per maintainer (the
+    live engine pins each fingerprint to one flush shard).
+    """
+
+    def __init__(self, plan, database, *, label: str, incremental: bool = True):
+        self.plan = plan
+        self.database = database
+        self.label = label
+        #: Guards the pending map, the latch, and the counters.
+        self.lock = threading.RLock()
+        self.result: Optional[OngoingRelation] = None
+        #: Monotonic count of change events *offered* to this maintainer —
+        #: bumped even when the rows are not kept (unsupported plans,
+        #: cold state, ``incremental=False``).  The flush path compares
+        #: it before/after a full re-evaluation to decide whether a new
+        #: modification slipped in and the dirty mark must survive.
+        self.changes = 0
+        #: Total refreshes (full evaluations and delta applications).
+        self.evaluations = 0
+        #: Refreshes that propagated deltas through cached state.
+        self.delta_refreshes = 0
+        #: Refreshes that (re-)evaluated the plan from scratch.
+        self.full_refreshes = 0
+        #: Incremental attempts that fell back to a full re-evaluation.
+        self.delta_fallbacks = 0
+        self._incremental = incremental
+        self._evaluator: Optional[DeltaEvaluator] = None
+        self._unsupported = False
+        self._relevant: FrozenSet[str] = plan.referenced_tables()
+        self._pending: Dict[str, DeltaBuilder] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def unsupported(self) -> bool:
+        """``True`` once the plan proved to have no delta rules at all."""
+        return self._unsupported
+
+    @property
+    def warm(self) -> bool:
+        """``True`` when operator state exists and deltas can be applied."""
+        evaluator = self._evaluator
+        return evaluator is not None and evaluator.warm
+
+    def relevant(self, table: str) -> bool:
+        """Does the plan read *table*?"""
+        return table in self._relevant
+
+    def pending_empty(self) -> bool:
+        with self.lock:
+            return not self._pending
+
+    def pending_snapshot(self) -> Dict[str, Delta]:
+        """The accumulated-but-unapplied deltas (for introspection)."""
+        with self.lock:
+            return {
+                table: builder.build()
+                for table, builder in self._pending.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Delta intake
+    # ------------------------------------------------------------------
+
+    def note_change(self, table: str, delta: Delta) -> None:
+        """Accumulate one table delta for the next :meth:`refresh`.
+
+        Rows are only worth holding when a later refresh can consume
+        them: not for tables the plan does not read, not once the plan
+        latched onto full evaluation, and not while the operator state is
+        cold (the next refresh is a full evaluation anyway).
+        """
+        with self.lock:
+            self.changes += 1
+            if (
+                self._unsupported
+                or table not in self._relevant
+                or not self.warm
+            ):
+                return
+            builder = self._pending.get(table)
+            if builder is None:
+                builder = self._pending[table] = DeltaBuilder()
+            builder.add(delta)
+
+    def take_pending(self) -> Dict[str, Delta]:
+        """Atomically drain the pending deltas for application."""
+        with self.lock:
+            pending = {
+                table: builder.build()
+                for table, builder in self._pending.items()
+            }
+            self._pending = {}
+            return pending
+
+    def discard_pending(self) -> None:
+        with self.lock:
+            self._pending = {}
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+
+    def _plain(self) -> OngoingRelation:
+        result = self.database.query(self.plan)
+        with self.lock:
+            self.result = result
+            self.evaluations += 1
+            self.full_refreshes += 1
+        return result
+
+    def _ensure_evaluator(self) -> Optional[DeltaEvaluator]:
+        if self._evaluator is None and not self._unsupported:
+            self._evaluator = DeltaEvaluator(self.plan, self.database)
+        return self._evaluator
+
+    def _latch_unsupported(self, exc: NonIncrementalDelta) -> None:
+        """The plan has no delta rules — never retry, serve plainly."""
+        logger.info(
+            "%s is not incrementalizable (%s); serving via full evaluation",
+            self.label,
+            exc,
+        )
+        with self.lock:
+            self._evaluator = None
+            self._unsupported = True
+            self._pending = {}  # row deltas will never be consumed
+
+    def evaluate(self, *, incremental: Optional[bool] = None) -> OngoingRelation:
+        """Full (re-)evaluation; builds delta state unless ``incremental``
+        is ``False``.
+
+        Runs under the database write lock: the tables are read at one
+        consistent instant, and pending deltas — all subsumed by that
+        read — are discarded in the same critical section, so a
+        concurrent writer's rows are either inside the fresh result (its
+        modification hook ran before we took the lock) or inside the
+        pending map for the next refresh, never both.
+        """
+        if incremental is None:
+            incremental = self._incremental
+        with self.database.lock:
+            self.discard_pending()
+            if not incremental:
+                # The delta state (if any) is now behind this evaluation —
+                # drop it, or a later incremental refresh (the consumer's
+                # flag may be mutable) would apply deltas to a stale
+                # snapshot.
+                self._evaluator = None
+                return self._plain()
+            evaluator = self._ensure_evaluator()
+            if evaluator is None:
+                return self._plain()
+            try:
+                result = evaluator.refresh_full()
+            except NonIncrementalDelta as exc:
+                self._latch_unsupported(exc)
+                return self._plain()
+            with self.lock:
+                self.result = result
+                self.evaluations += 1
+                self.full_refreshes += 1
+            return result
+
+    def refresh(
+        self, *, incremental: Optional[bool] = None
+    ) -> Tuple[OngoingRelation, Optional[Delta]]:
+        """One maintenance step; returns ``(result, result_delta)``.
+
+        ``result_delta`` is the exact result-level change when the
+        refresh propagated the pending deltas through cached operator
+        state, and ``None`` when the refresh was a full re-evaluation —
+        because incremental maintenance is disabled, the state was cold,
+        the deltas were full-flagged, or the propagation failed.  The
+        fallback is automatic and logged; callers only need the return
+        value to know which path ran.
+        """
+        if incremental is None:
+            incremental = self._incremental
+        if not incremental:
+            return self.evaluate(incremental=False), None
+        if self._unsupported:
+            # Unsupported plans re-run plainly, but still under the write
+            # lock (via evaluate): a multi-table plan must not read table
+            # A before and table B after a concurrent writer.
+            return self.evaluate(), None
+        evaluator = self._ensure_evaluator()
+        if evaluator is None:
+            return self.evaluate(), None
+        if not evaluator.warm:
+            with self.lock:
+                self.delta_fallbacks += 1
+            return self.evaluate(), None
+        pending = self.take_pending()
+        try:
+            delta = evaluator.apply(pending)
+        except NonIncrementalDelta as exc:
+            logger.info(
+                "delta propagation for %s fell back to full "
+                "re-evaluation: %s",
+                self.label,
+                exc,
+            )
+            with self.lock:
+                self.delta_fallbacks += 1
+            return self.evaluate(), None
+        with self.lock:
+            self.result = evaluator.result
+            self.evaluations += 1
+            self.delta_refreshes += 1
+        return self.result, delta

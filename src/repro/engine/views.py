@@ -15,13 +15,14 @@ the row deltas that arrive, so :meth:`is_stale` is O(1) and catches
 *every* modification path — including in-place current deletes that the
 old cardinality-polling proxy could not see.
 
-Refreshes ride the delta-propagation engine (:mod:`repro.engine.delta`):
-:meth:`refresh` pushes the accumulated row deltas through the view's
-cached operator state, costing work proportional to the modifications
-since the last refresh.  When that is impossible — cold state, a bulk
-load that reported no typed rows, a non-incrementalizable operator — the
-view falls back to a full re-evaluation automatically (logged on the
-``repro.engine.delta`` logger).
+Refreshes ride the delta-propagation engine through the shared
+:class:`~repro.engine.maintenance.IncrementalMaintainer` (the same state
+machine behind the live engine's shared results): :meth:`refresh` pushes
+the accumulated row deltas through the view's cached operator state,
+costing work proportional to the modifications since the last refresh.
+When that is impossible — cold state, a bulk load that reported no typed
+rows, a non-incrementalizable operator — the view falls back to a full
+re-evaluation automatically (logged on the ``repro.engine.delta`` logger).
 
 For many clients sharing plans, prefer the push-based subscription engine
 in :mod:`repro.live`; this class remains the single-consumer primitive.
@@ -29,26 +30,19 @@ in :mod:`repro.live`; this class remains the single-consumer primitive.
 
 from __future__ import annotations
 
-import logging
 import weakref
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from repro.core.timeline import TimePoint
 from repro.engine.database import Database
-from repro.engine.delta import (
-    Delta,
-    DeltaBuilder,
-    DeltaEvaluator,
-    NonIncrementalDelta,
-)
+from repro.engine.delta import Delta
+from repro.engine.maintenance import IncrementalMaintainer
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError
 from repro.relational.relation import OngoingRelation
 from repro.relational.tuples import FixedTuple
 
 __all__ = ["MaterializedOngoingView"]
-
-logger = logging.getLogger("repro.engine.delta")
 
 
 class MaterializedOngoingView:
@@ -66,18 +60,10 @@ class MaterializedOngoingView:
         self.name = name
         self.plan = plan
         self.database = database
-        self._evaluator = DeltaEvaluator(plan, database)
-        self._delta_unsupported = False
-        self._result: Optional[OngoingRelation] = None
+        self._maintainer = IncrementalMaintainer(
+            plan, database, label=f"view {name!r}"
+        )
         self._dirty = True
-        #: Row deltas accumulated since the last refresh, per base table
-        #: the plan reads (changes to other tables are irrelevant).
-        self._relevant = plan.referenced_tables()
-        self._pending: Dict[str, DeltaBuilder] = {}
-        #: Refresh counters: how often the view refreshed by delta
-        #: propagation vs. by full re-evaluation.
-        self.delta_refreshes = 0
-        self.full_refreshes = 0
         # The registered listener holds only a weak reference to the view:
         # views kept the old polling design's "no cleanup needed" contract,
         # so an abandoned view must not be pinned alive by the database.
@@ -98,65 +84,33 @@ class MaterializedOngoingView:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def _note_change(self, table: str, delta: Delta) -> None:
-        """Record one change event: flip the dirty flag, keep the rows.
+    @property
+    def delta_refreshes(self) -> int:
+        """How often the view refreshed by delta propagation."""
+        return self._maintainer.delta_refreshes
 
-        Row references are only worth holding when a later refresh can
-        consume them: not for irrelevant tables, not once the plan
-        proved non-incrementalizable, and not while the operator state
-        is still cold (the first refresh is a full evaluation anyway).
-        """
+    @property
+    def full_refreshes(self) -> int:
+        """How often the view refreshed by full re-evaluation."""
+        return self._maintainer.full_refreshes
+
+    def _note_change(self, table: str, delta: Delta) -> None:
+        """Record one change event: flip the dirty flag, keep the rows."""
         self._dirty = True
-        if (
-            self._delta_unsupported
-            or not self._evaluator.warm
-            or table not in self._relevant
-        ):
-            return
-        builder = self._pending.get(table)
-        if builder is None:
-            builder = self._pending[table] = DeltaBuilder()
-        builder.add(delta)
+        self._maintainer.note_change(table, delta)
 
     def refresh(self) -> OngoingRelation:
         """Bring the stored ongoing result up to date.
 
         Incremental by default: the accumulated row deltas run through
-        the view's cached operator state
-        (:meth:`~repro.engine.delta.DeltaEvaluator.refresh`).  Falls
-        back to a full re-evaluation — automatically, with the reason
-        logged — when the state is cold or the deltas cannot be
-        propagated; a plan with no delta rules at all latches onto plain
-        evaluation permanently.
+        the view's cached operator state.  Falls back to a full
+        re-evaluation — automatically, with the reason logged — when the
+        state is cold or the deltas cannot be propagated; a plan with no
+        delta rules at all latches onto plain evaluation permanently.
         """
-        pending = {
-            table: builder.build() for table, builder in self._pending.items()
-        }
-        self._pending = {}
-        if not self._delta_unsupported:
-            try:
-                result, delta = self._evaluator.refresh(pending)
-            except NonIncrementalDelta as exc:
-                logger.info(
-                    "view %r is not incrementalizable (%s); "
-                    "serving via full evaluation",
-                    self.name,
-                    exc,
-                )
-                self._delta_unsupported = True
-                self._pending.clear()  # row deltas will never be consumed
-            else:
-                self._result = result
-                self._dirty = False
-                if delta is None:
-                    self.full_refreshes += 1
-                else:
-                    self.delta_refreshes += 1
-                return self._result
-        self._result = self.database.query(self.plan)
+        result, _ = self._maintainer.refresh()
         self._dirty = False
-        self.full_refreshes += 1
-        return self._result
+        return result
 
     def is_stale(self) -> bool:
         """``True`` iff base data changed since the last refresh.
@@ -165,7 +119,7 @@ class MaterializedOngoingView:
         modifications (inserts, current deletes/updates) do, and each one
         arrives as a change event from the database's modification hooks.
         """
-        return self._result is None or self._dirty
+        return self._maintainer.result is None or self._dirty
 
     def close(self) -> None:
         """Detach from the database's modification hooks (idempotent)."""
@@ -174,9 +128,10 @@ class MaterializedOngoingView:
     @property
     def result(self) -> OngoingRelation:
         """The stored ongoing result (refresh first)."""
-        if self._result is None:
+        result = self._maintainer.result
+        if result is None:
             raise QueryError(f"view {self.name!r} has not been refreshed yet")
-        return self._result
+        return result
 
     # ------------------------------------------------------------------
     # Serving instantiated results

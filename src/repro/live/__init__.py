@@ -46,13 +46,14 @@ Quickstart::
 from repro.live.cache import ResultCache, SharedResult
 from repro.live.dependencies import DependencyIndex, referenced_tables
 from repro.live.events import ChangeEvent, EventBus, RefreshNotification
-from repro.live.manager import LiveSession, SubscriptionManager
+from repro.live.manager import FlushHandle, LiveSession, SubscriptionManager
 from repro.live.subscription import Subscription, SubscriptionStats
 
 __all__ = [
     "ChangeEvent",
     "DependencyIndex",
     "EventBus",
+    "FlushHandle",
     "LiveSession",
     "RefreshNotification",
     "ResultCache",

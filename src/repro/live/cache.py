@@ -9,27 +9,25 @@ evaluates once, and *every* subscriber instantiates cheaply at its own
 reference time.
 
 Since the delta-propagation engine (:mod:`repro.engine.delta`), a shared
-result also owns the per-operator incremental state for its plan: a flush
-routes the accumulated base-table deltas through
-:meth:`SharedResult.apply_delta`, and only falls back to
-:meth:`SharedResult.evaluate` — a full re-evaluation — when the plan is
-not incrementalizable or the state is cold.  The fallback is automatic
-and logged on the ``repro.engine.delta`` logger.
+result also owns the per-operator incremental state for its plan — the
+pending row deltas, the unsupported latch, and the refresh-with-fallback
+protocol all live in one :class:`~repro.engine.maintenance.IncrementalMaintainer`
+(shared with :class:`~repro.engine.views.MaterializedOngoingView`), which
+is also the single synchronization point the concurrent serving layer
+(:mod:`repro.serve`) guards.
 """
 
 from __future__ import annotations
 
-import logging
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.engine.database import Database
-from repro.engine.delta import Delta, DeltaEvaluator, NonIncrementalDelta
+from repro.engine.delta import Delta
+from repro.engine.maintenance import IncrementalMaintainer
 from repro.engine.plan import PlanNode
 from repro.relational.relation import OngoingRelation
 
 __all__ = ["SharedResult", "ResultCache"]
-
-logger = logging.getLogger("repro.engine.delta")
 
 
 class SharedResult:
@@ -38,41 +36,68 @@ class SharedResult:
     def __init__(self, plan: PlanNode, fingerprint: str):
         self.plan = plan
         self.fingerprint = fingerprint
-        self.result: Optional[OngoingRelation] = None
-        #: Times the plan was (re-)evaluated against the database — full
-        #: evaluations and incremental delta applications both count.
-        self.evaluations = 0
-        #: How many of those were incremental delta applications.
-        self.delta_refreshes = 0
-        #: How many delta attempts fell back to a full re-evaluation.
-        self.delta_fallbacks = 0
         #: Subscriptions currently attached to this result.
         self.subscribers: List[object] = []
-        #: The incremental evaluator; ``None`` once the plan proved
-        #: non-incrementalizable (it is then never retried).
-        self._delta: Optional[DeltaEvaluator] = None
-        self._delta_unsupported = False
+        #: The maintenance state machine; created on the first evaluation
+        #: (the database is not known before then).
+        self._maintainer: Optional[IncrementalMaintainer] = None
 
-    def _plain(self, database: Database) -> OngoingRelation:
-        self.result = database.query(self.plan)
-        self.evaluations += 1
-        return self.result
+    # ------------------------------------------------------------------
+    # Maintenance state (delegated to the IncrementalMaintainer)
+    # ------------------------------------------------------------------
 
-    def _ensure_evaluator(self, database: Database) -> Optional[DeltaEvaluator]:
-        if self._delta is None and not self._delta_unsupported:
-            self._delta = DeltaEvaluator(self.plan, database)
-        return self._delta
+    def _ensure_maintainer(self, database: Database) -> IncrementalMaintainer:
+        if self._maintainer is None:
+            self._maintainer = IncrementalMaintainer(
+                self.plan, database, label=f"plan {self.fingerprint[:12]}"
+            )
+        return self._maintainer
 
-    def _latch_unsupported(self, exc: NonIncrementalDelta) -> None:
-        """The plan has no delta rules — never retry, serve plainly."""
-        logger.info(
-            "plan %s is not incrementalizable (%s); "
-            "serving via full evaluation",
-            self.fingerprint[:12],
-            exc,
-        )
-        self._delta = None
-        self._delta_unsupported = True
+    @property
+    def result(self) -> Optional[OngoingRelation]:
+        maintainer = self._maintainer
+        return None if maintainer is None else maintainer.result
+
+    @property
+    def evaluations(self) -> int:
+        """Times the plan was (re-)evaluated — full and incremental both."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.evaluations
+
+    @property
+    def delta_refreshes(self) -> int:
+        """How many refreshes were incremental delta applications."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.delta_refreshes
+
+    @property
+    def delta_fallbacks(self) -> int:
+        """How many delta attempts fell back to a full re-evaluation."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.delta_fallbacks
+
+    def note_change(self, table: str, delta: Delta) -> None:
+        """Accumulate one table delta for the next refresh (thread-safe)."""
+        if self._maintainer is not None:
+            self._maintainer.note_change(table, delta)
+
+    def pending_empty(self) -> bool:
+        return self._maintainer is None or self._maintainer.pending_empty()
+
+    def change_count(self) -> int:
+        """Monotonic count of change events offered to this result."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.changes
+
+    def pending_snapshot(self) -> Mapping[str, Delta]:
+        """The accumulated-but-unapplied deltas (introspection only)."""
+        if self._maintainer is None:
+            return {}
+        return self._maintainer.pending_snapshot()
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
 
     def evaluate(
         self, database: Database, *, incremental: bool = True
@@ -85,67 +110,24 @@ class SharedResult:
         building entirely — the baseline then pays exactly one plain
         evaluation, nothing more.
         """
-        if not incremental:
-            # The delta state (if any) is now behind this evaluation —
-            # drop it, or a later incremental refresh (the manager's
-            # flag is mutable) would apply deltas to a stale snapshot.
-            self._delta = None
-            return self._plain(database)
-        evaluator = self._ensure_evaluator(database)
-        if evaluator is None:
-            return self._plain(database)
-        try:
-            self.result = evaluator.refresh_full()
-        except NonIncrementalDelta as exc:
-            self._latch_unsupported(exc)
-            return self._plain(database)
-        self.evaluations += 1
-        return self.result
+        return self._ensure_maintainer(database).evaluate(
+            incremental=incremental
+        )
 
     def refresh(
-        self,
-        database: Database,
-        table_deltas: Optional[Mapping[str, Delta]],
-        *,
-        incremental: bool = True,
+        self, database: Database, *, incremental: bool = True
     ) -> Optional[Delta]:
         """One flush-driven refresh; returns the result delta, or ``None``.
 
         ``None`` means the refresh was a full re-evaluation — because
-        incremental maintenance is disabled, no row deltas were
-        captured, or :meth:`DeltaEvaluator.refresh` fell back (cold
-        state, full-flagged deltas, non-incrementalizable operator).
-        The fallback is automatic and logged; callers only need the
-        return value to know which path ran.
+        incremental maintenance is disabled, the state was cold, the
+        accumulated deltas were full-flagged, or the propagation fell
+        back.  The fallback is automatic and logged; callers only need
+        the return value to know which path ran.
         """
-        if not incremental:
-            self.evaluate(database, incremental=False)
-            return None
-        if table_deltas is None:
-            logger.info(
-                "no row deltas captured for plan %s; falling back to "
-                "full re-evaluation",
-                self.fingerprint[:12],
-            )
-            self.delta_fallbacks += 1
-            self.evaluate(database)
-            return None
-        evaluator = self._ensure_evaluator(database)
-        if evaluator is None:
-            self._plain(database)
-            return None
-        try:
-            result, delta = evaluator.refresh(table_deltas)
-        except NonIncrementalDelta as exc:
-            self._latch_unsupported(exc)
-            self._plain(database)
-            return None
-        self.result = result
-        self.evaluations += 1
-        if delta is None:
-            self.delta_fallbacks += 1
-        else:
-            self.delta_refreshes += 1
+        _, delta = self._ensure_maintainer(database).refresh(
+            incremental=incremental
+        )
         return delta
 
     @property
@@ -162,7 +144,12 @@ class SharedResult:
 
 
 class ResultCache:
-    """Fingerprint-keyed cache of :class:`SharedResult` entries."""
+    """Fingerprint-keyed cache of :class:`SharedResult` entries.
+
+    Not internally synchronized: the owning
+    :class:`~repro.live.manager.SubscriptionManager` guards every access
+    with its session lock.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, SharedResult] = {}

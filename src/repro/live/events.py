@@ -64,6 +64,38 @@ class RefreshNotification:
     changed_tables: Tuple[str, ...] = ()
     delta: Optional[Delta] = field(default=None, compare=False)
 
+    def coalesce_with(self, newer: "RefreshNotification") -> "RefreshNotification":
+        """Merge a *newer* refresh of the same subscription into this one.
+
+        Used by the serving layer's ``coalesce`` backpressure policy: a
+        slow subscriber whose queue fills receives one notification that
+        carries the latest result/rows and the **merged result-level
+        delta** — applying it to the state the subscriber last saw yields
+        exactly the latest result, so no information is lost by skipping
+        the intermediate delivery.  A missing delta on either side means
+        the precise change is unknown; the merged delta is then ``None``
+        (subscribers fall back to reading ``result``).
+        """
+        if newer.subscription is not self.subscription:
+            raise ValueError(
+                "refresh notifications of different subscriptions "
+                "cannot be coalesced"
+            )
+        merged_delta = (
+            self.delta.merge(newer.delta)
+            if self.delta is not None and newer.delta is not None
+            else None
+        )
+        return RefreshNotification(
+            subscription=newer.subscription,
+            result=newer.result,
+            rows=newer.rows,
+            changed_tables=tuple(
+                sorted({*self.changed_tables, *newer.changed_tables})
+            ),
+            delta=merged_delta,
+        )
+
 
 class EventBus:
     """Topic-based synchronous fan-out with listener error isolation.
@@ -71,11 +103,29 @@ class EventBus:
     Listener exceptions are swallowed per delivery and recorded on
     :attr:`errors` (a bounded list of ``(topic, listener, exception)``
     triples) so one misbehaving subscriber cannot prevent the remaining
-    subscribers from hearing about a refresh.
+    subscribers from hearing about a refresh.  Each failure is also
+    announced on the :attr:`LISTENER_ERROR_TOPIC` topic as
+    ``(topic, listener, exception)`` so operators can watch subscriber
+    health without polling :attr:`errors`.
+
+    Failures raised *while delivering on an error topic* are recorded but
+    never re-announced: without that guard, an error listener that itself
+    raises would re-enter the error publish and recurse until the stack
+    blows — starving every other subscriber of the original delivery.
     """
 
     #: How many delivery errors to keep for inspection.
     MAX_ERRORS = 100
+
+    #: The topic refresh/flush failures are published on (by the manager).
+    ERROR_TOPIC = "error"
+
+    #: The topic listener delivery failures are announced on (by the bus).
+    LISTENER_ERROR_TOPIC = "listener-error"
+
+    #: Topics whose listener failures must never be re-announced — the
+    #: recursion guard of the error channel.
+    _ERROR_TOPICS = frozenset({ERROR_TOPIC, LISTENER_ERROR_TOPIC})
 
     def __init__(self) -> None:
         self._listeners: Dict[str, List[Callable[[Any], None]]] = {}
@@ -104,12 +154,21 @@ class EventBus:
             try:
                 listener(payload)
             except Exception as exc:  # noqa: BLE001 — isolation is the point
-                if len(self.errors) < self.MAX_ERRORS:
-                    self.errors.append((topic, listener, exc))
+                self._record_failure(topic, listener, exc)
             else:
                 ok += 1
         self.delivered += ok
         return ok
+
+    def _record_failure(
+        self, topic: str, listener: Callable, exc: Exception
+    ) -> None:
+        """Record one delivery failure; announce it unless that would
+        recurse through the error channel."""
+        if len(self.errors) < self.MAX_ERRORS:
+            self.errors.append((topic, listener, exc))
+        if topic not in self._ERROR_TOPICS:
+            self.publish(self.LISTENER_ERROR_TOPIC, (topic, listener, exc))
 
     def listener_count(self, topic: Optional[str] = None) -> int:
         if topic is not None:

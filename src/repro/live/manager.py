@@ -21,24 +21,51 @@ every event (lowest latency); ``flush_every=N`` flushes once ``N`` events
 accumulated (bounded staleness at 1/N the evaluation cost).
 
 Incremental refresh: change events carry typed row deltas
-(:class:`~repro.engine.delta.Delta`), the manager accumulates them per
-dirty fingerprint, and :meth:`flush` *propagates* them through the plan's
-cached operator state (:meth:`~repro.live.cache.SharedResult.apply_delta`)
-instead of re-evaluating — work proportional to the modification, not the
-database.  Plans that cannot be maintained incrementally (full-flagged
-deltas, cold state, operators without delta rules) fall back to full
+(:class:`~repro.engine.delta.Delta`), accumulated per shared result in
+its :class:`~repro.engine.maintenance.IncrementalMaintainer`; a flush
+*propagates* them through the plan's cached operator state instead of
+re-evaluating — work proportional to the modification, not the database.
+Plans that cannot be maintained incrementally fall back to full
 re-evaluation automatically; the fallback is logged and counted.  A
 subscription whose result did not change in a flush is not notified
 unless it opted into ``notify_on_no_change``.
+
+Concurrent serving (:mod:`repro.serve`), all opt-in via constructor
+arguments:
+
+* ``delivery_workers=N`` replaces the synchronous bus with an
+  :class:`~repro.serve.bus.AsyncEventBus`: notifications enqueue to
+  per-subscriber bounded mailboxes (``backpressure`` policy: ``block`` /
+  ``drop_oldest`` / ``coalesce``) and N worker threads deliver them —
+  one slow callback no longer stalls the flush;
+* ``flush_shards=N`` shards dirty fingerprints across N FIFO refresh
+  workers (:class:`~repro.serve.scheduler.FlushScheduler`) and swaps the
+  dependency index for a
+  :class:`~repro.serve.sharding.ShardedDependencyIndex` — independent
+  shared results refresh in parallel, each result serially consistent;
+* :meth:`serve` starts the background auto-flush loop (debounced,
+  woken **only** by modification events — still no clock), and
+  :meth:`flush_async` schedules one non-blocking flush;
+* :meth:`close` stops the loop, performs a final flush, drains every
+  queue, and joins all workers.
+
+Thread-safety: session state (dirty sets, stats, cache, registrations)
+is guarded by one session lock; write intake runs under the database
+write lock (modification hooks fire while it is held), and the lock
+order is always ``database.lock → session lock → maintainer lock``.
+Calling :meth:`flush` from inside an ``on_refresh`` callback remains
+safe — it is detected as re-entrant and folded into the running flush.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.timeline import TimePoint
 from repro.engine.database import Database
-from repro.engine.delta import Delta, DeltaBuilder
+from repro.engine.delta import Delta
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError
 
@@ -47,7 +74,32 @@ from repro.live.dependencies import DependencyIndex, referenced_tables
 from repro.live.events import ChangeEvent, EventBus, RefreshNotification
 from repro.live.subscription import Subscription
 
-__all__ = ["SubscriptionManager", "LiveSession"]
+__all__ = ["FlushHandle", "SubscriptionManager", "LiveSession"]
+
+
+class FlushHandle:
+    """Waitable result of :meth:`SubscriptionManager.flush_async`."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._refreshed = 0
+        self._error: Optional[BaseException] = None
+
+    def _finish(self, refreshed: int, error: Optional[BaseException]) -> None:
+        self._refreshed = refreshed
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until the flush finished; returns its refresh count."""
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError("flush did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._refreshed
 
 
 class SubscriptionManager:
@@ -64,6 +116,11 @@ class SubscriptionManager:
         sub.instantiate(today + 30)   # cheap, no re-evaluation, still correct
         current_delete(db.table("B"), match, at=today)   # marks sub dirty
         session.flush()               # one re-evaluation, one notification
+
+    For high-traffic serving, turn on the concurrent layer::
+
+        session = LiveSession(db, delivery_workers=4, flush_shards=4)
+        session.serve()               # background modification-driven flush
     """
 
     def __init__(
@@ -73,9 +130,17 @@ class SubscriptionManager:
         auto_flush: bool = False,
         flush_every: Optional[int] = None,
         incremental: bool = True,
+        delivery_workers: int = 0,
+        flush_shards: int = 0,
+        queue_capacity: int = 64,
+        backpressure: str = "coalesce",
     ):
         if flush_every is not None and flush_every < 1:
             raise QueryError("flush_every must be a positive event count")
+        if delivery_workers < 0 or flush_shards < 0:
+            raise QueryError(
+                "delivery_workers and flush_shards must be non-negative"
+            )
         self.database = database
         self.auto_flush = auto_flush
         self.flush_every = flush_every
@@ -83,16 +148,38 @@ class SubscriptionManager:
         #: cached operator state; ``False`` forces full re-evaluation on
         #: every refresh (the PR-1 behavior, kept for benchmarking).
         self.incremental = incremental
-        self.bus = EventBus()
+        self.delivery_workers = delivery_workers
+        self.flush_shards = flush_shards
+        #: Guards all session state below (never held while delivering).
+        self._lock = threading.RLock()
+        self._async_bus = delivery_workers > 0
+        if self._async_bus:
+            from repro.serve.bus import AsyncEventBus
+
+            self.bus: EventBus = AsyncEventBus(
+                workers=delivery_workers,
+                capacity=queue_capacity,
+                policy=backpressure,
+            )
+        else:
+            self.bus = EventBus()
         self._cache = ResultCache()
-        self._dependencies = DependencyIndex()
+        if flush_shards > 0:
+            from repro.serve.scheduler import FlushScheduler
+            from repro.serve.sharding import ShardedDependencyIndex
+
+            self._dependencies = ShardedDependencyIndex(flush_shards)
+            self._scheduler: Optional["FlushScheduler"] = FlushScheduler(
+                self._refresh_one, shards=flush_shards
+            )
+        else:
+            self._dependencies = DependencyIndex()
+            self._scheduler = None
         self._subscriptions: Dict[int, Subscription] = {}
         #: fingerprint → tables modified since that result's last refresh.
         self._dirty: Dict[str, Set[str]] = {}
         #: fingerprint → number of change events since last refresh.
         self._dirty_events: Dict[str, int] = {}
-        #: fingerprint → table → accumulated row deltas since last refresh.
-        self._pending_deltas: Dict[str, Dict[str, DeltaBuilder]] = {}
         self._events_since_flush = 0
         self._stats = {
             "events": 0,
@@ -109,6 +196,11 @@ class SubscriptionManager:
         self._closed = False
         self._flushing = False
         self._reentrant_flush_requested = False
+        # Serve-loop state (started by serve(), stopped by close()).
+        self._wakeup = threading.Event()
+        self._serving = False
+        self._serve_thread: Optional[threading.Thread] = None
+        self._serve_debounce = 0.0
 
     # ------------------------------------------------------------------
     # Registration
@@ -122,6 +214,8 @@ class SubscriptionManager:
         reference_time: Optional[TimePoint] = None,
         name: Optional[str] = None,
         notify_on_no_change: bool = False,
+        backpressure: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
     ) -> Subscription:
         """Register an ongoing query plan as a live subscription.
 
@@ -134,36 +228,71 @@ class SubscriptionManager:
         *reference_time* (the caller-chosen instantiation point, mutable
         on the returned handle) selects the fixed rows delivered with
         each notification.
+
+        With ``delivery_workers`` enabled, *backpressure* and
+        *queue_capacity* override the session-wide mailbox policy for
+        this subscriber only (a must-not-miss audit consumer can
+        ``block`` while dashboards ``coalesce``).
         """
         self._require_open()
-        shared, created = self._cache.get_or_create(plan)
-        if created:
-            self._dependencies.add(
-                shared.fingerprint, referenced_tables(plan)
+        # The database lock spans dependency registration and the first
+        # evaluation: no modification can slip between them, so the
+        # freshly built operator state is exactly as-of the registration.
+        with self.database.lock:
+            with self._lock:
+                shared, created = self._cache.get_or_create(plan)
+                if created:
+                    self._dependencies.add(
+                        shared.fingerprint, referenced_tables(plan)
+                    )
+            if created:
+                try:
+                    shared.evaluate(self.database, incremental=self.incremental)
+                except Exception:
+                    # Roll the registration back: a dead entry must not be
+                    # cache-hit by a later subscribe of the same plan.
+                    with self._lock:
+                        self._cache.remove(shared.fingerprint)
+                        self._dependencies.remove(shared.fingerprint)
+                    raise
+                with self._lock:
+                    self._stats["evaluations"] += 1
+            subscription = Subscription(
+                self,
+                shared,
+                on_refresh=on_refresh,
+                reference_time=reference_time,
+                name=name,
+                notify_on_no_change=notify_on_no_change,
             )
-            try:
-                shared.evaluate(self.database, incremental=self.incremental)
-            except Exception:
-                # Roll the registration back: a dead entry must not be
-                # cache-hit by a later subscribe of the same plan.
-                self._cache.remove(shared.fingerprint)
-                self._dependencies.remove(shared.fingerprint)
-                raise
-            self._stats["evaluations"] += 1
-        subscription = Subscription(
-            self,
-            shared,
-            on_refresh=on_refresh,
-            reference_time=reference_time,
-            name=name,
-            notify_on_no_change=notify_on_no_change,
-        )
-        shared.subscribers.append(subscription)
-        self._subscriptions[subscription.id] = subscription
-        if on_refresh is not None:
-            self._unsubscribe_bus[subscription.id] = self.bus.subscribe(
-                f"refresh:{subscription.id}", on_refresh
-            )
+            # Register the bus listener *before* attaching the
+            # subscription (and before releasing the write lock): once
+            # attached, a flush on another thread may notify immediately,
+            # and a topic with no listener yet would drop that delivery.
+            unsubscribe = None
+            if on_refresh is not None:
+                topic = f"refresh:{subscription.id}"
+                try:
+                    if self._async_bus:
+                        unsubscribe = self.bus.subscribe(
+                            topic,
+                            on_refresh,
+                            capacity=queue_capacity,
+                            policy=backpressure,
+                        )
+                    else:
+                        unsubscribe = self.bus.subscribe(topic, on_refresh)
+                except Exception:
+                    with self._lock:
+                        if created and not shared.subscribers:
+                            self._cache.remove(shared.fingerprint)
+                            self._dependencies.remove(shared.fingerprint)
+                    raise
+            with self._lock:
+                shared.subscribers.append(subscription)
+                self._subscriptions[subscription.id] = subscription
+                if unsubscribe is not None:
+                    self._unsubscribe_bus[subscription.id] = unsubscribe
         return subscription
 
     def subscribe_sql(self, statement: str, **kwargs) -> Subscription:
@@ -181,37 +310,56 @@ class SubscriptionManager:
     def unsubscribe(self, subscription: Subscription) -> None:
         """Detach *subscription*; the last subscriber of a plan drops its
         materialization, dependency links, and dirty state."""
-        if self._subscriptions.pop(subscription.id, None) is None:
-            return
-        unsubscribe_bus = self._unsubscribe_bus.pop(subscription.id, None)
+        with self._lock:
+            if self._subscriptions.pop(subscription.id, None) is None:
+                return
+            unsubscribe_bus = self._unsubscribe_bus.pop(subscription.id, None)
         if unsubscribe_bus is not None:
             unsubscribe_bus()
         shared = subscription._shared
         subscription._detach()
         if shared is None:
             return
-        try:
-            shared.subscribers.remove(subscription)
-        except ValueError:
-            pass
-        if not shared.subscribers:
-            # The last subscriber leaving must fully unregister the plan:
-            # cache entry, dependency links (so the table → fingerprint
-            # index drops tables no live plan reads anymore), and any
-            # accumulated dirty/delta state.
-            self._cache.remove(shared.fingerprint)
-            self._dependencies.remove(shared.fingerprint)
-            self._dirty.pop(shared.fingerprint, None)
-            self._dirty_events.pop(shared.fingerprint, None)
-            self._pending_deltas.pop(shared.fingerprint, None)
+        with self._lock:
+            try:
+                shared.subscribers.remove(subscription)
+            except ValueError:
+                pass
+            if not shared.subscribers:
+                # The last subscriber leaving must fully unregister the
+                # plan: cache entry, dependency links (so the table →
+                # fingerprint index drops tables no live plan reads
+                # anymore), and any accumulated dirty/delta state.
+                self._cache.remove(shared.fingerprint)
+                self._dependencies.remove(shared.fingerprint)
+                self._dirty.pop(shared.fingerprint, None)
+                self._dirty_events.pop(shared.fingerprint, None)
 
     def close(self) -> None:
-        """Close every subscription and detach from the database hooks."""
+        """Close every subscription, stop and join all serving workers.
+
+        The shutdown is *clean*: the serve loop stops first, the database
+        hook is removed (no new intake), one final flush refreshes
+        whatever was owed, queued notifications drain to their
+        subscribers, and only then do workers exit.
+        """
         if self._closed:
             return
+        self.stop_serving()
+        self.database.remove_delta_listener(self._listener)
+        if self._scheduler is not None or self._async_bus:
+            try:
+                self.flush()  # deliver what is owed before teardown
+            except QueryError:  # pragma: no cover — close() raced close()
+                pass
+            if self._async_bus:
+                self.bus.drain(timeout=10.0)
         for subscription in list(self._subscriptions.values()):
             self.unsubscribe(subscription)
-        self.database.remove_delta_listener(self._listener)
+        if self._scheduler is not None:
+            self._scheduler.close()
+        if self._async_bus:
+            self.bus.close(drain=True)
         self._closed = True
 
     def __enter__(self) -> "SubscriptionManager":
@@ -235,35 +383,57 @@ class SubscriptionManager:
 
     def _on_table_delta(self, table: str, version: int, delta: Delta) -> None:
         """Database modification hook: mark dependents dirty, accumulate
-        the row delta per dirty plan, maybe flush."""
+        the row delta per dirty plan, maybe flush.
+
+        Runs with the database write lock held (hooks fire inside the
+        write), so intake is serialized across writer threads and a
+        snapshotting flush can never observe half-recorded events.
+        """
         event = ChangeEvent(table, version, delta)
-        self._stats["events"] += 1
+        with self._lock:
+            self._stats["events"] += 1
         self.bus.publish("change", event)
         affected = self._dependencies.affected(table)
         if not affected:
             return
-        self._events_since_flush += 1
-        for fingerprint in affected:
-            self._dirty.setdefault(fingerprint, set()).add(table)
-            self._dirty_events[fingerprint] = (
-                self._dirty_events.get(fingerprint, 0) + 1
+        with self._lock:
+            self._events_since_flush += 1
+            for fingerprint in affected:
+                self._dirty.setdefault(fingerprint, set()).add(table)
+                self._dirty_events[fingerprint] = (
+                    self._dirty_events.get(fingerprint, 0) + 1
+                )
+                shared = self._cache.get(fingerprint)
+                if shared is not None:
+                    shared.note_change(table, delta)
+                    for subscription in shared.subscribers:
+                        subscription.stats.pending_events += 1
+            serving = self._serving
+            due = self.auto_flush or (
+                self.flush_every is not None
+                and self._events_since_flush >= self.flush_every
             )
-            pending = self._pending_deltas.setdefault(fingerprint, {})
-            builder = pending.get(table)
-            if builder is None:
-                builder = pending[table] = DeltaBuilder()
-            builder.add(delta)
-            shared = self._cache.get(fingerprint)
-            if shared is not None:
-                for subscription in shared.subscribers:
-                    subscription.stats.pending_events += 1
-        if self.auto_flush:
-            self.flush()
-        elif (
-            self.flush_every is not None
-            and self._events_since_flush >= self.flush_every
-        ):
-            self.flush()
+        if serving:
+            # The serve loop owns flushing: wake it (it debounces), never
+            # flush inline under the database write lock.
+            self._wakeup.set()
+        elif due:
+            if self._scheduler is not None:
+                # A sharded flush must not run inline either: this hook
+                # fires with the database write lock held, and a shard
+                # worker falling back to full re-evaluation needs that
+                # same lock — waiting for it here would deadlock.  A
+                # running flush absorbs the request (no thread spawned);
+                # otherwise one background flush preserves the staleness
+                # bound for the whole burst.
+                with self._lock:
+                    folding = self._flushing
+                    if folding:
+                        self._reentrant_flush_requested = True
+                if not folding:
+                    self.flush_async()
+            else:
+                self.flush()
 
     # ------------------------------------------------------------------
     # Refresh
@@ -272,7 +442,27 @@ class SubscriptionManager:
     @property
     def pending(self) -> int:
         """Number of shared results currently marked dirty."""
-        return len(self._dirty)
+        with self._lock:
+            return len(self._dirty)
+
+    @property
+    def _pending_deltas(self) -> Dict[str, Dict[str, Delta]]:
+        """Accumulated-but-unapplied row deltas per dirty plan.
+
+        Introspection only — the deltas live in each shared result's
+        :class:`~repro.engine.maintenance.IncrementalMaintainer` (the
+        serve layer's single synchronization point), not in the manager.
+        """
+        with self._lock:
+            snapshot: Dict[str, Dict[str, Delta]] = {}
+            for fingerprint in self._cache.fingerprints():
+                shared = self._cache.get(fingerprint)
+                if shared is None:
+                    continue
+                pending = dict(shared.pending_snapshot())
+                if pending:
+                    snapshot[fingerprint] = pending
+            return snapshot
 
     def flush(self) -> int:
         """Refresh every dirty shared result exactly once and notify.
@@ -284,6 +474,11 @@ class SubscriptionManager:
         back to a full re-evaluation automatically (logged on the
         ``repro.engine.delta`` logger) when the plan or the delta is not
         incrementalizable.  Returns the number of refreshes performed.
+
+        With ``flush_shards`` enabled the dirty plans are routed to their
+        owning shard workers and refresh **in parallel** — each
+        fingerprint still refreshes exactly once per round, in order,
+        because its shard queue is FIFO and pinned to one worker.
 
         Subscriptions whose result did not change are not notified
         (unless they set ``notify_on_no_change``); on the incremental
@@ -297,35 +492,71 @@ class SubscriptionManager:
         materialization, and the error is published on the bus's
         ``"error"`` topic as ``(fingerprint, exception)`` and recorded in
         :meth:`stats` under ``"refresh_errors"``.
+
+        Re-entrant calls (an ``on_refresh`` callback modified tables and
+        hit ``auto_flush``/``flush_every``, or called ``flush()``
+        directly — from any thread) do not run a nested flush: the
+        request is recorded and the running flush drains the new events
+        in order before returning.
         """
         self._require_open()
-        if self._flushing:
-            # Re-entrant flush (an on_refresh callback modified tables and
-            # hit auto_flush/flush_every, or called flush() directly): the
-            # outer flush still holds older pending deltas for plans it
-            # has not refreshed yet — applying newer deltas first would
-            # corrupt their operator state.  The request is recorded and
-            # the outer flush drains the new events in order before
-            # returning.
-            self._reentrant_flush_requested = True
-            return 0
-        self._flushing = True
+        with self._lock:
+            if self._flushing:
+                self._reentrant_flush_requested = True
+                return 0
+            self._flushing = True
+        refreshed = 0
         try:
-            refreshed = 0
-            while self._dirty:
-                self._reentrant_flush_requested = False
-                refreshed += self._flush_round()
-                if not (
-                    self._should_reflush() or self._reentrant_flush_requested
-                ):
-                    break
-            if not self._dirty:
-                self._events_since_flush = 0
-            # else: callbacks left undrained events behind — keep their
-            # count so the flush_every staleness bound still holds.
-            return refreshed
-        finally:
-            self._flushing = False
+            while True:
+                with self._lock:
+                    self._reentrant_flush_requested = False
+                    dirty = self._dirty
+                    dirty_events = self._dirty_events
+                    self._dirty = {}
+                    self._dirty_events = {}
+                    self._events_since_flush = 0
+                if dirty:
+                    refreshed += self._run_round(dirty, dirty_events)
+                    with self._lock:
+                        self._stats["flushes"] += 1
+                with self._lock:
+                    # Decide and release atomically: a concurrent flush()
+                    # either set the re-entrant flag before this check (we
+                    # drain its events now) or will observe _flushing ==
+                    # False and run its own flush — a request can never
+                    # land in the gap and strand dirty events.
+                    if bool(self._dirty) and (
+                        self._should_reflush()
+                        or self._reentrant_flush_requested
+                    ):
+                        continue
+                    self._flushing = False
+                    return refreshed
+        except BaseException:
+            with self._lock:
+                self._flushing = False
+            raise
+
+    def flush_async(self) -> FlushHandle:
+        """Schedule one :meth:`flush` on a background thread.
+
+        Returns a :class:`FlushHandle`; ``handle.wait()`` yields the
+        refresh count (0 when the flush folded into one already running).
+        """
+        self._require_open()
+        handle = FlushHandle()
+
+        def run() -> None:
+            try:
+                handle._finish(self.flush(), None)
+            except BaseException as exc:  # noqa: BLE001 — handed to wait()
+                handle._finish(0, exc)
+
+        thread = threading.Thread(
+            target=run, name="live-flush-async", daemon=True
+        )
+        thread.start()
+        return handle
 
     def _should_reflush(self) -> bool:
         """Drain events produced by refresh callbacks mid-flush when the
@@ -337,65 +568,150 @@ class SubscriptionManager:
             and self._events_since_flush >= self.flush_every
         )
 
-    def _flush_round(self) -> int:
-        dirty = self._dirty
-        dirty_events = self._dirty_events
-        pending_deltas = self._pending_deltas
-        self._dirty = {}
-        self._dirty_events = {}
-        self._pending_deltas = {}
-        self._events_since_flush = 0
+    def _run_round(
+        self, dirty: Dict[str, Set[str]], dirty_events: Dict[str, int]
+    ) -> int:
+        """Refresh one snapshot of dirty fingerprints, serial or sharded."""
+        if self._scheduler is not None:
+            return self._scheduler.flush(
+                {
+                    fingerprint: frozenset(tables)
+                    for fingerprint, tables in dirty.items()
+                },
+                dirty_events,
+            )
         refreshed = 0
         for fingerprint, changed_tables in dirty.items():
-            shared = self._cache.get(fingerprint)
-            if shared is None:  # all subscribers left while dirty
-                continue
-            pending = pending_deltas.get(fingerprint)
-            table_deltas = (
-                None
-                if pending is None
-                else {
-                    table: builder.build()
-                    for table, builder in pending.items()
-                }
-            )
-            previous = shared.result
-            try:
-                result_delta = shared.refresh(
-                    self.database, table_deltas, incremental=self.incremental
-                )
-            except Exception as exc:  # noqa: BLE001 — isolate per plan
-                self._stats["refresh_errors"] += 1
-                self.bus.publish("error", (fingerprint, exc))
-                continue
-            if result_delta is None:
-                # The full re-evaluation read the tables *as of now*, so
-                # deltas that callbacks accumulated for this plan earlier
-                # in the round are already inside the rebuilt state —
-                # keeping them queued would double-apply their rows on
-                # the next flush.
-                self._pending_deltas.pop(fingerprint, None)
-                self._dirty.pop(fingerprint, None)
-                self._dirty_events.pop(fingerprint, None)
-                changed = previous is None or shared.result != previous
-                self._stats["full_refreshes"] += 1
-            else:
-                changed = not result_delta.is_empty()
-                self._stats["delta_refreshes"] += 1
-            self._stats["evaluations"] += 1
-            refreshed += 1
-            coalesced = dirty_events.get(fingerprint, 0)
-            for subscription in list(shared.subscribers):
-                if not changed and not subscription.notify_on_no_change:
-                    subscription._mark_unchanged(coalesced)
-                    self._stats["suppressed_notifications"] += 1
-                    continue
-                delivered = subscription._notify(
-                    frozenset(changed_tables), coalesced, delta=result_delta
-                )
-                self._stats["notifications"] += delivered
-        self._stats["flushes"] += 1
+            if self._refresh_one(
+                fingerprint,
+                frozenset(changed_tables),
+                dirty_events.get(fingerprint, 0),
+            ):
+                refreshed += 1
         return refreshed
+
+    def _refresh_one(
+        self, fingerprint: str, changed_tables: FrozenSet[str], coalesced: int
+    ) -> bool:
+        """Refresh one shared result and notify its subscriptions.
+
+        The single refresh routine behind serial flushes and shard
+        workers alike; returns ``True`` when a refresh was performed.
+        """
+        with self._lock:
+            shared = self._cache.get(fingerprint)
+        if shared is None:  # all subscribers left while dirty
+            return False
+        previous = shared.result
+        epoch = shared.change_count()
+        try:
+            result_delta = shared.refresh(
+                self.database, incremental=self.incremental
+            )
+        except Exception as exc:  # noqa: BLE001 — isolate per plan
+            with self._lock:
+                self._stats["refresh_errors"] += 1
+            self.bus.publish("error", (fingerprint, exc))
+            return False
+        if result_delta is None:
+            changed = previous is None or shared.result != previous
+            with self._lock:
+                # The full re-evaluation read the tables under the write
+                # lock and subsumed every change event offered before it
+                # ran; its dirty mark is only kept when a *new* event
+                # arrived meanwhile (the change counter moved) — dropping
+                # that one would lose an update, re-flushing an already
+                # subsumed one would only waste a suppressed refresh.
+                if shared.change_count() == epoch:
+                    self._dirty.pop(fingerprint, None)
+                    self._dirty_events.pop(fingerprint, None)
+                self._stats["full_refreshes"] += 1
+                self._stats["evaluations"] += 1
+        else:
+            changed = not result_delta.is_empty()
+            with self._lock:
+                self._stats["delta_refreshes"] += 1
+                self._stats["evaluations"] += 1
+        for subscription in list(shared.subscribers):
+            if not changed and not subscription.notify_on_no_change:
+                subscription._mark_unchanged(coalesced)
+                with self._lock:
+                    self._stats["suppressed_notifications"] += 1
+                continue
+            delivered = subscription._notify(
+                changed_tables, coalesced, delta=result_delta
+            )
+            with self._lock:
+                self._stats["notifications"] += delivered
+        return True
+
+    # ------------------------------------------------------------------
+    # Background serving
+    # ------------------------------------------------------------------
+
+    def serve(self, *, debounce: float = 0.005) -> "SubscriptionManager":
+        """Start the background auto-flush loop; returns ``self``.
+
+        The loop sleeps until a modification event wakes it (there is no
+        polling of data and no clock-driven refresh — an idle database
+        costs nothing), waits *debounce* seconds so a burst of writes
+        coalesces into one flush round, then flushes.  Idempotent; a
+        second call only updates the debounce window.
+        """
+        with self._lock:
+            self._require_open()
+            self._serve_debounce = max(0.0, debounce)
+            if self._serve_thread is not None:
+                return self
+            self._serving = True
+            self._wakeup.clear()
+            thread = threading.Thread(
+                target=self._serve_loop, name="live-serve", daemon=True
+            )
+            self._serve_thread = thread
+        thread.start()
+        return self
+
+    def stop_serving(self) -> None:
+        """Stop the background flush loop (idempotent); pending events
+        stay queued for the next explicit :meth:`flush` or :meth:`close`."""
+        with self._lock:
+            thread = self._serve_thread
+            self._serving = False
+            self._serve_thread = None
+        if thread is not None:
+            self._wakeup.set()  # hasten the loop's exit check
+            thread.join(timeout=10)
+
+    @property
+    def serving(self) -> bool:
+        """``True`` while the background flush loop runs."""
+        return self._serve_thread is not None
+
+    def _serve_loop(self) -> None:
+        while self._serving:
+            # No timeout: an idle database costs nothing — the only
+            # wakers are modification events and stop_serving() (which
+            # sets the event after clearing the flag).
+            self._wakeup.wait()
+            if not self._serving:
+                return
+            if self._serve_debounce:
+                time.sleep(self._serve_debounce)
+            # Clear *before* flushing: an event that lands after the
+            # clear re-sets the flag and the next iteration flushes it —
+            # wakeups are never lost, at worst coalesced (which is the
+            # point of the debounce).
+            self._wakeup.clear()
+            if not self._serving:
+                # stop_serving() raced the debounce window and its wakeup
+                # was just cleared — exit now rather than blocking on an
+                # event nobody will ever set again.
+                return
+            try:
+                self.flush()
+            except QueryError:  # session closed under us
+                return
 
     # ------------------------------------------------------------------
     # Introspection
@@ -403,27 +719,57 @@ class SubscriptionManager:
 
     @property
     def subscriptions(self) -> List[Subscription]:
-        return list(self._subscriptions.values())
+        with self._lock:
+            return list(self._subscriptions.values())
 
     def shared_results(self) -> List[SharedResult]:
-        return [
-            entry
-            for fingerprint in sorted(self._cache.fingerprints())
-            for entry in (self._cache.get(fingerprint),)
-            if entry is not None
-        ]
+        with self._lock:
+            return [
+                entry
+                for fingerprint in sorted(self._cache.fingerprints())
+                for entry in (self._cache.get(fingerprint),)
+                if entry is not None
+            ]
 
     def stats(self) -> Dict[str, object]:
-        """A snapshot of the session's counters (all modification-driven)."""
-        return {
-            **self._stats,
-            "subscriptions": len(self._subscriptions),
-            "shared_results": len(self._cache),
-            "cache_hits": self._cache.hits,
-            "cache_misses": self._cache.misses,
-            "pending": self.pending,
-            "table_fanout": self._dependencies.table_fanout(),
-        }
+        """A snapshot of the session's counters (all modification-driven).
+
+        Beyond the PR-2 counters, the serving layer adds: queued /
+        dropped / coalesced notification counts and the delivery backlog
+        (zeros on the synchronous bus), per-shard flush counts
+        (``shard_flushes``, empty without ``flush_shards``), and the
+        ``serving`` flag of the background loop.
+        """
+        with self._lock:
+            data: Dict[str, object] = {
+                **self._stats,
+                "subscriptions": len(self._subscriptions),
+                "shared_results": len(self._cache),
+                "cache_hits": self._cache.hits,
+                "cache_misses": self._cache.misses,
+                "pending": len(self._dirty),
+                "table_fanout": self._dependencies.table_fanout(),
+            }
+        data["delivery_workers"] = self.delivery_workers
+        data["flush_shards"] = self.flush_shards
+        data["serving"] = self.serving
+        if self._async_bus:
+            bus_stats = self.bus.stats()
+            data["queued_notifications"] = bus_stats["queued"]
+            data["delivered_notifications"] = bus_stats["delivered"]
+            data["dropped_notifications"] = bus_stats["dropped"]
+            data["coalesced_notifications"] = bus_stats["coalesced"]
+            data["delivery_backlog"] = bus_stats["backlog"]
+        else:
+            data["queued_notifications"] = data["notifications"]
+            data["delivered_notifications"] = data["notifications"]
+            data["dropped_notifications"] = 0
+            data["coalesced_notifications"] = 0
+            data["delivery_backlog"] = 0
+        data["shard_flushes"] = (
+            self._scheduler.flush_counts() if self._scheduler is not None else ()
+        )
+        return data
 
 
 #: The user-facing name of the facade: one live session over one database.

@@ -13,6 +13,7 @@ triggers re-evaluation.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, Optional, TYPE_CHECKING
 
@@ -53,9 +54,22 @@ class SubscriptionStats:
 
 
 class Subscription:
-    """A client's live registration of an ongoing query plan."""
+    """A client's live registration of an ongoing query plan.
 
-    _counter = 0
+    Thread-delivery semantics (when the session runs the concurrent
+    serving layer, :mod:`repro.serve`): :meth:`_notify` runs on the one
+    flush-shard worker owning this plan's fingerprint, and ``on_refresh``
+    callbacks run on the one delivery worker owning this subscriber's
+    mailbox — both FIFO, so per-subscription bookkeeping and delivery
+    stay in refresh order without extra locking.  ``stats.pending_events``
+    is the exception: it is bumped on the intake path (under the session
+    lock) and reset by the shard worker, so treat it as a monitoring
+    gauge, not an exact ledger.
+    """
+
+    #: Process-wide id source; ``itertools.count`` hands out ids atomically,
+    #: so concurrent ``subscribe()`` calls can never collide on an id.
+    _ids = itertools.count(1)
 
     def __init__(
         self,
@@ -67,8 +81,7 @@ class Subscription:
         name: Optional[str] = None,
         notify_on_no_change: bool = False,
     ):
-        Subscription._counter += 1
-        self.id = Subscription._counter
+        self.id = next(Subscription._ids)
         self.name = name or f"subscription-{self.id}"
         self.manager = manager
         self.on_refresh = on_refresh

@@ -1,0 +1,213 @@
+"""Per-subscriber bounded mailboxes with backpressure policies.
+
+The serving layer never lets one slow client dictate the pace of the
+whole flush pipeline: every subscriber owns a bounded :class:`Mailbox`,
+and what happens when it fills is that subscriber's *backpressure
+policy*:
+
+* ``"block"`` — the producer waits for space.  Delivery is lossless and
+  exactly-once; backpressure propagates upstream to the flusher (and
+  ultimately to writers), which is what a must-not-miss consumer wants.
+* ``"drop_oldest"`` — evict the oldest queued item to admit the newest.
+  Bounded staleness for consumers that only care about recency.
+* ``"coalesce"`` — merge the newest item into the queue tail
+  (:meth:`~repro.live.events.RefreshNotification.coalesce_with` merges
+  their result-level deltas), so a full queue keeps *all* information in
+  fewer messages.  Items that cannot merge fall back to ``drop_oldest``.
+
+A mailbox is pinned to exactly one delivery worker
+(:mod:`repro.serve.bus`), which is what makes delivery **in-order per
+subscription** without any global ordering machinery; the worker's
+condition variable doubles as the mailbox lock, so producers, consumers,
+and the backpressure wait all synchronize on one primitive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+__all__ = ["BACKPRESSURE_POLICIES", "Mailbox", "coalesce_payloads"]
+
+#: The recognized backpressure policies, in documentation order.
+BACKPRESSURE_POLICIES = ("block", "drop_oldest", "coalesce")
+
+#: Outcomes of :meth:`Mailbox.put` (for stats and tests).  The payload is
+#: accepted in every case except ``REJECTED`` (a closed mailbox):
+#: ``DROPPED_OLDEST`` means an *older* queued item was evicted to admit it.
+QUEUED = "queued"
+COALESCED = "coalesced"
+DROPPED_OLDEST = "dropped_oldest"
+REJECTED = "rejected"
+
+
+def coalesce_payloads(older: Any, newer: Any) -> Optional[Any]:
+    """The default payload merger: coalesce refresh notifications.
+
+    Returns the merged payload, or ``None`` when the two cannot merge
+    (different subscriptions, or payloads that are not refresh
+    notifications at all — change events on the ``"change"`` topic, error
+    records).  Callers treat ``None`` as "fall back to drop_oldest".
+    """
+    merge = getattr(older, "coalesce_with", None)
+    if merge is None:
+        return None
+    try:
+        return merge(newer)
+    except (ValueError, AttributeError, TypeError):
+        return None
+
+
+class Mailbox:
+    """One subscriber's bounded delivery queue.
+
+    All state is guarded by *condition* — the owning delivery worker's
+    condition variable, shared so a single ``notify_all`` wakes both the
+    worker (new item) and blocked producers (space freed).  The mailbox
+    never runs listener code itself; it only stores payloads.
+    """
+
+    __slots__ = (
+        "listener",
+        "capacity",
+        "policy",
+        "condition",
+        "scheduled",
+        "closed",
+        "queued",
+        "delivered",
+        "dropped",
+        "coalesced",
+        "errors",
+        "_items",
+        "_coalesce",
+        # Set by the DeliveryPool at registration time.
+        "_worker",
+        "_on_error",
+    )
+
+    def __init__(
+        self,
+        listener: Callable[[Any], None],
+        *,
+        condition: threading.Condition,
+        capacity: int = 64,
+        policy: str = "coalesce",
+        coalesce: Callable[[Any, Any], Optional[Any]] = coalesce_payloads,
+    ):
+        if policy not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; "
+                f"choose one of {BACKPRESSURE_POLICIES}"
+            )
+        if capacity < 1:
+            raise ValueError("mailbox capacity must be at least 1")
+        self.listener = listener
+        self.capacity = capacity
+        self.policy = policy
+        self.condition = condition
+        #: ``True`` while the mailbox sits in its worker's ready queue.
+        self.scheduled = False
+        self.closed = False
+        # Counters (guarded by the condition like everything else).
+        self.queued = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.coalesced = 0
+        self.errors = 0
+        self._items: Deque[Any] = deque()
+        self._coalesce = coalesce
+        self._worker = None
+        self._on_error: Optional[Callable[..., None]] = None
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+
+    def put(self, payload: Any, *, timeout: Optional[float] = None) -> str:
+        """Admit *payload* under this mailbox's backpressure policy.
+
+        Returns the outcome (``"queued"``, ``"coalesced"``, or
+        ``"dropped_oldest"``).  Only the ``block`` policy can make the
+        caller wait; *timeout* bounds that wait (a timeout falls back to
+        ``drop_oldest`` so the producer always makes progress).
+
+        Must be called **with the condition held** when the caller
+        already holds it, or unheld otherwise — the method acquires it
+        itself.
+        """
+        with self.condition:
+            if self.closed:
+                self.dropped += 1
+                return REJECTED
+            outcome = QUEUED
+            if len(self._items) >= self.capacity:
+                if self.policy == "block":
+                    deadline = (
+                        None
+                        if timeout is None
+                        else threading.TIMEOUT_MAX
+                        if timeout < 0
+                        else timeout
+                    )
+                    waited = self.condition.wait_for(
+                        lambda: self.closed
+                        or len(self._items) < self.capacity,
+                        timeout=deadline,
+                    )
+                    if self.closed:
+                        self.dropped += 1
+                        return REJECTED
+                    if not waited:  # timed out: degrade, don't deadlock
+                        self._items.popleft()
+                        self.dropped += 1
+                        outcome = DROPPED_OLDEST
+                elif self.policy == "coalesce" and self._items:
+                    merged = self._coalesce(self._items[-1], payload)
+                    if merged is not None:
+                        self._items[-1] = merged
+                        self.coalesced += 1
+                        self.queued += 1
+                        self.condition.notify_all()
+                        return COALESCED
+                    self._items.popleft()
+                    self.dropped += 1
+                    outcome = DROPPED_OLDEST
+                else:  # drop_oldest (or an unmergeable coalesce)
+                    self._items.popleft()
+                    self.dropped += 1
+                    outcome = DROPPED_OLDEST
+            self._items.append(payload)
+            self.queued += 1
+            self.condition.notify_all()
+            return outcome
+
+    # ------------------------------------------------------------------
+    # Worker side (always called with the condition held)
+    # ------------------------------------------------------------------
+
+    def _pop(self) -> Any:
+        item = self._items.popleft()
+        self.condition.notify_all()  # space freed: wake blocked producers
+        return item
+
+    def _close(self) -> int:
+        """Drop all queued items; returns how many were discarded."""
+        discarded = len(self._items)
+        self._items.clear()
+        self.closed = True
+        self.dropped += discarded
+        self.condition.notify_all()
+        return discarded
+
+    def __len__(self) -> int:
+        with self.condition:
+            return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mailbox(policy={self.policy!r}, capacity={self.capacity}, "
+            f"queued={self.queued}, delivered={self.delivered}, "
+            f"dropped={self.dropped}, coalesced={self.coalesced})"
+        )

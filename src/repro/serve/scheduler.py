@@ -1,0 +1,191 @@
+"""Sharded flush scheduling: independent shared results refresh in parallel.
+
+A flush has embarrassing parallelism hiding in it: two shared results
+with different fingerprints share no operator state, so their refreshes
+cannot conflict — only refreshes of the *same* result must stay ordered.
+The :class:`FlushScheduler` encodes exactly that invariant:
+
+* each fingerprint hashes to one shard (:func:`~repro.serve.sharding.shard_index`);
+* each shard is one FIFO job queue drained by one dedicated worker
+  thread — per-result refreshes are **serially consistent** because the
+  owning worker never runs two of them concurrently or out of order;
+* a flush round submits every dirty fingerprint to its owning shard and
+  waits on a :class:`FlushRound` barrier until all of them refreshed.
+
+The scheduler knows nothing about plans or deltas: it runs an opaque
+``refresh(fingerprint, tables, coalesced) -> bool`` callable supplied by
+the :class:`~repro.live.manager.SubscriptionManager`, which keeps all
+refresh semantics (error isolation, notification suppression, stats) in
+one place whether the flush is serial or sharded.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.serve.sharding import shard_index
+
+__all__ = ["FlushRound", "FlushScheduler"]
+
+#: One unit of flush work: (fingerprint, changed tables, coalesced events).
+_Job = Tuple[str, FrozenSet[str], int]
+
+
+class FlushRound:
+    """Barrier handle for one submitted flush round."""
+
+    def __init__(self, expected: int):
+        self._condition = threading.Condition()
+        self._expected = expected
+        self._completed = 0
+        self.refreshed = 0
+
+    def _job_done(self, refreshed: bool) -> None:
+        with self._condition:
+            self._completed += 1
+            if refreshed:
+                self.refreshed += 1
+            if self._completed >= self._expected:
+                self._condition.notify_all()
+
+    def done(self) -> bool:
+        with self._condition:
+            return self._completed >= self._expected
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until every job of the round ran; returns refresh count."""
+        with self._condition:
+            self._condition.wait_for(
+                lambda: self._completed >= self._expected, timeout=timeout
+            )
+            return self.refreshed
+
+
+class _ShardWorker:
+    """One shard: a FIFO job queue drained by one thread."""
+
+    def __init__(
+        self,
+        index: int,
+        refresh: Callable[[str, FrozenSet[str], int], bool],
+        name: str,
+    ):
+        self.index = index
+        self.flushes = 0  # jobs run on this shard (stats)
+        self._refresh = refresh
+        self._condition = threading.Condition()
+        self._jobs: Deque[Tuple[_Job, FlushRound]] = deque()
+        self._open = True
+        self.thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self.thread.start()
+
+    def submit(self, job: _Job, round_: FlushRound) -> None:
+        with self._condition:
+            self._jobs.append((job, round_))
+            self._condition.notify()
+
+    def _run(self) -> None:
+        while True:
+            with self._condition:
+                while self._open and not self._jobs:
+                    self._condition.wait()
+                if not self._open and not self._jobs:
+                    return
+                (fingerprint, tables, coalesced), round_ = self._jobs.popleft()
+            refreshed = False
+            try:
+                refreshed = self._refresh(fingerprint, tables, coalesced)
+            except Exception:  # noqa: BLE001 — a refresh error must never
+                pass  # kill the shard; the manager isolates and records it
+            finally:
+                with self._condition:
+                    self.flushes += 1
+                round_._job_done(refreshed)
+
+    def backlog(self) -> int:
+        with self._condition:
+            return len(self._jobs)
+
+    def stop(self) -> None:
+        with self._condition:
+            self._open = False
+            self._condition.notify_all()
+        self.thread.join(timeout=10)
+
+
+class FlushScheduler:
+    """Routes dirty fingerprints to per-shard FIFO refresh workers."""
+
+    def __init__(
+        self,
+        refresh: Callable[[str, FrozenSet[str], int], bool],
+        *,
+        shards: int = 4,
+        name: str = "flush-shard",
+    ):
+        if shards < 1:
+            raise ValueError("a flush scheduler needs at least one shard")
+        self._workers = [
+            _ShardWorker(index, refresh, f"{name}-{index}")
+            for index in range(shards)
+        ]
+        self._closed = False
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._workers)
+
+    def shard_of(self, fingerprint: str) -> int:
+        return shard_index(fingerprint, len(self._workers))
+
+    def submit(
+        self,
+        dirty: Dict[str, FrozenSet[str]],
+        dirty_events: Optional[Dict[str, int]] = None,
+    ) -> FlushRound:
+        """Enqueue one refresh job per dirty fingerprint; non-blocking.
+
+        Jobs land on their owning shard's FIFO queue, so two rounds'
+        refreshes of the same fingerprint run in submission order while
+        different fingerprints proceed in parallel.
+        """
+        if self._closed:
+            raise RuntimeError("flush scheduler is closed")
+        round_ = FlushRound(len(dirty))
+        for fingerprint, tables in dirty.items():
+            coalesced = (dirty_events or {}).get(fingerprint, 0)
+            self._workers[self.shard_of(fingerprint)].submit(
+                (fingerprint, frozenset(tables), coalesced), round_
+            )
+        return round_
+
+    def flush(
+        self,
+        dirty: Dict[str, FrozenSet[str]],
+        dirty_events: Optional[Dict[str, int]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Submit and wait; returns the number of performed refreshes."""
+        return self.submit(dirty, dirty_events).wait(timeout=timeout)
+
+    def flush_counts(self) -> Tuple[int, ...]:
+        """Jobs run per shard since startup (the stats counter)."""
+        return tuple(worker.flushes for worker in self._workers)
+
+    def backlog(self) -> int:
+        return sum(worker.backlog() for worker in self._workers)
+
+    def close(self) -> None:
+        """Stop all shard workers after their queues drain."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -24,20 +24,26 @@ from repro.sqlish.parser import parse
 __all__ = ["compile_statement", "run", "parse", "tokenize", "subscribe"]
 
 
-def subscribe(source: str, manager, **kwargs):
+def subscribe(source: str, session, **kwargs):
     """Register an OSQL statement as a live subscription.
 
-    Compiles *source* against the manager's database and hands the plan to
-    :meth:`repro.live.SubscriptionManager.subscribe`; keyword arguments
-    (``on_refresh``, ``reference_time``, ``name``) pass through.  Returns
-    the :class:`repro.live.Subscription` handle::
+    *session* is a :class:`repro.live.SubscriptionManager` — or a
+    :class:`~repro.engine.database.Database`, whose lazily created live
+    session is then used (``db.live_session(...)`` configures it, e.g.
+    with ``delivery_workers``/``flush_shards`` for concurrent serving).
+    Compiles *source* against the session's database and hands the plan
+    to :meth:`repro.live.SubscriptionManager.subscribe`; keyword
+    arguments (``on_refresh``, ``reference_time``, ``name``,
+    ``backpressure``, ``queue_capacity``) pass through.  Returns the
+    :class:`repro.live.Subscription` handle::
 
-        session = LiveSession(database)
+        session = LiveSession(database, delivery_workers=4)
         sub = subscribe("SELECT * FROM B WHERE ...", session,
                         on_refresh=push_to_client)
 
     Aggregate queries do not compile to a pure plan and cannot be
     subscribed (:class:`~repro.errors.QueryError`).
     """
+    manager = session.live_session() if hasattr(session, "live_session") else session
     plan = compile_statement(source, manager.database)
     return manager.subscribe(plan, **kwargs)

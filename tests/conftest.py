@@ -26,6 +26,19 @@ hypothesis.settings.register_profile(
 )
 hypothesis.settings.load_profile("repro")
 
+
+def pytest_configure(config):
+    # The concurrency suite (tests/serve) marks its stress tests with
+    # @pytest.mark.timeout(...).  The marker is enforced by pytest-timeout
+    # where installed (CI); registering it here keeps the suite runnable
+    # without the plugin — the tests carry their own join() deadlines, so
+    # they fail rather than hang either way.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout, enforced by pytest-timeout "
+        "when installed (registered as a no-op fallback otherwise)",
+    )
+
 # ----------------------------------------------------------------------
 # Strategies
 # ----------------------------------------------------------------------

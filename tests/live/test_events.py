@@ -57,6 +57,72 @@ class TestEventBus:
         assert bus.listener_count() == 1
 
 
+class TestErrorTopicGuard:
+    """A listener that raises while handling an error must not recurse
+    through the error channel or starve its peers (PR 3 regression)."""
+
+    def test_listener_failures_are_announced(self):
+        bus = EventBus()
+        failures = []
+        bus.subscribe(EventBus.LISTENER_ERROR_TOPIC, failures.append)
+
+        def explode(payload):
+            raise RuntimeError("boom")
+
+        bus.subscribe("refresh", explode)
+        bus.publish("refresh", "payload")
+        ((topic, listener, error),) = failures
+        assert topic == "refresh" and listener is explode
+        assert isinstance(error, RuntimeError)
+
+    def test_raising_error_listener_does_not_recurse(self):
+        bus = EventBus()
+        survivors = []
+
+        def explode(payload):
+            raise RuntimeError("error handler is itself broken")
+
+        bus.subscribe("error", explode)
+        bus.subscribe("error", survivors.append)
+        # Publishing on the error topic with a raising listener used to
+        # be the recursion seed; now it records and moves on.
+        assert bus.publish("error", ("fingerprint", ValueError("x"))) == 1
+        assert len(survivors) == 1
+        ((topic, listener, _),) = bus.errors
+        assert topic == "error" and listener is explode
+
+    def test_raising_listener_error_listener_terminates(self):
+        bus = EventBus()
+
+        def explode(payload):
+            raise RuntimeError("boom")
+
+        def meta_explode(payload):
+            raise RuntimeError("the watcher is broken too")
+
+        bus.subscribe("refresh", explode)
+        bus.subscribe(EventBus.LISTENER_ERROR_TOPIC, meta_explode)
+        # refresh fails → announced on listener-error → that listener
+        # fails too → recorded, NOT re-announced.  Termination is the
+        # regression being tested: this used to be unbounded.
+        bus.publish("refresh", "payload")
+        topics = [topic for topic, _, _ in bus.errors]
+        assert topics == ["refresh", EventBus.LISTENER_ERROR_TOPIC]
+
+    def test_peers_still_delivered_after_error_storm(self):
+        bus = EventBus()
+        seen = []
+
+        def explode(payload):
+            raise RuntimeError("boom")
+
+        bus.subscribe(EventBus.LISTENER_ERROR_TOPIC, explode)
+        bus.subscribe("t", explode)
+        bus.subscribe("t", seen.append)
+        assert bus.publish("t", "payload") == 1
+        assert seen == ["payload"]
+
+
 class TestDatabaseChangeEvents:
     def _database(self):
         db = Database("events")

@@ -1,0 +1,158 @@
+"""Bounded mailboxes: capacity, backpressure policies, coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.live.events import RefreshNotification
+from repro.engine.delta import Delta
+from repro.relational.tuples import OngoingTuple
+from repro.core.intervalset import UNIVERSAL_SET
+from repro.serve.queues import (
+    BACKPRESSURE_POLICIES,
+    COALESCED,
+    DROPPED_OLDEST,
+    Mailbox,
+    QUEUED,
+    REJECTED,
+)
+
+
+def _mailbox(**kwargs):
+    condition = threading.Condition()
+    received = []
+    box = Mailbox(received.append, condition=condition, **kwargs)
+    return box, received
+
+
+def _drain(box):
+    """Pop everything queued (what the delivery worker would do)."""
+    items = []
+    with box.condition:
+        while len(box._items):
+            items.append(box._pop())
+    return items
+
+
+def _row(value):
+    return OngoingTuple((value,), UNIVERSAL_SET)
+
+
+def _notification(subscription, *, inserted=(), result="result"):
+    return RefreshNotification(
+        subscription=subscription,
+        result=result,
+        changed_tables=("R",),
+        delta=Delta.insert(tuple(_row(v) for v in inserted)),
+    )
+
+
+class TestPolicies:
+    def test_policy_catalogue(self):
+        assert BACKPRESSURE_POLICIES == ("block", "drop_oldest", "coalesce")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            _mailbox(policy="bounce")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            _mailbox(capacity=0)
+
+    def test_queued_until_capacity(self):
+        box, _ = _mailbox(capacity=3, policy="drop_oldest")
+        assert [box.put(i) for i in range(3)] == [QUEUED] * 3
+        assert len(box) == 3
+
+    def test_drop_oldest_evicts_head(self):
+        box, _ = _mailbox(capacity=2, policy="drop_oldest")
+        box.put("a")
+        box.put("b")
+        assert box.put("c") == DROPPED_OLDEST
+        assert _drain(box) == ["b", "c"]
+        assert box.dropped == 1
+
+    def test_block_policy_waits_for_space(self):
+        box, _ = _mailbox(capacity=1, policy="block")
+        box.put("a")
+        outcomes = []
+
+        def producer():
+            outcomes.append(box.put("b"))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not outcomes  # still blocked on the full queue
+        with box.condition:
+            assert box._pop() == "a"
+        thread.join(timeout=5)
+        assert outcomes == [QUEUED]
+        assert _drain(box) == ["b"]
+        assert box.dropped == 0
+
+    def test_block_policy_timeout_degrades_to_drop(self):
+        box, _ = _mailbox(capacity=1, policy="block")
+        box.put("a")
+        assert box.put("b", timeout=0.01) == DROPPED_OLDEST
+        assert _drain(box) == ["b"]
+
+    def test_closed_mailbox_rejects(self):
+        box, _ = _mailbox(capacity=2)
+        box.put("a")
+        with box.condition:
+            box._close()
+        assert box.put("b") == REJECTED
+        assert len(box) == 0
+
+
+class _FakeSubscription:
+    pass
+
+
+class TestCoalescing:
+    def test_notifications_merge_at_capacity(self):
+        subscription = _FakeSubscription()
+        box, _ = _mailbox(capacity=1, policy="coalesce")
+        first = _notification(subscription, inserted=("a",), result="r1")
+        second = _notification(subscription, inserted=("b",), result="r2")
+        assert box.put(first) == QUEUED
+        assert box.put(second) == COALESCED
+        (merged,) = _drain(box)
+        # Latest result wins; the result-level deltas are merged so the
+        # subscriber misses nothing by skipping the intermediate delivery.
+        assert merged.result == "r2"
+        assert {row.values[0] for row in merged.delta.inserted} == {"a", "b"}
+        assert box.coalesced == 1
+        assert box.dropped == 0
+
+    def test_below_capacity_items_stay_distinct(self):
+        subscription = _FakeSubscription()
+        box, _ = _mailbox(capacity=4, policy="coalesce")
+        box.put(_notification(subscription, inserted=("a",)))
+        box.put(_notification(subscription, inserted=("b",)))
+        assert len(box) == 2
+        assert box.coalesced == 0
+
+    def test_unmergeable_payloads_fall_back_to_drop_oldest(self):
+        box, _ = _mailbox(capacity=1, policy="coalesce")
+        box.put("plain")  # no coalesce_with
+        assert box.put("newer") == DROPPED_OLDEST
+        assert _drain(box) == ["newer"]
+
+    def test_different_subscriptions_never_merge(self):
+        box, _ = _mailbox(capacity=1, policy="coalesce")
+        box.put(_notification(_FakeSubscription(), inserted=("a",)))
+        outcome = box.put(_notification(_FakeSubscription(), inserted=("b",)))
+        assert outcome == DROPPED_OLDEST
+
+    def test_unknown_delta_coalesces_to_unknown(self):
+        subscription = _FakeSubscription()
+        first = RefreshNotification(
+            subscription=subscription, result="r1", delta=None
+        )
+        second = _notification(subscription, inserted=("b",), result="r2")
+        merged = first.coalesce_with(second)
+        assert merged.delta is None  # unknown + known = unknown
+        assert merged.result == "r2"

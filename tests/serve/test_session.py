@@ -1,0 +1,357 @@
+"""The serving session: sharded flushes, async delivery, serve loop, stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.interval import until_now
+from repro.engine.database import Database
+from repro.engine.modifications import current_delete, current_insert
+from repro.engine.plan import scan
+from repro.errors import QueryError
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+
+def _database():
+    db = Database("serve-session")
+    r = db.create_table("R", Schema.of("K", ("VT", "interval")))
+    s = db.create_table("S", Schema.of("K", ("VT", "interval")))
+    for i in range(12):
+        r.insert(i % 4, until_now(i))
+        s.insert(i % 4, until_now(i + 1))
+    return db
+
+
+def _plans():
+    return {
+        "filter": scan("R").where(col("K") == lit(1)),
+        "join": scan("R").join(
+            scan("S"), on=col("R.K") == col("S.K"), left_name="R", right_name="S"
+        ),
+        "union": scan("R").union(scan("S")),
+        "project": scan("S").select_columns("K"),
+    }
+
+
+class TestShardedFlush:
+    def test_results_match_serial_session(self):
+        db_a, db_b = _database(), _database()
+        serial = LiveSession(db_a)
+        sharded = LiveSession(db_b, flush_shards=4)
+        subs_a = {k: serial.subscribe(p) for k, p in _plans().items()}
+        subs_b = {k: sharded.subscribe(p) for k, p in _plans().items()}
+        for db in (db_a, db_b):
+            current_insert(db.table("R"), (1,), at=20)
+            current_delete(
+                db.table("S"), lambda row: row.values[0] == 2, at=21
+            )
+        assert serial.flush() == sharded.flush()
+        for key in _plans():
+            assert frozenset(subs_a[key].result.tuples) == frozenset(
+                subs_b[key].result.tuples
+            )
+        sharded.close()
+        serial.close()
+
+    def test_per_shard_flush_counts_sum_to_refreshes(self):
+        db = _database()
+        session = LiveSession(db, flush_shards=3)
+        for plan in _plans().values():
+            session.subscribe(plan)
+        current_insert(db.table("R"), (1,), at=20)
+        current_insert(db.table("S"), (2,), at=20)
+        refreshed = session.flush()
+        stats = session.stats()
+        assert refreshed == len(_plans())
+        assert sum(stats["shard_flushes"]) == refreshed
+        assert len(stats["shard_flushes"]) == 3
+        assert stats["flush_shards"] == 3
+        session.close()
+
+    def test_refresh_errors_stay_isolated_per_shard(self):
+        db = _database()
+        session = LiveSession(db, flush_shards=2)
+        doomed = session.subscribe(scan("R").where(col("K") > lit(0)))
+        survivor = session.subscribe(_plans()["union"])
+        errors = []
+        session.bus.subscribe("error", errors.append)
+        db.table("R").insert(None, until_now(5))  # poisons the filter
+        assert session.flush() >= 1
+        assert survivor.stats.refreshes == 1
+        assert session.stats()["refresh_errors"] == 1
+        assert errors and errors[0][0] == doomed.fingerprint
+        session.close()
+
+
+class TestReviewRegressions:
+    def test_auto_flush_with_shards_does_not_deadlock(self):
+        """auto_flush fires inside the modification hook — under the
+        database write lock.  With flush_shards the flush must run in the
+        background: a shard worker re-evaluating fully needs that same
+        lock, so an inline flush would deadlock against its own writer."""
+        db = _database()
+        session = LiveSession(db, flush_shards=2, auto_flush=True)
+        sub = session.subscribe(_plans()["filter"])
+        # replace_all is untyped (full-flagged delta): the refresh takes
+        # the full re-evaluation path that needs the write lock.
+        db.table("R").replace_all(db.table("R").rows())
+        db.table("R").insert(1, until_now(25))
+        expected = frozenset(db.query(_plans()["filter"]).tuples)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if (
+                session.pending == 0
+                and frozenset(sub.result.tuples) == expected
+            ):
+                break
+            time.sleep(0.01)
+        assert session.pending == 0, "background auto-flush never completed"
+        assert frozenset(sub.result.tuples) == expected
+        session.close()
+
+    def test_write_racing_a_full_refresh_keeps_its_dirty_mark(self):
+        """A write that lands after a full re-evaluation re-read the
+        tables must keep the plan dirty even when the maintainer never
+        accumulates row deltas (incremental=False, unsupported plans)."""
+        db = _database()
+        session = LiveSession(db, incremental=False)
+        sub = session.subscribe(_plans()["filter"])
+        (shared,) = session.shared_results()
+        real_refresh = shared.refresh
+
+        def racing_refresh(database, **kwargs):
+            delta = real_refresh(database, **kwargs)
+            # The race window: a writer slips in after the re-read but
+            # before the manager decides the dirty mark's fate.
+            current_insert(db.table("R"), (1,), at=90)
+            return delta
+
+        shared.refresh = racing_refresh
+        current_insert(db.table("R"), (1,), at=89)
+        session.flush()
+        shared.refresh = real_refresh
+        assert session.pending == 1, "the racing write lost its dirty mark"
+        session.flush()
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_plans()["filter"]).tuples
+        )
+        session.close()
+
+    def test_stop_serving_during_debounce_returns_promptly(self):
+        """stop_serving() racing the debounce window must not have its
+        wakeup erased by the loop's clear() — that used to strand the
+        loop on an event nobody would ever set again."""
+        db = _database()
+        session = LiveSession(db, flush_shards=1)
+        session.serve(debounce=0.2)
+        session.subscribe(_plans()["filter"])
+        db.table("R").insert(1, until_now(30))  # loop enters its debounce
+        time.sleep(0.05)
+        started = time.monotonic()
+        session.stop_serving()
+        assert time.monotonic() - started < 5, "serve loop missed the stop"
+        assert not session.serving
+        session.close()
+
+    def test_live_session_is_a_singleton_under_concurrent_first_calls(self):
+        db = _database()
+        sessions = []
+        threads = [
+            threading.Thread(target=lambda: sessions.append(db.live_session()))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(sessions) == 8
+        assert len({id(session) for session in sessions}) == 1
+        sessions[0].close()
+
+
+class TestAsyncDelivery:
+    def test_notifications_arrive_on_worker_threads(self):
+        db = _database()
+        session = LiveSession(db, delivery_workers=2, backpressure="block")
+        main = threading.get_ident()
+        received = []
+        session.subscribe(
+            _plans()["filter"],
+            on_refresh=lambda event: received.append(threading.get_ident()),
+        )
+        current_insert(db.table("R"), (1,), at=20)
+        session.flush()
+        assert session.bus.drain(timeout=5)
+        assert received and all(ident != main for ident in received)
+        session.close()
+
+    def test_exactly_once_in_order_per_subscription(self):
+        db = _database()
+        session = LiveSession(db, delivery_workers=3, backpressure="block")
+        sizes = []
+        session.subscribe(
+            _plans()["union"],
+            on_refresh=lambda event: sizes.append(len(event.result.tuples)),
+        )
+        rounds = 6
+        for i in range(rounds):
+            db.table("R").insert(100 + i, until_now(25 + i))
+            session.flush()
+        assert session.bus.drain(timeout=10)
+        # One notification per changing flush, in flush order: the union
+        # grows by one row each round, so the sizes strictly increase.
+        assert len(sizes) == rounds
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == rounds
+        stats = session.stats()
+        assert stats["queued_notifications"] == rounds
+        assert stats["delivered_notifications"] == rounds
+        assert stats["dropped_notifications"] == 0
+        session.close()
+
+    def test_coalesce_backpressure_counts_and_merges(self):
+        db = _database()
+        session = LiveSession(
+            db, delivery_workers=1, queue_capacity=1, backpressure="coalesce"
+        )
+        release = threading.Event()
+        received = []
+
+        def subscriber(event):
+            if not received:
+                release.wait(timeout=10)
+            received.append(event)
+
+        session.subscribe(_plans()["filter"], on_refresh=subscriber)
+        current_insert(db.table("R"), (1,), at=20)
+        session.flush()  # delivery #1 jams the only worker
+        time.sleep(0.05)
+        for i in range(3):  # three more refreshes pile onto capacity 1
+            current_insert(db.table("R"), (1,), at=21 + i)
+            session.flush()
+        release.set()
+        assert session.bus.drain(timeout=10)
+        stats = session.stats()
+        assert stats["coalesced_notifications"] == 2
+        assert stats["queued_notifications"] == 4
+        assert len(received) == 2
+        final = received[-1]
+        # The coalesced notification carries the merged result-level
+        # delta: all three late inserts, none lost.
+        assert final.delta is not None and len(final.delta.inserted) == 3
+        assert frozenset(final.result.tuples) == frozenset(
+            db.query(_plans()["filter"]).tuples
+        )
+        session.close()
+
+    def test_per_subscription_policy_override(self):
+        db = _database()
+        session = LiveSession(
+            db, delivery_workers=1, queue_capacity=1, backpressure="coalesce"
+        )
+        release = threading.Event()
+        audit = []
+
+        def auditor(event):
+            if not audit:
+                release.wait(timeout=10)
+            audit.append(event)
+
+        session.subscribe(
+            _plans()["filter"],
+            on_refresh=auditor,
+            backpressure="block",
+            queue_capacity=64,
+        )
+        current_insert(db.table("R"), (1,), at=20)
+        session.flush()
+        time.sleep(0.05)
+        for i in range(3):
+            current_insert(db.table("R"), (1,), at=21 + i)
+            session.flush()
+        release.set()
+        assert session.bus.drain(timeout=10)
+        # A blocking subscriber hears every refresh individually.
+        assert len(audit) == 4
+        assert session.stats()["coalesced_notifications"] == 0
+        session.close()
+
+
+class TestServeLoop:
+    def test_serve_flushes_without_explicit_flush(self):
+        db = _database()
+        session = LiveSession(db, delivery_workers=2, flush_shards=2)
+        arrived = threading.Event()
+        session.subscribe(
+            _plans()["filter"], on_refresh=lambda event: arrived.set()
+        )
+        session.serve(debounce=0.002)
+        assert session.serving
+        assert session.stats()["serving"] is True
+        current_insert(db.table("R"), (1,), at=20)
+        assert arrived.wait(timeout=5)
+        session.close()
+        assert not session.serving
+
+    def test_serve_debounce_coalesces_bursts(self):
+        db = _database()
+        session = LiveSession(db, flush_shards=2)
+        session.serve(debounce=0.05)
+        sub = session.subscribe(_plans()["filter"])
+        with db.table("R").lock:  # the burst is atomic for the loop
+            for i in range(10):
+                db.table("R").insert(1, until_now(30 + i))
+        deadline = time.monotonic() + 5
+        while session.pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert session.pending == 0
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_plans()["filter"]).tuples
+        )
+        # All ten inserts landed in at most a couple of flush rounds.
+        assert session.stats()["flushes"] <= 3
+        session.close()
+
+    def test_flush_async_returns_waitable_handle(self):
+        db = _database()
+        session = LiveSession(db, flush_shards=2)
+        sub = session.subscribe(_plans()["union"])
+        current_insert(db.table("R"), (7,), at=20)
+        handle = session.flush_async()
+        assert handle.wait(timeout=5) == 1
+        assert handle.done()
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_plans()["union"]).tuples
+        )
+        session.close()
+
+    def test_close_delivers_owed_notifications(self):
+        db = _database()
+        session = LiveSession(db, delivery_workers=2)
+        received = []
+        session.subscribe(_plans()["filter"], on_refresh=received.append)
+        session.serve(debounce=0.002)
+        current_insert(db.table("R"), (1,), at=20)
+        session.close()  # stops the loop, final flush, drains the queues
+        assert received  # the owed notification arrived before teardown
+        assert session.closed
+        with pytest.raises(QueryError):
+            session.flush()
+
+    def test_stop_serving_keeps_events_for_explicit_flush(self):
+        db = _database()
+        session = LiveSession(db, flush_shards=2)
+        sub = session.subscribe(_plans()["filter"])
+        session.serve(debounce=0.002)
+        session.stop_serving()
+        current_insert(db.table("R"), (1,), at=20)
+        time.sleep(0.05)
+        assert session.pending == 1  # nobody flushed behind our back
+        assert session.flush() == 1
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_plans()["filter"]).tuples
+        )
+        session.close()
