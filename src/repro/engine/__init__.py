@@ -25,6 +25,7 @@ from repro.engine.delta import (
     NonIncrementalDelta,
 )
 from repro.engine.plan import (
+    Aggregate,
     Difference,
     Join,
     PlanNode,
@@ -36,6 +37,7 @@ from repro.engine.plan import (
 )
 from repro.engine.planner import Planner, plan_query
 from repro.engine.executor import (
+    AggregateOp,
     DifferenceOp,
     FixedFilter,
     HashJoin,
@@ -71,6 +73,7 @@ __all__ = [
     "EMPTY_DELTA",
     "FULL_DELTA",
     "NonIncrementalDelta",
+    "Aggregate",
     "Difference",
     "Join",
     "PlanNode",
@@ -81,6 +84,7 @@ __all__ = [
     "scan",
     "Planner",
     "plan_query",
+    "AggregateOp",
     "DifferenceOp",
     "FixedFilter",
     "HashJoin",

@@ -27,9 +27,12 @@ operator's :class:`~repro.engine.delta.OperatorState`, and
 this operator's output delta, updating the state in place.  Filters and
 projections map deltas tuple-by-tuple; joins probe only the delta side
 against their cached build state (``Δ(L⋈R) = ΔL⋈R_old ∪ L_new⋈ΔR``);
-union and difference adjust derivation counts.  An operator without an
-incremental rule raises :class:`~repro.engine.delta.NonIncrementalDelta`,
-which callers answer with an automatic full re-evaluation.
+union and difference adjust derivation counts; aggregation
+(:class:`AggregateOp`) keeps per-group member sets and re-aggregates only
+the groups a delta touches, emitting a delete+insert pair for each
+changed group row.  An operator without an incremental rule raises
+:class:`~repro.engine.delta.NonIncrementalDelta`, which callers answer
+with an automatic full re-evaluation.
 """
 
 from __future__ import annotations
@@ -62,6 +65,7 @@ __all__ = [
     "MergeIntervalJoin",
     "UnionOp",
     "DifferenceOp",
+    "AggregateOp",
     "materialize",
 ]
 
@@ -909,4 +913,155 @@ class DifferenceOp(PhysicalOperator):
             by_fixed.setdefault(self._fixed_key(item), {})[item] = None
             if out is not None:
                 changes[out] = changes.get(out, 0) + 1
+        return commit_changes(state, changes)
+
+
+class AggregateOp(PhysicalOperator):
+    """γ — grouped RT-aware aggregation over the child's output set.
+
+    The pull path materializes the child and delegates to the proven
+    relational operator (:func:`repro.relational.aggregate.group_by`);
+    the aggregate computes (count / sum_duration / min / max) are the
+    same order-insensitive event sweeps on both paths, so the delta rule
+    below reproduces a from-scratch evaluation exactly.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_positions: Sequence[int],
+        group_names: Sequence[str],
+        aggregate: str,
+        argument: Optional[str],
+        out_schema: Schema,
+    ):
+        from repro.relational.aggregate import aggregate_function
+
+        self.child = child
+        self.group_positions = tuple(group_positions)
+        self.group_names = tuple(group_names)
+        self.aggregate = aggregate
+        self.argument = argument
+        self.schema = out_schema
+        self._compute = aggregate_function(aggregate)
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        from repro.relational.aggregate import group_by
+
+        relation = OngoingRelation(self.child.schema, self.child)
+        result = group_by(
+            relation,
+            self.group_names,
+            self.aggregate,
+            self.argument,
+            output_name=self.schema.names[-1],
+        )
+        return iter(result.tuples)
+
+    def _describe(self) -> str:
+        argument = self.argument if self.argument is not None else "*"
+        by = ", ".join(self.group_names) or "()"
+        return f"Aggregate γ {self.aggregate}({argument}) by [{by}]"
+
+    def _children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    # ------------------------------------------------------------------
+    # Incremental protocol.
+    #
+    # The state keeps each group's member set (``groups``: key → ordered
+    # set of child tuples) plus the output row it currently produces
+    # (``out``: key → tuple).  A delta is partitioned by group key, and
+    # only the touched groups re-aggregate — O(|group| log |group|) per
+    # touched group, independent of the relation.  A changed group emits
+    # a delete of its old row and an insert of the new one; a group whose
+    # last member leaves just deletes (the scalar group — no grouping
+    # columns — instead falls back to the SQL empty-aggregate row, so
+    # ``SELECT COUNT(*)`` flips to the constant 0 instead of vanishing).
+    # ------------------------------------------------------------------
+
+    def _key(self, item: OngoingTuple) -> Tuple[object, ...]:
+        return tuple(item.values[p] for p in self.group_positions)
+
+    def _group_row(
+        self, key: Tuple[object, ...], members: Dict[OngoingTuple, None]
+    ) -> Optional[OngoingTuple]:
+        """The output row of one group — ``None`` when the group is gone."""
+        from repro.relational.aggregate import members_support, scalar_empty_row
+
+        if members:
+            value = self._compute(self.child.schema, members, self.argument)
+            return OngoingTuple(key + (value,), members_support(members))
+        if not self.group_positions:
+            return scalar_empty_row(self.aggregate)
+        return None
+
+    def delta_state(self) -> OperatorState:
+        state = OperatorState()
+        state.extra["groups"] = {}
+        state.extra["out"] = {}
+        return state
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        (items,) = inputs
+        groups: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
+            "groups"
+        ]
+        outs: Dict[Tuple[object, ...], OngoingTuple] = state.extra["out"]
+        for item in items:
+            groups.setdefault(self._key(item), {})[item] = None
+        if not self.group_positions:
+            groups.setdefault((), {})  # the scalar group always exists
+        counts = state.counts
+        for key, members in groups.items():
+            row = self._group_row(key, members)
+            if row is not None:
+                outs[key] = row
+                counts[row] = counts.get(row, 0) + 1
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        (delta,) = deltas
+        groups: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
+            "groups"
+        ]
+        outs: Dict[Tuple[object, ...], OngoingTuple] = state.extra["out"]
+        touched: Dict[Tuple[object, ...], None] = {}
+        for item in delta.deleted:
+            key = self._key(item)
+            bucket = groups.get(key)
+            if bucket is None or item not in bucket:
+                raise NonIncrementalDelta(
+                    "delete of a tuple unknown to the aggregate's group"
+                )
+            del bucket[item]
+            touched[key] = None
+        for item in delta.inserted:
+            key = self._key(item)
+            bucket = groups.setdefault(key, {})
+            if item in bucket:
+                raise NonIncrementalDelta(
+                    "insert of a tuple already aggregated in its group"
+                )
+            bucket[item] = None
+            touched[key] = None
+        changes: Dict[OngoingTuple, int] = {}
+        for key in touched:
+            members = groups.get(key, {})
+            old = outs.get(key)
+            new = self._group_row(key, members)
+            if not members and self.group_positions:
+                groups.pop(key, None)  # drop the emptied group's bucket
+            if new == old:
+                continue  # e.g. a delete+insert pair that kept the value
+            if old is not None:
+                changes[old] = changes.get(old, 0) - 1
+            if new is not None:
+                changes[new] = changes.get(new, 0) + 1
+                outs[key] = new
+            else:
+                outs.pop(key, None)
         return commit_changes(state, changes)

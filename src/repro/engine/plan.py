@@ -31,6 +31,7 @@ __all__ = [
     "Join",
     "Union",
     "Difference",
+    "Aggregate",
     "scan",
 ]
 
@@ -62,6 +63,19 @@ class PlanNode:
 
     def difference(self, other: "PlanNode") -> "Difference":
         return Difference(self, other)
+
+    def group_by(
+        self,
+        group_columns: Sequence[str],
+        aggregate: str,
+        argument: Optional[str] = None,
+        *,
+        output_name: Optional[str] = None,
+    ) -> "Aggregate":
+        """Fluent grouped aggregation (γ) on top of this node."""
+        return Aggregate(
+            self, group_columns, aggregate, argument, output_name=output_name
+        )
 
     def children(self) -> Tuple["PlanNode", ...]:
         """The child nodes (for plan walkers)."""
@@ -246,6 +260,58 @@ class Difference(PlanNode):
 
     def __repr__(self) -> str:
         return f"Difference({self.left!r}, {self.right!r})"
+
+
+class Aggregate(PlanNode):
+    """``γ_{group_columns; aggregate(argument)}(child)`` — grouped
+    RT-aware aggregation producing an ongoing-integer column.
+
+    *group_columns* name fixed attributes of the child; *aggregate* is one
+    of the registry names of :mod:`repro.relational.aggregate` (``count``,
+    ``sum_duration``, ``min``, ``max``); *argument* is the aggregated
+    column (``None`` for ``count``); *output_name* names the aggregate
+    column and is normalized to its default — the aggregate name — at
+    construction, so ``output_name=None`` and an explicit
+    ``output_name="count"`` are the *same* plan.  Like every plan node it
+    is immutable and fingerprintable — two subscribers to the same GROUP
+    BY query share one materialization and one delta-maintained state.
+    """
+
+    __slots__ = ("child", "group_columns", "aggregate", "argument", "output_name")
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_columns: Sequence[str],
+        aggregate: str,
+        argument: Optional[str] = None,
+        *,
+        output_name: Optional[str] = None,
+    ):
+        if not aggregate:
+            raise QueryError("aggregation requires an aggregate name")
+        self.child = child
+        self.group_columns = tuple(group_columns)
+        self.aggregate = aggregate
+        self.argument = argument
+        self.output_name = output_name or aggregate
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def canonical(self) -> str:
+        return (
+            f"Aggregate({self.child.canonical()}, "
+            f"by={list(self.group_columns)!r}, fn={self.aggregate!r}, "
+            f"arg={self.argument!r}, out={self.output_name!r})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregate({self.child!r}, by={list(self.group_columns)!r}, "
+            f"fn={self.aggregate!r}, arg={self.argument!r}, "
+            f"out={self.output_name!r})"
+        )
 
 
 def scan(table: str) -> Scan:

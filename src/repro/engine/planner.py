@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.engine import plan as logical
 from repro.engine.executor import (
+    AggregateOp,
     DifferenceOp,
     FixedFilter,
     HashJoin,
@@ -88,6 +89,8 @@ class Planner:
             return DifferenceOp(
                 self.plan(node.left, database), self.plan(node.right, database)
             )
+        if isinstance(node, logical.Aggregate):
+            return self._plan_aggregate(node, database)
         raise QueryError(f"unknown plan node {node!r}")
 
     # ------------------------------------------------------------------
@@ -145,6 +148,39 @@ class Planner:
                 attributes.append(Attribute(name, kind))
                 expressions.append(expression)
         return ProjectOp(child, expressions, Schema(attributes))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def _plan_aggregate(
+        self, node: logical.Aggregate, database
+    ) -> PhysicalOperator:
+        from repro.relational.aggregate import validate_aggregate
+
+        child = self.plan(node.child, database)
+        schema = child.schema
+        validate_aggregate(schema, node.aggregate, node.argument)
+        positions: List[int] = []
+        for name in node.group_columns:
+            if schema.attribute(name).kind.is_ongoing:
+                raise SchemaError(
+                    f"cannot group by ongoing attribute {name!r}; grouping "
+                    f"keys must be fixed"
+                )
+            positions.append(schema.index_of(name))
+        out_attributes = [schema.attribute(name) for name in node.group_columns]
+        out_attributes.append(
+            Attribute(node.output_name, AttributeKind.ONGOING_INTEGER)
+        )
+        return AggregateOp(
+            child,
+            positions,
+            node.group_columns,
+            node.aggregate,
+            node.argument,
+            Schema(out_attributes),
+        )
 
     # ------------------------------------------------------------------
     # Join: algorithm selection

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.engine.plan import (
+    Aggregate,
     Difference,
     Join,
     PlanNode,
@@ -85,6 +86,16 @@ def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
         return Union(rewrite(plan.left), rewrite(plan.right))
     if isinstance(plan, Difference):
         return Difference(rewrite(plan.left), rewrite(plan.right))
+    if isinstance(plan, Aggregate):
+        # Rewrites apply below the aggregation; selections never sink
+        # through γ (they reference its output columns, not the child's).
+        return Aggregate(
+            rewrite(plan.child),
+            plan.group_columns,
+            plan.aggregate,
+            plan.argument,
+            output_name=plan.output_name,
+        )
     return plan
 
 
@@ -121,6 +132,9 @@ def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
         return qualified_left | qualified_right
     if isinstance(plan, (Union, Difference)):
         return _exposed_columns(plan.left)
+    if isinstance(plan, Aggregate):
+        # output_name is normalized non-empty at construction.
+        return set(plan.group_columns) | {plan.output_name}
     return None
 
 

@@ -298,8 +298,9 @@ class SubscriptionManager:
     def subscribe_sql(self, statement: str, **kwargs) -> Subscription:
         """Compile an OSQL statement and register it (see :meth:`subscribe`).
 
-        Aggregate queries cannot be subscribed yet — they do not compile
-        to a pure plan (:func:`repro.sqlish.compile_statement`).
+        Every statement compiles to a pure plan — including GROUP BY
+        aggregates, whose refreshes re-aggregate only the groups a
+        modification touched (:class:`~repro.engine.executor.AggregateOp`).
         """
         from repro.sqlish import compile_statement
 

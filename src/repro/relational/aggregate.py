@@ -13,6 +13,21 @@ aggregation".  The required data type is the ongoing integer
   carrying an ongoing-integer aggregate column and the union of the
   members' reference times.
 
+All aggregates run as **single event sweeps** over the members' interval
+boundaries — O(B log B) in the total number of boundaries B, never
+O(boundaries × members) — and are insensitive to member order, which is
+what lets the delta engine (:mod:`repro.engine.delta`) re-aggregate one
+group from its maintained member set and land on a result byte-identical
+to a from-scratch :func:`group_by`.  The group-level helpers it shares
+with the physical :class:`~repro.engine.executor.AggregateOp` live here
+too: :func:`aggregate_function`, :func:`members_support`,
+:func:`scalar_empty_row`, and :func:`validate_aggregate`.
+
+Scalar aggregates (an empty ``group_columns`` list) follow SQL semantics:
+over an *empty* relation they still produce one row — the constant-0
+ongoing integer for COUNT/SUM_DURATION, the ``empty_value`` for MIN/MAX —
+valid at every reference time.
+
 Semantics note: aggregates use **bag** semantics over the ongoing tuples —
 ``‖COUNT(R)‖rt`` counts the tuples whose RT contains rt.  (Under pure set
 semantics two distinct ongoing tuples may instantiate identically at some
@@ -22,13 +37,13 @@ the paper defers, and the bag choice is documented behaviour here.)
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.duration import duration as _duration
-from repro.core.integer import OngoingInt
-from repro.core.interval import OngoingInterval
-from repro.core.intervalset import EMPTY_SET, IntervalSet
-from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.integer import OngoingInt, Segment
+from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
 from repro.errors import PredicateError, SchemaError
 from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Attribute, AttributeKind, Schema
@@ -40,7 +55,226 @@ __all__ = [
     "min_over",
     "max_over",
     "group_by",
+    "known_aggregates",
+    "validate_aggregate",
+    "aggregate_function",
+    "members_support",
+    "scalar_empty_row",
+    "empty_group_value",
 ]
+
+
+# ----------------------------------------------------------------------
+# Event sweeps
+# ----------------------------------------------------------------------
+
+
+def _sum_affine(functions: Iterable[OngoingInt]) -> OngoingInt:
+    """Sum many piecewise-linear functions in one event sweep.
+
+    Each segment ``[s, e): b + k·rt`` contributes ``(+b, +k)`` at ``s``
+    and ``(-b, -k)`` at ``e``; sweeping the sorted boundaries with a
+    running affine form is linear in the total segment count — repeated
+    pairwise :class:`OngoingInt` addition would re-align the whole
+    partial sum per member.
+    """
+    events: Dict[TimePoint, List[int]] = {}
+    total = 0
+    for function in functions:
+        total += 1
+        for start, end, intercept, slope in function.segments:
+            event = events.get(start)
+            if event is None:
+                event = events[start] = [0, 0]
+            event[0] += intercept
+            event[1] += slope
+            event = events.get(end)
+            if event is None:
+                event = events[end] = [0, 0]
+            event[0] -= intercept
+            event[1] -= slope
+    if total == 0:
+        return OngoingInt.constant(0)
+    segments: List[Segment] = []
+    intercept = slope = 0
+    previous: Optional[TimePoint] = None
+    for boundary in sorted(events):
+        if previous is not None and previous < boundary:
+            segments.append((previous, boundary, intercept, slope))
+        d_intercept, d_slope = events[boundary]
+        intercept += d_intercept
+        slope += d_slope
+        previous = boundary
+    return OngoingInt(segments)
+
+
+def _extremum_sweep(
+    members: Iterable[Tuple[IntervalSet, int]],
+    *,
+    empty_value: int,
+    better: Callable[[int, int], int],
+) -> OngoingInt:
+    """Piecewise-constant extremum via one sweep with a lazy-deletion heap.
+
+    Members activate at their RT starts and retire at their RT ends; the
+    heap top is the current extremum, and retired values are discarded
+    lazily when they surface.  O(B log B) total for B boundaries — the
+    naive rule (re-scan all members per segment) is O(B × members).
+    """
+    sign = 1 if better(0, 1) == 0 else -1  # min keeps the heap top smallest
+    starts: Dict[TimePoint, List[int]] = {}
+    ends: Dict[TimePoint, List[int]] = {}
+    boundaries = set()
+    for rt_set, value in members:
+        for start, end in rt_set:
+            starts.setdefault(start, []).append(sign * value)
+            ends.setdefault(end, []).append(sign * value)
+            boundaries.add(start)
+            boundaries.add(end)
+    if not boundaries:
+        return OngoingInt.constant(empty_value)
+
+    heap: List[int] = []
+    retired: Dict[int, int] = {}
+
+    def current() -> int:
+        while heap:
+            top = heap[0]
+            pending = retired.get(top, 0)
+            if not pending:
+                return sign * top
+            heapq.heappop(heap)
+            if pending == 1:
+                del retired[top]
+            else:
+                retired[top] = pending - 1
+        return empty_value
+
+    segments: List[Segment] = []
+    cursor = MINUS_INF
+    for boundary in sorted(boundaries):
+        if cursor < boundary:
+            segments.append((cursor, boundary, current(), 0))
+            cursor = boundary
+        for value in ends.get(boundary, ()):  # half-open: retire first
+            retired[value] = retired.get(value, 0) + 1
+        for value in starts.get(boundary, ()):
+            heapq.heappush(heap, value)
+    if cursor < PLUS_INF:
+        segments.append((cursor, PLUS_INF, current(), 0))
+    return OngoingInt(segments)
+
+
+# ----------------------------------------------------------------------
+# The four aggregates, over any member iterable
+# ----------------------------------------------------------------------
+
+
+def _duration_contribution(item: OngoingTuple, position: int) -> OngoingInt:
+    """One tuple's ``max(0, ‖te‖rt - ‖ts‖rt)``, confined to its RT."""
+    contribution = _duration(item.values[position])
+    if not item.rt.is_universal():
+        contribution = contribution.mask(item.rt)
+    return contribution
+
+
+def _numeric_members(
+    relation: Iterable[OngoingTuple], position: int, attr: str
+) -> Iterable[Tuple[IntervalSet, int]]:
+    for item in relation:
+        value = item.values[position]
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise PredicateError(f"{attr!r} holds non-integer value {value!r}")
+        yield item.rt, value
+
+
+# ----------------------------------------------------------------------
+# The aggregate registry (shared with the physical AggregateOp)
+# ----------------------------------------------------------------------
+
+#: One group's aggregate: ``compute(schema, members, attr) -> OngoingInt``.
+#: Computes accept ``empty_value=`` so the public helpers below can
+#: delegate instead of duplicating the sweep bodies.
+GroupCompute = Callable[..., OngoingInt]
+
+
+def _count_value(
+    schema: Schema,
+    members: Iterable[OngoingTuple],
+    attr: Optional[str],
+    *,
+    empty_value: int = 0,
+) -> OngoingInt:
+    return OngoingInt.sum_of_steps(item.rt for item in members)
+
+
+def _sum_duration_value(
+    schema: Schema,
+    members: Iterable[OngoingTuple],
+    attr: Optional[str],
+    *,
+    empty_value: int = 0,
+) -> OngoingInt:
+    position = schema.index_of(attr)
+    return _sum_affine(
+        _duration_contribution(item, position) for item in members
+    )
+
+
+def _min_value(
+    schema: Schema,
+    members: Iterable[OngoingTuple],
+    attr: Optional[str],
+    *,
+    empty_value: int = 0,
+) -> OngoingInt:
+    position = schema.index_of(attr)
+    return _extremum_sweep(
+        _numeric_members(members, position, attr),
+        empty_value=empty_value,
+        better=min,
+    )
+
+
+def _max_value(
+    schema: Schema,
+    members: Iterable[OngoingTuple],
+    attr: Optional[str],
+    *,
+    empty_value: int = 0,
+) -> OngoingInt:
+    position = schema.index_of(attr)
+    return _extremum_sweep(
+        _numeric_members(members, position, attr),
+        empty_value=empty_value,
+        better=max,
+    )
+
+
+class _AggregateSpec:
+    """One registry entry: the group compute plus its zero-member value."""
+
+    __slots__ = ("compute", "empty_value")
+
+    def __init__(self, compute: GroupCompute, empty_value: int = 0):
+        self.compute = compute
+        self.empty_value = empty_value
+
+
+#: The single aggregate registry — the compute and its scalar empty value
+#: (0 for COUNT and SUM_DURATION, the default ``empty_value`` for
+#: MIN/MAX) live together so a new aggregate cannot forget one half.
+_AGGREGATES: Dict[str, _AggregateSpec] = {
+    "count": _AggregateSpec(_count_value),
+    "sum_duration": _AggregateSpec(_sum_duration_value),
+    "min": _AggregateSpec(_min_value),
+    "max": _AggregateSpec(_max_value),
+}
+
+
+# ----------------------------------------------------------------------
+# The public per-relation helpers
+# ----------------------------------------------------------------------
 
 
 def count_tuples(relation: OngoingRelation) -> OngoingInt:
@@ -49,62 +283,18 @@ def count_tuples(relation: OngoingRelation) -> OngoingInt:
     One event sweep over all RT boundaries — linear in the number of
     intervals, independent of how often the count changes.
     """
-    return OngoingInt.sum_of_steps(item.rt for item in relation)
+    return _count_value(relation.schema, relation, None)
 
 
 def sum_durations(relation: OngoingRelation, interval_attr: str) -> OngoingInt:
     """``SUM(duration(attr))`` over the tuples present at each rt.
 
     Each tuple contributes ``max(0, ‖te‖rt - ‖ts‖rt)`` at the reference
-    times in its RT and nothing elsewhere.
+    times in its RT and nothing elsewhere; the contributions are summed
+    in one event sweep (see :func:`_sum_affine`).
     """
-    position = relation.schema.index_of(interval_attr)
-    if relation.schema.attribute(interval_attr).kind is not AttributeKind.ONGOING_INTERVAL:
-        raise PredicateError(
-            f"{interval_attr!r} is not an ongoing interval attribute"
-        )
-    total = OngoingInt.constant(0)
-    for item in relation:
-        value = item.values[position]
-        contribution = _duration(value)
-        if not item.rt.is_universal():
-            contribution = contribution.mask(item.rt)
-        total = total + contribution
-    return total
-
-
-def _extremum(
-    relation: OngoingRelation,
-    attr: str,
-    *,
-    empty_value: int,
-    better: Callable[[int, int], int],
-) -> OngoingInt:
-    """Piecewise-constant extremum of a fixed attribute over present tuples."""
-    position = relation.schema.index_of(attr)
-    if relation.schema.attribute(attr).kind.is_ongoing:
-        raise PredicateError(f"{attr!r} must be a fixed numeric attribute")
-    boundaries = {MINUS_INF, PLUS_INF}
-    members: List[Tuple[IntervalSet, int]] = []
-    for item in relation:
-        value = item.values[position]
-        if not isinstance(value, int) or isinstance(value, bool):
-            raise PredicateError(f"{attr!r} holds non-integer value {value!r}")
-        members.append((item.rt, value))
-        for start, end in item.rt:
-            boundaries.add(start)
-            boundaries.add(end)
-    ordered = sorted(boundaries)
-    segments = []
-    for start, end in zip(ordered, ordered[1:]):
-        current = None
-        for rt_set, value in members:
-            if start in rt_set:
-                current = value if current is None else better(current, value)
-        segments.append((start, end, empty_value if current is None else current, 0))
-    if not segments:
-        segments.append((MINUS_INF, PLUS_INF, empty_value, 0))
-    return OngoingInt(segments)
+    validate_aggregate(relation.schema, "sum_duration", interval_attr)
+    return _sum_duration_value(relation.schema, relation, interval_attr)
 
 
 def min_over(
@@ -112,45 +302,102 @@ def min_over(
 ) -> OngoingInt:
     """``MIN(attr)`` over the tuples present at each rt (*empty_value*
     where no tuple exists)."""
-    return _extremum(relation, attr, empty_value=empty_value, better=min)
+    validate_aggregate(relation.schema, "min", attr)
+    return _min_value(relation.schema, relation, attr, empty_value=empty_value)
 
 
 def max_over(
     relation: OngoingRelation, attr: str, *, empty_value: int = 0
 ) -> OngoingInt:
     """``MAX(attr)`` over the tuples present at each rt."""
-    return _extremum(relation, attr, empty_value=empty_value, better=max)
+    validate_aggregate(relation.schema, "max", attr)
+    return _max_value(relation.schema, relation, attr, empty_value=empty_value)
 
 
-_AGGREGATES: Dict[str, Callable[[OngoingRelation, str | None], OngoingInt]] = {}
+def known_aggregates() -> Tuple[str, ...]:
+    """The recognized aggregate names, sorted."""
+    return tuple(sorted(_AGGREGATES))
 
 
-def _count_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
-    return count_tuples(relation)
+def validate_aggregate(
+    schema: Schema, aggregate: str, attr: Optional[str]
+) -> None:
+    """Reject unknown aggregates and ill-typed arguments *before* any work.
 
-
-def _sum_duration_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
+    The checks are eager so an aggregate over an empty relation (which
+    never evaluates a single group) still surfaces schema errors, and so
+    the planner can fail a bad plan at plan time.
+    """
+    if aggregate not in _AGGREGATES:
+        raise PredicateError(
+            f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
+        )
+    if aggregate == "count":
+        return
     if attr is None:
-        raise PredicateError("sum_duration requires an interval attribute")
-    return sum_durations(relation, attr)
+        if aggregate == "sum_duration":
+            raise PredicateError("sum_duration requires an interval attribute")
+        raise PredicateError(f"{aggregate} requires an attribute")
+    kind = schema.attribute(attr).kind
+    if aggregate == "sum_duration":
+        if kind is not AttributeKind.ONGOING_INTERVAL:
+            raise PredicateError(
+                f"{attr!r} is not an ongoing interval attribute"
+            )
+    elif kind.is_ongoing:
+        raise PredicateError(f"{attr!r} must be a fixed numeric attribute")
 
 
-def _min_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
-    if attr is None:
-        raise PredicateError("min requires an attribute")
-    return min_over(relation, attr)
+def aggregate_function(aggregate: str) -> GroupCompute:
+    """The compute behind *aggregate* (validate separately, once).
+
+    All computes are insensitive to member order — the delta engine feeds
+    them a maintained member set whose insertion order differs from a
+    fresh evaluation's.
+    """
+    try:
+        return _AGGREGATES[aggregate].compute
+    except KeyError:
+        raise PredicateError(
+            f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
+        ) from None
 
 
-def _max_aggregate(relation: OngoingRelation, attr: str | None) -> OngoingInt:
-    if attr is None:
-        raise PredicateError("max requires an attribute")
-    return max_over(relation, attr)
+def members_support(members: Iterable[OngoingTuple]) -> IntervalSet:
+    """The union of the members' reference times — the group's RT.
+
+    One sort+merge over all boundaries (the :class:`IntervalSet`
+    constructor normalizes); pairwise ``union`` would be O(members²)
+    with disjoint reference times — this runs on the per-flush path.
+    """
+    return IntervalSet(
+        pair for member in members for pair in member.rt
+    )
 
 
-_AGGREGATES["count"] = _count_aggregate
-_AGGREGATES["sum_duration"] = _sum_duration_aggregate
-_AGGREGATES["min"] = _min_aggregate
-_AGGREGATES["max"] = _max_aggregate
+def empty_group_value(aggregate: str) -> OngoingInt:
+    """The constant ongoing integer a scalar aggregate yields over zero
+    members (SQL's ``COUNT(*) = 0`` on an empty table)."""
+    if aggregate not in _AGGREGATES:
+        raise PredicateError(
+            f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
+        )
+    return OngoingInt.constant(_AGGREGATES[aggregate].empty_value)
+
+
+def scalar_empty_row(aggregate: str) -> OngoingTuple:
+    """The one row a scalar aggregate over an empty relation produces.
+
+    Its reference time is universal: the constant value is valid at
+    every rt — that is exactly the paper's ongoing-integer reading of
+    ``SELECT COUNT(*)`` on an empty table.
+    """
+    return OngoingTuple((empty_group_value(aggregate),), UNIVERSAL_SET)
+
+
+# ----------------------------------------------------------------------
+# The relational operator
+# ----------------------------------------------------------------------
 
 
 def group_by(
@@ -167,12 +414,13 @@ def group_by(
     ``sum_duration``, ``min``, ``max``) per group as an ongoing integer,
     and sets each output tuple's RT to the union of its members' reference
     times — the group exists exactly where at least one member exists.
+
+    A **scalar** aggregate (empty *group_columns*) over an empty relation
+    yields one row anyway — the :func:`scalar_empty_row` — matching SQL
+    semantics and the delta engine's group-maintenance rule.
     """
-    if aggregate not in _AGGREGATES:
-        raise PredicateError(
-            f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
-        )
     schema = relation.schema
+    validate_aggregate(schema, aggregate, attr)
     positions = [schema.index_of(name) for name in group_columns]
     for name in group_columns:
         if schema.attribute(name).kind.is_ongoing:
@@ -196,13 +444,13 @@ def group_by(
     out_schema = Schema(out_attributes)
 
     out_tuples = []
-    compute = _AGGREGATES[aggregate]
+    compute = _AGGREGATES[aggregate].compute
     for key in order:
         members = groups[key]
-        member_relation = OngoingRelation(schema, members)
-        value = compute(member_relation, attr)
-        support = EMPTY_SET
-        for member in members:
-            support = support.union(member.rt)
-        out_tuples.append(OngoingTuple(key + (value,), support))
+        value = compute(schema, members, attr)
+        out_tuples.append(
+            OngoingTuple(key + (value,), members_support(members))
+        )
+    if not out_tuples and not group_columns:
+        out_tuples.append(scalar_empty_row(aggregate))
     return OngoingRelation(out_schema, out_tuples)

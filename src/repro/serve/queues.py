@@ -128,10 +128,15 @@ class Mailbox:
     def put(self, payload: Any, *, timeout: Optional[float] = None) -> str:
         """Admit *payload* under this mailbox's backpressure policy.
 
-        Returns the outcome (``"queued"``, ``"coalesced"``, or
-        ``"dropped_oldest"``).  Only the ``block`` policy can make the
-        caller wait; *timeout* bounds that wait (a timeout falls back to
-        ``drop_oldest`` so the producer always makes progress).
+        Returns the outcome: ``"queued"`` (a new queue slot),
+        ``"coalesced"`` (merged into the waiting tail item — counted in
+        ``coalesced``, *not* in ``queued``, so the two counters partition
+        the admitted payloads), ``"dropped_oldest"`` (admitted by
+        evicting the oldest queued item), or ``"rejected"`` (the mailbox
+        is closed; the payload is discarded and counted as dropped).
+        Only the ``block`` policy can make the caller wait; *timeout*
+        bounds that wait (a timeout falls back to ``drop_oldest`` so the
+        producer always makes progress).
 
         Must be called **with the condition held** when the caller
         already holds it, or unheld otherwise — the method acquires it
@@ -167,8 +172,10 @@ class Mailbox:
                     merged = self._coalesce(self._items[-1], payload)
                     if merged is not None:
                         self._items[-1] = merged
+                        # A merge occupies no new queue slot: count it in
+                        # ``coalesced`` only, or ``queued`` double-counts
+                        # admitted notifications.
                         self.coalesced += 1
-                        self.queued += 1
                         self.condition.notify_all()
                         return COALESCED
                     self._items.popleft()

@@ -41,8 +41,12 @@ def subscribe(source: str, session, **kwargs):
         sub = subscribe("SELECT * FROM B WHERE ...", session,
                         on_refresh=push_to_client)
 
-    Aggregate queries do not compile to a pure plan and cannot be
-    subscribed (:class:`~repro.errors.QueryError`).
+    Aggregate queries subscribe like any other statement — a ``GROUP BY``
+    compiles to the :class:`~repro.engine.plan.Aggregate` plan node and
+    refreshes via per-group deltas::
+
+        subscribe("SELECT region, COUNT(*) AS n FROM T GROUP BY region",
+                  session, on_refresh=update_dashboard)
     """
     manager = session.live_session() if hasattr(session, "live_session") else session
     plan = compile_statement(source, manager.database)

@@ -1,8 +1,12 @@
 """Compile OSQL statements onto the engine.
 
 The compiler lowers the AST to the engine's logical plans (scans, joins
-with predicate placement, selections, projections, set operations) and —
-for aggregate queries — to the RT-aware aggregation operator.
+with predicate placement, selections, projections, set operations) —
+including aggregate queries, which compile to the
+:class:`~repro.engine.plan.Aggregate` node over the FROM/WHERE plan.
+Because *every* statement is a pure plan, every statement is
+fingerprintable, subscribable (:func:`repro.sqlish.subscribe`), and
+delta-maintained: a ``GROUP BY`` dashboard refreshes one group at a time.
 
 Predicate placement mirrors what a SQL optimizer does before the paper's
 Section VIII machinery takes over: the WHERE clause is split into top-level
@@ -19,12 +23,12 @@ from repro.core.interval import OngoingInterval
 from repro.core.timeline import MINUS_INF, PLUS_INF, from_mmdd
 from repro.core.timepoint import NOW, OngoingTimePoint
 from repro.engine.database import Database
+from repro.engine.plan import Aggregate as PlanAggregate
 from repro.engine.plan import Difference as PlanDifference
 from repro.engine.plan import Join as PlanJoin
 from repro.engine.plan import PlanNode, Project, Scan, Select
 from repro.engine.plan import Union as PlanUnion
 from repro.errors import QueryError
-from repro.relational.aggregate import group_by as _group_by
 from repro.relational.predicates import (
     AllenPredicate,
     And,
@@ -292,14 +296,11 @@ def _compile_select(
         if len(statement.items) != 1:
             raise QueryError("SELECT * cannot be mixed with other items")
         return plan
+    if _has_aggregates(statement):
+        return _compile_aggregate(statement, scope, plan)
     items = []
     for item in statement.items:
         assert isinstance(item, nodes.SelectItem)
-        if isinstance(item.expression, nodes.AggregateCall):
-            raise QueryError(
-                "aggregate queries cannot be compiled to a pure plan; "
-                "use run()"
-            )
         expression = _compile_value(item.expression, scope)
         if item.alias:
             name = item.alias
@@ -315,35 +316,10 @@ def _compile_select(
     return Project(plan, tuple(items))
 
 
-def compile_statement(source: str, database: Database) -> PlanNode:
-    """Compile an OSQL statement to an engine logical plan.
-
-    Aggregate queries (COUNT/SUM_DURATION/MIN/MAX) cannot be expressed as a
-    pure plan — use :func:`run` for those.
-    """
-    return _compile_any(parse(source), database)
-
-
-def _compile_any(statement: nodes.Statement, database: Database) -> PlanNode:
-    if isinstance(statement, nodes.SetOperation):
-        left = _compile_any(statement.left, database)
-        right = _compile_any(statement.right, database)
-        if statement.operator == "union":
-            return PlanUnion(left, right)
-        return PlanDifference(left, right)
-    if _has_aggregates(statement):
-        raise QueryError(
-            "aggregate queries cannot be compiled to a pure plan; use run()"
-        )
-    return _compile_select(statement, database)
-
-
-def _run_aggregate(
-    statement: nodes.SelectStatement, database: Database
-) -> OngoingRelation:
-    scope = _Scope(database, statement.tables)
-    plan = _build_from_where(statement, database, scope)
-    base = database.query(plan)
+def _compile_aggregate(
+    statement: nodes.SelectStatement, scope: _Scope, plan: PlanNode
+) -> PlanNode:
+    """Lower ``SELECT k, AGG(...) ... GROUP BY k`` to an Aggregate node."""
     aggregates = [
         item
         for item in statement.items
@@ -371,14 +347,32 @@ def _run_aggregate(
     assert isinstance(call, nodes.AggregateCall)
     argument = scope.resolve(call.argument) if call.argument else None
     output_name = aggregates[0].alias or call.function
-    return _group_by(
-        base, group_columns, call.function, argument, output_name=output_name
+    return PlanAggregate(
+        plan, group_columns, call.function, argument, output_name=output_name
     )
+
+
+def compile_statement(source: str, database: Database) -> PlanNode:
+    """Compile an OSQL statement to an engine logical plan.
+
+    Every statement — including aggregate queries
+    (COUNT/SUM_DURATION/MIN/MAX with GROUP BY) — compiles to a pure plan,
+    so every statement can be subscribed, shared by fingerprint, and
+    refreshed incrementally.
+    """
+    return _compile_any(parse(source), database)
+
+
+def _compile_any(statement: nodes.Statement, database: Database) -> PlanNode:
+    if isinstance(statement, nodes.SetOperation):
+        left = _compile_any(statement.left, database)
+        right = _compile_any(statement.right, database)
+        if statement.operator == "union":
+            return PlanUnion(left, right)
+        return PlanDifference(left, right)
+    return _compile_select(statement, database)
 
 
 def run(source: str, database: Database) -> OngoingRelation:
     """Parse, compile, and execute an OSQL statement."""
-    statement = parse(source)
-    if isinstance(statement, nodes.SelectStatement) and _has_aggregates(statement):
-        return _run_aggregate(statement, database)
-    return database.query(_compile_any(statement, database))
+    return database.query(_compile_any(parse(source), database))

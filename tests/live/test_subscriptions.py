@@ -289,12 +289,33 @@ class TestSqlSubscriptions:
         assert second.active
         assert second.manager is not first.manager
 
-    def test_aggregate_subscription_rejected(self):
-        session = LiveSession(_database())
-        with pytest.raises(QueryError, match="aggregate"):
-            session.subscribe_sql(
-                "SELECT C, COUNT(*) AS N FROM B GROUP BY C"
-            )
+    def test_aggregate_subscription_refreshes_by_group_delta(self):
+        """A GROUP BY query subscribes like any other plan and refreshes
+        via per-group deltas: a single-row write re-aggregates only its
+        own group, never the whole relation."""
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe_sql("SELECT C, COUNT(*) AS N FROM B GROUP BY C")
+        before = {row.values[0]: row.values[1] for row in sub.result}
+        assert before["Spam filter"].instantiate(d(8, 1)) == 1
+        db.table("B").insert(503, "Spam filter", until_now(d(8, 1)))
+        session.flush()
+        after = {row.values[0]: row.values[1] for row in sub.result}
+        assert after["Spam filter"].instantiate(d(8, 1)) == 2
+        assert after["Crash"] == before["Crash"]  # untouched group
+        stats = session.stats()
+        assert stats["delta_refreshes"] == 1
+        assert stats["full_refreshes"] == 0
+
+    def test_equal_aggregate_queries_share_one_materialization(self):
+        db = _database()
+        session = LiveSession(db)
+        sql = "SELECT C, COUNT(*) AS N FROM B GROUP BY C"
+        first = session.subscribe_sql(sql)
+        second = session.subscribe_sql(sql)
+        assert first.fingerprint == second.fingerprint
+        assert session.stats()["shared_results"] == 1
+        assert session.stats()["cache_hits"] == 1
 
 
 class TestUpdateSemantics:

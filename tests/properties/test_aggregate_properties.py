@@ -1,0 +1,162 @@
+"""Property tests: delta-maintained aggregates are *exact*.
+
+The aggregate extension of the delta-engine contract
+(``tests/properties/test_delta_properties.py``): for any GROUP BY plan
+and any sequence of typed modifications, re-aggregating only the touched
+groups from maintained member sets produces — step for step — a result
+byte-identical to a from-scratch :func:`repro.relational.aggregate.group_by`
+evaluation.  The modification sequences (the PR-2 generator shapes, with
+an extra fixed numeric column for MIN/MAX and a plain row deletion so
+groups can *empty*, not just terminate) deliberately drive
+group-appears and group-empties transitions: keys enter with their first
+member and leave with their last, and the scalar plan must flip between
+real counts and the constant-0 empty row.
+
+Because every modification is typed, the incremental path must never fall
+back to full re-evaluation — asserted, so the test cannot silently pass
+by re-running everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import fixed_interval, until_now
+from repro.engine.database import Database
+from repro.engine.modifications import (
+    current_delete,
+    current_insert,
+    current_update,
+)
+from repro.engine.plan import scan
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+
+def _plans():
+    """One representative plan per aggregate delta shape."""
+    window = lit(fixed_interval(10, 20))
+    return {
+        "scalar-count": scan("R").group_by((), "count"),
+        "group-count": scan("R").group_by(("K",), "count", output_name="n"),
+        "group-sum-duration": scan("R").group_by(("K",), "sum_duration", "VT"),
+        "group-min": scan("R").group_by(("K",), "min", "N"),
+        "group-max": scan("R").group_by(("K",), "max", "N"),
+        # Aggregation over an ongoing filter: a current update can move
+        # rows across the window, so whole groups appear and empty at the
+        # aggregate even though their base rows remain.
+        "filtered-group-count": scan("R")
+        .where(col("VT").overlaps(window))
+        .group_by(("K",), "count"),
+        "scalar-filtered-count": scan("R")
+        .where(col("VT").overlaps(window))
+        .group_by((), "count"),
+    }
+
+
+PLAN_KEYS = sorted(_plans())
+
+_KEYS = st.integers(min_value=0, max_value=3)
+_NUMS = st.integers(min_value=-5, max_value=5)
+_TIMES = st.integers(min_value=0, max_value=30)
+
+
+def _intervals():
+    return st.one_of(
+        st.tuples(_TIMES).map(lambda t: until_now(t[0])),
+        st.tuples(_TIMES, _TIMES).map(
+            lambda pair: fixed_interval(min(pair), max(pair) + 2)
+        ),
+    )
+
+
+_MODIFICATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), _KEYS, _NUMS, _intervals()),
+        st.tuples(st.just("current_insert"), _KEYS, _NUMS, _TIMES),
+        st.tuples(st.just("current_delete"), _KEYS, _TIMES),
+        st.tuples(st.just("current_update"), _KEYS, _KEYS, _NUMS, _TIMES),
+        # A plain deletion removes the rows outright — the only way a
+        # group's member set truly empties under Torp-style updates.
+        st.tuples(st.just("delete_rows"), _KEYS),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _fresh_database() -> Database:
+    db = Database("aggregate-props")
+    table = db.create_table("R", Schema.of("K", "N", ("VT", "interval")))
+    table.insert(0, 2, until_now(5))
+    table.insert(1, -1, until_now(3))
+    table.insert(1, 4, fixed_interval(8, 18))
+    table.insert(2, 0, until_now(12))
+    return db
+
+
+def _apply(db: Database, modification) -> None:
+    kind = modification[0]
+    table = db.table("R")
+    if kind == "insert":
+        table.insert(modification[1], modification[2], modification[3])
+    elif kind == "current_insert":
+        current_insert(
+            table, (modification[1], modification[2]), at=modification[3]
+        )
+    elif kind == "current_delete":
+        key = modification[1]
+        current_delete(table, lambda r: r.values[0] == key, at=modification[2])
+    elif kind == "current_update":
+        key = modification[1]
+        current_update(
+            table,
+            lambda r: r.values[0] == key,
+            (modification[2], modification[3]),
+            at=modification[4],
+        )
+    else:  # delete_rows: drop the key's rows entirely (group empties)
+        key = modification[1]
+        table.delete_where(lambda r: r.values[0] != key)
+
+
+@given(st.sampled_from(PLAN_KEYS), _MODIFICATIONS)
+@settings(max_examples=120)
+def test_delta_maintained_aggregates_equal_full_reevaluation(
+    plan_key, modifications
+):
+    """After every modification, the delta-maintained aggregate result is
+    byte-identical to a from-scratch evaluation — and no step fell back."""
+    plan = _plans()[plan_key]
+    db = _fresh_database()
+    session = LiveSession(db)
+    sub = session.subscribe(plan)
+    for step, modification in enumerate(modifications):
+        _apply(db, modification)
+        session.flush()
+        expected = db.query(plan)
+        assert sub.result == expected, (
+            f"{plan_key}: delta-maintained aggregate diverged at step {step} "
+            f"after {modification!r}"
+        )
+    assert session.stats()["full_refreshes"] == 0
+
+
+@given(st.sampled_from(PLAN_KEYS), _MODIFICATIONS)
+@settings(max_examples=40)
+def test_aggregate_instantiations_agree_at_all_reference_times(
+    plan_key, modifications
+):
+    """Exactness through the bind operator: the maintained aggregate
+    instantiates identically to a fresh evaluation at every rt."""
+    plan = _plans()[plan_key]
+    db = _fresh_database()
+    session = LiveSession(db)
+    sub = session.subscribe(plan)
+    for modification in modifications:
+        _apply(db, modification)
+    session.flush()
+    expected = db.query(plan)
+    for rt in range(-2, 35):
+        assert sub.instantiate(rt) == expected.instantiate(rt)
+    assert session.stats()["full_refreshes"] == 0

@@ -143,3 +143,153 @@ class TestGroupBy:
             group_by(_bugs(), ["C"], "sum_duration")
         with pytest.raises(PredicateError):
             group_by(_bugs(), ["C"], "min")
+
+    def test_attribute_kinds_checked_even_on_empty_relations(self):
+        """Validation is eager: an empty input no longer hides a schema
+        error (there used to be no group to trip over it)."""
+        empty = OngoingRelation(_SCHEMA, [])
+        with pytest.raises(PredicateError):
+            group_by(empty, ["C"], "sum_duration", "Sev")
+        with pytest.raises(PredicateError):
+            group_by(empty, ["C"], "min", "VT")
+
+
+class TestScalarAggregates:
+    """SQL semantics: a scalar aggregate yields one row even over nothing."""
+
+    def test_scalar_count_over_empty_relation_is_constant_zero(self):
+        empty = OngoingRelation(_SCHEMA, [])
+        result = group_by(empty, [], "count")
+        assert len(result) == 1
+        (row,) = result.tuples
+        for rt in (-100, 0, 60, 10_000):
+            assert row.values[0].instantiate(rt) == 0
+        assert rt in row.rt  # the constant is valid at every reference time
+
+    def test_scalar_sum_and_extrema_over_empty_relation(self):
+        empty = OngoingRelation(_SCHEMA, [])
+        for aggregate, attr in (
+            ("sum_duration", "VT"),
+            ("min", "Sev"),
+            ("max", "Sev"),
+        ):
+            result = group_by(empty, [], aggregate, attr)
+            assert len(result) == 1, aggregate
+            # MIN/MAX over nothing yield their (default) empty_value — 0,
+            # like the standalone min_over/max_over do where no tuple exists.
+            assert result.tuples[0].values[0].instantiate(123) == 0
+
+    def test_scalar_aggregate_over_nonempty_relation_unchanged(self):
+        result = group_by(_bugs(), [], "count")
+        assert len(result) == 1
+        assert result.tuples[0].values[0].instantiate(60) == 3
+
+    def test_grouped_aggregate_over_empty_relation_stays_empty(self):
+        """Only the *scalar* form materializes a row from nothing — a
+        GROUP BY over an empty relation has no groups to show."""
+        empty = OngoingRelation(_SCHEMA, [])
+        assert len(group_by(empty, ["C"], "count")) == 0
+
+
+class TestSweepEquivalence:
+    """The event sweeps are insensitive to member order — the property the
+    delta engine relies on when it re-aggregates a maintained group."""
+
+    def test_results_do_not_depend_on_tuple_order(self):
+        tuples = list(_bugs().tuples)
+        reordered = OngoingRelation(_SCHEMA, tuples[::-1])
+        assert count_tuples(_bugs()) == count_tuples(reordered)
+        assert sum_durations(_bugs(), "VT") == sum_durations(reordered, "VT")
+        assert min_over(_bugs(), "Sev") == min_over(reordered, "Sev")
+        assert max_over(_bugs(), "Sev") == max_over(reordered, "Sev")
+
+    def test_sum_durations_matches_pairwise_addition(self):
+        """The one-sweep sum equals the reference pairwise OngoingInt sum."""
+        from repro.core.duration import duration
+        from repro.core.integer import OngoingInt
+
+        bugs = _bugs()
+        position = bugs.schema.index_of("VT")
+        total = OngoingInt.constant(0)
+        for item in bugs:
+            contribution = duration(item.values[position])
+            if not item.rt.is_universal():
+                contribution = contribution.mask(item.rt)
+            total = total + contribution
+        assert sum_durations(bugs, "VT") == total
+
+
+def _wide_relation(n: int) -> OngoingRelation:
+    """n members with distinct RT boundaries — the sweeps' worst case."""
+    return OngoingRelation(
+        _SCHEMA,
+        [
+            OngoingTuple(
+                ("c", i % 97, fixed_interval(i, i + 10)),
+                IntervalSet([(i, i + n)]),
+            )
+            for i in range(n)
+        ],
+    )
+
+
+class TestLinearityGuard:
+    """Micro-benchmark guard: MIN/MAX/SUM_DURATION must stay near-linear.
+
+    The former implementations re-scanned all members per RT segment
+    (O(boundaries × members)) or re-aligned the partial sum per member —
+    at this size either would take tens of seconds, so a generous
+    wall-clock bound pins the event-sweep complexity without being
+    flaky on slow CI runners.
+    """
+
+    _MEMBERS = 4_000
+    _BUDGET_SECONDS = 2.0
+
+    def test_extrema_and_sum_duration_sweep_in_linear_time(self):
+        import time
+
+        relation = _wide_relation(self._MEMBERS)
+        started = time.perf_counter()
+        low = min_over(relation, "Sev")
+        high = max_over(relation, "Sev")
+        load = sum_durations(relation, "VT")
+        elapsed = time.perf_counter() - started
+        assert elapsed < self._BUDGET_SECONDS, (
+            f"aggregate sweeps took {elapsed:.2f}s for {self._MEMBERS} "
+            f"members — quadratic regression?"
+        )
+        # Sanity anchors so the guard cannot pass on broken results.
+        midpoint = self._MEMBERS
+        assert low.instantiate(midpoint) == 0
+        assert high.instantiate(midpoint) == 96
+        assert load.instantiate(-1) == 0
+
+    def test_group_support_union_is_one_sweep(self):
+        """The group-RT union must merge all member intervals in one
+        sort+sweep — pairwise IntervalSet.union over members with
+        *disjoint* reference times is quadratic."""
+        import time
+
+        from repro.relational.aggregate import members_support
+
+        disjoint = OngoingRelation(
+            _SCHEMA,
+            [
+                OngoingTuple(
+                    ("c", 1, fixed_interval(0, 1)),
+                    IntervalSet([(3 * i, 3 * i + 1)]),
+                )
+                for i in range(self._MEMBERS)
+            ],
+        )
+        started = time.perf_counter()
+        grouped = group_by(disjoint, ["C"], "count")
+        elapsed = time.perf_counter() - started
+        assert elapsed < self._BUDGET_SECONDS, (
+            f"group support union took {elapsed:.2f}s for "
+            f"{self._MEMBERS} disjoint members — quadratic regression?"
+        )
+        (row,) = grouped.tuples
+        assert row.rt == members_support(disjoint.tuples)
+        assert row.rt.cardinality == self._MEMBERS

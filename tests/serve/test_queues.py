@@ -126,6 +126,26 @@ class TestCoalescing:
         assert {row.values[0] for row in merged.delta.inserted} == {"a", "b"}
         assert box.coalesced == 1
         assert box.dropped == 0
+        # queued and coalesced partition the admitted payloads: the merge
+        # occupied no new queue slot, so it must not bump ``queued`` too
+        # (the counter used to double-count coalesced admissions).
+        assert box.queued == 1
+        assert box.queued + box.coalesced == 2
+
+    def test_counters_partition_admitted_payloads(self):
+        subscription = _FakeSubscription()
+        box, _ = _mailbox(capacity=2, policy="coalesce")
+        outcomes = [
+            box.put(_notification(subscription, inserted=(str(i),)))
+            for i in range(5)
+        ]
+        assert outcomes == [QUEUED, QUEUED, COALESCED, COALESCED, COALESCED]
+        assert box.queued == 2
+        assert box.coalesced == 3
+        assert box.dropped == 0
+        # Admitted = queued + coalesced; nothing counted twice, nothing lost.
+        assert box.queued + box.coalesced == 5
+        assert len(box) == 2
 
     def test_below_capacity_items_stay_distinct(self):
         subscription = _FakeSubscription()

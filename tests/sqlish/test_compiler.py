@@ -186,9 +186,32 @@ class TestAggregates:
         with pytest.raises(QueryError, match="GROUP BY"):
             run("SELECT BID, COUNT(*) AS n FROM B GROUP BY C", db)
 
-    def test_aggregates_cannot_compile_to_plan(self, db):
-        with pytest.raises(QueryError, match="use run"):
-            compile_statement("SELECT C, COUNT(*) AS n FROM B GROUP BY C", db)
+    def test_aggregates_compile_to_pure_plans(self, db):
+        """GROUP BY lowers to an Aggregate plan node — fingerprintable,
+        so two clients writing the same query share one subscription."""
+        from repro.engine.plan import Aggregate
+
+        source = "SELECT C, COUNT(*) AS n FROM B GROUP BY C"
+        plan = compile_statement(source, db)
+        assert isinstance(plan, Aggregate)
+        assert plan.group_columns == ("C",)
+        assert plan.aggregate == "count"
+        assert plan.output_name == "n"
+        assert plan.fingerprint() == compile_statement(source, db).fingerprint()
+        assert db.query(plan) == run(source, db)
+
+    def test_scalar_count_over_empty_table_yields_constant_zero(self, db):
+        """SQL semantics: COUNT(*) on an empty table is one row whose
+        value is the constant-0 ongoing integer, valid at every rt."""
+        from repro.relational.schema import Schema as _Schema
+
+        db.create_table("E", _Schema.of("X", ("VT", "interval")))
+        result = run("SELECT COUNT(*) AS n FROM E", db)
+        assert len(result) == 1
+        (row,) = result.tuples
+        for rt in (d(1, 1), d(6, 15), d(12, 31)):
+            assert row.values[0].instantiate(rt) == 0
+            assert result.instantiate(rt) == frozenset({(0,)})
 
     def test_only_one_aggregate_supported(self, db):
         with pytest.raises(QueryError, match="exactly one aggregate"):
