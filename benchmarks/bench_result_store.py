@@ -1,0 +1,244 @@
+"""Result-store benchmark: the O(|Δ|) refresh tail is flat in |result|.
+
+Before the versioned copy-on-read store, every non-empty delta
+application rebuilt the served relation eagerly —
+``OngoingRelation.from_deduplicated(schema, tuple(counts))`` — so a
+246-byte delta against a multi-megabyte result was dominated by the
+O(|result|) copy, not the O(|Δ|) propagation.  The store makes that copy
+lazy (taken on read, cached per version), so a refresh whose consumers
+never materialize costs O(|Δ|) total.
+
+Two strategies, measured for a single-row current update against a
+subscribed plan at 10k / 100k / 1M rows:
+
+* **delta (no snapshot)** — the new tail: ``session.flush()`` with no
+  consumer reading the result.  Must be *flat in |result|*: within 2×
+  across the three sizes.
+* **rebuild** — the pre-store behavior, reproduced exactly: the same
+  flush plus one eager snapshot of the new version (``sub.result``), the
+  copy the old code paid inside every non-empty ``apply``.  Must be
+  ≥ 10× slower than the no-snapshot tail at 1M rows.
+
+Run styles:
+
+* ``pytest benchmarks/bench_result_store.py`` — pytest-benchmark groups
+  at the small size (``--benchmark-disable`` for a correctness-only
+  smoke pass, which is what CI runs);
+* ``python benchmarks/bench_result_store.py`` — standalone driver that
+  times all sizes, asserts both gates, and records
+  ``BENCH_result_store.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.interval import until_now
+from repro.engine.database import Database
+from repro.engine.modifications import current_update
+from repro.engine.plan import scan
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+_SIZES = (10_000, 100_000, 1_000_000)
+_HISTORY = 1_000
+
+
+def _build_database(n_rows: int) -> Database:
+    db = Database(f"result-store-{n_rows}")
+    left = db.create_table(
+        "L", Schema.of("ID", "FLAG", ("VT", "interval"))
+    )
+    left.insert_many(
+        (i, 1, until_now(i % _HISTORY)) for i in range(n_rows)
+    )
+    return db
+
+
+def _plan():
+    # A wide-pass filter: the maintained result is as large as the table,
+    # so the old eager rebuild scales with |result| while the delta path
+    # must not.
+    return scan("L").where(col("FLAG") == lit(1))
+
+
+class _Workbench:
+    """One subscription session plus a cycling single-row modification."""
+
+    def __init__(self, n_rows: int):
+        self.n_rows = n_rows
+        self.db = _build_database(n_rows)
+        self.session = LiveSession(self.db)
+        self.subscription = self.session.subscribe(_plan())
+        self._keys = iter(range(n_rows))
+
+    def modify(self) -> None:
+        """One single-row current update (not part of the measured tail)."""
+        key = next(self._keys)
+        current_update(
+            self.db.table("L"),
+            lambda row: row.values[0] == key,
+            (key, 1),
+            at=_HISTORY + key + 1,
+        )
+
+    def flush(self) -> None:
+        self.session.flush()
+
+    def read(self):
+        """Materialize the current version — the old per-refresh rebuild."""
+        return self.subscription.result
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (small size only: CI smoke friendliness)
+# ----------------------------------------------------------------------
+
+_BENCH_ROWS = 10_000
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return _Workbench(_BENCH_ROWS)
+
+
+def test_delta_refresh_no_snapshot(benchmark, bench):
+    benchmark.group = "result-store-10k"
+    benchmark.name = "delta_no_snapshot"
+
+    def step():
+        bench.modify()
+        bench.flush()
+
+    benchmark.pedantic(step, rounds=5, iterations=1)
+    stats = bench.session.stats()
+    assert stats["full_refreshes"] == 0
+    # Nobody read: the flushes must not have materialized anything
+    # beyond the single snapshot of the initial evaluation.
+    assert stats["snapshots_taken"] == 1
+
+
+def test_rebuild_per_refresh(benchmark, bench):
+    benchmark.group = "result-store-10k"
+    benchmark.name = "rebuild_per_refresh"
+
+    def step():
+        bench.modify()
+        bench.flush()
+        return bench.read()
+
+    result = benchmark.pedantic(step, rounds=5, iterations=1)
+    assert len(result) >= _BENCH_ROWS
+
+
+def test_store_results_stay_exact():
+    """Correctness anchor for the benchmark scenario itself."""
+    bench = _Workbench(1_000)
+    for _ in range(5):
+        bench.modify()
+        bench.flush()
+    assert frozenset(bench.read().tuples) == frozenset(
+        bench.db.query(_plan()).tuples
+    )
+    assert bench.session.stats()["full_refreshes"] == 0
+
+
+# ----------------------------------------------------------------------
+# Standalone driver: record BENCH_result_store.json
+# ----------------------------------------------------------------------
+
+
+def _time(callable_, *, setup, repeats: int) -> float:
+    """Best-of-N seconds for *callable_*, with *setup* run untimed."""
+    best = float("inf")
+    for _ in range(repeats):
+        setup()
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            callable_()
+            best = min(best, time.perf_counter() - started)
+        finally:
+            gc.enable()
+    return best
+
+
+def run(sizes=_SIZES) -> dict:
+    report = {
+        "benchmark": "result_store",
+        "description": (
+            "single-row current update against a subscribed wide-pass "
+            "filter; seconds per refresh (best of N).  delta_seconds is "
+            "the flush alone (no consumer reads — the lazy store takes "
+            "no snapshot); rebuild_seconds adds the eager per-refresh "
+            "materialization every apply used to pay before the store"
+        ),
+        "gates": {
+            "flat_tail": "max/min of delta_seconds across sizes <= 2.0",
+            "rebuild_speedup_at_largest": ">= 10.0",
+        },
+        "results": [],
+    }
+    for n_rows in sizes:
+        bench = _Workbench(n_rows)
+        delta_s = _time(
+            bench.flush, setup=bench.modify, repeats=7
+        )
+
+        def flush_and_read():
+            bench.flush()
+            bench.read()
+
+        rebuild_s = _time(
+            flush_and_read, setup=bench.modify, repeats=5
+        )
+        stats = bench.session.stats()
+        assert stats["full_refreshes"] == 0
+        entry = {
+            "rows": n_rows,
+            "delta_seconds": delta_s,
+            "rebuild_seconds": rebuild_s,
+            "rebuild_over_delta": rebuild_s / delta_s,
+        }
+        report["results"].append(entry)
+        print(
+            f"L={n_rows:>9,}: delta {delta_s * 1e6:9.1f} µs   "
+            f"rebuild {rebuild_s * 1e6:11.1f} µs   "
+            f"({entry['rebuild_over_delta']:.1f}x)"
+        )
+    deltas = [entry["delta_seconds"] for entry in report["results"]]
+    report["flat_tail_ratio"] = max(deltas) / min(deltas)
+    report["rebuild_speedup_at_largest"] = report["results"][-1][
+        "rebuild_over_delta"
+    ]
+    return report
+
+
+def main() -> None:
+    report = run()
+    out_path = (
+        Path(__file__).resolve().parent.parent / "BENCH_result_store.json"
+    )
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    flat = report["flat_tail_ratio"]
+    assert flat <= 2.0, (
+        f"delta refresh must be flat in |result| (within 2x across sizes), "
+        f"got {flat:.2f}x"
+    )
+    speedup = report["rebuild_speedup_at_largest"]
+    assert speedup >= 10.0, (
+        f"the lazy store must beat the eager rebuild >=10x at "
+        f"{_SIZES[-1]:,} rows, got {speedup:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -116,7 +116,7 @@ from repro.serve import (
     ShardedDependencyIndex,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",

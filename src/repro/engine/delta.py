@@ -50,7 +50,7 @@ from __future__ import annotations
 import logging
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-from repro.relational.relation import OngoingRelation
+from repro.relational.relation import OngoingRelation, ResultStore
 from repro.relational.tuples import OngoingTuple
 
 __all__ = [
@@ -200,13 +200,18 @@ class OperatorState:
     ``counts`` maps each output tuple to its number of derivations (the
     output *set* is the keys); ``extra`` holds operator-specific build
     state — hash indexes for joins, cached input sides for difference.
+    ``cached_rows`` counts the tuples referenced by ``extra`` (maintained
+    by the operators as they add/remove cached rows), so the state-budget
+    accounting of :meth:`DeltaEvaluator.state_rows` stays O(1) per state
+    instead of walking hash buckets on every refresh.
     """
 
-    __slots__ = ("counts", "extra")
+    __slots__ = ("counts", "extra", "cached_rows", "__weakref__")
 
     def __init__(self) -> None:
         self.counts: Dict[OngoingTuple, int] = {}
         self.extra: Dict[str, object] = {}
+        self.cached_rows = 0
 
     def output(self) -> Tuple[OngoingTuple, ...]:
         """The operator's current output set, insertion-ordered."""
@@ -222,8 +227,20 @@ def commit_changes(
     transitions become deletes; interior count moves are absorbed.  A
     count that would turn negative signals a delta inconsistent with the
     maintained state and raises :class:`NonIncrementalDelta`.
+
+    The commit is **atomic**: all changes are validated before any count
+    moves, so a rejected delta leaves ``counts`` untouched.  That matters
+    for the root operator, whose ``counts`` double as the identity index
+    of the versioned :class:`~repro.relational.relation.ResultStore` — a
+    failed propagation must keep serving the last consistent result.
     """
     counts = state.counts
+    for item, weight in changes.items():
+        if weight < 0 and counts.get(item, 0) + weight < 0:
+            raise NonIncrementalDelta(
+                f"derivation count of {item!r} would become "
+                f"{counts.get(item, 0) + weight}"
+            )
     inserted = []
     deleted = []
     for item, weight in changes.items():
@@ -231,10 +248,6 @@ def commit_changes(
             continue
         before = counts.get(item, 0)
         after = before + weight
-        if after < 0:
-            raise NonIncrementalDelta(
-                f"derivation count of {item!r} would become {after}"
-            )
         if after:
             counts[item] = after
         else:
@@ -257,19 +270,53 @@ class DeltaEvaluator:
     (:meth:`apply`) — each flush costs work proportional to the delta,
     not to the base tables.
 
+    The maintained result lives in a versioned, copy-on-read
+    :class:`~repro.relational.relation.ResultStore` built directly over
+    the root operator's derivation-count index: :meth:`apply` mutates it
+    in O(|Δ|) and bumps its version, and :attr:`result` materializes an
+    immutable snapshot **lazily**, cached per version — a refresh whose
+    consumers never read the relation costs O(|Δ|) total, with no
+    O(|result|) rebuild anywhere on the path.
+
     The evaluator never falls back silently: :meth:`apply` raises
     :class:`NonIncrementalDelta` when incremental maintenance is not
     possible, and callers (the live subscription manager, materialized
     views) re-run :meth:`refresh_full` — the automatic, logged fallback.
+    A failed apply or rebuild drops the operator state but keeps the
+    store, so consumers keep serving the last consistent result.
     """
 
-    def __init__(self, plan, database, *, optimize: bool = True):
+    #: Fallback per-row byte estimate when no output row can be sampled.
+    DEFAULT_ROW_BYTES = 64
+
+    #: How many output rows to sample for the per-row byte estimate.
+    ROW_SAMPLE = 16
+
+    def __init__(
+        self,
+        plan,
+        database,
+        *,
+        optimize: bool = True,
+        snapshot_stats: Optional[Dict[str, int]] = None,
+    ):
         self.plan = plan
         self.database = database
         self.optimize = optimize
         self._root = None
         self._states: Dict[object, OperatorState] = {}
-        self.result: Optional[OngoingRelation] = None
+        self._store: Optional[ResultStore] = None
+        #: Shared snapshot counters ({"taken": …, "reused": …}); callers
+        #: may pass their own dict so the numbers survive store rebuilds
+        #: and evaluator replacement.
+        self.snapshot_stats = (
+            snapshot_stats
+            if snapshot_stats is not None
+            else {"taken": 0, "reused": 0}
+        )
+        #: Per-state byte prices, sampled at build time:
+        #: state → (counts-row bytes, cached-row bytes).
+        self._state_prices: Dict[OperatorState, Tuple[int, int]] = {}
         #: Counters for introspection, stats, and the benchmarks.
         self.full_evaluations = 0
         self.delta_applications = 0
@@ -281,7 +328,24 @@ class DeltaEvaluator:
     @property
     def warm(self) -> bool:
         """``True`` when operator state exists and deltas can be applied."""
-        return self.result is not None and self._root is not None
+        return self._root is not None and self._store is not None
+
+    @property
+    def store(self) -> Optional["ResultStore"]:
+        """The versioned result store (``None`` before the first build)."""
+        return self._store
+
+    @property
+    def result(self) -> Optional[OngoingRelation]:
+        """The maintained result as an immutable snapshot.
+
+        Lazy and shared: the copy is taken on first read after a change
+        and reused by every consumer until the next change
+        (:meth:`ResultStore.snapshot`).  ``None`` before the first
+        successful evaluation.
+        """
+        store = self._store
+        return None if store is None else store.snapshot()
 
     def refresh_full(self) -> OngoingRelation:
         """Re-plan, fully evaluate, and (re)build all operator state.
@@ -289,7 +353,8 @@ class DeltaEvaluator:
         Any failure — including a planning failure, e.g. a dropped base
         table — invalidates the old state: keeping it warm would let a
         later delta apply against a stale snapshot (wrong results after
-        the table is re-created).
+        the table is re-created).  The previous store survives for
+        serving until a rebuild succeeds.
         """
         from repro.engine.planner import Planner
 
@@ -304,11 +369,18 @@ class DeltaEvaluator:
             raise
         self._root = root
         self._states = states
-        self.result = OngoingRelation.from_deduplicated(
-            root.schema, tuple(counts)
+        # A rebuilt store continues the old version sequence: the row set
+        # (very likely) changed, so version-watchers must see movement.
+        previous = self._store
+        self._store = ResultStore(
+            root.schema,
+            counts,
+            stats=self.snapshot_stats,
+            version=0 if previous is None else previous.version + 1,
         )
+        self._price_states(root)
         self.full_evaluations += 1
-        return self.result
+        return self._store.snapshot()
 
     def refresh(
         self, table_deltas: Mapping[str, Delta]
@@ -353,10 +425,120 @@ class DeltaEvaluator:
         return state.counts
 
     def _invalidate(self) -> None:
-        """Drop all state; the next use must be a full refresh."""
+        """Drop the operator state; the next use must be a full refresh.
+
+        The store is kept: its root index was last mutated by a
+        *complete* :func:`commit_changes` (the atomic final step of a
+        propagation), so even after a mid-propagation failure it holds
+        the last consistent result and consumers keep serving it.  The
+        price map goes too — its keys are the dropped states, and keeping
+        them would pin every evicted counts dict and join-side cache in
+        RAM, defeating the budget.
+        """
         self._root = None
         self._states = {}
-        self.result = None
+        self._state_prices = {}
+
+    def evict_state(self) -> None:
+        """Release the operator state (join sides, derivation counts) but
+        keep serving the maintained result.
+
+        The memory half of the state budget
+        (:class:`~repro.engine.maintenance.IncrementalMaintainer`): a cold
+        plan whose state was evicted re-builds it on the next refresh —
+        recompute-on-miss — while reads of :attr:`result` stay valid and
+        free in between.  Same mechanics as :meth:`_invalidate`, different
+        trigger.
+        """
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # State-memory accounting (the budget half of bounded operator state)
+    # ------------------------------------------------------------------
+
+    def _estimate_row_bytes(self, counts: Mapping[OngoingTuple, int]) -> int:
+        """Sample a count index to price one of its rows in storage-layout
+        bytes (:func:`repro.engine.storage.sizeof_tuple`); 0 = no sample."""
+        from itertools import islice
+
+        from repro.engine.storage import sizeof_tuple
+
+        sample = list(islice(counts, self.ROW_SAMPLE))
+        if not sample:
+            return 0
+        try:
+            total = sum(sizeof_tuple(item) for item in sample)
+        except Exception:  # exotic values the layout cannot pack
+            return self.DEFAULT_ROW_BYTES
+        return max(1, total // len(sample))
+
+    def _price_states(self, root) -> None:
+        """Sample per-state row prices for :meth:`state_bytes`.
+
+        Each state gets two prices: its own output rows (the ``counts``
+        keys) and its *cached* rows.  The cached rows of a join,
+        difference, or aggregate are the **children's** output tuples —
+        often much wider than this operator's own output (a GROUP BY's
+        group row is narrow, its cached members are full input rows) — so
+        they are priced at the mean of the children's own-row estimates,
+        not this node's.
+        """
+        prices: Dict[OperatorState, Tuple[int, int]] = {}
+
+        def visit(node) -> int:
+            state = self._states[node]
+            own = self._estimate_row_bytes(state.counts)
+            child_prices = [visit(child) for child in node._children()]
+            child_prices = [price for price in child_prices if price]
+            cached = (
+                sum(child_prices) // len(child_prices)
+                if child_prices
+                else (own or self.DEFAULT_ROW_BYTES)
+            )
+            prices[state] = (own or self.DEFAULT_ROW_BYTES, cached)
+            return own
+
+        visit(root)
+        self._state_prices = prices
+
+    def state_rows(self) -> int:
+        """Evictable rows held by the operator states — O(plan size).
+
+        Counts every derivation-count key and every ``extra``-cached row
+        across the tree, *minus* the root output itself (the served
+        result stays resident through the store even after an eviction,
+        so it is not evictable memory).
+        """
+        root = self._root
+        if root is None:
+            return 0
+        total = 0
+        for state in self._states.values():
+            total += len(state.counts) + state.cached_rows
+        return total - len(self._states[root].counts)
+
+    def state_bytes(self) -> int:
+        """Evictable operator-state memory in storage-layout bytes.
+
+        Per-state row counts × per-state sampled prices — an estimate,
+        priced with the same byte-accurate serialization the storage
+        layer uses (:mod:`repro.engine.storage`) and with input-side
+        caches priced at the *children's* row width, cheap enough
+        (O(plan size)) to check on every refresh.
+        """
+        root = self._root
+        if root is None:
+            return 0
+        default = (self.DEFAULT_ROW_BYTES, self.DEFAULT_ROW_BYTES)
+        total = 0
+        for state in self._states.values():
+            own, cached = self._state_prices.get(state, default)
+            total += len(state.counts) * own + state.cached_rows * cached
+        root_state = self._states[root]
+        total -= len(root_state.counts) * self._state_prices.get(
+            root_state, default
+        )[0]
+        return total
 
     # ------------------------------------------------------------------
     # Delta propagation
@@ -370,8 +552,14 @@ class DeltaEvaluator:
         ignored.  Raises :class:`NonIncrementalDelta` when the state is
         cold, a delta is full-flagged, or an operator has no incremental
         rule — the caller then falls back to :meth:`refresh_full`.  On
-        any propagation error the state is invalidated, so a later apply
-        cannot observe half-updated operator state.
+        any propagation error the operator state is invalidated, so a
+        later apply cannot observe half-updated state; the store keeps
+        serving the last consistent snapshot meanwhile.
+
+        The whole call is O(|Δ|): the root's count index (owned by the
+        store) mutates in place under the store lock and the version is
+        bumped — **no** relation is rebuilt here.  Consumers that read
+        :attr:`result` pay the copy lazily, once per version.
         """
         if not self.warm:
             raise NonIncrementalDelta("operator state is cold")
@@ -383,17 +571,19 @@ class DeltaEvaluator:
                 )
             if not delta.is_empty():
                 relevant[name] = delta
+        store = self._store
         try:
-            root_delta = self._apply(self._root, relevant)
+            # The store lock spans the propagation (whose final, atomic
+            # step mutates the root index) and the version bump, so a
+            # concurrent snapshot() never copies a half-applied set.
+            with store.lock:
+                root_delta = self._apply(self._root, relevant)
+                if not root_delta.is_empty():
+                    store.bump()
         except Exception:
             self._invalidate()
             raise
         self.delta_applications += 1
-        if not root_delta.is_empty():
-            root_state = self._states[self._root]
-            self.result = OngoingRelation.from_deduplicated(
-                self._root.schema, root_state.output()
-            )
         return root_delta
 
     def _apply(self, node, table_deltas: Mapping[str, Delta]) -> Delta:

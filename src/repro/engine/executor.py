@@ -394,7 +394,10 @@ class _JoinBase(PhysicalOperator):
     # ------------------------------------------------------------------
 
     def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
-        state.extra[side][item] = None
+        cache = state.extra[side]
+        if item not in cache:
+            state.cached_rows += 1
+        cache[item] = None
 
     def _remove_side(
         self, state: OperatorState, side: str, item: OngoingTuple
@@ -405,6 +408,7 @@ class _JoinBase(PhysicalOperator):
             raise NonIncrementalDelta(
                 f"delete of a tuple unknown to the join's {side} side"
             ) from None
+        state.cached_rows -= 1
 
     def _matches(
         self, state: OperatorState, side: str, probe: OngoingTuple
@@ -537,7 +541,10 @@ class HashJoin(_JoinBase):
 
     def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
         index = state.extra[side]
-        index.setdefault(self._side_key(side, item), {})[item] = None
+        bucket = index.setdefault(self._side_key(side, item), {})
+        if item not in bucket:
+            state.cached_rows += 1
+        bucket[item] = None
 
     def _remove_side(
         self, state: OperatorState, side: str, item: OngoingTuple
@@ -552,6 +559,7 @@ class HashJoin(_JoinBase):
         del bucket[item]
         if not bucket:
             del index[key]
+        state.cached_rows -= 1
 
     def _matches(
         self, state: OperatorState, side: str, probe: OngoingTuple
@@ -695,7 +703,10 @@ class MergeIntervalJoin(_JoinBase):
             if side == "left"
             else self.right_interval_position
         )
-        state.extra[side][item] = _envelope(item.values[position])
+        cache = state.extra[side]
+        if item not in cache:
+            state.cached_rows += 1
+        cache[item] = _envelope(item.values[position])
 
     def _matches(
         self, state: OperatorState, side: str, probe: OngoingTuple
@@ -849,6 +860,8 @@ class DifferenceOp(PhysicalOperator):
             by_fixed.setdefault(self._fixed_key(item), {})[item] = None
             if out is not None:
                 counts[out] = counts.get(out, 0) + 1
+        # Cached rows: both input sides (by_fixed shares the left tuples).
+        state.cached_rows = len(right) + len(out_of)
 
     def apply_delta(
         self, state: OperatorState, deltas: Sequence[Delta]
@@ -867,6 +880,7 @@ class DifferenceOp(PhysicalOperator):
                     "delete of a tuple unknown to the difference's left side"
                 )
             out = out_of.pop(item)
+            state.cached_rows -= 1
             bucket = by_fixed.get(self._fixed_key(item))
             if bucket is not None:
                 bucket.pop(item, None)
@@ -885,7 +899,10 @@ class DifferenceOp(PhysicalOperator):
                         "right side"
                     )
                 del right[item]
+                state.cached_rows -= 1
             for item in right_delta.inserted:
+                if item not in right:
+                    state.cached_rows += 1
                 right[item] = None
             affected: Dict[OngoingTuple, None] = {}
             for row in right_delta.inserted + right_delta.deleted:
@@ -910,6 +927,7 @@ class DifferenceOp(PhysicalOperator):
                 )
             out = self._difference_tuple(item, right)
             out_of[item] = out
+            state.cached_rows += 1
             by_fixed.setdefault(self._fixed_key(item), {})[item] = None
             if out is not None:
                 changes[out] = changes.get(out, 0) + 1
@@ -1012,6 +1030,7 @@ class AggregateOp(PhysicalOperator):
         outs: Dict[Tuple[object, ...], OngoingTuple] = state.extra["out"]
         for item in items:
             groups.setdefault(self._key(item), {})[item] = None
+            state.cached_rows += 1
         if not self.group_positions:
             groups.setdefault((), {})  # the scalar group always exists
         counts = state.counts
@@ -1038,6 +1057,7 @@ class AggregateOp(PhysicalOperator):
                     "delete of a tuple unknown to the aggregate's group"
                 )
             del bucket[item]
+            state.cached_rows -= 1
             touched[key] = None
         for item in delta.inserted:
             key = self._key(item)
@@ -1047,6 +1067,7 @@ class AggregateOp(PhysicalOperator):
                     "insert of a tuple already aggregated in its group"
                 )
             bucket[item] = None
+            state.cached_rows += 1
             touched[key] = None
         changes: Dict[OngoingTuple, int] = {}
         for key in touched:

@@ -22,13 +22,26 @@ the **single synchronization point** of the concurrent serving layer
 holds the database's write lock so a re-evaluation and the discard of the
 deltas it subsumes are atomic with respect to concurrent writers — no
 torn reads, no double-applied rows.
+
+Since the versioned result store
+(:class:`~repro.relational.relation.ResultStore`), the maintainer no
+longer *holds* a relation — :attr:`IncrementalMaintainer.result` is a
+**version-aware lazy view**: a delta refresh mutates the store in O(|Δ|)
+and the immutable snapshot consumers read is copied on demand, at most
+once per version.  The maintainer also enforces the memory half of the
+contract: with ``state_budget_bytes`` set, operator state whose estimated
+footprint exceeds the budget is **evicted** after the refresh (the store
+keeps serving) and transparently rebuilt on the next refresh that needs
+it — recompute-on-miss, counted in :attr:`state_evictions` /
+:attr:`state_rebuilds` and logged like the delta fallbacks.
 """
 
 from __future__ import annotations
 
 import logging
 import threading
-from typing import Dict, FrozenSet, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
 
 from repro.engine.delta import (
     Delta,
@@ -38,17 +51,39 @@ from repro.engine.delta import (
 )
 from repro.relational.relation import OngoingRelation
 
-__all__ = ["IncrementalMaintainer"]
+__all__ = ["IncrementalMaintainer", "RefreshOutcome"]
 
 logger = logging.getLogger("repro.engine.delta")
+
+
+@dataclass(frozen=True)
+class RefreshOutcome:
+    """What one maintenance step did.
+
+    ``delta`` is the exact result-level change when the refresh
+    propagated row deltas through cached operator state, and ``None``
+    when it was a full re-evaluation (incremental maintenance disabled,
+    cold or evicted state, full-flagged deltas, or a failed propagation —
+    all automatic, all logged).  ``changed`` says whether the result set
+    differs from the one served before the refresh — on the delta path
+    that is ``not delta.is_empty()``, on the full path an explicit
+    old-vs-new comparison (O(|result|) on a path that is already
+    O(|result|)).  Neither field requires the caller to materialize a
+    snapshot: consumers that only need to know *whether* to notify never
+    pay a copy.
+    """
+
+    delta: Optional[Delta]
+    changed: bool
 
 
 class IncrementalMaintainer:
     """Incremental maintenance of one logical plan, with fallback and latch.
 
-    The maintainer owns the plan's :class:`DeltaEvaluator`, the pending
-    per-table row deltas, the materialized result, and the refresh
-    counters.  All consumers drive it through three entry points:
+    The maintainer owns the plan's :class:`DeltaEvaluator` (and through
+    it the versioned result store), the pending per-table row deltas, and
+    the refresh counters.  All consumers drive it through three entry
+    points:
 
     * :meth:`note_change` — accumulate one table delta (called from the
       database's modification hooks, under the database write lock);
@@ -56,22 +91,37 @@ class IncrementalMaintainer:
     * :meth:`refresh` — one maintenance step: propagate the pending
       deltas, or fall back to a full re-evaluation automatically.
 
+    ``state_budget_bytes`` bounds the evictable operator-state memory
+    (join-side hash state, derivation counts — everything except the
+    served result itself), estimated in storage-layout bytes
+    (:meth:`DeltaEvaluator.state_bytes`).  ``None`` means unbounded.
+
     Thread safety: :attr:`lock` guards the pending map and the latch.  A
     full re-evaluation runs under the owning database's write lock, which
     also serializes it against :meth:`note_change` (modification hooks
     fire with that lock held) — so deltas subsumed by the re-read tables
     are discarded atomically and can never be applied twice.  Callers
     must serialize :meth:`refresh`/:meth:`evaluate` per maintainer (the
-    live engine pins each fingerprint to one flush shard).
+    live engine pins each fingerprint to one flush shard); readers of
+    :attr:`result` need no lock at all — the store serializes snapshot
+    copies internally and hands out immutable relations.
     """
 
-    def __init__(self, plan, database, *, label: str, incremental: bool = True):
+    def __init__(
+        self,
+        plan,
+        database,
+        *,
+        label: str,
+        incremental: bool = True,
+        state_budget_bytes: Optional[int] = None,
+    ):
         self.plan = plan
         self.database = database
         self.label = label
+        self.state_budget_bytes = state_budget_bytes
         #: Guards the pending map, the latch, and the counters.
         self.lock = threading.RLock()
-        self.result: Optional[OngoingRelation] = None
         #: Monotonic count of change events *offered* to this maintainer —
         #: bumped even when the rows are not kept (unsupported plans,
         #: cold state, ``incremental=False``).  The flush path compares
@@ -86,15 +136,62 @@ class IncrementalMaintainer:
         self.full_refreshes = 0
         #: Incremental attempts that fell back to a full re-evaluation.
         self.delta_fallbacks = 0
+        #: Operator states dropped because they exceeded the budget.
+        self.state_evictions = 0
+        #: Refreshes that had to rebuild state evicted by the budget
+        #: (the recompute-on-miss counter).
+        self.state_rebuilds = 0
         self._incremental = incremental
         self._evaluator: Optional[DeltaEvaluator] = None
         self._unsupported = False
+        self._evicted = False
+        #: Snapshot counters, shared with every evaluator/store this
+        #: maintainer creates so the numbers survive rebuilds.
+        self._snapshot_stats: Dict[str, int] = {"taken": 0, "reused": 0}
+        #: The served relation on the plain path (``incremental=False``
+        #: or latched-unsupported plans); the incremental path serves
+        #: from the evaluator's store instead.
+        self._plain_result: Optional[OngoingRelation] = None
         self._relevant: FrozenSet[str] = plan.referenced_tables()
         self._pending: Dict[str, DeltaBuilder] = {}
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def result(self) -> Optional[OngoingRelation]:
+        """The maintained result as an immutable snapshot (lazy).
+
+        Reading this is the only operation that materializes: the store
+        copies its row set at most once per version and every consumer of
+        that version shares the copy.  A relation returned here is frozen
+        forever — later refreshes mutate the store, never the snapshot.
+        ``None`` before the first successful evaluation.
+        """
+        evaluator = self._evaluator
+        if evaluator is not None:
+            served = evaluator.result
+            if served is not None:
+                return served
+        return self._plain_result
+
+    @property
+    def snapshots_taken(self) -> int:
+        """Snapshot copies actually materialized (one per read version)."""
+        return self._snapshot_stats["taken"]
+
+    @property
+    def snapshots_reused(self) -> int:
+        """Reads served by an already-materialized snapshot (no copy)."""
+        return self._snapshot_stats["reused"]
+
+    @property
+    def result_version(self) -> int:
+        """The store's mutation counter (0 when no store exists yet)."""
+        evaluator = self._evaluator
+        store = None if evaluator is None else evaluator.store
+        return 0 if store is None else store.version
 
     @property
     def unsupported(self) -> bool:
@@ -106,6 +203,12 @@ class IncrementalMaintainer:
         """``True`` when operator state exists and deltas can be applied."""
         evaluator = self._evaluator
         return evaluator is not None and evaluator.warm
+
+    def state_bytes(self) -> int:
+        """Estimated evictable operator-state memory, in storage-layout
+        bytes (0 when the state is cold or evicted)."""
+        evaluator = self._evaluator
+        return 0 if evaluator is None else evaluator.state_bytes()
 
     def relevant(self, table: str) -> bool:
         """Does the plan read *table*?"""
@@ -166,17 +269,22 @@ class IncrementalMaintainer:
     # Refresh
     # ------------------------------------------------------------------
 
-    def _plain(self) -> OngoingRelation:
+    def _plain(
+        self, previous: Optional[OngoingRelation]
+    ) -> RefreshOutcome:
         result = self.database.query(self.plan)
         with self.lock:
-            self.result = result
+            self._plain_result = result
             self.evaluations += 1
             self.full_refreshes += 1
-        return result
+        changed = previous is None or result != previous
+        return RefreshOutcome(None, changed)
 
     def _ensure_evaluator(self) -> Optional[DeltaEvaluator]:
         if self._evaluator is None and not self._unsupported:
-            self._evaluator = DeltaEvaluator(self.plan, self.database)
+            self._evaluator = DeltaEvaluator(
+                self.plan, self.database, snapshot_stats=self._snapshot_stats
+            )
         return self._evaluator
 
     def _latch_unsupported(self, exc: NonIncrementalDelta) -> None:
@@ -188,10 +296,38 @@ class IncrementalMaintainer:
         )
         with self.lock:
             self._evaluator = None
+            self._evicted = False  # the flag describes the dropped state
             self._unsupported = True
             self._pending = {}  # row deltas will never be consumed
 
-    def evaluate(self, *, incremental: Optional[bool] = None) -> OngoingRelation:
+    def _maybe_evict(self, evaluator: DeltaEvaluator) -> None:
+        """Enforce the state budget after a successful refresh.
+
+        Eviction drops the operator state only — the versioned store (and
+        any snapshot already handed out) keeps serving.  The next refresh
+        that needs the state rebuilds it: recompute-on-miss.
+        """
+        budget = self.state_budget_bytes
+        if budget is None or not evaluator.warm:
+            return
+        used = evaluator.state_bytes()
+        if used <= budget:
+            return
+        evaluator.evict_state()
+        with self.lock:
+            self.state_evictions += 1
+            self._evicted = True
+        logger.info(
+            "%s operator state (~%d B) exceeded the %d B budget; evicted "
+            "— the result stays served, the next refresh rebuilds on miss",
+            self.label,
+            used,
+            budget,
+        )
+
+    def evaluate(
+        self, *, incremental: Optional[bool] = None
+    ) -> RefreshOutcome:
         """Full (re-)evaluation; builds delta state unless ``incremental``
         is ``False``.
 
@@ -205,57 +341,83 @@ class IncrementalMaintainer:
         if incremental is None:
             incremental = self._incremental
         with self.database.lock:
+            # The previously served result, for the changed-comparison of
+            # the full path; materializing it here is O(|result|) on a
+            # path that is already O(|result|).  Parking it in
+            # _plain_result keeps readers served through the windows
+            # below where the evaluator (and its store) is dropped before
+            # the plain re-query finishes — a result, once served, never
+            # transiently disappears.
+            previous = self.result
+            if previous is not None:
+                with self.lock:
+                    self._plain_result = previous
             self.discard_pending()
             if not incremental:
                 # The delta state (if any) is now behind this evaluation —
                 # drop it, or a later incremental refresh (the consumer's
                 # flag may be mutable) would apply deltas to a stale
-                # snapshot.
-                self._evaluator = None
-                return self._plain()
+                # snapshot.  A pending eviction mark dies with the state:
+                # the next cold start is this toggle's doing, not the
+                # budget's.
+                with self.lock:
+                    self._evaluator = None
+                    self._evicted = False
+                return self._plain(previous)
             evaluator = self._ensure_evaluator()
             if evaluator is None:
-                return self._plain()
+                return self._plain(previous)
             try:
                 result = evaluator.refresh_full()
             except NonIncrementalDelta as exc:
                 self._latch_unsupported(exc)
-                return self._plain()
+                return self._plain(previous)
             with self.lock:
-                self.result = result
+                self._evicted = False
+                self._plain_result = None  # the store serves from here on
                 self.evaluations += 1
                 self.full_refreshes += 1
-            return result
+            self._maybe_evict(evaluator)
+            changed = previous is None or result != previous
+            return RefreshOutcome(None, changed)
 
     def refresh(
         self, *, incremental: Optional[bool] = None
-    ) -> Tuple[OngoingRelation, Optional[Delta]]:
-        """One maintenance step; returns ``(result, result_delta)``.
+    ) -> RefreshOutcome:
+        """One maintenance step; returns the :class:`RefreshOutcome`.
 
-        ``result_delta`` is the exact result-level change when the
+        ``outcome.delta`` is the exact result-level change when the
         refresh propagated the pending deltas through cached operator
         state, and ``None`` when the refresh was a full re-evaluation —
-        because incremental maintenance is disabled, the state was cold,
-        the deltas were full-flagged, or the propagation failed.  The
-        fallback is automatic and logged; callers only need the return
-        value to know which path ran.
+        because incremental maintenance is disabled, the state was cold
+        or evicted, the deltas were full-flagged, or the propagation
+        failed.  The fallback is automatic and logged; callers only need
+        the outcome to know which path ran and whether to notify.  The
+        delta path costs O(|Δ|) end to end — no snapshot is materialized
+        here.
         """
         if incremental is None:
             incremental = self._incremental
         if not incremental:
-            return self.evaluate(incremental=False), None
+            return self.evaluate(incremental=False)
         if self._unsupported:
             # Unsupported plans re-run plainly, but still under the write
             # lock (via evaluate): a multi-table plan must not read table
             # A before and table B after a concurrent writer.
-            return self.evaluate(), None
+            return self.evaluate()
         evaluator = self._ensure_evaluator()
         if evaluator is None:
-            return self.evaluate(), None
+            return self.evaluate()
         if not evaluator.warm:
             with self.lock:
-                self.delta_fallbacks += 1
-            return self.evaluate(), None
+                if self._evicted:
+                    # The budget evicted the state; this is the miss that
+                    # pays the rebuild — not a delta-rule failure.
+                    self._evicted = False
+                    self.state_rebuilds += 1
+                else:
+                    self.delta_fallbacks += 1
+            return self.evaluate()
         pending = self.take_pending()
         try:
             delta = evaluator.apply(pending)
@@ -268,9 +430,9 @@ class IncrementalMaintainer:
             )
             with self.lock:
                 self.delta_fallbacks += 1
-            return self.evaluate(), None
+            return self.evaluate()
         with self.lock:
-            self.result = evaluator.result
             self.evaluations += 1
             self.delta_refreshes += 1
-        return self.result, delta
+        self._maybe_evict(evaluator)
+        return RefreshOutcome(delta, not delta.is_empty())

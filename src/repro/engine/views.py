@@ -103,14 +103,19 @@ class MaterializedOngoingView:
         """Bring the stored ongoing result up to date.
 
         Incremental by default: the accumulated row deltas run through
-        the view's cached operator state.  Falls back to a full
-        re-evaluation — automatically, with the reason logged — when the
-        state is cold or the deltas cannot be propagated; a plan with no
-        delta rules at all latches onto plain evaluation permanently.
+        the view's cached operator state, mutating the versioned result
+        store in O(|Δ|).  Falls back to a full re-evaluation —
+        automatically, with the reason logged — when the state is cold or
+        the deltas cannot be propagated; a plan with no delta rules at
+        all latches onto plain evaluation permanently.  Returning the
+        relation materializes a snapshot (the view is the single-consumer
+        primitive); callers that only need the refresh done can ignore
+        the return value at no extra cost beyond that one copy per
+        changed version.
         """
-        result, _ = self._maintainer.refresh()
+        self._maintainer.refresh()
         self._dirty = False
-        return result
+        return self.result
 
     def is_stale(self) -> bool:
         """``True`` iff base data changed since the last refresh.

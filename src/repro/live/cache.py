@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.engine.database import Database
 from repro.engine.delta import Delta
-from repro.engine.maintenance import IncrementalMaintainer
+from repro.engine.maintenance import IncrementalMaintainer, RefreshOutcome
 from repro.engine.plan import PlanNode
 from repro.relational.relation import OngoingRelation
 
@@ -33,9 +33,19 @@ __all__ = ["SharedResult", "ResultCache"]
 class SharedResult:
     """One materialized ongoing result shared by all equal-plan subscribers."""
 
-    def __init__(self, plan: PlanNode, fingerprint: str):
+    def __init__(
+        self,
+        plan: PlanNode,
+        fingerprint: str,
+        *,
+        state_budget_bytes: Optional[int] = None,
+    ):
         self.plan = plan
         self.fingerprint = fingerprint
+        #: Per-maintainer cap on evictable operator-state memory
+        #: (storage-layout bytes); ``None`` = unbounded.  Set by the
+        #: session before the first evaluation.
+        self.state_budget_bytes = state_budget_bytes
         #: Subscriptions currently attached to this result.
         self.subscribers: List[object] = []
         #: The maintenance state machine; created on the first evaluation
@@ -49,12 +59,22 @@ class SharedResult:
     def _ensure_maintainer(self, database: Database) -> IncrementalMaintainer:
         if self._maintainer is None:
             self._maintainer = IncrementalMaintainer(
-                self.plan, database, label=f"plan {self.fingerprint[:12]}"
+                self.plan,
+                database,
+                label=f"plan {self.fingerprint[:12]}",
+                state_budget_bytes=self.state_budget_bytes,
             )
         return self._maintainer
 
     @property
     def result(self) -> Optional[OngoingRelation]:
+        """The shared snapshot — lazy and version-cached.
+
+        Every subscriber of this fingerprint reading the same version
+        receives the *same* immutable relation object: one copy serves
+        them all, and a refresh whose subscribers never read pays no copy
+        at all.
+        """
         maintainer = self._maintainer
         return None if maintainer is None else maintainer.result
 
@@ -75,6 +95,36 @@ class SharedResult:
         """How many delta attempts fell back to a full re-evaluation."""
         maintainer = self._maintainer
         return 0 if maintainer is None else maintainer.delta_fallbacks
+
+    @property
+    def snapshots_taken(self) -> int:
+        """Snapshot copies materialized (at most one per read version)."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.snapshots_taken
+
+    @property
+    def snapshots_reused(self) -> int:
+        """Reads served from an already-materialized snapshot."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.snapshots_reused
+
+    @property
+    def state_evictions(self) -> int:
+        """Operator states dropped by the memory budget."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.state_evictions
+
+    @property
+    def state_rebuilds(self) -> int:
+        """Refreshes that rebuilt budget-evicted state (miss counter)."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.state_rebuilds
+
+    def state_bytes(self) -> int:
+        """Estimated evictable operator-state memory (storage-layout
+        bytes); 0 while the state is cold or evicted."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.state_bytes()
 
     def note_change(self, table: str, delta: Delta) -> None:
         """Accumulate one table delta for the next refresh (thread-safe)."""
@@ -101,8 +151,8 @@ class SharedResult:
 
     def evaluate(
         self, database: Database, *, incremental: bool = True
-    ) -> OngoingRelation:
-        """(Re-)run the plan fully and store the fresh ongoing result.
+    ) -> RefreshOutcome:
+        """(Re-)run the plan fully; the result is served lazily afterwards.
 
         The full run also (re)builds the plan's per-operator delta state,
         so the *next* refresh can ride the incremental path.  Pass
@@ -116,19 +166,20 @@ class SharedResult:
 
     def refresh(
         self, database: Database, *, incremental: bool = True
-    ) -> Optional[Delta]:
-        """One flush-driven refresh; returns the result delta, or ``None``.
+    ) -> RefreshOutcome:
+        """One flush-driven refresh; returns its :class:`RefreshOutcome`.
 
-        ``None`` means the refresh was a full re-evaluation — because
-        incremental maintenance is disabled, the state was cold, the
-        accumulated deltas were full-flagged, or the propagation fell
-        back.  The fallback is automatic and logged; callers only need
-        the return value to know which path ran.
+        ``outcome.delta is None`` means the refresh was a full
+        re-evaluation — because incremental maintenance is disabled, the
+        state was cold or budget-evicted, the accumulated deltas were
+        full-flagged, or the propagation fell back.  The fallback is
+        automatic and logged; ``outcome.changed`` tells the caller
+        whether to notify, with no snapshot materialized on the delta
+        path.
         """
-        _, delta = self._ensure_maintainer(database).refresh(
+        return self._ensure_maintainer(database).refresh(
             incremental=incremental
         )
-        return delta
 
     @property
     def subscriber_count(self) -> int:
@@ -156,12 +207,19 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
 
-    def get_or_create(self, plan: PlanNode) -> Tuple[SharedResult, bool]:
+    def get_or_create(
+        self,
+        plan: PlanNode,
+        *,
+        state_budget_bytes: Optional[int] = None,
+    ) -> Tuple[SharedResult, bool]:
         """The shared entry for *plan*'s fingerprint.
 
         Returns ``(entry, created)`` — ``created`` is ``True`` when this
         call materialized a new cache entry (the caller then registers its
-        dependencies and runs the first evaluation).
+        dependencies and runs the first evaluation).  *state_budget_bytes*
+        configures a newly created entry's maintainer; an existing entry
+        keeps the budget it was created with.
         """
         fingerprint = plan.fingerprint()
         entry = self._entries.get(fingerprint)
@@ -169,7 +227,9 @@ class ResultCache:
             self.hits += 1
             return entry, False
         self.misses += 1
-        entry = SharedResult(plan, fingerprint)
+        entry = SharedResult(
+            plan, fingerprint, state_budget_bytes=state_budget_bytes
+        )
         self._entries[fingerprint] = entry
         return entry, True
 

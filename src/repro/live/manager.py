@@ -134,6 +134,7 @@ class SubscriptionManager:
         flush_shards: int = 0,
         queue_capacity: int = 64,
         backpressure: str = "coalesce",
+        state_budget_bytes: Optional[int] = None,
     ):
         if flush_every is not None and flush_every < 1:
             raise QueryError("flush_every must be a positive event count")
@@ -141,6 +142,8 @@ class SubscriptionManager:
             raise QueryError(
                 "delivery_workers and flush_shards must be non-negative"
             )
+        if state_budget_bytes is not None and state_budget_bytes < 0:
+            raise QueryError("state_budget_bytes must be non-negative")
         self.database = database
         self.auto_flush = auto_flush
         self.flush_every = flush_every
@@ -148,6 +151,13 @@ class SubscriptionManager:
         #: cached operator state; ``False`` forces full re-evaluation on
         #: every refresh (the PR-1 behavior, kept for benchmarking).
         self.incremental = incremental
+        #: Per-maintainer cap on evictable operator-state memory
+        #: (storage-layout bytes).  Exceeding it evicts the plan's delta
+        #: state after the refresh — the result keeps serving from the
+        #: versioned store, and the next refresh rebuilds on miss
+        #: (``state_evictions``/``state_rebuilds`` in :meth:`stats`).
+        #: ``None`` = unbounded.
+        self.state_budget_bytes = state_budget_bytes
         self.delivery_workers = delivery_workers
         self.flush_shards = flush_shards
         #: Guards all session state below (never held while delivering).
@@ -191,6 +201,14 @@ class SubscriptionManager:
             "notifications": 0,
             "refresh_errors": 0,
         }
+        #: Store/budget counters of shared results whose last subscriber
+        #: left — folded into stats() so the totals stay monotonic.
+        self._retired_store_stats = {
+            "snapshots_taken": 0,
+            "snapshots_reused": 0,
+            "state_evictions": 0,
+            "state_rebuilds": 0,
+        }
         self._unsubscribe_bus: Dict[int, Callable[[], None]] = {}
         self._listener = database.add_delta_listener(self._on_table_delta)
         self._closed = False
@@ -201,6 +219,12 @@ class SubscriptionManager:
         self._serving = False
         self._serve_thread: Optional[threading.Thread] = None
         self._serve_debounce = 0.0
+        # Adaptive debounce band (None = fixed window).  The depth at
+        # which the window saturates scales with the session: at least
+        # one full mailbox, stretched by fan-out (see _debounce_scale).
+        self._serve_debounce_min: Optional[float] = None
+        self._serve_debounce_max: Optional[float] = None
+        self._debounce_capacity = max(1, queue_capacity)
 
     # ------------------------------------------------------------------
     # Registration
@@ -240,7 +264,9 @@ class SubscriptionManager:
         # freshly built operator state is exactly as-of the registration.
         with self.database.lock:
             with self._lock:
-                shared, created = self._cache.get_or_create(plan)
+                shared, created = self._cache.get_or_create(
+                    plan, state_budget_bytes=self.state_budget_bytes
+                )
                 if created:
                     self._dependencies.add(
                         shared.fingerprint, referenced_tables(plan)
@@ -330,7 +356,14 @@ class SubscriptionManager:
                 # The last subscriber leaving must fully unregister the
                 # plan: cache entry, dependency links (so the table →
                 # fingerprint index drops tables no live plan reads
-                # anymore), and any accumulated dirty/delta state.
+                # anymore), and any accumulated dirty/delta state.  Its
+                # store/budget counters retire into the session totals so
+                # stats() never goes backward.
+                retired = self._retired_store_stats
+                retired["snapshots_taken"] += shared.snapshots_taken
+                retired["snapshots_reused"] += shared.snapshots_reused
+                retired["state_evictions"] += shared.state_evictions
+                retired["state_rebuilds"] += shared.state_rebuilds
                 self._cache.remove(shared.fingerprint)
                 self._dependencies.remove(shared.fingerprint)
                 self._dirty.pop(shared.fingerprint, None)
@@ -603,10 +636,9 @@ class SubscriptionManager:
             shared = self._cache.get(fingerprint)
         if shared is None:  # all subscribers left while dirty
             return False
-        previous = shared.result
         epoch = shared.change_count()
         try:
-            result_delta = shared.refresh(
+            outcome = shared.refresh(
                 self.database, incremental=self.incremental
             )
         except Exception as exc:  # noqa: BLE001 — isolate per plan
@@ -614,8 +646,9 @@ class SubscriptionManager:
                 self._stats["refresh_errors"] += 1
             self.bus.publish("error", (fingerprint, exc))
             return False
+        result_delta = outcome.delta
+        changed = outcome.changed
         if result_delta is None:
-            changed = previous is None or shared.result != previous
             with self._lock:
                 # The full re-evaluation read the tables under the write
                 # lock and subsumed every change event offered before it
@@ -629,7 +662,6 @@ class SubscriptionManager:
                 self._stats["full_refreshes"] += 1
                 self._stats["evaluations"] += 1
         else:
-            changed = not result_delta.is_empty()
             with self._lock:
                 self._stats["delta_refreshes"] += 1
                 self._stats["evaluations"] += 1
@@ -650,18 +682,50 @@ class SubscriptionManager:
     # Background serving
     # ------------------------------------------------------------------
 
-    def serve(self, *, debounce: float = 0.005) -> "SubscriptionManager":
+    def serve(
+        self,
+        *,
+        debounce: float = 0.005,
+        debounce_min: Optional[float] = None,
+        debounce_max: Optional[float] = None,
+    ) -> "SubscriptionManager":
         """Start the background auto-flush loop; returns ``self``.
 
         The loop sleeps until a modification event wakes it (there is no
         polling of data and no clock-driven refresh — an idle database
-        costs nothing), waits *debounce* seconds so a burst of writes
+        costs nothing), waits the debounce window so a burst of writes
         coalesces into one flush round, then flushes.  Idempotent; a
-        second call only updates the debounce window.
+        second call only updates the debounce configuration.
+
+        **Adaptive debounce**: pass *debounce_min*/*debounce_max* to
+        scale the window with load instead of fixing it.  Before each
+        sleep the loop reads the queue depth — undelivered notifications
+        in the delivery mailboxes plus dirty plans awaiting refresh — and
+        interpolates linearly between the band edges, saturating at the
+        larger of ``queue_capacity`` and the session's fan-out
+        (subscriptions + shared plans), so one write rippling to many
+        subscribers does not count as a backlog: an idle system reacts
+        at *debounce_min* latency, a genuinely backlogged one waits up
+        to *debounce_max* so more writes coalesce into each flush round
+        and the queues get room to drain.  The fixed *debounce* is
+        ignored while a band is set.
         """
+        if debounce_min is not None or debounce_max is not None:
+            if debounce_min is None or debounce_max is None:
+                raise QueryError(
+                    "adaptive debounce needs both debounce_min and "
+                    "debounce_max"
+                )
+            if debounce_min < 0 or debounce_max < debounce_min:
+                raise QueryError(
+                    "debounce band must satisfy 0 <= debounce_min <= "
+                    "debounce_max"
+                )
         with self._lock:
             self._require_open()
             self._serve_debounce = max(0.0, debounce)
+            self._serve_debounce_min = debounce_min
+            self._serve_debounce_max = debounce_max
             if self._serve_thread is not None:
                 return self
             self._serving = True
@@ -672,6 +736,57 @@ class SubscriptionManager:
             self._serve_thread = thread
         thread.start()
         return self
+
+    def _queue_depth(self) -> int:
+        """Load signal for the adaptive debounce: undelivered
+        notifications plus dirty plans awaiting refresh."""
+        depth = self.pending
+        if self._async_bus:
+            depth += self.bus.backlog()
+        return depth
+
+    def _debounce_scale(self) -> int:
+        """The depth at which the adaptive window saturates.
+
+        One full mailbox at minimum, stretched by fan-out: the depth
+        signal sums notifications across *all* mailboxes plus *all*
+        dirty plans, so a session with many subscribers reaches large
+        absolute depths from a single write — saturation must grow with
+        the number of queues that can legitimately hold one item each,
+        or every fanned-out flush round would sleep ``debounce_max``.
+        """
+        with self._lock:
+            fanout = len(self._subscriptions) + len(self._cache)
+        return max(self._debounce_capacity, fanout)
+
+    def _debounce_for_depth(self, depth: int) -> float:
+        """The sleep window for one observed queue *depth*.
+
+        Linear between the band edges, saturating at
+        :meth:`_debounce_scale`; returns the fixed window when no band
+        is set.
+        """
+        with self._lock:
+            low = self._serve_debounce_min
+            high = self._serve_debounce_max
+            fixed = self._serve_debounce
+        if low is None or high is None:
+            return fixed
+        if depth <= 0 or high <= low:
+            return low
+        scale = self._debounce_scale()
+        if depth >= scale:
+            return high
+        return low + (high - low) * (depth / scale)
+
+    def current_debounce(self) -> float:
+        """The window the serve loop would sleep right now (adaptive
+        debounce reads the live queue depth; fixed returns the constant
+        without probing the queues at all)."""
+        with self._lock:
+            if self._serve_debounce_min is None:
+                return self._serve_debounce
+        return self._debounce_for_depth(self._queue_depth())
 
     def stop_serving(self) -> None:
         """Stop the background flush loop (idempotent); pending events
@@ -697,8 +812,9 @@ class SubscriptionManager:
             self._wakeup.wait()
             if not self._serving:
                 return
-            if self._serve_debounce:
-                time.sleep(self._serve_debounce)
+            window = self.current_debounce()
+            if window:
+                time.sleep(window)
             # Clear *before* flushing: an event that lands after the
             # clear re-sets the flag and the next iteration flushes it —
             # wakeups are never lost, at worst coalesced (which is the
@@ -739,9 +855,27 @@ class SubscriptionManager:
         dropped / coalesced notification counts and the delivery backlog
         (zeros on the synchronous bus), per-shard flush counts
         (``shard_flushes``, empty without ``flush_shards``), and the
-        ``serving`` flag of the background loop.
+        ``serving`` flag of the background loop.  The result-store layer
+        adds ``snapshots_taken`` / ``snapshots_reused`` (copies
+        materialized vs. reads served from an existing copy) and
+        ``state_evictions`` / ``state_rebuilds`` (the memory budget's
+        evict and recompute-on-miss counters), summed over all shared
+        results.
         """
         with self._lock:
+            retired = self._retired_store_stats
+            snapshots_taken = retired["snapshots_taken"]
+            snapshots_reused = retired["snapshots_reused"]
+            state_evictions = retired["state_evictions"]
+            state_rebuilds = retired["state_rebuilds"]
+            for fingerprint in self._cache.fingerprints():
+                entry = self._cache.get(fingerprint)
+                if entry is None:
+                    continue
+                snapshots_taken += entry.snapshots_taken
+                snapshots_reused += entry.snapshots_reused
+                state_evictions += entry.state_evictions
+                state_rebuilds += entry.state_rebuilds
             data: Dict[str, object] = {
                 **self._stats,
                 "subscriptions": len(self._subscriptions),
@@ -750,6 +884,10 @@ class SubscriptionManager:
                 "cache_misses": self._cache.misses,
                 "pending": len(self._dirty),
                 "table_fanout": self._dependencies.table_fanout(),
+                "snapshots_taken": snapshots_taken,
+                "snapshots_reused": snapshots_reused,
+                "state_evictions": state_evictions,
+                "state_rebuilds": state_rebuilds,
             }
         data["delivery_workers"] = self.delivery_workers
         data["flush_shards"] = self.flush_shards

@@ -117,13 +117,17 @@ class Subscription:
 
     @property
     def result(self) -> OngoingRelation:
-        """The shared materialized ongoing result (never re-evaluates)."""
-        shared = self._require_shared()
-        if shared.result is None:
+        """The shared materialized ongoing result (never re-evaluates).
+
+        One store read per access: the snapshot is copied lazily, at most
+        once per version, and shared by every subscriber of the plan.
+        """
+        result = self._require_shared().result
+        if result is None:
             raise QueryError(
                 f"subscription {self.name!r} has no materialized result yet"
             )
-        return shared.result
+        return result
 
     def _require_shared(self) -> SharedResult:
         if self._shared is None:
@@ -185,12 +189,13 @@ class Subscription:
         topic = f"refresh:{self.id}"
         if bus.listener_count(topic) == 0 and bus.listener_count("refresh") == 0:
             return 0
+        result = self.result  # one snapshot read serves the notification
         rows = None
         if self.reference_time is not None:
-            rows = self.result.instantiate(self.reference_time)
+            rows = result.instantiate(self.reference_time)
         notification = RefreshNotification(
             subscription=self,
-            result=self.result,
+            result=result,
             rows=rows,
             changed_tables=tuple(sorted(changed_tables)),
             delta=delta,

@@ -16,7 +16,18 @@ operator ``Op`` of the algebra, ``‖Op(R)‖rt == OpF(‖R‖rt)`` at all rt.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Tuple
+import threading
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
 from repro.core.timeline import TimePoint
@@ -24,7 +35,7 @@ from repro.errors import SchemaError
 from repro.relational.schema import Schema
 from repro.relational.tuples import FixedTuple, OngoingTuple
 
-__all__ = ["OngoingRelation"]
+__all__ = ["OngoingRelation", "ResultStore"]
 
 
 class OngoingRelation:
@@ -160,3 +171,121 @@ class OngoingRelation:
         if len(self._tuples) > max_rows:
             lines.append(f"... ({len(self._tuples) - max_rows} more)")
         return "\n".join(lines)
+
+
+class ResultStore:
+    """A versioned, copy-on-read owner of a maintained result set.
+
+    The store wraps a mutable *ordered mapping* whose keys are the unique
+    tuples of the result (the delta engine's root derivation-count index,
+    but any insertion-ordered mapping works).  Writers mutate the mapping
+    in place — O(|Δ|) for a row-level delta — and :meth:`bump` the version
+    after every change that alters the key *set*.  Readers never see the
+    live mapping: :meth:`snapshot` materializes an immutable
+    :class:`OngoingRelation` **lazily**, caches it per version, and hands
+    the same object to every consumer until the next bump.
+
+    This is the economics the paper's validity property buys (the refresh
+    tail stays O(|Δ|)):
+
+    * a refresh whose consumers never materialize — coalesced mailboxes,
+      suppressed no-change notifications, delta-only subscribers — costs
+      nothing here: no copy is taken;
+    * N consumers sharing one maintained plan share **one** snapshot per
+      version instead of N copies;
+    * a snapshot, once taken, is frozen — later mutations of the store can
+      never reach a relation already handed to a consumer (the copy
+      happens *on read*, before the tuples escape).
+
+    Thread safety: :attr:`lock` serializes mutation and materialization.
+    Writers hold it across the mutation of the mapping plus the
+    :meth:`bump`; readers hold it while copying.  :meth:`bump` itself does
+    not take the lock — it is a writer-side step inside the writer's
+    critical section.
+    """
+
+    __slots__ = (
+        "schema",
+        "lock",
+        "_rows",
+        "_version",
+        "_snapshot",
+        "_snapshot_version",
+        "_stats",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Mapping[OngoingTuple, object],
+        *,
+        stats: Optional[Dict[str, int]] = None,
+        version: int = 0,
+    ):
+        self.schema = schema
+        #: Serializes writers (mutate + bump) against readers (copy).
+        self.lock = threading.Lock()
+        self._rows = rows
+        #: Owners that rebuild their store seed *version* past the old
+        #: store's, so the counter stays monotonic across full refreshes
+        #: and version-based change detection never misses a rebuild.
+        self._version = version
+        self._snapshot: Optional[OngoingRelation] = None
+        self._snapshot_version = version - 1
+        self._stats = stats if stats is not None else {"taken": 0, "reused": 0}
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; snapshots are cached per version."""
+        return self._version
+
+    def __len__(self) -> int:
+        """Row count of the live result — O(1), no materialization."""
+        return len(self._rows)
+
+    def bump(self) -> None:
+        """Record that the result set changed (writer holds :attr:`lock`)."""
+        self._version += 1
+
+    def peek(self) -> Optional[OngoingRelation]:
+        """The cached snapshot if it is current, else ``None`` (no copy)."""
+        with self.lock:
+            if self._snapshot_version == self._version:
+                return self._snapshot
+            return None
+
+    def snapshot(self) -> OngoingRelation:
+        """The result as an immutable relation; copied at most once per
+        version, shared by every consumer of that version."""
+        with self.lock:
+            if (
+                self._snapshot is not None
+                and self._snapshot_version == self._version
+            ):
+                self._stats["reused"] += 1
+                return self._snapshot
+            snapshot = OngoingRelation.from_deduplicated(
+                self.schema, tuple(self._rows)
+            )
+            self._snapshot = snapshot
+            self._snapshot_version = self._version
+            self._stats["taken"] += 1
+            return snapshot
+
+    def materialize(self) -> OngoingRelation:
+        """An *uncached* eager copy — the pre-store rebuild path.
+
+        Exists for the equivalence tests and benchmarks: byte-for-byte,
+        ``materialize()`` is what every refresh used to pay before the
+        store made snapshots lazy.  Not counted in the snapshot stats.
+        """
+        with self.lock:
+            return OngoingRelation.from_deduplicated(
+                self.schema, tuple(self._rows)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(rows={len(self._rows)}, version={self._version}, "
+            f"snapshot={'fresh' if self._snapshot_version == self._version else 'stale'})"
+        )

@@ -254,6 +254,17 @@ class DeliveryPool:
             if settled:
                 return True
 
+    def backlog(self) -> int:
+        """Undelivered payloads across all mailboxes — the load signal
+        the adaptive serve-loop debounce reads (cheaper than
+        :meth:`stats`, which also walks the counter fields)."""
+        total = 0
+        for worker in self._workers:
+            with worker.condition:
+                for mailbox in worker.mailboxes:
+                    total += len(mailbox._items)
+        return total
+
     def close(self, *, drain: bool = True) -> None:
         """Stop all workers; by default deliver everything queued first."""
         if self._closed:
@@ -386,6 +397,10 @@ class AsyncEventBus(EventBus):
     # ------------------------------------------------------------------
     # Serving extras
     # ------------------------------------------------------------------
+
+    def backlog(self) -> int:
+        """Undelivered notifications across all subscriber mailboxes."""
+        return self.pool.backlog()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for every queued notification to finish delivering."""

@@ -1,0 +1,400 @@
+"""The versioned copy-on-read result store and the operator-state budget.
+
+Tentpole contracts of the O(|Δ|) refresh tail:
+
+* a delta refresh mutates the store and bumps its version **without**
+  materializing anything — the O(|result|) copy happens only when a
+  consumer reads, at most once per version, shared by all readers;
+* a snapshot, once handed out, is frozen: later mutations of the store
+  (including structural churn that leaves the output set unchanged) can
+  never reach it — byte-for-byte;
+* with ``state_budget_bytes`` set, operator state above the budget is
+  evicted after the refresh while the result keeps serving, and the next
+  refresh transparently rebuilds it (recompute-on-miss), with the
+  eviction/rebuild counters advancing and zero correctness drift;
+* the sizeof-based memory guard: after every flush the maintained state
+  respects the configured budget.
+"""
+
+import pytest
+
+from repro.core.interval import fixed_interval, until_now
+from repro.engine.database import Database
+from repro.engine.delta import Delta, DeltaEvaluator
+from repro.engine.modifications import current_delete, current_update
+from repro.engine.plan import scan
+from repro.engine.storage import pack_tuple
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.relation import OngoingRelation, ResultStore
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+
+def _database():
+    db = Database("store-unit")
+    r = db.create_table("R", Schema.of("K", ("VT", "interval")))
+    s = db.create_table("S", Schema.of("K", ("VT", "interval")))
+    for i in range(8):
+        r.insert(i % 4, until_now(i))
+        s.insert(i % 4, until_now(i + 1))
+    return db
+
+
+def _join_plan():
+    return scan("R").join(
+        scan("S"),
+        on=(col("R.K") == col("S.K")) & col("R.VT").overlaps(col("S.VT")),
+        left_name="R",
+        right_name="S",
+    )
+
+
+def _packed(relation: OngoingRelation) -> bytes:
+    """The relation's tuples serialized in order — the byte-stability probe."""
+    return b"".join(pack_tuple(item) for item in relation.tuples)
+
+
+class TestResultStore:
+    def _store(self):
+        schema = Schema.of("K", ("VT", "interval"))
+        # A plain ordered mapping keyed by tuples — exactly the shape of
+        # the delta engine's root derivation-count index.
+        rows = {OngoingTuple((i, until_now(i))): 1 for i in range(3)}
+        return schema, rows, ResultStore(schema, rows)
+
+    def test_snapshot_is_lazy_cached_and_shared(self):
+        schema, rows, store = self._store()
+        assert store.peek() is None  # nothing materialized yet
+        first = store.snapshot()
+        assert isinstance(first, OngoingRelation)
+        assert store.snapshot() is first  # same version → same object
+        assert store.peek() is first
+
+    def test_bump_invalidates_the_cache_only_on_read(self):
+        schema, rows, store = self._store()
+        first = store.snapshot()
+        extra = OngoingTuple((99, until_now(9)))
+        with store.lock:
+            rows[extra] = 1
+            store.bump()
+        assert store.peek() is None  # stale — but no copy was taken
+        second = store.snapshot()
+        assert second is not first
+        assert extra in second.tuples
+
+    def test_snapshot_stats_partition_reads(self):
+        stats = {"taken": 0, "reused": 0}
+        schema, rows, _ = self._store()
+        store = ResultStore(schema, rows, stats=stats)
+        store.snapshot()
+        store.snapshot()
+        with store.lock:
+            store.bump()
+        store.snapshot()
+        assert stats == {"taken": 2, "reused": 1}
+
+    def test_materialize_is_uncached_and_uncounted(self):
+        stats = {"taken": 0, "reused": 0}
+        schema, rows, _ = self._store()
+        store = ResultStore(schema, rows, stats=stats)
+        eager = store.materialize()
+        assert store.materialize() is not eager
+        assert stats == {"taken": 0, "reused": 0}
+        assert frozenset(eager.tuples) == frozenset(store.snapshot().tuples)
+
+    def test_len_is_live_without_materializing(self):
+        stats = {"taken": 0, "reused": 0}
+        schema, rows, _ = self._store()
+        store = ResultStore(schema, rows, stats=stats)
+        assert len(store) == 3
+        with store.lock:
+            rows[OngoingTuple((42, until_now(1)))] = 1
+            store.bump()
+        assert len(store) == 4
+        assert stats["taken"] == 0
+
+
+class TestSnapshotAliasingRegression:
+    """The satellite regression: `apply` used to skip the rebuild when the
+    root delta was empty, so the served relation could alias state that
+    kept churning.  The versioned store makes the hazard impossible —
+    a held snapshot is byte-stable across any later mutation."""
+
+    def test_held_snapshot_is_byte_stable_across_mutations(self):
+        db = _database()
+        evaluator = DeltaEvaluator(_join_plan(), db)
+        evaluator.refresh_full()
+        held = evaluator.result
+        before = _packed(held)
+        baseline = frozenset(held.tuples)
+        # Structural churn with an empty root delta: add a duplicate of an
+        # existing R row (scan count 1 → 2, no set-level change), then
+        # delete one copy (2 → 1).
+        duplicate = db.table("R").rows()[0]
+        assert evaluator.apply({"R": Delta.insert((duplicate,))}).is_empty()
+        assert evaluator.apply({"R": Delta.delete((duplicate,))}).is_empty()
+        # And a genuine set-level change on top.
+        delta = evaluator.apply(
+            {"R": Delta.insert((OngoingTuple((0, fixed_interval(2, 9))),))}
+        )
+        assert not delta.is_empty() and not delta.deleted
+        assert _packed(held) == before  # the held copy never moved
+        # The *store* did move — a fresh read sees the new version...
+        assert evaluator.result is not held
+        # ...which is exactly the old set plus the propagated inserts.
+        assert frozenset(evaluator.result.tuples) == baseline | frozenset(
+            delta.inserted
+        )
+
+    def test_empty_root_delta_keeps_the_cached_snapshot(self):
+        db = _database()
+        evaluator = DeltaEvaluator(_join_plan(), db)
+        first = evaluator.refresh_full()
+        # Duplicate-row churn propagates an empty root delta — the cached
+        # snapshot must stay valid (no version bump, no new copy).
+        taken_before = evaluator.snapshot_stats["taken"]
+        duplicate = db.table("R").rows()[0]
+        delta = evaluator.apply({"R": Delta.insert((duplicate,))})
+        assert delta.is_empty()
+        assert evaluator.result is first
+        assert evaluator.snapshot_stats["taken"] == taken_before
+
+    def test_delta_refresh_takes_no_snapshot_until_read(self):
+        """The tentpole invariant: refreshes without readers never copy."""
+        db = _database()
+        session = LiveSession(db)
+        sub = session.subscribe(_join_plan())
+        taken_after_subscribe = session.stats()["snapshots_taken"]
+        for i in range(5):
+            db.table("R").insert(i % 4, until_now(20 + i))
+            session.flush()
+        stats = session.stats()
+        assert stats["delta_refreshes"] == 5
+        assert stats["snapshots_taken"] == taken_after_subscribe  # no reads
+        # The first read pays the one copy; the second shares it.
+        first = sub.result
+        assert sub.result is first
+        stats = session.stats()
+        assert stats["snapshots_taken"] == taken_after_subscribe + 1
+        assert stats["snapshots_reused"] == 1  # exactly the second read
+
+
+class TestSharedSnapshots:
+    def test_equal_plan_subscribers_share_one_snapshot_per_version(self):
+        db = _database()
+        session = LiveSession(db)
+        a = session.subscribe(_join_plan())
+        b = session.subscribe(_join_plan())
+        assert a.result is b.result  # one copy serves both
+        db.table("R").insert(1, until_now(30))
+        session.flush()
+        assert a.result is b.result
+        assert frozenset(a.result.tuples) == frozenset(
+            db.query(_join_plan()).tuples
+        )
+
+
+class TestVersionMonotonicity:
+    def test_version_survives_store_rebuilds(self):
+        """A full refresh replaces the store; the version sequence must
+        keep climbing so version-watchers never miss the rebuild."""
+        db = _database()
+        evaluator = DeltaEvaluator(_join_plan(), db)
+        evaluator.refresh_full()
+        evaluator.apply(
+            {"R": Delta.insert((OngoingTuple((1, fixed_interval(3, 7))),))}
+        )
+        version_before = evaluator.store.version
+        assert version_before >= 1
+        evaluator.refresh_full()  # e.g. a delta fallback rebuilt the store
+        assert evaluator.store.version > version_before
+
+
+class TestServingContinuity:
+    def test_result_stays_served_through_incremental_toggle(self):
+        """Dropping the evaluator for a plain re-evaluation must not make
+        the result transiently None: a reader landing inside the
+        re-query window still sees the last served relation."""
+        from repro.engine.maintenance import IncrementalMaintainer
+
+        db = _database()
+        maintainer = IncrementalMaintainer(_join_plan(), db, label="toggle")
+        maintainer.evaluate()
+        seen = []
+        real_query = db.query
+
+        def spying_query(plan):
+            seen.append(maintainer.result)  # a reader inside the window
+            return real_query(plan)
+
+        db.query = spying_query
+        try:
+            maintainer.evaluate(incremental=False)
+        finally:
+            db.query = real_query
+        assert seen and seen[0] is not None
+        assert frozenset(maintainer.result.tuples) == frozenset(
+            real_query(_join_plan()).tuples
+        )
+
+
+class TestStateBudget:
+    def test_eviction_keeps_serving_and_rebuilds_on_miss(self):
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=1)  # everything evicts
+        sub = session.subscribe(_join_plan())
+        stats = session.stats()
+        assert stats["state_evictions"] == 1  # evicted right after build
+        served_before = frozenset(sub.result.tuples)
+        assert served_before  # eviction never takes the result away
+        db.table("R").insert(2, until_now(40))
+        session.flush()
+        stats = session.stats()
+        assert stats["state_rebuilds"] == 1  # the miss paid a rebuild
+        assert stats["state_evictions"] == 2  # ...and evicted again
+        (shared,) = session.shared_results()
+        assert shared.delta_fallbacks == 0  # a miss is not a failure
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_join_plan()).tuples
+        )
+        session.close()
+
+    def test_generous_budget_never_evicts(self):
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=64 * 1024 * 1024)
+        session.subscribe(_join_plan())
+        db.table("R").insert(2, until_now(40))
+        session.flush()
+        stats = session.stats()
+        assert stats["state_evictions"] == 0
+        assert stats["state_rebuilds"] == 0
+        assert stats["delta_refreshes"] == 1  # the delta path stayed warm
+        session.close()
+
+    def test_negative_budget_rejected(self):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="state_budget_bytes"):
+            LiveSession(_database(), state_budget_bytes=-1)
+
+    def test_memory_guard_budget_respected_after_every_flush(self):
+        """The sizeof-based memory guard: whatever the workload does, the
+        estimated evictable state never exceeds the configured budget
+        once the flush (and its eviction pass) completed."""
+        budget = 2_048
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=budget)
+        sub = session.subscribe(_join_plan())
+        (shared,) = session.shared_results()
+        assert shared.state_bytes() <= budget
+        for i in range(12):
+            if i % 3 == 2:
+                current_delete(
+                    db.table("R"), lambda r: r.values[0] == i % 4, at=50 + i
+                )
+            else:
+                db.table("R").insert(i % 4, until_now(50 + i))
+            session.flush()
+            assert shared.state_bytes() <= budget, (
+                f"state grew past the budget after flush {i}"
+            )
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_join_plan()).tuples
+        )
+        session.close()
+
+    def test_state_bytes_prices_cached_inputs_at_input_width(self):
+        """A GROUP BY's output rows are narrow (key + aggregate) while its
+        cached group members are full input rows — the budget estimate
+        must reflect the *input* width, or wide tables under narrow
+        aggregates would never evict."""
+        from repro.engine.storage import sizeof_tuple
+
+        db = Database("store-width")
+        table = db.create_table(
+            "W", Schema.of("K", "PAYLOAD", ("VT", "interval"))
+        )
+        payload = "x" * 500
+        for i in range(50):
+            table.insert(i % 3, payload, until_now(i))
+        plan = scan("W").group_by(("K",), "count")
+        evaluator = DeltaEvaluator(plan, db)
+        evaluator.refresh_full()
+        member_bytes = sizeof_tuple(table.rows()[0])
+        # The aggregate caches all 50 wide members; the estimate must be
+        # in their ballpark (well above 50 narrow group rows).
+        assert evaluator.state_bytes() >= 50 * member_bytes // 2
+
+    def test_incremental_toggle_is_not_counted_as_state_rebuild(self):
+        """Dropping the evaluator via incremental=False must clear a
+        pending eviction mark: the next cold incremental start is the
+        toggle's doing (a delta fallback), not the budget's (a rebuild)."""
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=1)
+        session.subscribe(_join_plan())  # builds, then evicts
+        assert session.stats()["state_evictions"] == 1
+        session.incremental = False
+        db.table("R").insert(2, until_now(40))
+        session.flush()  # plain path drops the evaluator and the mark
+        session.incremental = True
+        db.table("R").insert(3, until_now(41))
+        session.flush()  # fresh cold evaluator — a fallback, not a miss
+        (shared,) = session.shared_results()
+        assert shared.state_rebuilds == 0
+        assert shared.delta_fallbacks >= 1
+        session.close()
+
+    def test_state_bytes_tracks_cached_rows(self):
+        """The accounting the guard relies on: warm join state prices both
+        cached sides plus interior counts, and evicting zeroes it."""
+        db = _database()
+        evaluator = DeltaEvaluator(_join_plan(), db)
+        evaluator.refresh_full()
+        assert evaluator.state_rows() >= len(db.table("R")) + len(
+            db.table("S")
+        )
+        assert evaluator.state_bytes() > 0
+        evaluator.evict_state()
+        assert evaluator.state_rows() == 0
+        assert evaluator.state_bytes() == 0
+        assert evaluator.result is not None  # still serving
+
+    def test_eviction_releases_the_state_objects(self):
+        """Eviction must actually free the memory: no internal map may
+        keep the dropped OperatorStates (and their caches) reachable."""
+        import gc
+        import weakref
+
+        db = _database()
+        evaluator = DeltaEvaluator(_join_plan(), db)
+        evaluator.refresh_full()
+        refs = [weakref.ref(state) for state in evaluator._states.values()]
+        evaluator.evict_state()
+        gc.collect()
+        assert all(ref() is None for ref in refs), (
+            "evicted operator state is still pinned in RAM"
+        )
+        assert evaluator.result is not None  # the store alone survives
+
+    def test_session_counters_survive_unsubscribe(self):
+        """The new stats are monotonic: a departing last subscriber
+        retires its counters into the session totals instead of
+        vanishing with the cache entry."""
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=1)
+        sub = session.subscribe(_join_plan())
+        sub.result  # force at least one snapshot
+        before = session.stats()
+        assert before["snapshots_taken"] >= 1
+        assert before["state_evictions"] >= 1
+        sub.close()  # last subscriber → cache entry dropped
+        after = session.stats()
+        for key in (
+            "snapshots_taken",
+            "snapshots_reused",
+            "state_evictions",
+            "state_rebuilds",
+        ):
+            assert after[key] >= before[key], f"{key} went backward"
+        session.close()

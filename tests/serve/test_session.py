@@ -284,6 +284,117 @@ class TestAsyncDelivery:
         session.close()
 
 
+class TestResultStoreStats:
+    def test_snapshot_counters_flow_through_session_stats(self):
+        db = _database()
+        session = LiveSession(db)
+        a = session.subscribe(_plans()["join"])
+        b = session.subscribe(_plans()["join"])  # same fingerprint
+        baseline = session.stats()["snapshots_taken"]
+        # Three delta refreshes nobody reads: no snapshot is taken.
+        for i in range(3):
+            current_insert(db.table("R"), (1,), at=30 + i)
+            session.flush()
+        stats = session.stats()
+        assert stats["delta_refreshes"] == 3
+        assert stats["snapshots_taken"] == baseline
+        # Both subscribers read: one copy is taken, the other read reuses
+        # — exactly one of each (a read is one store access, not two).
+        reused_baseline = session.stats()["snapshots_reused"]
+        assert a.result is b.result
+        stats = session.stats()
+        assert stats["snapshots_taken"] == baseline + 1
+        assert stats["snapshots_reused"] == reused_baseline + 1
+        assert stats["state_evictions"] == 0
+        assert stats["state_rebuilds"] == 0
+        session.close()
+
+    def test_eviction_counters_flow_through_session_stats(self):
+        db = _database()
+        session = LiveSession(db, state_budget_bytes=1)
+        sub = session.subscribe(_plans()["join"])
+        assert session.stats()["state_evictions"] == 1
+        current_insert(db.table("R"), (2,), at=40)
+        session.flush()
+        stats = session.stats()
+        assert stats["state_evictions"] == 2
+        assert stats["state_rebuilds"] == 1
+        assert frozenset(sub.result.tuples) == frozenset(
+            db.query(_plans()["join"]).tuples
+        )
+        session.close()
+
+
+class TestAdaptiveDebounce:
+    def test_band_extremes_are_pinned(self):
+        """The satellite contract: zero depth sleeps debounce_min, a
+        saturated queue sleeps debounce_max — both exactly."""
+        db = _database()
+        session = LiveSession(db, queue_capacity=16)
+        session.serve(debounce_min=0.001, debounce_max=0.25)
+        try:
+            assert session._debounce_for_depth(0) == 0.001
+            assert session._debounce_for_depth(16) == 0.25  # at capacity
+            assert session._debounce_for_depth(10**9) == 0.25  # beyond
+            # and strictly between the extremes in the middle
+            mid = session._debounce_for_depth(8)
+            assert 0.001 < mid < 0.25
+        finally:
+            session.close()
+
+    def test_saturation_scales_with_fanout(self):
+        """One write rippling to many subscribers is fan-out, not
+        backlog: with more subscriptions than queue_capacity, a depth of
+        one-notification-per-subscriber must not saturate the window."""
+        db = _database()
+        session = LiveSession(db, queue_capacity=4)
+        plan = _plans()["filter"]
+        subs = [session.subscribe(plan) for _ in range(40)]
+        session.serve(debounce_min=0.001, debounce_max=0.25)
+        try:
+            # 40 subscriptions + 1 shared plan → saturation well past 4.
+            assert session._debounce_for_depth(40) < 0.25
+            assert session._debounce_for_depth(41) == 0.25
+        finally:
+            for sub in subs:
+                sub.close()
+            session.close()
+
+    def test_fixed_debounce_ignores_depth(self):
+        db = _database()
+        session = LiveSession(db)
+        session.serve(debounce=0.007)
+        try:
+            assert session._debounce_for_depth(0) == 0.007
+            assert session._debounce_for_depth(10**9) == 0.007
+            assert session.current_debounce() == 0.007
+        finally:
+            session.close()
+
+    def test_band_validation(self):
+        db = _database()
+        session = LiveSession(db)
+        with pytest.raises(QueryError, match="both"):
+            session.serve(debounce_min=0.001)
+        with pytest.raises(QueryError, match="band"):
+            session.serve(debounce_min=0.5, debounce_max=0.1)
+        assert not session.serving  # nothing started on the failed calls
+        session.close()
+
+    def test_adaptive_serve_still_flushes(self):
+        db = _database()
+        session = LiveSession(db, delivery_workers=2)
+        arrived = threading.Event()
+        session.subscribe(
+            _plans()["filter"], on_refresh=lambda event: arrived.set()
+        )
+        session.serve(debounce_min=0.0, debounce_max=0.02)
+        current_insert(db.table("R"), (1,), at=20)
+        assert arrived.wait(timeout=5)
+        assert session.current_debounce() >= 0.0
+        session.close()
+
+
 class TestServeLoop:
     def test_serve_flushes_without_explicit_flush(self):
         db = _database()
