@@ -1,0 +1,172 @@
+"""Observability overhead gate: telemetry-off flush stays within 5%.
+
+PR 6 threads a metrics registry and optional span tracing through the
+refresh pipeline.  The counters are pull-based (collectors run inside
+``Registry.snapshot()``, never on the hot path) and the tracer is a
+``None`` check when disabled, so the flush tail measured by
+``bench_result_store`` must not regress.  This harness re-times exactly
+that tail — single-row current update against a subscribed wide-pass
+filter at 10k rows, flush only, best of N — and gates it against the
+recorded ``BENCH_result_store.json`` baseline:
+
+* **tracing off (the default)** — must stay within **5%** of the
+  baseline ``delta_seconds``; this is the hard gate.
+* **tracing on** (``LiveSession(trace=...)``) — measured for the
+  record; spans are opt-in, so their cost is reported, not gated.
+
+Run styles mirror ``bench_result_store``:
+
+* ``pytest benchmarks/bench_obs_overhead.py`` — correctness smoke plus
+  the gate (skipped when no baseline file has been recorded);
+* ``python benchmarks/bench_obs_overhead.py`` — standalone driver that
+  asserts the gate and records ``BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.live import LiveSession
+
+from bench_result_store import _BENCH_ROWS, _Workbench, _plan, _time
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BASELINE_PATH = _REPO_ROOT / "BENCH_result_store.json"
+_MAX_OVERHEAD = 1.05  # tracing-off flush <= baseline * 1.05
+
+
+class _TracedWorkbench(_Workbench):
+    """The same workbench with span recording switched on."""
+
+    def __init__(self, n_rows: int):
+        super().__init__(n_rows)
+        self.session.close()
+        self.session = LiveSession(self.db, trace=True)
+        self.subscription = self.session.subscribe(_plan())
+        self._keys = iter(range(n_rows))
+
+
+def _load_baseline() -> float:
+    """The recorded 10k-row flush-only tail, in seconds."""
+    report = json.loads(_BASELINE_PATH.read_text())
+    for entry in report["results"]:
+        if entry["rows"] == _BENCH_ROWS:
+            return entry["delta_seconds"]
+    raise KeyError(f"no {_BENCH_ROWS}-row entry in {_BASELINE_PATH}")
+
+
+def _measure(workbench: _Workbench, repeats: int = 15) -> float:
+    return _time(workbench.flush, setup=workbench.modify, repeats=repeats)
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+
+def test_metrics_do_not_touch_the_flush_path():
+    """Correctness anchor: a default session keeps the lazy-store
+    invariants (no full refreshes, no snapshots without readers) while
+    its registry still renders every canonical series on demand."""
+    bench = _Workbench(1_000)
+    for _ in range(5):
+        bench.modify()
+        bench.flush()
+    stats = bench.session.stats()
+    assert stats["full_refreshes"] == 0
+    assert stats["snapshots_taken"] == 1  # the initial evaluation only
+    text = bench.session.metrics.render_prometheus()
+    assert "repro_live_flushes_total 5" in text
+    assert "repro_delta_applies_total" in text
+
+
+def test_tracing_off_is_the_default_and_spans_are_absent():
+    bench = _Workbench(1_000)
+    assert bench.session.tracer is None
+    traced = _TracedWorkbench(1_000)
+    traced.modify()
+    traced.flush()
+    names = {event["name"] for event in traced.session.tracer.events()}
+    assert {"write", "flush", "refresh"} <= names
+
+
+@pytest.mark.skipif(
+    not _BASELINE_PATH.exists(),
+    reason="no recorded BENCH_result_store.json baseline",
+)
+def test_tracing_off_overhead_gate(benchmark):
+    benchmark.group = "obs-overhead-10k"
+    benchmark.name = "flush_tracing_off"
+    bench = _Workbench(_BENCH_ROWS)
+
+    def step():
+        bench.modify()
+        bench.flush()
+
+    benchmark.pedantic(step, rounds=5, iterations=1)
+    measured = _measure(bench)
+    baseline = _load_baseline()
+    assert measured <= baseline * _MAX_OVERHEAD, (
+        f"tracing-off flush took {measured * 1e6:.1f} µs vs baseline "
+        f"{baseline * 1e6:.1f} µs — more than "
+        f"{(_MAX_OVERHEAD - 1) * 100:.0f}% overhead"
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone driver: record BENCH_obs_overhead.json
+# ----------------------------------------------------------------------
+
+
+def run() -> dict:
+    baseline = _load_baseline()
+    off_s = _measure(_Workbench(_BENCH_ROWS))
+    on_s = _measure(_TracedWorkbench(_BENCH_ROWS))
+    report = {
+        "benchmark": "obs_overhead",
+        "description": (
+            "bench_result_store flush-only tail at 10k rows, re-timed "
+            "with PR 6 telemetry wired in.  tracing_off_seconds is the "
+            "default session (registry on, spans off) and is gated to "
+            "<=5% over the recorded baseline; tracing_on_seconds is the "
+            "opt-in span recorder, reported for the record"
+        ),
+        "gates": {
+            "tracing_off_overhead": (
+                f"tracing_off_seconds <= baseline * {_MAX_OVERHEAD}"
+            ),
+        },
+        "baseline_seconds": baseline,
+        "tracing_off_seconds": off_s,
+        "tracing_on_seconds": on_s,
+        "tracing_off_over_baseline": off_s / baseline,
+        "tracing_on_over_baseline": on_s / baseline,
+    }
+    print(
+        f"baseline {baseline * 1e6:9.1f} µs   "
+        f"tracing-off {off_s * 1e6:9.1f} µs "
+        f"({report['tracing_off_over_baseline']:.3f}x)   "
+        f"tracing-on {on_s * 1e6:9.1f} µs "
+        f"({report['tracing_on_over_baseline']:.3f}x)"
+    )
+    return report
+
+
+def main() -> None:
+    report = run()
+    out_path = _REPO_ROOT / "BENCH_obs_overhead.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    ratio = report["tracing_off_over_baseline"]
+    assert ratio <= _MAX_OVERHEAD, (
+        f"tracing-off flush must stay within "
+        f"{(_MAX_OVERHEAD - 1) * 100:.0f}% of the recorded baseline, "
+        f"got {ratio:.3f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,10 @@ The subpackages:
 * :mod:`repro.serve` — the concurrent serving layer: threaded notification
   fan-out with per-subscriber backpressure, sharded parallel flushes, and
   a background serve loop, all opt-in on :class:`LiveSession`;
+* :mod:`repro.obs` — end-to-end telemetry: the metrics registry
+  (Prometheus/JSON rendering under ``repro_<layer>_<what>_total`` names),
+  the opt-in refresh-pipeline trace recorder (Chrome trace-event JSON),
+  and the ``explain_analyze()`` plan renderer;
 * :mod:`repro.baselines` — Clifford, Torp, Forever, and Anselma comparators;
 * :mod:`repro.datasets` — synthetic MozillaBugs / Incumbent / D_ex / D_sh /
   D_sc generators and the paper's workload queries;
@@ -109,6 +113,10 @@ from repro.live import (
     Subscription,
     SubscriptionManager,
 )
+from repro.obs import (
+    Registry,
+    TraceRecorder,
+)
 from repro.serve import (
     AsyncEventBus,
     DeliveryPool,
@@ -116,7 +124,7 @@ from repro.serve import (
     ShardedDependencyIndex,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -184,4 +192,7 @@ __all__ = [
     "DeliveryPool",
     "FlushScheduler",
     "ShardedDependencyIndex",
+    # telemetry
+    "Registry",
+    "TraceRecorder",
 ]

@@ -426,6 +426,44 @@ class Database:
 
         return run(statement, self)
 
+    def explain_analyze(self, plan_or_sql, *, optimize: bool = True) -> str:
+        """Run *plan_or_sql* once and render the physical plan tree with
+        per-operator live counters.
+
+        Accepts a logical :class:`~repro.engine.plan.PlanNode` or an OSQL
+        string.  The plan is evaluated through the delta engine (building
+        per-operator state exactly as a live subscription would), so every
+        node line shows its state rows/bytes and the time the evaluation
+        spent in it.  For counters that accumulate across refreshes,
+        prefer :meth:`~repro.live.subscription.Subscription.explain_analyze`
+        on a live subscription.
+        """
+        from repro.engine.delta import DeltaEvaluator, NonIncrementalDelta
+        from repro.obs.explain import render_explain_analyze
+
+        if isinstance(plan_or_sql, str):
+            from repro.sqlish import compile_statement
+
+            plan = compile_statement(plan_or_sql, self)
+            label = plan_or_sql.strip()
+        else:
+            plan = plan_or_sql
+            label = ""
+        fingerprint = plan.fingerprint()
+        evaluator = DeltaEvaluator(plan, self, optimize=optimize)
+        cold_reason = None
+        try:
+            with self.lock:
+                evaluator.refresh_full()
+        except NonIncrementalDelta as exc:
+            cold_reason = f"plan has no delta rules ({exc})"
+        return render_explain_analyze(
+            evaluator.node_report(),
+            label=label,
+            fingerprint=fingerprint,
+            cold_reason=cold_reason,
+        )
+
     def live_session(self, **session_kwargs):
         """The database's lazily created live session (see :mod:`repro.live`).
 

@@ -48,7 +48,8 @@ delta-maintained result equals a from-scratch evaluation of the plan.
 from __future__ import annotations
 
 import logging
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.relation import OngoingRelation, ResultStore
 from repro.relational.tuples import OngoingTuple
@@ -59,6 +60,7 @@ __all__ = [
     "EMPTY_DELTA",
     "FULL_DELTA",
     "OperatorState",
+    "NodeStats",
     "NonIncrementalDelta",
     "commit_changes",
     "DeltaEvaluator",
@@ -73,7 +75,29 @@ class NonIncrementalDelta(Exception):
     Catching this exception and re-evaluating the plan from scratch is
     always correct — it is the *automatic fallback* of the delta engine,
     never an error surfaced to users.
+
+    The evaluator annotates the exception on its way up with the raising
+    operator's identity (:attr:`operator`, :attr:`node_path`), the
+    triggering table when one is known (:attr:`table`), and the shape of
+    the delta being propagated (:attr:`delta_shape`), so fallback logs
+    and metrics carry plan identity instead of a bare message.
     """
+
+    #: Physical operator kind that raised (e.g. ``"HashJoin"``).
+    operator: Optional[str] = None
+    #: Stable tree path of the raising node (``"0.1"``); root is ``"0"``.
+    node_path: Optional[str] = None
+    #: Base table whose delta triggered the propagation, when known.
+    table: Optional[str] = None
+    #: Compact description of the offending delta (``"+3/-2"``, ``"full"``).
+    delta_shape: Optional[str] = None
+
+    def annotate(self, **attrs: Optional[str]) -> "NonIncrementalDelta":
+        """Attach context without overwriting what a deeper frame set."""
+        for key, value in attrs.items():
+            if value is not None and getattr(self, key, None) is None:
+                setattr(self, key, value)
+        return self
 
 
 class Delta:
@@ -147,6 +171,54 @@ class Delta:
         if self.full:
             return "Delta(full)"
         return f"Delta(+{len(self.inserted)}, -{len(self.deleted)})"
+
+
+def _delta_shape(deltas: Iterable[Delta]) -> str:
+    """Compact ``"+i/-d"`` (or ``"full"``) rendering of child deltas."""
+    inserted = deleted = 0
+    for delta in deltas:
+        if delta.full:
+            return "full"
+        inserted += len(delta.inserted)
+        deleted += len(delta.deleted)
+    return f"+{inserted}/-{deleted}"
+
+
+class NodeStats:
+    """Cumulative per-operator maintenance counters.
+
+    Keyed by the operator's stable *tree path* (root ``"0"``, its first
+    child ``"0.1"`` …) rather than by node object, so the numbers
+    survive the replans of :meth:`DeltaEvaluator.refresh_full` — a
+    rebuilt tree with the same shape keeps accumulating into the same
+    series.  These counters are **always on**: two clock reads per node
+    per refresh, which the tracing-off overhead gate
+    (``benchmarks/bench_obs_overhead.py``) holds under 5% of the flush
+    path.
+    """
+
+    __slots__ = (
+        "operator",
+        "applies",
+        "apply_seconds",
+        "delta_rows_in",
+        "delta_rows_out",
+        "fallbacks",
+    )
+
+    def __init__(self, operator: str):
+        self.operator = operator
+        self.applies = 0
+        self.apply_seconds = 0.0
+        self.delta_rows_in = 0
+        self.delta_rows_out = 0
+        self.fallbacks = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeStats({self.operator}, applies={self.applies}, "
+            f"seconds={self.apply_seconds:.6f}, fallbacks={self.fallbacks})"
+        )
 
 
 #: The delta of "nothing changed".
@@ -299,21 +371,29 @@ class DeltaEvaluator:
         *,
         optimize: bool = True,
         snapshot_stats: Optional[Dict[str, int]] = None,
+        tracer=None,
     ):
         self.plan = plan
         self.database = database
         self.optimize = optimize
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`; when enabled
+        #: every ``apply_delta`` and store commit records a span.  The
+        #: disabled/absent path costs one attribute check.
+        self.tracer = tracer
         self._root = None
         self._states: Dict[object, OperatorState] = {}
         self._store: Optional[ResultStore] = None
-        #: Shared snapshot counters ({"taken": …, "reused": …}); callers
-        #: may pass their own dict so the numbers survive store rebuilds
-        #: and evaluator replacement.
+        #: Shared snapshot counters ({"snapshots_taken": …,
+        #: "snapshots_reused": …}); callers may pass their own dict so
+        #: the numbers survive store rebuilds and evaluator replacement.
         self.snapshot_stats = (
             snapshot_stats
             if snapshot_stats is not None
-            else {"taken": 0, "reused": 0}
+            else {"snapshots_taken": 0, "snapshots_reused": 0}
         )
+        #: Cumulative per-operator counters, keyed by stable tree path
+        #: (see :class:`NodeStats`) — the data behind ``explain_analyze``.
+        self.node_stats: Dict[str, NodeStats] = {}
         #: Per-state byte prices, sampled at build time:
         #: state → (counts-row bytes, cached-row bytes).
         self._state_prices: Dict[OperatorState, Tuple[int, int]] = {}
@@ -400,7 +480,11 @@ class DeltaEvaluator:
                 return self.result, delta
             except NonIncrementalDelta as exc:
                 logger.info(
-                    "delta propagation fell back to full re-evaluation: %s",
+                    "delta propagation fell back to full re-evaluation "
+                    "(operator=%s, table=%s, delta=%s): %s",
+                    exc.operator,
+                    exc.table,
+                    exc.delta_shape,
                     exc,
                 )
         return self.refresh_full(), None
@@ -568,7 +652,7 @@ class DeltaEvaluator:
             if delta.full:
                 raise NonIncrementalDelta(
                     f"table {name!r} reported a full (untyped) modification"
-                )
+                ).annotate(table=name, delta_shape="full")
             if not delta.is_empty():
                 relevant[name] = delta
         store = self._store
@@ -579,28 +663,140 @@ class DeltaEvaluator:
             with store.lock:
                 root_delta = self._apply(self._root, relevant)
                 if not root_delta.is_empty():
+                    commit_started = perf_counter()
                     store.bump()
+                    tracer = self.tracer
+                    if tracer is not None and tracer.enabled:
+                        tracer.add(
+                            "store-commit",
+                            commit_started,
+                            perf_counter() - commit_started,
+                            version=store.version,
+                            delta=repr(root_delta),
+                        )
+        except NonIncrementalDelta as exc:
+            self._invalidate()
+            raise exc.annotate(
+                table=next(iter(relevant), None),
+                delta_shape=_delta_shape(relevant.values()),
+            )
         except Exception:
             self._invalidate()
             raise
         self.delta_applications += 1
         return root_delta
 
-    def _apply(self, node, table_deltas: Mapping[str, Delta]) -> Delta:
+    def _node_stats(self, path: str, node) -> NodeStats:
+        stats = self.node_stats.get(path)
+        if stats is None:
+            stats = self.node_stats[path] = NodeStats(type(node).__name__)
+        return stats
+
+    def _apply(
+        self, node, table_deltas: Mapping[str, Delta], path: str = "0"
+    ) -> Delta:
         from repro.engine.executor import SeqScan
 
         state = self._states[node]
+        table = None
         if isinstance(node, SeqScan):
             delta = table_deltas.get(node.label)
             if delta is None:
                 return EMPTY_DELTA
-            return node.apply_delta(state, (delta,))
-        child_deltas = tuple(
-            self._apply(child, table_deltas) for child in node._children()
-        )
-        if all(delta.is_empty() for delta in child_deltas):
-            return EMPTY_DELTA
-        return node.apply_delta(state, child_deltas)
+            table = node.label
+            child_deltas: Tuple[Delta, ...] = (delta,)
+        else:
+            child_deltas = tuple(
+                self._apply(child, table_deltas, f"{path}.{index}")
+                for index, child in enumerate(node._children())
+            )
+            if all(delta.is_empty() for delta in child_deltas):
+                return EMPTY_DELTA
+        # Per-node timing is always on: two clock reads per touched node
+        # per refresh, held under the 5% tracing-off overhead gate.  The
+        # cumulative numbers feed explain_analyze() and the registry.
+        stats = self._node_stats(path, node)
+        started = perf_counter()
+        try:
+            out_delta = node.apply_delta(state, child_deltas)
+        except NonIncrementalDelta as exc:
+            stats.fallbacks += 1
+            raise exc.annotate(
+                operator=type(node).__name__,
+                node_path=path,
+                table=table,
+                delta_shape=_delta_shape(child_deltas),
+            )
+        elapsed = perf_counter() - started
+        stats.applies += 1
+        stats.apply_seconds += elapsed
+        stats.delta_rows_in += sum(len(delta) for delta in child_deltas)
+        stats.delta_rows_out += len(out_delta)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.add(
+                f"apply:{stats.operator}",
+                started,
+                elapsed,
+                path=path,
+                rows_in=stats.delta_rows_in,
+                rows_out=stats.delta_rows_out,
+            )
+        return out_delta
+
+    # ------------------------------------------------------------------
+    # Introspection (explain_analyze / registry collectors)
+    # ------------------------------------------------------------------
+
+    def node_report(self) -> List[Dict[str, object]]:
+        """One dict per physical operator, pre-order with tree depth.
+
+        Joins the *current* tree (state rows, estimated state bytes,
+        operator description) with the *cumulative* per-path counters
+        (:attr:`node_stats`) — the raw data behind ``explain_analyze()``
+        and the per-operator registry metrics.  Empty when the state is
+        cold or evicted; the cumulative counters survive and reappear on
+        the next warm report.
+        """
+        root = self._root
+        if root is None:
+            return []
+        default = (self.DEFAULT_ROW_BYTES, self.DEFAULT_ROW_BYTES)
+        report: List[Dict[str, object]] = []
+
+        def visit(node, path: str, depth: int) -> None:
+            state = self._states[node]
+            own, cached = self._state_prices.get(state, default)
+            stats = self.node_stats.get(path)
+            report.append(
+                {
+                    "path": path,
+                    "depth": depth,
+                    "operator": type(node).__name__,
+                    "describe": node._describe(),
+                    "state_rows": len(state.counts),
+                    "cached_rows": state.cached_rows,
+                    "state_bytes": (
+                        len(state.counts) * own + state.cached_rows * cached
+                    ),
+                    "applies": 0 if stats is None else stats.applies,
+                    "apply_seconds": (
+                        0.0 if stats is None else stats.apply_seconds
+                    ),
+                    "delta_rows_in": (
+                        0 if stats is None else stats.delta_rows_in
+                    ),
+                    "delta_rows_out": (
+                        0 if stats is None else stats.delta_rows_out
+                    ),
+                    "fallbacks": 0 if stats is None else stats.fallbacks,
+                }
+            )
+            for index, child in enumerate(node._children()):
+                visit(child, f"{path}.{index}", depth + 1)
+
+        visit(root, "0", 0)
+        return report
 
     # ------------------------------------------------------------------
 

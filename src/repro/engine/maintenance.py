@@ -115,10 +115,22 @@ class IncrementalMaintainer:
         label: str,
         incremental: bool = True,
         state_budget_bytes: Optional[int] = None,
+        fingerprint: Optional[str] = None,
+        registry=None,
+        tracer=None,
     ):
         self.plan = plan
         self.database = database
         self.label = label
+        #: The plan fingerprint, for fallback metric labels; defaults to
+        #: the label so standalone maintainers still carry identity.
+        self.fingerprint = fingerprint or label
+        #: Optional :class:`~repro.obs.registry.Registry` receiving the
+        #: structured fallback records (``repro_delta_fallbacks_total``).
+        self.registry = registry
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`, threaded
+        #: through to the evaluator's per-operator spans.
+        self.tracer = tracer
         self.state_budget_bytes = state_budget_bytes
         #: Guards the pending map, the latch, and the counters.
         self.lock = threading.RLock()
@@ -147,7 +159,10 @@ class IncrementalMaintainer:
         self._evicted = False
         #: Snapshot counters, shared with every evaluator/store this
         #: maintainer creates so the numbers survive rebuilds.
-        self._snapshot_stats: Dict[str, int] = {"taken": 0, "reused": 0}
+        self._snapshot_stats: Dict[str, int] = {
+            "snapshots_taken": 0,
+            "snapshots_reused": 0,
+        }
         #: The served relation on the plain path (``incremental=False``
         #: or latched-unsupported plans); the incremental path serves
         #: from the evaluator's store instead.
@@ -179,12 +194,12 @@ class IncrementalMaintainer:
     @property
     def snapshots_taken(self) -> int:
         """Snapshot copies actually materialized (one per read version)."""
-        return self._snapshot_stats["taken"]
+        return self._snapshot_stats["snapshots_taken"]
 
     @property
     def snapshots_reused(self) -> int:
         """Reads served by an already-materialized snapshot (no copy)."""
-        return self._snapshot_stats["reused"]
+        return self._snapshot_stats["snapshots_reused"]
 
     @property
     def result_version(self) -> int:
@@ -213,6 +228,50 @@ class IncrementalMaintainer:
     def relevant(self, table: str) -> bool:
         """Does the plan read *table*?"""
         return table in self._relevant
+
+    def node_report(self):
+        """Per-operator live counters (see ``DeltaEvaluator.node_report``);
+        empty while the state is cold, evicted, or unsupported."""
+        evaluator = self._evaluator
+        return [] if evaluator is None else evaluator.node_report()
+
+    def explain_analyze(self) -> str:
+        """The physical plan annotated with live maintenance counters.
+
+        Renders the current operator tree with per-node state rows,
+        estimated state bytes, cumulative ``apply_delta`` wall time and
+        delta sizes, and per-node fallback counts — plus a header with
+        the plan-level refresh totals.  A cold/evicted/unsupported plan
+        renders the header and the reason instead of a tree.
+        """
+        from repro.obs.explain import render_explain_analyze
+
+        with self.lock:
+            totals = {
+                "evaluations": self.evaluations,
+                "full_refreshes": self.full_refreshes,
+                "delta_refreshes": self.delta_refreshes,
+                "delta_fallbacks": self.delta_fallbacks,
+                "state_evictions": self.state_evictions,
+                "state_rebuilds": self.state_rebuilds,
+                "state_bytes": self.state_bytes(),
+            }
+            if self._unsupported:
+                cold_reason = "plan has no delta rules (latched unsupported)"
+            elif self._evicted:
+                cold_reason = "operator state evicted by the memory budget"
+            else:
+                cold_reason = (
+                    "no warm operator state (not yet evaluated, or "
+                    "incremental maintenance disabled)"
+                )
+        return render_explain_analyze(
+            self.node_report(),
+            label=self.label,
+            fingerprint=self.fingerprint,
+            totals=totals,
+            cold_reason=cold_reason,
+        )
 
     def pending_empty(self) -> bool:
         with self.lock:
@@ -283,17 +342,43 @@ class IncrementalMaintainer:
     def _ensure_evaluator(self) -> Optional[DeltaEvaluator]:
         if self._evaluator is None and not self._unsupported:
             self._evaluator = DeltaEvaluator(
-                self.plan, self.database, snapshot_stats=self._snapshot_stats
+                self.plan,
+                self.database,
+                snapshot_stats=self._snapshot_stats,
+                tracer=self.tracer,
             )
         return self._evaluator
+
+    def _record_fallback(
+        self, exc: NonIncrementalDelta, *, cause: str
+    ) -> None:
+        """Push one fallback into the registry, with full plan identity."""
+        registry = self.registry
+        if registry is None:
+            return
+        try:
+            registry.record_fallback(
+                fingerprint=self.fingerprint,
+                operator=getattr(exc, "operator", None) or "(plan)",
+                table=getattr(exc, "table", None) or "(unknown)",
+                cause=f"{cause}: {exc}",
+                delta_shape=getattr(exc, "delta_shape", None) or "",
+            )
+        except Exception:  # noqa: BLE001 — telemetry must never refresh-fail
+            logger.exception("fallback metric recording failed")
 
     def _latch_unsupported(self, exc: NonIncrementalDelta) -> None:
         """The plan has no delta rules — never retry, serve plainly."""
         logger.info(
-            "%s is not incrementalizable (%s); serving via full evaluation",
+            "%s (plan %s) is not incrementalizable "
+            "(operator=%s, table=%s): %s; serving via full evaluation",
             self.label,
+            self.fingerprint[:12],
+            getattr(exc, "operator", None),
+            getattr(exc, "table", None),
             exc,
         )
+        self._record_fallback(exc, cause="unsupported plan")
         with self.lock:
             self._evaluator = None
             self._evicted = False  # the flag describes the dropped state
@@ -423,11 +508,16 @@ class IncrementalMaintainer:
             delta = evaluator.apply(pending)
         except NonIncrementalDelta as exc:
             logger.info(
-                "delta propagation for %s fell back to full "
-                "re-evaluation: %s",
+                "delta propagation for %s (plan %s) fell back to full "
+                "re-evaluation (operator=%s, table=%s, delta=%s): %s",
                 self.label,
+                self.fingerprint[:12],
+                getattr(exc, "operator", None),
+                getattr(exc, "table", None),
+                getattr(exc, "delta_shape", None),
                 exc,
             )
+            self._record_fallback(exc, cause="delta propagation failed")
             with self.lock:
                 self.delta_fallbacks += 1
             return self.evaluate()

@@ -39,6 +39,8 @@ class SharedResult:
         fingerprint: str,
         *,
         state_budget_bytes: Optional[int] = None,
+        registry=None,
+        tracer=None,
     ):
         self.plan = plan
         self.fingerprint = fingerprint
@@ -46,6 +48,11 @@ class SharedResult:
         #: (storage-layout bytes); ``None`` = unbounded.  Set by the
         #: session before the first evaluation.
         self.state_budget_bytes = state_budget_bytes
+        #: Session telemetry, threaded into the maintainer: the metrics
+        #: registry receives labeled fallback records, the (optional)
+        #: trace recorder the per-operator apply spans.
+        self.registry = registry
+        self.tracer = tracer
         #: Subscriptions currently attached to this result.
         self.subscribers: List[object] = []
         #: The maintenance state machine; created on the first evaluation
@@ -63,6 +70,9 @@ class SharedResult:
                 database,
                 label=f"plan {self.fingerprint[:12]}",
                 state_budget_bytes=self.state_budget_bytes,
+                fingerprint=self.fingerprint,
+                registry=self.registry,
+                tracer=self.tracer,
             )
         return self._maintainer
 
@@ -125,6 +135,27 @@ class SharedResult:
         bytes); 0 while the state is cold or evicted."""
         maintainer = self._maintainer
         return 0 if maintainer is None else maintainer.state_bytes()
+
+    def node_report(self) -> List[dict]:
+        """Per-operator live counters (see
+        :meth:`~repro.engine.maintenance.IncrementalMaintainer.node_report`);
+        empty before the first evaluation."""
+        maintainer = self._maintainer
+        return [] if maintainer is None else maintainer.node_report()
+
+    def explain_analyze(self) -> str:
+        """The plan tree annotated with live per-operator counters."""
+        maintainer = self._maintainer
+        if maintainer is None:
+            from repro.obs.explain import render_explain_analyze
+
+            return render_explain_analyze(
+                [],
+                label=f"plan {self.fingerprint[:12]}",
+                fingerprint=self.fingerprint,
+                cold_reason="not yet evaluated",
+            )
+        return maintainer.explain_analyze()
 
     def note_change(self, table: str, delta: Delta) -> None:
         """Accumulate one table delta for the next refresh (thread-safe)."""
@@ -212,14 +243,16 @@ class ResultCache:
         plan: PlanNode,
         *,
         state_budget_bytes: Optional[int] = None,
+        registry=None,
+        tracer=None,
     ) -> Tuple[SharedResult, bool]:
         """The shared entry for *plan*'s fingerprint.
 
         Returns ``(entry, created)`` — ``created`` is ``True`` when this
         call materialized a new cache entry (the caller then registers its
-        dependencies and runs the first evaluation).  *state_budget_bytes*
-        configures a newly created entry's maintainer; an existing entry
-        keeps the budget it was created with.
+        dependencies and runs the first evaluation).  *state_budget_bytes*,
+        *registry*, and *tracer* configure a newly created entry's
+        maintainer; an existing entry keeps what it was created with.
         """
         fingerprint = plan.fingerprint()
         entry = self._entries.get(fingerprint)
@@ -228,7 +261,11 @@ class ResultCache:
             return entry, False
         self.misses += 1
         entry = SharedResult(
-            plan, fingerprint, state_budget_bytes=state_budget_bytes
+            plan,
+            fingerprint,
+            state_budget_bytes=state_budget_bytes,
+            registry=registry,
+            tracer=tracer,
         )
         self._entries[fingerprint] = entry
         return entry, True

@@ -108,10 +108,14 @@ class EventBus:
     ``(topic, listener, exception)`` so operators can watch subscriber
     health without polling :attr:`errors`.
 
-    Failures raised *while delivering on an error topic* are recorded but
-    never re-announced: without that guard, an error listener that itself
-    raises would re-enter the error publish and recurse until the stack
-    blows — starving every other subscriber of the original delivery.
+    Failures raised *while delivering on the listener-error topic itself*
+    are recorded but never re-announced: without that guard, a
+    listener-error listener that raises would re-enter the error publish
+    and recurse until the stack blows — starving every other subscriber
+    of the original delivery.  Failures on every *other* topic —
+    including the :attr:`ERROR_TOPIC` refresh-failure channel — are
+    announced with their originating topic carried through, so operators
+    can tell a failing error-listener from a failing refresh-listener.
     """
 
     #: How many delivery errors to keep for inspection.
@@ -123,8 +127,9 @@ class EventBus:
     #: The topic listener delivery failures are announced on (by the bus).
     LISTENER_ERROR_TOPIC = "listener-error"
 
-    #: Topics whose listener failures must never be re-announced — the
-    #: recursion guard of the error channel.
+    #: Topics the bus itself publishes failure reports on (kept for
+    #: introspection/compat; the recursion guard in
+    #: :meth:`_record_failure` only needs :attr:`LISTENER_ERROR_TOPIC`).
     _ERROR_TOPICS = frozenset({ERROR_TOPIC, LISTENER_ERROR_TOPIC})
 
     def __init__(self) -> None:
@@ -164,10 +169,19 @@ class EventBus:
         self, topic: str, listener: Callable, exc: Exception
     ) -> None:
         """Record one delivery failure; announce it unless that would
-        recurse through the error channel."""
+        recurse through the error channel.
+
+        Only failures raised *on the listener-error topic itself* are
+        suppressed — announcing those would re-enter this publish and
+        recurse.  A failing listener on any other topic (the refresh
+        topics, but also the ``"error"`` refresh-failure channel) is
+        announced with its originating *topic* carried in the payload;
+        the old guard suppressed ``"error"``-topic failures entirely,
+        silently dropping the topic along with the announcement.
+        """
         if len(self.errors) < self.MAX_ERRORS:
             self.errors.append((topic, listener, exc))
-        if topic not in self._ERROR_TOPICS:
+        if topic != self.LISTENER_ERROR_TOPIC:
             self.publish(self.LISTENER_ERROR_TOPIC, (topic, listener, exc))
 
     def listener_count(self, topic: Optional[str] = None) -> int:

@@ -68,6 +68,8 @@ from repro.engine.database import Database
 from repro.engine.delta import Delta
 from repro.engine.plan import PlanNode
 from repro.errors import QueryError
+from repro.obs.registry import Registry, Sample
+from repro.obs.trace import TraceRecorder
 
 from repro.live.cache import ResultCache, SharedResult
 from repro.live.dependencies import DependencyIndex, referenced_tables
@@ -135,6 +137,8 @@ class SubscriptionManager:
         queue_capacity: int = 64,
         backpressure: str = "coalesce",
         state_budget_bytes: Optional[int] = None,
+        registry: Optional["Registry"] = None,
+        trace: object = False,
     ):
         if flush_every is not None and flush_every < 1:
             raise QueryError("flush_every must be a positive event count")
@@ -160,6 +164,23 @@ class SubscriptionManager:
         self.state_budget_bytes = state_budget_bytes
         self.delivery_workers = delivery_workers
         self.flush_shards = flush_shards
+        #: The session's metrics registry.  Counters are on by default:
+        #: native hot-path families plus a pull-at-snapshot collector
+        #: that maps the session/serve/store stats onto the canonical
+        #: ``repro_<layer>_<what>_total`` names.  Pass a shared
+        #: :class:`~repro.obs.registry.Registry` to aggregate several
+        #: sessions onto one scrape surface.
+        self.metrics = registry if registry is not None else Registry()
+        #: Opt-in span recording (``trace=True`` / a capacity int / a
+        #: :class:`~repro.obs.trace.TraceRecorder`).  ``None`` when off —
+        #: the hot paths then skip even the clock reads for spans.
+        if isinstance(trace, TraceRecorder):
+            self.tracer: Optional[TraceRecorder] = trace
+        elif trace:
+            capacity = trace if isinstance(trace, int) and trace > 1 else 4096
+            self.tracer = TraceRecorder(capacity=capacity)
+        else:
+            self.tracer = None
         #: Guards all session state below (never held while delivering).
         self._lock = threading.RLock()
         self._async_bus = delivery_workers > 0
@@ -170,6 +191,7 @@ class SubscriptionManager:
                 workers=delivery_workers,
                 capacity=queue_capacity,
                 policy=backpressure,
+                tracer=self.tracer,
             )
         else:
             self.bus = EventBus()
@@ -225,6 +247,11 @@ class SubscriptionManager:
         self._serve_debounce_min: Optional[float] = None
         self._serve_debounce_max: Optional[float] = None
         self._debounce_capacity = max(1, queue_capacity)
+        #: Unregister thunk for this session's stats collector — a shared
+        #: registry must stop scraping a closed session.
+        self._unregister_collector = self.metrics.register_collector(
+            self._collect_samples
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -265,7 +292,10 @@ class SubscriptionManager:
         with self.database.lock:
             with self._lock:
                 shared, created = self._cache.get_or_create(
-                    plan, state_budget_bytes=self.state_budget_bytes
+                    plan,
+                    state_budget_bytes=self.state_budget_bytes,
+                    registry=self.metrics,
+                    tracer=self.tracer,
                 )
                 if created:
                     self._dependencies.add(
@@ -394,6 +424,7 @@ class SubscriptionManager:
             self._scheduler.close()
         if self._async_bus:
             self.bus.close(drain=True)
+        self._unregister_collector()
         self._closed = True
 
     def __enter__(self) -> "SubscriptionManager":
@@ -423,6 +454,14 @@ class SubscriptionManager:
         write), so intake is serialized across writer threads and a
         snapshotting flush can never observe half-recorded events.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("write", table=table, rows=len(delta)):
+                self._intake(table, version, delta)
+            return
+        self._intake(table, version, delta)
+
+    def _intake(self, table: str, version: int, delta: Delta) -> None:
         event = ChangeEvent(table, version, delta)
         with self._lock:
             self._stats["events"] += 1
@@ -550,7 +589,16 @@ class SubscriptionManager:
                     self._dirty_events = {}
                     self._events_since_flush = 0
                 if dirty:
-                    refreshed += self._run_round(dirty, dirty_events)
+                    tracer = self.tracer
+                    if tracer is not None and tracer.enabled:
+                        with tracer.span(
+                            "flush",
+                            plans=len(dirty),
+                            events=sum(dirty_events.values()),
+                        ):
+                            refreshed += self._run_round(dirty, dirty_events)
+                    else:
+                        refreshed += self._run_round(dirty, dirty_events)
                     with self._lock:
                         self._stats["flushes"] += 1
                 with self._lock:
@@ -632,6 +680,22 @@ class SubscriptionManager:
         The single refresh routine behind serial flushes and shard
         workers alike; returns ``True`` when a refresh was performed.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "refresh",
+                fingerprint=fingerprint[:12],
+                tables=sorted(changed_tables),
+                coalesced=coalesced,
+            ):
+                return self._refresh_one_impl(
+                    fingerprint, changed_tables, coalesced
+                )
+        return self._refresh_one_impl(fingerprint, changed_tables, coalesced)
+
+    def _refresh_one_impl(
+        self, fingerprint: str, changed_tables: FrozenSet[str], coalesced: int
+    ) -> bool:
         with self._lock:
             shared = self._cache.get(fingerprint)
         if shared is None:  # all subscribers left while dirty
@@ -848,6 +912,124 @@ class SubscriptionManager:
                 if entry is not None
             ]
 
+    #: stats() key → canonical metric ``(name, kind, help)``.  The
+    #: collector publishes every pre-existing session/store/serve counter
+    #: under the ``repro_<layer>_<what>_total`` scheme; the :meth:`stats`
+    #: dict keys stay available as deprecated aliases for one release.
+    _CANONICAL_SAMPLES = (
+        ("events", "repro_live_events_total", "counter",
+         "Change events observed by the session"),
+        ("flushes", "repro_live_flushes_total", "counter",
+         "Flush rounds performed"),
+        ("evaluations", "repro_live_evaluations_total", "counter",
+         "Plan refreshes, incremental and full"),
+        ("delta_refreshes", "repro_live_delta_refreshes_total", "counter",
+         "Refreshes served by incremental delta propagation"),
+        ("full_refreshes", "repro_live_full_refreshes_total", "counter",
+         "Refreshes that re-evaluated the plan in full"),
+        ("notifications", "repro_live_notifications_total", "counter",
+         "Refresh notifications handed to the bus"),
+        ("suppressed_notifications",
+         "repro_live_suppressed_notifications_total", "counter",
+         "No-change refreshes suppressed before delivery"),
+        ("refresh_errors", "repro_live_refresh_errors_total", "counter",
+         "Refreshes that raised and were isolated"),
+        ("cache_hits", "repro_live_cache_hits_total", "counter",
+         "Subscriptions attached to an existing shared result"),
+        ("cache_misses", "repro_live_cache_misses_total", "counter",
+         "Subscriptions that materialized a new shared result"),
+        ("subscriptions", "repro_live_subscriptions", "gauge",
+         "Currently attached subscriptions"),
+        ("shared_results", "repro_live_shared_results", "gauge",
+         "Distinct plans currently materialized"),
+        ("pending", "repro_live_dirty_plans", "gauge",
+         "Shared results currently marked dirty"),
+        ("snapshots_taken", "repro_store_snapshots_taken_total", "counter",
+         "Result-store snapshot copies materialized"),
+        ("snapshots_reused", "repro_store_snapshots_reused_total", "counter",
+         "Reads served from an already-materialized snapshot"),
+        ("state_evictions", "repro_store_state_evictions_total", "counter",
+         "Operator states evicted by the memory budget"),
+        ("state_rebuilds", "repro_store_state_rebuilds_total", "counter",
+         "Refreshes that rebuilt budget-evicted operator state"),
+        ("queued_notifications",
+         "repro_serve_queued_notifications_total", "counter",
+         "Notifications enqueued to delivery mailboxes"),
+        ("delivered_notifications",
+         "repro_serve_delivered_notifications_total", "counter",
+         "Notifications delivered to subscriber callbacks"),
+        ("dropped_notifications",
+         "repro_serve_dropped_notifications_total", "counter",
+         "Notifications dropped by the drop_oldest policy"),
+        ("coalesced_notifications",
+         "repro_serve_coalesced_notifications_total", "counter",
+         "Notifications merged by the coalesce policy"),
+        ("delivery_backlog", "repro_serve_delivery_backlog", "gauge",
+         "Undelivered notifications across all mailboxes"),
+    )
+
+    def _collect_samples(self) -> List[Sample]:
+        """Pull-at-snapshot collector: the session's stats under the
+        canonical names, plus per-shard flush counts and per-operator
+        plan counters (labeled by fingerprint, operator, tree path)."""
+        stats = self.stats()
+        samples: List[Sample] = [
+            Sample(name, {}, float(stats[key]), kind, help_text)
+            for key, name, kind, help_text in self._CANONICAL_SAMPLES
+        ]
+        for table, fanout in sorted(stats["table_fanout"].items()):
+            samples.append(
+                Sample(
+                    "repro_live_table_fanout",
+                    {"table": table},
+                    float(fanout),
+                    "gauge",
+                    "Live plans depending on each base table",
+                )
+            )
+        for shard, count in enumerate(stats["shard_flushes"]):
+            samples.append(
+                Sample(
+                    "repro_serve_shard_flushes_total",
+                    {"shard": str(shard)},
+                    float(count),
+                    "counter",
+                    "Flush rounds executed per shard worker",
+                )
+            )
+        for shared in self.shared_results():
+            fingerprint = shared.fingerprint[:12]
+            for node in shared.node_report():
+                labels = {
+                    "fingerprint": fingerprint,
+                    "operator": node["operator"],
+                    "path": node["path"],
+                }
+                for name, key, kind, help_text in (
+                    ("repro_delta_applies_total", "applies", "counter",
+                     "Incremental delta applications per plan operator"),
+                    ("repro_delta_apply_seconds_total", "apply_seconds",
+                     "counter",
+                     "Cumulative wall time in apply_delta per operator"),
+                    ("repro_delta_rows_in_total", "delta_rows_in", "counter",
+                     "Delta rows fed into each operator"),
+                    ("repro_delta_rows_out_total", "delta_rows_out",
+                     "counter", "Delta rows emitted by each operator"),
+                    ("repro_operator_fallbacks_total", "fallbacks",
+                     "counter",
+                     "Non-incremental fallbacks raised at this operator"),
+                    ("repro_operator_state_rows", "state_rows", "gauge",
+                     "Rows held in the operator's derivation-count state"),
+                    ("repro_operator_state_bytes", "state_bytes", "gauge",
+                     "Estimated bytes of the operator's state"),
+                ):
+                    samples.append(
+                        Sample(
+                            name, labels, float(node[key]), kind, help_text
+                        )
+                    )
+        return samples
+
     def stats(self) -> Dict[str, object]:
         """A snapshot of the session's counters (all modification-driven).
 
@@ -861,6 +1043,15 @@ class SubscriptionManager:
         ``state_evictions`` / ``state_rebuilds`` (the memory budget's
         evict and recompute-on-miss counters), summed over all shared
         results.
+
+        .. deprecated:: 1.6
+            These dict keys are aliases of the canonical metric names the
+            session publishes through :attr:`metrics`
+            (``repro_<layer>_<what>_total`` — e.g. ``events`` is
+            ``repro_live_events_total``, ``queued_notifications`` is
+            ``repro_serve_queued_notifications_total``).  Scrape the
+            registry (``session.metrics.render_prometheus()``) for the
+            stable surface; the dict keys stay for one release.
         """
         with self._lock:
             retired = self._retired_store_stats

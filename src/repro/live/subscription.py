@@ -134,6 +134,21 @@ class Subscription:
             raise QueryError(f"subscription {self.name!r} is closed")
         return self._shared
 
+    def explain_analyze(self) -> str:
+        """The plan tree annotated with live per-operator counters.
+
+        Renders the shared result's physical plan with, per node, the
+        state row/byte footprint, cumulative ``apply_delta`` wall time,
+        delta row traffic, and fallback count — plus the maintainer's
+        refresh totals.  Reads counters only; never refreshes.
+        """
+        return self._require_shared().explain_analyze()
+
+    def node_report(self):
+        """Per-operator live counters as plain dicts (see
+        :meth:`~repro.engine.maintenance.IncrementalMaintainer.node_report`)."""
+        return self._require_shared().node_report()
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
@@ -200,8 +215,16 @@ class Subscription:
             changed_tables=tuple(sorted(changed_tables)),
             delta=delta,
         )
-        delivered = bus.publish(topic, notification)
-        delivered += bus.publish("refresh", notification)
+        tracer = getattr(self.manager, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "enqueue", subscription=self.name, topic=topic
+            ):
+                delivered = bus.publish(topic, notification)
+                delivered += bus.publish("refresh", notification)
+        else:
+            delivered = bus.publish(topic, notification)
+            delivered += bus.publish("refresh", notification)
         self.stats.notifications += delivered
         return delivered
 

@@ -1,0 +1,55 @@
+"""repro.obs — end-to-end telemetry for the ongoing-query engine.
+
+Three pillars, all zero-dependency:
+
+* :mod:`repro.obs.registry` — the lock-cheap metrics registry
+  (counters, gauges, fixed-bucket histograms; labeled by plan
+  fingerprint, table, operator kind) with pull-at-snapshot collectors
+  absorbing the engine's pre-existing stats dicts, rendered as
+  Prometheus text or JSON under the canonical
+  ``repro_<layer>_<what>_total`` naming scheme;
+* :mod:`repro.obs.trace` — the opt-in refresh-pipeline span recorder
+  (``LiveSession(trace=True)``), ring-buffered per session and dumpable
+  as Chrome trace-event JSON for Perfetto;
+* :mod:`repro.obs.explain` — the ``explain_analyze()`` renderer:
+  the physical plan tree annotated with live per-operator counters
+  (state rows/bytes, cumulative delta-apply time, fallback counts).
+
+:mod:`repro.obs.promtext` is the in-repo Prometheus text-format
+validator CI uses to smoke-check ``render_prometheus()`` output.
+
+The package sits below the engine: nothing in here imports
+:mod:`repro.engine`, :mod:`repro.live`, or :mod:`repro.serve`, so every
+layer can report into it without import cycles.
+"""
+
+from repro.obs.explain import (
+    format_bytes,
+    format_seconds,
+    render_explain_analyze,
+)
+from repro.obs.promtext import validate_prometheus_text
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Sample,
+)
+from repro.obs.trace import NULL_TRACER, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Sample",
+    "DEFAULT_BUCKETS",
+    "TraceRecorder",
+    "NULL_TRACER",
+    "render_explain_analyze",
+    "format_bytes",
+    "format_seconds",
+    "validate_prometheus_text",
+]

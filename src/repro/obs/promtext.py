@@ -1,0 +1,194 @@
+"""A small in-repo validator for the Prometheus text exposition format.
+
+CI smoke-checks that :meth:`~repro.obs.registry.Registry.render_prometheus`
+output *parses* without pulling in a Prometheus client dependency.  The
+validator enforces the 0.0.4 text-format rules the engine relies on:
+
+* metric and label names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (labels
+  without the colon);
+* label values are double-quoted with ``\\``, ``\"``, ``\n`` escapes;
+* sample values are floats, ``NaN``, or ``±Inf``;
+* ``# TYPE`` declarations precede their samples, appear at most once per
+  family, and histogram families only emit ``_bucket``/``_sum``/``_count``
+  series (with ``le`` on the buckets).
+
+:func:`validate_prometheus_text` raises :class:`ValueError` on the first
+violation (with the offending line number) and returns the number of
+samples parsed — zero-sample output is rejected, a scrape endpoint that
+exposes nothing is a bug, not a format choice.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+__all__ = ["validate_prometheus_text"]
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_labels(text: str, line_no: int) -> Tuple[Dict[str, str], int]:
+    """Parse ``{name="value",...}`` starting at ``text[0] == '{'``.
+
+    Returns the label dict and the index one past the closing brace.
+    """
+    labels: Dict[str, str] = {}
+    index = 1
+    while True:
+        while index < len(text) and text[index] in " \t":
+            index += 1
+        if index < len(text) and text[index] == "}":
+            return labels, index + 1
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[index:])
+        if match is None:
+            raise ValueError(f"line {line_no}: expected a label name")
+        name = match.group(0)
+        index += match.end()
+        if name in labels:
+            raise ValueError(f"line {line_no}: duplicate label {name!r}")
+        if index >= len(text) or text[index] != "=":
+            raise ValueError(f"line {line_no}: expected '=' after {name!r}")
+        index += 1
+        if index >= len(text) or text[index] != '"':
+            raise ValueError(
+                f"line {line_no}: label value of {name!r} must be quoted"
+            )
+        index += 1
+        value_chars = []
+        while True:
+            if index >= len(text):
+                raise ValueError(
+                    f"line {line_no}: unterminated label value for {name!r}"
+                )
+            ch = text[index]
+            if ch == "\\":
+                if index + 1 >= len(text) or text[index + 1] not in '\\"n':
+                    raise ValueError(
+                        f"line {line_no}: bad escape in label {name!r}"
+                    )
+                value_chars.append(
+                    "\n" if text[index + 1] == "n" else text[index + 1]
+                )
+                index += 2
+            elif ch == '"':
+                index += 1
+                break
+            elif ch == "\n":
+                raise ValueError(
+                    f"line {line_no}: raw newline in label {name!r}"
+                )
+            else:
+                value_chars.append(ch)
+                index += 1
+        labels[name] = "".join(value_chars)
+        if index < len(text) and text[index] == ",":
+            index += 1
+        elif index < len(text) and text[index] == "}":
+            return labels, index + 1
+        else:
+            raise ValueError(
+                f"line {line_no}: expected ',' or '}}' after label {name!r}"
+            )
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    text = text.strip()
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ValueError(
+            f"line {line_no}: invalid sample value {text!r}"
+        ) from exc
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Validate *text*; returns the sample count, raises on any violation."""
+    types: Dict[str, str] = {}
+    samples = 0
+    for line_no, raw in enumerate(text.split("\n"), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment — legal
+            if len(parts) < 3 or not _METRIC_NAME.match(parts[2]):
+                raise ValueError(
+                    f"line {line_no}: malformed {parts[1]} comment"
+                )
+            if parts[1] == "TYPE":
+                name = parts[2]
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in _TYPES:
+                    raise ValueError(
+                        f"line {line_no}: unknown metric type {declared!r}"
+                    )
+                if name in types:
+                    raise ValueError(
+                        f"line {line_no}: duplicate TYPE for {name!r}"
+                    )
+                types[name] = declared
+            continue
+        # A sample line: name[{labels}] value [timestamp]
+        match = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+        if match is None:
+            raise ValueError(f"line {line_no}: invalid metric name")
+        name = match.group(0)
+        rest = line[match.end():]
+        labels: Dict[str, str] = {}
+        if rest.startswith("{"):
+            labels, consumed = _parse_labels(rest, line_no)
+            rest = rest[consumed:]
+        if not rest.startswith(" ") and not rest.startswith("\t"):
+            raise ValueError(
+                f"line {line_no}: expected whitespace before the value"
+            )
+        fields = rest.split()
+        if not fields or len(fields) > 2:
+            raise ValueError(
+                f"line {line_no}: expected 'value [timestamp]', "
+                f"got {rest.strip()!r}"
+            )
+        _parse_value(fields[0], line_no)
+        if len(fields) == 2 and not re.match(r"^-?[0-9]+$", fields[1]):
+            raise ValueError(
+                f"line {line_no}: invalid timestamp {fields[1]!r}"
+            )
+        for label in labels:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise ValueError(
+                    f"line {line_no}: invalid label name {label!r}"
+                )
+        # Histogram families: samples use the three suffixes, buckets
+        # carry 'le'; a declared family name used bare is a violation.
+        family = None
+        for base, declared in types.items():
+            if declared != "histogram":
+                continue
+            if name == base:
+                raise ValueError(
+                    f"line {line_no}: histogram {base!r} must expose "
+                    f"_bucket/_sum/_count series, not a bare sample"
+                )
+            if name.startswith(base) and name[len(base):] in _HISTOGRAM_SUFFIXES:
+                family = (base, name[len(base):])
+        if family is not None and family[1] == "_bucket" and "le" not in labels:
+            raise ValueError(
+                f"line {line_no}: histogram bucket without an 'le' label"
+            )
+        samples += 1
+    if samples == 0:
+        raise ValueError("no samples found — empty exposition")
+    return samples

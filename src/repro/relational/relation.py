@@ -232,7 +232,21 @@ class ResultStore:
         self._version = version
         self._snapshot: Optional[OngoingRelation] = None
         self._snapshot_version = version - 1
-        self._stats = stats if stats is not None else {"taken": 0, "reused": 0}
+        if stats is None:
+            stats = {"snapshots_taken": 0, "snapshots_reused": 0}
+        else:
+            # Canonical key scheme (repro_store_snapshots_*): accept and
+            # upgrade the pre-1.6 short keys in place — deprecated
+            # aliases for one release, then the migration goes away.
+            for old, new in (
+                ("taken", "snapshots_taken"),
+                ("reused", "snapshots_reused"),
+            ):
+                if old in stats and new not in stats:
+                    stats[new] = stats.pop(old)
+            stats.setdefault("snapshots_taken", 0)
+            stats.setdefault("snapshots_reused", 0)
+        self._stats = stats
 
     @property
     def version(self) -> int:
@@ -262,14 +276,14 @@ class ResultStore:
                 self._snapshot is not None
                 and self._snapshot_version == self._version
             ):
-                self._stats["reused"] += 1
+                self._stats["snapshots_reused"] += 1
                 return self._snapshot
             snapshot = OngoingRelation.from_deduplicated(
                 self.schema, tuple(self._rows)
             )
             self._snapshot = snapshot
             self._snapshot_version = self._version
-            self._stats["taken"] += 1
+            self._stats["snapshots_taken"] += 1
             return snapshot
 
     def materialize(self) -> OngoingRelation:

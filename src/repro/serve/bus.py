@@ -40,7 +40,7 @@ __all__ = ["DeliveryPool", "AsyncEventBus"]
 class _DeliveryWorker:
     """One delivery thread plus the mailboxes pinned to it."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, tracer=None):
         self.condition = threading.Condition()
         #: Mailboxes with queued items, FIFO for round-robin fairness.
         self.ready: Deque[Mailbox] = deque()
@@ -48,6 +48,8 @@ class _DeliveryWorker:
         self.open = True
         self.active = 0  # callbacks currently running
         self.delivered = 0
+        #: Optional span recorder — "deliver" spans per callback run.
+        self.tracer = tracer
         self.thread = threading.Thread(target=self._run, name=name, daemon=True)
 
     def start(self) -> None:
@@ -85,6 +87,16 @@ class _DeliveryWorker:
                     self.condition.notify_all()
 
     def _deliver(self, mailbox: Mailbox, item: Any) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "deliver", listener=getattr(mailbox.listener, "__name__", "?")
+            ):
+                self._deliver_impl(mailbox, item)
+            return
+        self._deliver_impl(mailbox, item)
+
+    def _deliver_impl(self, mailbox: Mailbox, item: Any) -> None:
         try:
             mailbox.listener(item)
         except Exception as exc:  # noqa: BLE001 — isolation is the point
@@ -133,6 +145,7 @@ class DeliveryPool:
         policy: str = "coalesce",
         name: str = "delivery",
         block_timeout: float = BLOCK_TIMEOUT,
+        tracer=None,
     ):
         if workers < 1:
             raise ValueError("a delivery pool needs at least one worker")
@@ -140,7 +153,8 @@ class DeliveryPool:
         self.policy = policy
         self.block_timeout = block_timeout
         self._workers = [
-            _DeliveryWorker(f"{name}-{index}") for index in range(workers)
+            _DeliveryWorker(f"{name}-{index}", tracer=tracer)
+            for index in range(workers)
         ]
         self._next_worker = itertools.count()
         self._closed = False
@@ -323,10 +337,11 @@ class AsyncEventBus(EventBus):
         capacity: int = 64,
         policy: str = "coalesce",
         pool: Optional[DeliveryPool] = None,
+        tracer=None,
     ):
         super().__init__()
         self.pool = pool or DeliveryPool(
-            workers=workers, capacity=capacity, policy=policy
+            workers=workers, capacity=capacity, policy=policy, tracer=tracer
         )
         self._mailboxes: Dict[str, List[Tuple[Callable, Mailbox]]] = {}
         self._lock = threading.RLock()

@@ -175,6 +175,17 @@ class FlushScheduler:
         """Jobs run per shard since startup (the stats counter)."""
         return tuple(worker.flushes for worker in self._workers)
 
+    def stats(self) -> dict:
+        """Scheduler counters under the canonical metric names; the
+        per-shard counts match ``repro_serve_shard_flushes_total{shard=i}``
+        on the session registry."""
+        counts = self.flush_counts()
+        return {
+            "repro_serve_shard_flushes_total": sum(counts),
+            "repro_serve_shard_flushes": counts,
+            "repro_serve_flush_backlog": self.backlog(),
+        }
+
     def backlog(self) -> int:
         return sum(worker.backlog() for worker in self._workers)
 

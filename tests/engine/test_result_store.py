@@ -84,7 +84,7 @@ class TestResultStore:
         assert extra in second.tuples
 
     def test_snapshot_stats_partition_reads(self):
-        stats = {"taken": 0, "reused": 0}
+        stats = {"snapshots_taken": 0, "snapshots_reused": 0}
         schema, rows, _ = self._store()
         store = ResultStore(schema, rows, stats=stats)
         store.snapshot()
@@ -92,19 +92,29 @@ class TestResultStore:
         with store.lock:
             store.bump()
         store.snapshot()
-        assert stats == {"taken": 2, "reused": 1}
+        assert stats == {"snapshots_taken": 2, "snapshots_reused": 1}
+
+    def test_pre_16_stat_keys_migrate_in_place(self):
+        """Deprecated alias: the old short keys upgrade to the canonical
+        ``snapshots_*`` names inside the caller's dict."""
+        stats = {"taken": 3, "reused": 7}
+        schema, rows, _ = self._store()
+        store = ResultStore(schema, rows, stats=stats)
+        assert stats == {"snapshots_taken": 3, "snapshots_reused": 7}
+        store.snapshot()
+        assert stats["snapshots_taken"] == 4
 
     def test_materialize_is_uncached_and_uncounted(self):
-        stats = {"taken": 0, "reused": 0}
+        stats = {"snapshots_taken": 0, "snapshots_reused": 0}
         schema, rows, _ = self._store()
         store = ResultStore(schema, rows, stats=stats)
         eager = store.materialize()
         assert store.materialize() is not eager
-        assert stats == {"taken": 0, "reused": 0}
+        assert stats == {"snapshots_taken": 0, "snapshots_reused": 0}
         assert frozenset(eager.tuples) == frozenset(store.snapshot().tuples)
 
     def test_len_is_live_without_materializing(self):
-        stats = {"taken": 0, "reused": 0}
+        stats = {"snapshots_taken": 0, "snapshots_reused": 0}
         schema, rows, _ = self._store()
         store = ResultStore(schema, rows, stats=stats)
         assert len(store) == 3
@@ -112,7 +122,7 @@ class TestResultStore:
             rows[OngoingTuple((42, until_now(1)))] = 1
             store.bump()
         assert len(store) == 4
-        assert stats["taken"] == 0
+        assert stats["snapshots_taken"] == 0
 
 
 class TestSnapshotAliasingRegression:
@@ -153,12 +163,12 @@ class TestSnapshotAliasingRegression:
         first = evaluator.refresh_full()
         # Duplicate-row churn propagates an empty root delta — the cached
         # snapshot must stay valid (no version bump, no new copy).
-        taken_before = evaluator.snapshot_stats["taken"]
+        taken_before = evaluator.snapshot_stats["snapshots_taken"]
         duplicate = db.table("R").rows()[0]
         delta = evaluator.apply({"R": Delta.insert((duplicate,))})
         assert delta.is_empty()
         assert evaluator.result is first
-        assert evaluator.snapshot_stats["taken"] == taken_before
+        assert evaluator.snapshot_stats["snapshots_taken"] == taken_before
 
     def test_delta_refresh_takes_no_snapshot_until_read(self):
         """The tentpole invariant: refreshes without readers never copy."""

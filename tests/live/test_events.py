@@ -75,6 +75,25 @@ class TestErrorTopicGuard:
         assert topic == "refresh" and listener is explode
         assert isinstance(error, RuntimeError)
 
+    def test_error_topic_failure_announcement_carries_its_topic(self):
+        # PR 6 regression: a failing listener registered on the "error"
+        # topic was silently recorded but never announced — the guard
+        # suppressed every error-class topic instead of only the
+        # listener-error channel, and the announcement lost its topic.
+        bus = EventBus()
+        announced = []
+        bus.subscribe(EventBus.LISTENER_ERROR_TOPIC, announced.append)
+
+        def explode(payload):
+            raise RuntimeError("broken error handler")
+
+        bus.subscribe("error", explode)
+        bus.publish("error", ("fingerprint", ValueError("x")))
+        ((topic, listener, error),) = announced
+        assert topic == "error"  # the originating topic, carried through
+        assert listener is explode
+        assert isinstance(error, RuntimeError)
+
     def test_raising_error_listener_does_not_recurse(self):
         bus = EventBus()
         survivors = []

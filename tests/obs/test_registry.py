@@ -1,0 +1,247 @@
+"""The metrics registry: families, labels, collectors, rendering."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.promtext import validate_prometheus_text
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Sample,
+)
+
+
+class TestFamilies:
+    def test_counter_increments(self):
+        registry = Registry()
+        counter = registry.counter("repro_test_total", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_gauge_moves_both_ways(self):
+        registry = Registry()
+        gauge = registry.gauge("repro_depth")
+        gauge.set(10)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == pytest.approx(8)
+
+    def test_labeled_children_are_independent(self):
+        registry = Registry()
+        counter = registry.counter(
+            "repro_labeled_total", "", labelnames=("table",)
+        )
+        counter.labels("R").inc()
+        counter.labels("S").inc(4)
+        counter.labels(table="R").inc()
+        assert counter.labels("R").value == 2
+        assert counter.labels("S").value == 4
+        assert counter.value == 6
+
+    def test_unlabeled_use_of_labeled_family_raises(self):
+        registry = Registry()
+        counter = registry.counter("repro_x_total", "", labelnames=("t",))
+        with pytest.raises(ValueError):
+            counter.inc()
+        with pytest.raises(ValueError):
+            counter.labels("a", "b")
+
+    def test_get_or_create_is_idempotent(self):
+        registry = Registry()
+        first = registry.counter("repro_same_total", "h", ("a",))
+        second = registry.counter("repro_same_total", "h", ("a",))
+        assert first is second
+
+    def test_get_or_create_rejects_kind_and_label_mismatch(self):
+        registry = Registry()
+        registry.counter("repro_kind_total", "", ("a",))
+        with pytest.raises(ValueError):
+            registry.gauge("repro_kind_total", "", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("repro_kind_total", "", ("b",))
+
+    def test_invalid_metric_name_rejected(self):
+        registry = Registry()
+        for bad in ("", "9leading", "has space", "has-dash"):
+            with pytest.raises(ValueError):
+                registry.counter(bad)
+
+    def test_histogram_buckets_partition_observations(self):
+        registry = Registry()
+        histogram = registry.histogram(
+            "repro_lat_seconds", "", buckets=(0.01, 0.1, 1.0)
+        )
+        for value in (0.005, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        snap = histogram.labels().snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(5.555)
+        assert snap["buckets"] == {"0.01": 1, "0.1": 2, "1": 3, "+Inf": 4}
+
+    def test_histogram_needs_buckets(self):
+        registry = Registry()
+        with pytest.raises(ValueError):
+            registry.histogram("repro_empty_seconds", buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestCollectors:
+    def test_collector_samples_appear_in_snapshot(self):
+        registry = Registry()
+        registry.register_collector(
+            lambda: [
+                Sample("repro_pull_total", {"t": "R"}, 7.0, "counter", "x")
+            ]
+        )
+        snap = registry.snapshot()
+        assert snap["repro_pull_total"]["samples"] == [
+            {"labels": {"t": "R"}, "value": 7.0}
+        ]
+        assert snap["repro_pull_total"]["kind"] == "counter"
+
+    def test_unregister_thunk_removes_collector(self):
+        registry = Registry()
+        unregister = registry.register_collector(
+            lambda: [Sample("repro_gone_total", {}, 1.0)]
+        )
+        unregister()
+        assert "repro_gone_total" not in registry.snapshot()
+        unregister()  # idempotent
+
+    def test_raising_collector_is_skipped_not_fatal(self):
+        registry = Registry()
+
+        def boom():
+            raise RuntimeError("scrape me not")
+
+        registry.register_collector(boom)
+        registry.counter("repro_alive_total").inc()
+        snap = registry.snapshot()
+        assert snap["repro_alive_total"]["samples"][0]["value"] == 1.0
+
+
+class TestFallbackLog:
+    def test_record_fallback_logs_and_counts(self):
+        registry = Registry()
+        registry.record_fallback(
+            fingerprint="abc123",
+            operator="NestedLoopJoin",
+            table="R",
+            cause="delta propagation failed: full-flagged",
+            delta_shape="full",
+        )
+        (record,) = registry.fallbacks()
+        assert record.fingerprint == "abc123"
+        assert record.operator == "NestedLoopJoin"
+        assert record.table == "R"
+        assert record.delta_shape == "full"
+        snap = registry.snapshot()
+        (sample,) = snap[Registry.FALLBACK_METRIC]["samples"]
+        assert sample["labels"] == {
+            "fingerprint": "abc123",
+            "operator": "NestedLoopJoin",
+            "table": "R",
+        }
+        assert sample["value"] == 1.0
+
+    def test_fallback_log_is_bounded(self):
+        registry = Registry()
+        for index in range(Registry.MAX_FALLBACKS + 10):
+            registry.record_fallback(
+                fingerprint=f"fp{index}", operator="Op", table="T",
+                cause="c",
+            )
+        records = registry.fallbacks()
+        assert len(records) == Registry.MAX_FALLBACKS
+        assert records[0].fingerprint == "fp10"  # oldest were evicted
+
+
+class TestRendering:
+    def _populated(self):
+        registry = Registry()
+        registry.counter(
+            "repro_live_events_total", "Change events", ("table",)
+        ).labels('we"ird\ntable\\').inc(3)
+        registry.gauge("repro_live_dirty_plans", "Dirty plans").set(2)
+        registry.histogram(
+            "repro_flush_seconds", "Flush latency", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        registry.register_collector(
+            lambda: [
+                Sample(
+                    "repro_store_snapshots_taken_total", {}, 5.0,
+                    "counter", "Snapshots",
+                )
+            ]
+        )
+        return registry
+
+    def test_render_prometheus_validates(self):
+        text = self._populated().render_prometheus()
+        assert validate_prometheus_text(text) >= 6
+        assert "# TYPE repro_live_events_total counter" in text
+        assert "# HELP repro_live_events_total Change events" in text
+        assert 'le="+Inf"' in text
+
+    def test_label_escaping_round_trips(self):
+        text = self._populated().render_prometheus()
+        assert 'table="we\\"ird\\ntable\\\\"' in text
+
+    def test_render_json_round_trips(self):
+        registry = self._populated()
+        data = json.loads(registry.render_json())
+        assert data == registry.snapshot()
+        assert data["repro_live_events_total"]["kind"] == "counter"
+        histogram = data["repro_flush_seconds"]["samples"][0]["value"]
+        assert histogram["count"] == 1
+
+    def test_empty_registry_renders_empty_string(self):
+        assert Registry().render_prometheus() == ""
+
+    def test_infinite_values_render(self):
+        registry = Registry()
+        registry.gauge("repro_inf").set(math.inf)
+        text = registry.render_prometheus()
+        assert "repro_inf +Inf" in text
+        validate_prometheus_text(text)
+
+
+class TestPromtextValidator:
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            validate_prometheus_text("this is not prometheus\n")
+
+    def test_rejects_empty_exposition(self):
+        with pytest.raises(ValueError):
+            validate_prometheus_text("")
+
+    def test_rejects_duplicate_type_lines(self):
+        text = (
+            "# TYPE repro_x counter\nrepro_x 1\n"
+            "# TYPE repro_x counter\nrepro_x 2\n"
+        )
+        with pytest.raises(ValueError):
+            validate_prometheus_text(text)
+
+    def test_rejects_bare_histogram_sample(self):
+        text = "# TYPE repro_h histogram\nrepro_h 1\n"
+        with pytest.raises(ValueError):
+            validate_prometheus_text(text)
+
+    def test_accepts_well_formed_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 1\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1.5\n"
+            "repro_h_count 2\n"
+        )
+        assert validate_prometheus_text(text) == 4

@@ -1,0 +1,134 @@
+"""The span recorder and its Chrome trace-event export."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, TraceRecorder
+
+
+class TestRecording:
+    def test_span_records_on_exit(self):
+        tracer = TraceRecorder()
+        with tracer.span("flush", fingerprint="abc"):
+            time.sleep(0.001)
+        (event,) = tracer.events()
+        assert event["name"] == "flush"
+        assert event["duration"] >= 0.001
+        assert event["args"] == {"fingerprint": "abc"}
+        assert event["thread_id"] == threading.get_ident()
+
+    def test_span_records_even_on_exception(self):
+        tracer = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with tracer.span("refresh"):
+                raise RuntimeError("boom")
+        assert len(tracer) == 1
+
+    def test_add_records_pretimed_events(self):
+        tracer = TraceRecorder()
+        started = time.perf_counter()
+        tracer.add("apply:FilterOp", started, 0.002, path="0.1", rows_in=3)
+        (event,) = tracer.events()
+        assert event["name"] == "apply:FilterOp"
+        assert event["duration"] == pytest.approx(0.002)
+        assert event["args"] == {"path": "0.1", "rows_in": 3}
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = TraceRecorder(capacity=4)
+        for index in range(10):
+            tracer.add(f"e{index}", 0.0, 0.0)
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["e6", "e7", "e8", "e9"]
+
+    def test_disabled_recorder_records_nothing(self):
+        tracer = TraceRecorder(enabled=False)
+        with tracer.span("flush"):
+            pass
+        tracer.add("x", 0.0, 0.0)
+        assert len(tracer) == 0
+        assert tracer.events() == []
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = TraceRecorder(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("x"):
+            pass
+        assert len(NULL_TRACER) == 0
+
+    def test_clear_and_capacity_validation(self):
+        tracer = TraceRecorder()
+        tracer.add("x", 0.0, 0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestChromeExport:
+    def _traced(self):
+        tracer = TraceRecorder()
+        with tracer.span("flush", plans=2):
+            with tracer.span("refresh", fingerprint="abc", tables={"R"}):
+                pass
+        return tracer
+
+    def test_round_trips_through_json(self):
+        tracer = self._traced()
+        data = json.loads(tracer.dump_json())
+        assert data["displayTimeUnit"] == "ms"
+        assert data == tracer.to_chrome()
+
+    def test_complete_events_have_chrome_fields(self):
+        data = self._traced().to_chrome()
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"flush", "refresh"}
+        for event in complete:
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_thread_metadata_emitted_once_per_thread(self):
+        tracer = TraceRecorder()
+        tracer.add("a", 0.0, 0.0)
+        tracer.add("b", 0.0, 0.0)
+
+        def other():
+            tracer.add("c", 0.0, 0.0)
+
+        thread = threading.Thread(target=other, name="other-thread")
+        thread.start()
+        thread.join()
+        metadata = [
+            e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "M"
+        ]
+        assert len(metadata) == 2
+        assert {m["args"]["name"] for m in metadata} >= {"other-thread"}
+
+    def test_exotic_args_become_json_safe(self):
+        tracer = TraceRecorder()
+        tracer.add(
+            "x", 0.0, 0.0,
+            tables=frozenset({"S", "R"}),
+            shape=(1, 2),
+            obj=object(),
+        )
+        data = json.loads(tracer.dump_json())
+        (event,) = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["tables"] == ["R", "S"]
+        assert event["args"]["shape"] == [1, 2]
+        assert isinstance(event["args"]["obj"], str)
+
+    def test_dump_json_writes_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._traced().dump_json(str(path))
+        data = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
