@@ -107,8 +107,8 @@ def test_delta_flush(benchmark, delta_bench):
     )
     assert len(result) == _GROUPS
     stats = delta_bench.session.stats()
-    assert stats["delta_refreshes"] > 0
-    assert stats["full_refreshes"] == 0
+    assert stats["repro_live_delta_refreshes_total"] > 0
+    assert stats["repro_live_full_refreshes_total"] == 0
 
 
 def test_full_flush(benchmark, full_bench):
@@ -118,7 +118,7 @@ def test_full_flush(benchmark, full_bench):
         full_bench.modify_and_flush, rounds=3, iterations=1
     )
     assert len(result) == _GROUPS
-    assert full_bench.session.stats()["delta_refreshes"] == 0
+    assert full_bench.session.stats()["repro_live_delta_refreshes_total"] == 0
 
 
 def test_group_by_rerun(benchmark):
@@ -144,7 +144,7 @@ def test_delta_and_full_agree():
         left = delta_side.modify_and_flush()
         right = full_side.modify_and_flush()
         assert left == right
-    assert delta_side.session.stats()["full_refreshes"] == 0
+    assert delta_side.session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -188,8 +188,8 @@ def run(sizes=_SIZES) -> dict:
         full_s = _time(full_side.modify_and_flush, repeats=3)
         rerun_s = _time(rerun_step, repeats=3)
         stats = delta_side.session.stats()
-        assert stats["full_refreshes"] == 0
-        assert stats["delta_refreshes"] > 0
+        assert stats["repro_live_full_refreshes_total"] == 0
+        assert stats["repro_live_delta_refreshes_total"] > 0
         entry = {
             "rows": n_rows,
             "rows_per_group": n_rows // _GROUPS,

@@ -133,8 +133,8 @@ def test_delta_flush(benchmark, delta_bench):
     result = benchmark.pedantic(
         delta_bench.modify_and_flush, rounds=5, iterations=1
     )
-    assert len(result) == _BENCH_ROWS + delta_bench.session.stats()["flushes"]
-    assert delta_bench.session.stats()["full_refreshes"] == 0
+    assert len(result) == _BENCH_ROWS + delta_bench.session.stats()["repro_live_flushes_total"]
+    assert delta_bench.session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 def test_full_flush(benchmark, full_bench):
@@ -143,8 +143,8 @@ def test_full_flush(benchmark, full_bench):
     result = benchmark.pedantic(
         full_bench.modify_and_flush, rounds=3, iterations=1
     )
-    assert len(result) == _BENCH_ROWS + full_bench.session.stats()["flushes"]
-    assert full_bench.session.stats()["delta_refreshes"] == 0
+    assert len(result) == _BENCH_ROWS + full_bench.session.stats()["repro_live_flushes_total"]
+    assert full_bench.session.stats()["repro_live_delta_refreshes_total"] == 0
 
 
 def test_clifford_rerun(benchmark):
@@ -169,7 +169,7 @@ def test_delta_and_full_agree():
         left = delta_side.modify_and_flush()
         right = full_side.modify_and_flush()
         assert frozenset(left.tuples) == frozenset(right.tuples)
-    assert delta_side.session.stats()["full_refreshes"] == 0
+    assert delta_side.session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -209,7 +209,7 @@ def run(sizes=_SIZES) -> dict:
         delta_s = _time(delta_side.modify_and_flush, repeats=7)
         full_s = _time(full_side.modify_and_flush, repeats=3)
         clifford_s = _time(clifford_step, repeats=3)
-        assert delta_side.session.stats()["full_refreshes"] == 0
+        assert delta_side.session.stats()["repro_live_full_refreshes_total"] == 0
         # Storage view of the same asymmetry: bytes shipped by one typed
         # change event vs. bytes of the materialization it keeps fresh.
         captured = []

@@ -76,8 +76,8 @@ def test_metrics_do_not_touch_the_flush_path():
         bench.modify()
         bench.flush()
     stats = bench.session.stats()
-    assert stats["full_refreshes"] == 0
-    assert stats["snapshots_taken"] == 1  # the initial evaluation only
+    assert stats["repro_live_full_refreshes_total"] == 0
+    assert stats["repro_store_snapshots_taken_total"] == 1  # the initial evaluation only
     text = bench.session.metrics.render_prometheus()
     assert "repro_live_flushes_total 5" in text
     assert "repro_delta_applies_total" in text

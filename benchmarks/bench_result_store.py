@@ -118,10 +118,10 @@ def test_delta_refresh_no_snapshot(benchmark, bench):
 
     benchmark.pedantic(step, rounds=5, iterations=1)
     stats = bench.session.stats()
-    assert stats["full_refreshes"] == 0
+    assert stats["repro_live_full_refreshes_total"] == 0
     # Nobody read: the flushes must not have materialized anything
     # beyond the single snapshot of the initial evaluation.
-    assert stats["snapshots_taken"] == 1
+    assert stats["repro_store_snapshots_taken_total"] == 1
 
 
 def test_rebuild_per_refresh(benchmark, bench):
@@ -146,7 +146,7 @@ def test_store_results_stay_exact():
     assert frozenset(bench.read().tuples) == frozenset(
         bench.db.query(_plan()).tuples
     )
-    assert bench.session.stats()["full_refreshes"] == 0
+    assert bench.session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +200,7 @@ def run(sizes=_SIZES) -> dict:
             flush_and_read, setup=bench.modify, repeats=5
         )
         stats = bench.session.stats()
-        assert stats["full_refreshes"] == 0
+        assert stats["repro_live_full_refreshes_total"] == 0
         entry = {
             "rows": n_rows,
             "delta_seconds": delta_s,

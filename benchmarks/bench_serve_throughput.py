@@ -163,8 +163,8 @@ def _measure(n_subscribers: int, workers: int, service_time: float) -> dict:
                 best = elapsed
                 latencies = list(fanout.arrivals)
         stats = fanout.session.stats()
-        assert stats["dropped_notifications"] == 0
-        assert stats["refresh_errors"] == 0
+        assert stats["repro_serve_dropped_notifications_total"] == 0
+        assert stats["repro_live_refresh_errors_total"] == 0
         return {
             "workers": workers,
             "seconds": best,

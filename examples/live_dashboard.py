@@ -56,9 +56,9 @@ def main() -> None:
     stats = session.stats()
     print(
         f"{N_CLIENTS} clients subscribed in {subscribe_seconds * 1e3:.1f} ms: "
-        f"{stats['evaluations']} evaluation(s), "
-        f"{stats['cache_hits']} cache hits, "
-        f"{stats['shared_results']} shared result(s)"
+        f"{stats['repro_live_evaluations_total']} evaluation(s), "
+        f"{stats['repro_live_cache_hits_total']} cache hits, "
+        f"{stats['repro_live_shared_results']} shared result(s)"
     )
 
     # Time passes: every client is served by instantiation, no re-run.
@@ -69,7 +69,7 @@ def main() -> None:
     print(
         f"served all {N_CLIENTS} clients by instantiation in "
         f"{serve_seconds * 1e3:.1f} ms "
-        f"(evaluations still {session.stats()['evaluations']})"
+        f"(evaluations still {session.stats()['repro_live_evaluations_total']})"
     )
 
     # A burst of explicit modifications arrives...
@@ -102,8 +102,8 @@ def main() -> None:
 
     final = session.stats()
     print(
-        f"\nsession stats: {final['evaluations']} evaluations total for "
-        f"{final['subscriptions']} subscriptions — "
+        f"\nsession stats: {final['repro_live_evaluations_total']} evaluations total for "
+        f"{final['repro_live_subscriptions']} subscriptions — "
         f"a Clifford-style service would have re-run the query "
         f"{N_CLIENTS * 2} times for the same traffic"
     )

@@ -67,8 +67,8 @@ def main() -> None:
     ]
     stats = session.stats()
     print(
-        f"{N_CLIENTS} clients share {stats['shared_results']} materialization "
-        f"({stats['cache_hits']} cache hits); serving with "
+        f"{N_CLIENTS} clients share {stats['repro_live_shared_results']} materialization "
+        f"({stats['repro_live_cache_hits_total']} cache hits); serving with "
         f"{stats['delivery_workers']} delivery workers / "
         f"{stats['flush_shards']} flush shards"
     )
@@ -113,14 +113,14 @@ def main() -> None:
     with push_lock:
         n_pushes = len(pushes)
     print(
-        f"flushes: {final['flushes']} (debounce-coalesced from "
-        f"{final['events']} events), refreshes by delta: "
-        f"{final['delta_refreshes']}, per-shard {final['shard_flushes']}"
+        f"flushes: {final['repro_live_flushes_total']} (debounce-coalesced from "
+        f"{final['repro_live_events_total']} events), refreshes by delta: "
+        f"{final['repro_live_delta_refreshes_total']}, per-shard {final['shard_flushes']}"
     )
     print(
-        f"pushes: {n_pushes} delivered / {final['queued_notifications']} "
-        f"queued, {final['coalesced_notifications']} coalesced under "
-        f"backpressure, {final['dropped_notifications']} dropped"
+        f"pushes: {n_pushes} delivered / {final['repro_serve_queued_notifications_total']} "
+        f"queued, {final['repro_serve_coalesced_notifications_total']} coalesced under "
+        f"backpressure, {final['repro_serve_dropped_notifications_total']} dropped"
     )
     expected = db.query(workload.plan())
     assert all(

@@ -62,8 +62,8 @@ def main() -> None:
     stats = session.stats()
     print(
         f"one insert: flushed in {flush_ms:.2f} ms — "
-        f"delta_refreshes={stats['delta_refreshes']}, "
-        f"full_refreshes={stats['full_refreshes']} "
+        f"delta_refreshes={stats['repro_live_delta_refreshes_total']}, "
+        f"full_refreshes={stats['repro_live_full_refreshes_total']} "
         f"(only the 'apac' group re-aggregated)"
     )
     print(f"  push carried result delta: {pushes[-1].delta}")
@@ -77,8 +77,8 @@ def main() -> None:
     )
     stats = session.stats()
     print(
-        f"second dashboard attached: shared_results={stats['shared_results']}, "
-        f"cache_hits={stats['cache_hits']} (same fingerprint, zero new work)"
+        f"second dashboard attached: shared_results={stats['repro_live_shared_results']}, "
+        f"cache_hits={stats['repro_live_cache_hits_total']} (same fingerprint, zero new work)"
     )
     assert twin.fingerprint == sub.fingerprint
     session.close()

@@ -124,7 +124,7 @@ from repro.serve import (
     ShardedDependencyIndex,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

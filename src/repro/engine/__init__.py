@@ -8,8 +8,11 @@
   halves, hash / merge-interval / nested-loop joins);
 * :mod:`repro.engine.views` — materialized ongoing views (Section IX-C);
 * :mod:`repro.engine.storage` — the byte-accurate tuple layout of Table V;
-* :mod:`repro.engine.indexes` — envelope interval index (Section X future
+* :mod:`repro.engine.indexes` — envelope interval index plus the
+  secondary-index registry over delta-probe caches (Section X future
   work);
+* :mod:`repro.engine.cost` — the observed-stats cost model (index-vs-scan
+  probes, delta-vs-full refreshes);
 * :mod:`repro.engine.modifications` — Torp-style current insert / delete /
   update semantics;
 * :mod:`repro.engine.delta` — typed row deltas and the incremental
@@ -35,6 +38,7 @@ from repro.engine.plan import (
     Union,
     scan,
 )
+from repro.engine.cost import CostModel, DEFAULT_COST_MODEL, RefreshDecision
 from repro.engine.planner import Planner, plan_query
 from repro.engine.executor import (
     AggregateOp,
@@ -43,6 +47,7 @@ from repro.engine.executor import (
     HashJoin,
     MergeIntervalJoin,
     NestedLoopJoin,
+    IntervalScan,
     OngoingFilter,
     PhysicalOperator,
     ProjectOp,
@@ -60,7 +65,13 @@ from repro.engine.storage import (
     sizeof_delta,
     sizeof_tuple,
 )
-from repro.engine.indexes import IntervalIndex
+from repro.engine.indexes import (
+    IntervalIndex,
+    IntervalProbeIndex,
+    OrderedIndex,
+    PartitionIndex,
+    SecondaryIndexRegistry,
+)
 from repro.engine.modifications import current_delete, current_insert, current_update
 from repro.engine.bitemporal import BitemporalTable
 from repro.engine.rewrite import push_down_selections, split_selections
@@ -82,6 +93,9 @@ __all__ = [
     "Select",
     "Union",
     "scan",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "RefreshDecision",
     "Planner",
     "plan_query",
     "AggregateOp",
@@ -90,6 +104,7 @@ __all__ = [
     "HashJoin",
     "MergeIntervalJoin",
     "NestedLoopJoin",
+    "IntervalScan",
     "OngoingFilter",
     "PhysicalOperator",
     "ProjectOp",
@@ -105,6 +120,10 @@ __all__ = [
     "sizeof_delta",
     "sizeof_tuple",
     "IntervalIndex",
+    "IntervalProbeIndex",
+    "OrderedIndex",
+    "PartitionIndex",
+    "SecondaryIndexRegistry",
     "current_delete",
     "current_insert",
     "current_update",

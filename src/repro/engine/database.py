@@ -89,6 +89,7 @@ class Table:
         self.lock = lock if lock is not None else threading.RLock()
         self._rows: List[OngoingTuple] = []
         self._snapshot: Optional[OngoingRelation] = None
+        self._interval_indexes: Dict[str, tuple] = {}
         self._version = 0
         self._listeners: List[ChangeListener] = []
         self._delta_listeners: List[DeltaListener] = []
@@ -279,6 +280,27 @@ class Table:
                 self._snapshot = OngoingRelation(self.schema, self._rows)
             return self._snapshot
 
+    def interval_index(self, attribute: str):
+        """A centered interval tree over *attribute*'s envelopes.
+
+        Cached per table version, like :meth:`as_relation`: repeated cold
+        evaluations of temporal selections between modifications share one
+        build.  Returns ``None`` when the attribute cannot carry an
+        interval index (fixed kind, or non-interval values).
+        """
+        from repro.engine.indexes import IntervalIndex
+
+        with self.lock:
+            cached = self._interval_indexes.get(attribute)
+            if cached is not None and cached[0] == self._version:
+                return cached[1]
+            try:
+                index = IntervalIndex(self.as_relation(), attribute)
+            except QueryError:
+                index = None
+            self._interval_indexes[attribute] = (self._version, index)
+            return index
+
 
 class Database:
     """A catalog of ongoing tables plus the query interface."""
@@ -408,17 +430,20 @@ class Database:
     # ------------------------------------------------------------------
 
     def query(self, plan: PlanNode, *, optimize: bool = True) -> OngoingRelation:
-        """Plan, execute, and materialize a logical plan."""
-        from repro.engine.planner import Planner
+        """Plan, execute, and materialize a logical plan.
 
-        physical = Planner(optimize=optimize).plan(plan, self)
-        return materialize(physical)
+        With *optimize* (default) the algebraic rewrites (selection
+        split + push-down) run before physical planning.
+        """
+        from repro.engine.planner import plan_query
+
+        return materialize(plan_query(plan, self, optimize=optimize))
 
     def explain(self, plan: PlanNode, *, optimize: bool = True) -> str:
         """The physical plan chosen for *plan* (one operator per line)."""
-        from repro.engine.planner import Planner
+        from repro.engine.planner import plan_query
 
-        return Planner(optimize=optimize).plan(plan, self).explain()
+        return plan_query(plan, self, optimize=optimize).explain()
 
     def sql(self, statement: str) -> OngoingRelation:
         """Execute an OSQL statement (see :mod:`repro.sqlish`)."""
@@ -449,6 +474,10 @@ class Database:
         else:
             plan = plan_or_sql
             label = ""
+        if optimize:
+            from repro.engine.rewrite import push_down_selections
+
+            plan = push_down_selections(plan, self)
         fingerprint = plan.fingerprint()
         evaluator = DeltaEvaluator(plan, self, optimize=optimize)
         cold_reason = None

@@ -364,18 +364,36 @@ class DeltaEvaluator:
     #: How many output rows to sample for the per-row byte estimate.
     ROW_SAMPLE = 16
 
+    #: Budget price of one secondary-index entry (an envelope pair plus
+    #: list/bucket slots) — indexes are evictable state like the caches
+    #: they accelerate, so they count against ``state_budget_bytes``.
+    INDEX_ENTRY_BYTES = 24
+
     def __init__(
         self,
         plan,
         database,
         *,
         optimize: bool = True,
+        rewrite: Optional[bool] = None,
         snapshot_stats: Optional[Dict[str, int]] = None,
         tracer=None,
+        cost_model=None,
     ):
+        from repro.engine.cost import DEFAULT_COST_MODEL
+
         self.plan = plan
         self.database = database
         self.optimize = optimize
+        #: Algebraic push-down override for ablations — ``None`` couples
+        #: it to *optimize*, ``False`` plans physically without the
+        #: rewrite (see :func:`repro.engine.planner.plan_query`).
+        self.rewrite = rewrite
+        #: The observed-stats :class:`~repro.engine.cost.CostModel` that
+        #: operators consult for index-vs-scan probe decisions (threaded
+        #: into every :class:`OperatorState` at build time) and that
+        #: maintainers consult for delta-vs-full flush decisions.
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
         #: Optional :class:`~repro.obs.trace.TraceRecorder`; when enabled
         #: every ``apply_delta`` and store commit records a span.  The
         #: disabled/absent path costs one attribute check.
@@ -400,6 +418,13 @@ class DeltaEvaluator:
         #: Counters for introspection, stats, and the benchmarks.
         self.full_evaluations = 0
         self.delta_applications = 0
+        #: Observed costs feeding :meth:`CostModel.choose_refresh`: the
+        #: last full evaluation's wall time, and the cumulative delta
+        #: wall time / source delta rows (their ratio is the measured
+        #: per-row delta cost).
+        self.last_full_seconds: Optional[float] = None
+        self.apply_seconds_total = 0.0
+        self.apply_source_rows_total = 0
 
     # ------------------------------------------------------------------
     # Full evaluation (state building)
@@ -436,17 +461,23 @@ class DeltaEvaluator:
         the table is re-created).  The previous store survives for
         serving until a rebuild succeeds.
         """
-        from repro.engine.planner import Planner
+        from repro.engine.planner import plan_query
 
         states: Dict[object, OperatorState] = {}
+        started = perf_counter()
         try:
-            root = Planner(optimize=self.optimize).plan(
-                self.plan, self.database
+            root = plan_query(
+                self.plan,
+                self.database,
+                optimize=self.optimize,
+                rewrite=self.rewrite,
+                cost_model=self.cost_model,
             )
             counts = self._evaluate(root, states)
         except Exception:
             self._invalidate()
             raise
+        self.last_full_seconds = perf_counter() - started
         self._root = root
         self._states = states
         # A rebuilt store continues the old version sequence: the row set
@@ -493,6 +524,7 @@ class DeltaEvaluator:
         from repro.engine.executor import SeqScan
 
         state = node.delta_state()
+        state.extra["cost_model"] = self.cost_model
         states[node] = state
         if isinstance(node, SeqScan):
             if not node.label:
@@ -618,11 +650,18 @@ class DeltaEvaluator:
         for state in self._states.values():
             own, cached = self._state_prices.get(state, default)
             total += len(state.counts) * own + state.cached_rows * cached
+            total += self._index_entries(state) * self.INDEX_ENTRY_BYTES
         root_state = self._states[root]
         total -= len(root_state.counts) * self._state_prices.get(
             root_state, default
         )[0]
         return total
+
+    @staticmethod
+    def _index_entries(state: OperatorState) -> int:
+        """Entries held by the state's secondary-index registry (0 if none)."""
+        registry = state.extra.get("indexes")
+        return 0 if registry is None else registry.entry_count()
 
     # ------------------------------------------------------------------
     # Delta propagation
@@ -656,6 +695,7 @@ class DeltaEvaluator:
             if not delta.is_empty():
                 relevant[name] = delta
         store = self._store
+        apply_started = perf_counter()
         try:
             # The store lock spans the propagation (whose final, atomic
             # step mutates the root index) and the version bump, so a
@@ -684,6 +724,10 @@ class DeltaEvaluator:
             self._invalidate()
             raise
         self.delta_applications += 1
+        self.apply_seconds_total += perf_counter() - apply_started
+        self.apply_source_rows_total += sum(
+            len(delta) for delta in relevant.values()
+        )
         return root_delta
 
     def _node_stats(self, path: str, node) -> NodeStats:
@@ -768,6 +812,8 @@ class DeltaEvaluator:
             state = self._states[node]
             own, cached = self._state_prices.get(state, default)
             stats = self.node_stats.get(path)
+            index_entries = self._index_entries(state)
+            access_paths = state.extra.get("access_paths") or {}
             report.append(
                 {
                     "path": path,
@@ -777,8 +823,12 @@ class DeltaEvaluator:
                     "state_rows": len(state.counts),
                     "cached_rows": state.cached_rows,
                     "state_bytes": (
-                        len(state.counts) * own + state.cached_rows * cached
+                        len(state.counts) * own
+                        + state.cached_rows * cached
+                        + index_entries * self.INDEX_ENTRY_BYTES
                     ),
+                    "index_entries": index_entries,
+                    "access_paths": dict(access_paths),
                     "applies": 0 if stats is None else stats.applies,
                     "apply_seconds": (
                         0.0 if stats is None else stats.apply_seconds
@@ -797,6 +847,82 @@ class DeltaEvaluator:
 
         visit(root, "0", 0)
         return report
+
+    def check_index_integrity(self) -> List[str]:
+        """Cross-check every secondary index against its primary state.
+
+        Returns a list of human-readable inconsistencies (empty = all
+        indexes exactly mirror the caches they accelerate).  Used by the
+        property suite after every flush; cold state trivially passes.
+        """
+        from repro.engine.executor import (
+            AggregateOp,
+            DifferenceOp,
+            MergeIntervalJoin,
+        )
+
+        problems: List[str] = []
+        root = self._root
+        if root is None:
+            return problems
+
+        def visit(node, path: str) -> None:
+            state = self._states[node]
+            if isinstance(node, MergeIntervalJoin):
+                registry = state.extra.get("indexes")
+                for side in ("left", "right"):
+                    cache = state.extra.get(side) or {}
+                    index = None if registry is None else registry.get(side)
+                    if index is None:
+                        continue
+                    if len(index) != len(cache):
+                        problems.append(
+                            f"{path} {type(node).__name__}: {side} index "
+                            f"holds {len(index)} entries, cache {len(cache)}"
+                        )
+                        continue
+                    for item, env in cache.items():
+                        if index.envelope(item) != env:
+                            problems.append(
+                                f"{path} {type(node).__name__}: {side} "
+                                f"index entry for {item!r} is "
+                                f"{index.envelope(item)}, cache says {env}"
+                            )
+                            break
+            elif isinstance(node, DifferenceOp):
+                by_fixed = state.extra.get("left_by_fixed")
+                out_of = state.extra.get("out_of")
+                if by_fixed is not None and out_of is not None:
+                    if len(by_fixed) != len(out_of):
+                        problems.append(
+                            f"{path} DifferenceOp: left partition index "
+                            f"holds {len(by_fixed)} entries, left cache "
+                            f"{len(out_of)}"
+                        )
+                    else:
+                        for item in out_of:
+                            if item not in by_fixed.bucket(
+                                node._fixed_key(item)
+                            ):
+                                problems.append(
+                                    f"{path} DifferenceOp: left tuple "
+                                    f"{item!r} missing from its partition "
+                                    f"bucket"
+                                )
+                                break
+            elif isinstance(node, AggregateOp):
+                groups = state.extra.get("groups")
+                if groups is not None and len(groups) != state.cached_rows:
+                    problems.append(
+                        f"{path} AggregateOp: group index holds "
+                        f"{len(groups)} members, state caches "
+                        f"{state.cached_rows}"
+                    )
+            for index, child in enumerate(node._children()):
+                visit(child, f"{path}.{index}")
+
+        visit(root, "0")
+        return problems
 
     # ------------------------------------------------------------------
 

@@ -41,12 +41,18 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.interval import OngoingInterval
 from repro.core.intervalset import IntervalSet
+from repro.engine.cost import DEFAULT_COST_MODEL
 from repro.engine.delta import (
     Delta,
     EMPTY_DELTA,
     NonIncrementalDelta,
     OperatorState,
     commit_changes,
+)
+from repro.engine.indexes import (
+    IntervalIndex,
+    PartitionIndex,
+    SecondaryIndexRegistry,
 )
 from repro.relational.predicates import Expression, Predicate
 from repro.relational.relation import OngoingRelation
@@ -57,6 +63,7 @@ __all__ = [
     "PhysicalOperator",
     "MappedDeltaOperator",
     "SeqScan",
+    "IntervalScan",
     "FixedFilter",
     "OngoingFilter",
     "ProjectOp",
@@ -68,6 +75,12 @@ __all__ = [
     "AggregateOp",
     "materialize",
 ]
+
+
+def _state_cost_model(state: OperatorState):
+    """The cost model threaded into this state by its DeltaEvaluator
+    (falls back to the shared default for standalone states)."""
+    return state.extra.get("cost_model") or DEFAULT_COST_MODEL
 
 
 class PhysicalOperator:
@@ -203,6 +216,47 @@ class SeqScan(MappedDeltaOperator):
                 f"scan of {self.label or '?'} received a full delta"
             )
         return super().apply_delta(state, deltas)
+
+
+class IntervalScan(SeqScan):
+    """Index-assisted cold scan below a temporal selection.
+
+    The pull iterator reads only the tuples whose interval **envelope**
+    overlaps the selection's probe window, served by the table's cached
+    :class:`~repro.engine.indexes.IntervalIndex` in ``O(log n + k)``
+    instead of ``O(n)``.  Candidate filtering is lossless: envelope
+    overlap is a necessary condition for every overlap-family temporal
+    predicate, and the enclosing :class:`OngoingFilter` still applies the
+    exact ongoing predicate to each candidate.
+
+    The incremental protocol is inherited **unchanged** from
+    :class:`SeqScan` — the delta state tracks the full table (deltas for
+    non-matching rows must still flow to reach sibling conjuncts), so
+    only cold evaluation rides the index.
+    """
+
+    def __init__(
+        self,
+        relation: OngoingRelation,
+        index: IntervalIndex,
+        window: Tuple[int, int],
+        *,
+        label: str = "",
+    ):
+        super().__init__(relation, label=label)
+        self.index = index
+        self.window = window
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        return iter(self.index.overlapping(self.window[0], self.window[1]))
+
+    def _describe(self) -> str:
+        suffix = f" {self.label}" if self.label else ""
+        return (
+            f"IntervalScan{suffix} ({self.index.attribute} envelope ∩ "
+            f"[{self.window[0]}, {self.window[1]}), "
+            f"{self.index.size} indexed)"
+        )
 
 
 class FixedFilter(MappedDeltaOperator):
@@ -696,6 +750,31 @@ class MergeIntervalJoin(_JoinBase):
     # condition the sweep applies, so the maintained derivation counts
     # are identical to a from-scratch sweep.  Envelopes are computed
     # once, at _add_side time, and cached as the side-dict values.
+    #
+    # Each side additionally maintains an IntervalProbeIndex over its
+    # envelopes (unless the cost model disables indexes): the probe then
+    # costs O(log n + k) instead of scanning the whole cached side.  The
+    # index returns exactly the tuples satisfying the sweep's pairing
+    # condition — envelope overlap is symmetric — so indexed and scanned
+    # probes emit identical candidate sets.
+
+    def _side_index(self, state: OperatorState, side: str):
+        """The side's envelope index; ``None`` when indexes are disabled.
+
+        Created lazily (backfilled from the cached side) so a state built
+        under one cost model keeps working when probed under another.
+        """
+        if _state_cost_model(state).index_threshold is None:
+            return None
+        registry = state.extra.get("indexes")
+        if registry is None:
+            registry = state.extra["indexes"] = SecondaryIndexRegistry()
+        index = registry.get(side)
+        if index is None:
+            index = registry.interval(side)
+            for item, env in state.extra[side].items():
+                index.add(item, env[0], env[1])
+        return index
 
     def _add_side(self, state: OperatorState, side: str, item: OngoingTuple) -> None:
         position = (
@@ -705,8 +784,21 @@ class MergeIntervalJoin(_JoinBase):
         )
         cache = state.extra[side]
         if item not in cache:
+            # Resolve (and backfill) the index *before* the cache insert so
+            # a lazily created index does not see the item twice.
+            index = self._side_index(state, side)
             state.cached_rows += 1
-        cache[item] = _envelope(item.values[position])
+            env = cache[item] = _envelope(item.values[position])
+            if index is not None:
+                index.add(item, env[0], env[1])
+
+    def _remove_side(
+        self, state: OperatorState, side: str, item: OngoingTuple
+    ) -> None:
+        super()._remove_side(state, side, item)
+        registry = state.extra.get("indexes")
+        if registry is not None and registry.get(side) is not None:
+            registry.get(side).remove(item)
 
     def _matches(
         self, state: OperatorState, side: str, probe: OngoingTuple
@@ -715,8 +807,18 @@ class MergeIntervalJoin(_JoinBase):
             probe_env = _envelope(probe.values[self.left_interval_position])
         else:
             probe_env = _envelope(probe.values[self.right_interval_position])
+        cache = state.extra[side]
+        paths = state.extra.setdefault("access_paths", {})
+        if _state_cost_model(state).use_index(len(cache)):
+            index = self._side_index(state, side)
+            if index is not None:
+                paths[side] = f"index:interval({len(index)})"
+                # The pairing condition below is exactly half-open
+                # envelope overlap, which the tree answers directly.
+                return index.overlapping(probe_env[0], probe_env[1])
+        paths[side] = f"scan({len(cache)})"
         matches = []
-        for item, env in state.extra[side].items():
+        for item, env in cache.items():
             if side == "right":
                 left_env, right_env = probe_env, env
             else:
@@ -840,7 +942,7 @@ class DifferenceOp(PhysicalOperator):
         state = OperatorState()
         state.extra["right"] = {}
         state.extra["out_of"] = {}
-        state.extra["left_by_fixed"] = {}
+        state.extra["left_by_fixed"] = PartitionIndex()
         return state
 
     def evaluate(
@@ -849,7 +951,10 @@ class DifferenceOp(PhysicalOperator):
         left_items, right_items = inputs
         right: Dict[OngoingTuple, None] = dict.fromkeys(right_items)
         out_of: Dict[OngoingTuple, Optional[OngoingTuple]] = {}
-        by_fixed: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = {}
+        # The left side's predicate-partition index: right deltas probe it
+        # by the changed row's fixed-attribute projection, touching only
+        # the bucket whose value equality could possibly hold.
+        by_fixed = PartitionIndex()
         state.extra["right"] = right
         state.extra["out_of"] = out_of
         state.extra["left_by_fixed"] = by_fixed
@@ -857,7 +962,7 @@ class DifferenceOp(PhysicalOperator):
         for item in left_items:
             out = self._difference_tuple(item, right)
             out_of[item] = out
-            by_fixed.setdefault(self._fixed_key(item), {})[item] = None
+            by_fixed.add(self._fixed_key(item), item)
             if out is not None:
                 counts[out] = counts.get(out, 0) + 1
         # Cached rows: both input sides (by_fixed shares the left tuples).
@@ -869,9 +974,7 @@ class DifferenceOp(PhysicalOperator):
         left_delta, right_delta = deltas
         right: Dict[OngoingTuple, None] = state.extra["right"]
         out_of: Dict[OngoingTuple, Optional[OngoingTuple]] = state.extra["out_of"]
-        by_fixed: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
-            "left_by_fixed"
-        ]
+        by_fixed: PartitionIndex = state.extra["left_by_fixed"]
         changes: Dict[OngoingTuple, int] = {}
         # Left deletions: retract exactly the output the tuple produced.
         for item in left_delta.deleted:
@@ -881,16 +984,16 @@ class DifferenceOp(PhysicalOperator):
                 )
             out = out_of.pop(item)
             state.cached_rows -= 1
-            bucket = by_fixed.get(self._fixed_key(item))
-            if bucket is not None:
-                bucket.pop(item, None)
-                if not bucket:
-                    del by_fixed[self._fixed_key(item)]
+            try:
+                by_fixed.remove(self._fixed_key(item), item)
+            except KeyError:
+                pass
             if out is not None:
                 changes[out] = changes.get(out, 0) - 1
         # Right changes: fold into the cached side, then recompute the
         # match set of the possibly-affected left tuples — only those
-        # whose fixed attributes equal a changed right row's.
+        # whose fixed attributes equal a changed right row's (served by
+        # the partition index).
         if not right_delta.is_empty():
             for item in right_delta.deleted:
                 if item not in right:
@@ -906,9 +1009,10 @@ class DifferenceOp(PhysicalOperator):
                 right[item] = None
             affected: Dict[OngoingTuple, None] = {}
             for row in right_delta.inserted + right_delta.deleted:
-                bucket = by_fixed.get(self._fixed_key(row))
-                if bucket:
-                    affected.update(bucket)
+                affected.update(by_fixed.bucket(self._fixed_key(row)))
+            state.extra.setdefault("access_paths", {})["left"] = (
+                f"index:partition({len(by_fixed)})"
+            )
             for item in affected:
                 old_out = out_of[item]
                 new_out = self._difference_tuple(item, right)
@@ -928,7 +1032,7 @@ class DifferenceOp(PhysicalOperator):
             out = self._difference_tuple(item, right)
             out_of[item] = out
             state.cached_rows += 1
-            by_fixed.setdefault(self._fixed_key(item), {})[item] = None
+            by_fixed.add(self._fixed_key(item), item)
             if out is not None:
                 changes[out] = changes.get(out, 0) + 1
         return commit_changes(state, changes)
@@ -1016,7 +1120,9 @@ class AggregateOp(PhysicalOperator):
 
     def delta_state(self) -> OperatorState:
         state = OperatorState()
-        state.extra["groups"] = {}
+        # The member sets double as a predicate-partition index keyed by
+        # the grouping projection: a delta probes exactly its group.
+        state.extra["groups"] = PartitionIndex()
         state.extra["out"] = {}
         return state
 
@@ -1024,17 +1130,15 @@ class AggregateOp(PhysicalOperator):
         self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
     ) -> None:
         (items,) = inputs
-        groups: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
-            "groups"
-        ]
+        groups: PartitionIndex = state.extra["groups"]
         outs: Dict[Tuple[object, ...], OngoingTuple] = state.extra["out"]
         for item in items:
-            groups.setdefault(self._key(item), {})[item] = None
+            groups.add(self._key(item), item)
             state.cached_rows += 1
         if not self.group_positions:
-            groups.setdefault((), {})  # the scalar group always exists
+            groups.ensure(())  # the scalar group always exists
         counts = state.counts
-        for key, members in groups.items():
+        for key, members in groups.buckets():
             row = self._group_row(key, members)
             if row is not None:
                 outs[key] = row
@@ -1044,38 +1148,36 @@ class AggregateOp(PhysicalOperator):
         self, state: OperatorState, deltas: Sequence[Delta]
     ) -> Delta:
         (delta,) = deltas
-        groups: Dict[Tuple[object, ...], Dict[OngoingTuple, None]] = state.extra[
-            "groups"
-        ]
+        groups: PartitionIndex = state.extra["groups"]
         outs: Dict[Tuple[object, ...], OngoingTuple] = state.extra["out"]
         touched: Dict[Tuple[object, ...], None] = {}
         for item in delta.deleted:
             key = self._key(item)
-            bucket = groups.get(key)
-            if bucket is None or item not in bucket:
+            if item not in groups.bucket(key):
                 raise NonIncrementalDelta(
                     "delete of a tuple unknown to the aggregate's group"
                 )
-            del bucket[item]
+            groups.remove(key, item)  # drops the bucket when emptied
             state.cached_rows -= 1
             touched[key] = None
         for item in delta.inserted:
             key = self._key(item)
-            bucket = groups.setdefault(key, {})
-            if item in bucket:
+            if item in groups.bucket(key):
                 raise NonIncrementalDelta(
                     "insert of a tuple already aggregated in its group"
                 )
-            bucket[item] = None
+            groups.add(key, item)
             state.cached_rows += 1
             touched[key] = None
+        if touched:
+            state.extra.setdefault("access_paths", {})["groups"] = (
+                f"index:partition({len(groups)})"
+            )
         changes: Dict[OngoingTuple, int] = {}
         for key in touched:
-            members = groups.get(key, {})
+            members = groups.bucket(key)
             old = outs.get(key)
             new = self._group_row(key, members)
-            if not members and self.group_positions:
-                groups.pop(key, None)  # drop the emptied group's bucket
             if new == old:
                 continue  # e.g. a delete+insert pair that kept the value
             if old is not None:

@@ -118,10 +118,15 @@ class IncrementalMaintainer:
         fingerprint: Optional[str] = None,
         registry=None,
         tracer=None,
+        cost_model=None,
     ):
         self.plan = plan
         self.database = database
         self.label = label
+        #: Optional :class:`~repro.engine.cost.CostModel` override,
+        #: threaded into the evaluator (``None`` = the shared default):
+        #: gates index-vs-scan probes and the delta-vs-full flush choice.
+        self.cost_model = cost_model
         #: The plan fingerprint, for fallback metric labels; defaults to
         #: the label so standalone maintainers still carry identity.
         self.fingerprint = fingerprint or label
@@ -153,6 +158,13 @@ class IncrementalMaintainer:
         #: Refreshes that had to rebuild state evicted by the budget
         #: (the recompute-on-miss counter).
         self.state_rebuilds = 0
+        #: Full refreshes *chosen by the cost model* (projected delta cost
+        #: exceeded the observed full cost) — deliberate decisions, not
+        #: :attr:`delta_fallbacks`.
+        self.cost_full_refreshes = 0
+        #: The reason string of the last delta-vs-full decision, for
+        #: ``explain_analyze()``; ``None`` until a decision is made.
+        self.last_refresh_decision: Optional[str] = None
         self._incremental = incremental
         self._evaluator: Optional[DeltaEvaluator] = None
         self._unsupported = False
@@ -252,9 +264,11 @@ class IncrementalMaintainer:
                 "full_refreshes": self.full_refreshes,
                 "delta_refreshes": self.delta_refreshes,
                 "delta_fallbacks": self.delta_fallbacks,
+                "cost_full_refreshes": self.cost_full_refreshes,
                 "state_evictions": self.state_evictions,
                 "state_rebuilds": self.state_rebuilds,
                 "state_bytes": self.state_bytes(),
+                "refresh_decision": self.last_refresh_decision,
             }
             if self._unsupported:
                 cold_reason = "plan has no delta rules (latched unsupported)"
@@ -346,6 +360,7 @@ class IncrementalMaintainer:
                 self.database,
                 snapshot_stats=self._snapshot_stats,
                 tracer=self.tracer,
+                cost_model=self.cost_model,
             )
         return self._evaluator
 
@@ -504,6 +519,28 @@ class IncrementalMaintainer:
                     self.delta_fallbacks += 1
             return self.evaluate()
         pending = self.take_pending()
+        decision = evaluator.cost_model.choose_refresh(
+            pending_rows=sum(len(delta) for delta in pending.values()),
+            apply_seconds=evaluator.apply_seconds_total,
+            apply_rows=evaluator.apply_source_rows_total,
+            full_seconds=evaluator.last_full_seconds,
+        )
+        with self.lock:
+            self.last_refresh_decision = decision.reason
+        if decision.full:
+            # A deliberate cost-based choice, not a delta-rule failure:
+            # the projected O(|Δ|) propagation is measured to cost more
+            # than re-evaluating.  evaluate() subsumes the drained rows
+            # by re-reading the tables under the write lock.
+            logger.info(
+                "%s (plan %s): cost model chose full refresh (%s)",
+                self.label,
+                self.fingerprint[:12],
+                decision.reason,
+            )
+            with self.lock:
+                self.cost_full_refreshes += 1
+            return self.evaluate()
         try:
             delta = evaluator.apply(pending)
         except NonIncrementalDelta as exc:

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.core.interval import OngoingInterval
 from repro.engine import plan as logical
+from repro.engine.cost import CostModel, DEFAULT_COST_MODEL
 from repro.engine.executor import (
     AggregateOp,
     DifferenceOp,
     FixedFilter,
     HashJoin,
+    IntervalScan,
     MergeIntervalJoin,
     NestedLoopJoin,
     OngoingFilter,
@@ -46,6 +49,7 @@ from repro.relational.predicates import (
     Column,
     Comparison,
     Expression,
+    Literal,
     Predicate,
     TruePredicate,
 )
@@ -64,10 +68,22 @@ class Planner:
         algorithm selection are applied.  When ``False`` every predicate is
         evaluated on the generic ongoing path and all joins are nested
         loops — the unoptimized reference strategy.
+    cost_model:
+        The observed-stats :class:`~repro.engine.cost.CostModel` that
+        gates index access: a temporal selection directly over a scan is
+        planned as an :class:`~repro.engine.executor.IntervalScan` only
+        when the table is big enough (``use_index``).  A model with
+        ``index_threshold=None`` disables index access paths entirely.
     """
 
-    def __init__(self, *, optimize: bool = True):
+    def __init__(
+        self,
+        *,
+        optimize: bool = True,
+        cost_model: Optional[CostModel] = None,
+    ):
         self.optimize = optimize
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
 
     # ------------------------------------------------------------------
     # Entry point
@@ -117,12 +133,51 @@ class Planner:
     ) -> PhysicalOperator:
         child = self.plan(node.child, database)
         fixed_parts, ongoing_parts = self._split_conjuncts(node.predicate, child.schema)
+        if (
+            self.optimize
+            and ongoing_parts
+            and isinstance(node.child, logical.Scan)
+            and type(child) is SeqScan
+        ):
+            indexed = self._plan_interval_scan(node.child, child, ongoing_parts, database)
+            if indexed is not None:
+                child = indexed
         result: PhysicalOperator = child
         if fixed_parts:
             result = FixedFilter(result, fixed_parts)
         if ongoing_parts:
             result = OngoingFilter(result, ongoing_parts)
         return result
+
+    def _plan_interval_scan(
+        self,
+        scan: logical.Scan,
+        child: SeqScan,
+        ongoing_parts: Sequence[Predicate],
+        database,
+    ) -> Optional[IntervalScan]:
+        """Swap a scan under a temporal selection for an index probe.
+
+        Eligible when the cost model judges the table big enough and some
+        ongoing conjunct compares an interval column of the scan against a
+        constant interval with an overlap-family Allen relation — then
+        envelope overlap with the constant's envelope is a necessary
+        condition for the conjunct, so reading only the index candidates
+        is lossless (the conjunct itself still runs in the enclosing
+        :class:`OngoingFilter`).
+        """
+        if not self.cost_model.use_index(len(child.relation)):
+            return None
+        for conjunct in ongoing_parts:
+            probe = _as_index_probe(conjunct, child.schema)
+            if probe is None:
+                continue
+            attribute, window = probe
+            index = database.table(scan.table).interval_index(attribute)
+            if index is None:
+                continue
+            return IntervalScan(child.relation, index, window, label=scan.table)
+        return None
 
     # ------------------------------------------------------------------
     # Projection
@@ -340,8 +395,97 @@ def _as_overlap_pair(
     return (left_schema.index_of(left_col.name), right_schema.index_of(right_col.name))
 
 
+#: Allen relations whose Table II definition demands both operands be
+#: non-empty in every satisfying instantiation — then the two intervals
+#: share at least one time point, their envelopes must overlap, and
+#: envelope retrieval is a lossless candidate filter.
+#: ``before``/``after``/``meets``/``met_by`` are excluded because their
+#: satisfying intervals are disjoint (envelope overlap proves nothing).
+_SHARED_POINT_ALWAYS = frozenset(
+    {"overlaps", "starts", "started_by", "finishes", "finished_by"}
+)
+
+#: Relations whose Table II definition has an empty-operand escape
+#: hatch: an empty interval counts as ``during`` any non-empty one, and
+#: two empty intervals are ``interval_equals``.  Indexable only in the
+#: orientation where the possibly-empty operand is the probe constant
+#: and the constant provably never instantiates empty — the escape
+#: disjunct is then statically false and the shared-point argument
+#: applies again.
+_EMPTY_ESCAPE = frozenset({"during", "contains", "interval_equals"})
+
+
+def _never_empty(value: OngoingInterval) -> bool:
+    """Conservatively: a fixed, non-degenerate interval (every
+    instantiation at every reference time is the same non-empty range)."""
+    return (
+        value.start.a == value.start.b
+        and value.end.a == value.end.b
+        and value.start.a < value.end.a
+    )
+
+
+def _as_index_probe(
+    conjunct: Predicate, schema: Schema
+) -> Optional[Tuple[str, Tuple[int, int]]]:
+    """Recognize ``column <allen> constant-interval`` (either orientation)
+    over an ongoing attribute of *schema*; return the attribute name and
+    the constant's envelope ``[a, d)`` as the probe window."""
+    if not isinstance(conjunct, AllenPredicate):
+        return None
+    if (
+        conjunct.name not in _SHARED_POINT_ALWAYS
+        and conjunct.name not in _EMPTY_ESCAPE
+    ):
+        return None
+    for column_on, (column, literal) in (
+        ("left", (conjunct.left, conjunct.right)),
+        ("right", (conjunct.right, conjunct.left)),
+    ):
+        if not isinstance(column, Column) or not isinstance(literal, Literal):
+            continue
+        value = literal.value
+        if not isinstance(value, OngoingInterval):
+            continue
+        try:
+            attribute = schema.attribute(column.name)
+        except (QueryError, SchemaError):
+            return None
+        if not attribute.kind.is_ongoing:
+            continue
+        if conjunct.name in _EMPTY_ESCAPE:
+            if not _never_empty(value):
+                continue
+            # during(i, j) escapes when i is empty; contains(i, j) ==
+            # during(j, i) escapes when j is empty.  The column must not
+            # sit in the escape slot.
+            if conjunct.name == "during" and column_on == "left":
+                continue
+            if conjunct.name == "contains" and column_on == "right":
+                continue
+        return column.name, (value.start.a, value.end.b)
+    return None
+
+
 def plan_query(
-    node: logical.PlanNode, database, *, optimize: bool = True
+    node: logical.PlanNode,
+    database,
+    *,
+    optimize: bool = True,
+    rewrite: Optional[bool] = None,
+    cost_model: Optional[CostModel] = None,
 ) -> PhysicalOperator:
-    """One-shot helper: plan *node* with a fresh :class:`Planner`."""
-    return Planner(optimize=optimize).plan(node, database)
+    """One-shot helper: plan *node* with a fresh :class:`Planner`.
+
+    When *optimize* is set the Section VIII algebraic rewrites
+    (selection split + push-down) run first, so selective predicates
+    sink toward the scans before physical planning.  *rewrite* overrides
+    that coupling for ablation studies: ``rewrite=False`` keeps the full
+    physical planning (merge joins, index access paths) but skips the
+    algebraic push-down, isolating the rewrite's own contribution.
+    """
+    if optimize if rewrite is None else rewrite:
+        from repro.engine.rewrite import push_down_selections
+
+        node = push_down_selections(node, database)
+    return Planner(optimize=optimize, cost_model=cost_model).plan(node, database)

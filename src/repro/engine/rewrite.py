@@ -12,7 +12,15 @@ transformations:
   conjuncts (so each can move independently);
 * **selection push-down** — a selection conjunct sinks below a join into
   the input whose attributes it references, below unions into both
-  branches, and through projections when the projected columns cover it.
+  branches, into the left input of a difference, through projections when
+  the projected columns cover it, and through a grouped aggregation when
+  the conjunct has constant truth per group (it references only grouping
+  columns and compares fixed values).
+
+Since PR 7 the rewrites run by default on every planning boundary
+(:func:`repro.engine.planner.plan_query`, ``Database.query``, live
+subscriptions, and materialized views); pass the owning database so scans
+stop being opaque and conjuncts can sink below joins of base tables.
 
 Correctness follows from Theorem 2 plus the fixed-algebra equivalences and
 is verified by the test suite (rewritten plans must produce identical
@@ -33,7 +41,18 @@ from repro.engine.plan import (
     Select,
     Union,
 )
-from repro.relational.predicates import And, Column, Predicate, TruePredicate
+from repro.relational.predicates import (
+    And,
+    Column,
+    Comparison,
+    Expression,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    _is_ongoing_value,
+)
 
 __all__ = ["push_down_selections", "split_selections"]
 
@@ -55,16 +74,22 @@ def split_selections(plan: PlanNode) -> PlanNode:
     return plan
 
 
-def push_down_selections(plan: PlanNode) -> PlanNode:
+def push_down_selections(plan: PlanNode, database=None) -> PlanNode:
     """Sink selection conjuncts as close to the scans as possible.
 
     Conjuncts referencing only one join input move into that input;
     conjuncts over a union apply to both branches; conjuncts over a
-    projection sink through when the projection only renames/keeps the
-    referenced columns.  Whatever cannot sink stays where it is.
+    difference restrict its left input; conjuncts over a projection sink
+    through when the projection only renames/keeps the referenced columns;
+    conjuncts over a grouped aggregation sink below γ when their truth is
+    constant per group.  Whatever cannot sink stays where it is.
+
+    Pass *database* so the rewriter can resolve scan schemas from the
+    catalog — without it scans stay opaque and conjuncts over joins of
+    base tables merge into the join predicate instead of sinking.
     """
     plan = split_selections(plan)
-    return _push(plan)
+    return _push(plan, database)
 
 
 def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
@@ -87,8 +112,9 @@ def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
     if isinstance(plan, Difference):
         return Difference(rewrite(plan.left), rewrite(plan.right))
     if isinstance(plan, Aggregate):
-        # Rewrites apply below the aggregation; selections never sink
-        # through γ (they reference its output columns, not the child's).
+        # Rewrites apply below the aggregation; a selection above γ sinks
+        # through only via the dedicated `_push` case (constant truth per
+        # group), never via plain child rewriting.
         return Aggregate(
             rewrite(plan.child),
             plan.group_columns,
@@ -102,12 +128,20 @@ def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
 def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
     """The output column names of a plan, when statically known.
 
-    Returns ``None`` for scans (their schema lives in the catalog, which a
-    pure rewrite does not consult) — callers treat unknown as "may expose
-    anything", blocking the unsafe direction only where needed.
+    Returns ``None`` for scans unless *database* is given (the schema
+    lives in the catalog, which a pure rewrite does not consult) —
+    callers treat unknown as "may expose anything", blocking the unsafe
+    direction only where needed.
     """
+    if isinstance(plan, Scan):
+        if database is None:
+            return None
+        try:
+            return set(database.table(plan.table).schema.names)
+        except Exception:
+            return None
     if isinstance(plan, Select):
-        return _exposed_columns(plan.child)
+        return _exposed_columns(plan.child, database)
     if isinstance(plan, Project):
         names: Set[str] = set()
         for item in plan.items:
@@ -117,8 +151,8 @@ def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
                 names.add(item[0])
         return names
     if isinstance(plan, Join):
-        left = _exposed_columns(plan.left)
-        right = _exposed_columns(plan.right)
+        left = _exposed_columns(plan.left, database)
+        right = _exposed_columns(plan.right, database)
         if left is None or right is None:
             return None
         qualified_left = {
@@ -131,17 +165,19 @@ def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
         }
         return qualified_left | qualified_right
     if isinstance(plan, (Union, Difference)):
-        return _exposed_columns(plan.left)
+        return _exposed_columns(plan.left, database)
     if isinstance(plan, Aggregate):
         # output_name is normalized non-empty at construction.
         return set(plan.group_columns) | {plan.output_name}
     return None
 
 
-def _qualify_side(plan: PlanNode, prefix: Optional[str]) -> Set[str]:
+def _qualify_side(
+    plan: PlanNode, prefix: Optional[str], database=None
+) -> Set[str]:
     """Best-effort set of column names a join side exposes *after*
     qualification; empty set when unknown."""
-    names = _exposed_columns(plan)
+    names = _exposed_columns(plan, database)
     if names is None:
         return set()
     if prefix:
@@ -159,12 +195,7 @@ def _rewrite_columns(predicate: Predicate, prefix: str) -> Predicate:
     """Structurally copy *predicate* with the qualifier stripped."""
     from repro.relational.predicates import (
         AllenPredicate,
-        Comparison,
-        Expression,
         IntervalIntersection,
-        Literal,
-        Not,
-        Or,
     )
 
     def rewrite_expression(expression: Expression) -> Expression:
@@ -198,8 +229,52 @@ def _rewrite_columns(predicate: Predicate, prefix: str) -> Predicate:
     return predicate
 
 
-def _push(plan: PlanNode) -> PlanNode:
-    plan = _rewrite_children(plan, _push)
+def _constant_truth_per_group(
+    predicate: Predicate, aggregate: Aggregate
+) -> bool:
+    """``σθ(γ_G(C)) ≡ γ_G(σθ(C))`` holds exactly when θ's truth value is
+    the same for every member of a group: θ must reference only grouping
+    columns (which are fixed attributes, identical across the group) and
+    must compare fixed values — an ongoing comparison or Allen predicate
+    over them could still vary with the reference time relative to the
+    aggregate's output, so those stay above γ.  Scalar aggregations
+    (no grouping columns) never accept a push: the selection must see the
+    empty-group row the aggregate emits."""
+    group_columns = set(aggregate.group_columns)
+    if not group_columns:
+        return False
+    references = predicate.references()
+    if not references or not references <= group_columns:
+        return False
+    return _fixed_truth(predicate)
+
+
+def _fixed_truth(predicate: Predicate) -> bool:
+    """Structurally: boolean combinations of comparisons over columns and
+    non-ongoing literals only (no Allen predicates, no interval
+    intersections, no ongoing literal values)."""
+    if isinstance(predicate, (And, Or)):
+        return all(_fixed_truth(part) for part in predicate.parts)
+    if isinstance(predicate, Not):
+        return _fixed_truth(predicate.part)
+    if isinstance(predicate, Comparison):
+        return _fixed_operand(predicate.left) and _fixed_operand(
+            predicate.right
+        )
+    return False
+
+
+def _fixed_operand(expression: Expression) -> bool:
+    if isinstance(expression, Column):
+        # The caller verified the name is a grouping column, hence fixed.
+        return True
+    if isinstance(expression, Literal):
+        return not _is_ongoing_value(expression.value)
+    return False
+
+
+def _push(plan: PlanNode, database=None) -> PlanNode:
+    plan = _rewrite_children(plan, lambda node: _push(node, database))
     if not isinstance(plan, Select):
         return plan
     child = plan.child
@@ -207,17 +282,30 @@ def _push(plan: PlanNode) -> PlanNode:
 
     if isinstance(child, Union):
         return Union(
-            _push(Select(child.left, predicate)),
-            _push(Select(child.right, predicate)),
+            _push(Select(child.left, predicate), database),
+            _push(Select(child.right, predicate), database),
         )
     if isinstance(child, Difference):
         # σθ(L − R) ≡ σθ(L) − R  (tuples come from L; difference only
-        # removes reference times).
-        return Difference(_push(Select(child.left, predicate)), child.right)
+        # removes reference times).  The right side must NOT be
+        # restricted: a right tuple failing θ still subtracts time.
+        return Difference(
+            _push(Select(child.left, predicate), database), child.right
+        )
+    if isinstance(child, Aggregate):
+        if _constant_truth_per_group(predicate, child):
+            return Aggregate(
+                _push(Select(child.child, predicate), database),
+                child.group_columns,
+                child.aggregate,
+                child.argument,
+                output_name=child.output_name,
+            )
+        return plan
     if isinstance(child, Join):
         references = predicate.references()
-        left_columns = _qualify_side(child.left, child.left_name)
-        right_columns = _qualify_side(child.right, child.right_name)
+        left_columns = _qualify_side(child.left, child.left_name, database)
+        right_columns = _qualify_side(child.right, child.right_name, database)
         if left_columns and references <= left_columns:
             sunk = (
                 _rewrite_columns(predicate, child.left_name)
@@ -225,7 +313,7 @@ def _push(plan: PlanNode) -> PlanNode:
                 else predicate
             )
             return Join(
-                _push(Select(child.left, sunk)),
+                _push(Select(child.left, sunk), database),
                 child.right,
                 child.predicate,
                 left_name=child.left_name,
@@ -239,7 +327,7 @@ def _push(plan: PlanNode) -> PlanNode:
             )
             return Join(
                 child.left,
-                _push(Select(child.right, sunk)),
+                _push(Select(child.right, sunk), database),
                 child.predicate,
                 left_name=child.left_name,
                 right_name=child.right_name,

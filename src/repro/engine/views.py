@@ -57,11 +57,17 @@ class MaterializedOngoingView:
     """
 
     def __init__(self, name: str, plan: PlanNode, database: Database):
+        from repro.engine.rewrite import push_down_selections
+
         self.name = name
         self.plan = plan
         self.database = database
+        # Maintain the rewritten plan: pushed-down selections shrink the
+        # cached operator state the maintainer carries between refreshes.
         self._maintainer = IncrementalMaintainer(
-            plan, database, label=f"view {name!r}"
+            push_down_selections(plan, database),
+            database,
+            label=f"view {name!r}",
         )
         self._dirty = True
         # The registered listener holds only a weak reference to the view:

@@ -107,6 +107,12 @@ class SharedResult:
         return 0 if maintainer is None else maintainer.delta_fallbacks
 
     @property
+    def cost_full_refreshes(self) -> int:
+        """Full refreshes deliberately chosen by the cost model."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.cost_full_refreshes
+
+    @property
     def snapshots_taken(self) -> int:
         """Snapshot copies materialized (at most one per read version)."""
         maintainer = self._maintainer

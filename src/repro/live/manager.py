@@ -67,6 +67,7 @@ from repro.core.timeline import TimePoint
 from repro.engine.database import Database
 from repro.engine.delta import Delta
 from repro.engine.plan import PlanNode
+from repro.engine.rewrite import push_down_selections
 from repro.errors import QueryError
 from repro.obs.registry import Registry, Sample
 from repro.obs.trace import TraceRecorder
@@ -214,14 +215,14 @@ class SubscriptionManager:
         self._dirty_events: Dict[str, int] = {}
         self._events_since_flush = 0
         self._stats = {
-            "events": 0,
-            "flushes": 0,
-            "evaluations": 0,
-            "delta_refreshes": 0,
-            "full_refreshes": 0,
-            "suppressed_notifications": 0,
-            "notifications": 0,
-            "refresh_errors": 0,
+            "repro_live_events_total": 0,
+            "repro_live_flushes_total": 0,
+            "repro_live_evaluations_total": 0,
+            "repro_live_delta_refreshes_total": 0,
+            "repro_live_full_refreshes_total": 0,
+            "repro_live_suppressed_notifications_total": 0,
+            "repro_live_notifications_total": 0,
+            "repro_live_refresh_errors_total": 0,
         }
         #: Store/budget counters of shared results whose last subscriber
         #: left — folded into stats() so the totals stay monotonic.
@@ -230,6 +231,7 @@ class SubscriptionManager:
             "snapshots_reused": 0,
             "state_evictions": 0,
             "state_rebuilds": 0,
+            "cost_full_refreshes": 0,
         }
         self._unsubscribe_bus: Dict[int, Callable[[], None]] = {}
         self._listener = database.add_delta_listener(self._on_table_delta)
@@ -286,6 +288,11 @@ class SubscriptionManager:
         ``block`` while dashboards ``coalesce``).
         """
         self._require_open()
+        # Rewrite before fingerprinting: pushed-down selections shrink the
+        # cached operator state, and the fingerprint of the *rewritten*
+        # plan is the canonical sharing key — two subscribers whose plans
+        # normalize to the same shape share one materialization.
+        plan = push_down_selections(plan, self.database)
         # The database lock spans dependency registration and the first
         # evaluation: no modification can slip between them, so the
         # freshly built operator state is exactly as-of the registration.
@@ -312,7 +319,7 @@ class SubscriptionManager:
                         self._dependencies.remove(shared.fingerprint)
                     raise
                 with self._lock:
-                    self._stats["evaluations"] += 1
+                    self._stats["repro_live_evaluations_total"] += 1
             subscription = Subscription(
                 self,
                 shared,
@@ -394,6 +401,7 @@ class SubscriptionManager:
                 retired["snapshots_reused"] += shared.snapshots_reused
                 retired["state_evictions"] += shared.state_evictions
                 retired["state_rebuilds"] += shared.state_rebuilds
+                retired["cost_full_refreshes"] += shared.cost_full_refreshes
                 self._cache.remove(shared.fingerprint)
                 self._dependencies.remove(shared.fingerprint)
                 self._dirty.pop(shared.fingerprint, None)
@@ -464,7 +472,7 @@ class SubscriptionManager:
     def _intake(self, table: str, version: int, delta: Delta) -> None:
         event = ChangeEvent(table, version, delta)
         with self._lock:
-            self._stats["events"] += 1
+            self._stats["repro_live_events_total"] += 1
         self.bus.publish("change", event)
         affected = self._dependencies.affected(table)
         if not affected:
@@ -600,7 +608,7 @@ class SubscriptionManager:
                     else:
                         refreshed += self._run_round(dirty, dirty_events)
                     with self._lock:
-                        self._stats["flushes"] += 1
+                        self._stats["repro_live_flushes_total"] += 1
                 with self._lock:
                     # Decide and release atomically: a concurrent flush()
                     # either set the re-entrant flag before this check (we
@@ -707,7 +715,7 @@ class SubscriptionManager:
             )
         except Exception as exc:  # noqa: BLE001 — isolate per plan
             with self._lock:
-                self._stats["refresh_errors"] += 1
+                self._stats["repro_live_refresh_errors_total"] += 1
             self.bus.publish("error", (fingerprint, exc))
             return False
         result_delta = outcome.delta
@@ -723,23 +731,23 @@ class SubscriptionManager:
                 if shared.change_count() == epoch:
                     self._dirty.pop(fingerprint, None)
                     self._dirty_events.pop(fingerprint, None)
-                self._stats["full_refreshes"] += 1
-                self._stats["evaluations"] += 1
+                self._stats["repro_live_full_refreshes_total"] += 1
+                self._stats["repro_live_evaluations_total"] += 1
         else:
             with self._lock:
-                self._stats["delta_refreshes"] += 1
-                self._stats["evaluations"] += 1
+                self._stats["repro_live_delta_refreshes_total"] += 1
+                self._stats["repro_live_evaluations_total"] += 1
         for subscription in list(shared.subscribers):
             if not changed and not subscription.notify_on_no_change:
                 subscription._mark_unchanged(coalesced)
                 with self._lock:
-                    self._stats["suppressed_notifications"] += 1
+                    self._stats["repro_live_suppressed_notifications_total"] += 1
                 continue
             delivered = subscription._notify(
                 changed_tables, coalesced, delta=result_delta
             )
             with self._lock:
-                self._stats["notifications"] += delivered
+                self._stats["repro_live_notifications_total"] += delivered
         return True
 
     # ------------------------------------------------------------------
@@ -912,59 +920,55 @@ class SubscriptionManager:
                 if entry is not None
             ]
 
-    #: stats() key → canonical metric ``(name, kind, help)``.  The
-    #: collector publishes every pre-existing session/store/serve counter
-    #: under the ``repro_<layer>_<what>_total`` scheme; the :meth:`stats`
-    #: dict keys stay available as deprecated aliases for one release.
+    #: Canonical metric ``(name, kind, help)`` — the :meth:`stats` dict
+    #: keys ARE these names (the flat pre-1.7 aliases are gone), so the
+    #: collector publishes each sample straight from the stats snapshot.
     _CANONICAL_SAMPLES = (
-        ("events", "repro_live_events_total", "counter",
+        ("repro_live_events_total", "counter",
          "Change events observed by the session"),
-        ("flushes", "repro_live_flushes_total", "counter",
+        ("repro_live_flushes_total", "counter",
          "Flush rounds performed"),
-        ("evaluations", "repro_live_evaluations_total", "counter",
+        ("repro_live_evaluations_total", "counter",
          "Plan refreshes, incremental and full"),
-        ("delta_refreshes", "repro_live_delta_refreshes_total", "counter",
+        ("repro_live_delta_refreshes_total", "counter",
          "Refreshes served by incremental delta propagation"),
-        ("full_refreshes", "repro_live_full_refreshes_total", "counter",
+        ("repro_live_full_refreshes_total", "counter",
          "Refreshes that re-evaluated the plan in full"),
-        ("notifications", "repro_live_notifications_total", "counter",
+        ("repro_live_cost_full_refreshes_total", "counter",
+         "Full refreshes deliberately chosen by the cost model"),
+        ("repro_live_notifications_total", "counter",
          "Refresh notifications handed to the bus"),
-        ("suppressed_notifications",
-         "repro_live_suppressed_notifications_total", "counter",
+        ("repro_live_suppressed_notifications_total", "counter",
          "No-change refreshes suppressed before delivery"),
-        ("refresh_errors", "repro_live_refresh_errors_total", "counter",
+        ("repro_live_refresh_errors_total", "counter",
          "Refreshes that raised and were isolated"),
-        ("cache_hits", "repro_live_cache_hits_total", "counter",
+        ("repro_live_cache_hits_total", "counter",
          "Subscriptions attached to an existing shared result"),
-        ("cache_misses", "repro_live_cache_misses_total", "counter",
+        ("repro_live_cache_misses_total", "counter",
          "Subscriptions that materialized a new shared result"),
-        ("subscriptions", "repro_live_subscriptions", "gauge",
+        ("repro_live_subscriptions", "gauge",
          "Currently attached subscriptions"),
-        ("shared_results", "repro_live_shared_results", "gauge",
+        ("repro_live_shared_results", "gauge",
          "Distinct plans currently materialized"),
-        ("pending", "repro_live_dirty_plans", "gauge",
+        ("repro_live_dirty_plans", "gauge",
          "Shared results currently marked dirty"),
-        ("snapshots_taken", "repro_store_snapshots_taken_total", "counter",
+        ("repro_store_snapshots_taken_total", "counter",
          "Result-store snapshot copies materialized"),
-        ("snapshots_reused", "repro_store_snapshots_reused_total", "counter",
+        ("repro_store_snapshots_reused_total", "counter",
          "Reads served from an already-materialized snapshot"),
-        ("state_evictions", "repro_store_state_evictions_total", "counter",
+        ("repro_store_state_evictions_total", "counter",
          "Operator states evicted by the memory budget"),
-        ("state_rebuilds", "repro_store_state_rebuilds_total", "counter",
+        ("repro_store_state_rebuilds_total", "counter",
          "Refreshes that rebuilt budget-evicted operator state"),
-        ("queued_notifications",
-         "repro_serve_queued_notifications_total", "counter",
+        ("repro_serve_queued_notifications_total", "counter",
          "Notifications enqueued to delivery mailboxes"),
-        ("delivered_notifications",
-         "repro_serve_delivered_notifications_total", "counter",
+        ("repro_serve_delivered_notifications_total", "counter",
          "Notifications delivered to subscriber callbacks"),
-        ("dropped_notifications",
-         "repro_serve_dropped_notifications_total", "counter",
+        ("repro_serve_dropped_notifications_total", "counter",
          "Notifications dropped by the drop_oldest policy"),
-        ("coalesced_notifications",
-         "repro_serve_coalesced_notifications_total", "counter",
+        ("repro_serve_coalesced_notifications_total", "counter",
          "Notifications merged by the coalesce policy"),
-        ("delivery_backlog", "repro_serve_delivery_backlog", "gauge",
+        ("repro_serve_delivery_backlog", "gauge",
          "Undelivered notifications across all mailboxes"),
     )
 
@@ -974,8 +978,8 @@ class SubscriptionManager:
         plan counters (labeled by fingerprint, operator, tree path)."""
         stats = self.stats()
         samples: List[Sample] = [
-            Sample(name, {}, float(stats[key]), kind, help_text)
-            for key, name, kind, help_text in self._CANONICAL_SAMPLES
+            Sample(name, {}, float(stats[name]), kind, help_text)
+            for name, kind, help_text in self._CANONICAL_SAMPLES
         ]
         for table, fanout in sorted(stats["table_fanout"].items()):
             samples.append(
@@ -1033,25 +1037,22 @@ class SubscriptionManager:
     def stats(self) -> Dict[str, object]:
         """A snapshot of the session's counters (all modification-driven).
 
+        The metric keys are the **canonical names** the session also
+        publishes through :attr:`metrics`
+        (``repro_<layer>_<what>[_total]`` — e.g.
+        ``repro_live_events_total``, ``repro_serve_delivery_backlog``);
+        the flat pre-1.7 aliases (``events``, ``queued_notifications``,
+        …) were removed in 1.7.  Non-metric context keys keep their plain
+        names: ``table_fanout``, ``shard_flushes``, ``serving``,
+        ``delivery_workers``, ``flush_shards``.
+
         Beyond the PR-2 counters, the serving layer adds: queued /
         dropped / coalesced notification counts and the delivery backlog
-        (zeros on the synchronous bus), per-shard flush counts
-        (``shard_flushes``, empty without ``flush_shards``), and the
-        ``serving`` flag of the background loop.  The result-store layer
-        adds ``snapshots_taken`` / ``snapshots_reused`` (copies
-        materialized vs. reads served from an existing copy) and
-        ``state_evictions`` / ``state_rebuilds`` (the memory budget's
-        evict and recompute-on-miss counters), summed over all shared
-        results.
-
-        .. deprecated:: 1.6
-            These dict keys are aliases of the canonical metric names the
-            session publishes through :attr:`metrics`
-            (``repro_<layer>_<what>_total`` — e.g. ``events`` is
-            ``repro_live_events_total``, ``queued_notifications`` is
-            ``repro_serve_queued_notifications_total``).  Scrape the
-            registry (``session.metrics.render_prometheus()``) for the
-            stable surface; the dict keys stay for one release.
+        (zeros on the synchronous bus) plus per-shard flush counts; the
+        result-store layer adds snapshot copy/reuse and state
+        evict/rebuild counters summed over all shared results; the cost
+        model adds its deliberate full-refresh count
+        (``repro_live_cost_full_refreshes_total``).
         """
         with self._lock:
             retired = self._retired_store_stats
@@ -1059,6 +1060,7 @@ class SubscriptionManager:
             snapshots_reused = retired["snapshots_reused"]
             state_evictions = retired["state_evictions"]
             state_rebuilds = retired["state_rebuilds"]
+            cost_full_refreshes = retired["cost_full_refreshes"]
             for fingerprint in self._cache.fingerprints():
                 entry = self._cache.get(fingerprint)
                 if entry is None:
@@ -1067,35 +1069,42 @@ class SubscriptionManager:
                 snapshots_reused += entry.snapshots_reused
                 state_evictions += entry.state_evictions
                 state_rebuilds += entry.state_rebuilds
+                cost_full_refreshes += entry.cost_full_refreshes
             data: Dict[str, object] = {
                 **self._stats,
-                "subscriptions": len(self._subscriptions),
-                "shared_results": len(self._cache),
-                "cache_hits": self._cache.hits,
-                "cache_misses": self._cache.misses,
-                "pending": len(self._dirty),
+                "repro_live_subscriptions": len(self._subscriptions),
+                "repro_live_shared_results": len(self._cache),
+                "repro_live_cache_hits_total": self._cache.hits,
+                "repro_live_cache_misses_total": self._cache.misses,
+                "repro_live_dirty_plans": len(self._dirty),
+                "repro_live_cost_full_refreshes_total": cost_full_refreshes,
                 "table_fanout": self._dependencies.table_fanout(),
-                "snapshots_taken": snapshots_taken,
-                "snapshots_reused": snapshots_reused,
-                "state_evictions": state_evictions,
-                "state_rebuilds": state_rebuilds,
+                "repro_store_snapshots_taken_total": snapshots_taken,
+                "repro_store_snapshots_reused_total": snapshots_reused,
+                "repro_store_state_evictions_total": state_evictions,
+                "repro_store_state_rebuilds_total": state_rebuilds,
             }
         data["delivery_workers"] = self.delivery_workers
         data["flush_shards"] = self.flush_shards
         data["serving"] = self.serving
         if self._async_bus:
             bus_stats = self.bus.stats()
-            data["queued_notifications"] = bus_stats["queued"]
-            data["delivered_notifications"] = bus_stats["delivered"]
-            data["dropped_notifications"] = bus_stats["dropped"]
-            data["coalesced_notifications"] = bus_stats["coalesced"]
-            data["delivery_backlog"] = bus_stats["backlog"]
+            data["repro_serve_queued_notifications_total"] = bus_stats["queued"]
+            data["repro_serve_delivered_notifications_total"] = bus_stats[
+                "delivered"
+            ]
+            data["repro_serve_dropped_notifications_total"] = bus_stats["dropped"]
+            data["repro_serve_coalesced_notifications_total"] = bus_stats[
+                "coalesced"
+            ]
+            data["repro_serve_delivery_backlog"] = bus_stats["backlog"]
         else:
-            data["queued_notifications"] = data["notifications"]
-            data["delivered_notifications"] = data["notifications"]
-            data["dropped_notifications"] = 0
-            data["coalesced_notifications"] = 0
-            data["delivery_backlog"] = 0
+            notifications = data["repro_live_notifications_total"]
+            data["repro_serve_queued_notifications_total"] = notifications
+            data["repro_serve_delivered_notifications_total"] = notifications
+            data["repro_serve_dropped_notifications_total"] = 0
+            data["repro_serve_coalesced_notifications_total"] = 0
+            data["repro_serve_delivery_backlog"] = 0
         data["shard_flushes"] = (
             self._scheduler.flush_counts() if self._scheduler is not None else ()
         )

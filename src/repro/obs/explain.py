@@ -13,7 +13,15 @@ operator, keyed by its stable tree path — and prints the plan the way
 * ``applies`` / ``time`` — cumulative ``apply_delta`` invocations and
   wall time since the state was built;
 * ``Δin`` / ``Δout`` — cumulative delta rows consumed and emitted;
-* ``fallbacks`` — ``NonIncrementalDelta`` raises charged to this node.
+* ``fallbacks`` — ``NonIncrementalDelta`` raises charged to this node;
+* ``idx`` — entries held by the node's secondary-index registry (priced
+  into ``bytes``);
+* ``access`` — the access path each probe side last took
+  (``index:interval(n)`` / ``index:partition(n)`` / ``scan(n)``), the
+  cost model's observed index-vs-scan decision.
+
+The header additionally carries the plan's last delta-vs-full flush
+decision (``decision=…``) with the observed numbers that made it.
 
 This is the reproduction-side answer to the cost breakdown of the
 paper's extended version (arXiv:2001.05722, per-operator scan/compute
@@ -64,6 +72,14 @@ def _node_line(entry: Dict[str, Any]) -> str:
         + f"  Δout={entry['delta_rows_out']}"
         + f"  fallbacks={entry['fallbacks']}"
     )
+    if entry.get("index_entries"):
+        annotation += f"  idx={entry['index_entries']}"
+    access_paths = entry.get("access_paths")
+    if access_paths:
+        rendered = ",".join(
+            f"{side}={path}" for side, path in sorted(access_paths.items())
+        )
+        annotation += f"  access={rendered}"
     return "  " * entry["depth"] + f"{entry['describe']}  [{annotation}]"
 
 
@@ -95,6 +111,7 @@ def render_explain_analyze(
             "full_refreshes",
             "delta_refreshes",
             "delta_fallbacks",
+            "cost_full_refreshes",
             "state_evictions",
             "state_rebuilds",
         ):
@@ -104,6 +121,8 @@ def render_explain_analyze(
             parts.append(f"state={format_bytes(totals['state_bytes'])}")
         if parts:
             lines.append("  " + "  ".join(parts))
+        if totals.get("refresh_decision"):
+            lines.append(f"  decision={totals['refresh_decision']}")
     if not report:
         lines.append(
             "  (no warm operator state"

@@ -235,15 +235,6 @@ class ResultStore:
         if stats is None:
             stats = {"snapshots_taken": 0, "snapshots_reused": 0}
         else:
-            # Canonical key scheme (repro_store_snapshots_*): accept and
-            # upgrade the pre-1.6 short keys in place — deprecated
-            # aliases for one release, then the migration goes away.
-            for old, new in (
-                ("taken", "snapshots_taken"),
-                ("reused", "snapshots_reused"),
-            ):
-                if old in stats and new not in stats:
-                    stats[new] = stats.pop(old)
             stats.setdefault("snapshots_taken", 0)
             stats.setdefault("snapshots_reused", 0)
         self._stats = stats

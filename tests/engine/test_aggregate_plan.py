@@ -228,7 +228,7 @@ class TestLiveFallback:
         db.table("E").replace_all(db.table("E").rows())  # full-flagged delta
         session.flush()
         stats = session.stats()
-        assert stats["full_refreshes"] == 1
+        assert stats["repro_live_full_refreshes_total"] == 1
         assert frozenset(sub.result.tuples) == frozenset(
             db.query(scan("E").group_by(("G",), "count")).tuples
         )

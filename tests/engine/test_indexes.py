@@ -1,4 +1,5 @@
-"""Unit tests for the envelope interval index (Section X future work)."""
+"""Unit tests for the envelope interval index (Section X future work)
+and the incrementally maintained secondary indexes (PR 7)."""
 
 import random
 
@@ -9,7 +10,13 @@ from hypothesis import strategies as st
 from repro.core.interval import OngoingInterval, fixed_interval, until_now
 from repro.core.timeline import mmdd
 from repro.core.timepoint import NOW, fixed
-from repro.engine.indexes import IntervalIndex
+from repro.engine.indexes import (
+    IntervalIndex,
+    IntervalProbeIndex,
+    OrderedIndex,
+    PartitionIndex,
+    SecondaryIndexRegistry,
+)
 from repro.errors import QueryError
 from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Schema
@@ -107,3 +114,118 @@ class TestAgainstBruteForce:
         got = {t.values[0] for t in index.overlapping(qs, qs + width)}
         want = {t.values[0] for t in _brute_force(relation, qs, qs + width)}
         assert got == want
+
+
+class TestOrderedIndex:
+    def test_below_and_between(self):
+        index = OrderedIndex()
+        for key, item in [(5, "e"), (1, "a"), (3, "c"), (3, "cc"), (9, "i")]:
+            index.add(key, item)
+        assert sorted(index.below(4)) == ["a", "c", "cc"]
+        assert sorted(index.between(3, 9)) == ["c", "cc", "e"]
+        assert len(index) == 5
+
+    def test_remove_exact_entry_among_equal_keys(self):
+        index = OrderedIndex()
+        index.add(3, "c")
+        index.add(3, "cc")
+        index.remove(3, "c")
+        assert sorted(index.below(10)) == ["cc"]
+        with pytest.raises(KeyError):
+            index.remove(3, "c")
+
+
+class TestPartitionIndex:
+    def test_buckets_track_membership(self):
+        index = PartitionIndex()
+        index.add("k", 1)
+        index.add("k", 2)
+        index.add("other", 3)
+        assert set(index.bucket("k")) == {1, 2}
+        assert len(index) == 3
+        index.remove("k", 1)
+        index.remove("k", 2)
+        assert index.bucket("k") == {}  # emptied bucket is dropped
+        assert "k" not in set(index.keys())
+        assert len(index) == 1
+
+    def test_duplicate_add_is_idempotent(self):
+        index = PartitionIndex()
+        index.add("k", 1)
+        index.add("k", 1)
+        assert len(index) == 1
+
+    def test_remove_unknown_raises(self):
+        index = PartitionIndex()
+        with pytest.raises(KeyError):
+            index.remove("k", 1)
+
+    def test_ensure_materializes_empty_bucket(self):
+        index = PartitionIndex()
+        index.ensure(())
+        assert list(index.buckets()) == [((), {})]
+        assert len(index) == 0
+
+
+class TestIntervalProbeIndex:
+    def test_matches_brute_force_under_mutation(self):
+        rng = random.Random(11)
+        index = IntervalProbeIndex()
+        live = {}
+        counter = 0
+        for _ in range(600):
+            if live and rng.random() < 0.4:
+                item = rng.choice(list(live))
+                index.remove(item)
+                del live[item]
+            else:
+                start = rng.randrange(0, 500)
+                end = start + rng.randrange(1, 50)
+                item = f"i{counter}"
+                counter += 1
+                index.add(item, start, end)
+                live[item] = (start, end)
+            if rng.random() < 0.25:
+                qs = rng.randrange(-20, 520)
+                qe = qs + rng.randrange(1, 80)
+                got = set(index.overlapping(qs, qe))
+                want = {
+                    it
+                    for it, (s, e) in live.items()
+                    if s < qe and e > qs
+                }
+                assert got == want
+        assert len(index) == len(live)
+
+    def test_duplicate_add_raises(self):
+        index = IntervalProbeIndex()
+        index.add("a", 0, 5)
+        with pytest.raises(KeyError):
+            index.add("a", 0, 5)
+
+    def test_remove_then_readd_same_envelope(self):
+        index = IntervalProbeIndex()
+        index.add("a", 0, 5)
+        index.remove("a")
+        assert index.overlapping(0, 10) == []
+        index.add("a", 2, 7)
+        assert index.overlapping(0, 10) == ["a"]
+
+    def test_empty_probe_window(self):
+        index = IntervalProbeIndex()
+        index.add("a", 0, 5)
+        assert index.overlapping(3, 3) == []
+
+
+class TestSecondaryIndexRegistry:
+    def test_get_or_create_and_entry_count(self):
+        registry = SecondaryIndexRegistry()
+        assert registry.get("left") is None
+        interval = registry.interval("left")
+        assert registry.interval("left") is interval
+        interval.add("a", 0, 5)
+        registry.partition("groups").add("k", "x")
+        registry.ordered("ends").add(3, "y")
+        assert registry.entry_count() == 3
+        assert "left" in registry
+        assert sorted(registry) == ["ends", "groups", "left"]

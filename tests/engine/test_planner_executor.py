@@ -188,3 +188,111 @@ class TestOtherOperators:
         lines = db.explain(plan).splitlines()
         assert lines[0].startswith("HashJoin")
         assert any(line.startswith("  ") for line in lines)
+
+
+class TestIntervalScan:
+    """The cost-gated index access path for cold temporal selections."""
+
+    @staticmethod
+    def _big_database(rows: int = 200) -> Database:
+        import random
+
+        rng = random.Random(23)
+        db = Database("interval-scan-tests")
+        events = db.create_table("E", Schema.of("ID", ("VT", "interval")))
+        for i in range(rows):
+            start = rng.randrange(1, 300)
+            if rng.random() < 0.2:
+                events.insert(i, until_now(start))
+            else:
+                events.insert(i, fixed_interval(start, start + rng.randrange(1, 40)))
+        return db
+
+    def test_big_table_overlap_select_uses_interval_scan(self):
+        db = self._big_database()
+        plan = scan("E").where(col("VT").overlaps(lit(fixed_interval(50, 60))))
+        text = db.explain(plan)
+        assert "IntervalScan" in text
+        assert "SeqScan" not in text
+
+    def test_small_table_keeps_seq_scan(self):
+        db = _database()  # 3 rows, below the 32-row threshold
+        plan = scan("B").where(
+            col("VT").overlaps(lit(fixed_interval(d(8, 1), d(9, 1))))
+        )
+        assert "IntervalScan" not in db.explain(plan)
+
+    def test_cost_model_none_threshold_disables_index(self):
+        from repro.engine.cost import CostModel
+
+        db = self._big_database()
+        plan = scan("E").where(col("VT").overlaps(lit(fixed_interval(50, 60))))
+        planner = Planner(cost_model=CostModel(index_threshold=None))
+        assert "IntervalScan" not in planner.plan(plan, db).explain()
+
+    def test_disjoint_allen_relations_never_indexed(self):
+        db = self._big_database()
+        for plan in (
+            scan("E").where(col("VT").before(lit(fixed_interval(50, 60)))),
+            scan("E").where(col("VT").meets(lit(fixed_interval(50, 60)))),
+        ):
+            assert "IntervalScan" not in db.explain(plan)
+
+    def test_lossless_across_allen_family(self):
+        """Index candidates + exact filter == full scan + exact filter."""
+        db = self._big_database()
+        probe = lit(fixed_interval(100, 140))
+        indexed = [
+            col("VT").overlaps(probe),
+            col("VT").contains(probe),
+            col("VT").starts(probe),
+            col("VT").finishes(probe),
+            col("VT").interval_equals(probe),
+            col("VT").overlaps(lit(until_now(120))),
+        ]
+        for predicate in indexed:
+            plan = scan("E").where(predicate)
+            assert "IntervalScan" in db.explain(plan), predicate
+            assert db.query(plan) == db.query(plan, optimize=False), predicate
+
+    def test_empty_escape_orientations_not_indexed(self):
+        """``col during lit`` holds for *empty* column instantiations
+        that share no point with the probe — the index would lose rows,
+        so the planner must refuse it (and the symmetric ``contains``)."""
+        from repro.relational.predicates import AllenPredicate
+
+        db = self._big_database()
+        probe = lit(fixed_interval(100, 140))
+        unsound = [
+            col("VT").during(probe),
+            AllenPredicate("contains", probe, col("VT")),
+            col("VT").interval_equals(lit(until_now(120))),  # ongoing probe
+        ]
+        for predicate in unsound:
+            plan = scan("E").where(predicate)
+            assert "IntervalScan" not in db.explain(plan), predicate
+            assert db.query(plan) == db.query(plan, optimize=False), predicate
+
+    def test_literal_on_left_side_also_indexed(self):
+        db = self._big_database()
+        from repro.relational.predicates import AllenPredicate
+
+        plan = scan("E").where(
+            AllenPredicate("during", lit(fixed_interval(100, 110)), col("VT"))
+        )
+        assert "IntervalScan" in db.explain(plan)
+        assert db.query(plan) == db.query(plan, optimize=False)
+
+    def test_index_cached_per_version(self):
+        db = self._big_database()
+        table = db.table("E")
+        first = table.interval_index("VT")
+        assert first is table.interval_index("VT")
+        table.insert(9999, fixed_interval(1, 2))
+        second = table.interval_index("VT")
+        assert second is not first
+        assert second.size == first.size + 1
+
+    def test_non_indexable_attribute_returns_none(self):
+        db = self._big_database()
+        assert db.table("E").interval_index("ID") is None

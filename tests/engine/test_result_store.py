@@ -94,13 +94,13 @@ class TestResultStore:
         store.snapshot()
         assert stats == {"snapshots_taken": 2, "snapshots_reused": 1}
 
-    def test_pre_16_stat_keys_migrate_in_place(self):
-        """Deprecated alias: the old short keys upgrade to the canonical
-        ``snapshots_*`` names inside the caller's dict."""
-        stats = {"taken": 3, "reused": 7}
+    def test_partial_stats_dict_gains_missing_keys(self):
+        """A caller-supplied dict only needs the keys it cares about —
+        the store fills in the canonical counters it maintains."""
+        stats = {"snapshots_taken": 3}
         schema, rows, _ = self._store()
         store = ResultStore(schema, rows, stats=stats)
-        assert stats == {"snapshots_taken": 3, "snapshots_reused": 7}
+        assert stats == {"snapshots_taken": 3, "snapshots_reused": 0}
         store.snapshot()
         assert stats["snapshots_taken"] == 4
 
@@ -175,19 +175,19 @@ class TestSnapshotAliasingRegression:
         db = _database()
         session = LiveSession(db)
         sub = session.subscribe(_join_plan())
-        taken_after_subscribe = session.stats()["snapshots_taken"]
+        taken_after_subscribe = session.stats()["repro_store_snapshots_taken_total"]
         for i in range(5):
             db.table("R").insert(i % 4, until_now(20 + i))
             session.flush()
         stats = session.stats()
-        assert stats["delta_refreshes"] == 5
-        assert stats["snapshots_taken"] == taken_after_subscribe  # no reads
+        assert stats["repro_live_delta_refreshes_total"] == 5
+        assert stats["repro_store_snapshots_taken_total"] == taken_after_subscribe  # no reads
         # The first read pays the one copy; the second shares it.
         first = sub.result
         assert sub.result is first
         stats = session.stats()
-        assert stats["snapshots_taken"] == taken_after_subscribe + 1
-        assert stats["snapshots_reused"] == 1  # exactly the second read
+        assert stats["repro_store_snapshots_taken_total"] == taken_after_subscribe + 1
+        assert stats["repro_store_snapshots_reused_total"] == 1  # exactly the second read
 
 
 class TestSharedSnapshots:
@@ -255,14 +255,14 @@ class TestStateBudget:
         session = LiveSession(db, state_budget_bytes=1)  # everything evicts
         sub = session.subscribe(_join_plan())
         stats = session.stats()
-        assert stats["state_evictions"] == 1  # evicted right after build
+        assert stats["repro_store_state_evictions_total"] == 1  # evicted right after build
         served_before = frozenset(sub.result.tuples)
         assert served_before  # eviction never takes the result away
         db.table("R").insert(2, until_now(40))
         session.flush()
         stats = session.stats()
-        assert stats["state_rebuilds"] == 1  # the miss paid a rebuild
-        assert stats["state_evictions"] == 2  # ...and evicted again
+        assert stats["repro_store_state_rebuilds_total"] == 1  # the miss paid a rebuild
+        assert stats["repro_store_state_evictions_total"] == 2  # ...and evicted again
         (shared,) = session.shared_results()
         assert shared.delta_fallbacks == 0  # a miss is not a failure
         assert frozenset(sub.result.tuples) == frozenset(
@@ -277,9 +277,9 @@ class TestStateBudget:
         db.table("R").insert(2, until_now(40))
         session.flush()
         stats = session.stats()
-        assert stats["state_evictions"] == 0
-        assert stats["state_rebuilds"] == 0
-        assert stats["delta_refreshes"] == 1  # the delta path stayed warm
+        assert stats["repro_store_state_evictions_total"] == 0
+        assert stats["repro_store_state_rebuilds_total"] == 0
+        assert stats["repro_live_delta_refreshes_total"] == 1  # the delta path stayed warm
         session.close()
 
     def test_negative_budget_rejected(self):
@@ -343,7 +343,7 @@ class TestStateBudget:
         db = _database()
         session = LiveSession(db, state_budget_bytes=1)
         session.subscribe(_join_plan())  # builds, then evicts
-        assert session.stats()["state_evictions"] == 1
+        assert session.stats()["repro_store_state_evictions_total"] == 1
         session.incremental = False
         db.table("R").insert(2, until_now(40))
         session.flush()  # plain path drops the evaluator and the mark
@@ -396,15 +396,15 @@ class TestStateBudget:
         sub = session.subscribe(_join_plan())
         sub.result  # force at least one snapshot
         before = session.stats()
-        assert before["snapshots_taken"] >= 1
-        assert before["state_evictions"] >= 1
+        assert before["repro_store_snapshots_taken_total"] >= 1
+        assert before["repro_store_state_evictions_total"] >= 1
         sub.close()  # last subscriber → cache entry dropped
         after = session.stats()
         for key in (
-            "snapshots_taken",
-            "snapshots_reused",
-            "state_evictions",
-            "state_rebuilds",
+            "repro_store_snapshots_taken_total",
+            "repro_store_snapshots_reused_total",
+            "repro_store_state_evictions_total",
+            "repro_store_state_rebuilds_total",
         ):
             assert after[key] >= before[key], f"{key} went backward"
         session.close()

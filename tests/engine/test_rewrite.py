@@ -5,7 +5,15 @@ import pytest
 from repro.core.interval import fixed_interval, until_now
 from repro.core.timeline import mmdd
 from repro.engine.database import Database
-from repro.engine.plan import Difference, Join, Scan, Select, Union, scan
+from repro.engine.plan import (
+    Aggregate,
+    Difference,
+    Join,
+    Scan,
+    Select,
+    Union,
+    scan,
+)
 from repro.engine.rewrite import push_down_selections, split_selections
 from repro.relational.predicates import col, lit
 from repro.relational.schema import Schema
@@ -124,4 +132,109 @@ class TestPushDown:
             col("C") == lit("Dashboard"),
         )
         rewritten = push_down_selections(plan)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_catalog_resolves_scan_schemas_for_join_sink(self, db):
+        # With the owning database, scans stop being opaque: a left-only
+        # conjunct sinks below the join instead of merging into its
+        # predicate.
+        plan = Select(self._joined(), col("B.BID") == lit(500))
+        rewritten = push_down_selections(plan, db)
+        assert isinstance(rewritten, Join)
+        assert isinstance(rewritten.left, Select)
+        assert rewritten.left.predicate.references() == {"BID"}
+        assert isinstance(rewritten.right, Scan)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_difference_right_side_never_restricted(self, db):
+        # Regression for the unsound direction: a right tuple failing θ
+        # still subtracts reference time, so σθ must not reach R.
+        plan = Select(
+            Difference(Scan("B"), Scan("B")), col("C") == lit("Dashboard")
+        )
+        rewritten = push_down_selections(plan, db)
+        assert isinstance(rewritten, Difference)
+        assert isinstance(rewritten.right, Scan)
+        assert db.query(rewritten) == db.query(plan)
+
+
+class TestAggregatePushdown:
+    def test_group_column_predicate_sinks_below_aggregate(self, db):
+        plan = Select(
+            Aggregate(Scan("B"), ("C",), "count"),
+            col("C") == lit("Dashboard"),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Aggregate)
+        assert isinstance(rewritten.child, Select)
+        assert db.query(rewritten) == db.query(plan)
+
+    def test_aggregated_column_predicate_stays_above(self):
+        # θ over the aggregate's output column is NOT constant per group
+        # member; pushing it below γ would filter inputs, not groups.
+        plan = Select(
+            Aggregate(Scan("B"), ("C",), "count"),
+            col("count") == lit(1),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Aggregate)
+
+    def test_mixed_reference_predicate_stays_above(self):
+        plan = Select(
+            Aggregate(Scan("B"), ("C",), "count"),
+            (col("C") == lit("Dashboard")) | (col("count") == lit(1)),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Aggregate)
+
+    def test_ongoing_literal_blocks_push(self):
+        # Even over a grouping column, comparing against an ongoing value
+        # can change truth as time passes — it must stay above γ.
+        plan = Select(
+            Aggregate(Scan("B"), ("C",), "count"),
+            col("C") == lit(until_now(d(1, 25))),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Aggregate)
+
+    def test_allen_predicate_blocks_push(self):
+        plan = Select(
+            Aggregate(Scan("B"), ("C",), "count"),
+            col("C").overlaps(lit(fixed_interval(d(1, 1), d(2, 1)))),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Aggregate)
+
+    def test_scalar_aggregate_never_pushed(self):
+        # A scalar γ emits an empty-group row; a selection above it must
+        # see that row, so nothing sinks through.
+        plan = Select(
+            Aggregate(Scan("B"), (), "count"),
+            col("count") == lit(0),
+        )
+        rewritten = push_down_selections(plan)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.child, Aggregate)
+
+    def test_pushdown_composes_with_join_below_aggregate(self, db):
+        inner = Join(
+            Scan("B"),
+            Scan("P"),
+            col("B.C") == col("P.C"),
+            left_name="B",
+            right_name="P",
+        )
+        plan = Select(
+            Aggregate(inner, ("B.C",), "count"),
+            col("B.C") == lit("Spam filter"),
+        )
+        rewritten = push_down_selections(plan, db)
+        # The conjunct sinks through γ and then below the join.
+        assert isinstance(rewritten, Aggregate)
+        assert isinstance(rewritten.child, Join)
+        assert isinstance(rewritten.child.left, Select)
         assert db.query(rewritten) == db.query(plan)

@@ -47,9 +47,9 @@ class TestIncrementalFlush:
         db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
         session.flush()
         stats = session.stats()
-        assert stats["delta_refreshes"] == 1
-        assert stats["full_refreshes"] == 0
-        assert stats["evaluations"] == 2  # initial + the delta refresh
+        assert stats["repro_live_delta_refreshes_total"] == 1
+        assert stats["repro_live_full_refreshes_total"] == 0
+        assert stats["repro_live_evaluations_total"] == 2  # initial + the delta refresh
         assert 503 in [row[0] for row in sub.instantiate(d(6, 1))]
 
     def test_delta_result_equals_full_reevaluation(self):
@@ -73,8 +73,8 @@ class TestIncrementalFlush:
         db.table("B").insert(503, "Spam filter", until_now(d(5, 1)))
         session.flush()
         stats = session.stats()
-        assert stats["delta_refreshes"] == 0
-        assert stats["full_refreshes"] == 1
+        assert stats["repro_live_delta_refreshes_total"] == 0
+        assert stats["repro_live_full_refreshes_total"] == 1
         assert 503 in [row[0] for row in sub.instantiate(d(6, 1))]
 
     def test_toggling_incremental_does_not_serve_stale_state(self):
@@ -103,8 +103,8 @@ class TestIncrementalFlush:
         )
         session.flush()
         stats = session.stats()
-        assert stats["full_refreshes"] == 1
-        assert stats["delta_refreshes"] == 0
+        assert stats["repro_live_full_refreshes_total"] == 1
+        assert stats["repro_live_delta_refreshes_total"] == 0
         assert [row[0] for row in sub.instantiate(d(5, 1))] == [600]
 
     def test_delta_path_resumes_after_a_fallback(self):
@@ -117,7 +117,7 @@ class TestIncrementalFlush:
         session.flush()  # fallback rebuilds the operator state...
         db.table("B").insert(601, "Spam filter", until_now(d(5, 1)))
         session.flush()  # ...so this one is incremental again
-        assert session.stats()["delta_refreshes"] == 1
+        assert session.stats()["repro_live_delta_refreshes_total"] == 1
         assert {row[0] for row in sub.instantiate(d(6, 1))} == {600, 601}
 
 
@@ -140,7 +140,7 @@ class TestChangeFilter:
         assert sub.stats.notifications == 0
         assert sub.stats.suppressed == 1
         assert sub.stats.pending_events == 0  # the flush still drained it
-        assert session.stats()["suppressed_notifications"] == 1
+        assert session.stats()["repro_live_suppressed_notifications_total"] == 1
 
     def test_notify_on_no_change_opts_back_in(self):
         db = _database()
@@ -183,9 +183,9 @@ class TestChangeFilter:
         # Re-load B with identical contents — untyped, forces full path.
         db.table("B").replace_all(db.table("B").rows())
         session.flush()
-        assert session.stats()["full_refreshes"] == 1
+        assert session.stats()["repro_live_full_refreshes_total"] == 1
         assert received == []
-        assert session.stats()["suppressed_notifications"] == 1
+        assert session.stats()["repro_live_suppressed_notifications_total"] == 1
 
     def test_mixed_subscribers_one_refresh(self):
         """One shared result, one suppressed subscriber, one opted-in."""
@@ -230,7 +230,7 @@ class TestPendingDeltaHousekeeping:
             db.table("B").insert(bid, "Spam filter", until_now(d(5, 1)))
         current_delete(db.table("B"), lambda r: r.values[0] == 504, at=d(6, 1))
         assert session.flush() == 1
-        assert session.stats()["delta_refreshes"] == 1
+        assert session.stats()["repro_live_delta_refreshes_total"] == 1
         expected = db.query(_spam_plan())
         assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
 
@@ -252,7 +252,7 @@ class TestPendingDeltaHousekeeping:
         assert survivor.stats.refreshes == 1
         assert doomed.stats.refreshes == 0
         assert len(errors) == 1 and errors[0][0] == doomed.fingerprint
-        assert session.stats()["refresh_errors"] == 1
+        assert session.stats()["repro_live_refresh_errors_total"] == 1
         # the doomed plan keeps serving its last good materialization
         assert doomed.result is not None
 
@@ -275,7 +275,7 @@ class TestPendingDeltaHousekeeping:
         expected = db.query(_spam_plan())
         assert frozenset(sub.result.tuples) == frozenset(expected.tuples)
         assert {row[0] for row in sub.instantiate(d(7, 1))} >= {503, 504}
-        assert session.stats()["full_refreshes"] == 0
+        assert session.stats()["repro_live_full_refreshes_total"] == 0
 
     def test_callback_flush_in_manual_session_is_drained(self):
         """An explicit flush() from a refresh callback — in a session
@@ -368,4 +368,4 @@ class TestPendingDeltaHousekeeping:
         assert session.flush() == 1
         assert survivor.stats.refreshes == 1
         assert doomed.stats.refreshes == 0
-        assert session.stats()["refresh_errors"] == 1
+        assert session.stats()["repro_live_refresh_errors_total"] == 1

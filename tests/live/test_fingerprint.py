@@ -67,9 +67,9 @@ class TestSharedMaterialization:
         assert first.fingerprint == second.fingerprint
         assert first.result is second.result
         stats = session.stats()
-        assert stats["shared_results"] == 1
-        assert stats["evaluations"] == 1  # the second subscribe was free
-        assert stats["cache_hits"] == 1
+        assert stats["repro_live_shared_results"] == 1
+        assert stats["repro_live_evaluations_total"] == 1  # the second subscribe was free
+        assert stats["repro_live_cache_hits_total"] == 1
 
     def test_different_plans_do_not_share(self):
         db = self._database()
@@ -77,6 +77,6 @@ class TestSharedMaterialization:
         session.subscribe(_window_plan(d(8, 1), d(9, 1)))
         session.subscribe(_window_plan(d(8, 1), d(9, 2)))
         stats = session.stats()
-        assert stats["shared_results"] == 2
-        assert stats["evaluations"] == 2
-        assert stats["cache_hits"] == 0
+        assert stats["repro_live_shared_results"] == 2
+        assert stats["repro_live_evaluations_total"] == 2
+        assert stats["repro_live_cache_hits_total"] == 0

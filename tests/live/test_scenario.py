@@ -47,13 +47,13 @@ def test_live_results_remain_valid_as_time_passes():
     load_sub = session.subscribe(
         scan("L"), on_refresh=load_notifications.append
     )
-    assert session.stats()["evaluations"] == 2  # one per distinct plan
+    assert session.stats()["repro_live_evaluations_total"] == 2  # one per distinct plan
 
     # --- Phase 1: time passes.  Zero re-evaluations, always correct. ----
     reference_times = [d(8, 5), d(9, 1), d(10, 15), d(12, 30)]
     for rt in reference_times:
         assert bug_sub.instantiate(rt) == db.query(bug_plan).instantiate(rt)
-    assert session.stats()["evaluations"] == 2  # still only the initial two
+    assert session.stats()["repro_live_evaluations_total"] == 2  # still only the initial two
     assert session.pending == 0
     assert bug_notifications == [] and load_notifications == []
     assert bug_sub.stats.refreshes == 0
@@ -76,7 +76,7 @@ def test_live_results_remain_valid_as_time_passes():
 
     # Exactly one coalesced refresh, and only on the affected subscription.
     assert refreshed == 1
-    assert session.stats()["evaluations"] == 3
+    assert session.stats()["repro_live_evaluations_total"] == 3
     assert bug_sub.stats.refreshes == 1
     assert bug_sub.stats.coalesced_events == 1
     assert load_sub.stats.refreshes == 0
@@ -95,7 +95,7 @@ def test_live_results_remain_valid_as_time_passes():
     assert vt_at(d(12, 30))[500] == (d(1, 25), d(9, 10))   # frozen end
     for rt in reference_times:
         assert bug_sub.instantiate(rt) == db.query(bug_plan).instantiate(rt)
-    assert session.stats()["evaluations"] == 3  # serving stayed free
+    assert session.stats()["repro_live_evaluations_total"] == 3  # serving stayed free
 
 
 def test_coalescing_many_modifications_into_one_refresh():

@@ -40,7 +40,7 @@ class TestLifecycle:
         sub = session.subscribe(_bug_plan())
         assert sub.active
         assert len(sub.result.tuples) > 0
-        assert session.stats()["evaluations"] == 1
+        assert session.stats()["repro_live_evaluations_total"] == 1
 
     def test_close_releases_shared_state(self):
         session = LiveSession(_database())
@@ -48,10 +48,10 @@ class TestLifecycle:
         second = session.subscribe(_bug_plan())
         first.close()
         # one subscriber remains: the cache entry stays
-        assert session.stats()["shared_results"] == 1
+        assert session.stats()["repro_live_shared_results"] == 1
         second.close()
-        assert session.stats()["shared_results"] == 0
-        assert session.stats()["subscriptions"] == 0
+        assert session.stats()["repro_live_shared_results"] == 0
+        assert session.stats()["repro_live_subscriptions"] == 0
         assert not first.active
         with pytest.raises(QueryError, match="closed"):
             first.result
@@ -81,7 +81,7 @@ class TestLifecycle:
         db = _database()
         with SubscriptionManager(db) as session:
             session.subscribe(_bug_plan())
-        assert session.stats()["subscriptions"] == 0
+        assert session.stats()["repro_live_subscriptions"] == 0
 
 
 class TestBatchedRefresh:
@@ -94,7 +94,7 @@ class TestBatchedRefresh:
         assert sub.stats.pending_events == 3
         assert session.pending == 1
         assert session.flush() == 1
-        assert session.stats()["evaluations"] == 2  # initial + one coalesced
+        assert session.stats()["repro_live_evaluations_total"] == 2  # initial + one coalesced
         assert sub.stats.refreshes == 1
         assert sub.stats.coalesced_events == 3
         assert sub.stats.pending_events == 0
@@ -103,7 +103,7 @@ class TestBatchedRefresh:
         session = LiveSession(_database())
         session.subscribe(_bug_plan())
         assert session.flush() == 0
-        assert session.stats()["evaluations"] == 1
+        assert session.stats()["repro_live_evaluations_total"] == 1
 
     def test_unrelated_table_does_not_dirty(self):
         db = _database()
@@ -120,7 +120,7 @@ class TestBatchedRefresh:
         db.table("B").insert(502, "More", until_now(d(8, 2)))
         db.table("B").insert(503, "More", until_now(d(8, 3)))
         assert sub.stats.refreshes == 2
-        assert session.stats()["evaluations"] == 3
+        assert session.stats()["repro_live_evaluations_total"] == 3
 
     def test_flush_every_bounds_staleness(self):
         db = _database()
@@ -215,7 +215,7 @@ class TestFailureIsolation:
         missing = scan("MISSING")
         with pytest.raises(QueryError, match="MISSING"):
             session.subscribe(missing)
-        assert session.stats()["shared_results"] == 0
+        assert session.stats()["repro_live_shared_results"] == 0
         # A second attempt raises again instead of hitting a dead entry.
         with pytest.raises(QueryError, match="MISSING"):
             session.subscribe(scan("MISSING"))
@@ -239,14 +239,14 @@ class TestFailureIsolation:
         ((fingerprint, error),) = errors
         assert fingerprint == doomed.fingerprint
         assert isinstance(error, QueryError)
-        assert session.stats()["refresh_errors"] == 1
+        assert session.stats()["repro_live_refresh_errors_total"] == 1
 
     def test_drop_table_under_auto_flush_does_not_raise(self):
         db = _database()
         session = LiveSession(db, auto_flush=True)
         sub = session.subscribe(scan("P"))
         db.drop_table("P")  # must not raise out of the modification
-        assert session.stats()["refresh_errors"] == 1
+        assert session.stats()["repro_live_refresh_errors_total"] == 1
         assert sub.stats.refreshes == 0
 
     def test_notification_counter_counts_real_deliveries_only(self):
@@ -255,7 +255,7 @@ class TestFailureIsolation:
         session.subscribe(_bug_plan())  # no callback registered
         db.table("B").insert(502, "More", until_now(d(8, 2)))
         session.flush()
-        assert session.stats()["notifications"] == 0
+        assert session.stats()["repro_live_notifications_total"] == 0
 
 
 class TestSqlSubscriptions:
@@ -273,7 +273,7 @@ class TestSqlSubscriptions:
         first = sql_subscribe(self._SQL, session)
         second = session.subscribe_sql(self._SQL)
         assert first.fingerprint == second.fingerprint
-        assert session.stats()["shared_results"] == 1
+        assert session.stats()["repro_live_shared_results"] == 1
 
     def test_database_subscribe_convenience(self):
         db = _database()
@@ -304,8 +304,8 @@ class TestSqlSubscriptions:
         assert after["Spam filter"].instantiate(d(8, 1)) == 2
         assert after["Crash"] == before["Crash"]  # untouched group
         stats = session.stats()
-        assert stats["delta_refreshes"] == 1
-        assert stats["full_refreshes"] == 0
+        assert stats["repro_live_delta_refreshes_total"] == 1
+        assert stats["repro_live_full_refreshes_total"] == 0
 
     def test_equal_aggregate_queries_share_one_materialization(self):
         db = _database()
@@ -314,8 +314,8 @@ class TestSqlSubscriptions:
         first = session.subscribe_sql(sql)
         second = session.subscribe_sql(sql)
         assert first.fingerprint == second.fingerprint
-        assert session.stats()["shared_results"] == 1
-        assert session.stats()["cache_hits"] == 1
+        assert session.stats()["repro_live_shared_results"] == 1
+        assert session.stats()["repro_live_cache_hits_total"] == 1
 
 
 class TestUpdateSemantics:

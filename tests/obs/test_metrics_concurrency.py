@@ -146,27 +146,22 @@ class TestChurnGroundTruth:
         assert _total(snapshot, "repro_live_events_total") == (
             ground_truth_events
         )
-        # The canonical series must equal the deprecated stats() values —
-        # same snapshot, no drift between the two surfaces.
+        # The registry series must equal the stats() values under the
+        # same canonical names — one snapshot, no drift between the two
+        # surfaces.
         stats = session.stats()
-        for name, key in (
-            ("repro_live_events_total", "events"),
-            ("repro_live_flushes_total", "flushes"),
-            ("repro_live_delta_refreshes_total", "delta_refreshes"),
-            ("repro_live_refresh_errors_total", "refresh_errors"),
-            ("repro_serve_queued_notifications_total", "queued_notifications"),
-            (
-                "repro_serve_delivered_notifications_total",
-                "delivered_notifications",
-            ),
-            (
-                "repro_serve_dropped_notifications_total",
-                "dropped_notifications",
-            ),
+        for name in (
+            "repro_live_events_total",
+            "repro_live_flushes_total",
+            "repro_live_delta_refreshes_total",
+            "repro_live_refresh_errors_total",
+            "repro_serve_queued_notifications_total",
+            "repro_serve_delivered_notifications_total",
+            "repro_serve_dropped_notifications_total",
         ):
-            assert _total(snapshot, name) == stats[key], name
-        assert stats["refresh_errors"] == 0
-        assert stats["dropped_notifications"] == 0
+            assert _total(snapshot, name) == stats[name], name
+        assert stats["repro_live_refresh_errors_total"] == 0
+        assert stats["repro_serve_dropped_notifications_total"] == 0
         # Lossless pipeline: everything queued was delivered.
         assert _total(
             snapshot, "repro_serve_delivered_notifications_total"
@@ -175,7 +170,7 @@ class TestChurnGroundTruth:
         # Per-shard flushes sum to at least the number of flush rounds.
         assert _total(
             snapshot, "repro_serve_shard_flushes_total"
-        ) >= stats["flushes"]
+        ) >= stats["repro_live_flushes_total"]
         assert _total(snapshot, "repro_live_subscriptions") == (
             self.N_SUBSCRIBERS
         )

@@ -139,7 +139,7 @@ def test_delta_maintained_aggregates_equal_full_reevaluation(
             f"{plan_key}: delta-maintained aggregate diverged at step {step} "
             f"after {modification!r}"
         )
-    assert session.stats()["full_refreshes"] == 0
+    assert session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 @given(st.sampled_from(PLAN_KEYS), _MODIFICATIONS)
@@ -159,4 +159,4 @@ def test_aggregate_instantiations_agree_at_all_reference_times(
     expected = db.query(plan)
     for rt in range(-2, 35):
         assert sub.instantiate(rt) == expected.instantiate(rt)
-    assert session.stats()["full_refreshes"] == 0
+    assert session.stats()["repro_live_full_refreshes_total"] == 0

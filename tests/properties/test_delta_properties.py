@@ -158,7 +158,7 @@ def test_delta_propagation_equals_full_reevaluation(plan_key, modifications):
         )
     # Typed modifications only — the incremental path must have carried
     # every refresh (a fallback here would mean the test proves nothing).
-    assert session.stats()["full_refreshes"] == 0
+    assert session.stats()["repro_live_full_refreshes_total"] == 0
 
 
 @given(st.sampled_from(PLAN_KEYS), _MODIFICATIONS)

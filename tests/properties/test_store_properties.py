@@ -109,7 +109,7 @@ def test_eviction_recompute_on_miss_has_zero_drift(plan_key, modifications):
     session.flush()
     assert frozenset(sub.result.tuples) == frozenset(db.query(plan).tuples)
     stats = session.stats()
-    assert stats["state_evictions"] >= 1  # the budget actually bit
-    assert stats["state_rebuilds"] >= 1  # and at least one miss rebuilt
-    assert stats["state_rebuilds"] >= stats["full_refreshes"] - 1
+    assert stats["repro_store_state_evictions_total"] >= 1  # the budget actually bit
+    assert stats["repro_store_state_rebuilds_total"] >= 1  # and at least one miss rebuilt
+    assert stats["repro_store_state_rebuilds_total"] >= stats["repro_live_full_refreshes_total"] - 1
     session.close()

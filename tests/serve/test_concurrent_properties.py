@@ -81,7 +81,7 @@ def test_concurrent_serve_equals_serial_flush(plan_key, modifications):
     assert sorted(map(repr, concurrent_sub.result.tuples)) == sorted(
         map(repr, serial_sub.result.tuples)
     )
-    assert concurrent.stats()["refresh_errors"] == 0
+    assert concurrent.stats()["repro_live_refresh_errors_total"] == 0
     concurrent.close()
     serial.close()
 
@@ -189,11 +189,11 @@ class TestStress:
         elapsed = time.monotonic() - started
 
         stats = session.stats()
-        assert stats["refresh_errors"] == 0
-        assert stats["dropped_notifications"] == 0  # block policy: lossless
-        assert stats["delivery_backlog"] == 0
-        assert stats["delivered_notifications"] == stats["queued_notifications"]
-        assert sum(stats["shard_flushes"]) >= stats["flushes"]
+        assert stats["repro_live_refresh_errors_total"] == 0
+        assert stats["repro_serve_dropped_notifications_total"] == 0  # block policy: lossless
+        assert stats["repro_serve_delivery_backlog"] == 0
+        assert stats["repro_serve_delivered_notifications_total"] == stats["repro_serve_queued_notifications_total"]
+        assert sum(stats["shard_flushes"]) >= stats["repro_live_flushes_total"]
         # Every subscriber converged on the exact from-scratch result.
         for index, subscription in enumerate(subscriptions):
             expected = db.query(plans[index % len(plans)])
@@ -203,7 +203,7 @@ class TestStress:
         # Exactly-once, in-order: each subscriber's pushes carry weakly
         # growing union-result sizes only for monotone plans; universally,
         # no subscriber may receive more pushes than flush rounds ran.
-        flushes = stats["flushes"]
+        flushes = stats["repro_live_flushes_total"]
         for pushes in received:
             assert len(pushes) <= flushes
         session.close()
@@ -242,4 +242,4 @@ class TestStress:
             thread.join(timeout=60)
             assert not thread.is_alive(), "writer thread hung"
         session.close()
-        assert session.stats()["refresh_errors"] == 0
+        assert session.stats()["repro_live_refresh_errors_total"] == 0

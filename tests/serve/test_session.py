@@ -81,7 +81,7 @@ class TestShardedFlush:
         db.table("R").insert(None, until_now(5))  # poisons the filter
         assert session.flush() >= 1
         assert survivor.stats.refreshes == 1
-        assert session.stats()["refresh_errors"] == 1
+        assert session.stats()["repro_live_refresh_errors_total"] == 1
         assert errors and errors[0][0] == doomed.fingerprint
         session.close()
 
@@ -207,9 +207,9 @@ class TestAsyncDelivery:
         assert sizes == sorted(sizes)
         assert len(set(sizes)) == rounds
         stats = session.stats()
-        assert stats["queued_notifications"] == rounds
-        assert stats["delivered_notifications"] == rounds
-        assert stats["dropped_notifications"] == 0
+        assert stats["repro_serve_queued_notifications_total"] == rounds
+        assert stats["repro_serve_delivered_notifications_total"] == rounds
+        assert stats["repro_serve_dropped_notifications_total"] == 0
         session.close()
 
     def test_coalesce_backpressure_counts_and_merges(self):
@@ -235,12 +235,12 @@ class TestAsyncDelivery:
         release.set()
         assert session.bus.drain(timeout=10)
         stats = session.stats()
-        assert stats["coalesced_notifications"] == 2
+        assert stats["repro_serve_coalesced_notifications_total"] == 2
         # queued and coalesced partition the admitted notifications: two
         # occupied queue slots (delivered separately), two merged into the
         # waiting one.  4 would mean the old double-count.
-        assert stats["queued_notifications"] == 2
-        assert stats["queued_notifications"] + stats["coalesced_notifications"] == 4
+        assert stats["repro_serve_queued_notifications_total"] == 2
+        assert stats["repro_serve_queued_notifications_total"] + stats["repro_serve_coalesced_notifications_total"] == 4
         assert len(received) == 2
         final = received[-1]
         # The coalesced notification carries the merged result-level
@@ -280,7 +280,7 @@ class TestAsyncDelivery:
         assert session.bus.drain(timeout=10)
         # A blocking subscriber hears every refresh individually.
         assert len(audit) == 4
-        assert session.stats()["coalesced_notifications"] == 0
+        assert session.stats()["repro_serve_coalesced_notifications_total"] == 0
         session.close()
 
 
@@ -290,35 +290,35 @@ class TestResultStoreStats:
         session = LiveSession(db)
         a = session.subscribe(_plans()["join"])
         b = session.subscribe(_plans()["join"])  # same fingerprint
-        baseline = session.stats()["snapshots_taken"]
+        baseline = session.stats()["repro_store_snapshots_taken_total"]
         # Three delta refreshes nobody reads: no snapshot is taken.
         for i in range(3):
             current_insert(db.table("R"), (1,), at=30 + i)
             session.flush()
         stats = session.stats()
-        assert stats["delta_refreshes"] == 3
-        assert stats["snapshots_taken"] == baseline
+        assert stats["repro_live_delta_refreshes_total"] == 3
+        assert stats["repro_store_snapshots_taken_total"] == baseline
         # Both subscribers read: one copy is taken, the other read reuses
         # — exactly one of each (a read is one store access, not two).
-        reused_baseline = session.stats()["snapshots_reused"]
+        reused_baseline = session.stats()["repro_store_snapshots_reused_total"]
         assert a.result is b.result
         stats = session.stats()
-        assert stats["snapshots_taken"] == baseline + 1
-        assert stats["snapshots_reused"] == reused_baseline + 1
-        assert stats["state_evictions"] == 0
-        assert stats["state_rebuilds"] == 0
+        assert stats["repro_store_snapshots_taken_total"] == baseline + 1
+        assert stats["repro_store_snapshots_reused_total"] == reused_baseline + 1
+        assert stats["repro_store_state_evictions_total"] == 0
+        assert stats["repro_store_state_rebuilds_total"] == 0
         session.close()
 
     def test_eviction_counters_flow_through_session_stats(self):
         db = _database()
         session = LiveSession(db, state_budget_bytes=1)
         sub = session.subscribe(_plans()["join"])
-        assert session.stats()["state_evictions"] == 1
+        assert session.stats()["repro_store_state_evictions_total"] == 1
         current_insert(db.table("R"), (2,), at=40)
         session.flush()
         stats = session.stats()
-        assert stats["state_evictions"] == 2
-        assert stats["state_rebuilds"] == 1
+        assert stats["repro_store_state_evictions_total"] == 2
+        assert stats["repro_store_state_rebuilds_total"] == 1
         assert frozenset(sub.result.tuples) == frozenset(
             db.query(_plans()["join"]).tuples
         )
@@ -427,7 +427,7 @@ class TestServeLoop:
             db.query(_plans()["filter"]).tuples
         )
         # All ten inserts landed in at most a couple of flush rounds.
-        assert session.stats()["flushes"] <= 3
+        assert session.stats()["repro_live_flushes_total"] <= 3
         session.close()
 
     def test_flush_async_returns_waitable_handle(self):
