@@ -11,6 +11,15 @@ recorded ``BENCH_result_store.json`` baseline:
 
 * **tracing off (the default)** — must stay within **5%** of the
   baseline ``delta_seconds``; this is the hard gate.
+* **freshness on** (PR 8: ``FreshnessSLO`` attached) — commit
+  stamping and per-subscription dirty-commit bookkeeping run on every
+  flush; gated to **5%** over the baseline ``delta_seconds``.
+* **freshness delivering** (PR 8: SLO + a no-op subscriber callback)
+  — the complete pipeline: stamp → coalesce → deliver → histogram →
+  SLO window.  A delivering subscription has paid the one-snapshot
+  read per notified refresh since PR 5, so its fair baseline is the
+  recorded ``rebuild_seconds`` (flush + one snapshot) — gated to
+  **5%** over that.
 * **tracing on** (``LiveSession(trace=...)``) — measured for the
   record; spans are opt-in, so their cost is reported, not gated.
 
@@ -30,12 +39,50 @@ from pathlib import Path
 import pytest
 
 from repro.live import LiveSession
+from repro.obs.slo import FreshnessSLO
 
 from bench_result_store import _BENCH_ROWS, _Workbench, _plan, _time
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 _BASELINE_PATH = _REPO_ROOT / "BENCH_result_store.json"
 _MAX_OVERHEAD = 1.05  # tracing-off flush <= baseline * 1.05
+
+
+class _FreshnessWorkbench(_Workbench):
+    """Freshness tracking on the pure flush tail (no listener).
+
+    A ``FreshnessSLO`` is attached and every flush stamps the commit
+    and tracks the oldest dirty stamp per subscription — the PR 8 cost
+    that lands on *every* session.  Nobody listens, so the measured
+    tail stays the baseline's no-snapshot shape.
+    """
+
+    def __init__(self, n_rows: int):
+        super().__init__(n_rows)
+        self.session.close()
+        self.session = LiveSession(
+            self.db, freshness_slo=FreshnessSLO(1.0)
+        )
+        self.subscription = self.session.subscribe(_plan())
+        self._keys = iter(range(n_rows))
+
+
+class _DeliveringFreshnessWorkbench(_FreshnessWorkbench):
+    """The complete pipeline: stamp → deliver → histogram → SLO.
+
+    A synchronous no-op subscriber makes every flush deliver, so the
+    write→deliver histogram and the SLO window both observe.  Delivery
+    has paid one snapshot read per notified refresh since PR 5, so
+    this workbench is compared against the recorded ``rebuild_seconds``
+    tail (flush + one snapshot), not the no-snapshot one.
+    """
+
+    def __init__(self, n_rows: int):
+        super().__init__(n_rows)
+        self.subscription.close()
+        self.subscription = self.session.subscribe(
+            _plan(), on_refresh=lambda event: None
+        )
 
 
 class _TracedWorkbench(_Workbench):
@@ -49,12 +96,12 @@ class _TracedWorkbench(_Workbench):
         self._keys = iter(range(n_rows))
 
 
-def _load_baseline() -> float:
-    """The recorded 10k-row flush-only tail, in seconds."""
+def _load_baseline(tail: str = "delta_seconds") -> float:
+    """A recorded 10k-row tail (``delta_seconds`` or ``rebuild_seconds``)."""
     report = json.loads(_BASELINE_PATH.read_text())
     for entry in report["results"]:
         if entry["rows"] == _BENCH_ROWS:
-            return entry["delta_seconds"]
+            return entry[tail]
     raise KeyError(f"no {_BENCH_ROWS}-row entry in {_BASELINE_PATH}")
 
 
@@ -116,6 +163,61 @@ def test_tracing_off_overhead_gate(benchmark):
     )
 
 
+@pytest.mark.skipif(
+    not _BASELINE_PATH.exists(),
+    reason="no recorded BENCH_result_store.json baseline",
+)
+def test_freshness_on_overhead_gate(benchmark):
+    benchmark.group = "obs-overhead-10k"
+    benchmark.name = "flush_freshness_on"
+    bench = _FreshnessWorkbench(_BENCH_ROWS)
+
+    def step():
+        bench.modify()
+        bench.flush()
+
+    benchmark.pedantic(step, rounds=5, iterations=1)
+    measured = _measure(bench)
+    baseline = _load_baseline()
+    # The stamping really ran: every flushed commit left a stamp.
+    assert bench.db.last_commit is not None
+    assert measured <= baseline * _MAX_OVERHEAD, (
+        f"freshness-on flush took {measured * 1e6:.1f} µs vs baseline "
+        f"{baseline * 1e6:.1f} µs — more than "
+        f"{(_MAX_OVERHEAD - 1) * 100:.0f}% overhead"
+    )
+
+
+@pytest.mark.skipif(
+    not _BASELINE_PATH.exists(),
+    reason="no recorded BENCH_result_store.json baseline",
+)
+def test_freshness_delivering_overhead_gate(benchmark):
+    benchmark.group = "obs-overhead-10k"
+    benchmark.name = "flush_freshness_delivering"
+    bench = _DeliveringFreshnessWorkbench(_BENCH_ROWS)
+
+    def step():
+        bench.modify()
+        bench.flush()
+
+    benchmark.pedantic(step, rounds=5, iterations=1)
+    measured = _measure(bench)
+    baseline = _load_baseline("rebuild_seconds")
+    # The pipeline really ran: each measured flush delivered one
+    # stamped notification into the histogram and the SLO window.
+    child = bench.session.freshness_histogram.labels(
+        bench.subscription.name
+    )
+    assert child.snapshot()["count"] > 0
+    assert bench.session.freshness_slo.snapshot()["observed_total"] > 0
+    assert measured <= baseline * _MAX_OVERHEAD, (
+        f"delivering freshness flush took {measured * 1e6:.1f} µs vs "
+        f"rebuild baseline {baseline * 1e6:.1f} µs — more than "
+        f"{(_MAX_OVERHEAD - 1) * 100:.0f}% overhead"
+    )
+
+
 # ----------------------------------------------------------------------
 # Standalone driver: record BENCH_obs_overhead.json
 # ----------------------------------------------------------------------
@@ -123,32 +225,59 @@ def test_tracing_off_overhead_gate(benchmark):
 
 def run() -> dict:
     baseline = _load_baseline()
+    rebuild_baseline = _load_baseline("rebuild_seconds")
     off_s = _measure(_Workbench(_BENCH_ROWS))
+    fresh_s = _measure(_FreshnessWorkbench(_BENCH_ROWS))
+    deliver_s = _measure(_DeliveringFreshnessWorkbench(_BENCH_ROWS))
     on_s = _measure(_TracedWorkbench(_BENCH_ROWS))
     report = {
         "benchmark": "obs_overhead",
         "description": (
             "bench_result_store flush-only tail at 10k rows, re-timed "
-            "with PR 6 telemetry wired in.  tracing_off_seconds is the "
-            "default session (registry on, spans off) and is gated to "
-            "<=5% over the recorded baseline; tracing_on_seconds is the "
-            "opt-in span recorder, reported for the record"
+            "with the telemetry wired in.  tracing_off_seconds is the "
+            "default session (registry on, spans off) and "
+            "freshness_on_seconds attaches a FreshnessSLO (commit "
+            "stamping + dirty-commit bookkeeping); both gate to <=5% "
+            "over the recorded no-snapshot baseline.  "
+            "freshness_delivering_seconds runs the complete pipeline "
+            "(stamp, deliver, histogram, SLO window) and gates to <=5% "
+            "over the recorded rebuild tail — delivery has paid one "
+            "snapshot read per notified refresh since the result "
+            "store landed.  tracing_on_seconds is the opt-in span "
+            "recorder, reported for the record"
         ),
         "gates": {
             "tracing_off_overhead": (
                 f"tracing_off_seconds <= baseline * {_MAX_OVERHEAD}"
             ),
+            "freshness_on_overhead": (
+                f"freshness_on_seconds <= baseline * {_MAX_OVERHEAD}"
+            ),
+            "freshness_delivering_overhead": (
+                "freshness_delivering_seconds <= rebuild_baseline * "
+                f"{_MAX_OVERHEAD}"
+            ),
         },
         "baseline_seconds": baseline,
+        "rebuild_baseline_seconds": rebuild_baseline,
         "tracing_off_seconds": off_s,
+        "freshness_on_seconds": fresh_s,
+        "freshness_delivering_seconds": deliver_s,
         "tracing_on_seconds": on_s,
         "tracing_off_over_baseline": off_s / baseline,
+        "freshness_on_over_baseline": fresh_s / baseline,
+        "freshness_delivering_over_rebuild": deliver_s / rebuild_baseline,
         "tracing_on_over_baseline": on_s / baseline,
     }
     print(
         f"baseline {baseline * 1e6:9.1f} µs   "
         f"tracing-off {off_s * 1e6:9.1f} µs "
         f"({report['tracing_off_over_baseline']:.3f}x)   "
+        f"freshness-on {fresh_s * 1e6:9.1f} µs "
+        f"({report['freshness_on_over_baseline']:.3f}x)   "
+        f"freshness-delivering {deliver_s * 1e6:9.1f} µs "
+        f"({report['freshness_delivering_over_rebuild']:.3f}x of "
+        f"rebuild)   "
         f"tracing-on {on_s * 1e6:9.1f} µs "
         f"({report['tracing_on_over_baseline']:.3f}x)"
     )
@@ -160,12 +289,17 @@ def main() -> None:
     out_path = _REPO_ROOT / "BENCH_obs_overhead.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
-    ratio = report["tracing_off_over_baseline"]
-    assert ratio <= _MAX_OVERHEAD, (
-        f"tracing-off flush must stay within "
-        f"{(_MAX_OVERHEAD - 1) * 100:.0f}% of the recorded baseline, "
-        f"got {ratio:.3f}x"
-    )
+    for key in (
+        "tracing_off_over_baseline",
+        "freshness_on_over_baseline",
+        "freshness_delivering_over_rebuild",
+    ):
+        ratio = report[key]
+        assert ratio <= _MAX_OVERHEAD, (
+            f"{key} must stay within "
+            f"{(_MAX_OVERHEAD - 1) * 100:.0f}% of its recorded "
+            f"baseline, got {ratio:.3f}x"
+        )
 
 
 if __name__ == "__main__":

@@ -40,10 +40,12 @@ The subpackages:
 * :mod:`repro.serve` — the concurrent serving layer: threaded notification
   fan-out with per-subscriber backpressure, sharded parallel flushes, and
   a background serve loop, all opt-in on :class:`LiveSession`;
-* :mod:`repro.obs` — end-to-end telemetry: the metrics registry
+* :mod:`repro.obs` — the operations plane: the metrics registry
   (Prometheus/JSON rendering under ``repro_<layer>_<what>_total`` names),
   the opt-in refresh-pipeline trace recorder (Chrome trace-event JSON),
-  and the ``explain_analyze()`` plan renderer;
+  the ``explain_analyze()`` plan renderer, freshness SLOs with
+  error-budget burn (:class:`FreshnessSLO`), and the live HTTP scrape
+  endpoint (:class:`ObsServer`);
 * :mod:`repro.baselines` — Clifford, Torp, Forever, and Anselma comparators;
 * :mod:`repro.datasets` — synthetic MozillaBugs / Incumbent / D_ex / D_sh /
   D_sc generators and the paper's workload queries;
@@ -114,6 +116,8 @@ from repro.live import (
     SubscriptionManager,
 )
 from repro.obs import (
+    FreshnessSLO,
+    ObsServer,
     Registry,
     TraceRecorder,
 )
@@ -124,7 +128,7 @@ from repro.serve import (
     ShardedDependencyIndex,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -195,4 +199,6 @@ __all__ = [
     # telemetry
     "Registry",
     "TraceRecorder",
+    "FreshnessSLO",
+    "ObsServer",
 ]

@@ -44,9 +44,20 @@ full re-evaluations so the tables it reads cannot drift mid-plan.
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+)
 
 from repro.core.intervalset import UNIVERSAL_SET
 from repro.engine.delta import Delta, DeltaBuilder, FULL_DELTA
@@ -57,7 +68,40 @@ from repro.relational.relation import OngoingRelation
 from repro.relational.schema import Schema
 from repro.relational.tuples import OngoingTuple
 
-__all__ = ["Table", "Database", "ChangeListener", "DeltaListener"]
+__all__ = [
+    "CommitStamp",
+    "Table",
+    "Database",
+    "ChangeListener",
+    "DeltaListener",
+]
+
+
+class CommitStamp(NamedTuple):
+    """One committed modification batch: monotonic tick + wall-free clock.
+
+    ``tick`` orders commits database-wide (each :meth:`Table._bump` claims
+    the next tick under the shared write lock); ``at`` is the
+    ``time.monotonic()`` instant the batch committed, which the live layer
+    subtracts from delivery time to measure write→deliver freshness
+    (``repro_freshness_seconds``) and from "now" to measure staleness of
+    still-pending deltas.  Stamps never leave the process, so the
+    monotonic clock — immune to wall-clock steps — is the right base.
+    """
+
+    tick: int
+    at: float
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Seconds elapsed since this commit (non-negative)."""
+        reference = time.monotonic() if now is None else now
+        return max(0.0, reference - self.at)
+
+
+def _standalone_commit_source() -> Callable[[], CommitStamp]:
+    """Commit stamps for a table created outside any database."""
+    ticks = itertools.count(1)
+    return lambda: CommitStamp(next(ticks), time.monotonic())
 
 #: A modification-hook callback: called as ``listener(table_name, version)``
 #: after a table's contents changed.  Advancing the reference time never
@@ -79,6 +123,7 @@ class Table:
         schema: Schema,
         *,
         lock: Optional[threading.RLock] = None,
+        commit_source: Optional[Callable[[], CommitStamp]] = None,
     ):
         self.name = name
         self.schema = schema
@@ -87,6 +132,20 @@ class Table:
         #: standalone table gets its own.  Re-entrant: nested batches and
         #: modification hooks that write again stay on one thread's claim.
         self.lock = lock if lock is not None else threading.RLock()
+        #: Where commit ticks come from: the owning database's counter
+        #: (so ticks order commits across tables), or a private one for a
+        #: standalone table.
+        self._commit_source = (
+            commit_source
+            if commit_source is not None
+            else _standalone_commit_source()
+        )
+        #: The stamp of the most recent modification batch (``None``
+        #: before the first write).  Set inside :meth:`_bump` *before* the
+        #: listeners fire, so modification hooks — which run under the
+        #: write lock — read the stamp of exactly the event they are
+        #: handling.
+        self.last_commit: Optional[CommitStamp] = None
         self._rows: List[OngoingTuple] = []
         self._snapshot: Optional[OngoingRelation] = None
         self._interval_indexes: Dict[str, tuple] = {}
@@ -175,6 +234,7 @@ class Table:
 
     def _bump(self) -> None:
         self._version += 1
+        self.last_commit = self._commit_source()
         delta = (
             self._pending_delta.build()
             if self._pending_delta is not None
@@ -316,6 +376,18 @@ class Database:
         self._tables: Dict[str, Table] = {}
         self._listeners: List[ChangeListener] = []
         self._delta_listeners: List[DeltaListener] = []
+        self._commit_ticks = itertools.count(1)
+        #: The stamp of the most recent commit in *any* table of this
+        #: catalog (``None`` before the first write).  Claimed under the
+        #: shared write lock, so ticks strictly order commits
+        #: database-wide and listeners read the stamp of the event that
+        #: invoked them.
+        self.last_commit: Optional[CommitStamp] = None
+
+    def _next_commit(self) -> CommitStamp:
+        stamp = CommitStamp(next(self._commit_ticks), time.monotonic())
+        self.last_commit = stamp
+        return stamp
 
     # ------------------------------------------------------------------
     # Modification hooks
@@ -382,7 +454,9 @@ class Database:
         with self.lock:
             if name in self._tables:
                 raise QueryError(f"table {name!r} already exists")
-            table = Table(name, schema, lock=self.lock)
+            table = Table(
+                name, schema, lock=self.lock, commit_source=self._next_commit
+            )
             table.add_change_listener(self._table_changed)
             table.add_delta_listener(self._table_delta)
             self._tables[name] = table
@@ -407,6 +481,7 @@ class Database:
             # vanished table — the full flag forces dependents onto the
             # re-evaluation path (where they will surface the
             # missing-table error).
+            self._next_commit()
             self._table_changed(name, table.version + 1)
             self._table_delta(name, table.version + 1, FULL_DELTA)
 
@@ -451,7 +526,9 @@ class Database:
 
         return run(statement, self)
 
-    def explain_analyze(self, plan_or_sql, *, optimize: bool = True) -> str:
+    def explain_analyze(
+        self, plan_or_sql, *, optimize: bool = True, format: str = "text"
+    ):
         """Run *plan_or_sql* once and render the physical plan tree with
         per-operator live counters.
 
@@ -459,13 +536,21 @@ class Database:
         string.  The plan is evaluated through the delta engine (building
         per-operator state exactly as a live subscription would), so every
         node line shows its state rows/bytes and the time the evaluation
-        spent in it.  For counters that accumulate across refreshes,
-        prefer :meth:`~repro.live.subscription.Subscription.explain_analyze`
-        on a live subscription.
+        spent in it.  With ``format="json"`` the same report comes back as
+        plain data (the structured per-node dicts the text renderer
+        consumes) for ``/explain/<fingerprint>`` and external tooling.
+        For counters that accumulate across refreshes, prefer
+        :meth:`~repro.live.subscription.Subscription.explain_analyze` on a
+        live subscription.
         """
         from repro.engine.delta import DeltaEvaluator, NonIncrementalDelta
-        from repro.obs.explain import render_explain_analyze
+        from repro.obs.explain import (
+            explain_analyze_data,
+            render_explain_analyze,
+        )
 
+        if format not in ("text", "json"):
+            raise ValueError(f"format must be 'text' or 'json', got {format!r}")
         if isinstance(plan_or_sql, str):
             from repro.sqlish import compile_statement
 
@@ -486,7 +571,10 @@ class Database:
                 evaluator.refresh_full()
         except NonIncrementalDelta as exc:
             cold_reason = f"plan has no delta rules ({exc})"
-        return render_explain_analyze(
+        renderer = (
+            explain_analyze_data if format == "json" else render_explain_analyze
+        )
+        return renderer(
             evaluator.node_report(),
             label=label,
             fingerprint=fingerprint,

@@ -379,12 +379,17 @@ class DeltaEvaluator:
         snapshot_stats: Optional[Dict[str, int]] = None,
         tracer=None,
         cost_model=None,
+        fingerprint: Optional[str] = None,
     ):
         from repro.engine.cost import DEFAULT_COST_MODEL
 
         self.plan = plan
         self.database = database
         self.optimize = optimize
+        #: The plan fingerprint, when the owner (a maintainer) knows it —
+        #: threaded into every operator state so per-probe cost decisions
+        #: can consult the model's learned per-plan history.
+        self.fingerprint = fingerprint
         #: Algebraic push-down override for ablations — ``None`` couples
         #: it to *optimize*, ``False`` plans physically without the
         #: rewrite (see :func:`repro.engine.planner.plan_query`).
@@ -525,6 +530,8 @@ class DeltaEvaluator:
 
         state = node.delta_state()
         state.extra["cost_model"] = self.cost_model
+        if self.fingerprint is not None:
+            state.extra["plan_fingerprint"] = self.fingerprint
         states[node] = state
         if isinstance(node, SeqScan):
             if not node.label:

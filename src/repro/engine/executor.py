@@ -809,7 +809,9 @@ class MergeIntervalJoin(_JoinBase):
             probe_env = _envelope(probe.values[self.right_interval_position])
         cache = state.extra[side]
         paths = state.extra.setdefault("access_paths", {})
-        if _state_cost_model(state).use_index(len(cache)):
+        if _state_cost_model(state).use_index(
+            len(cache), state.extra.get("plan_fingerprint")
+        ):
             index = self._side_index(state, side)
             if index is not None:
                 paths[side] = f"index:interval({len(index)})"

@@ -165,6 +165,9 @@ class IncrementalMaintainer:
         #: The reason string of the last delta-vs-full decision, for
         #: ``explain_analyze()``; ``None`` until a decision is made.
         self.last_refresh_decision: Optional[str] = None
+        #: Effective cost-model parameter changes learned from this
+        #: plan's observed refresh history (the telemetry→planner loop).
+        self.cost_adaptations = 0
         self._incremental = incremental
         self._evaluator: Optional[DeltaEvaluator] = None
         self._unsupported = False
@@ -247,17 +250,25 @@ class IncrementalMaintainer:
         evaluator = self._evaluator
         return [] if evaluator is None else evaluator.node_report()
 
-    def explain_analyze(self) -> str:
+    def explain_analyze(self, *, format: str = "text"):
         """The physical plan annotated with live maintenance counters.
 
         Renders the current operator tree with per-node state rows,
         estimated state bytes, cumulative ``apply_delta`` wall time and
         delta sizes, and per-node fallback counts — plus a header with
-        the plan-level refresh totals.  A cold/evicted/unsupported plan
-        renders the header and the reason instead of a tree.
+        the plan-level refresh totals and the cost model's learned
+        per-plan parameters.  A cold/evicted/unsupported plan renders the
+        header and the reason instead of a tree.  ``format="json"``
+        returns the same report as plain data.
         """
-        from repro.obs.explain import render_explain_analyze
+        from repro.engine.cost import DEFAULT_COST_MODEL
+        from repro.obs.explain import (
+            explain_analyze_data,
+            render_explain_analyze,
+        )
 
+        if format not in ("text", "json"):
+            raise ValueError(f"format must be 'text' or 'json', got {format!r}")
         with self.lock:
             totals = {
                 "evaluations": self.evaluations,
@@ -265,6 +276,7 @@ class IncrementalMaintainer:
                 "delta_refreshes": self.delta_refreshes,
                 "delta_fallbacks": self.delta_fallbacks,
                 "cost_full_refreshes": self.cost_full_refreshes,
+                "cost_adaptations": self.cost_adaptations,
                 "state_evictions": self.state_evictions,
                 "state_rebuilds": self.state_rebuilds,
                 "state_bytes": self.state_bytes(),
@@ -279,7 +291,14 @@ class IncrementalMaintainer:
                     "no warm operator state (not yet evaluated, or "
                     "incremental maintenance disabled)"
                 )
-        return render_explain_analyze(
+        model = self.cost_model if self.cost_model is not None else DEFAULT_COST_MODEL
+        adaptation = model.adaptation_report(self.fingerprint)
+        if adaptation:
+            totals["cost_adaptation"] = adaptation
+        renderer = (
+            explain_analyze_data if format == "json" else render_explain_analyze
+        )
+        return renderer(
             self.node_report(),
             label=self.label,
             fingerprint=self.fingerprint,
@@ -361,8 +380,46 @@ class IncrementalMaintainer:
                 snapshot_stats=self._snapshot_stats,
                 tracer=self.tracer,
                 cost_model=self.cost_model,
+                fingerprint=self.fingerprint,
             )
         return self._evaluator
+
+    def _observe_costs(
+        self,
+        evaluator: DeltaEvaluator,
+        *,
+        per_row_seconds: Optional[float] = None,
+        full_seconds: Optional[float] = None,
+    ) -> None:
+        """Feed one refresh's measured costs into the cost model's
+        per-plan history and count any resulting parameter adaptations."""
+        try:
+            changed = evaluator.cost_model.observe_refresh(
+                self.fingerprint,
+                per_row_seconds=per_row_seconds,
+                full_seconds=full_seconds,
+            )
+        except Exception:  # noqa: BLE001 — telemetry must never refresh-fail
+            logger.exception("cost observation failed")
+            return
+        if not changed:
+            return
+        with self.lock:
+            self.cost_adaptations += len(changed)
+        registry = self.registry
+        if registry is None:
+            return
+        try:
+            counter = registry.counter(
+                "repro_cost_adaptations_total",
+                "Effective cost-model parameters changed by observed "
+                "refresh history",
+                ("fingerprint", "parameter"),
+            )
+            for parameter in changed:
+                counter.labels(self.fingerprint, parameter).inc()
+        except Exception:  # noqa: BLE001 — telemetry must never refresh-fail
+            logger.exception("cost adaptation metric recording failed")
 
     def _record_fallback(
         self, exc: NonIncrementalDelta, *, cause: str
@@ -477,6 +534,9 @@ class IncrementalMaintainer:
                 self._plain_result = None  # the store serves from here on
                 self.evaluations += 1
                 self.full_refreshes += 1
+            self._observe_costs(
+                evaluator, full_seconds=evaluator.last_full_seconds
+            )
             self._maybe_evict(evaluator)
             changed = previous is None or result != previous
             return RefreshOutcome(None, changed)
@@ -524,6 +584,7 @@ class IncrementalMaintainer:
             apply_seconds=evaluator.apply_seconds_total,
             apply_rows=evaluator.apply_source_rows_total,
             full_seconds=evaluator.last_full_seconds,
+            fingerprint=self.fingerprint,
         )
         with self.lock:
             self.last_refresh_decision = decision.reason
@@ -541,6 +602,8 @@ class IncrementalMaintainer:
             with self.lock:
                 self.cost_full_refreshes += 1
             return self.evaluate()
+        apply_seconds_before = evaluator.apply_seconds_total
+        apply_rows_before = evaluator.apply_source_rows_total
         try:
             delta = evaluator.apply(pending)
         except NonIncrementalDelta as exc:
@@ -561,5 +624,13 @@ class IncrementalMaintainer:
         with self.lock:
             self.evaluations += 1
             self.delta_refreshes += 1
+        applied_rows = evaluator.apply_source_rows_total - apply_rows_before
+        applied_seconds = (
+            evaluator.apply_seconds_total - apply_seconds_before
+        )
+        if applied_rows > 0 and applied_seconds > 0.0:
+            self._observe_costs(
+                evaluator, per_row_seconds=applied_seconds / applied_rows
+            )
         self._maybe_evict(evaluator)
         return RefreshOutcome(delta, not delta.is_empty())

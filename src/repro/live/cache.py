@@ -113,6 +113,12 @@ class SharedResult:
         return 0 if maintainer is None else maintainer.cost_full_refreshes
 
     @property
+    def cost_adaptations(self) -> int:
+        """Cost-model parameter changes driven by observed refresh costs."""
+        maintainer = self._maintainer
+        return 0 if maintainer is None else maintainer.cost_adaptations
+
+    @property
     def snapshots_taken(self) -> int:
         """Snapshot copies materialized (at most one per read version)."""
         maintainer = self._maintainer
@@ -149,19 +155,33 @@ class SharedResult:
         maintainer = self._maintainer
         return [] if maintainer is None else maintainer.node_report()
 
-    def explain_analyze(self) -> str:
-        """The plan tree annotated with live per-operator counters."""
+    def explain_analyze(self, *, format: str = "text"):
+        """The plan tree annotated with live per-operator counters.
+
+        ``format="json"`` returns the same report as plain data (see
+        :func:`~repro.obs.explain.explain_analyze_data`).
+        """
         maintainer = self._maintainer
         if maintainer is None:
-            from repro.obs.explain import render_explain_analyze
+            from repro.obs.explain import (
+                explain_analyze_data,
+                render_explain_analyze,
+            )
 
-            return render_explain_analyze(
+            if format not in ("text", "json"):
+                raise ValueError(
+                    f"unknown explain format {format!r}; use 'text' or 'json'"
+                )
+            renderer = (
+                render_explain_analyze if format == "text" else explain_analyze_data
+            )
+            return renderer(
                 [],
                 label=f"plan {self.fingerprint[:12]}",
                 fingerprint=self.fingerprint,
                 cold_reason="not yet evaluated",
             )
-        return maintainer.explain_analyze()
+        return maintainer.explain_analyze(format=format)
 
     def note_change(self, table: str, delta: Delta) -> None:
         """Accumulate one table delta for the next refresh (thread-safe)."""

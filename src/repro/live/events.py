@@ -39,6 +39,11 @@ class ChangeEvent:
     table: str
     version: int
     delta: Optional[Delta] = field(default=None, compare=False)
+    #: The :class:`~repro.engine.database.CommitStamp` of the
+    #: modification batch (``None`` for events synthesized outside a
+    #: stamped write path).  Carried for freshness accounting; excluded
+    #: from identity like the delta.
+    commit: Optional[Any] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,10 @@ class RefreshNotification:
     #: Tables whose modifications were coalesced into this refresh.
     changed_tables: Tuple[str, ...] = ()
     delta: Optional[Delta] = field(default=None, compare=False)
+    #: The :class:`~repro.engine.database.CommitStamp` of the *oldest*
+    #: modification batch this refresh carries — the conservative base
+    #: for write→deliver freshness (``repro_freshness_seconds``).
+    commit: Optional[Any] = field(default=None, compare=False)
 
     def coalesce_with(self, newer: "RefreshNotification") -> "RefreshNotification":
         """Merge a *newer* refresh of the same subscription into this one.
@@ -86,6 +95,14 @@ class RefreshNotification:
             if self.delta is not None and newer.delta is not None
             else None
         )
+        # Freshness is measured against the *oldest* write the delivery
+        # answers: coalescing keeps the older stamp so a skipped
+        # intermediate delivery cannot make the subscriber look fresher
+        # than it is.
+        if self.commit is not None and newer.commit is not None:
+            older_commit = min(self.commit, newer.commit)
+        else:
+            older_commit = self.commit or newer.commit
         return RefreshNotification(
             subscription=newer.subscription,
             result=newer.result,
@@ -94,6 +111,7 @@ class RefreshNotification:
                 sorted({*self.changed_tables, *newer.changed_tables})
             ),
             delta=merged_delta,
+            commit=older_commit,
         )
 
 

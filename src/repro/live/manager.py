@@ -64,12 +64,13 @@ import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.timeline import TimePoint
-from repro.engine.database import Database
+from repro.engine.database import CommitStamp, Database
 from repro.engine.delta import Delta
 from repro.engine.plan import PlanNode
 from repro.engine.rewrite import push_down_selections
 from repro.errors import QueryError
-from repro.obs.registry import Registry, Sample
+from repro.obs.registry import FRESHNESS_BUCKETS, Registry, Sample
+from repro.obs.slo import FreshnessSLO
 from repro.obs.trace import TraceRecorder
 
 from repro.live.cache import ResultCache, SharedResult
@@ -139,6 +140,7 @@ class SubscriptionManager:
         backpressure: str = "coalesce",
         state_budget_bytes: Optional[int] = None,
         registry: Optional["Registry"] = None,
+        freshness_slo: Optional[FreshnessSLO] = None,
         trace: object = False,
     ):
         if flush_every is not None and flush_every < 1:
@@ -172,6 +174,23 @@ class SubscriptionManager:
         #: :class:`~repro.obs.registry.Registry` to aggregate several
         #: sessions onto one scrape surface.
         self.metrics = registry if registry is not None else Registry()
+        #: Optional freshness objective (:class:`~repro.obs.slo.FreshnessSLO`).
+        #: Every observed write→deliver latency feeds it, ``/health``
+        #: reports its error-budget burn, and the adaptive serve-loop
+        #: debounce tightens toward its floor while the budget burns.
+        self.freshness_slo = freshness_slo
+        #: Write→deliver latency per subscription: commit stamp of the
+        #: oldest coalesced modification to the completed ``on_refresh``
+        #: delivery.  Observed on the delivery worker (async bus) or
+        #: inline after publish (sync bus) — one observation per
+        #: delivered notification, matching
+        #: ``repro_serve_delivered_notifications_total``.
+        self._freshness = self.metrics.histogram(
+            "repro_freshness_seconds",
+            "Write-to-deliver latency per subscription",
+            ("subscription",),
+            buckets=FRESHNESS_BUCKETS,
+        )
         #: Opt-in span recording (``trace=True`` / a capacity int / a
         #: :class:`~repro.obs.trace.TraceRecorder`).  ``None`` when off —
         #: the hot paths then skip even the clock reads for spans.
@@ -193,6 +212,7 @@ class SubscriptionManager:
                 capacity=queue_capacity,
                 policy=backpressure,
                 tracer=self.tracer,
+                on_delivered=self._on_delivered,
             )
         else:
             self.bus = EventBus()
@@ -213,6 +233,11 @@ class SubscriptionManager:
         self._dirty: Dict[str, Set[str]] = {}
         #: fingerprint → number of change events since last refresh.
         self._dirty_events: Dict[str, int] = {}
+        #: fingerprint → commit stamp of the *oldest* unapplied
+        #: modification (set once per dirty cycle via ``setdefault``,
+        #: popped by the refresh).  The conservative base for both the
+        #: freshness histogram and the staleness gauges.
+        self._dirty_commits: Dict[str, CommitStamp] = {}
         self._events_since_flush = 0
         self._stats = {
             "repro_live_events_total": 0,
@@ -232,6 +257,7 @@ class SubscriptionManager:
             "state_evictions": 0,
             "state_rebuilds": 0,
             "cost_full_refreshes": 0,
+            "cost_adaptations": 0,
         }
         self._unsubscribe_bus: Dict[int, Callable[[], None]] = {}
         self._listener = database.add_delta_listener(self._on_table_delta)
@@ -402,10 +428,12 @@ class SubscriptionManager:
                 retired["state_evictions"] += shared.state_evictions
                 retired["state_rebuilds"] += shared.state_rebuilds
                 retired["cost_full_refreshes"] += shared.cost_full_refreshes
+                retired["cost_adaptations"] += shared.cost_adaptations
                 self._cache.remove(shared.fingerprint)
                 self._dependencies.remove(shared.fingerprint)
                 self._dirty.pop(shared.fingerprint, None)
                 self._dirty_events.pop(shared.fingerprint, None)
+                self._dirty_commits.pop(shared.fingerprint, None)
 
     def close(self) -> None:
         """Close every subscription, stop and join all serving workers.
@@ -470,7 +498,10 @@ class SubscriptionManager:
         self._intake(table, version, delta)
 
     def _intake(self, table: str, version: int, delta: Delta) -> None:
-        event = ChangeEvent(table, version, delta)
+        # The hook runs inside the write, after Table._bump stamped the
+        # batch — database.last_commit IS this modification's stamp.
+        commit = self.database.last_commit
+        event = ChangeEvent(table, version, delta, commit=commit)
         with self._lock:
             self._stats["repro_live_events_total"] += 1
         self.bus.publish("change", event)
@@ -484,6 +515,11 @@ class SubscriptionManager:
                 self._dirty_events[fingerprint] = (
                     self._dirty_events.get(fingerprint, 0) + 1
                 )
+                if commit is not None:
+                    # Keep the *oldest* pending stamp: a refresh answers
+                    # for every coalesced write, so freshness must be
+                    # measured against the first one still waiting.
+                    self._dirty_commits.setdefault(fingerprint, commit)
                 shared = self._cache.get(fingerprint)
                 if shared is not None:
                     shared.note_change(table, delta)
@@ -706,6 +742,9 @@ class SubscriptionManager:
     ) -> bool:
         with self._lock:
             shared = self._cache.get(fingerprint)
+            # Claim the oldest pending stamp: writes landing *during* the
+            # refresh setdefault a fresh stamp for the next cycle.
+            commit = self._dirty_commits.pop(fingerprint, None)
         if shared is None:  # all subscribers left while dirty
             return False
         epoch = shared.change_count()
@@ -744,11 +783,90 @@ class SubscriptionManager:
                     self._stats["repro_live_suppressed_notifications_total"] += 1
                 continue
             delivered = subscription._notify(
-                changed_tables, coalesced, delta=result_delta
+                changed_tables, coalesced, delta=result_delta, commit=commit
             )
             with self._lock:
                 self._stats["repro_live_notifications_total"] += delivered
+            if delivered and commit is not None and not self._async_bus:
+                # The sync bus ran the callbacks inline inside _notify;
+                # the async bus observes per completed delivery instead
+                # (the pool's on_delivered hook).
+                self._observe_freshness(
+                    subscription.name, commit, count=delivered
+                )
         return True
+
+    # ------------------------------------------------------------------
+    # Freshness accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def freshness_histogram(self):
+        """The ``repro_freshness_seconds`` histogram family — exposed so
+        operators (and the ``/health`` endpoint) can read quantiles."""
+        return self._freshness
+
+    def _on_delivered(self, payload: object) -> None:
+        """Delivery-pool hook: fires once per completed delivery, on the
+        delivery worker.  Only commit-stamped refresh notifications count
+        toward freshness — change events and error records pass through."""
+        if (
+            isinstance(payload, RefreshNotification)
+            and payload.commit is not None
+        ):
+            self._observe_freshness(payload.subscription.name, payload.commit)
+
+    def _observe_freshness(
+        self, subscription: str, commit: CommitStamp, count: int = 1
+    ) -> None:
+        seconds = max(0.0, time.monotonic() - commit.at)
+        child = self._freshness.labels(subscription=subscription)
+        for _ in range(count):
+            child.observe(seconds)
+        slo = self.freshness_slo
+        if slo is not None:
+            for _ in range(count):
+                slo.observe(seconds)
+
+    def subscription_staleness(self) -> Dict[str, float]:
+        """Age (seconds) of the oldest pending unapplied change, per
+        subscription name.
+
+        Covers both halves of the pipeline: a commit still dirty and
+        awaiting its flush, and a commit-stamped notification already
+        refreshed but still queued in the subscriber's delivery mailbox.
+        ``0.0`` means fully caught up.  Computed entirely at call time
+        (the scrape), so the write/flush hot paths pay nothing for it.
+        """
+        now = time.monotonic()
+        with self._lock:
+            entries = [
+                (
+                    subscription.name,
+                    subscription.id,
+                    subscription._shared.fingerprint
+                    if subscription._shared is not None
+                    else None,
+                )
+                for subscription in self._subscriptions.values()
+            ]
+            dirty_commits = dict(self._dirty_commits)
+        ages: Dict[str, float] = {}
+        for name, sub_id, fingerprint in entries:
+            age = 0.0
+            stamp = (
+                dirty_commits.get(fingerprint)
+                if fingerprint is not None
+                else None
+            )
+            if stamp is not None:
+                age = max(age, now - stamp.at)
+            if self._async_bus:
+                queued = self.bus.oldest_commit_age(f"refresh:{sub_id}", now)
+                if queued is not None:
+                    age = max(age, queued)
+            ages[name] = age
+        return ages
 
     # ------------------------------------------------------------------
     # Background serving
@@ -836,7 +954,10 @@ class SubscriptionManager:
 
         Linear between the band edges, saturating at
         :meth:`_debounce_scale`; returns the fixed window when no band
-        is set.
+        is set.  A :attr:`freshness_slo` whose error budget is burning
+        (burn > 1) shrinks the window toward the floor by the burn
+        factor — the loop trades coalescing for freshness exactly when
+        the objective says deliveries are arriving too late.
         """
         with self._lock:
             low = self._serve_debounce_min
@@ -845,11 +966,19 @@ class SubscriptionManager:
         if low is None or high is None:
             return fixed
         if depth <= 0 or high <= low:
-            return low
-        scale = self._debounce_scale()
-        if depth >= scale:
-            return high
-        return low + (high - low) * (depth / scale)
+            window = low
+        else:
+            scale = self._debounce_scale()
+            if depth >= scale:
+                window = high
+            else:
+                window = low + (high - low) * (depth / scale)
+        slo = self.freshness_slo
+        if slo is not None and window > low:
+            burn = slo.error_budget_burn()
+            if burn > 1.0:
+                window = low + (window - low) / burn
+        return window
 
     def current_debounce(self) -> float:
         """The window the serve loop would sleep right now (adaptive
@@ -920,6 +1049,36 @@ class SubscriptionManager:
                 if entry is not None
             ]
 
+    def explain_analyze(
+        self, fingerprint: Optional[str] = None, *, format: str = "text"
+    ):
+        """EXPLAIN ANALYZE across the session's shared plans.
+
+        *fingerprint* selects plans by prefix (the truncated form shown
+        in stats and the ``/explain/<fingerprint>`` endpoint matches);
+        ``None`` reports every materialized plan.  ``format="text"``
+        joins the per-plan renderings with blank lines;
+        ``format="json"`` returns a list of report dicts (see
+        :func:`~repro.obs.explain.explain_analyze_data`).
+        """
+        if format not in ("text", "json"):
+            raise QueryError(
+                f"unknown explain format {format!r}; use 'text' or 'json'"
+            )
+        matches = [
+            shared
+            for shared in self.shared_results()
+            if fingerprint is None
+            or shared.fingerprint.startswith(fingerprint)
+        ]
+        if fingerprint is not None and not matches:
+            raise QueryError(
+                f"no shared result matches fingerprint prefix {fingerprint!r}"
+            )
+        if format == "json":
+            return [shared.explain_analyze(format="json") for shared in matches]
+        return "\n\n".join(shared.explain_analyze() for shared in matches)
+
     #: Canonical metric ``(name, kind, help)`` — the :meth:`stats` dict
     #: keys ARE these names (the flat pre-1.7 aliases are gone), so the
     #: collector publishes each sample straight from the stats snapshot.
@@ -936,6 +1095,8 @@ class SubscriptionManager:
          "Refreshes that re-evaluated the plan in full"),
         ("repro_live_cost_full_refreshes_total", "counter",
          "Full refreshes deliberately chosen by the cost model"),
+        ("repro_live_cost_adaptations_total", "counter",
+         "Cost-model parameter changes driven by observed refresh costs"),
         ("repro_live_notifications_total", "counter",
          "Refresh notifications handed to the bus"),
         ("repro_live_suppressed_notifications_total", "counter",
@@ -989,6 +1150,17 @@ class SubscriptionManager:
                     float(fanout),
                     "gauge",
                     "Live plans depending on each base table",
+                )
+            )
+        for name, age in sorted(self.subscription_staleness().items()):
+            samples.append(
+                Sample(
+                    "repro_subscription_staleness_seconds",
+                    {"subscription": name},
+                    age,
+                    "gauge",
+                    "Age of the oldest pending unapplied change per "
+                    "subscription",
                 )
             )
         for shard, count in enumerate(stats["shard_flushes"]):
@@ -1061,6 +1233,7 @@ class SubscriptionManager:
             state_evictions = retired["state_evictions"]
             state_rebuilds = retired["state_rebuilds"]
             cost_full_refreshes = retired["cost_full_refreshes"]
+            cost_adaptations = retired["cost_adaptations"]
             for fingerprint in self._cache.fingerprints():
                 entry = self._cache.get(fingerprint)
                 if entry is None:
@@ -1070,6 +1243,7 @@ class SubscriptionManager:
                 state_evictions += entry.state_evictions
                 state_rebuilds += entry.state_rebuilds
                 cost_full_refreshes += entry.cost_full_refreshes
+                cost_adaptations += entry.cost_adaptations
             data: Dict[str, object] = {
                 **self._stats,
                 "repro_live_subscriptions": len(self._subscriptions),
@@ -1078,6 +1252,7 @@ class SubscriptionManager:
                 "repro_live_cache_misses_total": self._cache.misses,
                 "repro_live_dirty_plans": len(self._dirty),
                 "repro_live_cost_full_refreshes_total": cost_full_refreshes,
+                "repro_live_cost_adaptations_total": cost_adaptations,
                 "table_fanout": self._dependencies.table_fanout(),
                 "repro_store_snapshots_taken_total": snapshots_taken,
                 "repro_store_snapshots_reused_total": snapshots_reused,

@@ -134,15 +134,17 @@ class Subscription:
             raise QueryError(f"subscription {self.name!r} is closed")
         return self._shared
 
-    def explain_analyze(self) -> str:
+    def explain_analyze(self, *, format: str = "text"):
         """The plan tree annotated with live per-operator counters.
 
         Renders the shared result's physical plan with, per node, the
         state row/byte footprint, cumulative ``apply_delta`` wall time,
         delta row traffic, and fallback count — plus the maintainer's
         refresh totals.  Reads counters only; never refreshes.
+        ``format="json"`` returns the same report as plain data for
+        external tooling.
         """
-        return self._require_shared().explain_analyze()
+        return self._require_shared().explain_analyze(format=format)
 
     def node_report(self):
         """Per-operator live counters as plain dicts (see
@@ -190,12 +192,16 @@ class Subscription:
         changed_tables: FrozenSet[str],
         coalesced: int,
         delta=None,
+        commit=None,
     ) -> int:
         """Record one refresh; deliver notifications via the event bus.
 
         Returns the number of callbacks actually delivered (0 when nobody
         listens), so the session's counters stay truthful.  *delta* is
-        the result-level change when the refresh ran incrementally.
+        the result-level change when the refresh ran incrementally;
+        *commit* is the stamp of the oldest modification batch this
+        refresh answers, carried on the notification for freshness
+        accounting.
         """
         self.stats.refreshes += 1
         self.stats.coalesced_events += coalesced
@@ -214,6 +220,7 @@ class Subscription:
             rows=rows,
             changed_tables=tuple(sorted(changed_tables)),
             delta=delta,
+            commit=commit,
         )
         tracer = getattr(self.manager, "tracer", None)
         if tracer is not None and tracer.enabled:

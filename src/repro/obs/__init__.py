@@ -1,6 +1,6 @@
 """repro.obs — end-to-end telemetry for the ongoing-query engine.
 
-Three pillars, all zero-dependency:
+Five pillars, all zero-dependency:
 
 * :mod:`repro.obs.registry` — the lock-cheap metrics registry
   (counters, gauges, fixed-bucket histograms; labeled by plan
@@ -13,17 +13,30 @@ Three pillars, all zero-dependency:
   as Chrome trace-event JSON for Perfetto;
 * :mod:`repro.obs.explain` — the ``explain_analyze()`` renderer:
   the physical plan tree annotated with live per-operator counters
-  (state rows/bytes, cumulative delta-apply time, fallback counts).
+  (state rows/bytes, cumulative delta-apply time, fallback counts),
+  in text or plain-data (:func:`~repro.obs.explain.explain_analyze_data`)
+  form;
+* :mod:`repro.obs.slo` — the freshness objective
+  (:class:`~repro.obs.slo.FreshnessSLO`): a windowed error-budget-burn
+  computation fed by write→deliver latencies, consulted by the serve
+  loop's adaptive debounce and the ``/health`` endpoint;
+* :mod:`repro.obs.server` — the live HTTP scrape surface
+  (:class:`~repro.obs.server.ObsServer`): ``/metrics`` (Prometheus
+  text), ``/metrics.json``, SLO-aware ``/health``, ``/subscriptions``,
+  and ``/explain/<fingerprint>`` over a running session, stdlib
+  ``http.server`` only.
 
 :mod:`repro.obs.promtext` is the in-repo Prometheus text-format
 validator CI uses to smoke-check ``render_prometheus()`` output.
 
 The package sits below the engine: nothing in here imports
-:mod:`repro.engine`, :mod:`repro.live`, or :mod:`repro.serve`, so every
-layer can report into it without import cycles.
+:mod:`repro.engine`, :mod:`repro.live`, or :mod:`repro.serve` (the
+server receives the session object it reports on), so every layer can
+report into it without import cycles.
 """
 
 from repro.obs.explain import (
+    explain_analyze_data,
     format_bytes,
     format_seconds,
     render_explain_analyze,
@@ -31,12 +44,15 @@ from repro.obs.explain import (
 from repro.obs.promtext import validate_prometheus_text
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    FRESHNESS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     Registry,
     Sample,
 )
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, ObsServer
+from repro.obs.slo import FreshnessSLO
 from repro.obs.trace import NULL_TRACER, TraceRecorder
 
 __all__ = [
@@ -46,9 +62,14 @@ __all__ = [
     "Registry",
     "Sample",
     "DEFAULT_BUCKETS",
+    "FRESHNESS_BUCKETS",
+    "FreshnessSLO",
+    "ObsServer",
+    "PROMETHEUS_CONTENT_TYPE",
     "TraceRecorder",
     "NULL_TRACER",
     "render_explain_analyze",
+    "explain_analyze_data",
     "format_bytes",
     "format_seconds",
     "validate_prometheus_text",

@@ -33,7 +33,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["render_explain_analyze", "format_bytes", "format_seconds"]
+__all__ = [
+    "render_explain_analyze",
+    "explain_analyze_data",
+    "format_bytes",
+    "format_seconds",
+]
 
 
 def format_bytes(count: float) -> str:
@@ -112,6 +117,7 @@ def render_explain_analyze(
             "delta_refreshes",
             "delta_fallbacks",
             "cost_full_refreshes",
+            "cost_adaptations",
             "state_evictions",
             "state_rebuilds",
         ):
@@ -123,6 +129,10 @@ def render_explain_analyze(
             lines.append("  " + "  ".join(parts))
         if totals.get("refresh_decision"):
             lines.append(f"  decision={totals['refresh_decision']}")
+        adaptation = totals.get("cost_adaptation")
+        if adaptation:
+            parts = [f"{key}={value}" for key, value in adaptation.items()]
+            lines.append("  cost=" + "  ".join(parts))
     if not report:
         lines.append(
             "  (no warm operator state"
@@ -133,3 +143,27 @@ def render_explain_analyze(
     for entry in report:
         lines.append(_node_line(entry))
     return "\n".join(lines)
+
+
+def explain_analyze_data(
+    report: List[Dict[str, Any]],
+    *,
+    label: str = "",
+    fingerprint: str = "",
+    totals: Optional[Dict[str, Any]] = None,
+    cold_reason: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The same report as plain data instead of rendered text.
+
+    Machine-readable twin of :func:`render_explain_analyze` — identical
+    inputs, but the per-node dicts pass through untouched so external
+    tooling (and the ``/explain/<fingerprint>`` endpoint) never has to
+    screen-scrape the text format.
+    """
+    return {
+        "label": label,
+        "fingerprint": fingerprint,
+        "totals": dict(totals) if totals else None,
+        "cold_reason": cold_reason,
+        "nodes": [dict(entry) for entry in report],
+    }

@@ -36,6 +36,7 @@ both as a bounded structured log (:meth:`fallbacks`) and as the labeled
 from __future__ import annotations
 
 import json
+import math
 import threading
 from collections import deque
 from typing import (
@@ -57,6 +58,7 @@ __all__ = [
     "Registry",
     "Sample",
     "DEFAULT_BUCKETS",
+    "FRESHNESS_BUCKETS",
 ]
 
 #: Default histogram bucket upper bounds, in seconds — tuned for the
@@ -77,6 +79,28 @@ DEFAULT_BUCKETS = (
     0.5,
     1.0,
     2.5,
+)
+
+#: Bucket bounds for write→deliver freshness (``repro_freshness_seconds``).
+#: Wider than the flush-latency buckets: a delivery answers for the
+#: *oldest* coalesced write, so debounce windows and queue time dominate
+#: and the interesting range runs from sub-millisecond to a minute.
+FRESHNESS_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
 )
 
 
@@ -202,6 +226,45 @@ class _HistogramChild:
                 "count": self.count,
             }
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation.
+
+        The estimate walks the cumulative bucket counts and interpolates
+        linearly inside the bucket containing the target rank — the same
+        math as PromQL's ``histogram_quantile``.  Observations in the
+        ``+Inf`` bucket clamp to the highest finite bound (there is no
+        upper edge to interpolate toward).  Returns ``nan`` for an empty
+        series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        return _bucket_quantile(self.buckets, counts, total, q)
+
+
+def _bucket_quantile(
+    buckets: Tuple[float, ...],
+    counts: List[int],
+    total: int,
+    q: float,
+) -> float:
+    """Shared quantile math over per-bucket (non-cumulative) counts."""
+    if total == 0:
+        return math.nan
+    rank = q * total
+    running = 0.0
+    lower = 0.0
+    for bound, count in zip(buckets, counts):
+        if running + count >= rank and count > 0:
+            fraction = (rank - running) / count
+            return lower + (bound - lower) * fraction
+        running += count
+        lower = bound
+    # Rank lands in the +Inf bucket: clamp to the highest finite bound.
+    return buckets[-1]
+
 
 class _MetricFamily:
     """Base of the native metric families: named, labeled children."""
@@ -316,6 +379,24 @@ class Histogram(_MetricFamily):
     def observe(self, value: float) -> None:
         self._default_child().observe(value)
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile over every labeled child combined.
+
+        Children share one bucket layout, so the family-level estimate
+        just sums their per-bucket counts before interpolating.  Returns
+        ``nan`` when no child has observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        merged = [0] * (len(self.buckets) + 1)
+        total = 0
+        for _, child in self.samples():
+            with child._lock:
+                for index, count in enumerate(child.counts):
+                    merged[index] += count
+                total += child.count
+        return _bucket_quantile(self.buckets, merged, total, q)
+
 
 class FallbackRecord(NamedTuple):
     """One recorded :class:`NonIncrementalDelta` fallback."""
@@ -336,11 +417,16 @@ class Registry:
     #: The canonical labeled fallback counter fed by :meth:`record_fallback`.
     FALLBACK_METRIC = "repro_delta_fallbacks_total"
 
+    #: Counts structured fallback records evicted from the bounded log.
+    FALLBACK_DROPPED_METRIC = "repro_fallback_records_dropped_total"
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[str, _MetricFamily] = {}
         self._collectors: List[Callable[[], Iterable[Sample]]] = []
+        self._fallback_lock = threading.Lock()
         self._fallbacks: deque = deque(maxlen=self.MAX_FALLBACKS)
+        self._fallbacks_dropped = 0
 
     # ------------------------------------------------------------------
     # Family creation (idempotent get-or-create)
@@ -425,7 +511,19 @@ class Registry:
             cause=str(cause),
             delta_shape=str(delta_shape),
         )
-        self._fallbacks.append(record)
+        with self._fallback_lock:
+            dropped = len(self._fallbacks) == self.MAX_FALLBACKS
+            self._fallbacks.append(record)
+            if dropped:
+                self._fallbacks_dropped += 1
+        if dropped:
+            # Lazily materialized: an overflow-free registry still renders
+            # an empty exposition, but once eviction starts the drop count
+            # shows up in snapshot() alongside the fallback counter.
+            self.counter(
+                self.FALLBACK_DROPPED_METRIC,
+                "Structured fallback records evicted from the bounded log",
+            ).inc()
         self.counter(
             self.FALLBACK_METRIC,
             "Delta propagations that fell back to full re-evaluation",
@@ -434,7 +532,14 @@ class Registry:
 
     def fallbacks(self) -> List[FallbackRecord]:
         """The most recent fallback records (bounded, oldest first)."""
-        return list(self._fallbacks)
+        with self._fallback_lock:
+            return list(self._fallbacks)
+
+    @property
+    def fallbacks_dropped(self) -> int:
+        """How many structured fallback records the bounded log evicted."""
+        with self._fallback_lock:
+            return self._fallbacks_dropped
 
     # ------------------------------------------------------------------
     # The read surface

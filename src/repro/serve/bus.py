@@ -40,7 +40,7 @@ __all__ = ["DeliveryPool", "AsyncEventBus"]
 class _DeliveryWorker:
     """One delivery thread plus the mailboxes pinned to it."""
 
-    def __init__(self, name: str, tracer=None):
+    def __init__(self, name: str, tracer=None, on_delivered=None):
         self.condition = threading.Condition()
         #: Mailboxes with queued items, FIFO for round-robin fairness.
         self.ready: Deque[Mailbox] = deque()
@@ -50,6 +50,11 @@ class _DeliveryWorker:
         self.delivered = 0
         #: Optional span recorder — "deliver" spans per callback run.
         self.tracer = tracer
+        #: Optional per-delivery hook, invoked with the payload exactly
+        #: once per completed delivery attempt (in lockstep with the
+        #: ``delivered`` counter, so freshness accounting built on it
+        #: matches the delivered ground truth).
+        self.on_delivered = on_delivered
         self.thread = threading.Thread(target=self._run, name=name, daemon=True)
 
     def start(self) -> None:
@@ -80,6 +85,12 @@ class _DeliveryWorker:
             try:
                 self._deliver(mailbox, item)
             finally:
+                hook = self.on_delivered
+                if hook is not None:
+                    try:
+                        hook(item)
+                    except Exception:  # noqa: BLE001 — never kill the worker
+                        pass
                 with self.condition:
                     self.active -= 1
                     self.delivered += 1
@@ -146,6 +157,7 @@ class DeliveryPool:
         name: str = "delivery",
         block_timeout: float = BLOCK_TIMEOUT,
         tracer=None,
+        on_delivered: Optional[Callable[[Any], None]] = None,
     ):
         if workers < 1:
             raise ValueError("a delivery pool needs at least one worker")
@@ -153,7 +165,7 @@ class DeliveryPool:
         self.policy = policy
         self.block_timeout = block_timeout
         self._workers = [
-            _DeliveryWorker(f"{name}-{index}", tracer=tracer)
+            _DeliveryWorker(f"{name}-{index}", tracer=tracer, on_delivered=on_delivered)
             for index in range(workers)
         ]
         self._next_worker = itertools.count()
@@ -163,6 +175,16 @@ class DeliveryPool:
         self._worker_idents = {
             worker.thread.ident for worker in self._workers
         }
+
+    def set_on_delivered(self, hook: Optional[Callable[[Any], None]]) -> None:
+        """Install (or clear) the per-delivery payload hook on all workers.
+
+        The hook fires exactly once per completed delivery attempt, in
+        lockstep with the ``delivered`` counter; exceptions it raises are
+        swallowed so it can never stall a worker.
+        """
+        for worker in self._workers:
+            worker.on_delivered = hook
 
     # ------------------------------------------------------------------
     # Registration
@@ -338,11 +360,14 @@ class AsyncEventBus(EventBus):
         policy: str = "coalesce",
         pool: Optional[DeliveryPool] = None,
         tracer=None,
+        on_delivered: Optional[Callable[[Any], None]] = None,
     ):
         super().__init__()
         self.pool = pool or DeliveryPool(
             workers=workers, capacity=capacity, policy=policy, tracer=tracer
         )
+        if on_delivered is not None:
+            self.pool.set_on_delivered(on_delivered)
         self._mailboxes: Dict[str, List[Tuple[Callable, Mailbox]]] = {}
         self._lock = threading.RLock()
 
@@ -416,6 +441,24 @@ class AsyncEventBus(EventBus):
     def backlog(self) -> int:
         """Undelivered notifications across all subscriber mailboxes."""
         return self.pool.backlog()
+
+    def oldest_commit_age(
+        self, topic: str, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Age of the oldest commit-stamped payload still queued for
+        *topic*'s listeners, or ``None`` when nothing stamped waits.
+
+        Snapshot-time introspection for the staleness gauges — walks the
+        topic's mailboxes only when asked, so delivery pays nothing.
+        """
+        with self._lock:
+            group = tuple(self._mailboxes.get(topic, ()))
+        oldest: Optional[float] = None
+        for _, mailbox in group:
+            age = mailbox.oldest_commit_age(now)
+            if age is not None and (oldest is None or age > oldest):
+                oldest = age
+        return oldest
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for every queued notification to finish delivering."""

@@ -25,6 +25,7 @@ and the backpressure wait all synchronize on one primitive.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Optional, Tuple
 
@@ -211,6 +212,27 @@ class Mailbox:
     def __len__(self) -> int:
         with self.condition:
             return len(self._items)
+
+    def oldest_commit_age(self, now: Optional[float] = None) -> Optional[float]:
+        """Age (seconds) of the oldest queued payload that carries a
+        commit stamp, or ``None`` when nothing stamped is pending.
+
+        Computed only when asked — the introspection behind the
+        ``/subscriptions`` endpoint and the staleness gauges — so the
+        delivery hot path pays nothing for it.
+        """
+        if now is None:
+            now = time.monotonic()
+        oldest: Optional[float] = None
+        with self.condition:
+            for item in self._items:
+                commit = getattr(item, "commit", None)
+                if commit is None:
+                    continue
+                age = now - commit.at
+                if oldest is None or age > oldest:
+                    oldest = age
+        return oldest
 
     def stats(self) -> dict:
         """This mailbox's counters under the canonical metric names

@@ -174,6 +174,37 @@ class TestChurnGroundTruth:
         assert _total(snapshot, "repro_live_subscriptions") == (
             self.N_SUBSCRIBERS
         )
+        # Freshness accounting is exact: one histogram observation per
+        # completed delivery — every delivered notification carried its
+        # oldest coalesced commit stamp through the whole pipeline.
+        freshness = snapshot["repro_freshness_seconds"]
+        freshness_count = sum(
+            sample["value"]["count"] for sample in freshness["samples"]
+        )
+        assert freshness_count == stats[
+            "repro_serve_delivered_notifications_total"
+        ]
+        observed_subscriptions = {
+            sample["labels"]["subscription"]
+            for sample in freshness["samples"]
+        }
+        assert observed_subscriptions <= {
+            f"churn-{index}" for index in range(self.N_SUBSCRIBERS)
+        }
+        # Drained pipeline: no commit is pending anywhere, so every
+        # staleness gauge is back to zero.
+        staleness = session.subscription_staleness()
+        assert set(staleness) == {
+            f"churn-{index}" for index in range(self.N_SUBSCRIBERS)
+        }
+        assert all(age == 0.0 for age in staleness.values()), staleness
+        staleness_samples = snapshot[
+            "repro_subscription_staleness_seconds"
+        ]["samples"]
+        assert len(staleness_samples) == self.N_SUBSCRIBERS
+        assert all(
+            sample["value"] == 0.0 for sample in staleness_samples
+        )
         for subscription in subscriptions:
             subscription.close()
         session.close()

@@ -163,6 +163,88 @@ class TestFallbackLog:
         assert len(records) == Registry.MAX_FALLBACKS
         assert records[0].fingerprint == "fp10"  # oldest were evicted
 
+    def test_overflow_is_counted_not_silent(self):
+        # 300 records into a 256-slot log: 256 kept, 44 drops counted.
+        registry = Registry()
+        assert Registry.MAX_FALLBACKS == 256
+        for index in range(300):
+            registry.record_fallback(
+                fingerprint=f"fp{index}", operator="Op", table="T",
+                cause="c",
+            )
+        assert len(registry.fallbacks()) == 256
+        assert registry.fallbacks_dropped == 44
+        snap = registry.snapshot()
+        (sample,) = snap[Registry.FALLBACK_DROPPED_METRIC]["samples"]
+        assert sample["value"] == 44.0
+
+    def test_no_overflow_means_no_drop_series(self):
+        # The drop counter materializes lazily: a registry that never
+        # overflowed keeps rendering exactly what it did before.
+        registry = Registry()
+        registry.record_fallback(
+            fingerprint="fp", operator="Op", table="T", cause="c"
+        )
+        assert registry.fallbacks_dropped == 0
+        assert Registry.FALLBACK_DROPPED_METRIC not in registry.snapshot()
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        registry = Registry()
+        hist = registry.histogram("repro_q_empty_seconds", buckets=(0.1, 1.0))
+        assert math.isnan(hist.quantile(0.5))
+        hist.labels()  # even with a child, zero observations stay nan
+        assert math.isnan(hist.quantile(0.99))
+
+    def test_interpolates_within_bucket(self):
+        registry = Registry()
+        hist = registry.histogram("repro_q_one_seconds", buckets=(1.0, 2.0))
+        for _ in range(10):
+            hist.observe(0.5)
+        # All mass in (0, 1]: rank q*10 interpolates linearly to q*1.0.
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+        assert hist.quantile(1.0) == pytest.approx(1.0)
+
+    def test_interpolates_across_buckets(self):
+        registry = Registry()
+        hist = registry.histogram(
+            "repro_q_multi_seconds", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5, 0.5, 1.5, 1.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0):
+            hist.observe(value)
+        # Counts 2/4/4; p50 rank 5 lands 3/4 into (1, 2] → 1.75.
+        assert hist.quantile(0.5) == pytest.approx(1.75)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        registry = Registry()
+        hist = registry.histogram("repro_q_inf_seconds", buckets=(1.0, 2.0))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_family_quantile_merges_labeled_children(self):
+        registry = Registry()
+        hist = registry.histogram(
+            "repro_q_labeled_seconds", "", ("sub",), buckets=(1.0, 2.0)
+        )
+        hist.labels("a").observe(0.5)
+        hist.labels("a").observe(0.5)
+        hist.labels("b").observe(1.5)
+        hist.labels("b").observe(1.5)
+        # Per-child p100 stays within each child's own bucket...
+        assert hist.labels("a").quantile(1.0) <= 1.0
+        # ...while the family-level estimate sees all four observations.
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+        assert hist.quantile(0.25) == pytest.approx(0.5)
+
+    def test_quantile_rejects_out_of_range(self):
+        registry = Registry()
+        hist = registry.histogram("repro_q_range_seconds", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.labels().quantile(-0.1)
+
 
 class TestRendering:
     def _populated(self):
