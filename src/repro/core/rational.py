@@ -1,0 +1,244 @@
+"""Ongoing rationals — the value domain of the AVG aggregate.
+
+The average of a group changes with the reference time twice over: the sum
+of the contributing values changes as tuples enter and leave the group, and
+so does the number of contributors.  Both are ongoing integers (piecewise
+affine in rt), so their quotient is a **piecewise rational** function of the
+reference time.  Rather than approximate it, :class:`OngoingRational` keeps
+the exact ``(numerator, denominator)`` pair of :class:`~repro.core.integer.
+OngoingInt` and reduces lazily: the canonical, gcd-reduced piecewise form is
+computed only when value equality, hashing, or rendering first needs it.
+
+As with every ongoing type the defining law is Definition 4's
+``‖f op g‖rt == ‖f‖rt opF ‖g‖rt``; :meth:`instantiate` returns an exact
+:class:`fractions.Fraction`.  Where the denominator is zero the value is
+undefined — every comparison is false there, and :meth:`instantiate`
+returns ``Fraction(0)`` by convention (aggregation only ever evaluates the
+value inside the group's reference time, where at least one member exists).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Tuple
+
+from repro.core.boolean import OngoingBoolean
+from repro.core.integer import OngoingInt
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
+from repro.errors import TimeDomainError
+
+__all__ = ["OngoingRational"]
+
+#: One reduced piece: value(rt) = (bn + kn*rt) / (bd + kd*rt) on [start, end).
+_Piece = Tuple[TimePoint, TimePoint, int, int, int, int]
+
+
+class OngoingRational:
+    """A rational-valued function of the reference time, kept exact.
+
+    Stored as a quotient of two ongoing integers.  Equality, hashing, and
+    rendering go through a lazily-computed canonical form, so ``2x/2y`` and
+    ``x/y`` are one value — the delta path and a full re-evaluation may
+    build the pair differently yet still compare (and hash) identical.
+    """
+
+    __slots__ = ("_numerator", "_denominator", "_reduced")
+
+    def __init__(self, numerator: OngoingInt, denominator: OngoingInt):
+        if not isinstance(numerator, OngoingInt) or not isinstance(
+            denominator, OngoingInt
+        ):
+            raise TimeDomainError(
+                "an ongoing rational needs two ongoing integers"
+            )
+        self._numerator = numerator
+        self._denominator = denominator
+        self._reduced: Tuple[_Piece, ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection and the bind operator
+    # ------------------------------------------------------------------
+
+    @property
+    def numerator(self) -> OngoingInt:
+        return self._numerator
+
+    @property
+    def denominator(self) -> OngoingInt:
+        return self._denominator
+
+    def instantiate(self, rt: TimePoint) -> Fraction:
+        """``‖f‖rt`` — the exact fraction at reference time rt."""
+        den = self._denominator.instantiate(rt)
+        if den == 0:
+            return Fraction(0)
+        return Fraction(self._numerator.instantiate(rt), den)
+
+    # ------------------------------------------------------------------
+    # Lazy reduction to a canonical piecewise form
+    # ------------------------------------------------------------------
+
+    def _pieces(self) -> Tuple[_Piece, ...]:
+        """The canonical form: co-refined, gcd-reduced, merged pieces."""
+        if self._reduced is None:
+            reduced: List[_Piece] = []
+            for start, end, bn, kn, bd, kd in self._numerator._aligned(
+                self._denominator
+            ):
+                if bd == 0 and kd == 0:
+                    # Undefined piece — canonicalize to 0/0 so the raw
+                    # numerator there cannot distinguish equal values.
+                    bn = kn = 0
+                else:
+                    divisor = gcd(gcd(bn, kn), gcd(bd, kd))
+                    if divisor > 1:
+                        bn, kn = bn // divisor, kn // divisor
+                        bd, kd = bd // divisor, kd // divisor
+                    if kd < 0 or (kd == 0 and bd < 0):
+                        bn, kn, bd, kd = -bn, -kn, -bd, -kd
+                if reduced and reduced[-1][2:] == (bn, kn, bd, kd):
+                    previous = reduced.pop()
+                    reduced.append((previous[0], end, bn, kn, bd, kd))
+                else:
+                    reduced.append((start, end, bn, kn, bd, kd))
+            self._reduced = tuple(reduced)
+        return self._reduced
+
+    def defined_set(self) -> IntervalSet:
+        """The reference times at which the denominator is non-zero."""
+        return self._denominator.not_equal(0).true_set
+
+    def eventual_key(self) -> Tuple[Fraction, Fraction]:
+        """``(growth, offset)`` describing the value as rt → ∞.
+
+        Ordering by this key (then by any deterministic tie-break) is the
+        *eventual order* used by ORDER BY: the order the instantiated
+        values settle into for all sufficiently large reference times.
+        An :class:`~repro.core.integer.OngoingInt` with final affine form
+        ``b + k*rt`` has the same key shape ``(k, b)``, so mixed columns
+        compare consistently.
+        """
+        start, end, bn, kn, bd, kd = self._pieces()[-1]
+        if bd == 0 and kd == 0:
+            return (Fraction(0), Fraction(0))
+        if kd != 0:
+            # (bn + kn*rt) / (bd + kd*rt) → kn/kd as rt → ∞.
+            return (Fraction(0), Fraction(kn, kd))
+        return (Fraction(kn, bd), Fraction(bn, bd))
+
+    # ------------------------------------------------------------------
+    # Comparisons — results are ongoing booleans
+    # ------------------------------------------------------------------
+
+    def _difference(self, other: object) -> OngoingInt:
+        """``numerator*q - p*denominator`` for other ``p/q`` (q > 0).
+
+        Within the defined region the denominator is positive (it counts
+        group members), so the sign of this ongoing integer is the sign of
+        ``self - other`` there.
+        """
+        p, q = _as_ratio(other)
+        return self._numerator.scaled(q) - self._denominator.scaled(p)
+
+    def _restrict(self, base: OngoingBoolean) -> OngoingBoolean:
+        return OngoingBoolean(
+            base.true_set.intersection(self.defined_set())
+        )
+
+    def less_than(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).less_than(0))
+
+    def less_equal(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).less_equal(0))
+
+    def equal(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).equal(0))
+
+    def not_equal(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).not_equal(0))
+
+    def greater_than(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).greater_than(0))
+
+    def greater_equal(self, other: object) -> OngoingBoolean:
+        return self._restrict(self._difference(other).greater_equal(0))
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int) and not isinstance(other, bool):
+            other = OngoingRational(
+                OngoingInt.constant(other), OngoingInt.constant(1)
+            )
+        elif isinstance(other, Fraction):
+            other = OngoingRational(
+                OngoingInt.constant(other.numerator),
+                OngoingInt.constant(other.denominator),
+            )
+        if not isinstance(other, OngoingRational):
+            return NotImplemented
+        return self._pieces() == other._pieces()
+
+    def __hash__(self) -> int:
+        return hash(self._pieces())
+
+    def __repr__(self) -> str:
+        # Repr of the *canonical* form: equal values render identically,
+        # which the top-k tie-break relies on.
+        return f"OngoingRational({list(self._pieces())!r})"
+
+    def format(self) -> str:
+        """Human rendering, e.g. ``{[5, inf): (rt + 1)/2}``."""
+        from repro.core.timeline import fmt_point
+
+        parts = []
+        for start, end, bn, kn, bd, kd in self._pieces():
+            left = "(" if start <= MINUS_INF else "["
+            span = f"{left}{fmt_point(start)}, {fmt_point(end)})"
+            parts.append(f"{span}: {_fmt_ratio(bn, kn, bd, kd)}")
+        return "{" + ", ".join(parts) + "}"
+
+
+def _affine_text(intercept: int, slope: int) -> str:
+    if slope == 0:
+        return str(intercept)
+    slope_text = "rt" if slope == 1 else f"{slope}*rt"
+    if intercept == 0:
+        return slope_text
+    if intercept > 0:
+        return f"{slope_text} + {intercept}"
+    return f"{slope_text} - {-intercept}"
+
+
+def _fmt_ratio(bn: int, kn: int, bd: int, kd: int) -> str:
+    if bd == 0 and kd == 0:
+        return "undefined"
+    if kd == 0 and bd == 1:
+        return _affine_text(bn, kn)
+    numerator = _affine_text(bn, kn)
+    denominator = _affine_text(bd, kd)
+    if kn != 0 and bn != 0:
+        numerator = f"({numerator})"
+    if kd != 0 and bd != 0:
+        denominator = f"({denominator})"
+    return f"{numerator}/{denominator}"
+
+
+def _as_ratio(value: object) -> Tuple[int, int]:
+    """*value* as an integer ratio ``p/q`` with q > 0."""
+    if isinstance(value, bool):
+        raise TimeDomainError(f"cannot compare an ongoing rational to {value!r}")
+    if isinstance(value, int):
+        return (value, 1)
+    if isinstance(value, Fraction):
+        return (value.numerator, value.denominator)
+    if isinstance(value, OngoingInt) and value.is_constant():
+        return (value.segments[0][2], 1)
+    raise TimeDomainError(
+        f"cannot compare an ongoing rational to {value!r}; only fixed "
+        "numbers are supported"
+    )

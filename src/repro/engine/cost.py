@@ -38,7 +38,16 @@ __all__ = [
     "PlanCostHistory",
     "RefreshDecision",
     "DEFAULT_COST_MODEL",
+    "TOPK_KEY_BYTES",
 ]
+
+#: Budget price of one maintained top-k window entry *beyond* the row
+#: itself (which is already priced via ``cached_rows``): the decorated
+#: sort key — a (growth, offset) Fraction pair per sort column plus the
+#: tie-break string slot and the sorted-list cell.  Counted against
+#: ``state_budget_bytes`` like every other evictable acceleration
+#: structure (see :meth:`~repro.engine.delta.DeltaEvaluator.state_bytes`).
+TOPK_KEY_BYTES = 40
 
 
 class PlanCostHistory:

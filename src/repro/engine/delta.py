@@ -652,12 +652,17 @@ class DeltaEvaluator:
         root = self._root
         if root is None:
             return 0
+        from repro.engine.cost import TOPK_KEY_BYTES
+
         default = (self.DEFAULT_ROW_BYTES, self.DEFAULT_ROW_BYTES)
         total = 0
         for state in self._states.values():
             own, cached = self._state_prices.get(state, default)
             total += len(state.counts) * own + state.cached_rows * cached
             total += self._index_entries(state) * self.INDEX_ENTRY_BYTES
+            # A top-k window's rows are priced via cached_rows above; the
+            # decorated sort keys are extra evictable state on top.
+            total += len(state.extra.get("window", ())) * TOPK_KEY_BYTES
         root_state = self._states[root]
         total -= len(root_state.counts) * self._state_prices.get(
             root_state, default
@@ -866,6 +871,7 @@ class DeltaEvaluator:
             AggregateOp,
             DifferenceOp,
             MergeIntervalJoin,
+            SortLimitOp,
         )
 
         problems: List[str] = []
@@ -925,6 +931,36 @@ class DeltaEvaluator:
                         f"{len(groups)} members, state caches "
                         f"{state.cached_rows}"
                     )
+            elif isinstance(node, SortLimitOp):
+                window = state.extra.get("window")
+                if window is not None:
+                    if len(window) != len(state.counts):
+                        problems.append(
+                            f"{path} SortLimitOp: window holds "
+                            f"{len(window)} rows, counts hold "
+                            f"{len(state.counts)}"
+                        )
+                    elif any(
+                        item not in state.counts for _, item in window
+                    ):
+                        problems.append(
+                            f"{path} SortLimitOp: window row missing "
+                            f"from the derivation counts"
+                        )
+                    elif any(
+                        window[i][0] > window[i + 1][0]
+                        for i in range(len(window) - 1)
+                    ):
+                        problems.append(
+                            f"{path} SortLimitOp: window keys out of order"
+                        )
+                    limit = node.limit
+                    overflow = state.extra.get("overflow", 0)
+                    if overflow and (limit is None or len(window) != limit):
+                        problems.append(
+                            f"{path} SortLimitOp: overflow={overflow} with "
+                            f"a non-full window ({len(window)}/{limit})"
+                        )
             for index, child in enumerate(node._children()):
                 visit(child, f"{path}.{index}")
 

@@ -30,17 +30,24 @@ against their cached build state (``Δ(L⋈R) = ΔL⋈R_old ∪ L_new⋈ΔR``);
 union and difference adjust derivation counts; aggregation
 (:class:`AggregateOp`) keeps per-group member sets and re-aggregates only
 the groups a delta touches, emitting a delete+insert pair for each
-changed group row.  An operator without an incremental rule raises
+changed group row; duplicate elimination (:class:`DistinctOp`) is the
+counting rule itself; ordered limits (:class:`SortLimitOp`) maintain a
+top-k window in O(Δ log k) and fall back only when the boundary is
+evicted.  An operator without an incremental rule raises
 :class:`~repro.engine.delta.NonIncrementalDelta`, which callers answer
 with an automatic full re-evaluation.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from fractions import Fraction
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.integer import OngoingInt
 from repro.core.interval import OngoingInterval
 from repro.core.intervalset import IntervalSet
+from repro.core.rational import OngoingRational
 from repro.engine.cost import DEFAULT_COST_MODEL
 from repro.engine.delta import (
     Delta,
@@ -73,6 +80,8 @@ __all__ = [
     "UnionOp",
     "DifferenceOp",
     "AggregateOp",
+    "DistinctOp",
+    "SortLimitOp",
     "materialize",
 ]
 
@@ -1043,11 +1052,13 @@ class DifferenceOp(PhysicalOperator):
 class AggregateOp(PhysicalOperator):
     """γ — grouped RT-aware aggregation over the child's output set.
 
-    The pull path materializes the child and delegates to the proven
-    relational operator (:func:`repro.relational.aggregate.group_by`);
-    the aggregate computes (count / sum_duration / min / max) are the
-    same order-insensitive event sweeps on both paths, so the delta rule
-    below reproduces a from-scratch evaluation exactly.
+    Maintains an **ordered list** of aggregate specs — one output column
+    per ``(aggregate, argument, output_name)`` triple — over one shared
+    per-group member set.  The pull path materializes the child and
+    delegates to the proven relational operator
+    (:func:`repro.relational.aggregate.group_by`); the registry computes
+    are the same order-insensitive event sweeps on both paths, so the
+    delta rule below reproduces a from-scratch evaluation exactly.
     """
 
     def __init__(
@@ -1055,8 +1066,7 @@ class AggregateOp(PhysicalOperator):
         child: PhysicalOperator,
         group_positions: Sequence[int],
         group_names: Sequence[str],
-        aggregate: str,
-        argument: Optional[str],
+        specs: Sequence[Tuple[str, Optional[str], str]],
         out_schema: Schema,
     ):
         from repro.relational.aggregate import aggregate_function
@@ -1064,28 +1074,38 @@ class AggregateOp(PhysicalOperator):
         self.child = child
         self.group_positions = tuple(group_positions)
         self.group_names = tuple(group_names)
-        self.aggregate = aggregate
-        self.argument = argument
+        self.specs = tuple(specs)
         self.schema = out_schema
-        self._compute = aggregate_function(aggregate)
+        self._computes = tuple(
+            (aggregate_function(name), argument)
+            for name, argument, _ in self.specs
+        )
+
+    @property
+    def aggregate(self) -> str:
+        """The first spec's aggregate name (single-spec plans)."""
+        return self.specs[0][0]
+
+    @property
+    def argument(self) -> Optional[str]:
+        """The first spec's argument (single-spec plans)."""
+        return self.specs[0][1]
 
     def __iter__(self) -> Iterator[OngoingTuple]:
         from repro.relational.aggregate import group_by
 
         relation = OngoingRelation(self.child.schema, self.child)
-        result = group_by(
-            relation,
-            self.group_names,
-            self.aggregate,
-            self.argument,
-            output_name=self.schema.names[-1],
-        )
+        result = group_by(relation, self.group_names, specs=self.specs)
         return iter(result.tuples)
 
     def _describe(self) -> str:
-        argument = self.argument if self.argument is not None else "*"
+        rendered = ", ".join(
+            f"{name}({argument if argument is not None else '*'})"
+            + (f" AS {out}" if out != name else "")
+            for name, argument, out in self.specs
+        )
         by = ", ".join(self.group_names) or "()"
-        return f"Aggregate γ {self.aggregate}({argument}) by [{by}]"
+        return f"Aggregate γ {rendered} by [{by}]"
 
     def _children(self) -> Tuple[PhysicalOperator, ...]:
         return (self.child,)
@@ -1110,14 +1130,21 @@ class AggregateOp(PhysicalOperator):
     def _group_row(
         self, key: Tuple[object, ...], members: Dict[OngoingTuple, None]
     ) -> Optional[OngoingTuple]:
-        """The output row of one group — ``None`` when the group is gone."""
+        """The output row of one group — ``None`` when the group is gone.
+
+        All specs are computed in one pass over the shared member set —
+        a touched group re-aggregates every output column together.
+        """
         from repro.relational.aggregate import members_support, scalar_empty_row
 
         if members:
-            value = self._compute(self.child.schema, members, self.argument)
-            return OngoingTuple(key + (value,), members_support(members))
+            values = tuple(
+                compute(self.child.schema, members, argument)
+                for compute, argument in self._computes
+            )
+            return OngoingTuple(key + values, members_support(members))
         if not self.group_positions:
-            return scalar_empty_row(self.aggregate)
+            return scalar_empty_row([name for name, _, _ in self.specs])
         return None
 
     def delta_state(self) -> OperatorState:
@@ -1189,4 +1216,225 @@ class AggregateOp(PhysicalOperator):
                 outs[key] = new
             else:
                 outs.pop(key, None)
+        return commit_changes(state, changes)
+
+
+class DistinctOp(MappedDeltaOperator):
+    """δ — duplicate elimination via multiplicity counting.
+
+    Ongoing relations are sets, so δ is a semantic identity on any
+    operator output — but it is an explicit multiplicity barrier: the
+    inherited counting rule tracks how many derivations each tuple has
+    and surfaces only the 0↔positive transitions, exactly SQL DISTINCT
+    under incremental maintenance.
+    """
+
+    def __init__(self, child: PhysicalOperator):
+        self.child = child
+        self.schema = child.schema
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        seen = set()
+        for item in self.child:
+            if item not in seen:
+                seen.add(item)
+                yield item
+
+    def _describe(self) -> str:
+        return "Distinct δ"
+
+    def _children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    # Incremental protocol: the identity map with derivation counting is
+    # precisely DISTINCT — inherited from MappedDeltaOperator unchanged.
+
+
+class _Descending:
+    """Reverses the order of a wrapped sort key (for ``DESC`` columns)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: object):
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.key == self.key
+
+    def __repr__(self) -> str:
+        return f"desc({self.key!r})"
+
+
+def _eventual_key(value: object) -> object:
+    """A sortable key for *value* under the eventual order.
+
+    Ongoing numbers are ordered by where they settle as rt → ∞: an
+    ongoing integer with final affine form ``b + k·rt`` sorts by the
+    ``(growth, offset)`` pair ``(k, b)``; an ongoing rational supplies
+    the same pair shape via :meth:`OngoingRational.eventual_key`; fixed
+    numbers embed as ``(0, value)`` so mixed columns stay comparable.
+    Non-numeric fixed values (strings, …) compare natively.
+    """
+    if isinstance(value, OngoingInt):
+        final = value.segments[-1]
+        return (Fraction(final[3]), Fraction(final[2]))
+    if isinstance(value, OngoingRational):
+        return value.eventual_key()
+    if isinstance(value, int) and not isinstance(value, bool):
+        return (Fraction(0), Fraction(value))
+    return value
+
+
+class SortLimitOp(PhysicalOperator):
+    """ORDER BY + LIMIT with a delta-maintained top-k boundary.
+
+    Rows are ordered by the **eventual order** of their sort-key values
+    (see :func:`_eventual_key`), with a deterministic whole-row encoding
+    as the final tie-break so the order — and therefore the top-k *set*
+    — is insensitive to input order.
+
+    The incremental state is O(k): a sorted window of the current top-k
+    rows plus a bare count of the rows beyond the boundary.  An insert
+    or delete lands in O(Δ log k) while it stays cleanly in or out of
+    the window; deleting a window row while overflow rows exist evicts
+    the boundary — the next-best row is unknown — and raises
+    :class:`NonIncrementalDelta`, which the caller answers with the
+    automatic full refresh.  Without a limit the operator is a
+    set-semantics identity that renders sorted on the pull path.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        key_positions: Sequence[Tuple[int, bool]],
+        limit: Optional[int],
+        sort_keys: Sequence[Tuple[str, bool]] = (),
+    ):
+        self.child = child
+        self.key_positions = tuple(key_positions)
+        self.limit = limit
+        self.sort_keys = tuple(sort_keys)
+        self.schema = child.schema
+
+    def _row_key(self, item: OngoingTuple) -> Tuple[object, ...]:
+        parts: List[object] = []
+        for position, descending in self.key_positions:
+            key = _eventual_key(item.values[position])
+            parts.append(_Descending(key) if descending else key)
+        # The tie-break: reprs are value-faithful (ongoing rationals render
+        # their canonical reduced form), so equal rows encode equally and
+        # distinct rows differently — the full key is unique per row.
+        parts.append(repr(item))
+        return tuple(parts)
+
+    def _sorted_rows(
+        self, items: Iterable[OngoingTuple]
+    ) -> List[Tuple[Tuple[object, ...], OngoingTuple]]:
+        return sorted((self._row_key(item), item) for item in dict.fromkeys(items))
+
+    def __iter__(self) -> Iterator[OngoingTuple]:
+        decorated = self._sorted_rows(self.child)
+        if self.limit is not None:
+            decorated = decorated[: self.limit]
+        for _, item in decorated:
+            yield item
+
+    def _describe(self) -> str:
+        keys = ", ".join(
+            f"{name} DESC" if descending else name
+            for name, descending in self.sort_keys
+        )
+        limit = "" if self.limit is None else f" limit={self.limit}"
+        return f"SortLimit (keys=[{keys}]{limit})"
+
+    def _children(self) -> Tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    # ------------------------------------------------------------------
+    # Incremental protocol.
+    #
+    # state.extra["window"]: sorted list of (row_key, row) — the current
+    # top-k (all rows when there is no limit).  state.extra["overflow"]:
+    # how many rows rank beyond the window.  Invariant: overflow > 0
+    # implies the window is full — so a window that is not full accepts
+    # every insert, and an in-window delete with overflow == 0 simply
+    # shrinks the result.
+    # ------------------------------------------------------------------
+
+    def delta_state(self) -> OperatorState:
+        state = OperatorState()
+        state.extra["window"] = []
+        state.extra["overflow"] = 0
+        return state
+
+    def evaluate(
+        self, state: OperatorState, inputs: Sequence[Iterable[OngoingTuple]]
+    ) -> None:
+        (items,) = inputs
+        decorated = self._sorted_rows(items)
+        k = self.limit
+        if k is None or k >= len(decorated):
+            window, overflow = decorated, 0
+        else:
+            window, overflow = decorated[:k], len(decorated) - k
+        state.extra["window"] = window
+        state.extra["overflow"] = overflow
+        state.cached_rows = len(window)
+        counts = state.counts
+        for _, item in window:
+            counts[item] = counts.get(item, 0) + 1
+
+    def apply_delta(
+        self, state: OperatorState, deltas: Sequence[Delta]
+    ) -> Delta:
+        (delta,) = deltas
+        if delta.full:
+            raise NonIncrementalDelta("sort/limit received a full delta")
+        window: List[Tuple[Tuple[object, ...], OngoingTuple]] = state.extra[
+            "window"
+        ]
+        overflow: int = state.extra["overflow"]
+        k = self.limit
+        changes: Dict[OngoingTuple, int] = {}
+        for item in delta.deleted:
+            entry = (self._row_key(item), item)
+            position = bisect_left(window, entry)
+            if position < len(window) and window[position][0] == entry[0]:
+                if overflow:
+                    raise NonIncrementalDelta(
+                        "top-k boundary evicted: delete inside the window "
+                        "with rows beyond the limit"
+                    )
+                window.pop(position)
+                changes[item] = changes.get(item, 0) - 1
+            else:
+                overflow -= 1
+                if overflow < 0:
+                    raise NonIncrementalDelta(
+                        "delete of a tuple unknown to the top-k window"
+                    )
+        for item in delta.inserted:
+            entry = (self._row_key(item), item)
+            position = bisect_left(window, entry)
+            if position < len(window) and window[position][0] == entry[0]:
+                raise NonIncrementalDelta(
+                    "insert of a tuple already in the top-k window"
+                )
+            if k is not None and len(window) >= k and position >= k:
+                overflow += 1
+                continue
+            window.insert(position, entry)
+            changes[item] = changes.get(item, 0) + 1
+            if k is not None and len(window) > k:
+                _, evicted = window.pop()
+                overflow += 1
+                changes[evicted] = changes.get(evicted, 0) - 1
+        state.extra["overflow"] = overflow
+        state.cached_rows = len(window)
+        state.extra.setdefault("access_paths", {})["window"] = (
+            f"topk:window({len(window)})+overflow({overflow})"
+        )
         return commit_changes(state, changes)

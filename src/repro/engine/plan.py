@@ -32,8 +32,13 @@ __all__ = [
     "Union",
     "Difference",
     "Aggregate",
+    "Distinct",
+    "SortLimit",
     "scan",
 ]
+
+#: One aggregate spec: ``(aggregate, argument, output_name)``.
+AggregateSpec = Tuple[str, Optional[str], str]
 
 
 class PlanNode:
@@ -67,15 +72,43 @@ class PlanNode:
     def group_by(
         self,
         group_columns: Sequence[str],
-        aggregate: str,
+        aggregate: Optional[str] = None,
         argument: Optional[str] = None,
         *,
         output_name: Optional[str] = None,
+        specs: Optional[Sequence[object]] = None,
     ) -> "Aggregate":
-        """Fluent grouped aggregation (γ) on top of this node."""
+        """Fluent grouped aggregation (γ) on top of this node.
+
+        The single-aggregate form (``aggregate=``, ``argument=``,
+        ``output_name=``) is the original signature and keeps working —
+        it delegates to a one-element spec list.  Pass ``specs=`` (a
+        sequence of ``(aggregate, argument[, output_name])`` tuples) for
+        several aggregates over one grouping.
+        """
         return Aggregate(
-            self, group_columns, aggregate, argument, output_name=output_name
+            self,
+            group_columns,
+            aggregate,
+            argument,
+            output_name=output_name,
+            specs=specs,
         )
+
+    def distinct(self) -> "Distinct":
+        """Fluent duplicate elimination (δ) on top of this node."""
+        return Distinct(self)
+
+    def order_by(
+        self, *keys: object, limit: Optional[int] = None
+    ) -> "SortLimit":
+        """Fluent ORDER BY (+ optional LIMIT) on top of this node.
+
+        Each key is a column name or a ``(name, descending)`` pair.  A
+        bare LIMIT (no sort keys) is ``order_by(limit=k)`` — the top-k
+        boundary then orders rows by the deterministic tie-break alone.
+        """
+        return SortLimit(self, keys, limit)
 
     def children(self) -> Tuple["PlanNode", ...]:
         """The child nodes (for plan walkers)."""
@@ -263,54 +296,207 @@ class Difference(PlanNode):
 
 
 class Aggregate(PlanNode):
-    """``γ_{group_columns; aggregate(argument)}(child)`` — grouped
-    RT-aware aggregation producing an ongoing-integer column.
+    """``γ_{group_columns; specs}(child)`` — grouped RT-aware aggregation.
 
-    *group_columns* name fixed attributes of the child; *aggregate* is one
-    of the registry names of :mod:`repro.relational.aggregate` (``count``,
-    ``sum_duration``, ``min``, ``max``); *argument* is the aggregated
-    column (``None`` for ``count``); *output_name* names the aggregate
-    column and is normalized to its default — the aggregate name — at
-    construction, so ``output_name=None`` and an explicit
-    ``output_name="count"`` are the *same* plan.  Like every plan node it
-    is immutable and fingerprintable — two subscribers to the same GROUP
-    BY query share one materialization and one delta-maintained state.
+    *group_columns* name fixed attributes of the child; *specs* is an
+    **ordered list** of ``(aggregate, argument, output_name)`` triples,
+    one output column each.  The valid aggregate names are whatever the
+    registry of :mod:`repro.relational.aggregate` holds — see
+    :func:`repro.relational.aggregate.known_aggregates`; this class does
+    not enumerate them (the planner validates against the registry at
+    plan time).  *argument* is the aggregated column (``None`` for
+    ``count``); a missing *output_name* is normalized to the aggregate
+    name at construction, so ``output_name=None`` and an explicit
+    ``output_name="count"`` are the *same* plan.
+
+    The original single-aggregate constructor arguments keep working and
+    delegate to a one-element spec list; a one-spec node produces the
+    same canonical string (and therefore the same fingerprint) as the
+    pre-spec-list node did, so existing subscribers keep sharing
+    materializations.  Like every plan node it is immutable and
+    fingerprintable — two subscribers to the same GROUP BY query share
+    one materialization and one delta-maintained state.
     """
 
-    __slots__ = ("child", "group_columns", "aggregate", "argument", "output_name")
+    __slots__ = ("child", "group_columns", "specs")
 
     def __init__(
         self,
         child: PlanNode,
         group_columns: Sequence[str],
-        aggregate: str,
+        aggregate: Optional[str] = None,
         argument: Optional[str] = None,
         *,
         output_name: Optional[str] = None,
+        specs: Optional[Sequence[object]] = None,
     ):
-        if not aggregate:
-            raise QueryError("aggregation requires an aggregate name")
+        if specs is None:
+            if not aggregate:
+                raise QueryError("aggregation requires an aggregate name")
+            normalized = [(aggregate, argument, output_name or aggregate)]
+        else:
+            if (
+                aggregate is not None
+                or argument is not None
+                or output_name is not None
+            ):
+                raise QueryError(
+                    "pass either specs= or the single-aggregate arguments, "
+                    "not both"
+                )
+            normalized = []
+            for spec in specs:
+                parts = tuple(spec)
+                if len(parts) == 2:
+                    name, arg = parts
+                    out = None
+                elif len(parts) == 3:
+                    name, arg, out = parts
+                else:
+                    raise QueryError(
+                        f"an aggregate spec is (aggregate, argument"
+                        f"[, output_name]); got {spec!r}"
+                    )
+                if not name:
+                    raise QueryError("aggregation requires an aggregate name")
+                normalized.append((name, arg, out or name))
+            if not normalized:
+                raise QueryError("aggregation requires at least one spec")
+        output_names = [out for _, _, out in normalized]
+        if len(set(output_names)) != len(output_names):
+            raise QueryError(
+                f"duplicate aggregate output names: {output_names!r}"
+            )
         self.child = child
         self.group_columns = tuple(group_columns)
-        self.aggregate = aggregate
-        self.argument = argument
-        self.output_name = output_name or aggregate
+        self.specs: Tuple[AggregateSpec, ...] = tuple(normalized)
+
+    # --- single-spec accessors (back-compat for pre-spec-list callers) --
+
+    @property
+    def aggregate(self) -> str:
+        """The first spec's aggregate name (single-spec plans)."""
+        return self.specs[0][0]
+
+    @property
+    def argument(self) -> Optional[str]:
+        """The first spec's argument (single-spec plans)."""
+        return self.specs[0][1]
+
+    @property
+    def output_name(self) -> str:
+        """The first spec's output column name (single-spec plans)."""
+        return self.specs[0][2]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def canonical(self) -> str:
+        if len(self.specs) == 1:
+            # The pre-spec-list encoding, byte for byte: a one-spec node
+            # must fingerprint identically to the node this class
+            # replaced, so existing subscribers keep sharing state.
+            aggregate, argument, output_name = self.specs[0]
+            return (
+                f"Aggregate({self.child.canonical()}, "
+                f"by={list(self.group_columns)!r}, fn={aggregate!r}, "
+                f"arg={argument!r}, out={output_name!r})"
+            )
+        return (
+            f"Aggregate({self.child.canonical()}, "
+            f"by={list(self.group_columns)!r}, "
+            f"specs={list(self.specs)!r})"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregate({self.child!r}, by={list(self.group_columns)!r}, "
+            f"specs={list(self.specs)!r})"
+        )
+
+
+class Distinct(PlanNode):
+    """``δ(child)`` — duplicate elimination.
+
+    Ongoing relations are sets, so δ is a semantic no-op on any plan
+    output — but it is part of the SQL surface (``SELECT DISTINCT``) and
+    an explicit multiplicity barrier for the delta engine: the physical
+    operator counts multiplicities and emits only 0↔positive transitions.
+    """
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def canonical(self) -> str:
+        return f"Distinct({self.child.canonical()})"
+
+    def __repr__(self) -> str:
+        return f"Distinct({self.child!r})"
+
+
+class SortLimit(PlanNode):
+    """``ORDER BY keys [LIMIT k]`` over the child's **eventual order**.
+
+    Ongoing values change with the reference time, so "the" order of a
+    live result is taken as the order the values settle into for all
+    sufficiently large rt (an ongoing integer with final affine form
+    ``b + k·rt`` sorts by ``(k, b)``).  Ties break on a deterministic
+    encoding of the whole row, making the order insensitive to input
+    order — the delta path and a full re-evaluation agree byte for byte.
+
+    *sort_keys* are ``(column, descending)`` pairs (bare names mean
+    ascending).  Without *limit* the node is a set-semantics identity
+    that merely renders sorted; with *limit* the physical operator
+    maintains the top-k boundary incrementally in O(Δ log k).
+    """
+
+    __slots__ = ("child", "sort_keys", "limit")
+
+    def __init__(
+        self,
+        child: PlanNode,
+        sort_keys: Sequence[object] = (),
+        limit: Optional[int] = None,
+    ):
+        normalized = []
+        for key in sort_keys:
+            if isinstance(key, str):
+                normalized.append((key, False))
+            else:
+                parts = tuple(key)
+                if len(parts) != 2 or not isinstance(parts[0], str):
+                    raise QueryError(
+                        f"a sort key is a column name or a "
+                        f"(name, descending) pair; got {key!r}"
+                    )
+                normalized.append((parts[0], bool(parts[1])))
+        if limit is not None:
+            if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+                raise QueryError(f"LIMIT must be a positive integer, got {limit!r}")
+        if not normalized and limit is None:
+            raise QueryError("SortLimit requires sort keys or a limit")
+        self.child = child
+        self.sort_keys: Tuple[Tuple[str, bool], ...] = tuple(normalized)
+        self.limit = limit
 
     def children(self) -> Tuple[PlanNode, ...]:
         return (self.child,)
 
     def canonical(self) -> str:
         return (
-            f"Aggregate({self.child.canonical()}, "
-            f"by={list(self.group_columns)!r}, fn={self.aggregate!r}, "
-            f"arg={self.argument!r}, out={self.output_name!r})"
+            f"SortLimit({self.child.canonical()}, "
+            f"keys={list(self.sort_keys)!r}, limit={self.limit!r})"
         )
 
     def __repr__(self) -> str:
         return (
-            f"Aggregate({self.child!r}, by={list(self.group_columns)!r}, "
-            f"fn={self.aggregate!r}, arg={self.argument!r}, "
-            f"out={self.output_name!r})"
+            f"SortLimit({self.child!r}, keys={list(self.sort_keys)!r}, "
+            f"limit={self.limit!r})"
         )
 
 

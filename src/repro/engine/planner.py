@@ -30,6 +30,7 @@ from repro.engine.cost import CostModel, DEFAULT_COST_MODEL
 from repro.engine.executor import (
     AggregateOp,
     DifferenceOp,
+    DistinctOp,
     FixedFilter,
     HashJoin,
     IntervalScan,
@@ -39,6 +40,7 @@ from repro.engine.executor import (
     PhysicalOperator,
     ProjectOp,
     SeqScan,
+    SortLimitOp,
     UnionOp,
     MappedDeltaOperator,
 )
@@ -107,6 +109,10 @@ class Planner:
             )
         if isinstance(node, logical.Aggregate):
             return self._plan_aggregate(node, database)
+        if isinstance(node, logical.Distinct):
+            return DistinctOp(self.plan(node.child, database))
+        if isinstance(node, logical.SortLimit):
+            return self._plan_sort_limit(node, database)
         raise QueryError(f"unknown plan node {node!r}")
 
     # ------------------------------------------------------------------
@@ -215,7 +221,8 @@ class Planner:
 
         child = self.plan(node.child, database)
         schema = child.schema
-        validate_aggregate(schema, node.aggregate, node.argument)
+        for aggregate, argument, _ in node.specs:
+            validate_aggregate(schema, aggregate, argument)
         positions: List[int] = []
         for name in node.group_columns:
             if schema.attribute(name).kind.is_ongoing:
@@ -225,17 +232,38 @@ class Planner:
                 )
             positions.append(schema.index_of(name))
         out_attributes = [schema.attribute(name) for name in node.group_columns]
-        out_attributes.append(
-            Attribute(node.output_name, AttributeKind.ONGOING_INTEGER)
-        )
+        for _, _, output_name in node.specs:
+            out_attributes.append(
+                Attribute(output_name, AttributeKind.ONGOING_INTEGER)
+            )
         return AggregateOp(
             child,
             positions,
             node.group_columns,
-            node.aggregate,
-            node.argument,
+            node.specs,
             Schema(out_attributes),
         )
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+
+    def _plan_sort_limit(
+        self, node: logical.SortLimit, database
+    ) -> PhysicalOperator:
+        child = self.plan(node.child, database)
+        schema = child.schema
+        key_positions: List[Tuple[int, bool]] = []
+        for name, descending in node.sort_keys:
+            kind = schema.attribute(name).kind
+            if kind in (AttributeKind.ONGOING_POINT, AttributeKind.ONGOING_INTERVAL):
+                raise QueryError(
+                    f"cannot order by {name!r}: ongoing time points and "
+                    f"intervals have no eventual order; sort keys must be "
+                    f"fixed or ongoing-numeric attributes"
+                )
+            key_positions.append((schema.index_of(name), descending))
+        return SortLimitOp(child, key_positions, node.limit, node.sort_keys)
 
     # ------------------------------------------------------------------
     # Join: algorithm selection

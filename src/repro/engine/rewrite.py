@@ -13,9 +13,11 @@ transformations:
 * **selection push-down** — a selection conjunct sinks below a join into
   the input whose attributes it references, below unions into both
   branches, into the left input of a difference, through projections when
-  the projected columns cover it, and through a grouped aggregation when
+  the projected columns cover it, through a grouped aggregation when
   the conjunct has constant truth per group (it references only grouping
-  columns and compares fixed values).
+  columns and compares fixed values), always through duplicate
+  elimination (δ commutes with σ), and through ORDER BY only when there
+  is no LIMIT — below a limit, filtering changes *which* k rows survive.
 
 Since PR 7 the rewrites run by default on every planning boundary
 (:func:`repro.engine.planner.plan_query`, ``Database.query``, live
@@ -34,11 +36,13 @@ from typing import List, Optional, Set
 from repro.engine.plan import (
     Aggregate,
     Difference,
+    Distinct,
     Join,
     PlanNode,
     Project,
     Scan,
     Select,
+    SortLimit,
     Union,
 )
 from repro.relational.predicates import (
@@ -118,10 +122,12 @@ def _rewrite_children(plan: PlanNode, rewrite) -> PlanNode:
         return Aggregate(
             rewrite(plan.child),
             plan.group_columns,
-            plan.aggregate,
-            plan.argument,
-            output_name=plan.output_name,
+            specs=plan.specs,
         )
+    if isinstance(plan, Distinct):
+        return Distinct(rewrite(plan.child))
+    if isinstance(plan, SortLimit):
+        return SortLimit(rewrite(plan.child), plan.sort_keys, plan.limit)
     return plan
 
 
@@ -167,8 +173,12 @@ def _exposed_columns(plan: PlanNode, database=None) -> Optional[Set[str]]:
     if isinstance(plan, (Union, Difference)):
         return _exposed_columns(plan.left, database)
     if isinstance(plan, Aggregate):
-        # output_name is normalized non-empty at construction.
-        return set(plan.group_columns) | {plan.output_name}
+        # Output names are normalized non-empty at construction.
+        return set(plan.group_columns) | {
+            output_name for _, _, output_name in plan.specs
+        }
+    if isinstance(plan, (Distinct, SortLimit)):
+        return _exposed_columns(plan.child, database)
     return None
 
 
@@ -297,9 +307,21 @@ def _push(plan: PlanNode, database=None) -> PlanNode:
             return Aggregate(
                 _push(Select(child.child, predicate), database),
                 child.group_columns,
-                child.aggregate,
-                child.argument,
-                output_name=child.output_name,
+                specs=child.specs,
+            )
+        return plan
+    if isinstance(child, Distinct):
+        # σθ(δ(C)) ≡ δ(σθ(C)): both operate tuple-at-a-time on sets.
+        return Distinct(_push(Select(child.child, predicate), database))
+    if isinstance(child, SortLimit):
+        # Sound only without a limit: a selection below LIMIT k changes
+        # *which* k rows survive (rows past the old boundary may enter),
+        # even when θ references only sort-key columns.
+        if child.limit is None:
+            return SortLimit(
+                _push(Select(child.child, predicate), database),
+                child.sort_keys,
+                child.limit,
             )
         return plan
     if isinstance(child, Join):

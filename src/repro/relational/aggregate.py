@@ -9,9 +9,19 @@ aggregation".  The required data type is the ongoing integer
 * :func:`sum_durations` — total (clamped) interval duration at each rt;
 * :func:`min_over` / :func:`max_over` — extrema of a fixed numeric
   attribute over the tuples present at each rt;
+* ``avg`` — the mean of a fixed numeric attribute over the tuples present
+  at each rt, kept exact as an :class:`~repro.core.rational.
+  OngoingRational` (a lazily-reduced sum-and-count pair of ongoing
+  integers);
 * :func:`group_by` — the relational operator: one output tuple per group,
-  carrying an ongoing-integer aggregate column and the union of the
+  carrying one aggregate column **per spec** (an ordered list of
+  ``(aggregate, argument, output_name)`` triples) and the union of the
   members' reference times.
+
+The registry ``_AGGREGATES`` is the single source of truth: each entry
+carries the group compute, the scalar-empty value, and the argument kind
+the planner and compiler validate against (:func:`validate_aggregate`,
+:func:`known_aggregates`).
 
 All aggregates run as **single event sweeps** over the members' interval
 boundaries — O(B log B) in the total number of boundaries B, never
@@ -43,6 +53,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.duration import duration as _duration
 from repro.core.integer import OngoingInt, Segment
 from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
+from repro.core.rational import OngoingRational
 from repro.core.timeline import MINUS_INF, PLUS_INF, TimePoint
 from repro.errors import PredicateError, SchemaError
 from repro.relational.relation import OngoingRelation
@@ -192,10 +203,11 @@ def _numeric_members(
 # The aggregate registry (shared with the physical AggregateOp)
 # ----------------------------------------------------------------------
 
-#: One group's aggregate: ``compute(schema, members, attr) -> OngoingInt``.
-#: Computes accept ``empty_value=`` so the public helpers below can
+#: One group's aggregate: ``compute(schema, members, attr)`` returning an
+#: ongoing number (:class:`OngoingInt`, or :class:`OngoingRational` for
+#: AVG).  Computes accept ``empty_value=`` so the public helpers below can
 #: delegate instead of duplicating the sweep bodies.
-GroupCompute = Callable[..., OngoingInt]
+GroupCompute = Callable[..., object]
 
 
 def _count_value(
@@ -251,24 +263,72 @@ def _max_value(
     )
 
 
+def _avg_value(
+    schema: Schema,
+    members: Iterable[OngoingTuple],
+    attr: Optional[str],
+    *,
+    empty_value: int = 0,
+) -> OngoingRational:
+    """``AVG(attr)`` as an exact ongoing rational.
+
+    The numerator (Σ value over present members) and the denominator
+    (member count) are each one order-insensitive event sweep over the
+    members' RT boundaries; the quotient stays symbolic and reduces
+    lazily, so a delta re-aggregation of the maintained member set lands
+    on a value equal (and hashing equal) to a from-scratch computation.
+    """
+    position = schema.index_of(attr)
+    contributions: List[OngoingInt] = []
+    supports: List[IntervalSet] = []
+    for rt_set, value in _numeric_members(members, position, attr):
+        contributions.append(OngoingInt.step(rt_set, inside=value))
+        supports.append(rt_set)
+    return OngoingRational(
+        _sum_affine(contributions), OngoingInt.sum_of_steps(supports)
+    )
+
+
+def _empty_rational() -> OngoingRational:
+    return OngoingRational(OngoingInt.constant(0), OngoingInt.constant(0))
+
+
 class _AggregateSpec:
-    """One registry entry: the group compute plus its zero-member value."""
+    """One registry entry: compute, zero-member value, and argument kind.
 
-    __slots__ = ("compute", "empty_value")
+    ``argument`` is what :func:`validate_aggregate` enforces —
+    ``"ignored"`` (COUNT takes none), ``"interval"`` (an ongoing interval
+    attribute), or ``"numeric"`` (a fixed numeric attribute).  ``empty``
+    overrides the scalar zero-member value for aggregates whose result
+    type is not an ongoing integer.
+    """
 
-    def __init__(self, compute: GroupCompute, empty_value: int = 0):
+    __slots__ = ("compute", "empty_value", "argument", "empty")
+
+    def __init__(
+        self,
+        compute: GroupCompute,
+        empty_value: int = 0,
+        *,
+        argument: str = "numeric",
+        empty: Optional[Callable[[], object]] = None,
+    ):
         self.compute = compute
         self.empty_value = empty_value
+        self.argument = argument
+        self.empty = empty
 
 
-#: The single aggregate registry — the compute and its scalar empty value
-#: (0 for COUNT and SUM_DURATION, the default ``empty_value`` for
-#: MIN/MAX) live together so a new aggregate cannot forget one half.
+#: The single aggregate registry — compute, scalar empty value, and
+#: argument-kind validation metadata live together so a new aggregate
+#: cannot forget one half.  Planner, compiler, and the relational
+#: operator all validate against this table and nothing else.
 _AGGREGATES: Dict[str, _AggregateSpec] = {
-    "count": _AggregateSpec(_count_value),
-    "sum_duration": _AggregateSpec(_sum_duration_value),
+    "count": _AggregateSpec(_count_value, argument="ignored"),
+    "sum_duration": _AggregateSpec(_sum_duration_value, argument="interval"),
     "min": _AggregateSpec(_min_value),
     "max": _AggregateSpec(_max_value),
+    "avg": _AggregateSpec(_avg_value, empty=_empty_rational),
 }
 
 
@@ -328,18 +388,19 @@ def validate_aggregate(
     never evaluates a single group) still surfaces schema errors, and so
     the planner can fail a bad plan at plan time.
     """
-    if aggregate not in _AGGREGATES:
+    spec = _AGGREGATES.get(aggregate)
+    if spec is None:
         raise PredicateError(
             f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
         )
-    if aggregate == "count":
+    if spec.argument == "ignored":
         return
     if attr is None:
-        if aggregate == "sum_duration":
-            raise PredicateError("sum_duration requires an interval attribute")
+        if spec.argument == "interval":
+            raise PredicateError(f"{aggregate} requires an interval attribute")
         raise PredicateError(f"{aggregate} requires an attribute")
     kind = schema.attribute(attr).kind
-    if aggregate == "sum_duration":
+    if spec.argument == "interval":
         if kind is not AttributeKind.ONGOING_INTERVAL:
             raise PredicateError(
                 f"{attr!r} is not an ongoing interval attribute"
@@ -375,24 +436,34 @@ def members_support(members: Iterable[OngoingTuple]) -> IntervalSet:
     )
 
 
-def empty_group_value(aggregate: str) -> OngoingInt:
-    """The constant ongoing integer a scalar aggregate yields over zero
-    members (SQL's ``COUNT(*) = 0`` on an empty table)."""
-    if aggregate not in _AGGREGATES:
+def empty_group_value(aggregate: str) -> object:
+    """The constant value a scalar aggregate yields over zero members
+    (SQL's ``COUNT(*) = 0`` on an empty table; an undefined ongoing
+    rational for AVG)."""
+    spec = _AGGREGATES.get(aggregate)
+    if spec is None:
         raise PredicateError(
             f"unknown aggregate {aggregate!r}; known: {sorted(_AGGREGATES)}"
         )
-    return OngoingInt.constant(_AGGREGATES[aggregate].empty_value)
+    if spec.empty is not None:
+        return spec.empty()
+    return OngoingInt.constant(spec.empty_value)
 
 
-def scalar_empty_row(aggregate: str) -> OngoingTuple:
-    """The one row a scalar aggregate over an empty relation produces.
+def scalar_empty_row(aggregates: "str | Sequence[str]") -> OngoingTuple:
+    """The one row scalar aggregates over an empty relation produce.
 
-    Its reference time is universal: the constant value is valid at
-    every rt — that is exactly the paper's ongoing-integer reading of
+    Accepts a single aggregate name (the pre-multi-spec signature) or an
+    ordered sequence of names — one output column each.  The reference
+    time is universal: the constant values are valid at every rt — that
+    is exactly the paper's ongoing-integer reading of
     ``SELECT COUNT(*)`` on an empty table.
     """
-    return OngoingTuple((empty_group_value(aggregate),), UNIVERSAL_SET)
+    if isinstance(aggregates, str):
+        aggregates = (aggregates,)
+    return OngoingTuple(
+        tuple(empty_group_value(name) for name in aggregates), UNIVERSAL_SET
+    )
 
 
 # ----------------------------------------------------------------------
@@ -403,24 +474,37 @@ def scalar_empty_row(aggregate: str) -> OngoingTuple:
 def group_by(
     relation: OngoingRelation,
     group_columns: Sequence[str],
-    aggregate: str,
+    aggregate: str | None = None,
     attr: str | None = None,
     *,
     output_name: str | None = None,
+    specs: Sequence[Tuple[str, Optional[str], str]] | None = None,
 ) -> OngoingRelation:
     """The aggregation operator γ on ongoing relations.
 
-    Groups by fixed attributes, computes the named *aggregate* (``count``,
-    ``sum_duration``, ``min``, ``max``) per group as an ongoing integer,
-    and sets each output tuple's RT to the union of its members' reference
-    times — the group exists exactly where at least one member exists.
+    Groups by fixed attributes, computes one registered aggregate (see
+    :func:`known_aggregates`) **per spec** over each group — a spec is an
+    ``(aggregate, argument, output_name)`` triple — and sets each output
+    tuple's RT to the union of its members' reference times: the group
+    exists exactly where at least one member exists.  The single-aggregate
+    call form (``aggregate=``/``attr=``/``output_name=``) is shorthand for
+    a one-spec list.
 
-    A **scalar** aggregate (empty *group_columns*) over an empty relation
-    yields one row anyway — the :func:`scalar_empty_row` — matching SQL
-    semantics and the delta engine's group-maintenance rule.
+    A **scalar** aggregation (empty *group_columns*) over an empty
+    relation yields one row anyway — the :func:`scalar_empty_row` —
+    matching SQL semantics and the delta engine's group-maintenance rule.
     """
     schema = relation.schema
-    validate_aggregate(schema, aggregate, attr)
+    if specs is None:
+        if aggregate is None:
+            raise PredicateError("aggregation requires an aggregate name")
+        specs = ((aggregate, attr, output_name or aggregate),)
+    elif aggregate is not None or attr is not None or output_name is not None:
+        raise PredicateError(
+            "pass either specs= or the single-aggregate arguments, not both"
+        )
+    for name, argument, _ in specs:
+        validate_aggregate(schema, name, argument)
     positions = [schema.index_of(name) for name in group_columns]
     for name in group_columns:
         if schema.attribute(name).kind.is_ongoing:
@@ -438,19 +522,25 @@ def group_by(
         groups[key].append(item)
 
     out_attributes = [schema.attribute(name) for name in group_columns]
-    out_attributes.append(
-        Attribute(output_name or aggregate, AttributeKind.ONGOING_INTEGER)
-    )
+    for _, _, out_name in specs:
+        out_attributes.append(
+            Attribute(out_name, AttributeKind.ONGOING_INTEGER)
+        )
     out_schema = Schema(out_attributes)
 
     out_tuples = []
-    compute = _AGGREGATES[aggregate].compute
+    computes = [
+        (_AGGREGATES[name].compute, argument) for name, argument, _ in specs
+    ]
     for key in order:
         members = groups[key]
-        value = compute(schema, members, attr)
+        values = tuple(
+            compute(schema, members, argument)
+            for compute, argument in computes
+        )
         out_tuples.append(
-            OngoingTuple(key + (value,), members_support(members))
+            OngoingTuple(key + values, members_support(members))
         )
     if not out_tuples and not group_columns:
-        out_tuples.append(scalar_empty_row(aggregate))
+        out_tuples.append(scalar_empty_row([name for name, _, _ in specs]))
     return OngoingRelation(out_schema, out_tuples)

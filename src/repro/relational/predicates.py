@@ -35,8 +35,10 @@ from repro.core.operations import (
     ongoing_max,
     ongoing_min,
 )
+from repro.core.integer import OngoingInt
+from repro.core.rational import OngoingRational
 from repro.core.timepoint import OngoingTimePoint, fixed
-from repro.errors import PredicateError
+from repro.errors import PredicateError, TimeDomainError
 from repro.relational.schema import Schema
 
 __all__ = [
@@ -305,6 +307,43 @@ _FIXED_COMPARISONS = {
     ">=": lambda x, y: x >= y,
 }
 
+#: Comparison methods shared by OngoingInt and OngoingRational.
+_ONGOING_NUMBER_METHODS = {
+    "<": "less_than",
+    "<=": "less_equal",
+    "=": "equal",
+    "!=": "not_equal",
+    ">": "greater_than",
+    ">=": "greater_equal",
+}
+
+_SWAPPED_OPS = {"<": ">", "<=": ">=", "=": "=", "!=": "!=", ">": "<", ">=": "<="}
+
+
+def _compare_ongoing_numbers(op: str, left: object, right: object) -> OngoingBoolean:
+    """Comparison where at least one side is an ongoing integer/rational.
+
+    The HAVING clause lands here: aggregate output columns hold ongoing
+    numbers, and comparing them yields the ongoing boolean that restricts
+    the group row's reference time.  The rational side (if any) drives the
+    dispatch because it knows how to cross-multiply against fixed numbers
+    and constant ongoing integers.
+    """
+    if isinstance(left, OngoingRational):
+        target, method_op, other = left, op, right
+    elif isinstance(right, OngoingRational):
+        target, method_op, other = right, _SWAPPED_OPS[op], left
+    elif isinstance(left, OngoingInt):
+        target, method_op, other = left, op, right
+    else:
+        target, method_op, other = right, _SWAPPED_OPS[op], left
+    try:
+        return getattr(target, _ONGOING_NUMBER_METHODS[method_op])(other)
+    except TimeDomainError as exc:
+        raise PredicateError(
+            f"cannot compare {left!r} {op} {right!r}"
+        ) from exc
+
 
 class Comparison(Predicate):
     """A comparison on time points or fixed values.
@@ -335,6 +374,10 @@ class Comparison(Predicate):
             if not right_ongoing:
                 right = _as_fixed_point(right, self.op)
             return _ONGOING_COMPARISONS[self.op](left, right)
+        if isinstance(left, (OngoingInt, OngoingRational)) or isinstance(
+            right, (OngoingInt, OngoingRational)
+        ):
+            return _compare_ongoing_numbers(self.op, left, right)
         try:
             outcome = _FIXED_COMPARISONS[self.op](left, right)
         except TypeError as exc:
@@ -354,7 +397,9 @@ class Comparison(Predicate):
         # comparison, no ongoing boolean is allocated.
         left = self.left.evaluate(row, schema)
         right = self.right.evaluate(row, schema)
-        if isinstance(left, OngoingTimePoint) or isinstance(right, OngoingTimePoint):
+        if isinstance(
+            left, (OngoingTimePoint, OngoingInt, OngoingRational)
+        ) or isinstance(right, (OngoingTimePoint, OngoingInt, OngoingRational)):
             return super().evaluate_fixed(row, schema)
         try:
             return bool(_FIXED_COMPARISONS[self.op](left, right))
@@ -443,6 +488,10 @@ def _is_ongoing_value(value: object) -> bool:
         return not value.is_fixed
     if isinstance(value, OngoingInterval):
         return not value.is_fixed
+    if isinstance(value, OngoingInt):
+        return not value.is_constant()
+    if isinstance(value, OngoingRational):
+        return True
     return False
 
 

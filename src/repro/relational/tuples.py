@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 from repro.core.integer import OngoingInt
 from repro.core.interval import OngoingInterval
+from repro.core.rational import OngoingRational
 from repro.core.intervalset import UNIVERSAL_SET, IntervalSet
 from repro.core.timeline import TimePoint
 from repro.core.timepoint import OngoingTimePoint
@@ -41,6 +42,8 @@ def bind_value(value: object, rt: TimePoint) -> object:
     if isinstance(value, OngoingInterval):
         return value.instantiate(rt)
     if isinstance(value, OngoingInt):
+        return value.instantiate(rt)
+    if isinstance(value, OngoingRational):
         return value.instantiate(rt)
     return value
 
@@ -102,7 +105,10 @@ class OngoingTuple:
         """Render the tuple paper-style, with ongoing values pretty-printed."""
         rendered = []
         for value in self._values:
-            if isinstance(value, (OngoingTimePoint, OngoingInterval, OngoingInt)):
+            if isinstance(
+                value,
+                (OngoingTimePoint, OngoingInterval, OngoingInt, OngoingRational),
+            ):
                 rendered.append(value.format())
             else:
                 rendered.append(str(value))

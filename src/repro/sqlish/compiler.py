@@ -25,8 +25,10 @@ from repro.core.timepoint import NOW, OngoingTimePoint
 from repro.engine.database import Database
 from repro.engine.plan import Aggregate as PlanAggregate
 from repro.engine.plan import Difference as PlanDifference
+from repro.engine.plan import Distinct as PlanDistinct
 from repro.engine.plan import Join as PlanJoin
 from repro.engine.plan import PlanNode, Project, Scan, Select
+from repro.engine.plan import SortLimit as PlanSortLimit
 from repro.engine.plan import Union as PlanUnion
 from repro.errors import QueryError
 from repro.relational.predicates import (
@@ -287,39 +289,90 @@ def _has_aggregates(statement: nodes.SelectStatement) -> bool:
     )
 
 
+class _OutputScope:
+    """Resolves names against a plan's *output* columns (HAVING, ORDER BY).
+
+    Mirrors :class:`_Scope`'s by-short matching: a qualified output
+    column like ``B.C`` is also reachable by its short name ``C`` when
+    unambiguous.
+    """
+
+    def __init__(self, names: Sequence[str]):
+        self._all = set(names)
+        self._by_short: Dict[str, List[str]] = {}
+        for name in names:
+            self._by_short.setdefault(name.split(".")[-1], []).append(name)
+
+    def resolve(self, name: str) -> str:
+        if name in self._all:
+            return name
+        if "." in name:
+            raise QueryError(f"unknown column {name!r}")
+        candidates = self._by_short.get(name)
+        if not candidates:
+            raise QueryError(f"unknown column {name!r}")
+        if len(candidates) > 1:
+            raise QueryError(
+                f"ambiguous column {name!r}; qualify it "
+                f"(candidates: {sorted(candidates)})"
+            )
+        return candidates[0]
+
+
 def _compile_select(
     statement: nodes.SelectStatement, database: Database
 ) -> PlanNode:
     scope = _Scope(database, statement.tables)
     plan = _build_from_where(statement, database, scope)
+    output_scope: object = scope
     if any(isinstance(item, nodes.StarItem) for item in statement.items):
         if len(statement.items) != 1:
             raise QueryError("SELECT * cannot be mixed with other items")
-        return plan
-    if _has_aggregates(statement):
-        return _compile_aggregate(statement, scope, plan)
-    items = []
-    for item in statement.items:
-        assert isinstance(item, nodes.SelectItem)
-        expression = _compile_value(item.expression, scope)
-        if item.alias:
-            name = item.alias
-        elif isinstance(item.expression, nodes.ColumnRef):
-            # Output columns keep the name the user wrote (unqualified
-            # references stay unqualified), like SQL projection does.
-            name = item.expression.name
-        else:
-            raise QueryError(
-                f"computed column {item.expression!r} needs an AS alias"
-            )
-        items.append((name, expression))
-    return Project(plan, tuple(items))
+        if statement.having is not None:
+            raise QueryError("HAVING requires an aggregate SELECT")
+    elif _has_aggregates(statement):
+        plan, output_scope = _compile_aggregate(statement, scope, plan)
+    else:
+        if statement.having is not None:
+            raise QueryError("HAVING requires an aggregate SELECT")
+        items = []
+        for item in statement.items:
+            assert isinstance(item, nodes.SelectItem)
+            expression = _compile_value(item.expression, scope)
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expression, nodes.ColumnRef):
+                # Output columns keep the name the user wrote (unqualified
+                # references stay unqualified), like SQL projection does.
+                name = item.expression.name
+            else:
+                raise QueryError(
+                    f"computed column {item.expression!r} needs an AS alias"
+                )
+            items.append((name, expression))
+        plan = Project(plan, tuple(items))
+        output_scope = _OutputScope([name for name, _ in items])
+    if statement.distinct:
+        plan = PlanDistinct(plan)
+    if statement.order_by or statement.limit is not None:
+        keys = tuple(
+            (output_scope.resolve(key.column), key.descending)
+            for key in statement.order_by
+        )
+        plan = PlanSortLimit(plan, keys, statement.limit)
+    return plan
 
 
 def _compile_aggregate(
     statement: nodes.SelectStatement, scope: _Scope, plan: PlanNode
-) -> PlanNode:
-    """Lower ``SELECT k, AGG(...) ... GROUP BY k`` to an Aggregate node."""
+) -> Tuple[PlanNode, "_OutputScope"]:
+    """Lower ``SELECT k, AGG(...), ... GROUP BY k [HAVING θ]`` to an
+    Aggregate node (one node, all aggregates in SELECT-list order) plus,
+    when HAVING is present, a Select over the aggregate's output columns.
+
+    Returns the plan and the output scope (group columns + aggregate
+    output names) that HAVING and ORDER BY resolve against.
+    """
     aggregates = [
         item
         for item in statement.items
@@ -332,8 +385,6 @@ def _compile_aggregate(
         if isinstance(item, nodes.SelectItem)
         and not isinstance(item.expression, nodes.AggregateCall)
     ]
-    if len(aggregates) != 1:
-        raise QueryError("exactly one aggregate per SELECT is supported")
     group_columns = [scope.resolve(name) for name in statement.group_by]
     for item in plain:
         if not isinstance(item.expression, nodes.ColumnRef):
@@ -343,13 +394,55 @@ def _compile_aggregate(
             raise QueryError(
                 f"column {item.expression.name!r} must appear in GROUP BY"
             )
-    call = aggregates[0].expression
-    assert isinstance(call, nodes.AggregateCall)
-    argument = scope.resolve(call.argument) if call.argument else None
-    output_name = aggregates[0].alias or call.function
-    return PlanAggregate(
-        plan, group_columns, call.function, argument, output_name=output_name
+    specs = []
+    for item in aggregates:
+        call = item.expression
+        assert isinstance(call, nodes.AggregateCall)
+        argument = scope.resolve(call.argument) if call.argument else None
+        specs.append((call.function, argument, item.alias or call.function))
+    result: PlanNode = PlanAggregate(plan, group_columns, specs=specs)
+    output_scope = _OutputScope(
+        list(group_columns) + [output_name for _, _, output_name in specs]
     )
+    if statement.having is not None:
+        predicate = _compile_boolean_scoped(statement.having, output_scope)
+        result = Select(result, predicate)
+    return result, output_scope
+
+
+def _compile_boolean_scoped(
+    node: nodes.BooleanExpr, output_scope: "_OutputScope"
+) -> Predicate:
+    """Compile a boolean expression resolving columns via *output_scope*
+    (HAVING sees the aggregate's output row, not the base tables)."""
+    if isinstance(node, nodes.Comparison):
+        return PredComparison(
+            node.op,
+            _compile_value_scoped(node.left, output_scope),
+            _compile_value_scoped(node.right, output_scope),
+        )
+    if isinstance(node, nodes.AndExpr):
+        return And(
+            tuple(_compile_boolean_scoped(p, output_scope) for p in node.parts)
+        )
+    if isinstance(node, nodes.OrExpr):
+        return Or(
+            tuple(_compile_boolean_scoped(p, output_scope) for p in node.parts)
+        )
+    if isinstance(node, nodes.NotExpr):
+        return Not(_compile_boolean_scoped(node.part, output_scope))
+    raise QueryError(
+        f"unsupported HAVING expression: {node!r} (comparisons and "
+        f"boolean combinations over output columns only)"
+    )
+
+
+def _compile_value_scoped(
+    node: nodes.ValueExpr, output_scope: "_OutputScope"
+) -> Expression:
+    if isinstance(node, nodes.ColumnRef):
+        return Column(output_scope.resolve(node.name))
+    return Literal(_compile_literal(node))
 
 
 def compile_statement(source: str, database: Database) -> PlanNode:

@@ -33,6 +33,7 @@ _AGGREGATE_RENDER = {
     "sum_duration": "SUM_DURATION",
     "min": "MIN",
     "max": "MAX",
+    "avg": "AVG",
 }
 
 
@@ -116,6 +117,7 @@ def format_statement(statement: nodes.Statement) -> str:
         )
     parts = [
         "SELECT "
+        + ("DISTINCT " if statement.distinct else "")
         + ", ".join(_format_item(item) for item in statement.items),
         "FROM " + ", ".join(_format_table(table) for table in statement.tables),
     ]
@@ -123,4 +125,16 @@ def format_statement(statement: nodes.Statement) -> str:
         parts.append("WHERE " + format_boolean(statement.where))
     if statement.group_by:
         parts.append("GROUP BY " + ", ".join(statement.group_by))
+        if statement.having is not None:
+            parts.append("HAVING " + format_boolean(statement.having))
+    if statement.order_by:
+        parts.append(
+            "ORDER BY "
+            + ", ".join(
+                key.column + (" DESC" if key.descending else "")
+                for key in statement.order_by
+            )
+        )
+    if statement.limit is not None:
+        parts.append(f"LIMIT {statement.limit}")
     return " ".join(parts)

@@ -40,6 +40,12 @@ KEYWORDS = {
     "EXCEPT",
     "GROUP",
     "BY",
+    "HAVING",
+    "DISTINCT",
+    "ORDER",
+    "LIMIT",
+    "ASC",
+    "DESC",
     "NOW",
     "DATE",
     "PERIOD",
@@ -61,6 +67,7 @@ KEYWORDS = {
     "SUM_DURATION",
     "MIN",
     "MAX",
+    "AVG",
     "INTERSECTION",
 }
 
@@ -77,11 +84,18 @@ _OPERATORS = ["<=", ">=", "!=", "<>", "=", "<", ">"]
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token: a kind, its text, and its source position."""
+    """One lexical token: a kind, its text, and its source position.
+
+    For keywords, ``text`` is the canonical uppercase spelling (what the
+    parser matches against) and ``word`` preserves the source spelling —
+    the parser reads ``word`` when it accepts a reserved word in a
+    position that requires a plain name (e.g. a column named ``limit``).
+    """
 
     kind: str  # KEYWORD | NAME | NUMBER | STRING | OP | punctuation kinds | EOF
     text: str
     position: int
+    word: str = ""
 
     def matches(self, kind: str, text: str | None = None) -> bool:
         if self.kind != kind:
@@ -136,9 +150,9 @@ def tokenize(source: str) -> List[Token]:
             word = source[index:end]
             upper = word.upper()
             if upper in KEYWORDS and "." not in word:
-                tokens.append(Token("KEYWORD", upper, index))
+                tokens.append(Token("KEYWORD", upper, index, word))
             else:
-                tokens.append(Token("NAME", word, index))
+                tokens.append(Token("NAME", word, index, word))
             index = end
             continue
         raise QueryError(f"unexpected character {char!r} at position {index}")

@@ -28,6 +28,7 @@ __all__ = [
     "StarItem",
     "AggregateCall",
     "TableRef",
+    "OrderItem",
     "SelectStatement",
     "SetOperation",
     "Statement",
@@ -138,9 +139,10 @@ class StarItem:
 
 @dataclass(frozen=True)
 class AggregateCall:
-    """``COUNT(*)``, ``SUM_DURATION(col)``, ``MIN(col)``, ``MAX(col)``."""
+    """``COUNT(*)``, ``SUM_DURATION(col)``, ``MIN(col)``, ``MAX(col)``,
+    ``AVG(col)``."""
 
-    function: str  # count | sum_duration | min | max
+    function: str  # count | sum_duration | min | max | avg
     argument: Optional[str]  # column name, None for COUNT(*)
 
 
@@ -161,11 +163,23 @@ class TableRef:
 
 
 @dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key: a column and its direction."""
+
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
 class SelectStatement:
     items: Tuple[Union[SelectItem, StarItem], ...]
     tables: Tuple[TableRef, ...]
     where: Optional[BooleanExpr]
     group_by: Tuple[str, ...]
+    distinct: bool = False
+    having: Optional[BooleanExpr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
 
 
 @dataclass(frozen=True)

@@ -3,12 +3,16 @@
 Grammar (informally)::
 
     statement   := select (("UNION" | "EXCEPT") select)* [";"]
-    select      := "SELECT" items "FROM" tables ["WHERE" disjunction]
-                   ["GROUP" "BY" names]
+    select      := "SELECT" ["DISTINCT"] items "FROM" tables
+                   ["WHERE" disjunction]
+                   ["GROUP" "BY" names ["HAVING" disjunction]]
+                   ["ORDER" "BY" order_key ("," order_key)*]
+                   ["LIMIT" NUMBER]
     items       := "*" | item ("," item)*
     item        := (aggregate | value) ["AS" NAME]
     aggregate   := ("COUNT" "(" "*" ")")
-                 | (("SUM_DURATION"|"MIN"|"MAX") "(" NAME ")")
+                 | (("SUM_DURATION"|"MIN"|"MAX"|"AVG") "(" NAME ")")
+    order_key   := NAME ["ASC" | "DESC"]
     tables      := table ("," table)*
     table       := NAME [["AS"] NAME]
     disjunction := conjunction ("OR" conjunction)*
@@ -17,6 +21,11 @@ Grammar (informally)::
     condition   := "(" disjunction ")" | value (comparison | temporal) value
     value       := NAME | NUMBER | STRING | "NOW" | "DATE" STRING
                  | "PERIOD" STRING | "INTERSECTION" "(" value "," value ")"
+
+Where the grammar requires a NAME, the reserved words ``HAVING``,
+``DISTINCT``, and ``LIMIT`` are also accepted (columns may carry those
+names); clause parsing is greedy, so e.g. in ``GROUP BY having HAVING
+…`` the first word is the column and the second starts the clause.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.sqlish.nodes import (
     IntersectionCall,
     NotExpr,
     NumberLiteral,
+    OrderItem,
     OrExpr,
     PeriodLiteral,
     PointLiteral,
@@ -70,7 +80,13 @@ _AGGREGATE_KEYWORDS = {
     "SUM_DURATION": "sum_duration",
     "MIN": "min",
     "MAX": "max",
+    "AVG": "avg",
 }
+
+#: Reserved words accepted wherever the grammar requires a plain NAME —
+#: these read naturally as column names and carry no leading-position
+#: ambiguity that greedy clause parsing cannot resolve.
+_NAME_KEYWORDS = frozenset({"HAVING", "DISTINCT", "LIMIT"})
 
 
 class _Parser:
@@ -103,6 +119,18 @@ class _Parser:
             )
         return self._advance()
 
+    def _expect_name(self) -> str:
+        """A plain name — or a reserved word usable as one (source case)."""
+        token = self._current
+        if token.kind == "NAME":
+            return self._advance().text
+        if token.kind == "KEYWORD" and token.text in _NAME_KEYWORDS:
+            return self._advance().word or token.text
+        raise QueryError(
+            f"expected NAME at position {token.position}, "
+            f"got {token.text or token.kind!r}"
+        )
+
     # --- statements -----------------------------------------------------
 
     def parse_statement(self) -> Statement:
@@ -120,6 +148,7 @@ class _Parser:
 
     def _parse_select(self) -> SelectStatement:
         self._expect("KEYWORD", "SELECT")
+        distinct = self._accept("KEYWORD", "DISTINCT") is not None
         items = self._parse_items()
         self._expect("KEYWORD", "FROM")
         tables = self._parse_tables()
@@ -127,13 +156,48 @@ class _Parser:
         if self._accept("KEYWORD", "WHERE"):
             where = self._parse_disjunction()
         group_by: Tuple[str, ...] = ()
+        having: Optional[BooleanExpr] = None
         if self._accept("KEYWORD", "GROUP"):
             self._expect("KEYWORD", "BY")
-            names = [self._expect("NAME").text]
+            names = [self._expect_name()]
             while self._accept("COMMA"):
-                names.append(self._expect("NAME").text)
+                names.append(self._expect_name())
             group_by = tuple(names)
-        return SelectStatement(tuple(items), tuple(tables), where, group_by)
+            if self._accept("KEYWORD", "HAVING"):
+                having = self._parse_disjunction()
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            keys = [self._parse_order_key()]
+            while self._accept("COMMA"):
+                keys.append(self._parse_order_key())
+            order_by = tuple(keys)
+        limit: Optional[int] = None
+        if self._accept("KEYWORD", "LIMIT"):
+            token = self._expect("NUMBER")
+            limit = int(token.text)
+            if limit <= 0:
+                raise QueryError(
+                    f"LIMIT at position {token.position} must be positive, "
+                    f"got {limit}"
+                )
+        return SelectStatement(
+            tuple(items),
+            tuple(tables),
+            where,
+            group_by,
+            distinct=distinct,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_order_key(self) -> OrderItem:
+        name = self._expect_name()
+        if self._accept("KEYWORD", "DESC"):
+            return OrderItem(name, descending=True)
+        self._accept("KEYWORD", "ASC")
+        return OrderItem(name, descending=False)
 
     def _parse_items(self) -> List[Union[SelectItem, StarItem]]:
         if self._accept("STAR"):
@@ -152,7 +216,7 @@ class _Parser:
             expression = self._parse_value()
         alias = None
         if self._accept("KEYWORD", "AS"):
-            alias = self._expect("NAME").text
+            alias = self._expect_name()
         return SelectItem(expression, alias)
 
     def _parse_aggregate(self) -> Optional[AggregateCall]:
@@ -170,7 +234,7 @@ class _Parser:
             self._expect("STAR")
             argument = None
         else:
-            argument = self._expect("NAME").text
+            argument = self._expect_name()
         self._expect("RPAREN")
         return AggregateCall(function, argument)
 
@@ -239,6 +303,9 @@ class _Parser:
         if token.kind == "NAME":
             self._advance()
             return ColumnRef(token.text)
+        if token.kind == "KEYWORD" and token.text in _NAME_KEYWORDS:
+            self._advance()
+            return ColumnRef(token.word or token.text)
         if token.kind == "NUMBER":
             self._advance()
             return NumberLiteral(int(token.text))

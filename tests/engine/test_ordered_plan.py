@@ -1,0 +1,205 @@
+"""Distinct and SortLimit plan nodes: planning, maintenance, boundaries.
+
+Covers the ordered-surface tentpole at the engine layer: the multi-spec
+Aggregate back-compat contract (one-spec plans keep their historical
+fingerprints), δ's multiplicity counting, and the top-k window's state
+machine — including the boundary-churn paths where a delete inside the
+window forces the logged full-refresh fallback.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.plan import Aggregate, Distinct, SortLimit, scan
+from repro.errors import QueryError
+from repro.live import LiveSession
+from repro.relational.predicates import col, lit
+from repro.relational.schema import Schema
+
+
+def _database() -> Database:
+    db = Database("ordered-plan")
+    table = db.create_table("R", Schema.of("K", "N"))
+    for k, n in [(1, 10), (2, 9), (3, 8), (4, 7)]:
+        table.insert(k, n)
+    return db
+
+
+def _full_refreshes(session: LiveSession) -> int:
+    return session.stats()["repro_live_full_refreshes_total"]
+
+
+class TestAggregateBackCompat:
+    def test_single_spec_signatures_share_one_fingerprint(self):
+        """The pre-existing single-aggregate call shape and the new specs
+        form are the *same* plan — cached state keyed by fingerprint must
+        survive the refactor."""
+        old_style = scan("R").group_by(("K",), "count", output_name="n")
+        new_style = Aggregate(scan("R"), ("K",), specs=[("count", None, "n")])
+        assert old_style.fingerprint() == new_style.fingerprint()
+        assert old_style.canonical() == new_style.canonical()
+
+    def test_single_spec_canonical_is_byte_frozen(self):
+        """The exact historical canonical string: anything persisted under
+        a pre-refactor fingerprint (plan caches, cost histories) must
+        still resolve."""
+        plan = scan("R").group_by(("K",), "count", output_name="n")
+        assert plan.canonical() == (
+            "Aggregate(Scan('R'), by=['K'], fn='count', arg=None, out='n')"
+        )
+
+    def test_multi_spec_changes_the_fingerprint(self):
+        one = scan("R").group_by(("K",), "count", output_name="n")
+        two = scan("R").group_by(
+            ("K",), specs=[("count", None, "n"), ("avg", "N", "a")]
+        )
+        assert one.fingerprint() != two.fingerprint()
+        assert [s[0] for s in two.specs] == ["count", "avg"]
+
+    def test_duplicate_output_names_rejected(self):
+        with pytest.raises(QueryError, match="duplicate aggregate output"):
+            scan("R").group_by(
+                ("K",), specs=[("count", None, "n"), ("avg", "N", "n")]
+            )
+
+
+class TestDistinct:
+    def test_distinct_collapses_duplicate_projections(self):
+        db = _database()
+        db.table("R").insert(5, 10)  # duplicate N value
+        plan = scan("R").select_columns("N").distinct()
+        values = sorted(row.values[0] for row in db.query(plan))
+        assert values == [7, 8, 9, 10]
+
+    def test_distinct_delta_surfaces_only_multiplicity_transitions(self):
+        db = _database()
+        table = db.table("R")
+        plan = scan("R").select_columns("N").distinct()
+        session = LiveSession(db)
+        sub = session.subscribe(plan)
+        session.flush()
+        table.insert(5, 10)  # 10 now derived twice — no visible change
+        session.flush()
+        assert sub.result == db.query(plan)
+        table.delete_where(lambda row: row.values != (5, 10))
+        session.flush()  # back to one derivation of 10 — still no change
+        assert sub.result == db.query(plan)
+
+
+class TestSortLimitPlanning:
+    def test_rejects_ongoing_temporal_sort_keys(self):
+        db = Database()
+        db.create_table("T", Schema.of("K", ("VT", "interval")))
+        with pytest.raises(QueryError, match="no eventual order"):
+            db.query(scan("T").order_by("VT"))
+
+    def test_rejects_non_positive_limit(self):
+        with pytest.raises(QueryError, match="positive"):
+            scan("R").order_by("N", limit=0)
+
+    def test_requires_keys_or_limit(self):
+        with pytest.raises(QueryError, match="sort keys or a limit"):
+            SortLimit(scan("R"), (), None)
+
+    def test_limit_without_order_is_deterministic(self):
+        db = _database()
+        plan = scan("R").order_by(limit=2)
+        first = db.query(plan)
+        second = db.query(plan)
+        assert first == second
+        assert len(first) == 2
+
+
+class TestTopKBoundaryChurn:
+    """Rows oscillating across rank k: the window state machine."""
+
+    def test_churn_matches_full_reevaluation(self):
+        db = _database()
+        table = db.table("R")
+        plan = scan("R").order_by(("N", True), limit=2)
+        session = LiveSession(db)
+        sub = session.subscribe(plan)
+        session.flush()
+        assert sub.result == db.query(plan)
+        baseline = _full_refreshes(session)
+
+        # Insert into the window: evicts the old boundary row — delta path.
+        table.insert(9, 11)
+        session.flush()
+        assert sub.result == db.query(plan)
+        assert _full_refreshes(session) == baseline
+
+        # Out-of-window insert and delete: overflow bookkeeping only.
+        table.insert(10, 1)
+        session.flush()
+        table.delete_where(lambda row: row.values != (10, 1))
+        session.flush()
+        assert sub.result == db.query(plan)
+        assert _full_refreshes(session) == baseline
+
+        # Delete the row *inside* the window while overflow rows exist:
+        # the next-best row is unknown — logged full-refresh fallback.
+        table.delete_where(lambda row: row.values != (9, 11))
+        session.flush()
+        assert sub.result == db.query(plan)
+        assert _full_refreshes(session) == baseline + 1
+
+    def test_window_delete_without_overflow_is_incremental(self):
+        db = Database()
+        table = db.create_table("R", Schema.of("K", "N"))
+        table.insert(1, 5)
+        table.insert(2, 7)
+        plan = scan("R").order_by(("N", True), limit=3)  # window never full
+        session = LiveSession(db)
+        sub = session.subscribe(plan)
+        session.flush()
+        baseline = _full_refreshes(session)
+        table.delete_where(lambda row: row.values != (2, 7))
+        session.flush()
+        assert sub.result == db.query(plan)
+        assert _full_refreshes(session) == baseline
+
+    def test_pure_order_by_is_always_incremental(self):
+        db = _database()
+        table = db.table("R")
+        plan = scan("R").order_by(("N", True))
+        session = LiveSession(db)
+        sub = session.subscribe(plan)
+        session.flush()
+        baseline = _full_refreshes(session)
+        table.insert(9, 11)
+        table.delete_where(lambda row: row.values != (2, 9))
+        session.flush()
+        assert sub.result == db.query(plan)
+        assert _full_refreshes(session) == baseline
+
+
+class TestPushdownRules:
+    def test_select_sinks_through_distinct(self):
+        from repro.engine.rewrite import push_down_selections
+
+        db = _database()
+        plan = scan("R").distinct().where(col("K") < lit(3))
+        rewritten = push_down_selections(plan, db)
+        assert rewritten.canonical().startswith("Distinct(Select(")
+        assert db.query(plan) == db.query(rewritten)
+
+    def test_select_sinks_through_order_by_without_limit(self):
+        from repro.engine.rewrite import push_down_selections
+
+        db = _database()
+        plan = scan("R").order_by("N").where(col("K") < lit(3))
+        rewritten = push_down_selections(plan, db)
+        assert rewritten.canonical().startswith("SortLimit(Select(")
+        assert db.query(plan) == db.query(rewritten)
+
+    def test_select_stays_above_limit(self):
+        """σ below LIMIT k changes *which* k rows survive — the rewrite
+        must refuse even when the predicate touches only sort keys."""
+        from repro.engine.rewrite import push_down_selections
+
+        db = _database()
+        plan = scan("R").order_by("N", limit=2).where(col("N") > lit(7))
+        rewritten = push_down_selections(plan, db)
+        assert rewritten.canonical().startswith("Select(SortLimit(")
+        assert db.query(plan) == db.query(rewritten)

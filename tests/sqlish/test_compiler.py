@@ -213,12 +213,16 @@ class TestAggregates:
             assert row.values[0].instantiate(rt) == 0
             assert result.instantiate(rt) == frozenset({(0,)})
 
-    def test_only_one_aggregate_supported(self, db):
-        with pytest.raises(QueryError, match="exactly one aggregate"):
-            run(
-                "SELECT COUNT(*) AS a, MAX(BID) AS b FROM B GROUP BY C",
-                db,
-            )
+    def test_multiple_aggregates_in_one_select(self, db):
+        result = run(
+            "SELECT C, COUNT(*) AS a, MAX(BID) AS b FROM B GROUP BY C",
+            db,
+        )
+        rows = {row.values[0]: row.values[1:] for row in result}
+        assert set(rows) == {"Spam filter", "Dashboard"}
+        count, biggest = rows["Spam filter"]
+        assert count.instantiate(d(8, 1)) == 2
+        assert biggest.instantiate(d(8, 1)) == 501
 
 
 class TestSemanticEquivalence:

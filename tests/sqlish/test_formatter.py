@@ -20,6 +20,17 @@ _GOLDEN = [
     "SELECT SUM_DURATION(VT) AS load, C FROM B GROUP BY C",
     "SELECT BID FROM B UNION SELECT BID FROM C2",
     "SELECT BID FROM B EXCEPT SELECT BID FROM C2 WHERE BID >= 5",
+    # the grammar grown by the ordered-surface PR
+    "SELECT DISTINCT C FROM B",
+    "SELECT * FROM B ORDER BY BID LIMIT 2",
+    "SELECT * FROM B ORDER BY C ASC, BID DESC",
+    "SELECT C, COUNT(*) AS n, AVG(BID) AS a FROM B GROUP BY C "
+    "HAVING n >= 1 AND a < 9 ORDER BY a DESC, C LIMIT 3",
+    "SELECT DISTINCT C, SUM_DURATION(VT) AS load FROM B GROUP BY C LIMIT 5",
+    # reserved words usable as column names
+    "SELECT having, limit FROM S WHERE distinct > 2 ORDER BY limit DESC",
+    "SELECT COUNT(*) AS limit FROM B GROUP BY having",
+    "SELECT * FROM B WHERE limit = 3 AND having != 0",
 ]
 
 
@@ -75,23 +86,59 @@ def _booleans(depth: int = 2):
     )
 
 
+_aggregate_calls = st.one_of(
+    st.just(nodes.AggregateCall("count", None)),
+    st.builds(
+        nodes.AggregateCall,
+        st.sampled_from(["sum_duration", "min", "max", "avg"]),
+        st.sampled_from(["VT", "BID", "limit"]),
+    ),
+)
+
 _select_items = st.lists(
     st.builds(
         nodes.SelectItem,
-        _values,
+        st.one_of(_values, _aggregate_calls),
         st.one_of(st.none(), st.sampled_from(["a1", "a2"])),
     ),
     min_size=1,
     max_size=3,
 )
 
-_statements = st.builds(
-    nodes.SelectStatement,
-    _select_items.map(tuple),
-    st.just((nodes.TableRef("B", None), nodes.TableRef("P", "x"))),
-    st.one_of(st.none(), _booleans()),
-    st.just(()),
+# "having"/"limit" double as column names here on purpose — the
+# reserved-word handling must survive the round trip.  "distinct" is
+# excluded from the leading select-item position by construction (greedy
+# parsing reads a leading DISTINCT as the quantifier).
+_order_keys = st.lists(
+    st.builds(
+        nodes.OrderItem,
+        st.sampled_from(["BID", "C", "B.VT", "limit", "having"]),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=3,
 )
+
+
+@st.composite
+def _grown_statements(draw):
+    group_by = draw(st.sampled_from([(), ("C",), ("C", "BID"), ("having",)]))
+    having = (
+        draw(st.one_of(st.none(), _comparisons)) if group_by else None
+    )
+    return nodes.SelectStatement(
+        tuple(draw(_select_items)),
+        (nodes.TableRef("B", None), nodes.TableRef("P", "x")),
+        draw(st.one_of(st.none(), _booleans())),
+        group_by,
+        distinct=draw(st.booleans()),
+        having=having,
+        order_by=tuple(draw(st.one_of(st.just(()), _order_keys))),
+        limit=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=9))),
+    )
+
+
+_statements = _grown_statements()
 
 
 def _normalize(statement):
