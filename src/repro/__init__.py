@@ -46,6 +46,12 @@ The subpackages:
   the ``explain_analyze()`` plan renderer, freshness SLOs with
   error-budget burn (:class:`FreshnessSLO`), and the live HTTP scrape
   endpoint (:class:`ObsServer`);
+* :mod:`repro.durable` — durability: a segmented CRC-framed write-ahead
+  log (fsync policies ``always``/``batch``/``off``), atomic checkpoints
+  that capture table heaps plus live subscriptions and their undelivered
+  notifications, crash recovery by replaying the WAL suffix as ordinary
+  deltas (``Database.open`` / ``db.checkpoint()``), and a fault-injection
+  harness of named crashpoints;
 * :mod:`repro.baselines` — Clifford, Torp, Forever, and Anselma comparators;
 * :mod:`repro.datasets` — synthetic MozillaBugs / Incumbent / D_ex / D_sh /
   D_sc generators and the paper's workload queries;
@@ -128,7 +134,7 @@ from repro.serve import (
     ShardedDependencyIndex,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

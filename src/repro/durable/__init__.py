@@ -1,0 +1,47 @@
+"""Durability: write-ahead logging, checkpoints, and crash recovery.
+
+The paper's premise — ongoing results *remain valid as time passes by* —
+only matters for state that outlives a process.  This package makes a
+:class:`~repro.engine.database.Database` durable:
+
+* :mod:`repro.durable.wal` — a segmented, CRC-framed write-ahead log of
+  typed modification batches with configurable fsync policy
+  (``always`` / ``batch`` / ``off``) and torn-tail truncation;
+* :mod:`repro.durable.snapshot` — atomic checkpoints of table heaps plus
+  a manifest of live subscriptions and their undelivered coalesced
+  mailbox notifications;
+* :mod:`repro.durable.recovery` — ``Database.open(path)``: load the
+  latest checkpoint, resume subscriptions at its state, replay the WAL
+  suffix as ordinary deltas through the warm
+  :class:`~repro.engine.delta.DeltaEvaluator` state, flush once;
+* :mod:`repro.durable.faults` — named crashpoints and a ``kill -9``
+  subprocess harness that keep every recovery path exercised by tests.
+"""
+
+from repro.durable import faults
+from repro.durable.wal import WalPosition, WalRecord, WriteAheadLog
+from repro.durable.snapshot import (
+    load_latest_checkpoint,
+    prune_checkpoints,
+    write_checkpoint,
+)
+from repro.durable.recovery import (
+    DEFAULT_SEGMENT_BYTES,
+    Durability,
+    RecoveryReport,
+    open_database,
+)
+
+__all__ = [
+    "faults",
+    "WalPosition",
+    "WalRecord",
+    "WriteAheadLog",
+    "load_latest_checkpoint",
+    "prune_checkpoints",
+    "write_checkpoint",
+    "Durability",
+    "RecoveryReport",
+    "DEFAULT_SEGMENT_BYTES",
+    "open_database",
+]

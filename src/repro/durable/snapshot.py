@@ -1,0 +1,348 @@
+"""Checkpoints: atomic on-disk snapshots of tables + live subscriptions.
+
+A checkpoint is a directory ``checkpoints/checkpoint-<seq:08d>/`` holding
+one CRC-guarded heap file per table (rows in the tagged storage layout)
+and a ``MANIFEST.json`` that records
+
+* the WAL position the snapshot is consistent with (recovery replays
+  only the records at or after it),
+* the commit tick the database had reached,
+* every table's schema and row-store version, and
+* every live subscription — by plan fingerprint, with the OSQL statement
+  (or a pickled plan when the subscription was built from a raw plan),
+  its delivery settings, and its **undelivered coalesced notification**
+  captured at :class:`~repro.serve.queues.Mailbox` level so a restarted
+  session can re-enqueue it exactly once.
+
+The directory is written under a ``.tmp-`` name and published with one
+atomic ``os.rename`` — a crash mid-checkpoint leaves only an ignored
+temp directory, never a half checkpoint.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import os
+import pickle
+import shutil
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.durable import faults
+from repro.engine.storage import pack_tagged_tuple, unpack_tagged_tuple
+from repro.errors import DurabilityError
+from repro.relational.schema import Attribute, AttributeKind, Schema
+from repro.serve.queues import coalesce_payloads
+
+__all__ = [
+    "MANIFEST_NAME",
+    "CHECKPOINT_FORMAT",
+    "LoadedTable",
+    "LoadedCheckpoint",
+    "write_checkpoint",
+    "load_latest_checkpoint",
+    "capture_subscriptions",
+    "serialize_notification",
+    "prune_checkpoints",
+]
+
+logger = logging.getLogger("repro.durable")
+
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_FORMAT = 1
+_HEAP_MAGIC = b"RHEAP\x01\x00\n"
+_PREFIX = "checkpoint-"
+_TMP_PREFIX = ".tmp-"
+
+
+# ----------------------------------------------------------------------
+# Heap files
+# ----------------------------------------------------------------------
+
+
+def _write_heap(path: Path, rows) -> None:
+    parts = [struct.pack("<I", len(rows))]
+    for row in rows:
+        parts.append(pack_tagged_tuple(row))
+    body = b"".join(parts)
+    with open(path, "wb") as handle:
+        handle.write(_HEAP_MAGIC + body + struct.pack("<I", zlib.crc32(body)))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _read_heap(path: Path) -> Tuple:
+    data = path.read_bytes()
+    if data[: len(_HEAP_MAGIC)] != _HEAP_MAGIC or len(data) < len(_HEAP_MAGIC) + 8:
+        raise DurabilityError(f"bad heap file {path.name}")
+    body = data[len(_HEAP_MAGIC) : -4]
+    (crc,) = struct.unpack_from("<I", data, len(data) - 4)
+    if zlib.crc32(body) != crc:
+        raise DurabilityError(f"heap checksum mismatch in {path.name}")
+    (count,) = struct.unpack_from("<I", body, 0)
+    offset = 4
+    rows = []
+    for _ in range(count):
+        row, offset = unpack_tagged_tuple(body, offset)
+        rows.append(row)
+    return tuple(rows)
+
+
+# ----------------------------------------------------------------------
+# Subscription capture
+# ----------------------------------------------------------------------
+
+
+def serialize_notification(notification) -> Dict[str, object]:
+    """A JSON-safe image of one pending (undelivered) notification.
+
+    The shared result itself is *not* serialized — on resume the
+    re-subscribed shared result stands in for it; what must survive is
+    the change description: tables, commit stamp, and the typed delta.
+    """
+    commit = notification.commit
+    delta = notification.delta
+    entry: Dict[str, object] = {
+        "changed_tables": list(notification.changed_tables),
+        "commit": [commit.tick, commit.at] if commit is not None else None,
+        "delta": None,
+        "delta_full": bool(delta is not None and delta.full),
+    }
+    if delta is not None and not delta.full:
+        entry["delta"] = {
+            "inserted": [
+                base64.b64encode(pack_tagged_tuple(row)).decode("ascii")
+                for row in delta.inserted
+            ],
+            "deleted": [
+                base64.b64encode(pack_tagged_tuple(row)).decode("ascii")
+                for row in delta.deleted
+            ],
+        }
+    return entry
+
+
+def _capture_pending(session, subscription) -> Optional[Dict[str, object]]:
+    """The subscription's queued-but-undelivered notification, coalesced.
+
+    Only the asynchronous bus queues anything (the synchronous bus
+    delivers inline, so there is never a pending notification to lose).
+    The capture is non-destructive: the items stay queued for delivery.
+    """
+    capture = getattr(session.bus, "capture_pending", None)
+    if capture is None:
+        return None
+    payloads = [
+        payload
+        for group in capture(f"refresh:{subscription.id}")
+        for payload in group
+    ]
+    if not payloads:
+        return None
+    merged = payloads[0]
+    for nxt in payloads[1:]:
+        coalesced = coalesce_payloads(merged, nxt)
+        merged = coalesced if coalesced is not None else nxt
+    return serialize_notification(merged)
+
+
+def capture_subscriptions(session) -> List[Dict[str, object]]:
+    """Manifest entries for every active subscription of *session*."""
+    entries: List[Dict[str, object]] = []
+    for subscription in session.subscriptions:
+        if not subscription.active:
+            continue
+        shared = subscription._shared
+        statement = getattr(subscription, "statement", None)
+        plan_pickle = None
+        if statement is None:
+            try:
+                plan_pickle = base64.b64encode(
+                    pickle.dumps(shared.plan)
+                ).decode("ascii")
+            except Exception:  # noqa: BLE001 — an unpicklable plan is skippable
+                logger.warning(
+                    "checkpoint: subscription %s has no statement and an "
+                    "unpicklable plan; it will not survive a restart",
+                    subscription.name,
+                )
+                continue
+        entries.append(
+            {
+                "name": subscription.name,
+                "fingerprint": shared.fingerprint,
+                "statement": statement,
+                "plan_pickle": plan_pickle,
+                "reference_time": subscription.reference_time,
+                "notify_on_no_change": subscription.notify_on_no_change,
+                "backpressure": getattr(subscription, "backpressure", None),
+                "queue_capacity": getattr(subscription, "queue_capacity", None),
+                "pending": _capture_pending(session, subscription),
+            }
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Writing and loading checkpoints
+# ----------------------------------------------------------------------
+
+
+def _checkpoint_root(root: Path) -> Path:
+    return Path(root) / "checkpoints"
+
+
+def _existing_seqs(directory: Path) -> List[int]:
+    if not directory.is_dir():
+        return []
+    seqs = []
+    for entry in directory.iterdir():
+        if entry.is_dir() and entry.name.startswith(_PREFIX):
+            try:
+                seqs.append(int(entry.name[len(_PREFIX) :]))
+            except ValueError:
+                continue
+    return sorted(seqs)
+
+
+def write_checkpoint(
+    root,
+    *,
+    database,
+    wal_position,
+    subscriptions: List[Dict[str, object]],
+    tick: int,
+) -> Path:
+    """Write and atomically publish one checkpoint; returns its path.
+
+    Must be called with the database write lock held — the heap rows,
+    table versions, WAL position, and subscription manifest all describe
+    the same instant.
+    """
+    directory = _checkpoint_root(root)
+    directory.mkdir(parents=True, exist_ok=True)
+    seqs = _existing_seqs(directory)
+    seq = (seqs[-1] + 1) if seqs else 1
+    label = f"{_PREFIX}{seq:08d}"
+    tmp = directory / f"{_TMP_PREFIX}{label}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    tables_meta = []
+    for index, (name, table) in enumerate(sorted(database.tables().items())):
+        heap_name = f"{index:04d}.heap"
+        rows = table.rows()
+        _write_heap(tmp / heap_name, rows)
+        faults.fire("checkpoint.mid_heap")
+        tables_meta.append(
+            {
+                "name": name,
+                "heap": heap_name,
+                "rows": len(rows),
+                "version": table.version,
+                "schema": [[a.name, a.kind.value] for a in table.schema],
+            }
+        )
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "database": database.name,
+        "tick": tick,
+        "wal_position": [wal_position.segment, wal_position.offset],
+        "tables": tables_meta,
+        "subscriptions": subscriptions,
+    }
+    manifest_path = tmp / MANIFEST_NAME
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire("checkpoint.pre_publish")
+    final = directory / label
+    os.rename(tmp, final)
+    _fsync_directory(directory)
+    return final
+
+
+def _fsync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class LoadedTable(NamedTuple):
+    schema: Schema
+    rows: Tuple
+    version: int
+
+
+class LoadedCheckpoint(NamedTuple):
+    manifest: Dict[str, object]
+    tables: Dict[str, LoadedTable]
+    path: Path
+
+
+def _load_one(path: Path) -> LoadedCheckpoint:
+    manifest = json.loads((path / MANIFEST_NAME).read_text(encoding="utf-8"))
+    if manifest.get("format") != CHECKPOINT_FORMAT:
+        raise DurabilityError(
+            f"checkpoint {path.name} has format {manifest.get('format')!r}, "
+            f"expected {CHECKPOINT_FORMAT}"
+        )
+    tables: Dict[str, LoadedTable] = {}
+    for entry in manifest["tables"]:
+        schema = Schema(
+            [Attribute(name, AttributeKind(kind)) for name, kind in entry["schema"]]
+        )
+        rows = _read_heap(path / entry["heap"])
+        if len(rows) != entry["rows"]:
+            raise DurabilityError(
+                f"checkpoint {path.name}: table {entry['name']} has "
+                f"{len(rows)} rows, manifest says {entry['rows']}"
+            )
+        tables[entry["name"]] = LoadedTable(schema, rows, entry["version"])
+    return LoadedCheckpoint(manifest, tables, path)
+
+
+def load_latest_checkpoint(root) -> Optional[LoadedCheckpoint]:
+    """The newest loadable checkpoint, or ``None`` when there is none.
+
+    An unreadable newest checkpoint (which the atomic publish should
+    make impossible) is logged and skipped in favour of an older one —
+    recovery prefers a slightly longer replay over refusing to start.
+    """
+    directory = _checkpoint_root(root)
+    for seq in reversed(_existing_seqs(directory)):
+        path = directory / f"{_PREFIX}{seq:08d}"
+        try:
+            return _load_one(path)
+        except (OSError, ValueError, KeyError, DurabilityError) as exc:
+            logger.warning("skipping unreadable checkpoint %s: %s", path.name, exc)
+    return None
+
+
+def prune_checkpoints(root, *, keep: int = 1) -> int:
+    """Delete all but the newest *keep* checkpoints and any temp litter."""
+    directory = _checkpoint_root(root)
+    if not directory.is_dir():
+        return 0
+    removed = 0
+    for entry in directory.iterdir():
+        if entry.is_dir() and entry.name.startswith(_TMP_PREFIX):
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+    seqs = _existing_seqs(directory)
+    for seq in seqs[:-keep] if keep > 0 else seqs:
+        shutil.rmtree(directory / f"{_PREFIX}{seq:08d}", ignore_errors=True)
+        removed += 1
+    return removed

@@ -1,0 +1,437 @@
+"""Segmented, CRC-framed write-ahead log of modification batches.
+
+Every committed modification of a durable :class:`~repro.engine.database.
+Database` appends exactly one record here *before* the commit returns to
+the caller (the durability hook runs as a delta listener inside the
+table's write lock).  A record carries the table name, the
+:class:`~repro.engine.database.CommitStamp`, and the typed
+:class:`~repro.engine.delta.Delta` serialized with the tagged layout of
+:mod:`repro.engine.storage` — recovery decodes records without any
+catalog and replays them as ordinary deltas.
+
+Layout
+------
+
+Segments are files ``wal-<seq:08d>.log`` inside the log directory, each
+starting with an 8-byte magic.  A record is framed as::
+
+    <I payload_length> <I crc32(payload)> payload
+
+with the payload starting ``<B kind> <Q tick> <d at>`` followed by a
+kind-specific body.  Frames are written with a *single* unbuffered
+``write()`` — a crash can tear only the very last frame, never interleave
+two, and everything written before a ``kill -9`` has already reached the
+OS page cache (``fsync`` only matters for power loss, not process death).
+
+Fsync policy
+------------
+
+``always`` fsyncs after every append (a commit acknowledged to the
+caller is on disk), ``batch`` fsyncs every ``sync_every`` appends and on
+rotation/checkpoint/close, ``off`` never fsyncs automatically.  Explicit
+:meth:`WriteAheadLog.sync` always reaches the disk regardless of policy
+— checkpoints depend on that.
+
+Torn tails
+----------
+
+On open, the *final* segment is scanned and truncated at the first
+incomplete or CRC-failing frame (the torn remains of an interrupted
+append).  A bad frame in any non-final segment has no such excuse and
+raises :class:`~repro.errors.DurabilityError`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.durable import faults
+from repro.engine.storage import pack_tagged_tuple, unpack_tagged_tuple
+from repro.errors import DurabilityError
+
+__all__ = [
+    "KIND_BATCH",
+    "KIND_SNAPSHOT",
+    "KIND_CREATE",
+    "KIND_DROP",
+    "WalRecord",
+    "WalPosition",
+    "WriteAheadLog",
+    "encode_record",
+    "decode_record",
+]
+
+SEGMENT_MAGIC = b"RWAL\x01\x00\x00\n"
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_HEADER = struct.Struct("<BQd")  # kind, commit tick, commit wall offset
+
+#: A typed delta committed against one table.
+KIND_BATCH = 1
+#: The full post-state of one table (written for full-flagged deltas,
+#: e.g. ``replace_all`` — they carry no rows, so the log must).
+KIND_SNAPSHOT = 2
+#: DDL: a table was created (schema travels in the record).
+KIND_CREATE = 3
+#: DDL: a table was dropped.
+KIND_DROP = 4
+
+_KINDS = (KIND_BATCH, KIND_SNAPSHOT, KIND_CREATE, KIND_DROP)
+
+
+class WalRecord(NamedTuple):
+    """One decoded log record."""
+
+    kind: int
+    table: str
+    tick: int
+    at: float
+    inserted: Tuple = ()  # BATCH: inserted OngoingTuples
+    deleted: Tuple = ()  # BATCH: deleted OngoingTuples
+    rows: Tuple = ()  # SNAPSHOT: full post-state rows
+    schema_spec: Tuple = ()  # CREATE: ((attr_name, kind_value), ...)
+
+
+class WalPosition(NamedTuple):
+    """A byte-accurate position in the log: (segment seq, byte offset)."""
+
+    segment: int
+    offset: int
+
+
+def _pack_str(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return struct.pack("<H", len(encoded)) + encoded
+
+
+def _unpack_str(buffer: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    return buffer[offset : offset + length].decode("utf-8"), offset + length
+
+
+def _pack_rows(rows: Sequence) -> bytes:
+    parts = [struct.pack("<I", len(rows))]
+    for row in rows:
+        parts.append(pack_tagged_tuple(row))
+    return b"".join(parts)
+
+
+def _unpack_rows(buffer: bytes, offset: int) -> Tuple[Tuple, int]:
+    (count,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    rows = []
+    for _ in range(count):
+        row, offset = unpack_tagged_tuple(buffer, offset)
+        rows.append(row)
+    return tuple(rows), offset
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Serialize a record payload (the frame is the caller's job)."""
+    if record.kind not in _KINDS:
+        raise DurabilityError(f"unknown WAL record kind {record.kind}")
+    parts = [
+        _HEADER.pack(record.kind, record.tick, record.at),
+        _pack_str(record.table),
+    ]
+    if record.kind == KIND_BATCH:
+        parts.append(_pack_rows(record.inserted))
+        parts.append(_pack_rows(record.deleted))
+    elif record.kind == KIND_SNAPSHOT:
+        parts.append(_pack_rows(record.rows))
+    elif record.kind == KIND_CREATE:
+        parts.append(struct.pack("<H", len(record.schema_spec)))
+        for name, kind_value in record.schema_spec:
+            parts.append(_pack_str(name))
+            parts.append(_pack_str(kind_value))
+    return b"".join(parts)
+
+
+def decode_record(payload: bytes) -> WalRecord:
+    """Decode a record payload written by :func:`encode_record`."""
+    kind, tick, at = _HEADER.unpack_from(payload, 0)
+    offset = _HEADER.size
+    table, offset = _unpack_str(payload, offset)
+    if kind == KIND_BATCH:
+        inserted, offset = _unpack_rows(payload, offset)
+        deleted, offset = _unpack_rows(payload, offset)
+        return WalRecord(kind, table, tick, at, inserted=inserted, deleted=deleted)
+    if kind == KIND_SNAPSHOT:
+        rows, offset = _unpack_rows(payload, offset)
+        return WalRecord(kind, table, tick, at, rows=rows)
+    if kind == KIND_CREATE:
+        (count,) = struct.unpack_from("<H", payload, offset)
+        offset += 2
+        spec = []
+        for _ in range(count):
+            name, offset = _unpack_str(payload, offset)
+            kind_value, offset = _unpack_str(payload, offset)
+            spec.append((name, kind_value))
+        return WalRecord(kind, table, tick, at, schema_spec=tuple(spec))
+    if kind == KIND_DROP:
+        return WalRecord(kind, table, tick, at)
+    raise DurabilityError(f"unknown WAL record kind {kind}")
+
+
+class WriteAheadLog:
+    """Append/scan interface over the segment files of one database."""
+
+    def __init__(
+        self,
+        directory,
+        *,
+        fsync: str = "batch",
+        segment_bytes: int = 4 * 1024 * 1024,
+        sync_every: int = 64,
+    ) -> None:
+        if fsync not in ("always", "batch", "off"):
+            raise DurabilityError(
+                f"fsync policy must be 'always', 'batch' or 'off', not {fsync!r}"
+            )
+        if segment_bytes < len(SEGMENT_MAGIC) + _FRAME.size:
+            raise DurabilityError("segment_bytes is too small to hold a record")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.segment_bytes = segment_bytes
+        self.sync_every = max(1, sync_every)
+        self._lock = threading.RLock()
+        self._file = None
+        self._closed = False
+        # Counters (exposed through Durability.collect_samples).
+        self.appends = 0
+        self.fsyncs = 0
+        self.bytes_written = 0
+        self.truncated_bytes = 0
+        self._appends_since_sync = 0
+        self._bytes_since_sync = 0
+        self._segments = self._scan_segments()
+        if not self._segments:
+            self._segments = [1]
+            self._current_seq = 1
+            self._open_segment(1, create=True)
+        else:
+            self._current_seq = self._segments[-1]
+            self._recover_tail()
+            self._open_segment(self._current_seq, create=False)
+
+    # -- segment bookkeeping -------------------------------------------
+
+    def _segment_path(self, seq: int) -> Path:
+        return self.directory / f"wal-{seq:08d}.log"
+
+    def _scan_segments(self) -> List[int]:
+        seqs = []
+        for path in self.directory.glob("wal-*.log"):
+            try:
+                seqs.append(int(path.stem.split("-", 1)[1]))
+            except (IndexError, ValueError):
+                raise DurabilityError(f"alien file in WAL directory: {path.name}")
+        return sorted(seqs)
+
+    def _open_segment(self, seq: int, *, create: bool) -> None:
+        path = self._segment_path(seq)
+        # Unbuffered: every append is one write() syscall straight into
+        # the OS page cache, so a kill -9 cannot lose user-space buffers.
+        self._file = open(path, "ab", buffering=0)
+        size = os.path.getsize(path)
+        if create or size == 0:
+            self._file.write(SEGMENT_MAGIC)
+            size = len(SEGMENT_MAGIC)
+        self._current_size = size
+
+    def _recover_tail(self) -> None:
+        """Truncate the final segment at its last intact frame."""
+        path = self._segment_path(self._current_seq)
+        data = path.read_bytes()
+        if len(data) < len(SEGMENT_MAGIC):
+            # Crash between creating the segment and writing its magic.
+            valid_end = 0
+        elif data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            raise DurabilityError(f"bad magic in WAL segment {path.name}")
+        else:
+            valid_end = self._scan_frames(data, len(SEGMENT_MAGIC))
+        if valid_end < len(data):
+            self.truncated_bytes += len(data) - valid_end
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    @staticmethod
+    def _scan_frames(data: bytes, offset: int) -> int:
+        """Offset just past the last intact frame in *data*."""
+        while True:
+            if offset + _FRAME.size > len(data):
+                return offset
+            length, crc = _FRAME.unpack_from(data, offset)
+            end = offset + _FRAME.size + length
+            if end > len(data):
+                return offset
+            if zlib.crc32(data[offset + _FRAME.size : end]) != crc:
+                return offset
+            offset = end
+
+    # -- write path ----------------------------------------------------
+
+    def append(self, record: WalRecord) -> WalPosition:
+        """Frame and append one record; returns its position."""
+        payload = encode_record(record)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("write-ahead log is closed")
+            faults.fire("wal.pre_append")
+            position = WalPosition(self._current_seq, self._current_size)
+            self._file.write(frame)
+            self._current_size += len(frame)
+            self.appends += 1
+            self.bytes_written += len(frame)
+            self._appends_since_sync += 1
+            self._bytes_since_sync += len(frame)
+            if self.fsync_policy == "always" or (
+                self.fsync_policy == "batch"
+                and self._appends_since_sync >= self.sync_every
+            ):
+                self._sync_locked()
+            faults.fire("wal.post_append")
+            if self._current_size >= self.segment_bytes:
+                self._rotate_locked()
+            return position
+
+    def _sync_locked(self) -> None:
+        faults.fire("wal.pre_fsync")
+        os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self._appends_since_sync = 0
+        self._bytes_since_sync = 0
+
+    def sync(self) -> None:
+        """Force the log to disk (used by checkpoints; ignores policy)."""
+        with self._lock:
+            if not self._closed:
+                self._sync_locked()
+
+    def _rotate_locked(self) -> None:
+        if self.fsync_policy != "off":
+            self._sync_locked()
+        self._file.close()
+        self._current_seq += 1
+        self._segments.append(self._current_seq)
+        self._open_segment(self._current_seq, create=True)
+        self._appends_since_sync = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            if self.fsync_policy != "off":
+                self._sync_locked()
+            self._file.close()
+            self._closed = True
+
+    # -- read path -----------------------------------------------------
+
+    def position(self) -> WalPosition:
+        """The position the *next* append will be written at."""
+        with self._lock:
+            return WalPosition(self._current_seq, self._current_size)
+
+    def segments(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(self._segments)
+
+    def records(
+        self, start: Optional[WalPosition] = None
+    ) -> Iterator[Tuple[WalPosition, WalRecord]]:
+        """Scan records from *start* (or the very beginning of the log).
+
+        Reads the segment files directly (independent of the append
+        handle).  A torn frame at the very end of the final segment ends
+        the scan quietly — :meth:`__init__` has normally already
+        truncated it; one appearing anywhere else raises
+        :class:`DurabilityError`.
+        """
+        segments = self.segments()
+        for index, seq in enumerate(segments):
+            if start is not None and seq < start.segment:
+                continue
+            final = index == len(segments) - 1
+            path = self._segment_path(seq)
+            data = path.read_bytes()
+            if len(data) < len(SEGMENT_MAGIC):
+                if final:
+                    return
+                raise DurabilityError(f"WAL segment {path.name} has no header")
+            if data[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+                raise DurabilityError(f"bad magic in WAL segment {path.name}")
+            offset = len(SEGMENT_MAGIC)
+            if start is not None and seq == start.segment:
+                offset = max(offset, start.offset)
+            while offset < len(data):
+                if offset + _FRAME.size > len(data):
+                    if final:
+                        return
+                    raise DurabilityError(
+                        f"torn frame inside non-final WAL segment {path.name}"
+                    )
+                length, crc = _FRAME.unpack_from(data, offset)
+                end = offset + _FRAME.size + length
+                if end > len(data) or zlib.crc32(data[offset + _FRAME.size : end]) != crc:
+                    if final:
+                        return
+                    raise DurabilityError(
+                        f"corrupt frame inside non-final WAL segment {path.name}"
+                    )
+                yield (
+                    WalPosition(seq, offset),
+                    decode_record(bytes(data[offset + _FRAME.size : end])),
+                )
+                offset = end
+
+    def prune_segments(self, before: int) -> int:
+        """Delete whole segments with seq < *before* (checkpoint GC)."""
+        removed = 0
+        with self._lock:
+            keep = []
+            for seq in self._segments:
+                if seq < before and seq != self._current_seq:
+                    try:
+                        self._segment_path(seq).unlink()
+                    except FileNotFoundError:
+                        pass
+                    removed += 1
+                else:
+                    keep.append(seq)
+            self._segments = keep
+        return removed
+
+    # -- introspection -------------------------------------------------
+
+    def lag_records(self) -> int:
+        """Appends not yet covered by an fsync."""
+        with self._lock:
+            return self._appends_since_sync
+
+    def lag_bytes(self) -> int:
+        """Bytes appended but not yet covered by an fsync."""
+        with self._lock:
+            return self._bytes_since_sync
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "fsync": self.fsync_policy,
+                "appends": self.appends,
+                "fsyncs": self.fsyncs,
+                "bytes_written": self.bytes_written,
+                "truncated_bytes": self.truncated_bytes,
+                "segments": len(self._segments),
+                "lag_records": self._appends_since_sync,
+                "lag_bytes": self._bytes_since_sync,
+            }

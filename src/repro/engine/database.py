@@ -320,6 +320,23 @@ class Table:
             self._rows = list(tuples)
             self._changed(delta if delta is not None else FULL_DELTA)
 
+    def apply_delta(self, delta: Delta) -> None:
+        """Apply a previously captured typed delta (the WAL replay entry).
+
+        Replaces the row multiset with the delta applied and emits the
+        *same* delta to the modification hooks, so derived results
+        (maintainers, live subscriptions) refresh incrementally — replay
+        through this method is indistinguishable from the original
+        modification.  Raises
+        :class:`~repro.engine.delta.NonIncrementalDelta` when the delta
+        is full-flagged or deletes rows this table does not hold.
+        """
+        from repro.engine.delta import apply_delta_to_rows
+
+        with self.lock:
+            self._rows = apply_delta_to_rows(self._rows, delta)
+            self._changed(delta)
+
     def __len__(self) -> int:
         return len(self._rows)
 
@@ -388,6 +405,55 @@ class Database:
         stamp = CommitStamp(next(self._commit_ticks), time.monotonic())
         self.last_commit = stamp
         return stamp
+
+    def _restore_commit_ticks(self, last_tick: int) -> None:
+        """Make the next commit claim tick ``last_tick + 1`` (recovery)."""
+        self._commit_ticks = itertools.count(last_tick + 1)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "Database":
+        """Open (or create) a durable database rooted at directory *path*.
+
+        Loads the latest checkpoint, replays the write-ahead-log suffix,
+        and returns a database whose every modification is WAL-logged
+        from here on.  See
+        :func:`repro.durable.recovery.open_database` for the keyword
+        arguments (``fsync`` policy, ``session=`` to resume live
+        subscriptions, ...).
+        """
+        from repro.durable.recovery import open_database
+
+        return open_database(path, **kwargs)
+
+    def checkpoint(self):
+        """Write an atomic checkpoint (durable databases only).
+
+        Persists every table heap plus the live-subscription manifest,
+        then prunes WAL segments the checkpoint makes obsolete.  Returns
+        the path of the published checkpoint directory.
+        """
+        durability = getattr(self, "_durability", None)
+        if durability is None:
+            raise QueryError(
+                "this database is not durable; open it with Database.open(path)"
+            )
+        return durability.checkpoint()
+
+    def close(self) -> None:
+        """Close the live session (if any) and the durable layer (if any).
+
+        Safe to call on a plain in-memory database, and idempotent.
+        """
+        session = getattr(self, "_live_session", None)
+        if session is not None and not session.closed:
+            session.close()
+        durability = getattr(self, "_durability", None)
+        if durability is not None:
+            durability.close()
 
     # ------------------------------------------------------------------
     # Modification hooks
@@ -460,6 +526,11 @@ class Database:
             table.add_change_listener(self._table_changed)
             table.add_delta_listener(self._table_delta)
             self._tables[name] = table
+            # DDL does not flow through the delta listeners (there are no
+            # rows to describe), so the durable layer hooks it explicitly.
+            durability = getattr(self, "_durability", None)
+            if durability is not None:
+                durability.log_create(table)
             return table
 
     def register(self, name: str, relation: OngoingRelation) -> Table:

@@ -63,6 +63,7 @@ __all__ = [
     "NodeStats",
     "NonIncrementalDelta",
     "commit_changes",
+    "apply_delta_to_rows",
     "DeltaEvaluator",
 ]
 
@@ -331,6 +332,59 @@ def commit_changes(
     if not inserted and not deleted:
         return EMPTY_DELTA
     return Delta(tuple(inserted), tuple(deleted))
+
+
+def apply_delta_to_rows(rows, delta: Delta) -> List[OngoingTuple]:
+    """Apply a typed *delta* to a base-table row multiset (WAL replay).
+
+    Deletes and inserts cancel within the delta first (a batch that
+    inserts and then deletes the same row nets to nothing), then the net
+    removals strip the first matching occurrences and the net inserts
+    append in delta order.  The resulting *multiset* is exactly the
+    post-state of the original modification; the physical order of
+    duplicate rows may differ, which no consumer observes (relations are
+    multisets — comparisons sort or count).
+
+    Raises :class:`NonIncrementalDelta` for a full-flagged delta (it
+    names no rows) or one that deletes rows absent from *rows* — replay
+    answers both with a snapshot/full-refresh path instead.
+    """
+    if delta.full:
+        raise NonIncrementalDelta(
+            "full-flagged delta carries no rows to apply"
+        )
+    if not delta.deleted:
+        # Pure-insert batch — the dominant WAL record shape.  Nothing to
+        # cancel or strip, so skip the O(|rows|) occurrence scan and keep
+        # replay proportional to the delta.
+        result = list(rows)
+        result.extend(delta.inserted)
+        return result
+    net: Dict[OngoingTuple, int] = {}
+    for row in delta.inserted:
+        net[row] = net.get(row, 0) + 1
+    for row in delta.deleted:
+        net[row] = net.get(row, 0) - 1
+    removals = {row: -count for row, count in net.items() if count < 0}
+    result: List[OngoingTuple] = []
+    for row in rows:
+        outstanding = removals.get(row)
+        if outstanding:
+            removals[row] = outstanding - 1
+        else:
+            result.append(row)
+    leftover = sum(removals.values())
+    if leftover:
+        raise NonIncrementalDelta(
+            f"delta deletes {leftover} row(s) absent from the target state"
+        )
+    inserts = {row: count for row, count in net.items() if count > 0}
+    for row in delta.inserted:
+        outstanding = inserts.get(row)
+        if outstanding:
+            inserts[row] = outstanding - 1
+            result.append(row)
+    return result
 
 
 class DeltaEvaluator:

@@ -45,6 +45,10 @@ __all__ = [
     "pack_tuple",
     "unpack_rt",
     "unpack_tuple",
+    "pack_tagged_value",
+    "unpack_tagged_value",
+    "pack_tagged_tuple",
+    "unpack_tagged_tuple",
     "sizeof_tuple",
     "sizeof_delta",
     "StorageReport",
@@ -268,6 +272,132 @@ def unpack_tuple(buffer: bytes, schema, *, text_attributes=frozenset()) -> Ongoi
             values.append(value)
     rt, _ = unpack_rt(buffer, offset)
     return OngoingTuple(tuple(values), rt)
+
+
+# ----------------------------------------------------------------------
+# Tagged (self-describing) serialization — the WAL and checkpoint framing.
+#
+# The heap layout above deliberately mirrors PostgreSQL: the bytes carry
+# no type information, the catalog does.  A write-ahead log record must
+# be decodable *before* the catalog is recovered, so the durable layer
+# uses a tagged variant: one type byte per value, payloads reusing the
+# byte-accurate encodings above.  ``pack_tagged_tuple`` also frames the
+# RT with an explicit interval count (the heap layout infers it from the
+# buffer length, which only works for a trailing attribute).
+# ----------------------------------------------------------------------
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_INT32 = 3
+_TAG_INT64 = 4
+_TAG_TEXT = 5
+_TAG_POINT = 6
+_TAG_INTERVAL = 7
+_TAG_OINT = 8
+
+
+def pack_tagged_value(value: object) -> bytes:
+    """Serialize one value with a leading type tag (self-describing)."""
+    if isinstance(value, bool):
+        return struct.pack("<B", _TAG_TRUE if value else _TAG_FALSE)
+    if isinstance(value, int):
+        # Raw two's-complement — no ±inf sentinel mapping: a genuine
+        # value of -2**31 must round-trip as itself, not as MINUS_INF.
+        if -(2**31) <= value < 2**31:
+            return struct.pack("<Bi", _TAG_INT32, value)
+        if -(2**63) <= value < 2**63:
+            return struct.pack("<Bq", _TAG_INT64, value)
+        raise StorageError(f"integer {value} does not fit 8 bytes")
+    if isinstance(value, str):
+        encoded = value.encode("utf-8")
+        return struct.pack("<BI", _TAG_TEXT, len(encoded)) + encoded
+    if isinstance(value, OngoingTimePoint):
+        return struct.pack("<B", _TAG_POINT) + pack_value(value)
+    if isinstance(value, OngoingInterval):
+        return struct.pack("<B", _TAG_INTERVAL) + pack_value(value)
+    if isinstance(value, OngoingInt):
+        return struct.pack("<B", _TAG_OINT) + pack_value(value)
+    if value is None:
+        return struct.pack("<B", _TAG_NONE)
+    raise StorageError(f"cannot serialize value {value!r}")
+
+
+def unpack_tagged_value(buffer: bytes, offset: int = 0) -> tuple[object, int]:
+    """Read one value written by :func:`pack_tagged_value`."""
+    (tag,) = struct.unpack_from("<B", buffer, offset)
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_INT32:
+        (value,) = struct.unpack_from("<i", buffer, offset)
+        return value, offset + 4
+    if tag == _TAG_INT64:
+        (value,) = struct.unpack_from("<q", buffer, offset)
+        return value, offset + 8
+    if tag == _TAG_TEXT:
+        (length,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        return buffer[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _TAG_POINT:
+        a, offset = _unpack_date(buffer, offset)
+        b, offset = _unpack_date(buffer, offset)
+        return OngoingTimePoint(a, b), offset
+    if tag == _TAG_INTERVAL:
+        offset += 5  # varlena + range flags
+        a, offset = _unpack_date(buffer, offset)
+        b, offset = _unpack_date(buffer, offset)
+        c, offset = _unpack_date(buffer, offset)
+        d, offset = _unpack_date(buffer, offset)
+        return OngoingInterval(OngoingTimePoint(a, b), OngoingTimePoint(c, d)), offset
+    if tag == _TAG_OINT:
+        offset += 4  # varlena
+        (count,) = struct.unpack_from("<B", buffer, offset)
+        offset += 1
+        segments = []
+        for _ in range(count):
+            start, offset = _unpack_date(buffer, offset)
+            end, offset = _unpack_date(buffer, offset)
+            intercept, slope = struct.unpack_from("<qi", buffer, offset)
+            offset += 12
+            segments.append((start, end, intercept, slope))
+        return OngoingInt(segments), offset
+    raise StorageError(f"unknown value tag {tag} at offset {offset - 1}")
+
+
+def pack_tagged_tuple(item: OngoingTuple) -> bytes:
+    """Serialize a whole tuple self-describingly (values + counted RT)."""
+    parts: List[bytes] = [struct.pack("<H", len(item.values))]
+    for value in item.values:
+        parts.append(pack_tagged_value(value))
+    intervals = item.rt.intervals
+    parts.append(struct.pack("<H", len(intervals)))
+    for start, end in intervals:
+        parts.append(_pack_date(start))
+        parts.append(_pack_date(end))
+    return b"".join(parts)
+
+
+def unpack_tagged_tuple(buffer: bytes, offset: int = 0) -> tuple[OngoingTuple, int]:
+    """Read one tuple written by :func:`pack_tagged_tuple`."""
+    (n_values,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    values = []
+    for _ in range(n_values):
+        value, offset = unpack_tagged_value(buffer, offset)
+        values.append(value)
+    (n_intervals,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    pairs = []
+    for _ in range(n_intervals):
+        start, offset = _unpack_date(buffer, offset)
+        end, offset = _unpack_date(buffer, offset)
+        pairs.append((start, end))
+    return OngoingTuple(tuple(values), IntervalSet(pairs)), offset
 
 
 @dataclass(frozen=True)

@@ -55,5 +55,15 @@ class StorageError(ReproError):
     """A value cannot be serialized to the storage layout."""
 
 
+class DurabilityError(ReproError):
+    """The write-ahead log or a checkpoint is unusable.
+
+    Raised for corruption that torn-tail truncation cannot explain (a bad
+    CRC in the *interior* of the log, a heap file whose checksum fails),
+    for recovery replay that does not match the checkpoint state, and by
+    armed crashpoints (:mod:`repro.durable.faults`) in tests.
+    """
+
+
 class InstantiationError(ReproError):
     """An ongoing value cannot be instantiated at the given reference time."""

@@ -59,13 +59,16 @@ safe — it is detected as re-entrant and folded into the running flush.
 
 from __future__ import annotations
 
+import base64
+import logging
+import pickle
 import threading
 import time
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Union
 
 from repro.core.timeline import TimePoint
 from repro.engine.database import CommitStamp, Database
-from repro.engine.delta import Delta
+from repro.engine.delta import FULL_DELTA, Delta
 from repro.engine.plan import PlanNode
 from repro.engine.rewrite import push_down_selections
 from repro.errors import QueryError
@@ -79,6 +82,8 @@ from repro.live.events import ChangeEvent, EventBus, RefreshNotification
 from repro.live.subscription import Subscription
 
 __all__ = ["FlushHandle", "SubscriptionManager", "LiveSession"]
+
+logger = logging.getLogger("repro.live.manager")
 
 
 class FlushHandle:
@@ -223,7 +228,9 @@ class SubscriptionManager:
 
             self._dependencies = ShardedDependencyIndex(flush_shards)
             self._scheduler: Optional["FlushScheduler"] = FlushScheduler(
-                self._refresh_one, shards=flush_shards
+                self._refresh_one,
+                shards=flush_shards,
+                on_error=self._on_shard_failure,
             )
         else:
             self._dependencies = DependencyIndex()
@@ -248,6 +255,7 @@ class SubscriptionManager:
             "repro_live_suppressed_notifications_total": 0,
             "repro_live_notifications_total": 0,
             "repro_live_refresh_errors_total": 0,
+            "repro_shard_worker_failures_total": 0,
         }
         #: Store/budget counters of shared results whose last subscriber
         #: left — folded into stats() so the totals stay monotonic.
@@ -280,6 +288,14 @@ class SubscriptionManager:
         self._unregister_collector = self.metrics.register_collector(
             self._collect_samples
         )
+        #: A durable database (``Database.open``) exposes its WAL and
+        #: recovery counters through this session's registry too.
+        durability = getattr(database, "_durability", None)
+        self._unregister_durability: Optional[Callable[[], None]] = (
+            self.metrics.register_collector(durability.collect_samples)
+            if durability is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -295,6 +311,7 @@ class SubscriptionManager:
         notify_on_no_change: bool = False,
         backpressure: Optional[str] = None,
         queue_capacity: Optional[int] = None,
+        statement: Optional[str] = None,
     ) -> Subscription:
         """Register an ongoing query plan as a live subscription.
 
@@ -312,6 +329,11 @@ class SubscriptionManager:
         *queue_capacity* override the session-wide mailbox policy for
         this subscriber only (a must-not-miss audit consumer can
         ``block`` while dashboards ``coalesce``).
+
+        *statement* records the OSQL source this plan came from
+        (:meth:`subscribe_sql` fills it in) so a durable checkpoint can
+        recompile the subscription on :meth:`resume`; plan-object
+        subscriptions are checkpointed as a pickled plan instead.
         """
         self._require_open()
         # Rewrite before fingerprinting: pushed-down selections shrink the
@@ -353,6 +375,9 @@ class SubscriptionManager:
                 reference_time=reference_time,
                 name=name,
                 notify_on_no_change=notify_on_no_change,
+                statement=statement,
+                backpressure=backpressure,
+                queue_capacity=queue_capacity,
             )
             # Register the bus listener *before* attaching the
             # subscription (and before releasing the write lock): once
@@ -394,7 +419,170 @@ class SubscriptionManager:
         from repro.sqlish import compile_statement
 
         return self.subscribe(
-            compile_statement(statement, self.database), **kwargs
+            compile_statement(statement, self.database),
+            statement=statement,
+            **kwargs,
+        )
+
+    def resume(
+        self,
+        manifest: Optional[List[Dict[str, object]]] = None,
+        *,
+        on_refresh: Union[
+            None,
+            Callable[[RefreshNotification], None],
+            Dict[str, Callable[[RefreshNotification], None]],
+        ] = None,
+    ) -> List[Subscription]:
+        """Re-attach checkpointed subscriptions after ``Database.open``.
+
+        *manifest* is the ``subscriptions`` list of a checkpoint manifest
+        (see :func:`~repro.durable.snapshot.capture_subscriptions`);
+        ``None`` consumes the one the durable open recovered — consuming
+        it guarantees a second ``resume()`` (or a second session on the
+        same database) cannot re-attach, and re-enqueue pending
+        notifications for, the same subscribers twice.
+
+        *on_refresh* supplies the callbacks a manifest cannot persist:
+        either one callable for every resumed subscription or a dict
+        keyed by subscription name.  Subscriptions resumed without a
+        callback still refresh (their shared result is maintained); they
+        just deliver nothing.
+
+        Each entry re-subscribes through the ordinary :meth:`subscribe`
+        path — statement entries recompile against the current catalog,
+        plan entries unpickle — so recovery reuses every registration
+        invariant instead of a parallel code path.  An entry whose plan
+        cannot be rebuilt is logged and skipped, never fatal.  A captured
+        undelivered notification is re-enqueued **exactly once**: into
+        the subscriber's mailbox on the asynchronous bus, or delivered
+        inline on the synchronous one.
+        """
+        self._require_open()
+        durability = getattr(self.database, "_durability", None)
+        if manifest is None:
+            if durability is None:
+                raise QueryError(
+                    "resume() without a manifest requires a durable "
+                    "database (Database.open)"
+                )
+            manifest = durability.recovered_manifest
+            durability.recovered_manifest = []
+        resumed: List[Subscription] = []
+        for entry in manifest:
+            name = entry.get("name")
+            callback = (
+                on_refresh.get(name)
+                if isinstance(on_refresh, dict)
+                else on_refresh
+            )
+            statement = entry.get("statement")
+            plan = None
+            try:
+                if statement is not None:
+                    from repro.sqlish import compile_statement
+
+                    plan = compile_statement(statement, self.database)
+                elif entry.get("plan_pickle"):
+                    plan = pickle.loads(
+                        base64.b64decode(entry["plan_pickle"])
+                    )
+            except Exception:  # noqa: BLE001 — one bad entry must not
+                # abort the whole recovery; the subscriber can re-register.
+                logger.exception(
+                    "resume: subscription %r could not be rebuilt", name
+                )
+                continue
+            if plan is None:
+                logger.warning(
+                    "resume: subscription %r carries neither a statement "
+                    "nor a plan; skipped",
+                    name,
+                )
+                continue
+            subscription = self.subscribe(
+                plan,
+                on_refresh=callback,
+                reference_time=entry.get("reference_time"),
+                name=name,
+                notify_on_no_change=bool(
+                    entry.get("notify_on_no_change", False)
+                ),
+                backpressure=entry.get("backpressure"),
+                queue_capacity=entry.get("queue_capacity"),
+                statement=statement,
+            )
+            expected = entry.get("fingerprint")
+            if expected and subscription.fingerprint != expected:
+                logger.warning(
+                    "resume: subscription %r fingerprint changed "
+                    "(%s -> %s); resuming against the current plan",
+                    subscription.name,
+                    str(expected)[:12],
+                    subscription.fingerprint[:12],
+                )
+            if durability is not None:
+                durability.resumed_subscriptions += 1
+            pending = entry.get("pending")
+            if pending is not None and callback is not None:
+                notification = self._rebuild_notification(
+                    subscription, pending
+                )
+                topic = f"refresh:{subscription.id}"
+                restore = getattr(self.bus, "restore_pending", None)
+                if restore is not None:
+                    restore(topic, (notification,))
+                else:
+                    self.bus.publish(topic, notification)
+                with self._lock:
+                    self._stats["repro_live_notifications_total"] += 1
+                if durability is not None:
+                    durability.reenqueued_notifications += 1
+            resumed.append(subscription)
+        return resumed
+
+    def _rebuild_notification(
+        self, subscription: Subscription, pending: Dict[str, object]
+    ) -> RefreshNotification:
+        """Deserialize one captured pending notification against the
+        freshly resumed subscription (its just-evaluated shared result
+        stands in for the pre-crash one)."""
+        delta: Optional[Delta] = None
+        if pending.get("delta_full"):
+            delta = FULL_DELTA
+        elif pending.get("delta") is not None:
+            from repro.engine.storage import unpack_tagged_tuple
+
+            def rows(encoded) -> tuple:
+                decoded = []
+                for blob in encoded:
+                    row, _ = unpack_tagged_tuple(base64.b64decode(blob))
+                    decoded.append(row)
+                return tuple(decoded)
+
+            payload = pending["delta"]
+            delta = Delta(
+                inserted=rows(payload.get("inserted", ())),
+                deleted=rows(payload.get("deleted", ())),
+            )
+        commit = pending.get("commit")
+        stamp = (
+            CommitStamp(int(commit[0]), float(commit[1]))
+            if commit
+            else None
+        )
+        fixed_rows = None
+        if subscription.reference_time is not None:
+            fixed_rows = subscription.instantiate(
+                subscription.reference_time
+            )
+        return RefreshNotification(
+            subscription=subscription,
+            result=subscription._shared.result,
+            rows=fixed_rows,
+            changed_tables=tuple(pending.get("changed_tables") or ()),
+            delta=delta,
+            commit=stamp,
         )
 
     def unsubscribe(self, subscription: Subscription) -> None:
@@ -461,6 +649,8 @@ class SubscriptionManager:
         if self._async_bus:
             self.bus.close(drain=True)
         self._unregister_collector()
+        if self._unregister_durability is not None:
+            self._unregister_durability()
         self._closed = True
 
     def __enter__(self) -> "SubscriptionManager":
@@ -736,6 +926,24 @@ class SubscriptionManager:
                     fingerprint, changed_tables, coalesced
                 )
         return self._refresh_one_impl(fingerprint, changed_tables, coalesced)
+
+    def _on_shard_failure(
+        self, shard: int, fingerprint: str, exc: BaseException
+    ) -> None:
+        """Shard-worker escape hatch: :meth:`_refresh_one` isolates
+        expected refresh errors itself, so an exception reaching the
+        shard worker means the refresh *machinery* failed.  Count it and
+        announce it on the listener-error topic — a silently dying shard
+        would otherwise surface only as growing staleness."""
+        with self._lock:
+            self._stats["repro_shard_worker_failures_total"] += 1
+        try:
+            self.bus.publish(
+                EventBus.LISTENER_ERROR_TOPIC,
+                ("flush-shard", f"shard-{shard}:{fingerprint[:12]}", exc),
+            )
+        except Exception:  # noqa: BLE001 — reporting must never re-raise
+            logger.exception("shard failure announcement failed")
 
     def _refresh_one_impl(
         self, fingerprint: str, changed_tables: FrozenSet[str], coalesced: int
@@ -1173,6 +1381,16 @@ class SubscriptionManager:
                     "Flush rounds executed per shard worker",
                 )
             )
+        for shard, count in enumerate(stats["shard_failures"]):
+            samples.append(
+                Sample(
+                    "repro_shard_worker_failures_total",
+                    {"shard": str(shard)},
+                    float(count),
+                    "counter",
+                    "Refresh exceptions that escaped to a shard worker",
+                )
+            )
         for shared in self.shared_results():
             fingerprint = shared.fingerprint[:12]
             for node in shared.node_report():
@@ -1282,6 +1500,11 @@ class SubscriptionManager:
             data["repro_serve_delivery_backlog"] = 0
         data["shard_flushes"] = (
             self._scheduler.flush_counts() if self._scheduler is not None else ()
+        )
+        data["shard_failures"] = (
+            self._scheduler.failure_counts()
+            if self._scheduler is not None
+            else ()
         )
         return data
 

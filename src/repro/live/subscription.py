@@ -80,6 +80,9 @@ class Subscription:
         reference_time: Optional[TimePoint] = None,
         name: Optional[str] = None,
         notify_on_no_change: bool = False,
+        statement: Optional[str] = None,
+        backpressure: Optional[str] = None,
+        queue_capacity: Optional[int] = None,
     ):
         self.id = next(Subscription._ids)
         self.name = name or f"subscription-{self.id}"
@@ -94,6 +97,13 @@ class Subscription:
         #: row was touched) delivers *no* refresh notification.  Set to
         #: ``True`` to hear about every flush of a dirty dependency.
         self.notify_on_no_change = notify_on_no_change
+        #: How this subscription was registered, for durable checkpoints:
+        #: the OSQL source (recompiled on resume) and the per-subscriber
+        #: mailbox overrides.  ``None`` means "plan object only" /
+        #: "session defaults" respectively.
+        self.statement = statement
+        self.backpressure = backpressure
+        self.queue_capacity = queue_capacity
         self.stats = SubscriptionStats()
         self._shared: Optional[SharedResult] = shared
 

@@ -221,12 +221,22 @@ class ObsServer:
         slo = getattr(self.session, "freshness_slo", None)
         staleness = self._staleness()
         healthy = slo.healthy() if slo is not None else True
+        durability = getattr(
+            getattr(self.session, "database", None), "_durability", None
+        )
         body: Dict[str, Any] = {
             "status": "ok" if healthy else "degraded",
             "serving": bool(getattr(self.session, "serving", False)),
             "slo": slo.snapshot() if slo is not None else None,
             "staleness_seconds": staleness,
             "freshness": self._freshness_quantiles(),
+            # WAL lag: records/bytes appended since the last checkpoint —
+            # the replay debt a crash right now would incur.
+            "wal": (
+                durability.health_snapshot()
+                if durability is not None
+                else None
+            ),
         }
         return (
             200 if healthy else 503,

@@ -30,6 +30,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.durable import faults
 from repro.live.events import EventBus
 
 from repro.serve.queues import Mailbox, REJECTED
@@ -110,6 +111,11 @@ class _DeliveryWorker:
     def _deliver_impl(self, mailbox: Mailbox, item: Any) -> None:
         try:
             mailbox.listener(item)
+            # Crashpoint: the listener ran but the delivery is not yet
+            # acknowledged.  action="exit" models a crash in the ack
+            # window (the durability tests' lost-notification probe);
+            # action="raise" is isolated like any listener error.
+            faults.fire("delivery.pre_ack")
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             with self.condition:
                 mailbox.errors += 1
@@ -459,6 +465,34 @@ class AsyncEventBus(EventBus):
             if age is not None and (oldest is None or age > oldest):
                 oldest = age
         return oldest
+
+    def capture_pending(self, topic: str) -> List[Tuple[Any, ...]]:
+        """Undelivered payloads per listener of *topic*, oldest first.
+
+        The checkpoint capture path (non-destructive — items stay queued
+        for delivery): one tuple per subscribed listener, in
+        subscription order.
+        """
+        with self._lock:
+            group = tuple(self._mailboxes.get(topic, ()))
+        return [mailbox.capture() for _, mailbox in group]
+
+    def restore_pending(self, topic: str, items: Tuple[Any, ...]) -> int:
+        """Re-enqueue captured payloads for every listener of *topic*.
+
+        The recovery path: appends behind anything already queued
+        (bypassing backpressure) and wakes the owning workers.  Returns
+        the number of accepted payload deliveries.
+        """
+        with self._lock:
+            group = tuple(self._mailboxes.get(topic, ()))
+        accepted = 0
+        for _, mailbox in group:
+            restored = mailbox.restore(items)
+            if restored:
+                accepted += restored
+                mailbox._worker.schedule(mailbox)  # type: ignore[attr-defined]
+        return accepted
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for every queued notification to finish delivering."""

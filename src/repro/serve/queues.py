@@ -192,6 +192,42 @@ class Mailbox:
             return outcome
 
     # ------------------------------------------------------------------
+    # Durability side (checkpoint capture / recovery restore)
+    # ------------------------------------------------------------------
+
+    def capture(self) -> Tuple[Any, ...]:
+        """Non-destructive snapshot of the queued payloads, oldest first.
+
+        The checkpoint capture path: the durable layer records each
+        subscriber's undelivered coalesced notifications here, while the
+        items stay queued for normal delivery.
+        """
+        with self.condition:
+            return tuple(self._items)
+
+    def restore(self, items: Tuple[Any, ...]) -> int:
+        """Re-enqueue previously captured payloads (recovery path).
+
+        Appends behind anything already queued, bypassing the
+        backpressure policy — a restore may transiently exceed
+        ``capacity``; the next ordinary :meth:`put` re-applies the
+        policy.  Counted in ``queued``.  Returns how many were accepted
+        (0 on a closed mailbox).  The caller must schedule the owning
+        worker afterwards (:meth:`DeliveryPool.post` does this for
+        ordinary traffic).
+        """
+        accepted = tuple(items)
+        if not accepted:
+            return 0
+        with self.condition:
+            if self.closed:
+                return 0
+            self._items.extend(accepted)
+            self.queued += len(accepted)
+            self.condition.notify_all()
+            return len(accepted)
+
+    # ------------------------------------------------------------------
     # Worker side (always called with the condition held)
     # ------------------------------------------------------------------
 

@@ -71,10 +71,13 @@ class _ShardWorker:
         index: int,
         refresh: Callable[[str, FrozenSet[str], int], bool],
         name: str,
+        on_error: Optional[Callable[[int, str, BaseException], None]] = None,
     ):
         self.index = index
         self.flushes = 0  # jobs run on this shard (stats)
+        self.failures = 0  # refresh callables that raised (stats)
         self._refresh = refresh
+        self._on_error = on_error
         self._condition = threading.Condition()
         self._jobs: Deque[Tuple[_Job, FlushRound]] = deque()
         self._open = True
@@ -97,8 +100,19 @@ class _ShardWorker:
             refreshed = False
             try:
                 refreshed = self._refresh(fingerprint, tables, coalesced)
-            except Exception:  # noqa: BLE001 — a refresh error must never
-                pass  # kill the shard; the manager isolates and records it
+            except Exception as exc:  # noqa: BLE001 — a refresh error must
+                # never kill the shard.  The manager's refresh callable
+                # isolates expected errors itself, so reaching here means
+                # something escaped it — count it and announce it so a
+                # dying shard is observable, then keep draining.
+                with self._condition:
+                    self.failures += 1
+                hook = self._on_error
+                if hook is not None:
+                    try:
+                        hook(self.index, fingerprint, exc)
+                    except Exception:  # noqa: BLE001 — nor may the hook
+                        pass
             finally:
                 with self._condition:
                     self.flushes += 1
@@ -124,11 +138,12 @@ class FlushScheduler:
         *,
         shards: int = 4,
         name: str = "flush-shard",
+        on_error: Optional[Callable[[int, str, BaseException], None]] = None,
     ):
         if shards < 1:
             raise ValueError("a flush scheduler needs at least one shard")
         self._workers = [
-            _ShardWorker(index, refresh, f"{name}-{index}")
+            _ShardWorker(index, refresh, f"{name}-{index}", on_error=on_error)
             for index in range(shards)
         ]
         self._closed = False
@@ -175,14 +190,22 @@ class FlushScheduler:
         """Jobs run per shard since startup (the stats counter)."""
         return tuple(worker.flushes for worker in self._workers)
 
+    def failure_counts(self) -> Tuple[int, ...]:
+        """Escaped refresh exceptions per shard since startup."""
+        return tuple(worker.failures for worker in self._workers)
+
     def stats(self) -> dict:
         """Scheduler counters under the canonical metric names; the
         per-shard counts match ``repro_serve_shard_flushes_total{shard=i}``
-        on the session registry."""
+        and ``repro_shard_worker_failures_total{shard=i}`` on the session
+        registry."""
         counts = self.flush_counts()
+        failures = self.failure_counts()
         return {
             "repro_serve_shard_flushes_total": sum(counts),
             "repro_serve_shard_flushes": counts,
+            "repro_shard_worker_failures_total": sum(failures),
+            "repro_serve_shard_failures": failures,
             "repro_serve_flush_backlog": self.backlog(),
         }
 

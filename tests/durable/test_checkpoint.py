@@ -1,0 +1,260 @@
+"""Unit tests for atomic checkpoints (heaps, manifest, capture, crashes)."""
+
+import pytest
+
+from repro.core.interval import until_now
+from repro.durable import faults
+from repro.durable.snapshot import (
+    _read_heap,
+    _write_heap,
+    capture_subscriptions,
+    load_latest_checkpoint,
+    prune_checkpoints,
+    serialize_notification,
+    write_checkpoint,
+)
+from repro.durable.wal import WalPosition
+from repro.engine.database import Database
+from repro.engine.delta import Delta
+from repro.engine.storage import pack_tuple
+from repro.errors import DurabilityError
+from repro.live.events import RefreshNotification
+from repro.relational.schema import Schema
+from repro.relational.tuples import OngoingTuple
+
+
+@pytest.fixture(autouse=True)
+def _clean_crashpoints():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _database() -> Database:
+    db = Database("ckpt")
+    table = db.create_table("R", Schema.of("K", ("VT", "interval")))
+    for key in range(5):
+        table.insert(key, until_now(10 + key))
+    return db
+
+
+def _packed(rows):
+    return sorted(pack_tuple(row) for row in rows)
+
+
+class TestHeapFiles:
+    def test_roundtrip(self, tmp_path):
+        rows = tuple(OngoingTuple((k, until_now(k))) for k in range(4))
+        path = tmp_path / "0000.heap"
+        _write_heap(path, rows)
+        assert _read_heap(path) == rows
+
+    def test_corruption_detected(self, tmp_path):
+        rows = (OngoingTuple((1, until_now(2))),)
+        path = tmp_path / "0000.heap"
+        _write_heap(path, rows)
+        data = bytearray(path.read_bytes())
+        data[12] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(DurabilityError):
+            _read_heap(path)
+
+
+class TestWriteLoad:
+    def test_checkpoint_roundtrip(self, tmp_path):
+        db = _database()
+        write_checkpoint(
+            tmp_path,
+            database=db,
+            wal_position=WalPosition(1, 123),
+            subscriptions=[],
+            tick=db.last_commit.tick,
+        )
+        loaded = load_latest_checkpoint(tmp_path)
+        assert loaded is not None
+        assert loaded.manifest["database"] == "ckpt"
+        assert loaded.manifest["wal_position"] == [1, 123]
+        entry = loaded.tables["R"]
+        assert _packed(entry.rows) == _packed(db.table("R").rows())
+        assert entry.version == db.table("R").version
+        assert [a.name for a in entry.schema] == ["K", "VT"]
+
+    def test_latest_wins(self, tmp_path):
+        db = _database()
+        for tick in (1, 2):
+            write_checkpoint(
+                tmp_path,
+                database=db,
+                wal_position=WalPosition(1, tick),
+                subscriptions=[],
+                tick=tick,
+            )
+        loaded = load_latest_checkpoint(tmp_path)
+        assert loaded.manifest["tick"] == 2
+
+    def test_empty_root_loads_none(self, tmp_path):
+        assert load_latest_checkpoint(tmp_path) is None
+
+    def test_prune_keeps_newest(self, tmp_path):
+        db = _database()
+        for tick in (1, 2, 3):
+            write_checkpoint(
+                tmp_path,
+                database=db,
+                wal_position=WalPosition(1, 0),
+                subscriptions=[],
+                tick=tick,
+            )
+        removed = prune_checkpoints(tmp_path, keep=1)
+        assert removed == 2
+        assert load_latest_checkpoint(tmp_path).manifest["tick"] == 3
+
+
+class TestCrashpoints:
+    def test_mid_heap_crash_preserves_previous_checkpoint(self, tmp_path):
+        db = _database()
+        write_checkpoint(
+            tmp_path,
+            database=db,
+            wal_position=WalPosition(1, 0),
+            subscriptions=[],
+            tick=1,
+        )
+        with faults.armed("checkpoint.mid_heap"):
+            with pytest.raises(faults.InjectedCrash):
+                write_checkpoint(
+                    tmp_path,
+                    database=db,
+                    wal_position=WalPosition(1, 99),
+                    subscriptions=[],
+                    tick=2,
+                )
+        # The half-written attempt never published; the old one loads.
+        loaded = load_latest_checkpoint(tmp_path)
+        assert loaded.manifest["tick"] == 1
+        # Temp litter exists until pruned.
+        litter = [
+            p
+            for p in (tmp_path / "checkpoints").iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert litter
+        prune_checkpoints(tmp_path, keep=1)
+        assert not any(
+            p.name.startswith(".tmp-")
+            for p in (tmp_path / "checkpoints").iterdir()
+        )
+
+    def test_pre_publish_crash_preserves_previous_checkpoint(self, tmp_path):
+        db = _database()
+        write_checkpoint(
+            tmp_path,
+            database=db,
+            wal_position=WalPosition(1, 0),
+            subscriptions=[],
+            tick=1,
+        )
+        with faults.armed("checkpoint.pre_publish"):
+            with pytest.raises(faults.InjectedCrash):
+                write_checkpoint(
+                    tmp_path,
+                    database=db,
+                    wal_position=WalPosition(1, 99),
+                    subscriptions=[],
+                    tick=2,
+                )
+        assert load_latest_checkpoint(tmp_path).manifest["tick"] == 1
+
+    def test_retry_after_crash_succeeds(self, tmp_path):
+        db = _database()
+        with faults.armed("checkpoint.pre_publish"):
+            with pytest.raises(faults.InjectedCrash):
+                write_checkpoint(
+                    tmp_path,
+                    database=db,
+                    wal_position=WalPosition(1, 0),
+                    subscriptions=[],
+                    tick=1,
+                )
+        write_checkpoint(
+            tmp_path,
+            database=db,
+            wal_position=WalPosition(1, 0),
+            subscriptions=[],
+            tick=2,
+        )
+        assert load_latest_checkpoint(tmp_path).manifest["tick"] == 2
+
+
+class TestSubscriptionCapture:
+    def test_sql_subscription_captured(self):
+        db = _database()
+        session = db.live_session()
+        session.subscribe_sql(
+            "SELECT * FROM R",
+            on_refresh=lambda event: None,
+            name="audit",
+            reference_time=15,
+        )
+        entries = capture_subscriptions(session)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["name"] == "audit"
+        assert entry["statement"] == "SELECT * FROM R"
+        assert entry["plan_pickle"] is None
+        assert entry["reference_time"] == 15
+        # Synchronous bus: delivery is inline, nothing can be pending.
+        assert entry["pending"] is None
+        session.close()
+
+    def test_pending_notification_captured_from_async_mailbox(self):
+        db = _database()
+        import threading
+
+        plug = threading.Event()
+        session = db.live_session(delivery_workers=1)
+        first_delivery = threading.Event()
+
+        def listener(event):
+            first_delivery.set()
+            plug.wait(timeout=30)
+
+        sub = session.subscribe_sql(
+            "SELECT * FROM R", on_refresh=listener, name="slow"
+        )
+        try:
+            db.table("R").insert(100, until_now(50))
+            session.flush()
+            assert first_delivery.wait(timeout=10)
+            # Worker is stuck in the listener; a second notification
+            # stays queued in the mailbox.
+            db.table("R").insert(101, until_now(51))
+            session.flush()
+            entries = capture_subscriptions(session)
+            pending = entries[0]["pending"]
+            assert pending is not None
+            assert pending["changed_tables"] == ["R"]
+            assert pending["commit"] is not None
+            # Non-destructive: still queued after the capture.
+            assert capture_subscriptions(session)[0]["pending"] == pending
+        finally:
+            plug.set()
+            session.close()
+
+    def test_serialize_notification_shapes(self):
+        delta = Delta(
+            inserted=(OngoingTuple((1, until_now(2))),),
+            deleted=(),
+        )
+        notification = RefreshNotification(
+            subscription=None,
+            result=None,
+            changed_tables=("R",),
+            delta=delta,
+            commit=None,
+        )
+        entry = serialize_notification(notification)
+        assert entry["changed_tables"] == ["R"]
+        assert entry["delta_full"] is False
+        assert len(entry["delta"]["inserted"]) == 1
+        assert entry["delta"]["deleted"] == []

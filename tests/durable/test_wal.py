@@ -1,0 +1,278 @@
+"""Unit tests for the segmented write-ahead log."""
+
+import os
+
+import pytest
+
+from repro.core.interval import until_now
+from repro.durable import faults
+from repro.durable.wal import (
+    KIND_BATCH,
+    KIND_CREATE,
+    KIND_DROP,
+    KIND_SNAPSHOT,
+    SEGMENT_MAGIC,
+    WalPosition,
+    WalRecord,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+from repro.errors import DurabilityError
+from repro.relational.tuples import OngoingTuple
+
+
+@pytest.fixture(autouse=True)
+def _clean_crashpoints():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _row(key: int) -> OngoingTuple:
+    return OngoingTuple((key, until_now(key + 10)))
+
+
+def _batch(tick: int, inserted=(), deleted=()) -> WalRecord:
+    return WalRecord(
+        KIND_BATCH, "R", tick, float(tick), inserted=inserted, deleted=deleted
+    )
+
+
+class TestRecordCodec:
+    def test_batch_roundtrip(self):
+        record = _batch(7, inserted=(_row(1), _row(2)), deleted=(_row(3),))
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+
+    def test_snapshot_roundtrip(self):
+        record = WalRecord(
+            KIND_SNAPSHOT, "R", 9, 1.5, rows=(_row(1), _row(2), _row(3))
+        )
+        assert decode_record(encode_record(record)) == record
+
+    def test_create_roundtrip(self):
+        record = WalRecord(
+            KIND_CREATE,
+            "bugs",
+            0,
+            0.0,
+            schema_spec=(("BID", "fixed"), ("VT", "interval")),
+        )
+        assert decode_record(encode_record(record)) == record
+
+    def test_drop_roundtrip(self):
+        record = WalRecord(KIND_DROP, "R", 4, 2.0)
+        assert decode_record(encode_record(record)) == record
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DurabilityError, match="kind"):
+            encode_record(WalRecord(99, "R", 1, 0.0))
+
+
+class TestAppendScan:
+    def test_appended_records_scan_back(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        records = [_batch(tick, inserted=(_row(tick),)) for tick in range(1, 6)]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        assert [r for _, r in reopened.records()] == records
+        reopened.close()
+
+    def test_scan_from_position(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_batch(1))
+        start = wal.position()
+        wal.append(_batch(2))
+        wal.append(_batch(3))
+        suffix = [r.tick for _, r in wal.records(start)]
+        assert suffix == [2, 3]
+        wal.close()
+
+    def test_rotation_at_segment_boundary(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=256)
+        for tick in range(1, 30):
+            wal.append(_batch(tick, inserted=(_row(tick),)))
+        assert len(wal.segments()) > 1
+        assert [r.tick for _, r in wal.records()] == list(range(1, 30))
+        wal.close()
+
+    def test_prune_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=256)
+        for tick in range(1, 30):
+            wal.append(_batch(tick, inserted=(_row(tick),)))
+        current = wal.position().segment
+        removed = wal.prune_segments(current)
+        assert removed > 0
+        assert wal.segments()[0] == current
+        wal.close()
+
+    def test_alien_file_rejected(self, tmp_path):
+        (tmp_path / "wal-junk.log").write_bytes(b"nope")
+        with pytest.raises(DurabilityError, match="alien"):
+            WriteAheadLog(tmp_path)
+
+    def test_closed_append_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            wal.append(_batch(1))
+
+
+class TestFsyncPolicies:
+    def test_policy_validated(self, tmp_path):
+        with pytest.raises(DurabilityError, match="fsync policy"):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+
+    def test_always_fsyncs_every_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        for tick in range(1, 4):
+            wal.append(_batch(tick))
+        assert wal.fsyncs >= 3
+        assert wal.lag_records() == 0
+        wal.close()
+
+    def test_batch_fsyncs_every_sync_every(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="batch", sync_every=4)
+        for tick in range(1, 4):
+            wal.append(_batch(tick))
+        assert wal.fsyncs == 0
+        assert wal.lag_records() == 3
+        wal.append(_batch(4))
+        assert wal.fsyncs == 1
+        assert wal.lag_records() == 0
+        wal.close()
+
+    def test_off_never_fsyncs_automatically(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", sync_every=1)
+        for tick in range(1, 10):
+            wal.append(_batch(tick))
+        assert wal.fsyncs == 0
+        wal.sync()  # explicit sync works regardless of policy
+        assert wal.fsyncs == 1
+        wal.close()
+
+    def test_stats_shape(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="batch")
+        wal.append(_batch(1))
+        stats = wal.stats()
+        assert stats["appends"] == 1
+        assert stats["fsync"] == "batch"
+        assert stats["segments"] == 1
+        assert stats["bytes_written"] > 0
+        wal.close()
+
+
+class TestTornTails:
+    def _segment(self, tmp_path):
+        return tmp_path / "wal-00000001.log"
+
+    def test_mid_frame_tear_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_batch(1, inserted=(_row(1),)))
+        wal.append(_batch(2, inserted=(_row(2),)))
+        wal.close()
+        path = self._segment(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # tear the final frame
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        assert [r.tick for _, r in reopened.records()] == [1]
+        assert reopened.truncated_bytes > 0
+        # The torn bytes are gone from disk, not just skipped.
+        assert os.path.getsize(path) < len(data)
+        reopened.close()
+
+    def test_partial_frame_header_truncated(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_batch(1))
+        end = wal.position().offset
+        wal.close()
+        path = self._segment(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x07\x00")  # 2 bytes of a frame header
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        assert [r.tick for _, r in reopened.records()] == [1]
+        assert os.path.getsize(path) == end
+        reopened.close()
+
+    def test_corrupt_crc_truncates_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_batch(1))
+        tail = wal.position().offset
+        wal.append(_batch(2))
+        wal.close()
+        path = self._segment(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last frame
+        path.write_bytes(bytes(data))
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        assert [r.tick for _, r in reopened.records()] == [1]
+        assert os.path.getsize(path) == tail
+        reopened.close()
+
+    def test_segment_shorter_than_magic_reset(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.close()
+        path = self._segment(tmp_path)
+        path.write_bytes(SEGMENT_MAGIC[:3])  # crash before magic completed
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        assert list(reopened.records()) == []
+        reopened.append(_batch(1))
+        assert [r.tick for _, r in reopened.records()] == [1]
+        reopened.close()
+
+    def test_bad_magic_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.close()
+        path = self._segment(tmp_path)
+        path.write_bytes(b"XXXXXXXX" + b"junk")
+        with pytest.raises(DurabilityError, match="magic"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_corruption_in_non_final_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off", segment_bytes=256)
+        for tick in range(1, 30):
+            wal.append(_batch(tick, inserted=(_row(tick),)))
+        first = wal.segments()[0]
+        wal.close()
+        path = tmp_path / f"wal-{first:08d}.log"
+        data = bytearray(path.read_bytes())
+        data[len(SEGMENT_MAGIC) + 10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        reopened = WriteAheadLog(tmp_path, fsync="off")
+        with pytest.raises(DurabilityError, match="non-final"):
+            list(reopened.records())
+        reopened.close()
+
+
+class TestCrashpoints:
+    def test_pre_append_crash_leaves_no_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.append(_batch(1))
+        with faults.armed("wal.pre_append"):
+            with pytest.raises(faults.InjectedCrash):
+                wal.append(_batch(2))
+        assert [r.tick for _, r in wal.records()] == [1]
+        wal.close()
+
+    def test_post_append_crash_keeps_the_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        with faults.armed("wal.post_append"):
+            with pytest.raises(faults.InjectedCrash):
+                wal.append(_batch(1))
+        assert [r.tick for _, r in wal.records()] == [1]
+        wal.close()
+
+    def test_pre_fsync_crash_with_always_keeps_the_record(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        with faults.armed("wal.pre_fsync"):
+            with pytest.raises(faults.InjectedCrash):
+                wal.append(_batch(1))
+        # The write itself landed (single write() before the fsync); a
+        # reopen sees the intact frame.
+        wal.close()
+        reopened = WriteAheadLog(tmp_path, fsync="always")
+        assert [r.tick for _, r in reopened.records()] == [1]
+        reopened.close()

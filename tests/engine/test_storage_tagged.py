@@ -1,0 +1,118 @@
+"""The tagged (self-describing) tuple codec behind the write-ahead log.
+
+Unlike the schema-directed layout (``pack_tuple``), the tagged layout
+must decode with no catalog at hand — recovery reads WAL records before
+any schema exists.  Whatever a table can hold must round-trip
+bit-identically, including the int32 edge values that the sentinel-coded
+date layout cannot represent.
+"""
+
+import pytest
+
+from repro.core.interval import OngoingInterval, fixed_interval, until_now
+from repro.core.intervalset import IntervalSet
+from repro.core.timeline import MINUS_INF, PLUS_INF
+from repro.core.timepoint import OngoingTimePoint
+from repro.engine.storage import (
+    pack_tagged_tuple,
+    pack_tagged_value,
+    unpack_tagged_tuple,
+    unpack_tagged_value,
+)
+from repro.errors import StorageError
+from repro.relational.tuples import OngoingTuple
+
+
+def _roundtrip_value(value):
+    buffer = pack_tagged_value(value)
+    decoded, offset = unpack_tagged_value(buffer, 0)
+    assert offset == len(buffer)
+    return decoded
+
+
+class TestScalarRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**31 - 1,
+            -(2**31),  # must NOT be sentinel-mapped to MINUS_INF
+            2**31,
+            -(2**31) - 1,
+            2**63 - 1,
+            -(2**63),
+            "",
+            "spam filter",
+            "ünïcode — 日本語",
+        ],
+    )
+    def test_value_roundtrips_identically(self, value):
+        decoded = _roundtrip_value(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_int_beyond_64_bits_rejected(self):
+        with pytest.raises(StorageError):
+            pack_tagged_value(2**63)
+
+    def test_bool_is_not_confused_with_int(self):
+        assert _roundtrip_value(True) is True
+        assert _roundtrip_value(1) == 1
+        assert _roundtrip_value(1) is not True
+
+
+class TestOngoingRoundTrip:
+    def test_ongoing_time_point(self):
+        point = OngoingTimePoint(5, 20)
+        assert _roundtrip_value(point) == point
+
+    def test_ongoing_interval(self):
+        interval = until_now(7)
+        assert _roundtrip_value(interval) == interval
+
+    def test_fixed_interval(self):
+        interval = fixed_interval(3, 9)
+        assert _roundtrip_value(interval) == interval
+
+    def test_interval_with_infinite_bounds(self):
+        interval = OngoingInterval(
+            OngoingTimePoint(MINUS_INF, MINUS_INF),
+            OngoingTimePoint(PLUS_INF, PLUS_INF),
+        )
+        assert _roundtrip_value(interval) == interval
+
+
+class TestTupleRoundTrip:
+    def test_plain_tuple(self):
+        item = OngoingTuple((1, "bug", until_now(5)))
+        decoded, offset = unpack_tagged_tuple(pack_tagged_tuple(item))
+        assert decoded == item
+        assert decoded.rt == item.rt
+
+    def test_tuple_with_bounded_rt(self):
+        item = OngoingTuple(
+            (42, None, fixed_interval(1, 4)),
+            IntervalSet([(2, 10), (20, PLUS_INF)]),
+        )
+        decoded, _ = unpack_tagged_tuple(pack_tagged_tuple(item))
+        assert decoded == item
+        assert list(decoded.rt) == list(item.rt)
+
+    def test_consecutive_tuples_in_one_buffer(self):
+        first = OngoingTuple((1, until_now(2)))
+        second = OngoingTuple(("two", False))
+        buffer = pack_tagged_tuple(first) + pack_tagged_tuple(second)
+        decoded_first, offset = unpack_tagged_tuple(buffer, 0)
+        decoded_second, end = unpack_tagged_tuple(buffer, offset)
+        assert (decoded_first, decoded_second) == (first, second)
+        assert end == len(buffer)
+
+    def test_empty_tuple(self):
+        item = OngoingTuple(())
+        decoded, _ = unpack_tagged_tuple(pack_tagged_tuple(item))
+        assert decoded == item

@@ -176,3 +176,44 @@ class TestCoalescing:
         merged = first.coalesce_with(second)
         assert merged.delta is None  # unknown + known = unknown
         assert merged.result == "r2"
+
+
+class TestCaptureRestore:
+    """The durability hooks: checkpoint capture and recovery restore."""
+
+    def test_capture_is_non_destructive_and_ordered(self):
+        box, received = _mailbox(capacity=4)
+        box.put("first")
+        box.put("second")
+        assert box.capture() == ("first", "second")
+        assert box.capture() == ("first", "second")  # still queued
+        assert _drain(box) == ["first", "second"]
+
+    def test_capture_of_empty_mailbox(self):
+        box, _ = _mailbox(capacity=2)
+        assert box.capture() == ()
+
+    def test_restore_appends_behind_queued_items(self):
+        box, _ = _mailbox(capacity=4)
+        box.put("live")
+        assert box.restore(("recovered-a", "recovered-b")) == 2
+        assert _drain(box) == ["live", "recovered-a", "recovered-b"]
+        assert box.queued == 3
+
+    def test_restore_bypasses_backpressure(self):
+        box, _ = _mailbox(capacity=1, policy="drop_oldest")
+        box.put("live")
+        # A restore may transiently exceed capacity: recovery must never
+        # silently drop the notification it is re-enqueueing.
+        assert box.restore(("recovered",)) == 1
+        assert _drain(box) == ["live", "recovered"]
+        # The next ordinary put re-applies the policy as usual.
+        box.put("a")
+        assert box.put("b") == DROPPED_OLDEST
+        assert _drain(box) == ["b"]
+
+    def test_restore_into_closed_mailbox_is_refused(self):
+        box, _ = _mailbox(capacity=2)
+        box.closed = True
+        assert box.restore(("recovered",)) == 0
+        assert box.capture() == ()

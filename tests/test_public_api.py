@@ -87,7 +87,7 @@ def test_module_docstrings_and_exports(name):
 def test_version_is_exposed():
     import repro
 
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_public_classes_have_documented_public_methods():
